@@ -1,0 +1,662 @@
+(* The benchmark harness: regenerates every table and figure of the
+   paper's evaluation (§4) plus the ablations called out in DESIGN.md.
+
+   Experiments (ids from DESIGN.md):
+     F2  the 3-router topology comes up and converges (Figure 2)
+     F1  concolic exploration systematically covers paths (Figure 1)
+     E1  memory overhead of checkpoints and explorer clones (§4.1)
+     E2  update throughput under full load, with/without exploration (§4.1)
+     E3  update throughput in the realistic (live-tail) scenario (§4.1)
+     E4  route-leak detection across filter configurations (§4.2)
+     A1  ablation: selective vs whole-message symbolization (§3.2)
+     A2  ablation: exploration search strategies
+   plus a Bechamel micro-benchmark suite for the hot paths.
+
+   By default everything runs at a laptop-friendly scale; set
+   DICE_BENCH_FULL=1 to use the paper's 319,355-prefix table (slow). *)
+
+open Dice_inet
+open Dice_bgp
+open Dice_core
+module Threerouter = Dice_topology.Threerouter
+module Gen = Dice_trace.Gen
+module Replay = Dice_trace.Replay
+module Fork = Dice_checkpoint.Fork
+module Explorer = Dice_concolic.Explorer
+module Strategy = Dice_concolic.Strategy
+module Coverage = Dice_concolic.Coverage
+
+let full = Sys.getenv_opt "DICE_BENCH_FULL" <> None
+
+let table_prefixes = if full then 319_355 else 8_000
+let p = Prefix.of_string
+
+let section id title =
+  Printf.printf "\n=== %s: %s ===\n%!" id title
+
+let row fmt = Printf.printf fmt
+
+(* ------------------------------------------------------------------ *)
+(* shared setup                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let gen_trace ?(n = table_prefixes) () =
+  Gen.generate { Gen.default_params with Gen.n_prefixes = n; duration = 900.0 }
+
+let customer_route () =
+  Route.make ~origin:Attr.Igp
+    ~as_path:[ Asn.Path.Seq [ Threerouter.customer_as ] ]
+    ~next_hop:Threerouter.customer_addr ()
+
+(* A provider router with established sessions and a loaded table, built
+   directly (no simulated network) so big tables load fast. *)
+let loaded_provider ?(filtering = Threerouter.Partially_correct) ?(n = table_prefixes) () =
+  let r = Router.create (Threerouter.provider_config filtering) in
+  let establish peer remote_as =
+    ignore (Router.handle_event r ~peer Fsm.Manual_start);
+    ignore (Router.handle_event r ~peer Fsm.Tcp_connected);
+    ignore
+      (Router.handle_msg r ~peer
+         (Msg.Open
+            { Msg.version = 4; my_as = remote_as land 0xFFFF; hold_time = 90;
+              bgp_id = peer; capabilities = [ Msg.Cap_as4 remote_as ] }));
+    ignore (Router.handle_msg r ~peer Msg.Keepalive)
+  in
+  establish Threerouter.customer_addr Threerouter.customer_as;
+  establish Threerouter.internet_addr Threerouter.internet_as;
+  (* the customer announces its own space, as in the testbed *)
+  List.iter
+    (fun prefix ->
+      ignore
+        (Router.handle_msg r ~peer:Threerouter.customer_addr
+           (Msg.Update
+              { Msg.withdrawn = [];
+                attrs = Route.to_attrs (customer_route ());
+                nlri = [ prefix ];
+              })))
+    Threerouter.customer_prefixes;
+  let trace = gen_trace ~n () in
+  let progress =
+    Replay.feed_dump r ~peer:Threerouter.internet_addr
+      ~next_hop:Threerouter.internet_addr trace
+  in
+  (r, trace, progress)
+
+let observe_and_cfg ?(mode = Symbolize.Selective) ?(runs = 256) router =
+  let cfg =
+    { Orchestrator.default_cfg with
+      Orchestrator.mode;
+      explorer = { Explorer.default_config with Explorer.max_runs = runs; max_depth = 96 };
+    }
+  in
+  let dice = Orchestrator.create ~cfg router in
+  Orchestrator.observe dice ~peer:Threerouter.customer_addr
+    ~prefix:(p "203.0.113.0/24") ~route:(customer_route ());
+  dice
+
+(* ------------------------------------------------------------------ *)
+(* F2: topology (Figure 2)                                             *)
+(* ------------------------------------------------------------------ *)
+
+let experiment_f2 () =
+  section "F2" "experimental topology (paper Figure 2)";
+  let topo = Threerouter.build Threerouter.Partially_correct in
+  let t0 = Dice_sim.Network.now topo.Threerouter.net in
+  Threerouter.start topo;
+  let establish_time = Dice_sim.Network.now topo.Threerouter.net -. t0 in
+  let n = Threerouter.load_table topo (gen_trace ~n:(min 4_000 table_prefixes) ()) in
+  row "sessions established at the provider: %d (virtual %.2f s)\n"
+    (List.length (Router.established_peers (Threerouter.provider_router topo)))
+    establish_time;
+  row "provider Loc-RIB after table load:    %d routes\n" n;
+  row "customer sees (re-exported):          %d routes\n"
+    (Rib.Loc.cardinal (Router.loc_rib (Router_node.router topo.Threerouter.customer)))
+
+(* ------------------------------------------------------------------ *)
+(* F1: concolic path exploration (Figure 1)                            *)
+(* ------------------------------------------------------------------ *)
+
+let sample_filter =
+  Config_parser.parse_filter ~name:"bench"
+    {|
+    if net ~ [ 10.0.0.0/8{8,24}, 172.16.0.0/12{12,24}, 192.168.0.0/16+ ] then {
+      if bgp_med > 50 then { bgp_local_pref = 80; accept; }
+      bgp_local_pref = 120;
+      accept;
+    }
+    if bgp_origin = 2 then reject;
+    accept;
+    |}
+
+let filter_program ctx =
+  let route =
+    Route.make ~origin:Attr.Igp
+      ~as_path:[ Asn.Path.Seq [ 64501; 64502 ] ]
+      ~med:(Some 10)
+      ~next_hop:(Ipv4.of_string "192.0.2.1") ()
+  in
+  let cr = Symbolize.croute ctx ~tag:"f1" ~prefix:(p "10.1.2.0/24") ~route in
+  let cr =
+    Croute.with_med cr (Dice_concolic.Engine.input ctx ~name:"f1.med" ~width:32 ~default:10L)
+  in
+  ignore (Filter_interp.run ctx ~source_as:64501 ~local_as:64510 sample_filter cr)
+
+let experiment_f1 () =
+  section "F1" "concolic predicate negation explores code paths (paper Figure 1)";
+  let report =
+    Explorer.explore ~config:{ Explorer.default_config with Explorer.max_runs = 64 }
+      filter_program
+  in
+  row "%-6s %-14s %-12s %s\n" "run" "path-length" "new-dirs" "inputs (negated predicates -> new values)";
+  List.iter
+    (fun (r : Explorer.run) ->
+      if r.Explorer.index < 10 then
+        row "%-6d %-14d %-12d %s\n" r.Explorer.index r.Explorer.path_length
+          r.Explorer.new_directions
+          (String.concat ", "
+             (List.map (fun (n, v) -> Printf.sprintf "%s=%Ld" n v) r.Explorer.assignment)))
+    report.Explorer.runs;
+  row "total: %d executions, %d distinct paths, %.1f%% branch-direction coverage\n"
+    report.Explorer.executions report.Explorer.distinct_paths
+    (100.0 *. Explorer.coverage_ratio report);
+  row "negations: %d attempted, %d sat, %d unsat, %d gave up; %d divergences\n"
+    report.Explorer.negations_attempted report.Explorer.negations_sat
+    report.Explorer.negations_unsat report.Explorer.negations_gave_up
+    report.Explorer.divergences
+
+(* ------------------------------------------------------------------ *)
+(* E1: memory overhead                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let experiment_e1 () =
+  section "E1" "memory overhead (paper §4.1: checkpoint 3.45%, clones +36.93% avg / 39% max)";
+  (* page-fraction metrics need a realistically large address space; use a
+     bigger table than the throughput experiments *)
+  let router, trace, _ = loaded_provider ~n:(if full then table_prefixes else 64_000) () in
+  row "table: %d routes; live image %d KiB\n"
+    (Rib.Loc.cardinal (Router.loc_rib router))
+    (Bytes.length (Router.snapshot router) / 1024);
+  (* checkpoint, then let the live router process the 15-minute tail *)
+  let mgr = Fork.create () in
+  let cp = Fork.checkpoint mgr ~live_image:(Router.snapshot router) in
+  let progress =
+    Replay.feed_events router ~peer:Threerouter.internet_addr
+      ~next_hop:Threerouter.internet_addr trace
+  in
+  let unique, fraction = Fork.checkpoint_stats cp ~live_image:(Router.snapshot router) in
+  row "checkpoint unique pages after live processed %d updates: %d (%.2f%%)   [paper: 3.45%%]\n"
+    progress.Replay.updates_sent unique (100.0 *. fraction);
+  (* explorer clones *)
+  let dice = observe_and_cfg router in
+  let dice =
+    Orchestrator.create
+      ~cfg:{ Orchestrator.default_cfg with Orchestrator.clone_samples = 16 }
+      (Orchestrator.router dice)
+  in
+  Orchestrator.observe dice ~peer:Threerouter.customer_addr
+    ~prefix:(p "203.0.113.0/24") ~route:(customer_route ());
+  let report = Orchestrator.explore dice in
+  let stats = Dice_util.Stats.create () in
+  List.iter
+    (fun (sr : Orchestrator.seed_report) ->
+      List.iter
+        (fun (cs : Fork.clone_stats) ->
+          Dice_util.Stats.add stats (100.0 *. cs.Fork.extra_fraction))
+        sr.Orchestrator.clone_stats)
+    report.Orchestrator.seed_reports;
+  row "explorer clones sampled: %d; extra pages %.2f%% avg, %.2f%% max   [paper: 36.93%% avg, 39%% max]\n"
+    (Dice_util.Stats.count stats) (Dice_util.Stats.mean stats) (Dice_util.Stats.max stats);
+  (* page-size ablation for the checkpoint metric *)
+  row "page-size sweep (checkpoint unique fraction):\n";
+  List.iter
+    (fun page_size ->
+      let mgr = Fork.create ~page_size () in
+      let cp = Fork.checkpoint mgr ~live_image:(Fork.checkpoint_image cp) in
+      let u, f = Fork.checkpoint_stats cp ~live_image:(Router.snapshot router) in
+      row "  %6d B pages: %5d unique (%.2f%%)\n" page_size u (100.0 *. f))
+    [ 1024; 4096; 16384 ]
+
+(* ------------------------------------------------------------------ *)
+(* E2/E3: CPU overhead                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let throughput ~with_exploration ~updates =
+  (* Within-run comparison: replay [updates] announcements; at the
+     midpoint DiCE checkpoints and explores (when enabled). The
+     exploration itself runs off the critical path (the paper gives the
+     explorer its own core), so the live node pays only for the freeze.
+     Comparing the first half's throughput with the second half's, inside
+     one run, removes cross-run heap and cache noise. *)
+  let router, _, _ = loaded_provider ~n:(min 2_000 table_prefixes) () in
+  let extra = gen_trace ~n:updates () in
+  let dice = observe_and_cfg ~runs:48 router in
+  (* warm up in both configurations: grow the heap with one throwaway
+     exploration episode so heap-expansion effects do not differ between
+     the control and the measured run *)
+  Orchestrator.observe dice ~peer:Threerouter.customer_addr
+    ~prefix:(p "203.0.113.0/24") ~route:(customer_route ());
+  ignore (Orchestrator.explore dice);
+  Gc.full_major ();
+  let t_start = ref 0.0 in
+  let t_half_end = ref 0.0 in
+  let t_second_start = ref 0.0 in
+  let on_update i =
+    if i = updates / 2 then begin
+      t_half_end := Unix.gettimeofday ();
+      if with_exploration then begin
+        Orchestrator.observe dice ~peer:Threerouter.customer_addr
+          ~prefix:(p "203.0.113.0/24") ~route:(customer_route ());
+        ignore (Orchestrator.explore dice)
+      end;
+      (* a forked explorer's allocations live in its own process; reclaim
+         them off-path so the live half that follows starts from the same
+         GC state in both configurations *)
+      Gc.full_major ();
+      t_second_start := Unix.gettimeofday ()
+    end
+  in
+  t_start := Unix.gettimeofday ();
+  let progress =
+    Replay.feed_dump ~on_update router ~peer:Threerouter.internet_addr
+      ~next_hop:Threerouter.internet_addr extra
+  in
+  let t_end = Unix.gettimeofday () in
+  ignore progress;
+  let first = float_of_int (updates / 2) /. (!t_half_end -. !t_start) in
+  let second = float_of_int (updates - (updates / 2)) /. (t_end -. !t_second_start) in
+  (first, second)
+
+let experiment_e2 () =
+  section "E2" "update throughput under full load (paper §4.1: 15.1 vs 13.9 upd/s, 8% impact)";
+  let updates = if full then 100_000 else 30_000 in
+  (* interleave control/exploration runs and correct each exploration
+     run's half-ratio by its adjacent control run's — time-correlated
+     machine drift cancels pairwise; report the median *)
+  let pairs =
+    List.init 5 (fun _ ->
+        let ctl = throughput ~with_exploration:false ~updates in
+        let ex = throughput ~with_exploration:true ~updates in
+        (ctl, ex))
+  in
+  let corrected =
+    List.map
+      (fun ((cf, cs), (ef, es)) -> 100.0 *. (1.0 -. (es /. ef) /. (cs /. cf)))
+      pairs
+  in
+  let med xs = List.nth (List.sort compare xs) (List.length xs / 2) in
+  let cf, cs = List.nth pairs 2 |> fst in
+  let ef, es = List.nth pairs 2 |> snd in
+  row "control run:     first half %8.0f upd/s, second half %8.0f upd/s\n" cf cs;
+  row "exploration run: first half %8.0f upd/s, second half %8.0f upd/s\n" ef es;
+  row "per-pair corrected impacts: %s\n"
+    (String.concat ", " (List.map (Printf.sprintf "%.1f%%") corrected));
+  row "median drift-corrected impact of running exploration: %.1f%%   [paper: 8%%]\n"
+    (med corrected)
+
+let experiment_e3 () =
+  section "E3" "realistic scenario: live 15-min tail (paper §4.1: 0.287 vs 0.272 upd/s, negligible)";
+  (* The tail arrives at ~0.3 upd/s over a 900 s window, so the router is
+     idle almost always; exploration consumes idle time. The effective
+     service rate over the window is updates/900 s either way — what can
+     differ is the busy time on the live path. *)
+  let measure with_exploration =
+    let router, trace, _ = loaded_provider ~n:(min 4_000 table_prefixes) () in
+    let dice = observe_and_cfg ~runs:96 router in
+    let critical = ref 0.0 in
+    if with_exploration then begin
+      Orchestrator.observe dice ~peer:Threerouter.customer_addr
+        ~prefix:(p "203.0.113.0/24") ~route:(customer_route ());
+      let report = Orchestrator.explore dice in
+      critical := report.Orchestrator.checkpoint_seconds
+    end;
+    let progress =
+      Replay.feed_events router ~peer:Threerouter.internet_addr
+        ~next_hop:Threerouter.internet_addr trace
+    in
+    let busy = progress.Replay.wall_seconds +. !critical in
+    (progress.Replay.updates_sent, busy)
+  in
+  let n_base, busy_base = measure false in
+  let n_dice, busy_dice = measure true in
+  let window = 900.0 in
+  row "tail: %d updates over a %.0f s window\n" n_base window;
+  row "service rate without exploration: %.3f updates/s (live path busy %.4f%%)\n"
+    (float_of_int n_base /. window)
+    (100.0 *. busy_base /. window);
+  row "service rate with exploration:    %.3f updates/s (live path busy %.4f%%)\n"
+    (float_of_int n_dice /. window)
+    (100.0 *. busy_dice /. window);
+  row "impact on the service rate: %.2f%%   [paper: negligible]\n"
+    (100.0 *. (1.0 -. (float_of_int n_dice /. float_of_int n_base)))
+
+(* ------------------------------------------------------------------ *)
+(* E4: route-leak detection                                            *)
+(* ------------------------------------------------------------------ *)
+
+let experiment_e4 () =
+  section "E4" "detecting route leaks (paper §4.2: the YouTube/Pakistan Telecom scenario)";
+  row "%-20s %-12s %-10s %-10s %-12s %s\n" "filtering" "executions" "hijacks" "leaks"
+    "wall (s)" "leakable ranges";
+  List.iter
+    (fun filtering ->
+      let router, _, _ = loaded_provider ~filtering ~n:(min 8_000 table_prefixes) () in
+      let dice = observe_and_cfg ~runs:256 router in
+      let report = Orchestrator.explore dice in
+      let criticals, warnings =
+        List.partition
+          (fun (f : Checker.fault) -> f.Checker.severity = Checker.Critical)
+          report.Orchestrator.faults
+      in
+      let executions =
+        List.fold_left
+          (fun acc (sr : Orchestrator.seed_report) ->
+            acc + sr.Orchestrator.explorer.Explorer.executions)
+          0 report.Orchestrator.seed_reports
+      in
+      let ranges =
+        Hijack.leakable_summary report.Orchestrator.faults
+        |> List.map (fun (q, _) -> Prefix.to_string q)
+      in
+      let shown =
+        match ranges with
+        | a :: b :: c :: _ :: _ -> String.concat " " [ a; b; c; "..." ]
+        | l -> String.concat " " l
+      in
+      row "%-20s %-12d %-10d %-10d %-12.2f %s\n"
+        (Threerouter.filtering_to_string filtering)
+        executions (List.length criticals) (List.length warnings)
+        report.Orchestrator.wall_seconds shown)
+    [ Threerouter.Correct; Threerouter.Partially_correct; Threerouter.Missing ]
+
+(* ------------------------------------------------------------------ *)
+(* A1: symbolization ablation                                          *)
+(* ------------------------------------------------------------------ *)
+
+let experiment_a1 () =
+  section "A1" "ablation: selective vs whole-message symbolization (paper §3.2)";
+  row "%-16s %-12s %-16s %-10s %s\n" "mode" "executions" "reach-routing" "hijacks" "parser depths";
+  List.iter
+    (fun mode ->
+      let router, _, _ = loaded_provider ~n:(min 4_000 table_prefixes) () in
+      let dice = observe_and_cfg ~mode ~runs:192 router in
+      let report = Orchestrator.explore dice in
+      List.iter
+        (fun (sr : Orchestrator.seed_report) ->
+          let executions = sr.Orchestrator.explorer.Explorer.executions in
+          let reached =
+            match mode with
+            | Symbolize.Selective -> executions  (* every input is a valid message *)
+            | Symbolize.Whole_message ->
+              List.fold_left
+                (fun acc (k, c) -> if k = "valid-update" then acc + c else acc)
+                0 sr.Orchestrator.depth_counts
+          in
+          let criticals =
+            List.length
+              (List.filter
+                 (fun (f : Checker.fault) -> f.Checker.severity = Checker.Critical)
+                 sr.Orchestrator.faults)
+          in
+          row "%-16s %-12d %-16s %-10d %s\n"
+            (Symbolize.mode_to_string mode)
+            executions
+            (Printf.sprintf "%d (%.0f%%)" reached
+               (100.0 *. float_of_int reached /. float_of_int (max 1 executions)))
+            criticals
+            (String.concat ", "
+               (List.map (fun (k, c) -> Printf.sprintf "%s=%d" k c) sr.Orchestrator.depth_counts)))
+        report.Orchestrator.seed_reports)
+    [ Symbolize.Selective; Symbolize.Whole_message ]
+
+(* ------------------------------------------------------------------ *)
+(* A2: strategy ablation                                               *)
+(* ------------------------------------------------------------------ *)
+
+let experiment_a2 () =
+  section "A2" "ablation: exploration search strategies";
+  row "%-22s %-12s %-10s %-12s %s\n" "strategy" "executions" "paths" "coverage" "divergences";
+  List.iter
+    (fun strategy ->
+      let report =
+        Explorer.explore
+          ~config:{ Explorer.default_config with Explorer.strategy; max_runs = 64 }
+          filter_program
+      in
+      row "%-22s %-12d %-10d %-12s %d\n" (Strategy.to_string strategy)
+        report.Explorer.executions report.Explorer.distinct_paths
+        (Printf.sprintf "%.1f%%" (100.0 *. Explorer.coverage_ratio report))
+        report.Explorer.divergences)
+    [ Strategy.Dfs; Strategy.Generational; Strategy.Cover_new; Strategy.Random_negation 7L ]
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks                                           *)
+(* ------------------------------------------------------------------ *)
+
+let micro_benchmarks () =
+  section "micro" "hot-path micro-benchmarks (Bechamel, ns/op)";
+  let open Bechamel in
+  let router, _, _ = loaded_provider ~n:(min 2_000 table_prefixes) () in
+  let announce_msg =
+    Msg.Update
+      { withdrawn = [];
+        attrs = Route.to_attrs (customer_route ());
+        nlri = [ p "203.0.113.0/24" ];
+      }
+  in
+  let encoded = Msg.encode announce_msg in
+  let live_image = Router.snapshot router in
+  let loc = Router.loc_rib router in
+  let solver_query () =
+    let x = Dice_concolic.Sym.var ~name:"bx" ~width:32 in
+    ignore
+      (Dice_concolic.Solver.solve ~hint:(Hashtbl.create 0)
+         [ { Dice_concolic.Path.expr =
+               Dice_concolic.Sym.Binop
+                 (Dice_concolic.Sym.Eq,
+                  Dice_concolic.Sym.Binop
+                    (Dice_concolic.Sym.And, Dice_concolic.Sym.of_var x,
+                     Dice_concolic.Sym.const ~width:32 0xFFFF00L),
+                  Dice_concolic.Sym.const ~width:32 0xAB00L);
+             expected_nonzero = true;
+           } ])
+  in
+  let tests =
+    [ Test.make ~name:"update-processing (E2/E3 hot path)"
+        (Staged.stage (fun () -> ignore (Router.handle_msg router ~peer:Threerouter.internet_addr announce_msg)));
+      Test.make ~name:"msg-decode"
+        (Staged.stage (fun () -> ignore (Msg.decode encoded)));
+      Test.make ~name:"msg-encode"
+        (Staged.stage (fun () -> ignore (Msg.encode announce_msg)));
+      Test.make ~name:"router-snapshot (checkpoint cost, E1)"
+        (Staged.stage (fun () -> ignore (Router.snapshot router)));
+      Test.make ~name:"cow-capture (E1)"
+        (Staged.stage
+           (let mgr = Fork.create () in
+            fun () ->
+              let cp = Fork.checkpoint mgr ~live_image in
+              Fork.drop_checkpoint cp));
+      Test.make ~name:"rib-longest-match"
+        (Staged.stage (fun () -> ignore (Rib.Loc.longest_match (Ipv4.of_string "198.51.100.1") loc)));
+      Test.make ~name:"solver-query (F1)" (Staged.stage solver_query);
+      Test.make ~name:"filter-eval (concrete fast path)"
+        (Staged.stage
+           (let cr = Croute.of_route (p "10.1.2.0/24") (customer_route ()) in
+            fun () ->
+              ignore
+                (Filter_interp.run (Dice_concolic.Engine.null ()) ~source_as:64501
+                   ~local_as:64510 sample_filter cr)))
+    ]
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:None () in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg [ instance ] test in
+      let analyzed = Analyze.all ols instance results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          let ns =
+            match Analyze.OLS.estimates ols_result with
+            | Some (est :: _) -> est
+            | Some [] | None -> Float.nan
+          in
+          row "%-42s %12.1f ns/op\n" name ns)
+        analyzed)
+    tests
+
+(* ------------------------------------------------------------------ *)
+(* X1/X2: the paper's envisioned extensions, measured                  *)
+(* ------------------------------------------------------------------ *)
+
+let experiment_x1 () =
+  section "X1" "cross-domain exploration through a narrow interface (paper §2.4)";
+  (* the upstream keeps its table private (export none): only remote
+     probing can see origin conflicts *)
+  let upstream =
+    Router.create
+      (Config_parser.parse
+         {|
+         router id 10.0.2.2;
+         local as 64700;
+         protocol bgp provider { neighbor 10.0.2.1 as 64510; import all; export none; }
+         protocol bgp collector { neighbor 10.0.3.2 as 64701; import all; export none; }
+         |})
+  in
+  let establish r peer remote_as =
+    ignore (Router.handle_event r ~peer Fsm.Manual_start);
+    ignore (Router.handle_event r ~peer Fsm.Tcp_connected);
+    ignore
+      (Router.handle_msg r ~peer
+         (Msg.Open
+            { Msg.version = 4; my_as = remote_as land 0xFFFF; hold_time = 90; bgp_id = peer;
+              capabilities = [ Msg.Cap_as4 remote_as ] }));
+    ignore (Router.handle_msg r ~peer Msg.Keepalive)
+  in
+  establish upstream (Ipv4.of_string "10.0.2.1") 64510;
+  establish upstream (Ipv4.of_string "10.0.3.2") 64701;
+  let private_trace =
+    Gen.generate
+      { Gen.default_params with Gen.n_prefixes = min 4_000 table_prefixes;
+        collector_as = 64701 }
+  in
+  ignore
+    (Replay.feed_dump upstream ~peer:(Ipv4.of_string "10.0.3.2")
+       ~next_hop:(Ipv4.of_string "10.0.3.2") private_trace);
+  (* the upstream also routes space inside the provider's leaky 198/8
+     block — the routes the misconfiguration endangers *)
+  List.iter
+    (fun (prefix, origin) ->
+      let route =
+        Route.make ~origin:Attr.Igp
+          ~as_path:[ Asn.Path.Seq [ 64701; origin ] ]
+          ~next_hop:(Ipv4.of_string "10.0.3.2") ()
+      in
+      ignore
+        (Router.handle_msg upstream ~peer:(Ipv4.of_string "10.0.3.2")
+           (Msg.Update
+              { Msg.withdrawn = []; attrs = Route.to_attrs route; nlri = [ p prefix ] })))
+    [ ("198.0.0.0/16", 64999); ("198.32.0.0/14", 64998); ("198.128.0.0/12", 64997) ];
+  let provider = Router.create (Threerouter.provider_config Threerouter.Partially_correct) in
+  establish provider Threerouter.customer_addr Threerouter.customer_as;
+  establish provider Threerouter.internet_addr Threerouter.internet_as;
+  List.iter
+    (fun prefix ->
+      ignore
+        (Router.handle_msg provider ~peer:Threerouter.customer_addr
+           (Msg.Update
+              { Msg.withdrawn = []; attrs = Route.to_attrs (customer_route ());
+                nlri = [ prefix ] })))
+    Threerouter.customer_prefixes;
+  let agent =
+    Distributed.agent ~name:"upstream" ~addr:Threerouter.internet_addr
+      ~explorer_addr:(Ipv4.of_string "10.0.2.1") upstream
+  in
+  let cfg =
+    { Orchestrator.default_cfg with
+      Orchestrator.checkers = [ Hijack.checker; Distributed.checker ~agents:[ agent ] ];
+      explorer =
+        { Explorer.default_config with Explorer.max_runs = 256; max_depth = 96 };
+    }
+  in
+  let dice = Orchestrator.create ~cfg provider in
+  Orchestrator.observe dice ~peer:Threerouter.customer_addr
+    ~prefix:(p "203.0.113.0/24") ~route:(customer_route ());
+  let report = Orchestrator.explore dice in
+  let count name =
+    List.length
+      (List.filter (fun (f : Checker.fault) -> f.Checker.checker = name)
+         report.Orchestrator.faults)
+  in
+  row "provider-local origin conflicts:        %d (its RIB is nearly empty)\n"
+    (count "origin-hijack");
+  row "remote origin conflicts (narrow iface): %d\n" (count "remote-origin-conflict");
+  row "remote coverage leaks (narrow iface):   %d\n" (count "remote-coverage-leak");
+  row "remote agent: %d probes over %d checkpoint(s), zero state disclosed\n"
+    (Distributed.probes_performed agent)
+    (Distributed.checkpoints_taken agent)
+
+let experiment_x2 () =
+  section "X2" "operator-action validation (paper §5)";
+  let router, _, _ = loaded_provider ~n:(min 4_000 table_prefixes) () in
+  let seeds =
+    List.map
+      (fun prefix ->
+        { Orchestrator.tag = "obs-" ^ Prefix.to_string prefix;
+          peer = Threerouter.customer_addr;
+          prefix;
+          route = customer_route ();
+        })
+      Threerouter.customer_prefixes
+  in
+  let vcfg =
+    { Orchestrator.default_cfg with
+      Orchestrator.explorer =
+        { Explorer.default_config with Explorer.max_runs = 160; max_depth = 96 };
+    }
+  in
+  row "%-42s %-14s %-7s %-11s %s\n" "proposed change" "verdict" "fixed" "introduced" "regressions";
+  List.iter
+    (fun (name, proposed) ->
+      let c = Validate.config_change ~cfg:vcfg ~live:router ~proposed ~seeds () in
+      let verdict =
+        match Validate.verdict c with
+        | `Safe -> "SAFE"
+        | `Ineffective -> "INEFFECTIVE"
+        | `Harmful -> "HARMFUL"
+      in
+      row "%-42s %-14s %-7d %-11d %d\n" name verdict
+        (List.length c.Validate.fixed)
+        (List.length c.Validate.introduced)
+        (List.length c.Validate.regressions))
+    [ ("correct filter (pins the customer /22)", Threerouter.provider_config Threerouter.Correct);
+      ("no change", Threerouter.provider_config Threerouter.Partially_correct);
+      ( "import none (over-blocking)",
+        Config_parser.parse
+          (Printf.sprintf
+             "router id 10.0.2.1; local as %d;\n\
+              protocol bgp customer { neighbor 10.0.1.2 as %d; import none; export all; }\n\
+              protocol bgp internet { neighbor 10.0.2.2 as %d; import all; export all; }\n\
+              anycast [ 192.88.99.0/24 ];"
+             Threerouter.provider_as Threerouter.customer_as Threerouter.internet_as) )
+    ]
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Printf.printf "DiCE benchmark harness (%s scale)\n"
+    (if full then "FULL paper" else "scaled-down; set DICE_BENCH_FULL=1 for 319,355 prefixes");
+  experiment_f2 ();
+  experiment_f1 ();
+  experiment_e1 ();
+  experiment_e2 ();
+  experiment_e3 ();
+  experiment_e4 ();
+  experiment_a1 ();
+  experiment_a2 ();
+  experiment_x1 ();
+  experiment_x2 ();
+  micro_benchmarks ();
+  print_newline ()

@@ -1,0 +1,301 @@
+(* The dice command-line tool: generate traces, run the testbed, and
+   detect route leaks with online exploration. *)
+
+open Cmdliner
+open Dice_inet
+open Dice_bgp
+open Dice_core
+module Threerouter = Dice_topology.Threerouter
+
+(* ---------------- shared arguments ---------------- *)
+
+let seed_arg =
+  Arg.(value & opt int64 42L & info [ "seed" ] ~docv:"SEED" ~doc:"Deterministic RNG seed.")
+
+let prefixes_arg =
+  Arg.(
+    value
+    & opt int 5000
+    & info [ "prefixes" ] ~docv:"N"
+        ~doc:"Number of prefixes in the synthetic full-table dump.")
+
+let filtering_arg =
+  let filtering_conv =
+    Arg.enum
+      [ ("correct", Threerouter.Correct);
+        ("partial", Threerouter.Partially_correct);
+        ("missing", Threerouter.Missing) ]
+  in
+  Arg.(
+    value
+    & opt filtering_conv Threerouter.Partially_correct
+    & info [ "filtering" ] ~docv:"MODE"
+        ~doc:"Customer route filtering at the provider: correct, partial or missing.")
+
+let json_arg =
+  Arg.(value & flag & info [ "json" ] ~doc:"Emit a machine-readable JSON report.")
+
+let runs_arg =
+  Arg.(
+    value
+    & opt int 256
+    & info [ "runs" ] ~docv:"N" ~doc:"Exploration budget: program executions per seed.")
+
+let trace_of ~seed ~prefixes =
+  Dice_trace.Gen.generate
+    { Dice_trace.Gen.default_params with Dice_trace.Gen.seed; n_prefixes = prefixes }
+
+let build_loaded ~filtering ~seed ~prefixes =
+  let topo = Threerouter.build filtering in
+  Threerouter.start topo;
+  let trace = trace_of ~seed ~prefixes in
+  let n = Threerouter.load_table topo trace in
+  (topo, trace, n)
+
+let customer_route () =
+  Route.make ~origin:Attr.Igp
+    ~as_path:[ Asn.Path.Seq [ Threerouter.customer_as ] ]
+    ~next_hop:Threerouter.customer_addr ()
+
+(* ---------------- gen-trace ---------------- *)
+
+let gen_trace out seed prefixes duration rate =
+  let trace =
+    Dice_trace.Gen.generate
+      { Dice_trace.Gen.default_params with
+        Dice_trace.Gen.seed;
+        n_prefixes = prefixes;
+        duration;
+        update_rate = rate;
+      }
+  in
+  Dice_trace.Mrt.save out trace;
+  Printf.printf "wrote %s: %d dump entries, %d events over %.0f s\n" out
+    (Array.length trace.Dice_trace.Gen.dump)
+    (Array.length trace.Dice_trace.Gen.events)
+    trace.Dice_trace.Gen.duration;
+  0
+
+let gen_trace_cmd =
+  let out =
+    Arg.(
+      value & opt string "trace.mrt"
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file.")
+  in
+  let duration =
+    Arg.(
+      value & opt float 900.0
+      & info [ "duration" ] ~docv:"SECONDS" ~doc:"Update-trace duration.")
+  in
+  let rate =
+    Arg.(
+      value & opt float 0.3
+      & info [ "rate" ] ~docv:"UPD/S" ~doc:"Mean update rate in the tail.")
+  in
+  Cmd.v
+    (Cmd.info "gen-trace" ~doc:"Generate a RouteViews-style synthetic trace (MRT-like file).")
+    Term.(const gen_trace $ out $ seed_arg $ prefixes_arg $ duration $ rate)
+
+(* ---------------- trace-info ---------------- *)
+
+let trace_info file =
+  let trace = Dice_trace.Mrt.load file in
+  let lens = Hashtbl.create 8 in
+  Array.iter
+    (fun (e : Dice_trace.Gen.entry) ->
+      let l = Prefix.len e.Dice_trace.Gen.prefix in
+      Hashtbl.replace lens l (1 + Option.value (Hashtbl.find_opt lens l) ~default:0))
+    trace.Dice_trace.Gen.dump;
+  Printf.printf "collector AS: %d\n" trace.Dice_trace.Gen.collector_as;
+  Printf.printf "dump entries: %d\n" (Array.length trace.Dice_trace.Gen.dump);
+  Printf.printf "events: %d over %.0f s\n"
+    (Array.length trace.Dice_trace.Gen.events)
+    trace.Dice_trace.Gen.duration;
+  print_endline "prefix length histogram:";
+  Hashtbl.fold (fun l c acc -> (l, c) :: acc) lens []
+  |> List.sort compare
+  |> List.iter (fun (l, c) -> Printf.printf "  /%-2d %d\n" l c);
+  0
+
+let trace_info_cmd =
+  let file =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"Trace file.")
+  in
+  Cmd.v
+    (Cmd.info "trace-info" ~doc:"Summarize a trace file.")
+    Term.(const trace_info $ file)
+
+(* ---------------- run ---------------- *)
+
+let run_testbed filtering seed prefixes =
+  let _, _, n = build_loaded ~filtering ~seed ~prefixes in
+  Printf.printf "topology up (filtering=%s); provider Loc-RIB: %d routes\n"
+    (Threerouter.filtering_to_string filtering)
+    n;
+  0
+
+let run_cmd =
+  Cmd.v
+    (Cmd.info "run" ~doc:"Bring up the 3-router testbed and load a full table.")
+    Term.(const run_testbed $ filtering_arg $ seed_arg $ prefixes_arg)
+
+(* ---------------- detect-leaks ---------------- *)
+
+let detect_leaks filtering seed prefixes runs json =
+  let topo, _, n = build_loaded ~filtering ~seed ~prefixes in
+  Printf.printf "table loaded: %d routes; filtering=%s\n" n
+    (Threerouter.filtering_to_string filtering);
+  let provider = Threerouter.provider_router topo in
+  let cfg =
+    { Orchestrator.default_cfg with
+      Orchestrator.explorer =
+        { Dice_concolic.Explorer.default_config with
+          Dice_concolic.Explorer.max_runs = runs;
+          max_depth = 96;
+        };
+    }
+  in
+  let dice = Orchestrator.create ~cfg provider in
+  Orchestrator.observe dice ~peer:Threerouter.customer_addr
+    ~prefix:(Prefix.of_string "203.0.113.0/24")
+    ~route:(customer_route ());
+  let report = Orchestrator.explore dice in
+  if json then print_endline (Dice_util.Json.to_string ~indent:true (Report.report_json report))
+  else print_string (Report.to_text report);
+  if Hijack.leakable_summary report.Orchestrator.faults = [] then 0 else 1
+
+let detect_leaks_cmd =
+  Cmd.v
+    (Cmd.info "detect-leaks"
+       ~doc:
+         "Run DiCE exploration on the provider and report hijackable prefix ranges \
+          (exit status 1 if any are found).")
+    Term.(const detect_leaks $ filtering_arg $ seed_arg $ prefixes_arg $ runs_arg $ json_arg)
+
+(* ---------------- explore-filter ---------------- *)
+
+let explore_filter file runs =
+  let config = Config_parser.parse_file file in
+  match config.Config_types.filters with
+  | [] ->
+    prerr_endline "no filters in configuration";
+    1
+  | filter :: _ ->
+    let route =
+      Route.make ~origin:Attr.Igp
+        ~as_path:[ Asn.Path.Seq [ 64501 ] ]
+        ~med:(Some 10)
+        ~next_hop:(Ipv4.of_string "192.0.2.1")
+        ()
+    in
+    let program ctx =
+      let cr =
+        Symbolize.croute ctx ~tag:"in"
+          ~prefix:(Prefix.of_string "192.0.2.0/24")
+          ~route
+      in
+      ignore
+        (Filter_interp.run ctx ~source_as:64501
+           ~local_as:config.Config_types.local_as filter cr)
+    in
+    let report =
+      Dice_concolic.Explorer.explore
+        ~config:
+          { Dice_concolic.Explorer.default_config with
+            Dice_concolic.Explorer.max_runs = runs;
+          }
+        program
+    in
+    Format.printf "%a@." Dice_concolic.Explorer.pp_report report;
+    0
+
+let explore_filter_cmd =
+  let file =
+    Arg.(
+      required & pos 0 (some string) None
+      & info [] ~docv:"CONFIG" ~doc:"Router configuration file.")
+  in
+  Cmd.v
+    (Cmd.info "explore-filter"
+       ~doc:"Concolically explore the first filter of a configuration file.")
+    Term.(const explore_filter $ file $ runs_arg)
+
+(* ---------------- overhead ---------------- *)
+
+let overhead seed prefixes =
+  let topo, trace, n = build_loaded ~filtering:Threerouter.Partially_correct ~seed ~prefixes in
+  Printf.printf "table loaded: %d routes\n" n;
+  let router = Threerouter.provider_router topo in
+  let mgr = Dice_checkpoint.Fork.create () in
+  let cp = Dice_checkpoint.Fork.checkpoint mgr ~live_image:(Router.snapshot router) in
+  let progress =
+    Dice_trace.Replay.feed_events router ~peer:Threerouter.internet_addr
+      ~next_hop:Threerouter.internet_addr trace
+  in
+  let unique, fraction =
+    Dice_checkpoint.Fork.checkpoint_stats cp ~live_image:(Router.snapshot router)
+  in
+  Printf.printf
+    "checkpoint: %d unique pages (%.2f%%) after the live router processed %d more \
+     updates\n"
+    unique (100.0 *. fraction) progress.Dice_trace.Replay.updates_sent;
+  0
+
+let overhead_cmd =
+  Cmd.v
+    (Cmd.info "overhead" ~doc:"Measure checkpoint memory overhead on a loaded router.")
+    Term.(const overhead $ seed_arg $ prefixes_arg)
+
+(* ---------------- validate ---------------- *)
+
+let validate_change proposed_file seed prefixes runs json =
+  let topo, _, n = build_loaded ~filtering:Threerouter.Partially_correct ~seed ~prefixes in
+  Printf.printf "live router: %d routes (partially-correct filtering)\n" n;
+  let live = Threerouter.provider_router topo in
+  let proposed = Config_parser.parse_file proposed_file in
+  let seeds =
+    [ { Orchestrator.tag = "observed";
+        peer = Threerouter.customer_addr;
+        prefix = Prefix.of_string "203.0.113.0/24";
+        route = customer_route ();
+      } ]
+  in
+  let cfg =
+    { Orchestrator.default_cfg with
+      Orchestrator.explorer =
+        { Dice_concolic.Explorer.default_config with
+          Dice_concolic.Explorer.max_runs = runs;
+          max_depth = 96;
+        };
+    }
+  in
+  let c = Validate.config_change ~cfg ~live ~proposed ~seeds () in
+  if json then print_endline (Dice_util.Json.to_string ~indent:true (Report.comparison_json c))
+  else Format.printf "%a@." Validate.pp c;
+  match Validate.verdict c with
+  | `Safe -> 0
+  | `Ineffective -> 0
+  | `Harmful -> 1
+
+let validate_cmd =
+  let file =
+    Arg.(
+      required & pos 0 (some string) None
+      & info [] ~docv:"PROPOSED-CONFIG" ~doc:"Proposed router configuration file.")
+  in
+  Cmd.v
+    (Cmd.info "validate"
+       ~doc:
+         "Validate a proposed configuration change against the testbed's live state           before committing it (exit status 1 if the change is harmful).")
+    Term.(const validate_change $ file $ seed_arg $ prefixes_arg $ runs_arg $ json_arg)
+
+(* ---------------- main ---------------- *)
+
+let () =
+  let doc = "DiCE: online testing of federated and heterogeneous distributed systems" in
+  let info = Cmd.info "dice" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ gen_trace_cmd; trace_info_cmd; run_cmd; detect_leaks_cmd; explore_filter_cmd;
+            overhead_cmd; validate_cmd ]))

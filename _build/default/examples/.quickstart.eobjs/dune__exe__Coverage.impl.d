@@ -1,0 +1,1 @@
+examples/coverage.ml: Attr Config_parser Croute Dice_bgp Dice_concolic Dice_core Dice_inet Engine Explorer Filter Filter_interp Format List Printf Route Strategy String

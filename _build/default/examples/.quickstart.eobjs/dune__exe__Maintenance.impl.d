@@ -1,0 +1,1 @@
+examples/maintenance.ml: Asn Attr Config_parser Dice_bgp Dice_concolic Dice_core Dice_inet Dice_topology Dice_trace Format Fsm List Msg Orchestrator Prefix Printf Rib Route Router Validate

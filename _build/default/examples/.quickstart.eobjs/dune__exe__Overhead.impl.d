@@ -1,0 +1,1 @@
+examples/overhead.ml: Asn Attr Dice_bgp Dice_checkpoint Dice_concolic Dice_core Dice_inet Dice_topology Dice_trace Dice_util Gc List Orchestrator Prefix Printf Rib Route Router Unix

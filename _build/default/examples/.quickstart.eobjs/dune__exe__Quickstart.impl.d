@@ -1,0 +1,1 @@
+examples/quickstart.ml: Asn Attr Dice_bgp Dice_core Dice_inet Dice_topology Dice_trace Format Hijack Ipv4 List Orchestrator Prefix Printf Route Router String Threerouter

@@ -1,0 +1,1 @@
+examples/route_leak.ml: Asn Attr Checker Dice_bgp Dice_concolic Dice_core Dice_inet Dice_topology Dice_trace List Orchestrator Prefix Printf Route Threerouter

@@ -1,0 +1,131 @@
+(* Cross-network exploration across administrative domains (paper §2.4).
+
+   The federated setting: the upstream keeps its routing table private
+   ("competitive concerns are likely to induce individual providers to
+   keep private much of their current state and configuration") — its
+   export policy towards the provider is "none", so the provider's own
+   RIB contains almost nothing and *local* checking cannot see origin
+   conflicts. The upstream cooperates only through DiCE's narrow
+   interface: it checkpoints its own state, processes exploration
+   messages over an isolated clone, and answers with verdicts — no RIB
+   contents cross the domain boundary.
+
+   Run with: dune exec examples/federation.exe *)
+
+open Dice_inet
+open Dice_bgp
+open Dice_core
+
+let p = Prefix.of_string
+
+let establish router peer remote_as =
+  ignore (Router.handle_event router ~peer Fsm.Manual_start);
+  ignore (Router.handle_event router ~peer Fsm.Tcp_connected);
+  ignore
+    (Router.handle_msg router ~peer
+       (Msg.Open
+          { Msg.version = 4; my_as = remote_as land 0xFFFF; hold_time = 90; bgp_id = peer;
+            capabilities = [ Msg.Cap_as4 remote_as ] }));
+  ignore (Router.handle_msg router ~peer Msg.Keepalive)
+
+let () =
+  print_endline "== cross-domain exploration through a narrow interface ==\n";
+
+  (* The upstream (a different administrative domain): full table learned
+     from its own collector session, nothing exported to the provider. *)
+  let upstream =
+    Router.create
+      (Config_parser.parse
+         {|
+         router id 10.0.2.2;
+         local as 64700;
+         protocol bgp provider { neighbor 10.0.2.1 as 64510; import all; export none; }
+         protocol bgp collector { neighbor 10.0.3.2 as 64701; import all; export none; }
+         |})
+  in
+  establish upstream (Ipv4.of_string "10.0.2.1") 64510;
+  establish upstream (Ipv4.of_string "10.0.3.2") 64701;
+  let trace =
+    Dice_trace.Gen.generate
+      { Dice_trace.Gen.default_params with Dice_trace.Gen.n_prefixes = 5_000;
+        collector_as = 64701 }
+  in
+  ignore
+    (Dice_trace.Replay.feed_dump upstream ~peer:(Ipv4.of_string "10.0.3.2")
+       ~next_hop:(Ipv4.of_string "10.0.3.2") trace);
+  Printf.printf "upstream (private) table: %d routes\n"
+    (Rib.Loc.cardinal (Router.loc_rib upstream));
+
+  (* The provider: mis-filtered customer session; its upstream session
+     receives nothing, so its own RIB is nearly empty. *)
+  let provider =
+    Router.create (Dice_topology.Threerouter.provider_config
+                     Dice_topology.Threerouter.Partially_correct)
+  in
+  establish provider Dice_topology.Threerouter.customer_addr 64501;
+  establish provider Dice_topology.Threerouter.internet_addr 64700;
+  let customer_route =
+    Route.make ~origin:Attr.Igp
+      ~as_path:[ Asn.Path.Seq [ Dice_topology.Threerouter.customer_as ] ]
+      ~next_hop:Dice_topology.Threerouter.customer_addr ()
+  in
+  List.iter
+    (fun prefix ->
+      ignore
+        (Router.handle_msg provider ~peer:Dice_topology.Threerouter.customer_addr
+           (Msg.Update
+              { Msg.withdrawn = []; attrs = Route.to_attrs customer_route; nlri = [ prefix ] })))
+    Dice_topology.Threerouter.customer_prefixes;
+  Printf.printf "provider (local) table:   %d routes -- the upstream exports nothing\n\n"
+    (Rib.Loc.cardinal (Router.loc_rib provider));
+
+  (* DiCE at the provider, with the upstream cooperating as a remote agent. *)
+  let agent =
+    Distributed.agent ~name:"upstream-AS64700"
+      ~addr:Dice_topology.Threerouter.internet_addr
+      ~explorer_addr:(Ipv4.of_string "10.0.2.1")
+      upstream
+  in
+  let cfg =
+    { Orchestrator.default_cfg with
+      Orchestrator.checkers = [ Hijack.checker; Distributed.checker ~agents:[ agent ] ];
+      explorer =
+        { Dice_concolic.Explorer.default_config with
+          Dice_concolic.Explorer.max_runs = 256;
+          max_depth = 96;
+        };
+    }
+  in
+  let dice = Orchestrator.create ~cfg provider in
+  Orchestrator.observe dice ~peer:Dice_topology.Threerouter.customer_addr
+    ~prefix:(p "203.0.113.0/24") ~route:customer_route;
+  let report = Orchestrator.explore dice in
+
+  let by_checker name =
+    List.filter (fun (f : Checker.fault) -> f.Checker.checker = name)
+      report.Orchestrator.faults
+  in
+  Printf.printf "local findings   (origin-hijack):          %d\n"
+    (List.length (by_checker "origin-hijack"));
+  Printf.printf "local findings   (filter-leak):            %d\n"
+    (List.length (by_checker "filter-leak"));
+  Printf.printf "remote findings  (remote-origin-conflict): %d\n"
+    (List.length (by_checker "remote-origin-conflict"));
+  Printf.printf "remote findings  (remote-coverage-leak):   %d\n"
+    (List.length (by_checker "remote-coverage-leak"));
+  Printf.printf "remote findings  (remote-propagation):     %d\n"
+    (List.length (by_checker "remote-propagation"));
+  Printf.printf "\nremote agent: %d probes answered over %d checkpoint(s) of its own state\n"
+    (Distributed.probes_performed agent)
+    (Distributed.checkpoints_taken agent);
+  print_endline "";
+  List.iter
+    (fun (f : Checker.fault) ->
+      if f.Checker.checker = "remote-origin-conflict"
+         || f.Checker.checker = "remote-coverage-leak" then
+        Format.printf "%a@." Checker.pp_fault f)
+    report.Orchestrator.faults;
+  print_endline
+    "\nthe conflicting routes live only in the upstream's private RIB: the\n\
+     provider could never have detected these locally, yet no routing state\n\
+     crossed the domain boundary — only accept/conflict/propagation verdicts."

@@ -1,0 +1,75 @@
+(* Route-leak detection (paper §4.2): reproduce the Pakistan Telecom /
+   YouTube incident in the testbed and show DiCE flagging the
+   misconfiguration *before* a real hijack happens.
+
+   The provider's customer-route filter is compared in three variants:
+   correct, partially correct (the paper's scenario) and missing.
+
+   Run with: dune exec examples/route_leak.exe *)
+
+open Dice_inet
+open Dice_bgp
+open Dice_topology
+open Dice_core
+
+let explore_with filtering =
+  let topo = Threerouter.build filtering in
+  Threerouter.start topo;
+  let trace =
+    Dice_trace.Gen.generate
+      { Dice_trace.Gen.default_params with n_prefixes = 3_000; duration = 60.0 }
+  in
+  ignore (Threerouter.load_table topo trace);
+  let provider = Threerouter.provider_router topo in
+  let cfg =
+    { Orchestrator.default_cfg with
+      explorer =
+        { Dice_concolic.Explorer.default_config with
+          Dice_concolic.Explorer.max_runs = 256;
+          max_depth = 96;
+        };
+    }
+  in
+  let dice = Orchestrator.create ~cfg provider in
+  (* DiCE derives exploration inputs from a routine observed announcement *)
+  let route =
+    Route.make ~origin:Attr.Igp
+      ~as_path:[ Asn.Path.Seq [ Threerouter.customer_as ] ]
+      ~next_hop:Threerouter.customer_addr ()
+  in
+  Orchestrator.observe dice ~peer:Threerouter.customer_addr
+    ~prefix:(Prefix.of_string "203.0.113.0/24")
+    ~route;
+  Orchestrator.explore dice
+
+let () =
+  print_endline "== route-leak detection across filter configurations ==\n";
+  List.iter
+    (fun filtering ->
+      let report = explore_with filtering in
+      let criticals =
+        List.filter
+          (fun (f : Checker.fault) -> f.severity = Checker.Critical)
+          report.Orchestrator.faults
+      in
+      let warnings =
+        List.filter
+          (fun (f : Checker.fault) -> f.severity = Checker.Warning)
+          report.Orchestrator.faults
+      in
+      Printf.printf "filtering=%-18s  hijackable ranges: %d   leaks: %d\n"
+        (Threerouter.filtering_to_string filtering)
+        (List.length criticals) (List.length warnings);
+      List.iter
+        (fun (f : Checker.fault) ->
+          Printf.printf "    CRITICAL %s (%s)\n"
+            (Prefix.to_string f.prefix)
+            (match List.assoc_opt "trusted-origin" f.details with
+            | Some o -> "trusted origin " ^ o
+            | None -> f.description))
+        criticals)
+    [ Threerouter.Correct; Threerouter.Partially_correct; Threerouter.Missing ];
+  print_endline
+    "\nwith the correct filter DiCE finds nothing to leak; the partially\n\
+     correct and missing filters expose hijackable prefix ranges that an\n\
+     operator could now protect before any real announcement abuses them."

@@ -1,0 +1,1 @@
+lib/bgp/attr.ml: Asn Bytes Community Dice_inet Dice_wire Format Hashtbl Ipv4 List Printf Result String

@@ -1,0 +1,1 @@
+lib/bgp/attr.mli: Asn Community Dice_inet Dice_wire Format Ipv4

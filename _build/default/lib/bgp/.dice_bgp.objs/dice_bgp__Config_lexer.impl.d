@@ -1,0 +1,1 @@
+lib/bgp/config_lexer.ml: Dice_inet Ipv4 List Prefix Printf String

@@ -1,0 +1,1 @@
+lib/bgp/config_lexer.mli: Dice_inet Ipv4 Prefix

@@ -1,0 +1,1 @@
+lib/bgp/config_parser.ml: Array Community Config_lexer Config_types Dice_inet Filter List Option Prefix Printf

@@ -1,0 +1,1 @@
+lib/bgp/config_parser.mli: Config_types Filter

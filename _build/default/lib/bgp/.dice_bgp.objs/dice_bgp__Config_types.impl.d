@@ -1,0 +1,1 @@
+lib/bgp/config_types.ml: Dice_inet Filter Format Ipv4 List Prefix

@@ -1,0 +1,1 @@
+lib/bgp/config_types.mli: Dice_inet Filter Format Ipv4 Prefix

@@ -1,0 +1,1 @@
+lib/bgp/croute.ml: Asn Attr Community Cval Dice_concolic Dice_inet Format Int64 Ipv4 List Option Prefix Route

@@ -1,0 +1,1 @@
+lib/bgp/croute.mli: Asn Attr Community Cval Dice_concolic Dice_inet Format Ipv4 Prefix Route

@@ -1,0 +1,1 @@
+lib/bgp/decision.ml: Asn Attr Bool Dice_inet Int Ipv4 List Printf Route

@@ -1,0 +1,1 @@
+lib/bgp/filter.ml: Community Dice_inet Format Hashtbl Ipv4 List Prefix Printf String

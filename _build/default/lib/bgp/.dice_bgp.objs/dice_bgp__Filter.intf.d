@@ -1,0 +1,1 @@
+lib/bgp/filter.mli: Community Dice_inet Format Prefix

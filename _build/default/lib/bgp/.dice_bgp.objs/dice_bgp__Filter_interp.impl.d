@@ -1,0 +1,1 @@
+lib/bgp/filter_interp.ml: Asn Config_types Croute Cval Dice_concolic Dice_inet Engine Filter Int64 List Option Prefix Printf Sym

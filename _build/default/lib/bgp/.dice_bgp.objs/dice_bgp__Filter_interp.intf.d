@@ -1,0 +1,1 @@
+lib/bgp/filter_interp.mli: Config_types Croute Cval Dice_concolic Engine Filter

@@ -1,0 +1,1 @@
+lib/bgp/fsm.ml: Bytes Format Msg Printf

@@ -1,0 +1,1 @@
+lib/bgp/msg.ml: Attr Bytes Dice_inet Dice_wire Format Ipv4 List Prefix Printf String

@@ -1,0 +1,1 @@
+lib/bgp/msg.mli: Attr Dice_inet Format Ipv4 Prefix

@@ -1,0 +1,1 @@
+lib/bgp/rib.ml: Dice_inet Prefix_trie Route

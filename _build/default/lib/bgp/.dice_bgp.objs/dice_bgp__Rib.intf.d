@@ -1,0 +1,1 @@
+lib/bgp/rib.mli: Dice_inet Ipv4 Prefix Route

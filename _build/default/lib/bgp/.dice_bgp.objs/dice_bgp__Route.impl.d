@@ -1,0 +1,1 @@
+lib/bgp/route.ml: Asn Attr Community Dice_inet Format Int Ipv4 List

@@ -1,0 +1,1 @@
+lib/bgp/route.mli: Asn Attr Community Dice_inet Format Ipv4

@@ -1,0 +1,1 @@
+lib/bgp/router.mli: Config_types Croute Dice_concolic Dice_inet Engine Fsm Ipv4 Msg Prefix Rib Route

@@ -1,0 +1,1 @@
+lib/bgp/router_node.ml: Bytes Char Dice_inet Dice_sim Fsm Hashtbl Ipv4 List Msg Router

@@ -1,0 +1,1 @@
+lib/bgp/router_node.mli: Dice_inet Dice_sim Ipv4 Msg Router

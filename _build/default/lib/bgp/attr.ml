@@ -1,0 +1,256 @@
+open Dice_inet
+module Wbuf = Dice_wire.Wbuf
+module Rbuf = Dice_wire.Rbuf
+
+type origin =
+  | Igp
+  | Egp
+  | Incomplete
+
+let origin_code = function
+  | Igp -> 0
+  | Egp -> 1
+  | Incomplete -> 2
+
+let origin_of_code = function
+  | 0 -> Some Igp
+  | 1 -> Some Egp
+  | 2 -> Some Incomplete
+  | _ -> None
+
+let origin_to_string = function
+  | Igp -> "IGP"
+  | Egp -> "EGP"
+  | Incomplete -> "INCOMPLETE"
+
+type unknown = { flags : int; typ : int; data : bytes }
+
+type t =
+  | Origin of origin
+  | As_path of Asn.Path.t
+  | Next_hop of Ipv4.t
+  | Med of int
+  | Local_pref of int
+  | Atomic_aggregate
+  | Aggregator of int * Ipv4.t
+  | Communities of Community.t list
+  | Unknown of unknown
+
+let type_code = function
+  | Origin _ -> 1
+  | As_path _ -> 2
+  | Next_hop _ -> 3
+  | Med _ -> 4
+  | Local_pref _ -> 5
+  | Atomic_aggregate -> 6
+  | Aggregator _ -> 7
+  | Communities _ -> 8
+  | Unknown u -> u.typ
+
+type error =
+  | Malformed_attribute_list
+  | Unrecognized_wellknown of int
+  | Missing_wellknown of int
+  | Attribute_flags_error of int
+  | Attribute_length_error of int
+  | Invalid_origin
+  | Invalid_next_hop
+  | Optional_attribute_error of int
+  | Malformed_as_path
+  | Duplicate_attribute of int
+
+let error_subcode = function
+  | Malformed_attribute_list -> 1
+  | Unrecognized_wellknown _ -> 2
+  | Missing_wellknown _ -> 3
+  | Attribute_flags_error _ -> 4
+  | Attribute_length_error _ -> 5
+  | Invalid_origin -> 6
+  | Invalid_next_hop -> 8
+  | Optional_attribute_error _ -> 9
+  | Malformed_as_path -> 11
+  | Duplicate_attribute _ -> 1
+
+let error_to_string = function
+  | Malformed_attribute_list -> "malformed attribute list"
+  | Unrecognized_wellknown t -> Printf.sprintf "unrecognized well-known attribute %d" t
+  | Missing_wellknown t -> Printf.sprintf "missing well-known attribute %d" t
+  | Attribute_flags_error t -> Printf.sprintf "attribute flags error on type %d" t
+  | Attribute_length_error t -> Printf.sprintf "attribute length error on type %d" t
+  | Invalid_origin -> "invalid ORIGIN value"
+  | Invalid_next_hop -> "invalid NEXT_HOP"
+  | Optional_attribute_error t -> Printf.sprintf "optional attribute error on type %d" t
+  | Malformed_as_path -> "malformed AS_PATH"
+  | Duplicate_attribute t -> Printf.sprintf "duplicate attribute %d" t
+
+(* flag bits *)
+let f_optional = 0x80
+let f_transitive = 0x40
+let f_partial = 0x20
+let f_extlen = 0x10
+
+let flags_of = function
+  | Origin _ | As_path _ | Next_hop _ | Local_pref _ | Atomic_aggregate -> f_transitive
+  | Med _ -> f_optional
+  | Aggregator _ | Communities _ -> f_optional lor f_transitive
+  | Unknown u -> u.flags
+
+let encode_asn ~as4 w asn = if as4 then Wbuf.u32 w asn else Wbuf.u16 w (asn land 0xFFFF)
+
+let encode_path ~as4 w path =
+  List.iter
+    (fun seg ->
+      let typ, asns =
+        match seg with
+        | Asn.Path.Set s -> (1, s)
+        | Asn.Path.Seq s -> (2, s)
+      in
+      Wbuf.u8 w typ;
+      Wbuf.u8 w (List.length asns);
+      List.iter (encode_asn ~as4 w) asns)
+    path
+
+let value_bytes ~as4 t =
+  let w = Wbuf.create () in
+  (match t with
+  | Origin o -> Wbuf.u8 w (origin_code o)
+  | As_path p -> encode_path ~as4 w p
+  | Next_hop a -> Wbuf.u32 w a
+  | Med v -> Wbuf.u32 w v
+  | Local_pref v -> Wbuf.u32 w v
+  | Atomic_aggregate -> ()
+  | Aggregator (asn, a) ->
+    encode_asn ~as4 w asn;
+    Wbuf.u32 w a
+  | Communities cs -> List.iter (Wbuf.u32 w) cs
+  | Unknown u -> Wbuf.bytes w u.data);
+  Wbuf.contents w
+
+let encode ~as4 w t =
+  let value = value_bytes ~as4 t in
+  let len = Bytes.length value in
+  let flags = flags_of t in
+  let flags = if len > 0xFF then flags lor f_extlen else flags land lnot f_extlen in
+  Wbuf.u8 w flags;
+  Wbuf.u8 w (type_code t);
+  if flags land f_extlen <> 0 then Wbuf.u16 w len else Wbuf.u8 w len;
+  Wbuf.bytes w value
+
+let encode_list ~as4 w ts = List.iter (encode ~as4 w) ts
+
+(* Required flag shape for recognized attributes: (optional, transitive). *)
+let expected_flags typ =
+  match typ with
+  | 1 | 2 | 3 | 5 | 6 -> Some (false, true)  (* well-known mandatory/discretionary *)
+  | 4 -> Some (true, false)  (* MED: optional non-transitive *)
+  | 7 | 8 -> Some (true, true)  (* AGGREGATOR, COMMUNITIES: optional transitive *)
+  | _ -> None
+
+let decode_asn ~as4 r = if as4 then Rbuf.u32 ~what:"asn" r else Rbuf.u16 ~what:"asn" r
+
+let decode_path ~as4 r =
+  let rec segs acc =
+    if Rbuf.eof r then Ok (List.rev acc)
+    else begin
+      let typ = Rbuf.u8 ~what:"segment type" r in
+      let n = Rbuf.u8 ~what:"segment length" r in
+      if Rbuf.remaining r < n * (if as4 then 4 else 2) then Error Malformed_as_path
+      else begin
+        let asns = List.init n (fun _ -> decode_asn ~as4 r) in
+        match typ with
+        | 1 -> segs (Asn.Path.Set asns :: acc)
+        | 2 -> segs (Asn.Path.Seq asns :: acc)
+        | _ -> Error Malformed_as_path
+      end
+    end
+  in
+  segs []
+
+let decode_one ~as4 r =
+  let flags = Rbuf.u8 ~what:"attr flags" r in
+  let typ = Rbuf.u8 ~what:"attr type" r in
+  let len =
+    if flags land f_extlen <> 0 then Rbuf.u16 ~what:"attr extlen" r
+    else Rbuf.u8 ~what:"attr len" r
+  in
+  if Rbuf.remaining r < len then Error Malformed_attribute_list
+  else begin
+    let body = Rbuf.sub r len in
+    (* flag validation for recognized types *)
+    match expected_flags typ with
+    | Some (opt, trans) when
+        (flags land f_optional <> 0) <> opt
+        || ((not opt) && (flags land f_transitive <> 0) <> trans) ->
+      Error (Attribute_flags_error typ)
+    | Some _ | None -> begin
+      let exact n f = if len <> n then Error (Attribute_length_error typ) else f () in
+      match typ with
+      | 1 ->
+        exact 1 (fun () ->
+            match origin_of_code (Rbuf.u8 body) with
+            | Some o -> Ok (Origin o)
+            | None -> Error Invalid_origin)
+      | 2 -> Result.map (fun p -> As_path p) (decode_path ~as4 body)
+      | 3 ->
+        exact 4 (fun () ->
+            let a = Rbuf.u32 body in
+            (* 0.0.0.0 and class-E/broadcast are not valid unicast next hops *)
+            if a = 0 || a >= Ipv4.of_octets 240 0 0 0 then Error Invalid_next_hop
+            else Ok (Next_hop a))
+      | 4 -> exact 4 (fun () -> Ok (Med (Rbuf.u32 body)))
+      | 5 -> exact 4 (fun () -> Ok (Local_pref (Rbuf.u32 body)))
+      | 6 -> exact 0 (fun () -> Ok Atomic_aggregate)
+      | 7 ->
+        let need = if as4 then 8 else 6 in
+        exact need (fun () ->
+            let asn = decode_asn ~as4 body in
+            Ok (Aggregator (asn, Rbuf.u32 body)))
+      | 8 ->
+        if len mod 4 <> 0 then Error (Attribute_length_error typ)
+        else Ok (Communities (List.init (len / 4) (fun _ -> Rbuf.u32 body)))
+      | _ ->
+        if flags land f_optional = 0 then Error (Unrecognized_wellknown typ)
+        else begin
+          (* unknown optional: keep transitive ones (marking partial),
+             silently usable either way at this layer *)
+          let data = Rbuf.take body len in
+          let flags =
+            if flags land f_transitive <> 0 then flags lor f_partial else flags
+          in
+          Ok (Unknown { flags; typ; data })
+        end
+    end
+  end
+
+let decode_list ~as4 r =
+  let seen = Hashtbl.create 8 in
+  let rec go acc =
+    if Rbuf.eof r then Ok (List.rev acc)
+    else begin
+      match decode_one ~as4 r with
+      | Error e -> Error e
+      | Ok attr ->
+        let typ = type_code attr in
+        if Hashtbl.mem seen typ then Error (Duplicate_attribute typ)
+        else begin
+          Hashtbl.add seen typ ();
+          go (attr :: acc)
+        end
+    end
+  in
+  try go [] with Rbuf.Truncated _ -> Error Malformed_attribute_list
+
+let pp ppf = function
+  | Origin o -> Format.fprintf ppf "origin %s" (origin_to_string o)
+  | As_path p -> Format.fprintf ppf "as_path [%a]" Asn.Path.pp p
+  | Next_hop a -> Format.fprintf ppf "next_hop %a" Ipv4.pp a
+  | Med v -> Format.fprintf ppf "med %d" v
+  | Local_pref v -> Format.fprintf ppf "local_pref %d" v
+  | Atomic_aggregate -> Format.fprintf ppf "atomic_aggregate"
+  | Aggregator (asn, a) -> Format.fprintf ppf "aggregator %a %a" Asn.pp asn Ipv4.pp a
+  | Communities cs ->
+    Format.fprintf ppf "communities [%s]"
+      (String.concat " " (List.map Community.to_string cs))
+  | Unknown u -> Format.fprintf ppf "unknown type=%d len=%d" u.typ (Bytes.length u.data)
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,63 @@
+(** BGP path attributes (RFC 4271 §4.3, §5).
+
+    Wire format: flags (1) | type (1) | length (1 or 2) | value. Flag bits:
+    0x80 optional, 0x40 transitive, 0x20 partial, 0x10 extended length. *)
+
+open Dice_inet
+
+type origin =
+  | Igp
+  | Egp
+  | Incomplete
+
+val origin_code : origin -> int
+(** 0, 1, 2 — also the decision-process preference order (lower wins). *)
+
+val origin_of_code : int -> origin option
+val origin_to_string : origin -> string
+
+type unknown = { flags : int; typ : int; data : bytes }
+(** An unrecognized optional attribute, carried for transit (RFC 4271
+    §5: unknown transitive attributes are forwarded with Partial set). *)
+
+type t =
+  | Origin of origin
+  | As_path of Asn.Path.t
+  | Next_hop of Ipv4.t
+  | Med of int
+  | Local_pref of int
+  | Atomic_aggregate
+  | Aggregator of int * Ipv4.t
+  | Communities of Community.t list
+  | Unknown of unknown
+
+val type_code : t -> int
+
+(** Decode errors map to UPDATE Message Error subcodes (RFC 4271 §6.3). *)
+type error =
+  | Malformed_attribute_list  (** subcode 1 *)
+  | Unrecognized_wellknown of int  (** subcode 2 *)
+  | Missing_wellknown of int  (** subcode 3 *)
+  | Attribute_flags_error of int  (** subcode 4 *)
+  | Attribute_length_error of int  (** subcode 5 *)
+  | Invalid_origin  (** subcode 6 *)
+  | Invalid_next_hop  (** subcode 8 *)
+  | Optional_attribute_error of int  (** subcode 9 *)
+  | Malformed_as_path  (** subcode 11 *)
+  | Duplicate_attribute of int  (** subcode 1, per RFC 7606 treated as list error *)
+
+val error_subcode : error -> int
+val error_to_string : error -> string
+
+val encode : as4:bool -> Dice_wire.Wbuf.t -> t -> unit
+(** Append one attribute. [as4] selects 4-byte AS number encoding in
+    AS_PATH and AGGREGATOR (the AS4 capability of the session). *)
+
+val encode_list : as4:bool -> Dice_wire.Wbuf.t -> t list -> unit
+
+val decode_list : as4:bool -> Dice_wire.Rbuf.t -> (t list, error) result
+(** Decode the whole path-attribute region, validating flags, lengths,
+    duplicates, ORIGIN values and AS_PATH structure. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,41 @@
+(** Lexer for the BIRD-style configuration language. *)
+
+open Dice_inet
+
+type token =
+  | IDENT of string  (** identifiers and keywords *)
+  | INT of int
+  | IP of Ipv4.t  (** dotted quad *)
+  | PREFIX of Prefix.t  (** dotted quad followed by [/len] *)
+  | LBRACE
+  | RBRACE
+  | LBRACK
+  | RBRACK
+  | LPAREN
+  | RPAREN
+  | SEMI
+  | COMMA
+  | DOT
+  | TILDE
+  | PLUS
+  | MINUS
+  | EQ  (** [=] — assignment or equality, by context *)
+  | NE  (** [!=] *)
+  | LT
+  | LE
+  | GT
+  | GE
+  | ANDAND
+  | OROR
+  | BANG
+  | COLON
+  | EOF
+
+val token_to_string : token -> string
+
+exception Lex_error of { line : int; msg : string }
+
+val lex : string -> (token * int) list
+(** Tokenize; each token is paired with its 1-based source line. Comments
+    ([# to end of line]) and whitespace are skipped. The result ends with
+    [EOF]. @raise Lex_error on unexpected characters. *)

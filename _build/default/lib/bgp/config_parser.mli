@@ -1,0 +1,44 @@
+(** Recursive-descent parser for router configurations.
+
+    Grammar (see README for the full reference):
+    {v
+    config     := item*
+    item       := "router" "id" IP ";"
+                | "local" "as" INT ";"
+                | "filter" NAME "{" stmt* "}"
+                | "protocol" "static" "{" ("route" PREFIX "via" IP ";")* "}"
+                | "protocol" "bgp" NAME "{" peer-item* "}"
+                | "anycast" "[" prefix-pattern ("," prefix-pattern)* "]" ";"
+    peer-item  := "neighbor" IP "as" INT ";"
+                | ("import"|"export") ("all"|"none"|"filter" NAME) ";"
+                | "hold" "time" INT ";"
+                | "keepalive" "time" INT ";"
+                | "connect" "retry" "time" INT ";"
+    stmt       := "if" cond "then" block ("else" block)?
+                | "accept" ";" | "reject" ";"
+                | "bgp_local_pref" "=" term ";" | "bgp_med" "=" term ";"
+                | "bgp_community" "." ("add"|"delete") "(" INT ":" INT ")" ";"
+                | "bgp_path" "." "prepend" "(" INT ")" ";"
+    block      := stmt | "{" stmt* "}"
+    cond       := or-expr with atoms:  term CMP term
+                | "net" "~" "[" pattern ("," pattern)* "]"
+                | "bgp_path" "~" INT | "bgp_community" "~" INT ":" INT
+                | "true" | "false" | "(" cond ")" | "!" cond
+    pattern    := PREFIX ("+" | "-" | "{" INT "," INT "}")?
+    term       := INT | "net" "." "len" | "bgp_local_pref" | "bgp_med"
+                | "bgp_origin" | "source_as"
+                | "bgp_path" "." ("len"|"first"|"last")
+    v} *)
+
+exception Parse_error of { line : int; msg : string }
+
+val parse : string -> Config_types.t
+(** Parse a configuration text.
+    @raise Parse_error (or {!Config_lexer.Lex_error}) on bad input. *)
+
+val parse_file : string -> Config_types.t
+(** @raise Sys_error if unreadable. *)
+
+val parse_filter : name:string -> string -> Filter.t
+(** Parse just a filter body (the text between the braces) — convenient in
+    tests and examples. *)

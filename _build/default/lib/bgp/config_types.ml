@@ -1,0 +1,51 @@
+open Dice_inet
+
+type policy =
+  | All
+  | Nothing
+  | Use_filter of Filter.t
+
+let pp_policy ppf = function
+  | All -> Format.fprintf ppf "all"
+  | Nothing -> Format.fprintf ppf "none"
+  | Use_filter f -> Format.fprintf ppf "filter %s" f.Filter.name
+
+type peer_cfg = {
+  name : string;
+  neighbor : Ipv4.t;
+  remote_as : int;
+  import_policy : policy;
+  export_policy : policy;
+  hold_time : float;
+  keepalive_time : float;
+  connect_retry_time : float;
+}
+
+type t = {
+  router_id : Ipv4.t;
+  local_as : int;
+  peers : peer_cfg list;
+  static_routes : (Prefix.t * Ipv4.t) list;
+  filters : Filter.t list;
+  anycast : Prefix.t list;
+}
+
+let default_peer ~name ~neighbor ~remote_as =
+  {
+    name;
+    neighbor;
+    remote_as;
+    import_policy = All;
+    export_policy = All;
+    hold_time = 90.0;
+    keepalive_time = 30.0;
+    connect_retry_time = 5.0;
+  }
+
+let make ~router_id ~local_as ?(peers = []) ?(static_routes = []) ?(filters = [])
+    ?(anycast = []) () =
+  { router_id; local_as; peers; static_routes; filters; anycast }
+
+let find_filter t name = List.find_opt (fun f -> f.Filter.name = name) t.filters
+
+let find_peer t addr = List.find_opt (fun p -> p.neighbor = addr) t.peers

@@ -1,0 +1,49 @@
+(** Shared configuration types (split out to keep the filter interpreter
+    independent of the config parser). *)
+
+open Dice_inet
+
+type policy =
+  | All  (** accept/advertise everything *)
+  | Nothing  (** accept/advertise nothing *)
+  | Use_filter of Filter.t
+
+val pp_policy : Format.formatter -> policy -> unit
+
+type peer_cfg = {
+  name : string;
+  neighbor : Ipv4.t;
+  remote_as : int;
+  import_policy : policy;
+  export_policy : policy;
+  hold_time : float;  (** seconds; default 90 *)
+  keepalive_time : float;  (** seconds; default hold/3 *)
+  connect_retry_time : float;  (** seconds; default 5 *)
+}
+
+type t = {
+  router_id : Ipv4.t;
+  local_as : int;
+  peers : peer_cfg list;
+  static_routes : (Prefix.t * Ipv4.t) list;  (** prefix, next hop *)
+  filters : Filter.t list;  (** named filters, for reference *)
+  anycast : Prefix.t list;
+      (** prefixes whose origin legitimately varies (hijack-checker
+          whitelist, paper §4.2) *)
+}
+
+val default_peer : name:string -> neighbor:Ipv4.t -> remote_as:int -> peer_cfg
+(** Import/export [All], hold 90 s, keepalive 30 s, connect-retry 5 s. *)
+
+val make :
+  router_id:Ipv4.t ->
+  local_as:int ->
+  ?peers:peer_cfg list ->
+  ?static_routes:(Prefix.t * Ipv4.t) list ->
+  ?filters:Filter.t list ->
+  ?anycast:Prefix.t list ->
+  unit ->
+  t
+
+val find_filter : t -> string -> Filter.t option
+val find_peer : t -> Ipv4.t -> peer_cfg option

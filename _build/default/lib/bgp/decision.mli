@@ -1,0 +1,34 @@
+(** The BGP decision process (RFC 4271 §9.1): selecting the best route
+    among the candidates for a prefix.
+
+    Preference order implemented:
+    + highest LOCAL_PREF (missing treated as the configured default),
+    + locally-originated (static) over learned,
+    + shortest AS_PATH,
+    + lowest ORIGIN (IGP < EGP < INCOMPLETE),
+    + lowest MED, compared only between routes from the same neighbor AS
+      unless [always_compare_med],
+    + eBGP over iBGP,
+    + lowest peer BGP identifier,
+    + lowest peer address. *)
+
+type config = {
+  default_local_pref : int;  (** applied when LOCAL_PREF is absent; 100 *)
+  always_compare_med : bool;  (** compare MED across neighbor ASes; false *)
+  missing_med_worst : bool;
+      (** missing MED treated as worst (2^32-1) rather than best (0); false *)
+}
+
+val default_config : config
+
+type candidate = Route.t * Route.src
+
+val compare : ?config:config -> candidate -> candidate -> int
+(** Negative when the first candidate is preferred. Total order (the final
+    peer-address tie-break makes distinct sources comparable). *)
+
+val best : ?config:config -> candidate list -> candidate option
+(** The most preferred candidate; [None] on an empty list. *)
+
+val explain : ?config:config -> candidate -> candidate -> string
+(** Which rule decided between the two — for operator-facing reports. *)

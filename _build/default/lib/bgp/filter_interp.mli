@@ -1,0 +1,34 @@
+(** Concolic filter interpreter.
+
+    Evaluates a {!Filter.t} over a {!Croute.t} under an
+    {!Dice_concolic.Engine.ctx}. Every [if] in the policy is a branch site:
+    with a recording context, conditions over symbolic route fields become
+    path constraints — so exploration drives execution through both arms of
+    every configured filter rule, which is precisely how DiCE discovers
+    which announcements a mis-filtered policy lets through. *)
+
+open Dice_concolic
+
+type verdict =
+  | Accepted of Croute.t  (** possibly modified by attribute assignments *)
+  | Rejected
+
+val eval_cond : Engine.ctx -> source_as:int -> Filter.cond -> Croute.t -> Cval.t
+(** Width-1 concolic truth value of a condition (no branch recorded). *)
+
+val run :
+  Engine.ctx -> source_as:int -> local_as:int -> Filter.t -> Croute.t -> verdict
+(** Execute the filter body. [source_as] is the session the route arrived
+    on; [local_as] is the AS evaluating the policy (used by
+    [bgp_path.prepend]). A body that falls off the end rejects (BIRD
+    semantics: the filter must decide). *)
+
+val run_policy :
+  Engine.ctx ->
+  source_as:int ->
+  local_as:int ->
+  Config_types.policy ->
+  Croute.t ->
+  verdict
+(** Apply a peer policy: [All] accepts unchanged, [Nothing] rejects,
+    [Use_filter f] runs the filter. *)

@@ -1,0 +1,325 @@
+open Dice_inet
+module Wbuf = Dice_wire.Wbuf
+module Rbuf = Dice_wire.Rbuf
+
+let marker_len = 16
+let header_len = 19
+let max_len = 4096
+
+type capability =
+  | Cap_as4 of int
+  | Cap_mp of int * int
+  | Cap_other of int * bytes
+
+type open_msg = {
+  version : int;
+  my_as : int;
+  hold_time : int;
+  bgp_id : Ipv4.t;
+  capabilities : capability list;
+}
+
+type update = {
+  withdrawn : Prefix.t list;
+  attrs : Attr.t list;
+  nlri : Prefix.t list;
+}
+
+type notification = { code : int; subcode : int; data : bytes }
+
+type t =
+  | Open of open_msg
+  | Update of update
+  | Notification of notification
+  | Keepalive
+
+type error =
+  | Header_error of { subcode : int; reason : string }
+  | Open_error of { subcode : int; reason : string }
+  | Update_error of Attr.error
+  | Update_malformed of string
+
+let error_notification = function
+  | Header_error { subcode; _ } -> { code = 1; subcode; data = Bytes.empty }
+  | Open_error { subcode; _ } -> { code = 2; subcode; data = Bytes.empty }
+  | Update_error e -> { code = 3; subcode = Attr.error_subcode e; data = Bytes.empty }
+  | Update_malformed _ -> { code = 3; subcode = 1; data = Bytes.empty }
+
+let error_to_string = function
+  | Header_error { subcode; reason } ->
+    Printf.sprintf "message header error (subcode %d): %s" subcode reason
+  | Open_error { subcode; reason } ->
+    Printf.sprintf "OPEN message error (subcode %d): %s" subcode reason
+  | Update_error e -> Printf.sprintf "UPDATE error: %s" (Attr.error_to_string e)
+  | Update_malformed s -> Printf.sprintf "malformed UPDATE: %s" s
+
+(* ---------------- prefix field codec (RFC 4271 §4.3 NLRI) ------------- *)
+
+let encode_prefix w p =
+  let len = Prefix.len p in
+  Wbuf.u8 w len;
+  let nbytes = (len + 7) / 8 in
+  let net = Prefix.network p in
+  for i = 0 to nbytes - 1 do
+    Wbuf.u8 w ((net lsr (24 - (8 * i))) land 0xFF)
+  done
+
+let decode_prefix r =
+  let len = Rbuf.u8 ~what:"prefix length" r in
+  if len > 32 then Error (Update_malformed (Printf.sprintf "prefix length %d > 32" len))
+  else begin
+    let nbytes = (len + 7) / 8 in
+    if Rbuf.remaining r < nbytes then Error (Update_malformed "truncated prefix")
+    else begin
+      let addr = ref 0 in
+      for i = 0 to nbytes - 1 do
+        addr := !addr lor (Rbuf.u8 r lsl (24 - (8 * i)))
+      done;
+      Ok (Prefix.make !addr len)
+    end
+  end
+
+let rec decode_prefixes r acc =
+  if Rbuf.eof r then Ok (List.rev acc)
+  else begin
+    match decode_prefix r with
+    | Ok p -> decode_prefixes r (p :: acc)
+    | Error e -> Error e
+  end
+
+(* ---------------- capabilities (RFC 5492 / RFC 6793) ------------------ *)
+
+let encode_capability w = function
+  | Cap_as4 asn ->
+    Wbuf.u8 w 65;
+    Wbuf.u8 w 4;
+    Wbuf.u32 w asn
+  | Cap_mp (afi, safi) ->
+    Wbuf.u8 w 1;
+    Wbuf.u8 w 4;
+    Wbuf.u16 w afi;
+    Wbuf.u8 w 0;
+    Wbuf.u8 w safi
+  | Cap_other (code, data) ->
+    Wbuf.u8 w code;
+    Wbuf.u8 w (Bytes.length data);
+    Wbuf.bytes w data
+
+let decode_capabilities r =
+  let rec go acc =
+    if Rbuf.eof r then List.rev acc
+    else begin
+      let code = Rbuf.u8 ~what:"cap code" r in
+      let len = Rbuf.u8 ~what:"cap len" r in
+      let body = Rbuf.sub r len in
+      let cap =
+        match (code, len) with
+        | 65, 4 -> Cap_as4 (Rbuf.u32 body)
+        | 1, 4 ->
+          let afi = Rbuf.u16 body in
+          let _res = Rbuf.u8 body in
+          Cap_mp (afi, Rbuf.u8 body)
+        | _, _ -> Cap_other (code, Rbuf.take body len)
+      in
+      go (cap :: acc)
+    end
+  in
+  go []
+
+(* ---------------- message bodies --------------------------------------- *)
+
+let body_bytes ~as4 t =
+  let w = Wbuf.create () in
+  (match t with
+  | Open o ->
+    Wbuf.u8 w o.version;
+    Wbuf.u16 w (o.my_as land 0xFFFF);
+    Wbuf.u16 w o.hold_time;
+    Wbuf.u32 w o.bgp_id;
+    let params = Wbuf.create () in
+    if o.capabilities <> [] then begin
+      let caps = Wbuf.create () in
+      List.iter (encode_capability caps) o.capabilities;
+      let cap_bytes = Wbuf.contents caps in
+      (* one optional parameter of type 2 (capabilities) *)
+      Wbuf.u8 params 2;
+      Wbuf.u8 params (Bytes.length cap_bytes);
+      Wbuf.bytes params cap_bytes
+    end;
+    let pbytes = Wbuf.contents params in
+    Wbuf.u8 w (Bytes.length pbytes);
+    Wbuf.bytes w pbytes
+  | Update u ->
+    let wd = Wbuf.create () in
+    List.iter (encode_prefix wd) u.withdrawn;
+    let wd_bytes = Wbuf.contents wd in
+    Wbuf.u16 w (Bytes.length wd_bytes);
+    Wbuf.bytes w wd_bytes;
+    let at = Wbuf.create () in
+    Attr.encode_list ~as4 at u.attrs;
+    let at_bytes = Wbuf.contents at in
+    Wbuf.u16 w (Bytes.length at_bytes);
+    Wbuf.bytes w at_bytes;
+    List.iter (encode_prefix w) u.nlri
+  | Notification n ->
+    Wbuf.u8 w n.code;
+    Wbuf.u8 w n.subcode;
+    Wbuf.bytes w n.data
+  | Keepalive -> ());
+  Wbuf.contents w
+
+let type_code = function
+  | Open _ -> 1
+  | Update _ -> 2
+  | Notification _ -> 3
+  | Keepalive -> 4
+
+let encode ?(as4 = true) t =
+  let body = body_bytes ~as4 t in
+  let w = Wbuf.create ~capacity:(header_len + Bytes.length body) () in
+  for _ = 1 to marker_len do
+    Wbuf.u8 w 0xFF
+  done;
+  let total = header_len + Bytes.length body in
+  assert (total <= max_len);
+  Wbuf.u16 w total;
+  Wbuf.u8 w (type_code t);
+  Wbuf.bytes w body;
+  Wbuf.contents w
+
+let keepalive_bytes = encode Keepalive
+
+let decode_open body =
+  try
+    let version = Rbuf.u8 ~what:"version" body in
+    let my_as = Rbuf.u16 ~what:"my_as" body in
+    let hold_time = Rbuf.u16 ~what:"hold_time" body in
+    let bgp_id = Rbuf.u32 ~what:"bgp_id" body in
+    if version <> 4 then
+      Error (Open_error { subcode = 1; reason = Printf.sprintf "version %d" version })
+    else if my_as = 0 then Error (Open_error { subcode = 2; reason = "bad peer AS 0" })
+    else if bgp_id = 0 then Error (Open_error { subcode = 3; reason = "BGP id 0.0.0.0" })
+    else if hold_time <> 0 && hold_time < 3 then
+      Error (Open_error { subcode = 6; reason = "hold time 1 or 2" })
+    else begin
+      let plen = Rbuf.u8 ~what:"opt params len" body in
+      if Rbuf.remaining body < plen then
+        Error (Open_error { subcode = 0; reason = "truncated optional parameters" })
+      else begin
+        let params = Rbuf.sub body plen in
+        let rec caps acc =
+          if Rbuf.eof params then List.rev acc
+          else begin
+            let ptyp = Rbuf.u8 ~what:"param type" params in
+            let pl = Rbuf.u8 ~what:"param len" params in
+            let pbody = Rbuf.sub params pl in
+            if ptyp = 2 then caps (List.rev_append (decode_capabilities pbody) acc)
+            else caps acc  (* ignore non-capability parameters *)
+          end
+        in
+        Ok (Open { version; my_as; hold_time; bgp_id; capabilities = caps [] })
+      end
+    end
+  with Rbuf.Truncated what ->
+    Error (Open_error { subcode = 0; reason = "truncated: " ^ what })
+
+let decode_update ~as4 body =
+  try
+    let wd_len = Rbuf.u16 ~what:"withdrawn length" body in
+    if Rbuf.remaining body < wd_len then Error (Update_malformed "withdrawn overruns")
+    else begin
+      let wd = Rbuf.sub body wd_len in
+      match decode_prefixes wd [] with
+      | Error e -> Error e
+      | Ok withdrawn -> begin
+        let at_len = Rbuf.u16 ~what:"attrs length" body in
+        if Rbuf.remaining body < at_len then
+          Error (Update_malformed "path attributes overrun")
+        else begin
+          let at = Rbuf.sub body at_len in
+          match Attr.decode_list ~as4 at with
+          | Error e -> Error (Update_error e)
+          | Ok attrs -> begin
+            match decode_prefixes body [] with
+            | Error e -> Error e
+            | Ok nlri ->
+              (* mandatory attributes must accompany NLRI *)
+              let has c = List.exists (fun a -> Attr.type_code a = c) attrs in
+              if nlri <> [] && not (has 1) then
+                Error (Update_error (Attr.Missing_wellknown 1))
+              else if nlri <> [] && not (has 2) then
+                Error (Update_error (Attr.Missing_wellknown 2))
+              else if nlri <> [] && not (has 3) then
+                Error (Update_error (Attr.Missing_wellknown 3))
+              else Ok (Update { withdrawn; attrs; nlri })
+          end
+        end
+      end
+    end
+  with Rbuf.Truncated what -> Error (Update_malformed ("truncated: " ^ what))
+
+let decode ?(as4 = true) bytes =
+  let r = Rbuf.of_bytes bytes in
+  try
+    if Rbuf.remaining r < header_len then
+      Error (Header_error { subcode = 1; reason = "shorter than header" })
+    else begin
+      let marker_ok = ref true in
+      for _ = 1 to marker_len do
+        if Rbuf.u8 r <> 0xFF then marker_ok := false
+      done;
+      if not !marker_ok then
+        Error (Header_error { subcode = 1; reason = "marker not all-ones" })
+      else begin
+        let total = Rbuf.u16 ~what:"length" r in
+        let typ = Rbuf.u8 ~what:"type" r in
+        if total < header_len || total > max_len then
+          Error (Header_error { subcode = 2; reason = Printf.sprintf "bad length %d" total })
+        else if total <> Bytes.length bytes then
+          Error
+            (Header_error
+               { subcode = 2;
+                 reason =
+                   Printf.sprintf "length field %d /= actual %d" total (Bytes.length bytes);
+               })
+        else begin
+          let body = Rbuf.sub r (total - header_len) in
+          match typ with
+          | 1 -> decode_open body
+          | 2 -> decode_update ~as4 body
+          | 3 ->
+            let code = Rbuf.u8 ~what:"notif code" body in
+            let subcode = Rbuf.u8 ~what:"notif subcode" body in
+            let data = Rbuf.take body (Rbuf.remaining body) in
+            Ok (Notification { code; subcode; data })
+          | 4 ->
+            if Rbuf.eof body then Ok Keepalive
+            else Error (Header_error { subcode = 2; reason = "KEEPALIVE with body" })
+          | _ -> Error (Header_error { subcode = 3; reason = Printf.sprintf "type %d" typ })
+        end
+      end
+    end
+  with Rbuf.Truncated what -> Error (Header_error { subcode = 2; reason = "truncated: " ^ what })
+
+let decode_exn ?as4 bytes =
+  match decode ?as4 bytes with
+  | Ok t -> t
+  | Error e -> invalid_arg ("Msg.decode_exn: " ^ error_to_string e)
+
+let update_of_route ~prefix attrs = Update { withdrawn = []; attrs; nlri = [ prefix ] }
+
+let withdraw_of prefixes = Update { withdrawn = prefixes; attrs = []; nlri = [] }
+
+let pp ppf = function
+  | Open o ->
+    Format.fprintf ppf "OPEN v%d as=%d hold=%d id=%a caps=%d" o.version o.my_as o.hold_time
+      Ipv4.pp o.bgp_id (List.length o.capabilities)
+  | Update u ->
+    Format.fprintf ppf "UPDATE withdrawn=[%s] nlri=[%s] attrs=[%s]"
+      (String.concat " " (List.map Prefix.to_string u.withdrawn))
+      (String.concat " " (List.map Prefix.to_string u.nlri))
+      (String.concat "; " (List.map Attr.to_string u.attrs))
+  | Notification n -> Format.fprintf ppf "NOTIFICATION %d/%d" n.code n.subcode
+  | Keepalive -> Format.fprintf ppf "KEEPALIVE"
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,70 @@
+(** BGP-4 messages and their wire format (RFC 4271 §4).
+
+    Every message starts with a 19-byte header: a 16-byte all-ones marker,
+    a 2-byte total length (19..4096) and a 1-byte type. *)
+
+open Dice_inet
+
+val marker_len : int
+val header_len : int
+val max_len : int
+
+type capability =
+  | Cap_as4 of int  (** 4-octet AS numbers (RFC 6793), carrying the real ASN *)
+  | Cap_mp of int * int  (** multiprotocol AFI/SAFI (decoded, unused here) *)
+  | Cap_other of int * bytes
+
+type open_msg = {
+  version : int;  (** must be 4 *)
+  my_as : int;  (** 16-bit field; AS_TRANS (23456) when using Cap_as4 *)
+  hold_time : int;  (** seconds; 0 or >= 3 *)
+  bgp_id : Ipv4.t;
+  capabilities : capability list;
+}
+
+type update = {
+  withdrawn : Prefix.t list;
+  attrs : Attr.t list;
+  nlri : Prefix.t list;
+}
+
+type notification = { code : int; subcode : int; data : bytes }
+
+type t =
+  | Open of open_msg
+  | Update of update
+  | Notification of notification
+  | Keepalive
+
+(** Decode errors; each maps to the NOTIFICATION (code, subcode) the
+    receiver must send (RFC 4271 §6). *)
+type error =
+  | Header_error of { subcode : int; reason : string }  (** code 1 *)
+  | Open_error of { subcode : int; reason : string }  (** code 2 *)
+  | Update_error of Attr.error  (** code 3 *)
+  | Update_malformed of string  (** code 3, subcode 1 *)
+
+val error_notification : error -> notification
+val error_to_string : error -> string
+
+val encode : ?as4:bool -> t -> bytes
+(** Serialize with header. [as4] (default [true]) controls AS number width
+    in UPDATE path attributes, as negotiated on the session. *)
+
+val decode : ?as4:bool -> bytes -> (t, error) result
+(** Parse one whole message (header included), validating marker, length
+    bounds, type, and all per-type field constraints. *)
+
+val decode_exn : ?as4:bool -> bytes -> t
+(** @raise Invalid_argument on any decode error. *)
+
+val keepalive_bytes : bytes
+(** The canonical 19-byte KEEPALIVE. *)
+
+val update_of_route : prefix:Prefix.t -> Attr.t list -> t
+(** Convenience: an UPDATE announcing one prefix. *)
+
+val withdraw_of : Prefix.t list -> t
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/checkpoint/fork.mli: Store

@@ -1,0 +1,1 @@
+lib/checkpoint/page.ml: Bytes Dice_util Format Int64 List

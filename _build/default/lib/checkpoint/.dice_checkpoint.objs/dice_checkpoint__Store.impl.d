@@ -1,0 +1,1 @@
+lib/checkpoint/store.ml: Array Bytes Hashtbl List Page

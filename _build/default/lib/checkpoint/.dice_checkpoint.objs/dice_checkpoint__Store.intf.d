@@ -1,0 +1,1 @@
+lib/checkpoint/store.mli:

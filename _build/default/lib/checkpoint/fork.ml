@@ -1,0 +1,61 @@
+type manager = { st : Store.t; mutable clones : int }
+
+let create ?page_size () = { st = Store.create ?page_size (); clones = 0 }
+
+let store m = m.st
+
+type checkpoint = { mgr : manager; snap : Store.snapshot }
+
+let checkpoint m ~live_image = { mgr = m; snap = Store.capture m.st live_image }
+
+let checkpoint_stats cp ~live_image =
+  let live = Store.capture cp.mgr.st live_image in
+  let unique = Store.unique_pages cp.snap ~relative_to:live in
+  let frac = Store.unique_fraction cp.snap ~relative_to:live in
+  Store.release live;
+  (unique, frac)
+
+let drop_checkpoint cp = Store.release cp.snap
+
+let checkpoint_image cp = Store.restore cp.snap
+
+type clone = {
+  cp : checkpoint;
+  mutable snap : Store.snapshot option;  (* None once finished *)
+}
+
+let spawn cp =
+  cp.mgr.clones <- cp.mgr.clones + 1;
+  { cp; snap = Some (Store.clone cp.snap) }
+
+let image c =
+  match c.snap with
+  | Some s -> Store.restore s
+  | None -> invalid_arg "Fork.image: clone finished"
+
+type clone_stats = {
+  pages : int;
+  unique : int;
+  unique_fraction : float;
+  extra_fraction : float;
+}
+
+let finish c ~final_image =
+  match c.snap with
+  | None -> invalid_arg "Fork.finish: clone already finished"
+  | Some s ->
+    let final = Store.capture c.cp.mgr.st final_image in
+    let pages = Store.snapshot_pages final in
+    let unique = Store.unique_pages final ~relative_to:c.cp.snap in
+    let unique_fraction = Store.unique_fraction final ~relative_to:c.cp.snap in
+    let base = Store.snapshot_pages c.cp.snap in
+    let extra_fraction =
+      if base = 0 then 0.0 else float_of_int unique /. float_of_int base
+    in
+    Store.release final;
+    Store.release s;
+    c.snap <- None;
+    c.cp.mgr.clones <- c.cp.mgr.clones - 1;
+    { pages; unique; unique_fraction; extra_fraction }
+
+let live_clones m = m.clones

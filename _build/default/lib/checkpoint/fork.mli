@@ -1,0 +1,52 @@
+(** Process-style checkpoint/clone lifecycle over the CoW {!Store}.
+
+    Mirrors how the DiCE prototype checkpoints BIRD: [checkpoint] is the
+    [fork()] that freezes the live process image; each exploration then
+    [spawn]s a clone of that checkpoint, runs, and [finish]es with its
+    final (mutated) image, at which point the clone's copy-on-write cost —
+    unique pages relative to the checkpoint — is assessed and the clone's
+    memory is reclaimed. *)
+
+type manager
+
+val create : ?page_size:int -> unit -> manager
+
+val store : manager -> Store.t
+
+type checkpoint
+
+val checkpoint : manager -> live_image:bytes -> checkpoint
+(** Freeze the live process image. *)
+
+val checkpoint_stats : checkpoint -> live_image:bytes -> int * float
+(** [(unique, fraction)]: pages of the checkpoint not shared with the
+    given (current) live image — the paper's "checkpoint process has 3.45%
+    unique memory pages" metric. *)
+
+val drop_checkpoint : checkpoint -> unit
+
+val checkpoint_image : checkpoint -> bytes
+(** The frozen image. *)
+
+type clone
+
+val spawn : checkpoint -> clone
+(** Fork an exploration process from the checkpoint (cheap: all pages
+    shared). *)
+
+val image : clone -> bytes
+(** The clone's initial image (equal to the checkpoint's). *)
+
+type clone_stats = {
+  pages : int;  (** size of the clone's final image, in pages *)
+  unique : int;  (** final-image pages not shared with the checkpoint *)
+  unique_fraction : float;
+  extra_fraction : float;
+      (** extra footprint relative to the checkpoint's page count — the
+          paper's "36.93% more pages" metric *)
+}
+
+val finish : clone -> final_image:bytes -> clone_stats
+(** Assess CoW cost and reclaim the clone. A clone can be finished once. *)
+
+val live_clones : manager -> int

@@ -1,0 +1,55 @@
+(** Copy-on-write snapshot store.
+
+    A {!snapshot} is an immutable image of a serialized state; taking one
+    from a nearly-identical state shares pages with every image already in
+    the store. This is the reproduction's stand-in for checkpointing via
+    [fork()] (paper §3.2): checkpoints are cheap because the live process
+    and its checkpoint share all pages; explorer clones pay only for the
+    pages they touch. *)
+
+type t
+(** The store: refcounted page contents keyed by content identity. *)
+
+type snapshot
+(** An immutable page-table over the store. Release with {!release}. *)
+
+val create : ?page_size:int -> unit -> t
+(** [page_size] defaults to {!Page.default_size}. *)
+
+val page_size : t -> int
+
+val capture : t -> bytes -> snapshot
+(** Snapshot a serialized state. Pages already present are shared, new
+    pages are inserted with refcount 1. *)
+
+val restore : snapshot -> bytes
+(** Reassemble the serialized state. *)
+
+val clone : snapshot -> snapshot
+(** Cheap logical copy (all pages shared; refcounts bumped). *)
+
+val release : snapshot -> unit
+(** Drop a snapshot; pages with no remaining references are evicted.
+    Releasing twice is an error. *)
+
+val snapshot_pages : snapshot -> int
+(** Pages referenced by this snapshot. *)
+
+val shared_pages : snapshot -> snapshot -> int
+(** Pages the two snapshots have in common (by content, position-blind). *)
+
+val unique_pages : snapshot -> relative_to:snapshot -> int
+(** Pages of the first snapshot not present in [relative_to] — the paper's
+    "unique memory pages" metric for a checkpoint or clone. *)
+
+val unique_fraction : snapshot -> relative_to:snapshot -> float
+(** [unique_pages / snapshot_pages], in [\[0, 1\]]; [0.] for an empty
+    snapshot. *)
+
+val stored_pages : t -> int
+(** Distinct page contents currently resident. *)
+
+val resident_bytes : t -> int
+(** Total bytes of distinct resident pages. *)
+
+val live_snapshots : t -> int

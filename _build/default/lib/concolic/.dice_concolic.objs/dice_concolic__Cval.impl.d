@@ -1,0 +1,1 @@
+lib/concolic/cval.ml: Format Hashtbl Int64 Sym

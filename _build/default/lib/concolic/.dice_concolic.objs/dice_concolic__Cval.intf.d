@@ -1,0 +1,1 @@
+lib/concolic/cval.mli: Format Sym

@@ -1,0 +1,1 @@
+lib/concolic/engine.ml: Coverage Cval Hashtbl List Path Printf Sym

@@ -1,0 +1,1 @@
+lib/concolic/explorer.ml: Array Coverage Dice_util Engine Format Hashtbl Int64 List Path Solver Strategy Sym Sys Unix

@@ -1,0 +1,1 @@
+lib/concolic/explorer.mli: Coverage Engine Format Solver Strategy

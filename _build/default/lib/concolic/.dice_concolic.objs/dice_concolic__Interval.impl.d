@@ -1,0 +1,1 @@
+lib/concolic/interval.ml: Format Int64 Seq Sym

@@ -1,0 +1,1 @@
+lib/concolic/interval.mli: Format Seq

@@ -1,0 +1,1 @@
+lib/concolic/lincons.ml: Format Hashtbl Int Int64 List Option Printf String Sym

@@ -1,0 +1,1 @@
+lib/concolic/lincons.mli: Format Sym

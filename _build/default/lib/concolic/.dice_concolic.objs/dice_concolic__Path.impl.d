@@ -1,0 +1,1 @@
+lib/concolic/path.ml: Dice_util Format Hashtbl Int64 List Sym

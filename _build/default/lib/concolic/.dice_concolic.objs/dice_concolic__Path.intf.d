@@ -1,0 +1,1 @@
+lib/concolic/path.mli: Format Sym

@@ -1,0 +1,1 @@
+lib/concolic/solver.ml: Dice_util Hashtbl Int64 Interval Lincons List Path Sym

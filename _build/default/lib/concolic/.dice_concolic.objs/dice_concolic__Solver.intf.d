@@ -1,0 +1,1 @@
+lib/concolic/solver.mli: Path Sym

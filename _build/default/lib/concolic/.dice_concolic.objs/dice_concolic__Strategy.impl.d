@@ -1,0 +1,1 @@
+lib/concolic/strategy.ml: Format Printf

@@ -1,0 +1,1 @@
+lib/concolic/strategy.mli: Format

@@ -1,0 +1,1 @@
+lib/concolic/sym.ml: Format Hashtbl Int Int64 List Stdlib

@@ -1,0 +1,1 @@
+lib/concolic/sym.mli: Format Hashtbl

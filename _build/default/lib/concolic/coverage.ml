@@ -1,0 +1,27 @@
+type t = (int * bool, unit) Hashtbl.t
+
+let create () = Hashtbl.create 128
+
+let record t site dir =
+  let key = (Path.Site.id site, dir) in
+  if Hashtbl.mem t key then false
+  else begin
+    Hashtbl.add t key ();
+    true
+  end
+
+let covered t site dir = Hashtbl.mem t (Path.Site.id site, dir)
+
+let fully_covered t site = covered t site true && covered t site false
+
+let site_count t =
+  let sites = Hashtbl.create 64 in
+  Hashtbl.iter (fun (id, _) () -> Hashtbl.replace sites id ()) t;
+  Hashtbl.length sites
+
+let direction_count t = Hashtbl.length t
+
+let merge_into ~dst t = Hashtbl.iter (fun k () -> Hashtbl.replace dst k ()) t
+
+let snapshot t =
+  Hashtbl.fold (fun k () acc -> k :: acc) t [] |> List.sort compare

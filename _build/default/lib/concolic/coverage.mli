@@ -1,0 +1,30 @@
+(** Branch-direction coverage accounting.
+
+    Tracks which (site, direction) pairs executions have exercised —
+    including branches taken on purely concrete data — so the explorer can
+    tell when a negation would open genuinely new territory and when the
+    aggregate constraint set has converged. *)
+
+type t
+
+val create : unit -> t
+
+val record : t -> Path.Site.t -> bool -> bool
+(** [record t site dir] marks the direction covered; returns [true] if it
+    was new. *)
+
+val covered : t -> Path.Site.t -> bool -> bool
+
+val fully_covered : t -> Path.Site.t -> bool
+(** Both directions seen. *)
+
+val site_count : t -> int
+(** Number of distinct sites seen at least once. *)
+
+val direction_count : t -> int
+(** Number of (site, direction) pairs seen. *)
+
+val merge_into : dst:t -> t -> unit
+
+val snapshot : t -> (int * bool) list
+(** Covered (site id, direction) pairs, sorted. *)

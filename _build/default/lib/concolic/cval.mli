@@ -1,0 +1,75 @@
+(** Concolic values: a concrete machine word paired with an optional
+    symbolic shadow term.
+
+    Code under test computes on [Cval.t]s. When no operand carries a
+    symbolic part, results stay purely concrete — this is the "original
+    code" fast path the paper gets by linking instrumented and original
+    code together; recording only happens when symbolic data flows. *)
+
+type t = private { conc : int64; sym : Sym.t option; width : int }
+
+val concrete : width:int -> int64 -> t
+(** A purely concrete value (wrapped to [width]). *)
+
+val of_int : width:int -> int -> t
+
+val symbolic : Sym.var -> int64 -> t
+(** [symbolic v conc] pairs input variable [v] with its current concrete
+    value. *)
+
+val make : width:int -> int64 -> Sym.t option -> t
+(** General constructor; wraps the concrete part. *)
+
+val conc : t -> int64
+val to_int : t -> int
+(** Concrete part as [int] (values here always fit: widths <= 32 in the
+    BGP code). *)
+
+val sym : t -> Sym.t option
+val width : t -> int
+val is_symbolic : t -> bool
+
+val bool_of : t -> bool
+(** [true] iff the concrete part is non-zero. *)
+
+val of_bool : bool -> t
+(** Width-1 concrete 0/1. *)
+
+(** {1 Operators}
+
+    Each computes the concrete result eagerly and builds the symbolic term
+    only when at least one operand is symbolic. *)
+
+val unop : Sym.unop -> t -> t
+val binop : Sym.binop -> t -> t -> t
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val logand : t -> t -> t
+val logor : t -> t -> t
+val logxor : t -> t -> t
+val shift_left : t -> int -> t
+val shift_right : t -> int -> t
+
+val eq : t -> t -> t
+val ne : t -> t -> t
+val ult : t -> t -> t
+val ule : t -> t -> t
+val ugt : t -> t -> t
+val uge : t -> t -> t
+
+val zext : width:int -> t -> t
+(** Zero-extend to a wider width (identity on the value; widens the
+    term). Requires [width >= width t]. *)
+
+val not_ : t -> t
+(** Logical negation of a width-1 value. *)
+
+val and_ : t -> t -> t
+val or_ : t -> t -> t
+(** Non-short-circuit boolean combinators on width-1 values. For
+    short-circuit evaluation, branch on the first operand instead (which
+    records the implied constraint, as concolic execution must). *)
+
+val pp : Format.formatter -> t -> unit

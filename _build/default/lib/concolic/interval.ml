@@ -1,0 +1,37 @@
+type t = { lo : int64; hi : int64 }
+
+let ucmp = Int64.unsigned_compare
+
+let full width = { lo = 0L; hi = Sym.wrap width (-1L) }
+
+let point v = { lo = v; hi = v }
+
+let make lo hi =
+  if ucmp lo hi > 0 then invalid_arg "Interval.make: empty";
+  { lo; hi }
+
+let mem v t = ucmp t.lo v <= 0 && ucmp v t.hi <= 0
+
+let inter a b =
+  let lo = if ucmp a.lo b.lo >= 0 then a.lo else b.lo in
+  let hi = if ucmp a.hi b.hi <= 0 then a.hi else b.hi in
+  if ucmp lo hi <= 0 then Some { lo; hi } else None
+
+let is_point t = Int64.equal t.lo t.hi
+
+let size_le t n =
+  (* size = hi - lo + 1; compare without overflow *)
+  let diff = Int64.sub t.hi t.lo in
+  ucmp diff (Int64.of_int (n - 1)) <= 0
+
+let to_seq t =
+  let rec from v () =
+    if ucmp v t.hi > 0 then Seq.Nil
+    else if Int64.equal v t.hi then Seq.Cons (v, fun () -> Seq.Nil)
+    else Seq.Cons (v, from (Int64.add v 1L))
+  in
+  from t.lo
+
+let clamp t v = if ucmp v t.lo < 0 then t.lo else if ucmp v t.hi > 0 then t.hi else v
+
+let pp ppf t = Format.fprintf ppf "[%Lu, %Lu]" t.lo t.hi

@@ -1,0 +1,29 @@
+(** Unsigned 64-bit intervals, used to prune solver candidates from
+    single-variable range constraints (e.g. the seed constraint
+    [masklen <= 32] on symbolized NLRI fields). *)
+
+type t = { lo : int64; hi : int64 }
+(** Invariant: [lo <=u hi] (unsigned). *)
+
+val full : int -> t
+(** Whole domain of a [width]-bit variable. *)
+
+val point : int64 -> t
+
+val make : int64 -> int64 -> t
+(** @raise Invalid_argument if [lo >u hi]. *)
+
+val mem : int64 -> t -> bool
+val inter : t -> t -> t option
+val is_point : t -> bool
+val size_le : t -> int -> bool
+(** Does the interval contain at most [n] values? *)
+
+val to_seq : t -> int64 Seq.t
+(** Enumerate values in increasing order — only call when [size_le] some
+    small bound. *)
+
+val clamp : t -> int64 -> int64
+(** Nearest member of the interval to the argument. *)
+
+val pp : Format.formatter -> t -> unit

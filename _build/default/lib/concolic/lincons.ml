@@ -1,0 +1,113 @@
+type t = {
+  coeffs : (int * int64) list;
+  const : int64;
+  width : int;
+}
+
+let normalize width coeffs const =
+  let merged : (int, int64) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun (id, c) ->
+      let cur = Option.value (Hashtbl.find_opt merged id) ~default:0L in
+      Hashtbl.replace merged id (Sym.wrap width (Int64.add cur c)))
+    coeffs;
+  let coeffs =
+    Hashtbl.fold (fun id c acc -> if Int64.equal c 0L then acc else (id, c) :: acc) merged []
+    |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  in
+  { coeffs; const = Sym.wrap width const; width }
+
+let scale width k lin =
+  normalize width
+    (List.map (fun (id, c) -> (id, Sym.wrap width (Int64.mul k c))) lin.coeffs)
+    (Int64.mul k lin.const)
+
+let add width a b =
+  normalize width (a.coeffs @ b.coeffs) (Int64.add a.const b.const)
+
+let rec of_sym expr =
+  let w = Sym.width expr in
+  match expr with
+  | Sym.Const c -> Some (normalize w [] c.value)
+  | Sym.Var v -> Some (normalize w [ (v.Sym.id, 1L) ] 0L)
+  | Sym.Unop (Sym.Neg, e) -> Option.map (scale w (-1L)) (of_sym e)
+  | Sym.Unop ((Sym.Bnot | Sym.Lnot), _) -> None
+  | Sym.Binop (Sym.Add, a, b) -> begin
+    match (of_sym a, of_sym b) with
+    | Some la, Some lb -> Some (add w la lb)
+    | _, _ -> None
+  end
+  | Sym.Binop (Sym.Sub, a, b) -> begin
+    match (of_sym a, of_sym b) with
+    | Some la, Some lb -> Some (add w la (scale w (-1L) lb))
+    | _, _ -> None
+  end
+  | Sym.Binop (Sym.Mul, Sym.Const k, e) | Sym.Binop (Sym.Mul, e, Sym.Const k) ->
+    Option.map (scale w k.value) (of_sym e)
+  | Sym.Binop (Sym.Shl, e, Sym.Const s) ->
+    let shift = Int64.to_int s.value in
+    if shift < 0 || shift >= 64 then Some (normalize w [] 0L)
+    else Option.map (scale w (Int64.shift_left 1L shift)) (of_sym e)
+  | Sym.Binop
+      ( ( Sym.Mul | Sym.Udiv | Sym.Urem | Sym.And | Sym.Or | Sym.Xor | Sym.Shl | Sym.Lshr
+        | Sym.Eq | Sym.Ne | Sym.Ult | Sym.Ule | Sym.Ugt | Sym.Uge ),
+        _, _ ) ->
+    None
+
+let eval env t =
+  List.fold_left
+    (fun acc (id, c) ->
+      let v = Option.value (Hashtbl.find_opt env id) ~default:0L in
+      Sym.wrap t.width (Int64.add acc (Int64.mul c v)))
+    t.const t.coeffs
+
+let vars t = List.map fst t.coeffs
+
+let is_constant t = t.coeffs = []
+
+(* inverse of an odd value modulo 2^w *)
+let odd_inverse a w =
+  let x = ref a in
+  for _ = 1 to 6 do
+    x := Int64.mul !x (Int64.sub 2L (Int64.mul a !x))
+  done;
+  Sym.wrap w !x
+
+let solve_for t ~var_id ~target ~env =
+  match List.assoc_opt var_id t.coeffs with
+  | None -> []
+  | Some coeff ->
+    (* residual = target - const - sum(other terms) *)
+    let residual =
+      List.fold_left
+        (fun acc (id, c) ->
+          if id = var_id then acc
+          else begin
+            let v = Option.value (Hashtbl.find_opt env id) ~default:0L in
+            Sym.wrap t.width (Int64.sub acc (Int64.mul c v))
+          end)
+        (Sym.wrap t.width (Int64.sub target t.const))
+        t.coeffs
+    in
+    let rec split c k = if Int64.logand c 1L = 1L then (c, k) else split (Int64.shift_right_logical c 1) (k + 1) in
+    if Int64.equal coeff 0L then []
+    else begin
+      let odd, twos = split coeff 0 in
+      if twos = 0 then [ Sym.wrap t.width (Int64.mul residual (odd_inverse odd t.width)) ]
+      else begin
+        let low_mask = Int64.sub (Int64.shift_left 1L twos) 1L in
+        if not (Int64.equal (Int64.logand residual low_mask) 0L) then []
+        else
+          [ Sym.wrap t.width
+              (Int64.mul
+                 (Int64.shift_right_logical residual twos)
+                 (odd_inverse odd t.width))
+          ]
+      end
+    end
+
+let pp ppf t =
+  let term (id, c) = Printf.sprintf "%Ld*v%d" c id in
+  Format.fprintf ppf "%s + %Ld (mod 2^%d)"
+    (String.concat " + " (List.map term t.coeffs))
+    t.const t.width

@@ -1,0 +1,38 @@
+(** Linear normal form of symbolic terms, modulo [2^width].
+
+    Many path constraints are linear in the inputs (offsets, sums,
+    scalings); putting them in the canonical form
+    [c1*x1 + ... + cn*xn + k (mod 2^w)] lets the solver compute exact
+    solutions by modular inversion instead of searching candidates. *)
+
+type t = private {
+  coeffs : (int * int64) list;  (** (variable id, coefficient), id-sorted, no zero coeffs *)
+  const : int64;
+  width : int;
+}
+
+val of_sym : Sym.t -> t option
+(** Structural linearity detection: constants, variables, [+], [-],
+    negation, multiplication by a constant, and left shift by a constant
+    are linear; anything else is not. All arithmetic is mod [2^width]
+    (the max of the term's operand widths — the same semantics
+    {!Sym.eval} uses). *)
+
+val eval : Sym.env -> t -> int64
+
+val vars : t -> int list
+(** Variable ids, ascending. *)
+
+val is_constant : t -> bool
+
+val solve_for : t -> var_id:int -> target:int64 -> env:Sym.env -> int64 list
+(** Values of the variable [var_id] that make the form evaluate to
+    [target], with every other variable fixed by [env]. Exact when the
+    variable's coefficient is odd (modular inverse); for an even
+    coefficient [c = c'·2^t], solutions exist iff the residual is
+    divisible by [2^t], and one representative is returned (all solutions
+    differ in the top [t] bits, which the caller's verification pass will
+    accept or reject). Empty when no solution exists or [var_id] does not
+    occur. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,55 @@
+(** Branch sites and path conditions.
+
+    A {e branch site} identifies one static conditional in the program under
+    test (what CIL instrumentation gives the paper's engine). A {e path
+    condition} is the sequence of symbolic branch outcomes one execution
+    recorded; negating its [i]-th entry and solving the prefix up to [i]
+    yields an input that steers execution down the other side of that
+    branch (paper Figure 1). *)
+
+module Site : sig
+  type t = private { id : int; name : string }
+
+  val make : string -> t
+  (** Register a site. Each call returns a distinct site; call once per
+      static program location (at module initialization), not per
+      execution. *)
+
+  val intern : string -> t
+  (** Return the site registered under this name, creating it on first
+      use. The idiomatic way to name static branch locations. *)
+
+  val of_existing : string -> t
+  (** Return the site previously registered under this name.
+      @raise Not_found if none. *)
+
+  val id : t -> int
+  val name : t -> string
+  val count : unit -> int
+  (** Total registered sites (for coverage denominators). *)
+
+  val pp : Format.formatter -> t -> unit
+end
+
+type constr = { expr : Sym.t; expected_nonzero : bool }
+(** The constraint "[expr] evaluates non-zero" (or zero). *)
+
+val negate : constr -> constr
+
+val constr_holds : Sym.env -> constr -> bool
+
+val pp_constr : Format.formatter -> constr -> unit
+
+type entry = { site : Site.t; constr : constr }
+(** One recorded symbolic branch: at [site], the execution went the way
+    [constr] describes. *)
+
+type t = entry list
+(** A path condition, in execution order. *)
+
+val length : t -> int
+val pp : Format.formatter -> t -> unit
+
+val signature : t -> int64
+(** Order-sensitive hash of (site, direction) pairs — identifies the
+    execution path for deduplication. *)

@@ -1,0 +1,481 @@
+type outcome =
+  | Sat of Sym.env
+  | Unsat
+  | Gave_up
+
+type stats = {
+  mutable calls : int;
+  mutable sat : int;
+  mutable unsat : int;
+  mutable gave_up : int;
+  mutable candidates_tried : int;
+}
+
+let stats_create () = { calls = 0; sat = 0; unsat = 0; gave_up = 0; candidates_tried = 0 }
+
+let global_stats = stats_create ()
+
+let reset_stats () =
+  global_stats.calls <- 0;
+  global_stats.sat <- 0;
+  global_stats.unsat <- 0;
+  global_stats.gave_up <- 0;
+  global_stats.candidates_tried <- 0
+
+let holds_all env cs = List.for_all (Path.constr_holds env) cs
+
+(* ------------------------------------------------------------------ *)
+(* Structural inversion                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Multiplicative inverse of an odd [a] modulo 2^w (Newton iteration). *)
+let odd_inverse a w =
+  let x = ref a in
+  (* x := x * (2 - a*x) doubles correct bits; 6 rounds cover 64 bits *)
+  for _ = 1 to 6 do
+    x := Int64.mul !x (Int64.sub 2L (Int64.mul a !x))
+  done;
+  Sym.wrap w !x
+
+let is_odd v = Int64.logand v 1L = 1L
+
+(* Candidate values of the single free variable making [expr] (in which
+   every other variable is already a constant) equal [target]. Sound but
+   incomplete: all returned values are verified by the caller anyway.
+   Linear terms are solved exactly first (modular inversion via
+   {!Lincons}); the structural cases handle the non-linear operators. *)
+let rec invert_eq expr target =
+  let w = Sym.width expr in
+  let target = Sym.wrap w target in
+  match linear_solution expr target with
+  | Some candidates -> candidates
+  | None -> invert_eq_structural w expr target
+
+and linear_solution expr target =
+  match Lincons.of_sym expr with
+  | Some lin when not (Lincons.is_constant lin) -> begin
+    match Lincons.vars lin with
+    | [ var_id ] -> Some (Lincons.solve_for lin ~var_id ~target ~env:(Hashtbl.create 0))
+    | [] | _ :: _ :: _ -> None
+  end
+  | Some _ | None -> None
+
+and invert_eq_structural w expr target =
+  match expr with
+  | Sym.Var _ -> [ target ]
+  | Sym.Const c -> if Int64.equal c.value target then [ 0L ] else []
+  | Sym.Unop (Sym.Neg, e) -> invert_eq e (Int64.neg target)
+  | Sym.Unop (Sym.Bnot, e) -> invert_eq e (Int64.lognot target)
+  | Sym.Unop (Sym.Lnot, e) ->
+    (* Lnot e = target: target is 0 or 1 *)
+    if Int64.equal target 1L then invert_eq e 0L
+    else if Int64.equal target 0L then invert_nonzero e
+    else []
+  | Sym.Binop (op, a, b) -> invert_eq_binop w op a b target
+
+and invert_eq_binop w op a b target =
+  let const_side, expr_side, const_on_left =
+    match (a, b) with
+    | Sym.Const c, e -> (Some c.value, e, true)
+    | e, Sym.Const c -> (Some c.value, e, false)
+    | _, _ -> (None, a, false)
+  in
+  match (op, const_side) with
+  | Sym.Add, Some c -> invert_eq expr_side (Int64.sub target c)
+  | Sym.Sub, Some c ->
+    if const_on_left then invert_eq expr_side (Int64.sub c target)
+    else invert_eq expr_side (Int64.add target c)
+  | Sym.Xor, Some c -> invert_eq expr_side (Int64.logxor target c)
+  | Sym.Mul, Some c ->
+    if is_odd c then invert_eq expr_side (Int64.mul target (odd_inverse c w))
+    else if Int64.equal c 0L then if Int64.equal target 0L then [ 0L ] else []
+    else begin
+      (* factor out the power of two: c = c' * 2^t with c' odd *)
+      let rec split c t = if is_odd c then (c, t) else split (Int64.shift_right_logical c 1) (t + 1) in
+      let c', t = split c 0 in
+      let low = Int64.logand target (Int64.sub (Int64.shift_left 1L t) 1L) in
+      if not (Int64.equal low 0L) then []
+      else
+        invert_eq expr_side
+          (Int64.mul (Int64.shift_right_logical target t) (odd_inverse c' w))
+    end
+  | Sym.Shl, Some c when not const_on_left ->
+    let s = Int64.to_int c in
+    if s < 0 || s >= 64 then if Int64.equal target 0L then [ 0L ] else []
+    else begin
+      let low_mask = Int64.sub (Int64.shift_left 1L s) 1L in
+      if not (Int64.equal (Int64.logand target low_mask) 0L) then []
+      else invert_eq expr_side (Int64.shift_right_logical target s)
+    end
+  | Sym.Lshr, Some c when not const_on_left ->
+    let s = Int64.to_int c in
+    if s < 0 || s >= 64 then if Int64.equal target 0L then [ 0L ] else []
+    else begin
+      let base = Int64.shift_left target s in
+      let ones = Int64.sub (Int64.shift_left 1L s) 1L in
+      invert_eq expr_side base @ invert_eq expr_side (Int64.logor base ones)
+    end
+  | Sym.And, Some m ->
+    if not (Int64.equal (Int64.logand target (Int64.lognot m)) 0L) then []
+    else begin
+      let wm = Sym.wrap (Sym.width expr_side) (Int64.lognot m) in
+      invert_eq expr_side target @ invert_eq expr_side (Int64.logor target wm)
+    end
+  | Sym.Or, Some m ->
+    if not (Int64.equal (Int64.logand target m) m) then []
+    else
+      invert_eq expr_side (Int64.logand target (Int64.lognot m))
+      @ invert_eq expr_side target
+  | Sym.Eq, _ | Sym.Ne, _ | Sym.Ult, _ | Sym.Ule, _ | Sym.Ugt, _ | Sym.Uge, _ ->
+    (* comparison produces 0/1; recurse as boolean *)
+    if Int64.equal target 1L then invert_cmp op a b true
+    else if Int64.equal target 0L then invert_cmp op a b false
+    else []
+  | _, _ -> []
+
+(* Candidates making comparison [a op b] have the given truth value, where
+   one side is constant. *)
+and invert_cmp op a b want =
+  let flip = function
+    | Sym.Eq -> Sym.Ne
+    | Sym.Ne -> Sym.Eq
+    | Sym.Ult -> Sym.Uge
+    | Sym.Ule -> Sym.Ugt
+    | Sym.Ugt -> Sym.Ule
+    | Sym.Uge -> Sym.Ult
+    | op -> op
+  in
+  let op = if want then op else flip op in
+  match (a, b) with
+  | e, Sym.Const c -> invert_cmp_const e op c.value
+  | Sym.Const c, e ->
+    let mirror = function
+      | Sym.Ult -> Sym.Ugt
+      | Sym.Ule -> Sym.Uge
+      | Sym.Ugt -> Sym.Ult
+      | Sym.Uge -> Sym.Ule
+      | op -> op
+    in
+    invert_cmp_const e (mirror op) c.value
+  | _, _ -> []
+
+(* Candidates for [e op k] (k constant on the right). *)
+and invert_cmp_const e op k =
+  let w = Sym.width e in
+  let maxv = Sym.wrap w (-1L) in
+  let u = Int64.unsigned_compare in
+  match op with
+  | Sym.Eq -> invert_eq e k
+  | Sym.Ne ->
+    List.concat_map (invert_eq e)
+      [ Int64.add k 1L; Int64.sub k 1L; 0L; maxv; Int64.logxor k 1L ]
+  | Sym.Ult ->
+    if Int64.equal k 0L then []
+    else List.concat_map (invert_eq e) [ Int64.sub k 1L; 0L; Int64.shift_right_logical k 1 ]
+  | Sym.Ule -> List.concat_map (invert_eq e) [ k; 0L; Int64.sub k 1L ]
+  | Sym.Ugt ->
+    if u k maxv >= 0 then []
+    else List.concat_map (invert_eq e) [ Int64.add k 1L; maxv ]
+  | Sym.Uge -> List.concat_map (invert_eq e) [ k; maxv; Int64.add k 1L ]
+  | _ -> []
+
+(* Candidates making [expr] non-zero (boolean truth). *)
+and invert_nonzero expr =
+  match expr with
+  | Sym.Binop (((Sym.Eq | Sym.Ne | Sym.Ult | Sym.Ule | Sym.Ugt | Sym.Uge) as op), a, b) ->
+    invert_cmp op a b true
+  | Sym.Binop (Sym.And, a, b) when Sym.width expr = 1 ->
+    (* both conjuncts must hold; solve for whichever mentions the var *)
+    invert_both a b true
+  | Sym.Binop (Sym.Or, a, b) when Sym.width expr = 1 ->
+    invert_nonzero_pick a b
+  | Sym.Unop (Sym.Lnot, e) -> invert_eq e 0L
+  | _ -> invert_cmp_const expr Sym.Ne 0L
+
+and invert_zero expr =
+  match expr with
+  | Sym.Binop (((Sym.Eq | Sym.Ne | Sym.Ult | Sym.Ule | Sym.Ugt | Sym.Uge) as op), a, b) ->
+    invert_cmp op a b false
+  | Sym.Binop (Sym.Or, a, b) when Sym.width expr = 1 -> invert_both a b false
+  | Sym.Binop (Sym.And, a, b) when Sym.width expr = 1 ->
+    (* either conjunct zero suffices *)
+    invert_zero_pick a b
+  | Sym.Unop (Sym.Lnot, e) -> invert_nonzero e
+  | _ -> invert_eq expr 0L
+
+and invert_both a b want =
+  (* conjunction (or joint falsity for Or): at most one side still mentions
+     the variable (the other was substituted to a constant) *)
+  let has_var e = Sym.vars e <> [] in
+  let solve e = if want then invert_nonzero e else invert_zero e in
+  match (has_var a, has_var b) with
+  | true, false -> solve a
+  | false, true -> solve b
+  | true, true -> solve a @ solve b
+  | false, false -> []
+
+and invert_nonzero_pick a b = invert_both a b true @ []
+
+and invert_zero_pick a b =
+  let has_var e = Sym.vars e <> [] in
+  (match has_var a with true -> invert_zero a | false -> [])
+  @ (match has_var b with true -> invert_zero b | false -> [])
+
+(* ------------------------------------------------------------------ *)
+(* Fallback candidates                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let constants_of expr =
+  let acc = ref [] in
+  let rec go = function
+    | Sym.Const c -> acc := c.value :: !acc
+    | Sym.Var _ -> ()
+    | Sym.Unop (_, e) -> go e
+    | Sym.Binop (_, a, b) ->
+      go a;
+      go b
+  in
+  go expr;
+  !acc
+
+let fallback_candidates expr var_width hint_value =
+  let maxv = Sym.wrap var_width (-1L) in
+  let base =
+    [ 0L; 1L; 2L; maxv; Int64.sub maxv 1L; hint_value; Int64.add hint_value 1L;
+      Int64.sub hint_value 1L ]
+  in
+  let from_consts =
+    List.concat_map
+      (fun k -> [ k; Int64.add k 1L; Int64.sub k 1L ])
+      (constants_of expr)
+  in
+  let powers =
+    List.init (min var_width 32) (fun i -> Int64.shift_left 1L i)
+  in
+  let rng = Dice_util.Rng.create 0x5EEDL in
+  let sampled = List.init 48 (fun _ -> Sym.wrap var_width (Dice_util.Rng.int64 rng)) in
+  base @ from_consts @ powers @ sampled
+
+(* ------------------------------------------------------------------ *)
+(* Repair loop                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Split width-1 conjunctions into separate constraints: "And(a,b) must be
+   non-zero" is "a non-zero" and "b non-zero" (dually for a zero Or).
+   The repair loop fixes one variable at a time, so conjuncts mentioning
+   different variables must be separate constraints to be solvable. *)
+let rec flatten (c : Path.constr) =
+  match (c.Path.expr, c.Path.expected_nonzero) with
+  | Sym.Binop (Sym.And, a, b), true when Sym.width c.Path.expr = 1 ->
+    flatten { Path.expr = a; expected_nonzero = true }
+    @ flatten { Path.expr = b; expected_nonzero = true }
+  | Sym.Binop (Sym.Or, a, b), false when Sym.width c.Path.expr = 1 ->
+    flatten { Path.expr = a; expected_nonzero = false }
+    @ flatten { Path.expr = b; expected_nonzero = false }
+  | Sym.Unop (Sym.Lnot, e), want -> flatten { Path.expr = e; expected_nonzero = not want }
+  | _, _ -> [ c ]
+
+(* ------------------------------------------------------------------ *)
+(* Interval propagation                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Derive per-variable unsigned intervals from single-variable atoms of
+   the form [v cmp k]. Used to prune candidate values, to enumerate tiny
+   domains exhaustively, and to detect empty domains (UNSAT) without
+   search. *)
+let is_cmp_op = function
+  | Sym.Eq | Sym.Ne | Sym.Ult | Sym.Ule | Sym.Ugt | Sym.Uge -> true
+  | Sym.Add | Sym.Sub | Sym.Mul | Sym.Udiv | Sym.Urem | Sym.And | Sym.Or | Sym.Xor
+  | Sym.Shl | Sym.Lshr ->
+    false
+
+let var_interval (c : Path.constr) =
+  let interval_of op k width want =
+    let maxv = Sym.wrap width (-1L) in
+    let flip = function
+      | Sym.Eq -> Sym.Ne
+      | Sym.Ne -> Sym.Eq
+      | Sym.Ult -> Sym.Uge
+      | Sym.Ule -> Sym.Ugt
+      | Sym.Ugt -> Sym.Ule
+      | Sym.Uge -> Sym.Ult
+      | op -> op
+    in
+    let op = if want then op else flip op in
+    match op with
+    | Sym.Eq -> Some (Interval.point k)
+    | Sym.Ule -> Some (Interval.make 0L k)
+    | Sym.Ult ->
+      if Int64.equal k 0L then None (* empty; caller treats as contradiction *)
+      else Some (Interval.make 0L (Int64.sub k 1L))
+    | Sym.Uge -> Some (Interval.make k maxv)
+    | Sym.Ugt ->
+      if Int64.unsigned_compare k maxv >= 0 then None
+      else Some (Interval.make (Int64.add k 1L) maxv)
+    | Sym.Ne | Sym.Add | Sym.Sub | Sym.Mul | Sym.Udiv | Sym.Urem | Sym.And | Sym.Or
+    | Sym.Xor | Sym.Shl | Sym.Lshr ->
+      Some (Interval.full width)
+  in
+  match c.Path.expr with
+  | Sym.Binop (op, Sym.Var v, Sym.Const k) when is_cmp_op op ->
+    Some (v, interval_of op (Sym.wrap v.Sym.width k.value) v.Sym.width c.Path.expected_nonzero)
+  | Sym.Binop (op, Sym.Const k, Sym.Var v) when is_cmp_op op ->
+    let mirror = function
+      | Sym.Ult -> Sym.Ugt
+      | Sym.Ule -> Sym.Uge
+      | Sym.Ugt -> Sym.Ult
+      | Sym.Uge -> Sym.Ule
+      | op -> op
+    in
+    Some
+      (v, interval_of (mirror op) (Sym.wrap v.Sym.width k.value) v.Sym.width
+           c.Path.expected_nonzero)
+  | _ -> None
+
+(* [Ok bounds] with a table of per-variable intervals, or [Error ()] when
+   some variable's domain is provably empty. *)
+let propagate_intervals cs =
+  let bounds : (int, Interval.t) Hashtbl.t = Hashtbl.create 8 in
+  let contradiction = ref false in
+  List.iter
+    (fun c ->
+      match var_interval c with
+      | Some (v, Some ivl) -> begin
+        match Hashtbl.find_opt bounds v.Sym.id with
+        | None -> Hashtbl.replace bounds v.Sym.id ivl
+        | Some existing -> begin
+          match Interval.inter existing ivl with
+          | Some merged -> Hashtbl.replace bounds v.Sym.id merged
+          | None -> contradiction := true
+        end
+      end
+      | Some (_, None) -> contradiction := true
+      | None -> ())
+    cs;
+  if !contradiction then Error () else Ok bounds
+
+let first_violated env cs =
+  let rec go i = function
+    | [] -> None
+    | c :: rest -> if Path.constr_holds env c then go (i + 1) rest else Some (i, c)
+  in
+  go 0 cs
+
+let solve ?(stats = global_stats) ?(max_repairs = 256) ~hint cs =
+  stats.calls <- stats.calls + 1;
+  global_stats.calls <-
+    (if stats == global_stats then global_stats.calls else global_stats.calls + 1);
+  let cs = List.concat_map flatten cs in
+  match propagate_intervals cs with
+  | Error () ->
+    stats.unsat <- stats.unsat + 1;
+    Unsat
+  | Ok bounds ->
+  let env : Sym.env = Hashtbl.copy hint in
+  let tried : (int * int * int64, unit) Hashtbl.t = Hashtbl.create 64 in
+  let rec repair budget =
+    if budget = 0 then begin
+      stats.gave_up <- stats.gave_up + 1;
+      Gave_up
+    end
+    else begin
+      match first_violated env cs with
+      | None ->
+        stats.sat <- stats.sat + 1;
+        Sat (Hashtbl.copy env)
+      | Some (ci, c) -> begin
+        let vs = Sym.vars c.Path.expr in
+        if vs = [] then begin
+          (* variable-free and violated: genuine contradiction *)
+          stats.unsat <- stats.unsat + 1;
+          Unsat
+        end
+        else begin
+          (* Try to fix this constraint by adjusting one variable.
+
+             Strict phase: a candidate is accepted only if every
+             constraint up to and including [ci] holds afterwards — plain
+             coordinate descent would otherwise thrash between this
+             constraint and an earlier one over the same variable.
+             Relaxed phase (only if strict fails): accept a candidate
+             that satisfies just this constraint and let later rounds
+             repair the damage. *)
+          let candidates_for v =
+            let reduced = Sym.subst_eval_except env ~keep:v.Sym.id c.Path.expr in
+            let derived =
+              if c.Path.expected_nonzero then invert_nonzero reduced
+              else invert_zero reduced
+            in
+            let hint_value =
+              match Hashtbl.find_opt env v.Sym.id with
+              | Some x -> x
+              | None -> 0L
+            in
+            let fall = fallback_candidates reduced v.Sym.width hint_value in
+            let all = List.map (Sym.wrap v.Sym.width) (derived @ fall) in
+            (* interval pruning: drop candidates outside the variable's
+               domain, seed the bounds themselves, and enumerate tiny
+               domains exhaustively *)
+            match Hashtbl.find_opt bounds v.Sym.id with
+            | None -> all
+            | Some ivl ->
+              let enumerated =
+                if Interval.size_le ivl 48 then List.of_seq (Interval.to_seq ivl) else []
+              in
+              let kept = List.filter (fun x -> Interval.mem x ivl) all in
+              (Interval.clamp ivl hint_value :: ivl.Interval.lo :: ivl.Interval.hi :: kept)
+              @ enumerated
+          in
+          let prefix_holds upto =
+            let rec go i = function
+              | [] -> true
+              | x :: rest ->
+                if i > upto then true
+                else Path.constr_holds env x && go (i + 1) rest
+            in
+            go 0 cs
+          in
+          let try_candidate ~strict v ok cand =
+            if ok then true
+            else begin
+              let key = (ci + if strict then 0 else 1000000), v.Sym.id, cand in
+              if Hashtbl.mem tried key then false
+              else begin
+                Hashtbl.add tried key ();
+                stats.candidates_tried <- stats.candidates_tried + 1;
+                let saved = Hashtbl.find_opt env v.Sym.id in
+                Hashtbl.replace env v.Sym.id cand;
+                let ok_now =
+                  if strict then prefix_holds ci else Path.constr_holds env c
+                in
+                if ok_now then true
+                else begin
+                  (match saved with
+                  | Some x -> Hashtbl.replace env v.Sym.id x
+                  | None -> Hashtbl.remove env v.Sym.id);
+                  false
+                end
+              end
+            end
+          in
+          let phase ~strict =
+            List.fold_left
+              (fun fixed v ->
+                if fixed then true
+                else List.fold_left (try_candidate ~strict v) false (candidates_for v))
+              false vs
+          in
+          if phase ~strict:true || phase ~strict:false then repair (budget - 1)
+          else begin
+            (* no candidate for any variable even under the relaxed rule:
+               with a single variable this conjunction is as good as
+               refuted *)
+            if List.length vs = 1 then stats.unsat <- stats.unsat + 1
+            else stats.gave_up <- stats.gave_up + 1;
+            if List.length vs = 1 then Unsat else Gave_up
+          end
+        end
+      end
+    end
+  in
+  repair max_repairs

@@ -1,0 +1,51 @@
+(** Constraint solver for path conditions.
+
+    Plays the role the STP-style solver plays for Oasis/Crest: given the
+    conjunction of constraints recorded along a path prefix plus one negated
+    branch predicate, find concrete input values that satisfy them.
+
+    The implementation is a repair-loop search seeded by the hint
+    assignment (the inputs of the run that produced the path — which
+    already satisfy every constraint except the negated one):
+
+    - constraints are checked by evaluation;
+    - a violated constraint is reduced to a single candidate variable by
+      substituting the current values of all others, then {e structurally
+      inverted} (addition, xor, masks, shifts, odd multiplication, boolean
+      structure over comparisons) to enumerate candidate values;
+    - deterministic boundary and sampled candidates back the cases
+      inversion cannot reach;
+    - the loop repairs violated constraints until all hold or a budget is
+      exhausted.
+
+    The explorer tolerates incompleteness: a wrong model merely produces a
+    divergent execution whose {e actual} path is recorded and explored. *)
+
+type outcome =
+  | Sat of Sym.env  (** a model: every constraint evaluates as required *)
+  | Unsat  (** proven contradiction (a variable-free constraint failed) *)
+  | Gave_up  (** budget exhausted without a model *)
+
+type stats = {
+  mutable calls : int;
+  mutable sat : int;
+  mutable unsat : int;
+  mutable gave_up : int;
+  mutable candidates_tried : int;
+}
+
+val stats_create : unit -> stats
+val global_stats : stats
+(** Accumulated across all [solve] calls (reset with [reset_stats]). *)
+
+val reset_stats : unit -> unit
+
+val solve :
+  ?stats:stats -> ?max_repairs:int -> hint:Sym.env -> Path.constr list -> outcome
+(** [solve ~hint cs] searches for an assignment satisfying all of [cs],
+    starting from [hint] (unmentioned variables default to 0).
+    [max_repairs] bounds the repair iterations (default 256). The returned
+    environment is fresh (callers may mutate it). *)
+
+val holds_all : Sym.env -> Path.constr list -> bool
+(** Check a model (exposed for property tests). *)

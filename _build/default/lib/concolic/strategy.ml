@@ -1,0 +1,13 @@
+type t =
+  | Dfs
+  | Generational
+  | Random_negation of int64
+  | Cover_new
+
+let to_string = function
+  | Dfs -> "dfs"
+  | Generational -> "generational"
+  | Random_negation seed -> Printf.sprintf "random(seed=%Ld)" seed
+  | Cover_new -> "cover-new"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -1,0 +1,23 @@
+(** Exploration search strategies.
+
+    The paper's engine (Oasis) "has multiple search strategies"; its default
+    "attempts to cover all execution paths reachable by the set of
+    controlled symbolic inputs". We provide that one plus the two classic
+    alternatives the ablation (experiment A2) compares. *)
+
+type t =
+  | Dfs
+      (** Depth-first path coverage: negate the deepest untried branch
+          first; the default, matching Oasis/Crest. *)
+  | Generational
+      (** SAGE-style: each run expands every branch after its negation
+          bound; children are prioritized by the new branch coverage their
+          parent run contributed. *)
+  | Random_negation of int64
+      (** Negate uniformly random untried branches (seeded). *)
+  | Cover_new
+      (** Only negate branches whose opposite direction is not yet covered
+          — a greedy branch-coverage strategy. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

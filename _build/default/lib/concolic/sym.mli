@@ -1,0 +1,71 @@
+(** Symbolic expressions.
+
+    Fixed-width unsigned bitvector terms over named input variables. These
+    are the "shadow" values a concolic execution accumulates alongside the
+    concrete run; branch predicates over them become path constraints.
+
+    Widths are in bits, [1..64]; evaluation wraps results to the expression
+    width (two's-complement / unsigned semantics, like machine integers).
+    Comparison operators produce width-1 values (0 or 1). *)
+
+type var = private { id : int; name : string; width : int }
+(** A symbolic input. Ids are globally unique; names are for reporting and
+    for mapping solver models back to program inputs. *)
+
+val var : name:string -> width:int -> var
+(** Register a fresh variable. @raise Invalid_argument on bad width. *)
+
+val var_named : id:int -> name:string -> width:int -> var
+(** Rebuild a variable with a known id (used when replaying explorations
+    across cloned contexts, where input order fixes the ids). *)
+
+type unop =
+  | Neg   (** two's-complement negation *)
+  | Bnot  (** bitwise complement *)
+  | Lnot  (** logical not: 1 if operand is 0, else 0; width 1 *)
+
+type binop =
+  | Add | Sub | Mul | Udiv | Urem
+  | And | Or | Xor | Shl | Lshr
+  | Eq | Ne | Ult | Ule | Ugt | Uge  (** unsigned comparisons, width 1 *)
+
+type t =
+  | Const of { value : int64; width : int }
+  | Var of var
+  | Unop of unop * t
+  | Binop of binop * t * t
+
+val const : width:int -> int64 -> t
+(** Constant, wrapped to [width]. *)
+
+val of_var : var -> t
+
+val width : t -> int
+(** Result width: comparisons and [Lnot] are 1; other operators take the
+    max of their operand widths. *)
+
+val wrap : int -> int64 -> int64
+(** [wrap w v] truncates [v] to its low [w] bits (unsigned). *)
+
+type env = (int, int64) Hashtbl.t
+(** Assignment from variable id to (unsigned, already wrapped) value. *)
+
+val eval : env -> t -> int64
+(** Evaluate under an assignment. Unbound variables evaluate to 0.
+    Division or remainder by zero yields all-ones (hardware-ish total
+    semantics; the program under test guards real divisions). *)
+
+val vars : t -> var list
+(** Variables occurring in the term, deduplicated, in first-occurrence
+    order. *)
+
+val subst_eval_except : env -> keep:int -> t -> t
+(** Partially evaluate: replace every variable except the one with id
+    [keep] by its value in [env], folding constants. Used by the solver to
+    reduce a constraint to a single-variable term. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

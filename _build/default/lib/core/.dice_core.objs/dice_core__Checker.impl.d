@@ -1,0 +1,1 @@
+lib/core/checker.ml: Dice_bgp Dice_inet Format Ipv4 Prefix Printf Rib Router

@@ -1,0 +1,1 @@
+lib/core/checker.mli: Dice_bgp Dice_inet Format Ipv4 Prefix Rib Router

@@ -1,0 +1,1 @@
+lib/core/checks.ml: Asn Checker Dice_bgp Dice_inet Hijack Ipv4 List Prefix Printf Route Router

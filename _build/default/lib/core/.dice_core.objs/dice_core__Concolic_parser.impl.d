@@ -1,0 +1,1 @@
+lib/core/concolic_parser.ml: Array Cval Dice_concolic Engine Int64

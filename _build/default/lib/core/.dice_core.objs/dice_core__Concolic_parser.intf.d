@@ -1,0 +1,1 @@
+lib/core/concolic_parser.mli: Cval Dice_concolic Engine

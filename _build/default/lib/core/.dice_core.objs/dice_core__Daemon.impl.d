@@ -1,0 +1,1 @@
+lib/core/daemon.ml: Checker Dice_bgp Dice_inet Dice_sim Hashtbl Ipv4 List Msg Orchestrator Router_node

@@ -1,0 +1,1 @@
+lib/core/daemon.mli: Checker Dice_bgp Dice_inet Ipv4 Orchestrator Router_node

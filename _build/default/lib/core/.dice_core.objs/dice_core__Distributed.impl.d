@@ -1,0 +1,1 @@
+lib/core/distributed.ml: Checker Config_types Dice_bgp Dice_inet Ipv4 List Msg Prefix Printf Rib Route Router

@@ -1,0 +1,1 @@
+lib/core/distributed.mli: Checker Dice_bgp Dice_inet Ipv4 Msg Router

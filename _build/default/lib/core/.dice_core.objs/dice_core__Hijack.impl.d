@@ -1,0 +1,1 @@
+lib/core/hijack.ml: Asn Checker Dice_bgp Dice_inet Hashtbl Ipv4 List Option Prefix Rib Route Router

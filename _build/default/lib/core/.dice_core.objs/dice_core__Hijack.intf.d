@@ -1,0 +1,1 @@
+lib/core/hijack.mli: Checker Dice_inet

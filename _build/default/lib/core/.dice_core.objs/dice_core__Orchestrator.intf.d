@@ -1,0 +1,1 @@
+lib/core/orchestrator.mli: Checker Dice_bgp Dice_checkpoint Dice_concolic Dice_inet Explorer Format Ipv4 Msg Prefix Route Router Symbolize

@@ -1,0 +1,1 @@
+lib/core/report.ml: Buffer Checker Dice_concolic Dice_inet Dice_util Format Hijack Ipv4 List Orchestrator Prefix Printf Validate

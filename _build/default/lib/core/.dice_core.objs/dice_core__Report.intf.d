@@ -1,0 +1,1 @@
+lib/core/report.mli: Checker Dice_util Orchestrator Validate

@@ -1,0 +1,1 @@
+lib/core/symbolize.ml: Array Attr Bytes Char Croute Cval Dice_bgp Dice_concolic Dice_inet Engine Int64 Option Prefix Printf Route Sym

@@ -1,0 +1,1 @@
+lib/core/symbolize.mli: Croute Cval Dice_bgp Dice_concolic Dice_inet Engine Prefix Route

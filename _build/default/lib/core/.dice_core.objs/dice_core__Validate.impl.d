@@ -1,0 +1,1 @@
+lib/core/validate.ml: Checker Config_types Dice_bgp Dice_inet Format List Orchestrator Router

@@ -1,0 +1,1 @@
+lib/core/validate.mli: Checker Config_types Dice_bgp Format Orchestrator Router

@@ -1,0 +1,36 @@
+open Dice_inet
+open Dice_bgp
+
+type severity =
+  | Warning
+  | Critical
+
+type fault = {
+  checker : string;
+  severity : severity;
+  prefix : Prefix.t;
+  description : string;
+  details : (string * string) list;
+}
+
+let fault_key f = Printf.sprintf "%s|%s|%s" f.checker (Prefix.to_string f.prefix) f.description
+
+let pp_fault ppf f =
+  Format.fprintf ppf "@[<v 2>[%s] %s: %s %s@,%a@]"
+    (match f.severity with Warning -> "warning" | Critical -> "CRITICAL")
+    f.checker (Prefix.to_string f.prefix) f.description
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut (fun ppf (k, v) ->
+         Format.fprintf ppf "%s: %s" k v))
+    f.details
+
+type context = {
+  pre_loc_rib : Rib.Loc.t;
+  anycast : Prefix.t list;
+  peer : Ipv4.t;
+  peer_as : int;
+}
+
+type t = {
+  name : string;
+  check : context -> Router.import_outcome -> fault list;
+}

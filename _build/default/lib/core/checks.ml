@@ -1,0 +1,96 @@
+open Dice_inet
+open Dice_bgp
+
+let default_bogons =
+  List.map Prefix.of_string
+    [ "0.0.0.0/8"; "10.0.0.0/8"; "100.64.0.0/10"; "127.0.0.0/8"; "169.254.0.0/16";
+      "172.16.0.0/12"; "192.0.0.0/24"; "192.168.0.0/16"; "198.18.0.0/15"; "224.0.0.0/4";
+      "240.0.0.0/4" ]
+
+(* Checkers share this shape: look only at accepted outcomes, produce at
+   most a few faults about the accepted route. *)
+let on_accepted name f =
+  let check (cctx : Checker.context) (outcome : Router.import_outcome) =
+    if not outcome.Router.accepted then []
+    else begin
+      match outcome.Router.route with
+      | None -> []
+      | Some route -> f cctx outcome.Router.prefix route
+    end
+  in
+  { Checker.name; check }
+
+let fault ~checker ~severity ~prefix description details =
+  { Checker.checker; severity; prefix; description; details }
+
+let bogon ?(bogons = default_bogons) () =
+  on_accepted "bogon" (fun cctx prefix _route ->
+      match List.find_opt (fun b -> Prefix.overlaps b prefix) bogons with
+      | Some b ->
+        [ fault ~checker:"bogon" ~severity:Checker.Critical ~prefix
+            "import policy accepts reserved (bogon) address space"
+            [ ("bogon-range", Prefix.to_string b);
+              ("via-peer", Ipv4.to_string cctx.Checker.peer) ]
+        ]
+      | None -> [])
+
+let path_sanity ?(max_length = 32) () =
+  on_accepted "path-sanity" (fun cctx prefix route ->
+      let path = route.Route.as_path in
+      let issues = ref [] in
+      if Asn.Path.contains path 0 then
+        issues :=
+          fault ~checker:"path-sanity" ~severity:Checker.Warning ~prefix
+            "accepted route carries AS 0 in its path (RFC 7607)"
+            [ ("via-peer", Ipv4.to_string cctx.Checker.peer) ]
+          :: !issues;
+      if Asn.Path.contains path 23456 then
+        issues :=
+          fault ~checker:"path-sanity" ~severity:Checker.Warning ~prefix
+            "accepted route carries AS_TRANS as a real hop"
+            [ ("via-peer", Ipv4.to_string cctx.Checker.peer) ]
+          :: !issues;
+      if Asn.Path.length path > max_length then
+        issues :=
+          fault ~checker:"path-sanity" ~severity:Checker.Warning ~prefix
+            (Printf.sprintf "accepted route has an absurd AS path (%d hops)"
+               (Asn.Path.length path))
+            [ ("via-peer", Ipv4.to_string cctx.Checker.peer) ]
+          :: !issues;
+      List.rev !issues)
+
+let prefix_length ?(max_len = 24) () =
+  on_accepted "prefix-length" (fun cctx prefix _route ->
+      if Prefix.len prefix > max_len then
+        [ fault ~checker:"prefix-length" ~severity:Checker.Warning ~prefix
+            (Printf.sprintf "import policy accepts announcements longer than /%d" max_len)
+            [ ("via-peer", Ipv4.to_string cctx.Checker.peer) ]
+        ]
+      else [])
+
+(* Next hops in RFC 1918 space are routine inside labs and private
+   peerings; only the unambiguously impossible ranges are flagged. *)
+let impossible_next_hops =
+  List.map Prefix.of_string [ "0.0.0.0/8"; "127.0.0.0/8"; "224.0.0.0/4"; "240.0.0.0/4" ]
+
+let next_hop_sanity =
+  on_accepted "next-hop" (fun cctx prefix route ->
+      let nh = route.Route.next_hop in
+      let self_referential = Prefix.contains prefix nh in
+      let in_bogon = List.exists (fun b -> Prefix.contains b nh) impossible_next_hops in
+      if self_referential then
+        [ fault ~checker:"next-hop" ~severity:Checker.Warning ~prefix
+            "accepted route's NEXT_HOP lies inside the announced prefix"
+            [ ("next-hop", Ipv4.to_string nh);
+              ("via-peer", Ipv4.to_string cctx.Checker.peer) ]
+        ]
+      else if in_bogon then
+        [ fault ~checker:"next-hop" ~severity:Checker.Warning ~prefix
+            "accepted route's NEXT_HOP is in reserved space"
+            [ ("next-hop", Ipv4.to_string nh);
+              ("via-peer", Ipv4.to_string cctx.Checker.peer) ]
+        ]
+      else [])
+
+let standard =
+  [ Hijack.checker; bogon (); path_sanity (); prefix_length (); next_hop_sanity ]

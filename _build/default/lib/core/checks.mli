@@ -1,0 +1,36 @@
+(** Additional fault checkers, encoding standard inter-domain-routing
+    hygiene. All are opt-in: add them to {!Orchestrator.cfg.checkers}
+    alongside (or instead of) the {!Hijack.checker}. Like every checker,
+    they judge {e explored} outcomes, so they flag what a session {e
+    could} be made to accept — before any real announcement does it. *)
+
+open Dice_inet
+
+val default_bogons : Prefix.t list
+(** Reserved / special-use space that must never be routed across domains:
+    0.0.0.0/8, 10.0.0.0/8, 100.64.0.0/10, 127.0.0.0/8, 169.254.0.0/16,
+    172.16.0.0/12, 192.0.0.0/24, 192.168.0.0/16, 198.18.0.0/15,
+    224.0.0.0/4 and 240.0.0.0/4. (The documentation TEST-NETs are absent
+    on purpose: the testbed uses them as stand-ins for public space.) *)
+
+val bogon : ?bogons:Prefix.t list -> unit -> Checker.t
+(** Critical fault for every accepted announcement inside bogon space —
+    an import policy that can be made to accept a martian. *)
+
+val path_sanity : ?max_length:int -> unit -> Checker.t
+(** Warnings for accepted routes whose AS path is malformed in practice:
+    contains AS 0 (RFC 7607), contains AS_TRANS (23456, must never
+    appear as a real hop), or exceeds [max_length] (default 32) hops. *)
+
+val prefix_length : ?max_len:int -> unit -> Checker.t
+(** Warning for accepted announcements more specific than [max_len]
+    (default 24) — space conventionally filtered between domains; a
+    policy that accepts /25+ invites deaggregation attacks. *)
+
+val next_hop_sanity : Checker.t
+(** Warning for accepted routes whose NEXT_HOP lies inside the announced
+    prefix itself (self-referential forwarding) or in bogon space. *)
+
+val standard : Checker.t list
+(** [Hijack.checker] plus all of the above with defaults — a reasonable
+    production set. *)

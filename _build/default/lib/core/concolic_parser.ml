@@ -1,0 +1,119 @@
+open Dice_concolic
+
+type depth =
+  | Bad_header
+  | Bad_update_skeleton
+  | Bad_attribute
+  | Bad_nlri
+  | Valid_update
+  | Valid_other
+
+let depth_to_string = function
+  | Bad_header -> "bad-header"
+  | Bad_update_skeleton -> "bad-update-skeleton"
+  | Bad_attribute -> "bad-attribute"
+  | Bad_nlri -> "bad-nlri"
+  | Valid_update -> "valid-update"
+  | Valid_other -> "valid-other"
+
+let c8 v = Cval.concrete ~width:8 (Int64.of_int v)
+let c16 v = Cval.concrete ~width:16 (Int64.of_int v)
+
+exception Stop of depth
+
+let validate ctx bytes =
+  let n = Array.length bytes in
+  let b i = bytes.(i) in
+  let u16 i =
+    Cval.logor (Cval.shift_left (Cval.zext ~width:16 (b i)) 8) (Cval.zext ~width:16 (b (i + 1)))
+  in
+  let branch name cond = Engine.branchf ctx ("parser:" ^ name) cond in
+  let fail d = raise (Stop d) in
+  try
+    (* header *)
+    if n < 19 then fail Bad_header;
+    for i = 0 to 15 do
+      if not (branch "marker" (Cval.eq (b i) (c8 0xFF))) then fail Bad_header
+    done;
+    if not (branch "length-field" (Cval.eq (u16 16) (c16 n))) then fail Bad_header;
+    let typ = b 18 in
+    if branch "type-update" (Cval.eq typ (c8 2)) then begin
+      (* UPDATE body *)
+      let body_start = 19 in
+      let body_len = n - 19 in
+      if body_len < 4 then fail Bad_update_skeleton;
+      let wd_len_c = u16 body_start in
+      let wd_len = Cval.to_int wd_len_c in
+      if
+        not
+          (branch "withdrawn-fits"
+             (Cval.ule wd_len_c (c16 (max 0 (body_len - 4)))))
+      then fail Bad_update_skeleton;
+      (* withdrawn prefixes *)
+      let pos = ref (body_start + 2) in
+      let wd_end = body_start + 2 + wd_len in
+      while !pos < wd_end do
+        let plen_c = b !pos in
+        if not (branch "withdrawn-plen" (Cval.ule plen_c (c8 32))) then fail Bad_nlri;
+        let plen = Cval.to_int plen_c in
+        let nbytes = (plen + 7) / 8 in
+        if !pos + 1 + nbytes > wd_end then fail Bad_nlri;
+        pos := !pos + 1 + nbytes
+      done;
+      (* path attributes *)
+      if wd_end + 2 > n then fail Bad_update_skeleton;
+      let at_len_c = u16 wd_end in
+      let at_len = Cval.to_int at_len_c in
+      if
+        not
+          (branch "attrs-fit" (Cval.ule at_len_c (c16 (max 0 (n - wd_end - 2)))))
+      then fail Bad_update_skeleton;
+      let at_end = wd_end + 2 + at_len in
+      pos := wd_end + 2;
+      while !pos < at_end do
+        if !pos + 2 > at_end then fail Bad_attribute;
+        let flags = b !pos in
+        let typc = b (!pos + 1) in
+        let extended =
+          branch "attr-extlen" (Cval.ne (Cval.logand flags (c8 0x10)) (c8 0))
+        in
+        let hdr = if extended then 4 else 3 in
+        if !pos + hdr > at_end then fail Bad_attribute;
+        let vlen =
+          if extended then Cval.to_int (u16 (!pos + 2)) else Cval.to_int (b (!pos + 2))
+        in
+        if !pos + hdr + vlen > at_end then fail Bad_attribute;
+        (* recognized well-known attributes must not be optional *)
+        let is_wellknown =
+          branch "attr-wellknown"
+            (Cval.and_ (Cval.uge typc (c8 1)) (Cval.ule typc (c8 3)))
+        in
+        if is_wellknown then begin
+          if not (branch "attr-flags-ok" (Cval.eq (Cval.logand flags (c8 0x80)) (c8 0)))
+          then fail Bad_attribute;
+          (* ORIGIN value constraint *)
+          if Cval.to_int typc = 1 && vlen = 1 then begin
+            let v = b (!pos + hdr) in
+            if not (branch "origin-range" (Cval.ule v (c8 2))) then fail Bad_attribute
+          end
+        end;
+        pos := !pos + hdr + vlen
+      done;
+      (* NLRI *)
+      pos := at_end;
+      while !pos < n do
+        let plen_c = b !pos in
+        if not (branch "nlri-plen" (Cval.ule plen_c (c8 32))) then fail Bad_nlri;
+        let plen = Cval.to_int plen_c in
+        let nbytes = (plen + 7) / 8 in
+        if !pos + 1 + nbytes > n then fail Bad_nlri;
+        pos := !pos + 1 + nbytes
+      done;
+      Valid_update
+    end
+    else if
+      branch "type-known"
+        (Cval.and_ (Cval.uge typ (c8 1)) (Cval.ule typ (c8 4)))
+    then Valid_other
+    else fail Bad_header
+  with Stop d -> d

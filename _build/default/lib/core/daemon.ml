@@ -1,0 +1,101 @@
+open Dice_inet
+open Dice_bgp
+
+type cfg = {
+  orchestrator : Orchestrator.cfg;
+  explore_every : float;
+  min_seeds : int;
+  seed_sample : int;
+  observe_peers : Ipv4.t list option;
+}
+
+let default_cfg =
+  {
+    orchestrator = Orchestrator.default_cfg;
+    explore_every = 60.0;
+    min_seeds = 1;
+    seed_sample = 16;
+    observe_peers = None;
+  }
+
+type t = {
+  cfg : cfg;
+  node : Router_node.t;
+  dice : Orchestrator.t;
+  mutable running : bool;
+  mutable episode_count : int;
+  mutable rev_reports : Orchestrator.report list;
+  mutable seen_faults : (string, unit) Hashtbl.t;
+  mutable rev_faults : Checker.fault list;
+  mutable observed : int;
+  mutable announcement_counter : int;
+  mutable fault_observers : (Checker.fault -> unit) list;
+}
+
+let observe_update t ~peer (u : Msg.update) =
+  let tapped =
+    match t.cfg.observe_peers with
+    | None -> true
+    | Some peers -> List.mem peer peers
+  in
+  if tapped && u.Msg.nlri <> [] then begin
+    t.announcement_counter <- t.announcement_counter + 1;
+    if t.announcement_counter mod t.cfg.seed_sample = 0 || t.observed = 0 then begin
+      t.observed <- t.observed + 1;
+      Orchestrator.observe_update t.dice ~peer u
+    end
+  end
+
+let run_episode t =
+  if Orchestrator.pending_seeds t.dice >= t.cfg.min_seeds then begin
+    t.episode_count <- t.episode_count + 1;
+    let report = Orchestrator.explore t.dice in
+    t.rev_reports <- report :: t.rev_reports;
+    List.iter
+      (fun f ->
+        let key = Checker.fault_key f in
+        if not (Hashtbl.mem t.seen_faults key) then begin
+          Hashtbl.add t.seen_faults key ();
+          t.rev_faults <- f :: t.rev_faults;
+          List.iter (fun g -> g f) t.fault_observers
+        end)
+      report.Orchestrator.faults
+  end
+
+let rec schedule t =
+  if t.running then
+    Dice_sim.Network.schedule (Router_node.network t.node) ~delay:t.cfg.explore_every
+      (fun () ->
+        if t.running then begin
+          run_episode t;
+          schedule t
+        end)
+
+let attach ?(cfg = default_cfg) node =
+  let t =
+    {
+      cfg;
+      node;
+      dice = Orchestrator.create ~cfg:cfg.orchestrator (Router_node.router node);
+      running = true;
+      episode_count = 0;
+      rev_reports = [];
+      seen_faults = Hashtbl.create 64;
+      rev_faults = [];
+      observed = 0;
+      announcement_counter = 0;
+      fault_observers = [];
+    }
+  in
+  Router_node.on_update node (fun ~peer u -> observe_update t ~peer u);
+  schedule t;
+  t
+
+let stop t = t.running <- false
+
+let explorations t = t.episode_count
+let reports t = List.rev t.rev_reports
+let faults t = List.rev t.rev_faults
+let observed t = t.observed
+
+let on_fault t f = t.fault_observers <- t.fault_observers @ [ f ]

@@ -1,0 +1,52 @@
+(** Continuous online testing.
+
+    DiCE "continuously and automatically explores the system behavior, to
+    check whether the system deviates from its desired behavior" (§1).
+    This module closes the loop in the simulated deployment: attached to a
+    live {!Dice_bgp.Router_node}, it taps every received UPDATE as an
+    exploration seed (sampled), and periodically — in virtual time, off
+    the message-processing path — checkpoints and explores, accumulating
+    fault reports for the operator. The live router is never touched and
+    no exploration message reaches the network. *)
+
+open Dice_inet
+open Dice_bgp
+
+type cfg = {
+  orchestrator : Orchestrator.cfg;
+  explore_every : float;  (** virtual seconds between exploration episodes *)
+  min_seeds : int;  (** skip an episode when fewer seeds are pending *)
+  seed_sample : int;  (** observe every [n]-th announcement (1 = all) *)
+  observe_peers : Ipv4.t list option;
+      (** only tap these sessions; [None] taps every session *)
+}
+
+val default_cfg : cfg
+(** Explore every 60 virtual seconds when at least one seed is pending,
+    sampling every 16th announcement from every session, with
+    {!Orchestrator.default_cfg}. *)
+
+type t
+
+val attach : ?cfg:cfg -> Router_node.t -> t
+(** Start continuous testing on a node. Observation begins immediately;
+    the first exploration episode is scheduled [explore_every] from now. *)
+
+val stop : t -> unit
+(** Stop scheduling further episodes (the current simulation keeps
+    running). *)
+
+val explorations : t -> int
+(** Episodes that actually explored (had enough seeds). *)
+
+val reports : t -> Orchestrator.report list
+(** All episode reports, oldest first. *)
+
+val faults : t -> Checker.fault list
+(** Distinct faults across all episodes so far. *)
+
+val observed : t -> int
+(** Announcements tapped as seeds so far. *)
+
+val on_fault : t -> (Checker.fault -> unit) -> unit
+(** Notify the operator the moment a {e new} distinct fault is found. *)

@@ -1,0 +1,81 @@
+(** Cross-network exploration (the paper's §2.4 extension).
+
+    Local exploration covers a single node's actions; their "far reaching
+    consequences ... need to be observed from a system-wide perspective"
+    (§2.1). The paper envisions letting exploration messages flow to other
+    nodes "in a way that doesn't affect the live system": remote nodes
+    checkpoint their state and process these messages in isolation over
+    their checkpointed state, while confidentiality demands that "nodes
+    only communicate state information through a narrow interface yet
+    capable to allow us to detect faults" (§2.4).
+
+    This module implements that design:
+
+    - a {!agent} represents a cooperating remote node (a different
+      administrative domain). It owns its live router and never exposes
+      state or configuration;
+    - {!probe} lets the exploring node submit one exploration message.
+      The agent checkpoints its own live router, processes the message on
+      an isolated clone, and answers with a {!verdict} — three booleans
+      and a count. No RIB contents, no filters, no origin data cross the
+      boundary;
+    - {!checker} packages remote probing as a fault checker: every
+      message an exploration run would send to a neighbor with an agent
+      is forwarded (from the interception sandbox, never the live
+      network), and remote origin conflicts become system-wide fault
+      reports. *)
+
+open Dice_inet
+open Dice_bgp
+
+type agent
+
+val agent : name:string -> addr:Ipv4.t -> explorer_addr:Ipv4.t -> Router.t -> agent
+(** [agent ~name ~addr ~explorer_addr router]: a remote node that the
+    exploring node reaches at [addr], running [router] as its live
+    process, and that knows the exploring node as its neighbor
+    [explorer_addr]. The agent checkpoints [router] lazily and
+    re-checkpoints when the live router has processed new updates
+    since. *)
+
+val agent_name : agent -> string
+val agent_addr : agent -> Ipv4.t
+
+type verdict = {
+  accepted : bool;  (** the remote import policy accepted the route *)
+  installed : bool;  (** it became the remote node's best route *)
+  origin_conflict : bool;
+      (** it overrides the origin AS of something the remote node already
+          routes — detected {e at} the remote node, against state the
+          local node cannot see *)
+  covers_foreign : int;
+      (** how many remote routes with other origins the announcement
+          {e covers} (claims a super-block of) — the coverage-leak class:
+          traffic for the uncovered gaps would divert to the announcer *)
+  would_propagate : int;
+      (** how many further sessions the remote node would re-advertise
+          on — the blast radius *)
+}
+
+val probe : agent -> from:Ipv4.t -> Msg.t -> verdict list
+(** Submit one exploration message as if it arrived on the session with
+    [from] (the exploring node's address on that peering). One verdict
+    per announced prefix; empty for non-UPDATE messages or pure
+    withdrawals. The agent's live router is never mutated. *)
+
+val probes_performed : agent -> int
+val checkpoints_taken : agent -> int
+
+val checker : agents:agent list -> Checker.t
+(** A {!Checker.t} that extends every exploration outcome across the
+    network: each [To_peer] message the outcome would send to an agent's
+    address is probed remotely. Findings:
+    - [remote-origin-conflict] (critical): the explored announcement
+      would override origins at the remote node — the local node could
+      not have detected this, the conflicting route exists only in the
+      remote RIB;
+    - [remote-coverage-leak] (critical): the explored announcement claims
+      a super-block of space the remote node routes to other origins;
+    - [remote-propagation] (warning): the remote node would accept and
+      re-advertise the exploratory route further ([would_propagate]
+      sessions) — the leak crosses a second domain boundary. *)

@@ -1,0 +1,289 @@
+open Dice_inet
+open Dice_bgp
+open Dice_concolic
+module Fork = Dice_checkpoint.Fork
+
+type seed = {
+  tag : string;
+  peer : Ipv4.t;
+  prefix : Prefix.t;
+  route : Route.t;
+}
+
+type cfg = {
+  explorer : Explorer.config;
+  page_size : int;
+  mode : Symbolize.mode;
+  max_seeds : int;
+  checkers : Checker.t list;
+  clone_samples : int;
+}
+
+let default_cfg =
+  {
+    explorer =
+      { Explorer.default_config with Explorer.max_runs = 96; max_depth = 64 };
+    page_size = Dice_checkpoint.Page.default_size;
+    mode = Symbolize.Selective;
+    max_seeds = 4;
+    checkers = [ Hijack.checker ];
+    clone_samples = 4;
+  }
+
+type t = {
+  live : Router.t;
+  cfg : cfg;
+  mutable rev_seeds : seed list;
+  mutable seed_counter : int;
+}
+
+let create ?(cfg = default_cfg) live = { live; cfg; rev_seeds = []; seed_counter = 0 }
+
+let router t = t.live
+
+let observe t ~peer ~prefix ~route =
+  let tag = Printf.sprintf "seed%d" t.seed_counter in
+  t.seed_counter <- t.seed_counter + 1;
+  t.rev_seeds <- { tag; peer; prefix; route } :: t.rev_seeds
+
+let observe_update t ~peer (u : Msg.update) =
+  match Route.of_attrs u.Msg.attrs with
+  | Error _ -> ()
+  | Ok route -> List.iter (fun prefix -> observe t ~peer ~prefix ~route) u.Msg.nlri
+
+let pending_seeds t = List.length t.rev_seeds
+
+type seed_report = {
+  seed : seed;
+  explorer : Explorer.report;
+  faults : Checker.fault list;
+  intercepted : int;
+  runs_accepted : int;
+  runs_rejected : int;
+  observed_accepted : bool;
+  clone_stats : Fork.clone_stats list;
+  depth_counts : (string * int) list;
+}
+
+type report = {
+  seed_reports : seed_report list;
+  faults : Checker.fault list;
+  checkpoint_pages : int;
+  live_image_bytes : int;
+  wall_seconds : float;
+  checkpoint_seconds : float;
+}
+
+(* Serialized engine metadata: the path condition buffers a forked explorer
+   process keeps in memory — counted as part of the clone's CoW footprint,
+   as they would be in a real fork-based explorer. *)
+let engine_metadata ctx =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun (e : Path.entry) ->
+      Buffer.add_string buf (Path.Site.name e.Path.site);
+      Buffer.add_string buf (Format.asprintf "%a" Path.pp_constr e.Path.constr))
+    (Engine.path ctx);
+  Bytes.of_string (Buffer.contents buf)
+
+let dedup_faults faults =
+  let seen = Hashtbl.create 32 in
+  List.filter
+    (fun f ->
+      let key = Checker.fault_key f in
+      if Hashtbl.mem seen key then false
+      else begin
+        Hashtbl.add seen key ();
+        true
+      end)
+    faults
+
+let explore_seed t ~checkpoint ~config ~pre_loc (s : seed) =
+  let cfgx = t.cfg in
+  let sandbox = Dice_sim.Isolation.create ~name:("dice-" ^ s.tag) in
+  (* the engine's accumulated in-memory state (constraints recorded across
+     all runs so far): part of a forked explorer's footprint *)
+  let meta_buf = Buffer.create 1024 in
+  (* a pristine clone image for (re)creating the exploration router *)
+  let base_image = Fork.checkpoint_image checkpoint in
+  let clone_router = ref (Router.restore config base_image) in
+  let dirty = ref false in
+  let faults = ref [] in
+  let accepted = ref 0 in
+  let rejected = ref 0 in
+  let observed_accepted = ref None in
+  let clone_stats = ref [] in
+  let sampled = ref 0 in
+  let depth_tbl : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  let checker_ctx peer_as =
+    { Checker.pre_loc_rib = pre_loc;
+      anycast = (Router.config t.live).Config_types.anycast;
+      peer = s.peer;
+      peer_as;
+    }
+  in
+  let peer_as =
+    match Config_types.find_peer (Router.config t.live) s.peer with
+    | Some p -> p.Config_types.remote_as
+    | None -> 0
+  in
+  let run_outcome ctx outcome =
+    (* the first run replays the observed input unmutated *)
+    if !observed_accepted = None then observed_accepted := Some outcome.Router.accepted;
+    Buffer.add_bytes meta_buf (engine_metadata ctx);
+    List.iter
+      (fun o ->
+        match o with
+        | Router.To_peer (_, _) -> Dice_sim.Isolation.send sandbox ~src:0 ~dst:0 Bytes.empty
+        | Router.Connect_request _ | Router.Close_connection _ | Router.Set_timer _
+        | Router.Clear_timer _ | Router.Session_up _ | Router.Session_down _ ->
+          ())
+      outcome.Router.outputs;
+    if outcome.Router.accepted then begin
+      incr accepted;
+      dirty := true;
+      (* sample clone footprints at exponentially spaced points so the
+         growth of the explorer's workspace over the whole exploration is
+         captured, not just the first few runs *)
+      let power_of_two n = n land (n - 1) = 0 in
+      if !sampled < cfgx.clone_samples && power_of_two !accepted then begin
+        incr sampled;
+        let clone = Fork.spawn checkpoint in
+        let final =
+          Bytes.cat (Router.snapshot !clone_router)
+            (Bytes.of_string (Buffer.contents meta_buf))
+        in
+        clone_stats := Fork.finish clone ~final_image:final :: !clone_stats
+      end
+    end
+    else incr rejected;
+    List.iter
+      (fun (c : Checker.t) -> faults := c.Checker.check (checker_ctx peer_as) outcome @ !faults)
+      cfgx.checkers
+  in
+  let program ctx =
+    if !dirty then begin
+      clone_router := Router.restore config base_image;
+      dirty := false
+    end;
+    match cfgx.mode with
+    | Symbolize.Selective ->
+      let cr = Symbolize.croute ctx ~tag:s.tag ~prefix:s.prefix ~route:s.route in
+      let outcome = Router.import_concolic ~ctx !clone_router ~peer:s.peer cr in
+      run_outcome ctx outcome
+    | Symbolize.Whole_message -> begin
+      let observed =
+        Msg.encode (Msg.Update { withdrawn = []; attrs = Route.to_attrs s.route; nlri = [ s.prefix ] })
+      in
+      let cvals = Symbolize.message_bytes ctx ~tag:s.tag observed in
+      let depth = Concolic_parser.validate ctx cvals in
+      let key = Concolic_parser.depth_to_string depth in
+      Hashtbl.replace depth_tbl key
+        (1 + Option.value (Hashtbl.find_opt depth_tbl key) ~default:0);
+      match depth with
+      | Concolic_parser.Valid_update -> begin
+        let bytes = Symbolize.concretize_bytes cvals in
+        match Msg.decode bytes with
+        | Ok (Msg.Update u) when u.Msg.nlri <> [] -> begin
+          match Route.of_attrs u.Msg.attrs with
+          | Ok route ->
+            List.iter
+              (fun prefix ->
+                let cr = Croute.of_route prefix route in
+                let outcome =
+                  Router.import_concolic ~ctx !clone_router ~peer:s.peer cr
+                in
+                run_outcome ctx outcome)
+              u.Msg.nlri
+          | Error _ -> incr rejected
+        end
+        | Ok _ | Error _ -> incr rejected
+      end
+      | Concolic_parser.Bad_header | Concolic_parser.Bad_update_skeleton
+      | Concolic_parser.Bad_attribute | Concolic_parser.Bad_nlri
+      | Concolic_parser.Valid_other ->
+        ()
+    end
+  in
+  let explorer = Explorer.explore ~config:cfgx.explorer program in
+  {
+    seed = s;
+    explorer;
+    faults = dedup_faults (List.rev !faults);
+    intercepted = Dice_sim.Isolation.count sandbox;
+    runs_accepted = !accepted;
+    runs_rejected = !rejected;
+    observed_accepted = Option.value !observed_accepted ~default:false;
+    clone_stats = List.rev !clone_stats;
+    depth_counts =
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) depth_tbl [] |> List.sort compare;
+  }
+
+let take n l =
+  let rec go n l acc =
+    if n = 0 then List.rev acc
+    else begin
+      match l with
+      | [] -> List.rev acc
+      | x :: rest -> go (n - 1) rest (x :: acc)
+    end
+  in
+  go n l []
+
+let explore t =
+  let t0 = Unix.gettimeofday () in
+  let config = Router.config t.live in
+  (* only this runs on the live node's critical path: freezing the
+     process image — O(#peers) thanks to persistent RIBs, the in-process
+     equivalent of fork()'s page-table copy *)
+  let frozen = Router.freeze t.live in
+  let pre_loc = Router.loc_rib t.live in
+  let checkpoint_seconds = Unix.gettimeofday () -. t0 in
+  (* from here on the explorer does the work: serialization included *)
+  let live_image = Router.serialize frozen in
+  let mgr = Fork.create ~page_size:t.cfg.page_size () in
+  let checkpoint = Fork.checkpoint mgr ~live_image in
+  let seeds = take t.cfg.max_seeds t.rev_seeds in
+  t.rev_seeds <- [];
+  let seed_reports =
+    List.map (fun s -> explore_seed t ~checkpoint ~config ~pre_loc s) seeds
+  in
+  let all_faults =
+    dedup_faults (List.concat_map (fun (r : seed_report) -> r.faults) seed_reports)
+  in
+  {
+    seed_reports;
+    faults = all_faults;
+    checkpoint_pages =
+      Dice_checkpoint.Page.count ~page_size:t.cfg.page_size (Bytes.length live_image);
+    live_image_bytes = Bytes.length live_image;
+    wall_seconds = Unix.gettimeofday () -. t0;
+    checkpoint_seconds;
+  }
+
+let pp_report ppf r =
+  Format.fprintf ppf "@[<v>DiCE exploration report@,";
+  Format.fprintf ppf "seeds explored: %d@," (List.length r.seed_reports);
+  Format.fprintf ppf "live image: %d bytes (%d pages)@," r.live_image_bytes
+    r.checkpoint_pages;
+  List.iter
+    (fun sr ->
+      Format.fprintf ppf "@[<v 2>%s (%s observed on %s):@," sr.seed.tag
+        (Prefix.to_string sr.seed.prefix)
+        (Ipv4.to_string sr.seed.peer);
+      Format.fprintf ppf "executions: %d, accepted: %d, rejected: %d@,"
+        sr.explorer.Explorer.executions sr.runs_accepted sr.runs_rejected;
+      Format.fprintf ppf "coverage: %d directions / %d sites@,"
+        (Coverage.direction_count sr.explorer.Explorer.coverage)
+        (Coverage.site_count sr.explorer.Explorer.coverage);
+      if sr.depth_counts <> [] then
+        Format.fprintf ppf "parser depths: %s@,"
+          (String.concat ", "
+             (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) sr.depth_counts));
+      Format.fprintf ppf "faults: %d@]@," (List.length sr.faults))
+    r.seed_reports;
+  Format.fprintf ppf "@[<v 2>distinct faults (%d):@,%a@]@,"
+    (List.length r.faults)
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut Checker.pp_fault)
+    r.faults;
+  Format.fprintf ppf "wall time: %.2f s@]" r.wall_seconds

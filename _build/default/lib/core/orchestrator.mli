@@ -1,0 +1,89 @@
+(** The DiCE orchestrator: the checkpoint–symbolize–explore–check loop
+    (paper §2.3).
+
+    Against a {e live} router it:
+    + takes a page-granular checkpoint of the live process image,
+    + clones the checkpoint for exploration (copy-on-write),
+    + feeds each clone a previously observed input with selected fields
+      symbolized,
+    + lets the concolic engine negate recorded branch predicates to
+      systematically exercise the node's actions,
+    + intercepts all messages the clones generate (isolation: the
+      deployed system never sees exploration traffic), and
+    + runs fault checkers against every explored outcome.
+
+    The live router is never mutated: every exploration run executes on a
+    restored clone. *)
+
+open Dice_inet
+open Dice_bgp
+open Dice_concolic
+
+type seed = {
+  tag : string;
+  peer : Ipv4.t;  (** session the input was observed on *)
+  prefix : Prefix.t;
+  route : Route.t;
+}
+
+type cfg = {
+  explorer : Explorer.config;
+  page_size : int;
+  mode : Symbolize.mode;
+  max_seeds : int;  (** most recent seeds explored per {!explore} call *)
+  checkers : Checker.t list;
+  clone_samples : int;  (** CoW-cost samples collected per seed *)
+}
+
+val default_cfg : cfg
+(** DFS explorer (96 runs, depth 64), 4 KiB pages, selective
+    symbolization, 4 seeds, the {!Hijack.checker}, 4 clone samples. *)
+
+type t
+
+val create : ?cfg:cfg -> Router.t -> t
+(** Attach DiCE to a live router. *)
+
+val router : t -> Router.t
+
+val observe : t -> peer:Ipv4.t -> prefix:Prefix.t -> route:Route.t -> unit
+(** Record an observed input as an exploration seed. *)
+
+val observe_update : t -> peer:Ipv4.t -> Msg.update -> unit
+(** Convenience: observe every announcement of an UPDATE. *)
+
+val pending_seeds : t -> int
+
+type seed_report = {
+  seed : seed;
+  explorer : Explorer.report;
+  faults : Checker.fault list;
+  intercepted : int;  (** exploration messages captured by the sandbox *)
+  runs_accepted : int;  (** runs whose input survived import policy *)
+  runs_rejected : int;
+  observed_accepted : bool;
+      (** whether the {e observed} (unmutated) input was accepted — run 0
+          replays it; config-change validation uses this to detect
+          regressions on legitimate traffic *)
+  clone_stats : Dice_checkpoint.Fork.clone_stats list;
+  depth_counts : (string * int) list;
+      (** whole-message mode: how deep each run got into the parser *)
+}
+
+type report = {
+  seed_reports : seed_report list;
+  faults : Checker.fault list;  (** deduplicated across seeds *)
+  checkpoint_pages : int;
+  live_image_bytes : int;
+  wall_seconds : float;
+  checkpoint_seconds : float;
+      (** the live node's critical-path share of [wall_seconds]: taking
+          the checkpoint. Exploration itself runs off the critical path
+          (on the paper's testbed, on other cores). *)
+}
+
+val explore : t -> report
+(** Checkpoint the live router and explore the pending seeds (most recent
+    [max_seeds]; the queue is drained). *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,98 @@
+open Dice_bgp
+
+type comparison = {
+  current_report : Orchestrator.report;
+  proposed_report : Orchestrator.report;
+  fixed : Checker.fault list;
+  introduced : Checker.fault list;
+  persisting : Checker.fault list;
+  regressions : Orchestrator.seed list;
+}
+
+let same_peer_set a b =
+  let key (p : Config_types.peer_cfg) = (p.Config_types.neighbor, p.Config_types.remote_as) in
+  let sort cfg = List.sort compare (List.map key cfg.Config_types.peers) in
+  sort a = sort b
+
+let explore_with ?cfg router seeds =
+  let dice = Orchestrator.create ?cfg router in
+  List.iter
+    (fun (s : Orchestrator.seed) ->
+      Orchestrator.observe dice ~peer:s.Orchestrator.peer ~prefix:s.Orchestrator.prefix
+        ~route:s.Orchestrator.route)
+    seeds;
+  Orchestrator.explore dice
+
+let config_change ?cfg ~live ~proposed ~seeds () =
+  if not (same_peer_set (Router.config live) proposed) then
+    invalid_arg "Validate.config_change: the proposed configuration changes the peer set";
+  let cfg =
+    match cfg with
+    | Some c -> Some { c with Orchestrator.max_seeds = max (List.length seeds) 1 }
+    | None ->
+      Some { Orchestrator.default_cfg with Orchestrator.max_seeds = max (List.length seeds) 1 }
+  in
+  (* shadow router: live state under the proposed configuration *)
+  let shadow = Router.restore proposed (Router.snapshot live) in
+  let current_report = explore_with ?cfg live seeds in
+  let proposed_report = explore_with ?cfg shadow seeds in
+  let keys report =
+    List.map
+      (fun f -> (Checker.fault_key f, f))
+      report.Orchestrator.faults
+  in
+  let cur = keys current_report and prop = keys proposed_report in
+  let not_in other (k, _) = not (List.mem_assoc k other) in
+  let fixed = List.filter (not_in prop) cur |> List.map snd in
+  let introduced = List.filter (not_in cur) prop |> List.map snd in
+  let persisting = List.filter (fun (k, _) -> List.mem_assoc k prop) cur |> List.map snd in
+  (* a regression: the observed input accepted under current, rejected
+     under proposed *)
+  let accepted_by report =
+    List.filter_map
+      (fun (sr : Orchestrator.seed_report) ->
+        if sr.Orchestrator.observed_accepted then Some sr.Orchestrator.seed.Orchestrator.tag
+        else None)
+      report.Orchestrator.seed_reports
+  in
+  let cur_ok = accepted_by current_report in
+  let prop_ok = accepted_by proposed_report in
+  let regressions =
+    List.filter_map
+      (fun (sr : Orchestrator.seed_report) ->
+        let tag = sr.Orchestrator.seed.Orchestrator.tag in
+        if List.mem tag cur_ok && not (List.mem tag prop_ok) then
+          Some sr.Orchestrator.seed
+        else None)
+      current_report.Orchestrator.seed_reports
+  in
+  { current_report; proposed_report; fixed; introduced; persisting; regressions }
+
+let verdict c =
+  if c.introduced <> [] || c.regressions <> [] then `Harmful
+  else if c.fixed = [] then `Ineffective
+  else `Safe
+
+let pp ppf c =
+  let label = function
+    | `Safe -> "SAFE: fixes faults without breaking observed traffic"
+    | `Ineffective -> "INEFFECTIVE: changes nothing that exploration can see"
+    | `Harmful -> "HARMFUL: introduces faults or breaks observed traffic"
+  in
+  Format.fprintf ppf "@[<v>config-change validation: %s@," (label (verdict c));
+  Format.fprintf ppf "fixed: %d, introduced: %d, persisting: %d, regressions: %d@,"
+    (List.length c.fixed) (List.length c.introduced) (List.length c.persisting)
+    (List.length c.regressions);
+  List.iter
+    (fun f -> Format.fprintf ppf "  fixed      %a@," Checker.pp_fault f)
+    c.fixed;
+  List.iter
+    (fun f -> Format.fprintf ppf "  introduced %a@," Checker.pp_fault f)
+    c.introduced;
+  List.iter
+    (fun (s : Orchestrator.seed) ->
+      Format.fprintf ppf "  regression: observed %s via %s now rejected@,"
+        (Dice_inet.Prefix.to_string s.Orchestrator.prefix)
+        (Dice_inet.Ipv4.to_string s.Orchestrator.peer))
+    c.regressions;
+  Format.fprintf ppf "@]"

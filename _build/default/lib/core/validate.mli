@@ -1,0 +1,53 @@
+(** Operator-action validation: test a proposed configuration change on a
+    clone of live state {e before} committing it.
+
+    The paper positions this as the natural extension of DiCE (§5): "our
+    approach could be extended to explore system behavior under specific
+    operator actions before they are introduced in the running system"
+    (following Nagaraja et al.'s operator-mistake study, and Alimi et
+    al.'s shadow configurations). The mechanics already exist: checkpoint
+    live state, build a shadow router with the {e proposed} configuration
+    over the checkpointed RIBs, and explore both configurations with the
+    same seeds and budget. The comparison answers the two operator
+    questions:
+    - does the change close the holes? ({!comparison.fixed})
+    - does it break legitimate announcements or open new holes?
+      ({!comparison.regressions}, {!comparison.introduced}) *)
+
+open Dice_bgp
+
+type comparison = {
+  current_report : Orchestrator.report;  (** exploration under the running config *)
+  proposed_report : Orchestrator.report;  (** exploration under the proposed config *)
+  fixed : Checker.fault list;
+      (** faults found under the current config that the proposed one
+          eliminates *)
+  introduced : Checker.fault list;
+      (** faults that only appear under the proposed config *)
+  persisting : Checker.fault list;
+      (** faults present under both *)
+  regressions : Orchestrator.seed list;
+      (** observed (legitimate) inputs the running config accepts but the
+          proposed config rejects — routine traffic the change would
+          break *)
+}
+
+val config_change :
+  ?cfg:Orchestrator.cfg ->
+  live:Router.t ->
+  proposed:Config_types.t ->
+  seeds:Orchestrator.seed list ->
+  unit ->
+  comparison
+(** Explore [seeds] under both configurations, starting from the live
+    router's current state. The live router is never mutated; the
+    proposed configuration must keep the same peer set (addresses and AS
+    numbers), as a real maintenance window would.
+    @raise Invalid_argument if the proposed peers differ. *)
+
+val verdict : comparison -> [ `Safe | `Ineffective | `Harmful ]
+(** [`Harmful] if the change introduces faults or breaks observed
+    traffic; [`Ineffective] if it fixes nothing (and harms nothing);
+    [`Safe] otherwise. *)
+
+val pp : Format.formatter -> comparison -> unit

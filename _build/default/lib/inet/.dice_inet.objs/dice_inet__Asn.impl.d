@@ -1,0 +1,1 @@
+lib/inet/asn.ml: Format Int List Printf String

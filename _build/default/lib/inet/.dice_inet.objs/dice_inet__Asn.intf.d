@@ -1,0 +1,1 @@
+lib/inet/asn.mli: Format

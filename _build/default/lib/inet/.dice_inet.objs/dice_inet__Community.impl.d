@@ -1,0 +1,1 @@
+lib/inet/community.ml: Format Int Printf String

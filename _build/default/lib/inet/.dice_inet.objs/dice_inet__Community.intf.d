@@ -1,0 +1,1 @@
+lib/inet/community.mli: Format

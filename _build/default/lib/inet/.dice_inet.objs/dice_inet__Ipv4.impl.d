@@ -1,0 +1,1 @@
+lib/inet/ipv4.ml: Format Int Int32 Printf String

@@ -1,0 +1,1 @@
+lib/inet/ipv4.mli: Format

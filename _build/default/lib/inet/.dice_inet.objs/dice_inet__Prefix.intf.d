@@ -1,0 +1,1 @@
+lib/inet/prefix.mli: Format Ipv4

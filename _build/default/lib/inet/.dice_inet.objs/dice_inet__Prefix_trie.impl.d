@@ -1,0 +1,1 @@
+lib/inet/prefix_trie.ml: Int32 Ipv4 List Option Prefix

@@ -1,0 +1,1 @@
+lib/inet/prefix_trie.mli: Ipv4 Prefix

@@ -1,0 +1,67 @@
+type t = int
+
+let pp ppf t = Format.fprintf ppf "AS%d" t
+let to_string t = Printf.sprintf "AS%d" t
+let compare = Int.compare
+
+module Path = struct
+  type segment =
+    | Seq of t list
+    | Set of t list
+
+  type nonrec t = segment list
+
+  let empty = []
+
+  let prepend asn path =
+    match path with
+    | Seq s :: rest -> Seq (asn :: s) :: rest
+    | (Set _ :: _ | []) as p -> Seq [ asn ] :: p
+
+  let length path =
+    List.fold_left
+      (fun acc seg ->
+        match seg with
+        | Seq s -> acc + List.length s
+        | Set _ -> acc + 1)
+      0 path
+
+  let rec origin_as = function
+    | [] -> None
+    | [ Seq s ] -> begin
+      match List.rev s with
+      | last :: _ -> Some last
+      | [] -> None
+    end
+    | [ Set _ ] -> None
+    | _ :: rest -> origin_as rest
+
+  let first_as = function
+    | Seq (a :: _) :: _ -> Some a
+    | (Seq [] | Set _) :: _ | [] -> None
+
+  let contains path asn =
+    List.exists
+      (fun seg ->
+        match seg with
+        | Seq s | Set s -> List.mem asn s)
+      path
+
+  let as_list path =
+    List.concat_map
+      (fun seg ->
+        match seg with
+        | Seq s | Set s -> s)
+      path
+
+  let equal (a : t) (b : t) = a = b
+
+  let to_string path =
+    let seg = function
+      | Seq s -> String.concat " " (List.map string_of_int s)
+      | Set s -> "{" ^ String.concat "," (List.map string_of_int s) ^ "}"
+    in
+    String.concat " " (List.map seg path)
+
+  let pp ppf t = Format.pp_print_string ppf (to_string t)
+end

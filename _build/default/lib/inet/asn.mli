@@ -1,0 +1,45 @@
+(** Autonomous-system numbers and AS paths. *)
+
+type t = int
+(** A 16/32-bit AS number. Invariant: [0 <= t < 2^32]. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+val compare : t -> t -> int
+
+(** AS_PATH values: an ordered list of segments (RFC 4271 §4.3). *)
+module Path : sig
+  type segment =
+    | Seq of t list  (** AS_SEQUENCE: ordered *)
+    | Set of t list  (** AS_SET: unordered aggregate *)
+
+  type nonrec t = segment list
+
+  val empty : t
+
+  val prepend : int -> t -> t
+  (** [prepend asn path]: prepend [asn] to the leading AS_SEQUENCE, creating
+      one if the path starts with a set or is empty. This is the eBGP export
+      operation. *)
+
+  val length : t -> int
+  (** Decision-process length: each sequence member counts 1, each set
+      counts 1 in total (RFC 4271 §9.1.2.2). *)
+
+  val origin_as : t -> int option
+  (** Rightmost AS of the path — the AS that originated the route. [None]
+      for an empty path or one ending in a set. *)
+
+  val first_as : t -> int option
+  (** Leftmost AS — the neighbor the route was learned from. *)
+
+  val contains : t -> int -> bool
+  (** Loop detection: does the path mention the AS anywhere? *)
+
+  val as_list : t -> int list
+  (** All ASNs in order of appearance (sets flattened). *)
+
+  val equal : t -> t -> bool
+  val to_string : t -> string
+  val pp : Format.formatter -> t -> unit
+end

@@ -1,0 +1,42 @@
+type t = int
+
+let make asn value =
+  if asn < 0 || asn > 0xFFFF || value < 0 || value > 0xFFFF then
+    invalid_arg "Community.make: parts out of range";
+  (asn lsl 16) lor value
+
+let asn_part t = (t lsr 16) land 0xFFFF
+let value_part t = t land 0xFFFF
+
+let no_export = 0xFFFFFF01
+let no_advertise = 0xFFFFFF02
+
+let of_string_opt s =
+  match s with
+  | "no-export" -> Some no_export
+  | "no-advertise" -> Some no_advertise
+  | _ -> begin
+    match String.index_opt s ':' with
+    | None -> None
+    | Some i -> begin
+      let a = String.sub s 0 i in
+      let v = String.sub s (i + 1) (String.length s - i - 1) in
+      match (int_of_string_opt a, int_of_string_opt v) with
+      | Some a, Some v when a >= 0 && a <= 0xFFFF && v >= 0 && v <= 0xFFFF ->
+        Some (make a v)
+      | _, _ -> None
+    end
+  end
+
+let of_string s =
+  match of_string_opt s with
+  | Some t -> t
+  | None -> invalid_arg (Printf.sprintf "Community.of_string: %S" s)
+
+let to_string t =
+  if t = no_export then "no-export"
+  else if t = no_advertise then "no-advertise"
+  else Printf.sprintf "%d:%d" (asn_part t) (value_part t)
+
+let compare = Int.compare
+let pp ppf t = Format.pp_print_string ppf (to_string t)

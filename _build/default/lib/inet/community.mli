@@ -1,0 +1,25 @@
+(** BGP community values (RFC 1997): 32-bit tags conventionally written
+    [asn:value]. *)
+
+type t = int
+(** Invariant: [0 <= t < 2^32]. *)
+
+val make : int -> int -> t
+(** [make asn value] with both in [\[0, 65535\]]. *)
+
+val asn_part : t -> int
+val value_part : t -> int
+
+val no_export : t
+(** Well-known NO_EXPORT (0xFFFFFF01). *)
+
+val no_advertise : t
+(** Well-known NO_ADVERTISE (0xFFFFFF02). *)
+
+val of_string : string -> t
+(** Parse ["64500:120"] or a well-known name. @raise Invalid_argument. *)
+
+val of_string_opt : string -> t option
+val to_string : t -> string
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit

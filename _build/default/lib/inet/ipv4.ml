@@ -1,0 +1,54 @@
+type t = int
+
+let zero = 0
+let broadcast = 0xFFFFFFFF
+
+let of_octets a b c d =
+  if a < 0 || a > 255 || b < 0 || b > 255 || c < 0 || c > 255 || d < 0 || d > 255 then
+    invalid_arg "Ipv4.of_octets: octet out of range";
+  (a lsl 24) lor (b lsl 16) lor (c lsl 8) lor d
+
+let to_octets t =
+  ((t lsr 24) land 0xFF, (t lsr 16) land 0xFF, (t lsr 8) land 0xFF, t land 0xFF)
+
+let of_string_opt s =
+  match String.split_on_char '.' s with
+  | [ a; b; c; d ] -> begin
+    let octet x =
+      match int_of_string_opt x with
+      | Some v when v >= 0 && v <= 255 && x <> "" -> Some v
+      | Some _ | None -> None
+    in
+    match (octet a, octet b, octet c, octet d) with
+    | Some a, Some b, Some c, Some d -> Some (of_octets a b c d)
+    | _, _, _, _ -> None
+  end
+  | _ -> None
+
+let of_string s =
+  match of_string_opt s with
+  | Some t -> t
+  | None -> invalid_arg (Printf.sprintf "Ipv4.of_string: %S" s)
+
+let to_string t =
+  let a, b, c, d = to_octets t in
+  Printf.sprintf "%d.%d.%d.%d" a b c d
+
+let of_int32 i = Int32.to_int i land 0xFFFFFFFF
+let to_int32 t = Int32.of_int t
+
+let compare = Int.compare
+
+let succ t = (t + 1) land 0xFFFFFFFF
+
+let bit t i =
+  assert (i >= 0 && i < 32);
+  (t lsr (31 - i)) land 1 = 1
+
+let mask len =
+  assert (len >= 0 && len <= 32);
+  if len = 0 then 0 else (0xFFFFFFFF lsl (32 - len)) land 0xFFFFFFFF
+
+let apply_mask t len = t land mask len
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -1,0 +1,47 @@
+(** IPv4 addresses represented as unboxed 32-bit values carried in an
+    OCaml [int] (always non-negative, range [0, 2^32)). *)
+
+type t = int
+(** The address as an integer in host order; e.g. [10.0.0.1] is
+    [0x0A000001]. Invariant: [0 <= t < 2^32]. *)
+
+val zero : t
+val broadcast : t
+(** [255.255.255.255]. *)
+
+val of_octets : int -> int -> int -> int -> t
+(** [of_octets a b c d] builds [a.b.c.d]. Each octet must be in
+    [\[0, 255\]]. *)
+
+val to_octets : t -> int * int * int * int
+
+val of_string : string -> t
+(** Parse dotted-quad notation. @raise Invalid_argument on malformed
+    input. *)
+
+val of_string_opt : string -> t option
+
+val to_string : t -> string
+
+val of_int32 : int32 -> t
+(** Reinterpret a (possibly negative) [int32] as an unsigned address. *)
+
+val to_int32 : t -> int32
+
+val compare : t -> t -> int
+
+val succ : t -> t
+(** Next address, wrapping at [broadcast]. *)
+
+val bit : t -> int -> bool
+(** [bit a i] is bit [i] of [a] counting from the most significant
+    (bit 0 is the top bit). Requires [0 <= i < 32]. *)
+
+val mask : int -> t
+(** [mask len] is the netmask with [len] leading one-bits.
+    Requires [0 <= len <= 32]. *)
+
+val apply_mask : t -> int -> t
+(** [apply_mask a len] zeroes all but the first [len] bits. *)
+
+val pp : Format.formatter -> t -> unit

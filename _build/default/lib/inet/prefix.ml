@@ -1,0 +1,62 @@
+type t = { network : Ipv4.t; len : int }
+
+let make addr len =
+  if len < 0 || len > 32 then invalid_arg "Prefix.make: bad length";
+  { network = Ipv4.apply_mask addr len; len }
+
+let network t = t.network
+let len t = t.len
+
+let default = { network = 0; len = 0 }
+let host addr = { network = addr; len = 32 }
+
+let of_string_opt s =
+  match String.index_opt s '/' with
+  | None -> Option.map host (Ipv4.of_string_opt s)
+  | Some i -> begin
+    let addr = String.sub s 0 i in
+    let l = String.sub s (i + 1) (String.length s - i - 1) in
+    match (Ipv4.of_string_opt addr, int_of_string_opt l) with
+    | Some a, Some l when l >= 0 && l <= 32 -> Some (make a l)
+    | _, _ -> None
+  end
+
+let of_string s =
+  match of_string_opt s with
+  | Some t -> t
+  | None -> invalid_arg (Printf.sprintf "Prefix.of_string: %S" s)
+
+let to_string t = Printf.sprintf "%s/%d" (Ipv4.to_string t.network) t.len
+
+let compare a b =
+  match Ipv4.compare a.network b.network with
+  | 0 -> Int.compare a.len b.len
+  | c -> c
+
+let equal a b = a.network = b.network && a.len = b.len
+
+let contains p a = Ipv4.apply_mask a p.len = p.network
+
+let subsumes p q = q.len >= p.len && Ipv4.apply_mask q.network p.len = p.network
+
+let overlaps p q = subsumes p q || subsumes q p
+
+let first_address t = t.network
+let last_address t = t.network lor (Ipv4.mask t.len lxor 0xFFFFFFFF)
+
+let split t =
+  if t.len >= 32 then None
+  else begin
+    let l = t.len + 1 in
+    let lo = { network = t.network; len = l } in
+    let hi = { network = t.network lor (1 lsl (32 - l)); len = l } in
+    Some (lo, hi)
+  end
+
+let bit t i =
+  assert (i >= 0 && i < t.len);
+  Ipv4.bit t.network i
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+let hash t = (t.network * 31) lxor t.len

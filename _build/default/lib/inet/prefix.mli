@@ -1,0 +1,56 @@
+(** CIDR prefixes ([a.b.c.d/len]).
+
+    The canonical form keeps only the first [len] bits of the network
+    address; construction normalizes. *)
+
+type t = private { network : Ipv4.t; len : int }
+(** Invariant: [0 <= len <= 32] and [network] has zeros past bit [len]. *)
+
+val make : Ipv4.t -> int -> t
+(** [make addr len] normalizes [addr] to [len] bits.
+    @raise Invalid_argument if [len] is out of range. *)
+
+val network : t -> Ipv4.t
+val len : t -> int
+
+val default : t
+(** [0.0.0.0/0]. *)
+
+val host : Ipv4.t -> t
+(** A /32. *)
+
+val of_string : string -> t
+(** Parse ["10.0.0.0/8"]. A bare address means /32.
+    @raise Invalid_argument on malformed input. *)
+
+val of_string_opt : string -> t option
+
+val to_string : t -> string
+
+val compare : t -> t -> int
+(** Total order: by network, then by length. *)
+
+val equal : t -> t -> bool
+
+val contains : t -> Ipv4.t -> bool
+(** [contains p a]: is address [a] inside prefix [p]? *)
+
+val subsumes : t -> t -> bool
+(** [subsumes p q]: is [q] equal to or more specific than [p]
+    (i.e. [q]'s address block is inside [p]'s)? *)
+
+val overlaps : t -> t -> bool
+(** Do the two address blocks intersect? *)
+
+val first_address : t -> Ipv4.t
+val last_address : t -> Ipv4.t
+
+val split : t -> (t * t) option
+(** [split p] is the two halves of [p], or [None] for a /32. *)
+
+val bit : t -> int -> bool
+(** [bit p i] is bit [i] of the network address, [0 <= i < len p]. *)
+
+val pp : Format.formatter -> t -> unit
+
+val hash : t -> int

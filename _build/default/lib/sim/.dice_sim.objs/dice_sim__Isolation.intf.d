@@ -1,0 +1,1 @@
+lib/sim/isolation.mli: Network

@@ -1,0 +1,79 @@
+type 'a cell = { time : float; seq : int; payload : 'a }
+
+type 'a t = {
+  mutable heap : 'a cell array;  (* heap.(0) unused when empty *)
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create () = { heap = [||]; size = 0; next_seq = 0 }
+
+let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+(* Grow using [filler] (the cell about to be inserted) for the new slots,
+   so no dummy value is ever fabricated. *)
+let grow t filler =
+  let cap = Array.length t.heap in
+  if t.size >= cap then begin
+    let ncap = max 16 (cap * 2) in
+    let nh = Array.make ncap filler in
+    Array.blit t.heap 0 nh 0 t.size;
+    t.heap <- nh
+  end
+
+let push t ~time payload =
+  let cell = { time; seq = t.next_seq; payload } in
+  t.next_seq <- t.next_seq + 1;
+  grow t cell;
+  t.heap.(t.size) <- cell;
+  t.size <- t.size + 1;
+  (* sift up *)
+  let i = ref (t.size - 1) in
+  while
+    !i > 0
+    &&
+    let parent = (!i - 1) / 2 in
+    before t.heap.(!i) t.heap.(parent)
+  do
+    let parent = (!i - 1) / 2 in
+    let tmp = t.heap.(!i) in
+    t.heap.(!i) <- t.heap.(parent);
+    t.heap.(parent) <- tmp;
+    i := parent
+  done
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let top = t.heap.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.heap.(0) <- t.heap.(t.size);
+      (* sift down *)
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < t.size && before t.heap.(l) t.heap.(!smallest) then smallest := l;
+        if r < t.size && before t.heap.(r) t.heap.(!smallest) then smallest := r;
+        if !smallest = !i then continue := false
+        else begin
+          let tmp = t.heap.(!i) in
+          t.heap.(!i) <- t.heap.(!smallest);
+          t.heap.(!smallest) <- tmp;
+          i := !smallest
+        end
+      done
+    end;
+    Some (top.time, top.payload)
+  end
+
+let peek_time t = if t.size = 0 then None else Some t.heap.(0).time
+
+let size t = t.size
+let is_empty t = t.size = 0
+
+let clear t =
+  t.size <- 0;
+  t.heap <- [||]

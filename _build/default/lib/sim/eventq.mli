@@ -1,0 +1,20 @@
+(** Priority queue of timestamped events (binary min-heap).
+
+    Events with equal timestamps fire in insertion order, which keeps
+    simulations deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val push : 'a t -> time:float -> 'a -> unit
+(** Schedule an event. Times may be in any order. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the earliest event. *)
+
+val peek_time : 'a t -> float option
+
+val size : 'a t -> int
+val is_empty : 'a t -> bool
+val clear : 'a t -> unit

@@ -1,0 +1,25 @@
+type capture = { src : Network.node_id; dst : Network.node_id; msg : bytes }
+
+type t = { name : string; mutable rev : capture list; mutable n : int }
+
+let create ~name = { name; rev = []; n = 0 }
+
+let name t = t.name
+
+let send t ~src ~dst msg =
+  t.rev <- { src; dst; msg } :: t.rev;
+  t.n <- t.n + 1
+
+let captured t = List.rev t.rev
+
+let count t = t.n
+
+let drain t =
+  let out = List.rev t.rev in
+  t.rev <- [];
+  t.n <- 0;
+  out
+
+let clear t =
+  t.rev <- [];
+  t.n <- 0

@@ -1,0 +1,30 @@
+(** Exploration sandboxes.
+
+    During exploration DiCE "intercepts the messages generated" so the
+    deployed system is unaffected (paper §2.3). A sandbox gives cloned
+    nodes a send interface shaped like the live one, but every message is
+    captured instead of delivered — and can later be inspected by checkers
+    or forwarded into other sandboxed clones (the paper's envisioned
+    cross-network extension, §2.4). *)
+
+type capture = { src : Network.node_id; dst : Network.node_id; msg : bytes }
+
+type t
+
+val create : name:string -> t
+
+val name : t -> string
+
+val send : t -> src:Network.node_id -> dst:Network.node_id -> bytes -> unit
+(** Capture a message. Never touches any live network. *)
+
+val captured : t -> capture list
+(** Captures in send order. *)
+
+val count : t -> int
+
+val drain : t -> capture list
+(** Return captures in send order and clear the sandbox — used when
+    forwarding exploration traffic into a remote node's sandboxed clone. *)
+
+val clear : t -> unit

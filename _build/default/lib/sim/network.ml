@@ -1,0 +1,147 @@
+type node_id = int
+
+type event =
+  | Deliver of { src : node_id; dst : node_id; msg : bytes }
+  | Thunk of (unit -> unit)
+
+type t = {
+  mutable clock : float;
+  queue : event Eventq.t;
+  mutable names : string array;
+  mutable handlers : handler array;
+  mutable n : int;
+  links : (node_id * node_id, float) Hashtbl.t;  (* key has lower id first *)
+  mutable sent : int;
+  mutable delivered : int;
+}
+
+and handler = t -> self:node_id -> from:node_id -> bytes -> unit
+
+let no_handler : handler = fun _ ~self:_ ~from:_ _ -> ()
+
+let create () =
+  {
+    clock = 0.0;
+    queue = Eventq.create ();
+    names = [||];
+    handlers = [||];
+    n = 0;
+    links = Hashtbl.create 16;
+    sent = 0;
+    delivered = 0;
+  }
+
+let now t = t.clock
+
+let add_node t ~name ~handler =
+  let id = t.n in
+  if id >= Array.length t.names then begin
+    let cap = max 8 (2 * Array.length t.names) in
+    let nn = Array.make cap "" and nh = Array.make cap no_handler in
+    Array.blit t.names 0 nn 0 t.n;
+    Array.blit t.handlers 0 nh 0 t.n;
+    t.names <- nn;
+    t.handlers <- nh
+  end;
+  t.names.(id) <- name;
+  t.handlers.(id) <- handler;
+  t.n <- t.n + 1;
+  id
+
+let check_node t id fn =
+  if id < 0 || id >= t.n then invalid_arg (Printf.sprintf "Network.%s: unknown node %d" fn id)
+
+let set_handler t id h =
+  check_node t id "set_handler";
+  t.handlers.(id) <- h
+
+let node_name t id =
+  check_node t id "node_name";
+  t.names.(id)
+
+let node_count t = t.n
+
+let link_key a b = if a <= b then (a, b) else (b, a)
+
+let connect t a b ~latency =
+  check_node t a "connect";
+  check_node t b "connect";
+  if a = b then invalid_arg "Network.connect: self-link";
+  if latency < 0.0 then invalid_arg "Network.connect: negative latency";
+  Hashtbl.replace t.links (link_key a b) latency
+
+let disconnect t a b = Hashtbl.remove t.links (link_key a b)
+
+let connected t a b = Hashtbl.mem t.links (link_key a b)
+
+let neighbors t id =
+  check_node t id "neighbors";
+  Hashtbl.fold
+    (fun (a, b) _ acc ->
+      if a = id then b :: acc else if b = id then a :: acc else acc)
+    t.links []
+  |> List.sort compare
+
+let send t ~src ~dst msg =
+  check_node t src "send";
+  check_node t dst "send";
+  match Hashtbl.find_opt t.links (link_key src dst) with
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Network.send: %s and %s are not connected" t.names.(src) t.names.(dst))
+  | Some latency ->
+    t.sent <- t.sent + 1;
+    Eventq.push t.queue ~time:(t.clock +. latency) (Deliver { src; dst; msg })
+
+let schedule t ~delay thunk =
+  if delay < 0.0 then invalid_arg "Network.schedule: negative delay";
+  Eventq.push t.queue ~time:(t.clock +. delay) (Thunk thunk)
+
+let schedule_at t ~time thunk =
+  if time < t.clock then invalid_arg "Network.schedule_at: time in the past";
+  Eventq.push t.queue ~time (Thunk thunk)
+
+let dispatch t = function
+  | Deliver { src; dst; msg } ->
+    t.delivered <- t.delivered + 1;
+    t.handlers.(dst) t ~self:dst ~from:src msg
+  | Thunk f -> f ()
+
+let step t =
+  match Eventq.pop t.queue with
+  | None -> false
+  | Some (time, ev) ->
+    t.clock <- max t.clock time;
+    dispatch t ev;
+    true
+
+let run ?until ?max_events t =
+  let fired = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let budget_ok =
+      match max_events with
+      | Some m -> !fired < m
+      | None -> true
+    in
+    if not budget_ok then continue := false
+    else begin
+      match Eventq.peek_time t.queue with
+      | None -> continue := false
+      | Some time -> begin
+        match until with
+        | Some u when time > u ->
+          t.clock <- max t.clock u;
+          continue := false
+        | Some _ | None ->
+          ignore (step t);
+          incr fired
+      end
+    end
+  done;
+  !fired
+
+let pending t = Eventq.size t.queue
+
+let messages_sent t = t.sent
+let messages_delivered t = t.delivered

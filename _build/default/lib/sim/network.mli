@@ -1,0 +1,59 @@
+(** Discrete-event simulated network.
+
+    Nodes exchange opaque byte messages over point-to-point links with
+    latency; a virtual clock advances from event to event. This is the
+    stand-in for the paper's testbed of BIRD instances on virtual
+    interfaces: deterministic, and fast enough to replay full routing
+    tables. *)
+
+type node_id = int
+
+type t
+
+type handler = t -> self:node_id -> from:node_id -> bytes -> unit
+(** Invoked when a message is delivered to a node. *)
+
+val create : unit -> t
+
+val now : t -> float
+(** Current virtual time, seconds. *)
+
+val add_node : t -> name:string -> handler:handler -> node_id
+(** Register a node. Ids are dense, starting at 0. *)
+
+val set_handler : t -> node_id -> handler -> unit
+(** Replace a node's handler (for wiring circular dependencies). *)
+
+val node_name : t -> node_id -> string
+val node_count : t -> int
+
+val connect : t -> node_id -> node_id -> latency:float -> unit
+(** Create a bidirectional link. Reconnecting updates the latency. *)
+
+val disconnect : t -> node_id -> node_id -> unit
+
+val connected : t -> node_id -> node_id -> bool
+val neighbors : t -> node_id -> node_id list
+
+val send : t -> src:node_id -> dst:node_id -> bytes -> unit
+(** Queue a message for delivery after the link latency.
+    @raise Invalid_argument if the nodes are not connected. *)
+
+val schedule : t -> delay:float -> (unit -> unit) -> unit
+(** Run a thunk after a virtual delay (timers). *)
+
+val schedule_at : t -> time:float -> (unit -> unit) -> unit
+(** @raise Invalid_argument if [time] is in the virtual past. *)
+
+val step : t -> bool
+(** Process the earliest pending event. [false] if none remain. *)
+
+val run : ?until:float -> ?max_events:int -> t -> int
+(** Process events until the queue is empty, virtual time would pass
+    [until], or [max_events] have fired. Returns events processed. Events
+    at exactly [until] do fire. *)
+
+val pending : t -> int
+
+val messages_sent : t -> int
+val messages_delivered : t -> int

@@ -1,0 +1,1 @@
+lib/topology/threerouter.ml: Array Config_parser Dice_bgp Dice_inet Dice_sim Dice_trace Ipv4 List Prefix Printf Rib Router Router_node

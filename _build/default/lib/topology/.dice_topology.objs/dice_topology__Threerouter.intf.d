@@ -1,0 +1,1 @@
+lib/topology/threerouter.mli: Config_types Dice_bgp Dice_inet Dice_sim Dice_trace Ipv4 Prefix Router Router_node

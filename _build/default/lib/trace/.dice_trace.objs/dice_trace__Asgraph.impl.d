@@ -1,0 +1,1 @@
+lib/trace/asgraph.ml: Array Dice_util List Option Printf

@@ -1,0 +1,1 @@
+lib/trace/asgraph.mli: Dice_util

@@ -1,0 +1,1 @@
+lib/trace/gen.ml: Array Asgraph Attr Dice_bgp Dice_inet Dice_util Hashtbl Ipv4 List Prefix

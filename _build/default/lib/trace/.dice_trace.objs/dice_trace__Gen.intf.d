@@ -1,0 +1,1 @@
+lib/trace/gen.mli: Dice_bgp Dice_inet Ipv4 Prefix

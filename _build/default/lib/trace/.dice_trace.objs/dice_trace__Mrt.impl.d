@@ -1,0 +1,1 @@
+lib/trace/mrt.ml: Array Bytes Dice_bgp Dice_inet Dice_wire Gen Int64 List Prefix Printf String

@@ -1,0 +1,1 @@
+lib/trace/mrt.mli: Gen

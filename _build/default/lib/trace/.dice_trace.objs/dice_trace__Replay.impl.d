@@ -1,0 +1,1 @@
+lib/trace/replay.ml: Array Asn Dice_bgp Dice_inet Dice_sim Gen List Unix

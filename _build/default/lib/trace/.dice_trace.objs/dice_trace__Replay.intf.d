@@ -1,0 +1,1 @@
+lib/trace/replay.mli: Dice_bgp Dice_inet Dice_sim Gen Ipv4

@@ -1,0 +1,16 @@
+(** A compact MRT-inspired binary serialization of traces, so generated
+    workloads can be written once and replayed across experiments (and so
+    the repository exercises a real on-disk format, like the RouteViews
+    dumps the paper consumes). *)
+
+val write : Gen.t -> bytes
+(** Serialize a trace. *)
+
+val read : bytes -> Gen.t
+(** @raise Invalid_argument on a corrupt image. *)
+
+val save : string -> Gen.t -> unit
+(** Write to a file. *)
+
+val load : string -> Gen.t
+(** Read from a file. @raise Sys_error / Invalid_argument. *)

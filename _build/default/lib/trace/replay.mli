@@ -1,0 +1,53 @@
+(** Trace replay into a router.
+
+    Two modes:
+
+    - {!feed_dump} / {!feed_events}: direct synchronous replay into a
+      router's message handler — what the throughput experiments time
+      (paper §4.1 measures "updates the DiCE-enabled router handles per
+      second" during replay);
+    - {!schedule}: schedule the trace as simulated network traffic from
+      the collector node, for end-to-end integration runs. *)
+
+open Dice_inet
+
+type progress = {
+  updates_sent : int;
+  updates_processed : int;  (** router-side counter delta *)
+  wall_seconds : float;  (** real time the replay took *)
+}
+
+val feed_dump :
+  ?on_update:(int -> unit) ->
+  Dice_bgp.Router.t ->
+  peer:Ipv4.t ->
+  next_hop:Ipv4.t ->
+  Gen.t ->
+  progress
+(** Push every dump entry through [Router.handle_msg] as fast as possible
+    (the "full load" scenario). [on_update i] fires after the [i]-th
+    message — hook exploration work in there. *)
+
+val feed_events :
+  ?on_update:(int -> unit) ->
+  Dice_bgp.Router.t ->
+  peer:Ipv4.t ->
+  next_hop:Ipv4.t ->
+  Gen.t ->
+  progress
+(** Push the timed update tail (ignoring inter-arrival gaps; the caller
+    owns pacing). *)
+
+val schedule :
+  Dice_sim.Network.t ->
+  from_node:Dice_sim.Network.node_id ->
+  to_node:Dice_sim.Network.node_id ->
+  ?start_at:float ->
+  ?dump_pace:float ->
+  next_hop:Ipv4.t ->
+  Gen.t ->
+  int
+(** Schedule the dump (paced [dump_pace] seconds apart, default 0.001)
+    then the events at their trace times (offset by [start_at]) as framed
+    BGP messages from the collector node. Returns messages scheduled. The
+    receiving session must already be Established. *)

@@ -1,0 +1,1 @@
+lib/util/hashutil.ml: Bytes Char Int64 String

@@ -1,0 +1,17 @@
+let offset_basis = 0xCBF29CE484222325L
+let prime = 0x100000001B3L
+
+let fnv1a_bytes b off len =
+  let h = ref offset_basis in
+  for i = off to off + len - 1 do
+    h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code (Bytes.get b i)))) prime
+  done;
+  !h
+
+let fnv1a_string s =
+  let h = ref offset_basis in
+  String.iter (fun c -> h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) prime) s;
+  !h
+
+let combine a b =
+  Int64.mul (Int64.logxor (Int64.mul a prime) b) prime

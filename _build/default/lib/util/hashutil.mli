@@ -1,0 +1,10 @@
+(** Content hashing for the copy-on-write page store. *)
+
+val fnv1a_bytes : bytes -> int -> int -> int64
+(** [fnv1a_bytes b off len] is the 64-bit FNV-1a hash of [b.(off..off+len-1)]. *)
+
+val fnv1a_string : string -> int64
+(** FNV-1a over a whole string. *)
+
+val combine : int64 -> int64 -> int64
+(** Mix two hashes into one (order-sensitive). *)

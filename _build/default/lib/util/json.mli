@@ -1,0 +1,32 @@
+(** A minimal JSON value type and serializer (no external dependencies).
+
+    Only what machine-readable reports need: construction and compact or
+    indented printing with correct string escaping. There is deliberately
+    no parser — the repository emits JSON, it never consumes it. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val obj : (string * t) list -> t
+val list : ('a -> t) -> 'a list -> t
+val string : string -> t
+val int : int -> t
+val float : float -> t
+val bool : bool -> t
+
+val escape : string -> string
+(** JSON string-body escaping (no surrounding quotes). *)
+
+val to_string : ?indent:bool -> t -> string
+(** Serialize; [indent] (default [false]) pretty-prints with 2-space
+    indentation. Floats print via ["%.17g"] minimized, NaN/infinities as
+    [null] (JSON has no representation for them). *)
+
+val pp : Format.formatter -> t -> unit
+(** Compact form. *)

@@ -1,0 +1,64 @@
+(** Deterministic pseudo-random number generation.
+
+    All randomized components of the reproduction (trace generation, random
+    exploration strategy, workload synthesis) draw from this splittable
+    SplitMix64 generator so that every experiment is reproducible from a
+    seed. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int64 -> t
+(** [create seed] returns a fresh generator. Equal seeds yield equal
+    streams. *)
+
+val copy : t -> t
+(** [copy t] duplicates the generator state; the copy evolves
+    independently. *)
+
+val split : t -> t
+(** [split t] derives an independent generator from [t], advancing [t].
+    Use to give subsystems their own streams without cross-coupling. *)
+
+val int64 : t -> int64
+(** Next raw 64-bit value. *)
+
+val bits32 : t -> int32
+(** Next 32 random bits. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. Requires [bound > 0]. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in [\[lo, hi\]]. Requires [lo <= hi]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val chance : t -> float -> bool
+(** [chance t p] is [true] with probability [p]. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform choice from a non-empty array. *)
+
+val pick_list : t -> 'a list -> 'a
+(** Uniform choice from a non-empty list. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val geometric : t -> float -> int
+(** [geometric t p] samples the number of failures before the first success
+    of a Bernoulli([p]) process; mean [(1-p)/p]. Requires [0 < p <= 1]. *)
+
+val exponential : t -> float -> float
+(** [exponential t rate] samples an exponential inter-arrival time with the
+    given rate (events per unit time). *)
+
+val zipf : t -> int -> float -> int
+(** [zipf t n s] samples from a Zipf distribution over [\[1, n\]] with
+    exponent [s], via rejection-inversion. Used for realistic AS-degree and
+    prefix-popularity skews. *)

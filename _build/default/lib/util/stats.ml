@@ -1,0 +1,58 @@
+type t = {
+  mutable samples : float list;  (* reverse insertion order *)
+  mutable n : int;
+  mutable sum : float;
+  mutable sumsq : float;
+  mutable mn : float;
+  mutable mx : float;
+}
+
+let create () =
+  { samples = []; n = 0; sum = 0.0; sumsq = 0.0; mn = Float.nan; mx = Float.nan }
+
+let add t x =
+  t.samples <- x :: t.samples;
+  t.n <- t.n + 1;
+  t.sum <- t.sum +. x;
+  t.sumsq <- t.sumsq +. (x *. x);
+  if Float.is_nan t.mn || x < t.mn then t.mn <- x;
+  if Float.is_nan t.mx || x > t.mx then t.mx <- x
+
+let count t = t.n
+let total t = t.sum
+let mean t = if t.n = 0 then 0.0 else t.sum /. float_of_int t.n
+
+let stddev t =
+  if t.n < 2 then 0.0
+  else
+    let m = mean t in
+    let var = (t.sumsq -. (float_of_int t.n *. m *. m)) /. float_of_int (t.n - 1) in
+    if var < 0.0 then 0.0 else sqrt var
+
+let min t = t.mn
+let max t = t.mx
+
+let percentile t p =
+  if t.n = 0 then Float.nan
+  else begin
+    let a = Array.of_list t.samples in
+    Array.sort compare a;
+    let rank = p /. 100.0 *. float_of_int (t.n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = int_of_float (Float.ceil rank) in
+    if lo = hi then a.(lo)
+    else begin
+      let frac = rank -. float_of_int lo in
+      (a.(lo) *. (1.0 -. frac)) +. (a.(hi) *. frac)
+    end
+  end
+
+let median t = percentile t 50.0
+
+let to_list t = List.rev t.samples
+
+let summary t =
+  if t.n = 0 then "n=0"
+  else
+    Printf.sprintf "n=%d mean=%.4g p50=%.4g p95=%.4g min=%.4g max=%.4g" t.n (mean t)
+      (median t) (percentile t 95.0) t.mn t.mx

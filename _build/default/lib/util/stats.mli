@@ -1,0 +1,34 @@
+(** Online and batch descriptive statistics used by the benchmark harness. *)
+
+type t
+(** An accumulator of float observations. Keeps all samples so percentiles
+    are exact; experiments here are small enough for that to be fine. *)
+
+val create : unit -> t
+
+val add : t -> float -> unit
+(** Record one observation. *)
+
+val count : t -> int
+val total : t -> float
+val mean : t -> float
+(** Mean of the observations; [0.] when empty. *)
+
+val stddev : t -> float
+(** Sample standard deviation; [0.] with fewer than two observations. *)
+
+val min : t -> float
+val max : t -> float
+(** Extrema; [nan] when empty. *)
+
+val percentile : t -> float -> float
+(** [percentile t p] with [p] in [\[0,100\]], linear interpolation between
+    closest ranks; [nan] when empty. *)
+
+val median : t -> float
+
+val to_list : t -> float list
+(** Observations in insertion order. *)
+
+val summary : t -> string
+(** One-line [n/mean/p50/p95/max] rendering for reports. *)

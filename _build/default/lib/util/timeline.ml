@@ -1,0 +1,37 @@
+type t = {
+  mutable rev_points : (float * float) list;
+  mutable last_time : float;
+  mutable n : int;
+}
+
+let create () = { rev_points = []; last_time = neg_infinity; n = 0 }
+
+let record t time value =
+  assert (time >= t.last_time);
+  t.rev_points <- (time, value) :: t.rev_points;
+  t.last_time <- time;
+  t.n <- t.n + 1
+
+let points t = List.rev t.rev_points
+
+let fold_in t t0 t1 f init =
+  List.fold_left
+    (fun acc (time, v) -> if time >= t0 && time < t1 then f acc v else acc)
+    init t.rev_points
+
+let count_in t t0 t1 = fold_in t t0 t1 (fun acc _ -> acc + 1) 0
+let sum_in t t0 t1 = fold_in t t0 t1 (fun acc v -> acc +. v) 0.0
+
+let rate_in t t0 t1 =
+  if t1 <= t0 then 0.0 else float_of_int (count_in t t0 t1) /. (t1 -. t0)
+
+let span t =
+  match t.rev_points with
+  | [] -> (0.0, 0.0)
+  | (last, _) :: _ ->
+    let rec first = function
+      | [ (time, _) ] -> time
+      | _ :: rest -> first rest
+      | [] -> assert false
+    in
+    (first t.rev_points, last)

@@ -1,0 +1,25 @@
+(** Time-series recording of (virtual time, value) points, used by the
+    throughput experiments to report rates over trace-replay windows. *)
+
+type t
+
+val create : unit -> t
+
+val record : t -> float -> float -> unit
+(** [record t time value] appends a point. Times must be non-decreasing. *)
+
+val points : t -> (float * float) list
+(** Points in chronological order. *)
+
+val count_in : t -> float -> float -> int
+(** [count_in t t0 t1] is the number of points with time in [\[t0, t1)]. *)
+
+val sum_in : t -> float -> float -> float
+(** Sum of values of points with time in [\[t0, t1)]. *)
+
+val rate_in : t -> float -> float -> float
+(** [rate_in t t0 t1] is [count_in t t0 t1 / (t1 - t0)]: events per unit
+    time over a window. *)
+
+val span : t -> float * float
+(** First and last recorded time; [(0., 0.)] when empty. *)

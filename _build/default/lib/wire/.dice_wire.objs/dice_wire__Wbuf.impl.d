@@ -1,0 +1,1 @@
+lib/wire/wbuf.ml: Bytes Char String

@@ -1,0 +1,46 @@
+exception Truncated of string
+
+type t = { buf : bytes; limit : int; mutable cur : int }
+
+let of_bytes b = { buf = b; limit = Bytes.length b; cur = 0 }
+
+let remaining t = t.limit - t.cur
+let pos t = t.cur
+let eof t = t.cur >= t.limit
+
+let need what t n = if remaining t < n then raise (Truncated what)
+
+let sub t n =
+  need "sub" t n;
+  let r = { buf = t.buf; limit = t.cur + n; cur = t.cur } in
+  t.cur <- t.cur + n;
+  r
+
+let u8 ?(what = "u8") t =
+  need what t 1;
+  let v = Char.code (Bytes.get t.buf t.cur) in
+  t.cur <- t.cur + 1;
+  v
+
+let u16 ?(what = "u16") t =
+  need what t 2;
+  let v = (Char.code (Bytes.get t.buf t.cur) lsl 8) lor Char.code (Bytes.get t.buf (t.cur + 1)) in
+  t.cur <- t.cur + 2;
+  v
+
+let u32 ?(what = "u32") t =
+  need what t 4;
+  let b i = Char.code (Bytes.get t.buf (t.cur + i)) in
+  let v = (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3 in
+  t.cur <- t.cur + 4;
+  v
+
+let take ?(what = "bytes") t n =
+  need what t n;
+  let b = Bytes.sub t.buf t.cur n in
+  t.cur <- t.cur + n;
+  b
+
+let skip ?(what = "skip") t n =
+  need what t n;
+  t.cur <- t.cur + n

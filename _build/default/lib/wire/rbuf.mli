@@ -1,0 +1,27 @@
+(** Bounds-checked big-endian binary reader. *)
+
+exception Truncated of string
+(** Raised when a read runs past the end of the region; the payload names
+    the field being read, for error reporting. *)
+
+type t
+
+val of_bytes : bytes -> t
+(** Read over the whole byte sequence (not copied). *)
+
+val sub : t -> int -> t
+(** [sub t n] takes the next [n] bytes as a new reader and advances [t].
+    @raise Truncated if fewer than [n] bytes remain. *)
+
+val remaining : t -> int
+val pos : t -> int
+val eof : t -> bool
+
+val u8 : ?what:string -> t -> int
+val u16 : ?what:string -> t -> int
+val u32 : ?what:string -> t -> int
+
+val take : ?what:string -> t -> int -> bytes
+(** Read [n] raw bytes. *)
+
+val skip : ?what:string -> t -> int -> unit

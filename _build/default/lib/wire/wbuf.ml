@@ -1,0 +1,60 @@
+type t = { mutable buf : bytes; mutable len : int }
+
+let create ?(capacity = 64) () = { buf = Bytes.create (max 8 capacity); len = 0 }
+
+let length t = t.len
+
+let ensure t extra =
+  let needed = t.len + extra in
+  if needed > Bytes.length t.buf then begin
+    let cap = ref (Bytes.length t.buf) in
+    while !cap < needed do
+      cap := !cap * 2
+    done;
+    let nb = Bytes.create !cap in
+    Bytes.blit t.buf 0 nb 0 t.len;
+    t.buf <- nb
+  end
+
+let u8 t v =
+  assert (v >= 0 && v <= 0xFF);
+  ensure t 1;
+  Bytes.unsafe_set t.buf t.len (Char.unsafe_chr v);
+  t.len <- t.len + 1
+
+let u16 t v =
+  assert (v >= 0 && v <= 0xFFFF);
+  ensure t 2;
+  Bytes.set t.buf t.len (Char.chr (v lsr 8));
+  Bytes.set t.buf (t.len + 1) (Char.chr (v land 0xFF));
+  t.len <- t.len + 2
+
+let u32 t v =
+  assert (v >= 0 && v <= 0xFFFFFFFF);
+  ensure t 4;
+  Bytes.set t.buf t.len (Char.chr ((v lsr 24) land 0xFF));
+  Bytes.set t.buf (t.len + 1) (Char.chr ((v lsr 16) land 0xFF));
+  Bytes.set t.buf (t.len + 2) (Char.chr ((v lsr 8) land 0xFF));
+  Bytes.set t.buf (t.len + 3) (Char.chr (v land 0xFF));
+  t.len <- t.len + 4
+
+let bytes t b =
+  ensure t (Bytes.length b);
+  Bytes.blit b 0 t.buf t.len (Bytes.length b);
+  t.len <- t.len + Bytes.length b
+
+let string t s =
+  ensure t (String.length s);
+  Bytes.blit_string s 0 t.buf t.len (String.length s);
+  t.len <- t.len + String.length s
+
+let patch_u16 t off v =
+  assert (off >= 0 && off + 2 <= t.len && v >= 0 && v <= 0xFFFF);
+  Bytes.set t.buf off (Char.chr (v lsr 8));
+  Bytes.set t.buf (off + 1) (Char.chr (v land 0xFF))
+
+let mark t = t.len
+
+let contents t = Bytes.sub t.buf 0 t.len
+
+let reset t = t.len <- 0

@@ -1,0 +1,32 @@
+(** Growable big-endian (network byte order) binary writer. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+
+val length : t -> int
+(** Bytes written so far. *)
+
+val u8 : t -> int -> unit
+(** Append one byte. Value must fit in [\[0, 255\]]. *)
+
+val u16 : t -> int -> unit
+(** Append a big-endian 16-bit value in [\[0, 65535\]]. *)
+
+val u32 : t -> int -> unit
+(** Append a big-endian 32-bit value in [\[0, 2^32)]. *)
+
+val bytes : t -> bytes -> unit
+val string : t -> string -> unit
+
+val patch_u16 : t -> int -> int -> unit
+(** [patch_u16 t off v] overwrites the 16-bit value at offset [off] —
+    used to backfill length fields after the payload is known. *)
+
+val mark : t -> int
+(** Current offset, for later [patch_u16]. *)
+
+val contents : t -> bytes
+(** A copy of everything written. *)
+
+val reset : t -> unit

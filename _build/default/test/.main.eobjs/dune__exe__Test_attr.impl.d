@@ -1,0 +1,1 @@
+test/test_attr.ml: Alcotest Asn Attr Community Dice_bgp Dice_inet Dice_wire Ipv4 List QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_checkpoint.ml: Alcotest Bytes Char Dice_checkpoint Fun Gen List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_distributed.ml: Alcotest Asn Attr Checker Config_parser Dice_bgp Dice_concolic Dice_core Dice_inet Dice_topology Distributed Fsm Hijack Ipv4 List Msg Orchestrator Prefix Route Router

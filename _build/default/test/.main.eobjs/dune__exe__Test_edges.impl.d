@@ -1,0 +1,1 @@
+test/test_edges.ml: Alcotest Array Asn Attr Config_parser Dice_bgp Dice_concolic Dice_core Dice_inet Dice_trace Fsm Hashtbl Ipv4 List Msg Prefix Printf Rib Route Router

@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Coverage Cval Dice_concolic Engine Hashtbl List Path Sym

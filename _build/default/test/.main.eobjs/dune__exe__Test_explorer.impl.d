@@ -1,0 +1,1 @@
+test/test_explorer.ml: Alcotest Cval Dice_concolic Engine Explorer List Printf Solver Strategy Sym

@@ -1,0 +1,1 @@
+test/test_fsm.ml: Alcotest Bytes Dice_bgp Fsm List Msg

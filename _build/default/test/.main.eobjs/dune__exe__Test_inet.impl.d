@@ -1,0 +1,1 @@
+test/test_inet.ml: Alcotest Asn Community Dice_inet Ipv4 List Prefix

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Asn Config_parser Dice_bgp Dice_inet Dice_sim Dice_topology Dice_trace Fsm Ipv4 List Option Prefix Rib Route Router Router_node

@@ -1,0 +1,1 @@
+test/test_lincons_json.ml: Alcotest Dice_concolic Dice_core Dice_inet Dice_util Float Hashtbl Int64 Lincons List Path Printf QCheck QCheck_alcotest Solver String Sym

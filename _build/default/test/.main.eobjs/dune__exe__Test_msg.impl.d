@@ -1,0 +1,1 @@
+test/test_msg.ml: Alcotest Asn Attr Bytes Char Dice_bgp Dice_inet Ipv4 List Msg Prefix QCheck QCheck_alcotest String

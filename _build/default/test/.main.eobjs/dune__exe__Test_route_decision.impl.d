@@ -1,0 +1,1 @@
+test/test_route_decision.ml: Alcotest Asn Attr Community Decision Dice_bgp Dice_inet Ipv4 List Printf QCheck QCheck_alcotest Route

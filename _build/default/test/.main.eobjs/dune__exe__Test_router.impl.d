@@ -1,0 +1,1 @@
+test/test_router.ml: Alcotest Asn Attr Bytes Community Config_parser Croute Dice_bgp Dice_concolic Dice_core Dice_inet Engine Fsm Hashtbl Ipv4 List Msg Option Prefix Rib Route Router

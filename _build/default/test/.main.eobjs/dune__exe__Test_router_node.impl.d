@@ -1,0 +1,1 @@
+test/test_router_node.ml: Alcotest Bytes Char Config_parser Dice_bgp Dice_inet Dice_sim Fsm Ipv4 List Msg Option Prefix Printf Router Router_node

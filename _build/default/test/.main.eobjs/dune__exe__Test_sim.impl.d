@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Bytes Dice_sim Fun List

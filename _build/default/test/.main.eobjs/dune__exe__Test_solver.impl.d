@@ -1,0 +1,1 @@
+test/test_solver.ml: Alcotest Dice_concolic Hashtbl Int64 Interval List Path Printf QCheck QCheck_alcotest Solver Sym

@@ -1,0 +1,1 @@
+test/test_sym.ml: Alcotest Cval Dice_concolic Hashtbl List QCheck QCheck_alcotest Sym

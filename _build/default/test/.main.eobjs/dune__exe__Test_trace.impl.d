@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Array Bytes Dice_bgp Dice_inet Dice_trace Dice_util Filename Ipv4 List Prefix Printf Result Sys

@@ -1,0 +1,1 @@
+test/test_trie.ml: Alcotest Dice_inet Int Ipv4 List Option Prefix Prefix_trie QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Bytes Dice_util Float List String

@@ -1,0 +1,1 @@
+test/test_wire.ml: Alcotest Bytes Char Dice_wire Gen List QCheck QCheck_alcotest

@@ -1,0 +1,30 @@
+let () =
+  Alcotest.run "dice"
+    [ ("rng", Test_rng.suite);
+      ("util", Test_util.suite);
+      ("inet", Test_inet.suite);
+      ("trie", Test_trie.suite);
+      ("wire", Test_wire.suite);
+      ("sym", Test_sym.suite);
+      ("solver", Test_solver.suite);
+      ("engine", Test_engine.suite);
+      ("explorer", Test_explorer.suite);
+      ("checkpoint", Test_checkpoint.suite);
+      ("sim", Test_sim.suite);
+      ("attr", Test_attr.suite);
+      ("msg", Test_msg.suite);
+      ("route/decision", Test_route_decision.suite);
+      ("fsm", Test_fsm.suite);
+      ("filter", Test_filter.suite);
+      ("router", Test_router.suite);
+      ("trace", Test_trace.suite);
+      ("core", Test_core.suite);
+      ("integration", Test_integration.suite);
+      ("distributed", Test_distributed.suite);
+      ("online", Test_online.suite);
+      ("croute/config", Test_croute.suite);
+      ("router-node", Test_router_node.suite);
+      ("properties", Test_props.suite);
+      ("lincons/json", Test_lincons_json.suite);
+      ("edges", Test_edges.suite)
+    ]

@@ -1,0 +1,206 @@
+(* Tests for BGP path attribute wire codecs. *)
+open Dice_inet
+open Dice_bgp
+module Wbuf = Dice_wire.Wbuf
+module Rbuf = Dice_wire.Rbuf
+
+let roundtrip ?(as4 = true) attrs =
+  let w = Wbuf.create () in
+  Attr.encode_list ~as4 w attrs;
+  match Attr.decode_list ~as4 (Rbuf.of_bytes (Wbuf.contents w)) with
+  | Ok decoded -> decoded
+  | Error e -> Alcotest.failf "decode failed: %s" (Attr.error_to_string e)
+
+let expect_error ?(as4 = true) bytes expected =
+  match Attr.decode_list ~as4 (Rbuf.of_bytes bytes) with
+  | Ok _ -> Alcotest.fail "expected a decode error"
+  | Error e ->
+    Alcotest.(check string) "error kind" (Attr.error_to_string expected)
+      (Attr.error_to_string e)
+
+let attr_t = Alcotest.testable (fun ppf a -> Attr.pp ppf a) ( = )
+
+let test_origin_roundtrip () =
+  List.iter
+    (fun o ->
+      Alcotest.(check (list attr_t)) "roundtrip" [ Attr.Origin o ] (roundtrip [ Attr.Origin o ]))
+    [ Attr.Igp; Attr.Egp; Attr.Incomplete ]
+
+let test_as_path_roundtrip () =
+  let path = [ Asn.Path.Seq [ 64501; 64502 ]; Asn.Path.Set [ 100; 200 ] ] in
+  Alcotest.(check (list attr_t)) "as4 roundtrip" [ Attr.As_path path ]
+    (roundtrip [ Attr.As_path path ]);
+  Alcotest.(check (list attr_t)) "as2 roundtrip" [ Attr.As_path path ]
+    (roundtrip ~as4:false [ Attr.As_path path ])
+
+let test_as_path_large_asn_needs_as4 () =
+  (* a 32-bit ASN survives only the 4-byte encoding *)
+  let path = [ Asn.Path.Seq [ 400_000 ] ] in
+  Alcotest.(check (list attr_t)) "as4 keeps it" [ Attr.As_path path ]
+    (roundtrip [ Attr.As_path path ]);
+  match roundtrip ~as4:false [ Attr.As_path path ] with
+  | [ Attr.As_path [ Asn.Path.Seq [ truncated ] ] ] ->
+    Alcotest.(check int) "as2 truncates" (400_000 land 0xFFFF) truncated
+  | _ -> Alcotest.fail "unexpected shape"
+
+let test_scalar_attrs_roundtrip () =
+  let attrs =
+    [ Attr.Next_hop (Ipv4.of_string "10.0.0.1");
+      Attr.Med 4_000_000_000;
+      Attr.Local_pref 120;
+      Attr.Atomic_aggregate;
+      Attr.Aggregator (64501, Ipv4.of_string "192.0.2.1");
+      Attr.Communities [ Community.make 64500 80; Community.no_export ]
+    ]
+  in
+  Alcotest.(check (list attr_t)) "roundtrip" attrs (roundtrip attrs)
+
+let test_type_codes () =
+  Alcotest.(check (list int)) "RFC 4271 codes" [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+    (List.map Attr.type_code
+       [ Attr.Origin Attr.Igp; Attr.As_path []; Attr.Next_hop 1; Attr.Med 0;
+         Attr.Local_pref 0; Attr.Atomic_aggregate; Attr.Aggregator (1, 1);
+         Attr.Communities [] ])
+
+let test_unknown_optional_passthrough () =
+  (* optional transitive unknown attribute: forwarded with Partial set *)
+  let w = Wbuf.create () in
+  Wbuf.u8 w 0xC0 (* optional transitive *);
+  Wbuf.u8 w 99;
+  Wbuf.u8 w 2;
+  Wbuf.u16 w 0xBEEF;
+  match Attr.decode_list ~as4:true (Rbuf.of_bytes (Wbuf.contents w)) with
+  | Ok [ Attr.Unknown u ] ->
+    Alcotest.(check int) "type" 99 u.Attr.typ;
+    Alcotest.(check bool) "partial set" true (u.Attr.flags land 0x20 <> 0)
+  | Ok _ -> Alcotest.fail "expected one unknown attribute"
+  | Error e -> Alcotest.failf "decode failed: %s" (Attr.error_to_string e)
+
+let test_unknown_wellknown_rejected () =
+  (* a non-optional unrecognized attribute is a protocol error *)
+  let w = Wbuf.create () in
+  Wbuf.u8 w 0x40;
+  Wbuf.u8 w 99;
+  Wbuf.u8 w 0;
+  expect_error (Wbuf.contents w) (Attr.Unrecognized_wellknown 99)
+
+let test_invalid_origin_value () =
+  let w = Wbuf.create () in
+  Wbuf.u8 w 0x40;
+  Wbuf.u8 w 1;
+  Wbuf.u8 w 1;
+  Wbuf.u8 w 9;
+  expect_error (Wbuf.contents w) Attr.Invalid_origin
+
+let test_origin_bad_length () =
+  let w = Wbuf.create () in
+  Wbuf.u8 w 0x40;
+  Wbuf.u8 w 1;
+  Wbuf.u8 w 2;
+  Wbuf.u16 w 0;
+  expect_error (Wbuf.contents w) (Attr.Attribute_length_error 1)
+
+let test_wellknown_with_optional_flag_rejected () =
+  (* ORIGIN flagged optional: Attribute Flags Error *)
+  let w = Wbuf.create () in
+  Wbuf.u8 w 0xC0;
+  Wbuf.u8 w 1;
+  Wbuf.u8 w 1;
+  Wbuf.u8 w 0;
+  expect_error (Wbuf.contents w) (Attr.Attribute_flags_error 1)
+
+let test_duplicate_attribute_rejected () =
+  let w = Wbuf.create () in
+  Attr.encode ~as4:true w (Attr.Origin Attr.Igp);
+  Attr.encode ~as4:true w (Attr.Origin Attr.Egp);
+  expect_error (Wbuf.contents w) (Attr.Duplicate_attribute 1)
+
+let test_truncated_value () =
+  let w = Wbuf.create () in
+  Wbuf.u8 w 0x40;
+  Wbuf.u8 w 3 (* next hop *);
+  Wbuf.u8 w 4;
+  Wbuf.u16 w 0 (* only 2 of 4 bytes *);
+  expect_error (Wbuf.contents w) Attr.Malformed_attribute_list
+
+let test_invalid_next_hop () =
+  let w = Wbuf.create () in
+  Wbuf.u8 w 0x40;
+  Wbuf.u8 w 3;
+  Wbuf.u8 w 4;
+  Wbuf.u32 w 0 (* 0.0.0.0 *);
+  expect_error (Wbuf.contents w) Attr.Invalid_next_hop
+
+let test_extended_length () =
+  (* a communities attribute long enough to need the extended length bit *)
+  let cs = List.init 100 (fun i -> Community.make 64500 i) in
+  Alcotest.(check (list attr_t)) "roundtrip" [ Attr.Communities cs ]
+    (roundtrip [ Attr.Communities cs ])
+
+let test_communities_bad_length () =
+  let w = Wbuf.create () in
+  Wbuf.u8 w 0xC0;
+  Wbuf.u8 w 8;
+  Wbuf.u8 w 3 (* not a multiple of 4 *);
+  Wbuf.u8 w 0;
+  Wbuf.u16 w 0;
+  expect_error (Wbuf.contents w) (Attr.Attribute_length_error 8)
+
+let test_malformed_as_path_segment () =
+  let w = Wbuf.create () in
+  Wbuf.u8 w 0x40;
+  Wbuf.u8 w 2;
+  Wbuf.u8 w 2;
+  Wbuf.u8 w 7 (* bad segment type *);
+  Wbuf.u8 w 0;
+  expect_error (Wbuf.contents w) Attr.Malformed_as_path
+
+let test_empty_list () =
+  Alcotest.(check (list attr_t)) "empty ok" [] (roundtrip [])
+
+let prop_roundtrip =
+  let arb =
+    QCheck.make
+      ~print:(fun attrs -> String.concat "; " (List.map Attr.to_string attrs))
+      QCheck.Gen.(
+        let asn = int_range 1 100000 in
+        let med = map (fun m -> Attr.Med m) (int_range 0 1000) in
+        let lp = map (fun m -> Attr.Local_pref m) (int_range 0 1000) in
+        let nh = map (fun a -> Attr.Next_hop (a land 0xFFFFFF lor 0x0A000000)) (int_range 1 0xFFFFFF) in
+        let origin = map (fun o -> Attr.Origin (match o with 0 -> Attr.Igp | 1 -> Attr.Egp | _ -> Attr.Incomplete)) (int_range 0 2) in
+        let path =
+          map (fun asns -> Attr.As_path [ Asn.Path.Seq asns ]) (list_size (int_range 1 6) asn)
+        in
+        let comms =
+          map
+            (fun vs -> Attr.Communities (List.map (fun v -> Community.make 64500 (v land 0xFFFF)) vs))
+            (list_size (int_range 0 5) (int_range 0 0xFFFF))
+        in
+        (* one of each category, unique type codes *)
+        map
+          (fun (a, b, c, d, e, f) -> [ a; b; c; d; e; f ])
+          (tup6 origin path nh med lp comms))
+  in
+  QCheck.Test.make ~name:"attribute list roundtrip" ~count:200 arb (fun attrs ->
+      roundtrip attrs = attrs)
+
+let suite =
+  [ ("origin roundtrip", `Quick, test_origin_roundtrip);
+    ("as_path roundtrip", `Quick, test_as_path_roundtrip);
+    ("32-bit ASN needs AS4", `Quick, test_as_path_large_asn_needs_as4);
+    ("scalar attrs roundtrip", `Quick, test_scalar_attrs_roundtrip);
+    ("type codes", `Quick, test_type_codes);
+    ("unknown optional passthrough", `Quick, test_unknown_optional_passthrough);
+    ("unrecognized well-known rejected", `Quick, test_unknown_wellknown_rejected);
+    ("invalid origin value", `Quick, test_invalid_origin_value);
+    ("origin bad length", `Quick, test_origin_bad_length);
+    ("well-known with optional flag", `Quick, test_wellknown_with_optional_flag_rejected);
+    ("duplicate attribute", `Quick, test_duplicate_attribute_rejected);
+    ("truncated value", `Quick, test_truncated_value);
+    ("invalid next hop", `Quick, test_invalid_next_hop);
+    ("extended length", `Quick, test_extended_length);
+    ("communities bad length", `Quick, test_communities_bad_length);
+    ("malformed AS_PATH segment", `Quick, test_malformed_as_path_segment);
+    ("empty list", `Quick, test_empty_list);
+    QCheck_alcotest.to_alcotest prop_roundtrip
+  ]

@@ -1,0 +1,202 @@
+(* Tests for the copy-on-write checkpoint store and fork lifecycle. *)
+module Page = Dice_checkpoint.Page
+module Store = Dice_checkpoint.Store
+module Fork = Dice_checkpoint.Fork
+
+let bytes_of n f = Bytes.init n (fun i -> Char.chr (f i land 0xFF))
+
+(* ---- Page ---- *)
+
+let test_page_split_sizes () =
+  let b = bytes_of 10000 Fun.id in
+  let pages = Page.split ~page_size:4096 b in
+  Alcotest.(check int) "page count" 3 (List.length pages);
+  Alcotest.(check (list int)) "sizes" [ 4096; 4096; 1808 ]
+    (List.map (fun ((id : Page.id), _) -> id.Page.len) pages)
+
+let test_page_split_empty () =
+  Alcotest.(check int) "no pages" 0 (List.length (Page.split ~page_size:4096 Bytes.empty))
+
+let test_page_count () =
+  Alcotest.(check int) "exact" 2 (Page.count ~page_size:100 200);
+  Alcotest.(check int) "round up" 3 (Page.count ~page_size:100 201);
+  Alcotest.(check int) "zero" 0 (Page.count ~page_size:100 0)
+
+let test_page_id_content_based () =
+  let a = Bytes.of_string "hello world" in
+  let b = Bytes.of_string "hello world" in
+  Alcotest.(check bool) "same content same id" true
+    (Page.equal_id (Page.id_of a 0 11) (Page.id_of b 0 11));
+  Bytes.set b 0 'H';
+  Alcotest.(check bool) "differs" false (Page.equal_id (Page.id_of a 0 11) (Page.id_of b 0 11))
+
+(* ---- Store ---- *)
+
+let test_capture_restore_identity () =
+  let st = Store.create ~page_size:64 () in
+  let img = bytes_of 1000 (fun i -> i * 7) in
+  let snap = Store.capture st img in
+  Alcotest.(check bytes) "identity" img (Store.restore snap)
+
+let test_dedup () =
+  let st = Store.create ~page_size:64 () in
+  let img = Bytes.make 640 'x' in
+  let snap = Store.capture st img in
+  (* ten identical pages stored once *)
+  Alcotest.(check int) "snapshot pages" 10 (Store.snapshot_pages snap);
+  Alcotest.(check int) "stored once" 1 (Store.stored_pages st)
+
+let test_sharing_between_snapshots () =
+  let st = Store.create ~page_size:64 () in
+  let a = bytes_of 640 Fun.id in
+  let b = Bytes.copy a in
+  Bytes.set b 0 '\xFF';  (* dirty the first page only *)
+  let sa = Store.capture st a and sb = Store.capture st b in
+  Alcotest.(check int) "9 shared" 9 (Store.shared_pages sa sb);
+  Alcotest.(check int) "1 unique" 1 (Store.unique_pages sb ~relative_to:sa);
+  Alcotest.(check (float 1e-9)) "fraction" 0.1 (Store.unique_fraction sb ~relative_to:sa)
+
+let test_refcount_eviction () =
+  let st = Store.create ~page_size:64 () in
+  let a = Store.capture st (Bytes.make 64 'a') in
+  let b = Store.capture st (Bytes.make 64 'b') in
+  Alcotest.(check int) "two pages" 2 (Store.stored_pages st);
+  Store.release a;
+  Alcotest.(check int) "one evicted" 1 (Store.stored_pages st);
+  Store.release b;
+  Alcotest.(check int) "empty" 0 (Store.stored_pages st)
+
+let test_clone_shares () =
+  let st = Store.create ~page_size:64 () in
+  let a = Store.capture st (bytes_of 256 Fun.id) in
+  let c = Store.clone a in
+  Alcotest.(check int) "still 4 distinct pages" 4 (Store.stored_pages st);
+  Store.release a;
+  (* the clone keeps the pages alive *)
+  Alcotest.(check int) "pages survive" 4 (Store.stored_pages st);
+  Alcotest.(check bytes) "clone restores" (bytes_of 256 Fun.id) (Store.restore c);
+  Store.release c;
+  Alcotest.(check int) "all gone" 0 (Store.stored_pages st)
+
+let test_double_release_rejected () =
+  let st = Store.create ~page_size:64 () in
+  let a = Store.capture st (Bytes.make 64 'a') in
+  Store.release a;
+  Alcotest.check_raises "double release" (Invalid_argument "Store.release: already released")
+    (fun () -> Store.release a)
+
+let test_use_after_release_rejected () =
+  let st = Store.create ~page_size:64 () in
+  let a = Store.capture st (Bytes.make 64 'a') in
+  Store.release a;
+  Alcotest.check_raises "restore after release"
+    (Invalid_argument "Store.restore: snapshot released") (fun () -> ignore (Store.restore a))
+
+let test_empty_image () =
+  let st = Store.create ~page_size:64 () in
+  let s = Store.capture st Bytes.empty in
+  Alcotest.(check bytes) "restores empty" Bytes.empty (Store.restore s);
+  Alcotest.(check (float 0.0)) "fraction 0" 0.0 (Store.unique_fraction s ~relative_to:s)
+
+let test_live_snapshots () =
+  let st = Store.create () in
+  Alcotest.(check int) "none" 0 (Store.live_snapshots st);
+  let a = Store.capture st (Bytes.make 10 'a') in
+  let b = Store.clone a in
+  Alcotest.(check int) "two" 2 (Store.live_snapshots st);
+  Store.release a;
+  Store.release b;
+  Alcotest.(check int) "zero" 0 (Store.live_snapshots st)
+
+(* ---- Fork ---- *)
+
+let test_fork_lifecycle () =
+  let mgr = Fork.create ~page_size:64 () in
+  let live = bytes_of 1024 Fun.id in
+  let cp = Fork.checkpoint mgr ~live_image:live in
+  Alcotest.(check bytes) "checkpoint image" live (Fork.checkpoint_image cp);
+  let clone = Fork.spawn cp in
+  Alcotest.(check int) "one clone" 1 (Fork.live_clones mgr);
+  Alcotest.(check bytes) "clone sees the checkpoint" live (Fork.image clone);
+  (* the clone mutates one page *)
+  let final = Bytes.copy live in
+  Bytes.set final 0 '\xEE';
+  let stats = Fork.finish clone ~final_image:final in
+  Alcotest.(check int) "pages" 16 stats.Fork.pages;
+  Alcotest.(check int) "one unique" 1 stats.Fork.unique;
+  Alcotest.(check int) "no clones left" 0 (Fork.live_clones mgr)
+
+let test_fork_unchanged_clone () =
+  let mgr = Fork.create ~page_size:64 () in
+  let live = bytes_of 640 Fun.id in
+  let cp = Fork.checkpoint mgr ~live_image:live in
+  let clone = Fork.spawn cp in
+  let stats = Fork.finish clone ~final_image:live in
+  Alcotest.(check int) "zero unique" 0 stats.Fork.unique;
+  Alcotest.(check (float 0.0)) "zero extra" 0.0 stats.Fork.extra_fraction
+
+let test_fork_grown_clone () =
+  let mgr = Fork.create ~page_size:64 () in
+  let live = bytes_of 640 Fun.id in
+  let cp = Fork.checkpoint mgr ~live_image:live in
+  let clone = Fork.spawn cp in
+  (* the clone's image grows (exploration metadata): extra pages counted
+     against the checkpoint's page count *)
+  let final = Bytes.cat live (Bytes.make 320 'm') in
+  let stats = Fork.finish clone ~final_image:final in
+  Alcotest.(check int) "five extra pages" 5 stats.Fork.unique;
+  Alcotest.(check (float 1e-9)) "50% extra" 0.5 stats.Fork.extra_fraction
+
+let test_fork_double_finish_rejected () =
+  let mgr = Fork.create ~page_size:64 () in
+  let cp = Fork.checkpoint mgr ~live_image:(Bytes.make 64 'a') in
+  let clone = Fork.spawn cp in
+  ignore (Fork.finish clone ~final_image:(Bytes.make 64 'a'));
+  Alcotest.check_raises "double finish"
+    (Invalid_argument "Fork.finish: clone already finished") (fun () ->
+      ignore (Fork.finish clone ~final_image:(Bytes.make 64 'a')))
+
+let test_checkpoint_stats_divergence () =
+  let mgr = Fork.create ~page_size:64 () in
+  let live = bytes_of 640 Fun.id in
+  let cp = Fork.checkpoint mgr ~live_image:live in
+  (* the live image moves on: 2 of 10 pages change *)
+  let moved = Bytes.copy live in
+  Bytes.set moved 0 '\xAA';
+  Bytes.set moved 100 '\xBB';
+  let unique, fraction = Fork.checkpoint_stats cp ~live_image:moved in
+  Alcotest.(check int) "unique pages" 2 unique;
+  Alcotest.(check (float 1e-9)) "fraction" 0.2 fraction
+
+let prop_capture_restore =
+  QCheck.Test.make ~name:"capture/restore identity" ~count:100
+    QCheck.(string_of_size (Gen.int_range 0 2000))
+    (fun s ->
+      let st = Store.create ~page_size:128 () in
+      let img = Bytes.of_string s in
+      let snap = Store.capture st img in
+      let ok = Bytes.equal img (Store.restore snap) in
+      Store.release snap;
+      ok && Store.stored_pages st = 0)
+
+let suite =
+  [ ("page split sizes", `Quick, test_page_split_sizes);
+    ("page split empty", `Quick, test_page_split_empty);
+    ("page count", `Quick, test_page_count);
+    ("page id content-based", `Quick, test_page_id_content_based);
+    ("capture/restore identity", `Quick, test_capture_restore_identity);
+    ("dedup", `Quick, test_dedup);
+    ("sharing between snapshots", `Quick, test_sharing_between_snapshots);
+    ("refcount eviction", `Quick, test_refcount_eviction);
+    ("clone shares pages", `Quick, test_clone_shares);
+    ("double release rejected", `Quick, test_double_release_rejected);
+    ("use after release rejected", `Quick, test_use_after_release_rejected);
+    ("empty image", `Quick, test_empty_image);
+    ("live snapshots", `Quick, test_live_snapshots);
+    ("fork lifecycle", `Quick, test_fork_lifecycle);
+    ("fork unchanged clone", `Quick, test_fork_unchanged_clone);
+    ("fork grown clone", `Quick, test_fork_grown_clone);
+    ("fork double finish rejected", `Quick, test_fork_double_finish_rejected);
+    ("checkpoint stats divergence", `Quick, test_checkpoint_stats_divergence);
+    QCheck_alcotest.to_alcotest prop_capture_restore
+  ]

@@ -1,0 +1,239 @@
+(* Tests for cross-network exploration (Distributed): remote agents,
+   narrow-interface verdicts, and the system-wide checker. *)
+open Dice_inet
+open Dice_bgp
+open Dice_core
+
+let p = Prefix.of_string
+let provider_side = Ipv4.of_string "10.0.2.1"
+let collector = Ipv4.of_string "10.0.3.2"
+
+let establish router peer remote_as =
+  ignore (Router.handle_event router ~peer Fsm.Manual_start);
+  ignore (Router.handle_event router ~peer Fsm.Tcp_connected);
+  ignore
+    (Router.handle_msg router ~peer
+       (Msg.Open
+          { Msg.version = 4; my_as = remote_as land 0xFFFF; hold_time = 90; bgp_id = peer;
+            capabilities = [ Msg.Cap_as4 remote_as ] }));
+  ignore (Router.handle_msg router ~peer Msg.Keepalive)
+
+(* An upstream with a private table: routes for 198.51.0.0/16 and
+   8.8.8.0/24 learned from its collector, nothing exported to the
+   provider. *)
+let upstream () =
+  let r =
+    Router.create
+      (Config_parser.parse
+         {|
+         router id 10.0.2.2;
+         local as 64700;
+         protocol bgp provider { neighbor 10.0.2.1 as 64510; import all; export none; }
+         protocol bgp collector { neighbor 10.0.3.2 as 64701; import all; export all; }
+         anycast [ 192.88.99.0/24 ];
+         |})
+  in
+  establish r provider_side 64510;
+  establish r collector 64701;
+  List.iter
+    (fun (prefix, origin) ->
+      let route =
+        Route.make ~origin:Attr.Igp
+          ~as_path:[ Asn.Path.Seq [ 64701; origin ] ]
+          ~next_hop:collector ()
+      in
+      ignore
+        (Router.handle_msg r ~peer:collector
+           (Msg.Update { withdrawn = []; attrs = Route.to_attrs route; nlri = [ p prefix ] })))
+    [ ("198.51.0.0/16", 64999); ("8.8.8.0/24", 64888); ("192.88.99.0/24", 64777) ];
+  r
+
+let mk_agent router =
+  Distributed.agent ~name:"up" ~addr:(Ipv4.of_string "10.0.2.2")
+    ~explorer_addr:provider_side router
+
+let announcement ?(origin_asn = 64510) prefix =
+  Msg.Update
+    {
+      withdrawn = [];
+      attrs =
+        Route.to_attrs
+          (Route.make ~origin:Attr.Igp
+             ~as_path:[ Asn.Path.Seq [ 64510; origin_asn ] ]
+             ~next_hop:provider_side ());
+      nlri = [ p prefix ];
+    }
+
+let test_probe_conflict () =
+  let up = upstream () in
+  let agent = mk_agent up in
+  match Distributed.probe agent ~from:provider_side (announcement "198.51.100.0/24") with
+  | [ v ] ->
+    Alcotest.(check bool) "accepted" true v.Distributed.accepted;
+    Alcotest.(check bool) "conflicts with the private /16" true v.Distributed.origin_conflict;
+    Alcotest.(check bool) "would propagate to the collector" true
+      (v.Distributed.would_propagate >= 1)
+  | vs -> Alcotest.failf "expected one verdict, got %d" (List.length vs)
+
+let test_probe_coverage_leak () =
+  let up = upstream () in
+  let agent = mk_agent up in
+  (* a /8 super-block covering the remote's 198.51.0.0/16 (origin 64999) *)
+  match Distributed.probe agent ~from:provider_side (announcement "198.0.0.0/8") with
+  | [ v ] ->
+    Alcotest.(check bool) "no covering conflict" false v.Distributed.origin_conflict;
+    Alcotest.(check bool) "covers the /16" true (v.Distributed.covers_foreign >= 1)
+  | _ -> Alcotest.fail "expected one verdict"
+
+let test_probe_no_conflict_unheld_space () =
+  let up = upstream () in
+  let agent = mk_agent up in
+  match Distributed.probe agent ~from:provider_side (announcement "100.0.0.0/16") with
+  | [ v ] ->
+    Alcotest.(check bool) "accepted" true v.Distributed.accepted;
+    Alcotest.(check bool) "no conflict" false v.Distributed.origin_conflict;
+    Alcotest.(check int) "covers nothing" 0 v.Distributed.covers_foreign
+  | _ -> Alcotest.fail "expected one verdict"
+
+let test_probe_same_origin_no_conflict () =
+  let up = upstream () in
+  let agent = mk_agent up in
+  match
+    Distributed.probe agent ~from:provider_side (announcement ~origin_asn:64888 "8.8.8.0/24")
+  with
+  | [ v ] -> Alcotest.(check bool) "same origin" false v.Distributed.origin_conflict
+  | _ -> Alcotest.fail "expected one verdict"
+
+let test_probe_anycast_whitelisted () =
+  let up = upstream () in
+  let agent = mk_agent up in
+  match Distributed.probe agent ~from:provider_side (announcement "192.88.99.0/24") with
+  | [ v ] -> Alcotest.(check bool) "whitelisted by the remote" false v.Distributed.origin_conflict
+  | _ -> Alcotest.fail "expected one verdict"
+
+let test_probe_never_mutates_live () =
+  let up = upstream () in
+  let agent = mk_agent up in
+  let before = Router.snapshot up in
+  ignore (Distributed.probe agent ~from:provider_side (announcement "198.51.100.0/24"));
+  ignore (Distributed.probe agent ~from:provider_side (announcement "1.2.3.0/24"));
+  Alcotest.(check bytes) "remote live state untouched" before (Router.snapshot up)
+
+let test_probe_non_update () =
+  let up = upstream () in
+  let agent = mk_agent up in
+  Alcotest.(check int) "keepalive yields nothing" 0
+    (List.length (Distributed.probe agent ~from:provider_side Msg.Keepalive))
+
+let test_checkpoint_caching () =
+  let up = upstream () in
+  let agent = mk_agent up in
+  ignore (Distributed.probe agent ~from:provider_side (announcement "1.1.1.0/24"));
+  ignore (Distributed.probe agent ~from:provider_side (announcement "2.2.2.0/24"));
+  Alcotest.(check int) "one checkpoint for two probes" 1
+    (Distributed.checkpoints_taken agent);
+  (* remote live router moves on -> re-checkpoint *)
+  let route =
+    Route.make ~origin:Attr.Igp ~as_path:[ Asn.Path.Seq [ 64701 ] ] ~next_hop:collector ()
+  in
+  ignore
+    (Router.handle_msg up ~peer:collector
+       (Msg.Update { withdrawn = []; attrs = Route.to_attrs route; nlri = [ p "3.3.3.0/24" ] }));
+  ignore (Distributed.probe agent ~from:provider_side (announcement "4.4.4.0/24"));
+  Alcotest.(check int) "fresh checkpoint after remote progress" 2
+    (Distributed.checkpoints_taken agent)
+
+(* ---- the checker, end to end on the provider ---- *)
+
+let provider_with_customer () =
+  let r =
+    Router.create
+      (Dice_topology.Threerouter.provider_config
+         Dice_topology.Threerouter.Partially_correct)
+  in
+  establish r Dice_topology.Threerouter.customer_addr 64501;
+  establish r Dice_topology.Threerouter.internet_addr 64700;
+  let customer_route =
+    Route.make ~origin:Attr.Igp
+      ~as_path:[ Asn.Path.Seq [ Dice_topology.Threerouter.customer_as ] ]
+      ~next_hop:Dice_topology.Threerouter.customer_addr ()
+  in
+  List.iter
+    (fun prefix ->
+      ignore
+        (Router.handle_msg r ~peer:Dice_topology.Threerouter.customer_addr
+           (Msg.Update
+              { Msg.withdrawn = []; attrs = Route.to_attrs customer_route; nlri = [ prefix ] })))
+    Dice_topology.Threerouter.customer_prefixes;
+  (r, customer_route)
+
+let test_checker_finds_remote_conflicts () =
+  let up = upstream () in
+  let agent =
+    Distributed.agent ~name:"up" ~addr:Dice_topology.Threerouter.internet_addr
+      ~explorer_addr:provider_side up
+  in
+  let provider, customer_route = provider_with_customer () in
+  let cfg =
+    { Orchestrator.default_cfg with
+      Orchestrator.checkers = [ Hijack.checker; Distributed.checker ~agents:[ agent ] ];
+      explorer =
+        { Dice_concolic.Explorer.default_config with
+          Dice_concolic.Explorer.max_runs = 256;
+          max_depth = 96;
+        };
+    }
+  in
+  let dice = Orchestrator.create ~cfg provider in
+  Orchestrator.observe dice ~peer:Dice_topology.Threerouter.customer_addr
+    ~prefix:(p "203.0.113.0/24") ~route:customer_route;
+  let report = Orchestrator.explore dice in
+  let remote =
+    List.filter
+      (fun (f : Checker.fault) -> f.Checker.checker = "remote-origin-conflict")
+      report.Orchestrator.faults
+  in
+  let local =
+    List.filter
+      (fun (f : Checker.fault) -> f.Checker.checker = "origin-hijack")
+      report.Orchestrator.faults
+  in
+  (* the conflicting state lives only at the remote: local checking is
+     blind, the narrow interface is not *)
+  Alcotest.(check int) "no local origin conflicts possible" 0 (List.length local);
+  Alcotest.(check bool) "remote conflicts found" true (List.length remote > 0);
+  Alcotest.(check bool) "probes happened" true (Distributed.probes_performed agent > 0);
+  (* live routers untouched *)
+  Alcotest.(check bool) "remote live untouched" true
+    (Distributed.checkpoints_taken agent >= 1)
+
+let test_checker_ignores_unknown_destinations () =
+  let up = upstream () in
+  let agent =
+    Distributed.agent ~name:"up" ~addr:(Ipv4.of_string "9.9.9.9")
+      ~explorer_addr:provider_side up
+  in
+  let provider, customer_route = provider_with_customer () in
+  let cfg =
+    { Orchestrator.default_cfg with
+      Orchestrator.checkers = [ Distributed.checker ~agents:[ agent ] ];
+    }
+  in
+  let dice = Orchestrator.create ~cfg provider in
+  Orchestrator.observe dice ~peer:Dice_topology.Threerouter.customer_addr
+    ~prefix:(p "203.0.113.0/24") ~route:customer_route;
+  ignore (Orchestrator.explore dice);
+  Alcotest.(check int) "no probe reaches a mismatched address" 0
+    (Distributed.probes_performed agent)
+
+let suite =
+  [ ("probe: conflict with private RIB", `Quick, test_probe_conflict);
+    ("probe: unheld space accepted, no conflict", `Quick, test_probe_no_conflict_unheld_space);
+    ("probe: same origin clean", `Quick, test_probe_same_origin_no_conflict);
+    ("probe: remote anycast whitelist", `Quick, test_probe_anycast_whitelisted);
+    ("probe: never mutates the remote live router", `Quick, test_probe_never_mutates_live);
+    ("probe: non-update yields nothing", `Quick, test_probe_non_update);
+    ("checkpoint caching", `Quick, test_checkpoint_caching);
+    ("checker finds remote-only conflicts", `Slow, test_checker_finds_remote_conflicts);
+    ("checker ignores unknown destinations", `Quick, test_checker_ignores_unknown_destinations)
+  ]

@@ -1,0 +1,149 @@
+(* Tests for the concolic exploration loop. *)
+open Dice_concolic
+
+let explore ?(max_runs = 64) ?(strategy = Strategy.Dfs) program =
+  Explorer.explore
+    ~config:{ Explorer.default_config with Explorer.max_runs; strategy }
+    program
+
+(* a diamond: two independent branches, four paths *)
+let diamond hits ctx =
+  let x = Engine.input ctx ~name:"dx" ~width:8 ~default:0L in
+  let y = Engine.input ctx ~name:"dy" ~width:8 ~default:0L in
+  let a = Engine.branchf ctx "d:a" (Cval.ugt x (Cval.of_int ~width:8 10)) in
+  let b = Engine.branchf ctx "d:b" (Cval.ugt y (Cval.of_int ~width:8 10)) in
+  hits := (a, b) :: !hits
+
+let test_diamond_all_paths () =
+  let hits = ref [] in
+  let report = explore (diamond hits) in
+  let distinct = List.sort_uniq compare !hits in
+  Alcotest.(check int) "all four outcomes" 4 (List.length distinct);
+  Alcotest.(check int) "four distinct paths" 4 report.Explorer.distinct_paths;
+  Alcotest.(check bool) "full coverage" true (Explorer.coverage_ratio report = 1.0)
+
+let test_deep_equality () =
+  (* requires solving x == 0xDEAD through a guard: classic concolic win *)
+  let found = ref false in
+  let program ctx =
+    let x = Engine.input ctx ~name:"eq" ~width:32 ~default:0L in
+    if Engine.branchf ctx "deep:guard" (Cval.eq x (Cval.of_int ~width:32 0xDEAD)) then
+      found := true
+  in
+  ignore (explore program);
+  Alcotest.(check bool) "found the magic value" true !found
+
+let test_nested_guards () =
+  (* x > 100, then x < 200, then x == 150: nested path, needs prefix
+     preservation *)
+  let reached = ref false in
+  let program ctx =
+    let x = Engine.input ctx ~name:"ng" ~width:32 ~default:0L in
+    if Engine.branchf ctx "ng:1" (Cval.ugt x (Cval.of_int ~width:32 100)) then
+      if Engine.branchf ctx "ng:2" (Cval.ult x (Cval.of_int ~width:32 200)) then
+        if Engine.branchf ctx "ng:3" (Cval.eq x (Cval.of_int ~width:32 150)) then
+          reached := true
+  in
+  ignore (explore program);
+  Alcotest.(check bool) "reached depth 3" true !reached
+
+let test_max_runs_respected () =
+  let program ctx =
+    let x = Engine.input ctx ~name:"mr" ~width:32 ~default:0L in
+    (* a long chain: more paths than the budget *)
+    for i = 0 to 20 do
+      ignore
+        (Engine.branchf ctx
+           (Printf.sprintf "mr:%d" i)
+           (Cval.eq x (Cval.of_int ~width:32 (1000 + i))))
+    done
+  in
+  let report = explore ~max_runs:10 program in
+  Alcotest.(check bool) "bounded" true (report.Explorer.executions <= 10)
+
+let test_initial_run_counts () =
+  let report = explore ~max_runs:1 (fun ctx -> ignore (Engine.input ctx ~name:"ir" ~width:8 ~default:0L)) in
+  Alcotest.(check int) "exactly one" 1 report.Explorer.executions;
+  Alcotest.(check int) "no negations" 0 report.Explorer.negations_attempted
+
+let test_program_exception_tolerated () =
+  let program ctx =
+    let x = Engine.input ctx ~name:"ex" ~width:8 ~default:0L in
+    if Engine.branchf ctx "ex:b" (Cval.ugt x (Cval.of_int ~width:8 10)) then
+      failwith "boom"
+  in
+  let report = explore program in
+  Alcotest.(check bool) "keeps exploring" true (report.Explorer.executions >= 2)
+
+let test_all_strategies_cover_diamond () =
+  List.iter
+    (fun strategy ->
+      let hits = ref [] in
+      let report = explore ~strategy (diamond hits) in
+      Alcotest.(check bool)
+        (Strategy.to_string strategy ^ " reaches full coverage")
+        true
+        (Explorer.coverage_ratio report = 1.0))
+    [ Strategy.Dfs; Strategy.Generational; Strategy.Cover_new; Strategy.Random_negation 3L ]
+
+let test_deterministic () =
+  let run () =
+    let report = explore (fun ctx ->
+        let x = Engine.input ctx ~name:"det" ~width:16 ~default:0L in
+        ignore (Engine.branchf ctx "det:a" (Cval.ugt x (Cval.of_int ~width:16 5)));
+        ignore (Engine.branchf ctx "det:b" (Cval.ult x (Cval.of_int ~width:16 100))))
+    in
+    List.map (fun (r : Explorer.run) -> r.assignment) report.Explorer.runs
+  in
+  Alcotest.(check bool) "same runs" true (run () = run ())
+
+let test_runs_metadata () =
+  let report = explore (fun ctx ->
+      let x = Engine.input ctx ~name:"meta" ~width:8 ~default:0L in
+      ignore (Engine.branchf ctx "meta:b" (Cval.eq x (Cval.of_int ~width:8 9))))
+  in
+  match report.Explorer.runs with
+  | first :: _ ->
+    Alcotest.(check int) "index 0" 0 first.Explorer.index;
+    Alcotest.(check int) "path length" 1 first.Explorer.path_length;
+    Alcotest.(check (list (pair string int64))) "assignment" [ ("meta", 0L) ]
+      first.Explorer.assignment
+  | [] -> Alcotest.fail "no runs"
+
+let test_seed_constraints_respected () =
+  (* an input constrained to <= 32 must never be explored beyond it *)
+  let violations = ref 0 in
+  let program ctx =
+    let len = Engine.input ctx ~name:"scr" ~width:8 ~default:24L in
+    (match Cval.sym len with
+    | Some e ->
+      Engine.constrain ctx (Sym.Binop (Sym.Ule, e, Sym.const ~width:8 32L)) ~nonzero:true
+    | None -> ());
+    if Cval.to_int len > 32 then incr violations;
+    ignore (Engine.branchf ctx "scr:b" (Cval.ugt len (Cval.of_int ~width:8 16)));
+    ignore (Engine.branchf ctx "scr:c" (Cval.eq len (Cval.of_int ~width:8 31)))
+  in
+  ignore (explore program);
+  Alcotest.(check int) "never violated" 0 !violations
+
+let test_solver_stats_populated () =
+  let report = explore (fun ctx ->
+      let x = Engine.input ctx ~name:"ss" ~width:8 ~default:0L in
+      ignore (Engine.branchf ctx "ss:b" (Cval.ugt x (Cval.of_int ~width:8 3))))
+  in
+  Alcotest.(check bool) "solver called" true (report.Explorer.solver_stats.Solver.calls > 0);
+  Alcotest.(check bool) "some sat" true (report.Explorer.negations_sat > 0)
+
+let suite =
+  [ ("diamond covers all paths", `Quick, test_diamond_all_paths);
+    ("deep equality found", `Quick, test_deep_equality);
+    ("nested guards", `Quick, test_nested_guards);
+    ("max_runs respected", `Quick, test_max_runs_respected);
+    ("initial run only", `Quick, test_initial_run_counts);
+    ("program exception tolerated", `Quick, test_program_exception_tolerated);
+    ("all strategies cover diamond", `Quick, test_all_strategies_cover_diamond);
+    ("deterministic", `Quick, test_deterministic);
+    ("run metadata", `Quick, test_runs_metadata);
+    ("seed constraints respected", `Quick, test_seed_constraints_respected);
+    ("solver stats populated", `Quick, test_solver_stats_populated)
+  ]

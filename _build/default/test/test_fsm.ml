@@ -1,0 +1,128 @@
+(* Tests for the BGP session FSM (RFC 4271 §8). *)
+open Dice_bgp
+
+let open_msg =
+  { Msg.version = 4; my_as = 64501; hold_time = 90; bgp_id = 1; capabilities = [] }
+
+let has_action actions pred = List.exists pred actions
+
+let step_through state events =
+  List.fold_left (fun (st, _) ev -> Fsm.step st ev) (state, []) events
+
+let test_happy_path () =
+  let st, actions = Fsm.step Fsm.initial Fsm.Manual_start in
+  Alcotest.(check string) "to Connect" "Connect" (Fsm.state_to_string st);
+  Alcotest.(check bool) "initiates connect" true
+    (has_action actions (( = ) Fsm.Initiate_connect));
+  let st, actions = Fsm.step st Fsm.Tcp_connected in
+  Alcotest.(check string) "to OpenSent" "OpenSent" (Fsm.state_to_string st);
+  Alcotest.(check bool) "sends OPEN" true (has_action actions (( = ) Fsm.Send_open));
+  let st, actions = Fsm.step st (Fsm.Recv_open open_msg) in
+  Alcotest.(check string) "to OpenConfirm" "OpenConfirm" (Fsm.state_to_string st);
+  Alcotest.(check bool) "sends KEEPALIVE" true (has_action actions (( = ) Fsm.Send_keepalive));
+  let st, actions = Fsm.step st Fsm.Recv_keepalive in
+  Alcotest.(check string) "to Established" "Established" (Fsm.state_to_string st);
+  Alcotest.(check bool) "announces session" true
+    (has_action actions (( = ) Fsm.Session_established))
+
+let established () =
+  fst
+    (step_through Fsm.initial
+       [ Fsm.Manual_start; Fsm.Tcp_connected; Fsm.Recv_open open_msg; Fsm.Recv_keepalive ])
+
+let test_update_delivery () =
+  let u = { Msg.withdrawn = []; attrs = []; nlri = [] } in
+  let st, actions = Fsm.step (established ()) (Fsm.Recv_update u) in
+  Alcotest.(check string) "stays Established" "Established" (Fsm.state_to_string st);
+  Alcotest.(check bool) "delivers" true
+    (has_action actions (function Fsm.Deliver_update _ -> true | _ -> false));
+  Alcotest.(check bool) "restarts hold timer" true
+    (has_action actions (( = ) (Fsm.Start_timer Fsm.Hold)))
+
+let test_keepalive_refreshes_hold () =
+  let _, actions = Fsm.step (established ()) Fsm.Recv_keepalive in
+  Alcotest.(check bool) "hold restarted" true
+    (has_action actions (( = ) (Fsm.Start_timer Fsm.Hold)))
+
+let test_hold_expiry_tears_down () =
+  let st, actions = Fsm.step (established ()) (Fsm.Timer_expired Fsm.Hold) in
+  Alcotest.(check string) "to Idle" "Idle" (Fsm.state_to_string st);
+  Alcotest.(check bool) "hold-expired notification (code 4)" true
+    (has_action actions (function
+      | Fsm.Send_notification n -> n.Msg.code = 4
+      | _ -> false));
+  Alcotest.(check bool) "session down" true
+    (has_action actions (function Fsm.Session_down _ -> true | _ -> false))
+
+let test_keepalive_timer_sends () =
+  let st, actions = Fsm.step (established ()) (Fsm.Timer_expired Fsm.Keepalive_timer) in
+  Alcotest.(check string) "stays" "Established" (Fsm.state_to_string st);
+  Alcotest.(check bool) "sends keepalive" true (has_action actions (( = ) Fsm.Send_keepalive))
+
+let test_notification_tears_down () =
+  let st, actions =
+    Fsm.step (established ())
+      (Fsm.Recv_notification { Msg.code = 6; subcode = 0; data = Bytes.empty })
+  in
+  Alcotest.(check string) "to Idle" "Idle" (Fsm.state_to_string st);
+  Alcotest.(check bool) "drops connection" true (has_action actions (( = ) Fsm.Drop_connection))
+
+let test_manual_stop_sends_cease () =
+  let _, actions = Fsm.step (established ()) Fsm.Manual_stop in
+  Alcotest.(check bool) "cease (code 6)" true
+    (has_action actions (function
+      | Fsm.Send_notification n -> n.Msg.code = 6
+      | _ -> false))
+
+let test_connect_retry () =
+  let st, _ = Fsm.step Fsm.initial Fsm.Manual_start in
+  let st, _ = Fsm.step st Fsm.Tcp_failed in
+  Alcotest.(check string) "to Active" "Active" (Fsm.state_to_string st);
+  let st, actions = Fsm.step st (Fsm.Timer_expired Fsm.Connect_retry) in
+  Alcotest.(check string) "back to Connect" "Connect" (Fsm.state_to_string st);
+  Alcotest.(check bool) "retries" true (has_action actions (( = ) Fsm.Initiate_connect))
+
+let test_unexpected_open_in_established () =
+  let st, actions = Fsm.step (established ()) (Fsm.Recv_open open_msg) in
+  Alcotest.(check string) "to Idle" "Idle" (Fsm.state_to_string st);
+  Alcotest.(check bool) "FSM error (code 5)" true
+    (has_action actions (function
+      | Fsm.Send_notification n -> n.Msg.code = 5
+      | _ -> false))
+
+let test_idle_ignores_noise () =
+  List.iter
+    (fun ev ->
+      let st, actions = Fsm.step Fsm.Idle ev in
+      Alcotest.(check string) "stays Idle" "Idle" (Fsm.state_to_string st);
+      Alcotest.(check int) "no actions" 0 (List.length actions))
+    [ Fsm.Tcp_connected; Fsm.Recv_keepalive; Fsm.Manual_stop;
+      Fsm.Timer_expired Fsm.Hold ]
+
+let test_transport_failure_in_established () =
+  let st, actions = Fsm.step (established ()) Fsm.Tcp_failed in
+  Alcotest.(check string) "to Idle" "Idle" (Fsm.state_to_string st);
+  Alcotest.(check bool) "session down" true
+    (has_action actions (function Fsm.Session_down _ -> true | _ -> false))
+
+let test_open_sent_hold_expiry () =
+  let st, _ = step_through Fsm.initial [ Fsm.Manual_start; Fsm.Tcp_connected ] in
+  let st', actions = Fsm.step st (Fsm.Timer_expired Fsm.Hold) in
+  Alcotest.(check string) "to Idle" "Idle" (Fsm.state_to_string st');
+  Alcotest.(check bool) "notifies" true
+    (has_action actions (function Fsm.Send_notification _ -> true | _ -> false))
+
+let suite =
+  [ ("happy path to Established", `Quick, test_happy_path);
+    ("update delivery", `Quick, test_update_delivery);
+    ("keepalive refreshes hold", `Quick, test_keepalive_refreshes_hold);
+    ("hold expiry tears down", `Quick, test_hold_expiry_tears_down);
+    ("keepalive timer sends", `Quick, test_keepalive_timer_sends);
+    ("notification tears down", `Quick, test_notification_tears_down);
+    ("manual stop sends cease", `Quick, test_manual_stop_sends_cease);
+    ("connect retry", `Quick, test_connect_retry);
+    ("unexpected OPEN in Established", `Quick, test_unexpected_open_in_established);
+    ("idle ignores noise", `Quick, test_idle_ignores_noise);
+    ("transport failure in Established", `Quick, test_transport_failure_in_established);
+    ("OpenSent hold expiry", `Quick, test_open_sent_hold_expiry)
+  ]

@@ -1,0 +1,203 @@
+(* Tests for Dice_inet: Ipv4, Prefix, Asn, Community. *)
+open Dice_inet
+
+let test_ipv4_roundtrip () =
+  List.iter
+    (fun s -> Alcotest.(check string) s s (Ipv4.to_string (Ipv4.of_string s)))
+    [ "0.0.0.0"; "255.255.255.255"; "10.0.0.1"; "192.168.1.254"; "1.2.3.4" ]
+
+let test_ipv4_octets () =
+  Alcotest.(check int) "10.0.0.1" 0x0A000001 (Ipv4.of_octets 10 0 0 1);
+  let a, b, c, d = Ipv4.to_octets (Ipv4.of_string "1.2.3.4") in
+  Alcotest.(check (list int)) "octets" [ 1; 2; 3; 4 ] [ a; b; c; d ]
+
+let test_ipv4_bad_parse () =
+  List.iter
+    (fun s ->
+      Alcotest.(check (option int)) s None (Ipv4.of_string_opt s))
+    [ ""; "1.2.3"; "1.2.3.4.5"; "256.0.0.1"; "a.b.c.d"; "1..2.3"; "-1.0.0.0"; "1.2.3.4 " ]
+
+let test_ipv4_bits () =
+  let a = Ipv4.of_string "128.0.0.1" in
+  Alcotest.(check bool) "top bit" true (Ipv4.bit a 0);
+  Alcotest.(check bool) "second bit" false (Ipv4.bit a 1);
+  Alcotest.(check bool) "last bit" true (Ipv4.bit a 31)
+
+let test_ipv4_mask () =
+  Alcotest.(check int) "/0" 0 (Ipv4.mask 0);
+  Alcotest.(check int) "/32" 0xFFFFFFFF (Ipv4.mask 32);
+  Alcotest.(check int) "/8" 0xFF000000 (Ipv4.mask 8);
+  Alcotest.(check string) "apply" "10.0.0.0"
+    (Ipv4.to_string (Ipv4.apply_mask (Ipv4.of_string "10.1.2.3") 8))
+
+let test_ipv4_succ_wrap () =
+  Alcotest.(check int) "wraps" 0 (Ipv4.succ Ipv4.broadcast);
+  Alcotest.(check string) "succ" "1.2.3.5" (Ipv4.to_string (Ipv4.succ (Ipv4.of_string "1.2.3.4")))
+
+let test_ipv4_compare () =
+  Alcotest.(check bool) "order" true
+    (Ipv4.compare (Ipv4.of_string "9.0.0.0") (Ipv4.of_string "10.0.0.0") < 0);
+  (* high addresses must not compare negative (unsigned semantics) *)
+  Alcotest.(check bool) "unsigned order" true
+    (Ipv4.compare (Ipv4.of_string "200.0.0.0") (Ipv4.of_string "100.0.0.0") > 0)
+
+let test_ipv4_int32 () =
+  let a = Ipv4.of_string "255.0.0.1" in
+  Alcotest.(check int) "roundtrip" a (Ipv4.of_int32 (Ipv4.to_int32 a))
+
+(* ---- Prefix ---- *)
+
+let test_prefix_normalize () =
+  let p = Prefix.make (Ipv4.of_string "10.1.2.3") 8 in
+  Alcotest.(check string) "normalized" "10.0.0.0/8" (Prefix.to_string p)
+
+let test_prefix_of_string () =
+  Alcotest.(check string) "cidr" "192.168.0.0/16"
+    (Prefix.to_string (Prefix.of_string "192.168.1.1/16"));
+  Alcotest.(check string) "bare address is /32" "1.2.3.4/32"
+    (Prefix.to_string (Prefix.of_string "1.2.3.4"))
+
+let test_prefix_bad_parse () =
+  List.iter
+    (fun s -> Alcotest.(check bool) s true (Prefix.of_string_opt s = None))
+    [ "10.0.0.0/33"; "10.0.0.0/-1"; "10.0.0/8"; "10.0.0.0/x"; "/8" ]
+
+let test_prefix_contains () =
+  let p = Prefix.of_string "10.0.0.0/8" in
+  Alcotest.(check bool) "inside" true (Prefix.contains p (Ipv4.of_string "10.255.0.1"));
+  Alcotest.(check bool) "outside" false (Prefix.contains p (Ipv4.of_string "11.0.0.0"));
+  Alcotest.(check bool) "default contains all" true
+    (Prefix.contains Prefix.default (Ipv4.of_string "200.1.2.3"))
+
+let test_prefix_subsumes () =
+  let p8 = Prefix.of_string "10.0.0.0/8" and p16 = Prefix.of_string "10.5.0.0/16" in
+  Alcotest.(check bool) "/8 subsumes /16" true (Prefix.subsumes p8 p16);
+  Alcotest.(check bool) "/16 not subsumes /8" false (Prefix.subsumes p16 p8);
+  Alcotest.(check bool) "self" true (Prefix.subsumes p8 p8);
+  Alcotest.(check bool) "disjoint" false
+    (Prefix.subsumes p8 (Prefix.of_string "11.0.0.0/16"))
+
+let test_prefix_overlaps () =
+  let a = Prefix.of_string "10.0.0.0/8" and b = Prefix.of_string "10.1.0.0/16" in
+  Alcotest.(check bool) "nested overlap" true (Prefix.overlaps a b && Prefix.overlaps b a);
+  Alcotest.(check bool) "disjoint" false
+    (Prefix.overlaps (Prefix.of_string "10.0.0.0/9") (Prefix.of_string "10.128.0.0/9"))
+
+let test_prefix_addresses () =
+  let p = Prefix.of_string "10.0.0.0/30" in
+  Alcotest.(check string) "first" "10.0.0.0" (Ipv4.to_string (Prefix.first_address p));
+  Alcotest.(check string) "last" "10.0.0.3" (Ipv4.to_string (Prefix.last_address p))
+
+let test_prefix_split () =
+  match Prefix.split (Prefix.of_string "10.0.0.0/8") with
+  | Some (lo, hi) ->
+    Alcotest.(check string) "lo" "10.0.0.0/9" (Prefix.to_string lo);
+    Alcotest.(check string) "hi" "10.128.0.0/9" (Prefix.to_string hi)
+  | None -> Alcotest.fail "split /8 must succeed"
+
+let test_prefix_split_host () =
+  Alcotest.(check bool) "/32 unsplittable" true
+    (Prefix.split (Prefix.of_string "1.2.3.4/32") = None)
+
+let test_prefix_compare_total () =
+  let l =
+    List.map Prefix.of_string [ "10.0.0.0/8"; "10.0.0.0/16"; "9.0.0.0/8"; "11.0.0.0/8" ]
+  in
+  let sorted = List.sort Prefix.compare l in
+  Alcotest.(check (list string))
+    "sorted order"
+    [ "9.0.0.0/8"; "10.0.0.0/8"; "10.0.0.0/16"; "11.0.0.0/8" ]
+    (List.map Prefix.to_string sorted)
+
+let test_prefix_equal_hash () =
+  let a = Prefix.of_string "10.0.0.0/8" and b = Prefix.make (Ipv4.of_string "10.9.9.9") 8 in
+  Alcotest.(check bool) "equal after normalization" true (Prefix.equal a b);
+  Alcotest.(check int) "hash agrees" (Prefix.hash a) (Prefix.hash b)
+
+(* ---- Asn.Path ---- *)
+
+let test_path_prepend () =
+  let p = Asn.Path.prepend 3 (Asn.Path.prepend 2 (Asn.Path.prepend 1 Asn.Path.empty)) in
+  Alcotest.(check (list int)) "order" [ 3; 2; 1 ] (Asn.Path.as_list p)
+
+let test_path_prepend_after_set () =
+  let p = Asn.Path.prepend 5 [ Asn.Path.Set [ 1; 2 ] ] in
+  match p with
+  | [ Asn.Path.Seq [ 5 ]; Asn.Path.Set [ 1; 2 ] ] -> ()
+  | _ -> Alcotest.fail "prepend must open a new sequence before a set"
+
+let test_path_length_with_set () =
+  let p = [ Asn.Path.Seq [ 1; 2; 3 ]; Asn.Path.Set [ 7; 8; 9 ] ] in
+  Alcotest.(check int) "set counts once" 4 (Asn.Path.length p)
+
+let test_path_origin () =
+  Alcotest.(check (option int)) "last of seq" (Some 9)
+    (Asn.Path.origin_as [ Asn.Path.Seq [ 1; 9 ] ]);
+  Alcotest.(check (option int)) "empty" None (Asn.Path.origin_as Asn.Path.empty);
+  Alcotest.(check (option int)) "ends in set" None
+    (Asn.Path.origin_as [ Asn.Path.Seq [ 1 ]; Asn.Path.Set [ 2; 3 ] ])
+
+let test_path_first () =
+  Alcotest.(check (option int)) "first" (Some 1)
+    (Asn.Path.first_as [ Asn.Path.Seq [ 1; 9 ] ]);
+  Alcotest.(check (option int)) "set first" None
+    (Asn.Path.first_as [ Asn.Path.Set [ 1 ] ])
+
+let test_path_contains () =
+  let p = [ Asn.Path.Seq [ 1; 2 ]; Asn.Path.Set [ 3 ] ] in
+  Alcotest.(check bool) "in seq" true (Asn.Path.contains p 2);
+  Alcotest.(check bool) "in set" true (Asn.Path.contains p 3);
+  Alcotest.(check bool) "absent" false (Asn.Path.contains p 4)
+
+let test_path_to_string () =
+  Alcotest.(check string) "render" "1 2 {3,4}"
+    (Asn.Path.to_string [ Asn.Path.Seq [ 1; 2 ]; Asn.Path.Set [ 3; 4 ] ])
+
+(* ---- Community ---- *)
+
+let test_community_parts () =
+  let c = Community.make 64500 120 in
+  Alcotest.(check int) "asn" 64500 (Community.asn_part c);
+  Alcotest.(check int) "value" 120 (Community.value_part c)
+
+let test_community_parse () =
+  Alcotest.(check int) "parse" (Community.make 100 200) (Community.of_string "100:200");
+  Alcotest.(check int) "no-export" Community.no_export (Community.of_string "no-export");
+  Alcotest.(check (option int)) "bad" None (Community.of_string_opt "100");
+  Alcotest.(check (option int)) "overflow" None (Community.of_string_opt "70000:1")
+
+let test_community_to_string () =
+  Alcotest.(check string) "render" "100:200" (Community.to_string (Community.make 100 200));
+  Alcotest.(check string) "well-known" "no-advertise" (Community.to_string Community.no_advertise)
+
+let suite =
+  [ ("ipv4 roundtrip", `Quick, test_ipv4_roundtrip);
+    ("ipv4 octets", `Quick, test_ipv4_octets);
+    ("ipv4 bad parse", `Quick, test_ipv4_bad_parse);
+    ("ipv4 bits", `Quick, test_ipv4_bits);
+    ("ipv4 mask", `Quick, test_ipv4_mask);
+    ("ipv4 succ wraps", `Quick, test_ipv4_succ_wrap);
+    ("ipv4 compare", `Quick, test_ipv4_compare);
+    ("ipv4 int32", `Quick, test_ipv4_int32);
+    ("prefix normalize", `Quick, test_prefix_normalize);
+    ("prefix of_string", `Quick, test_prefix_of_string);
+    ("prefix bad parse", `Quick, test_prefix_bad_parse);
+    ("prefix contains", `Quick, test_prefix_contains);
+    ("prefix subsumes", `Quick, test_prefix_subsumes);
+    ("prefix overlaps", `Quick, test_prefix_overlaps);
+    ("prefix first/last", `Quick, test_prefix_addresses);
+    ("prefix split", `Quick, test_prefix_split);
+    ("prefix split host", `Quick, test_prefix_split_host);
+    ("prefix compare", `Quick, test_prefix_compare_total);
+    ("prefix equal/hash", `Quick, test_prefix_equal_hash);
+    ("path prepend", `Quick, test_path_prepend);
+    ("path prepend after set", `Quick, test_path_prepend_after_set);
+    ("path length with set", `Quick, test_path_length_with_set);
+    ("path origin", `Quick, test_path_origin);
+    ("path first", `Quick, test_path_first);
+    ("path contains", `Quick, test_path_contains);
+    ("path to_string", `Quick, test_path_to_string);
+    ("community parts", `Quick, test_community_parts);
+    ("community parse", `Quick, test_community_parse);
+    ("community render", `Quick, test_community_to_string)
+  ]

@@ -1,0 +1,148 @@
+(* End-to-end integration tests over the simulated network. *)
+open Dice_inet
+open Dice_bgp
+module Net = Dice_sim.Network
+module Threerouter = Dice_topology.Threerouter
+
+let p = Prefix.of_string
+
+let simple_pair () =
+  let cfg_a =
+    Config_parser.parse
+      {|
+      router id 10.0.0.1;
+      local as 65001;
+      protocol static { route 198.51.100.0/24 via 10.0.0.1; }
+      protocol bgp b { neighbor 10.0.0.2 as 65002; import all; export all; }
+      |}
+  in
+  let cfg_b =
+    Config_parser.parse
+      {|
+      router id 10.0.0.2;
+      local as 65002;
+      protocol bgp a { neighbor 10.0.0.1 as 65001; import all; export all; }
+      |}
+  in
+  let net = Net.create () in
+  let a = Router_node.attach net ~name:"A" (Router.create cfg_a) in
+  let b = Router_node.attach net ~name:"B" (Router.create cfg_b) in
+  Net.connect net (Router_node.node_id a) (Router_node.node_id b) ~latency:0.01;
+  Router_node.bind_peer a ~neighbor:(Ipv4.of_string "10.0.0.2") ~node:(Router_node.node_id b);
+  Router_node.bind_peer b ~neighbor:(Ipv4.of_string "10.0.0.1") ~node:(Router_node.node_id a);
+  (net, a, b)
+
+let test_pair_establish_and_propagate () =
+  let net, a, b = simple_pair () in
+  Router_node.start a;
+  Router_node.start b;
+  ignore (Net.run ~until:30.0 net);
+  Alcotest.(check (option string)) "A established" (Some "Established")
+    (Option.map Fsm.state_to_string
+       (Router.peer_state (Router_node.router a) (Ipv4.of_string "10.0.0.2")));
+  match Router.best_route (Router_node.router b) (p "198.51.100.0/24") with
+  | Some e ->
+    Alcotest.(check (option int)) "learned via A's AS" (Some 65001)
+      (Route.neighbor_as e.Rib.Loc.route)
+  | None -> Alcotest.fail "static route did not propagate"
+
+let test_pair_keepalives_sustain_session () =
+  let net, a, b = simple_pair () in
+  Router_node.start a;
+  Router_node.start b;
+  (* run well past the hold time: keepalives must keep the session up *)
+  ignore (Net.run ~until:400.0 net);
+  Alcotest.(check (option string)) "still established" (Some "Established")
+    (Option.map Fsm.state_to_string
+       (Router.peer_state (Router_node.router a) (Ipv4.of_string "10.0.0.2")));
+  ignore b
+
+let test_threerouter_full_propagation () =
+  let topo = Threerouter.build Threerouter.Partially_correct in
+  Threerouter.start topo;
+  ignore (Net.run ~until:(Net.now topo.Threerouter.net +. 10.0) topo.Threerouter.net);
+  (* the customer's static routes must be visible at the internet router
+     with the provider + customer AS path *)
+  let internet = Router_node.router topo.Threerouter.internet in
+  match Router.best_route internet (p "203.0.113.0/24") with
+  | Some e ->
+    Alcotest.(check (list int)) "AS path through provider"
+      [ Threerouter.provider_as; Threerouter.customer_as ]
+      (Asn.Path.as_list e.Rib.Loc.route.Route.as_path)
+  | None -> Alcotest.fail "customer route did not reach the internet"
+
+let test_threerouter_table_load () =
+  let topo = Threerouter.build Threerouter.Missing in
+  Threerouter.start topo;
+  let trace =
+    Dice_trace.Gen.generate
+      { Dice_trace.Gen.default_params with Dice_trace.Gen.n_prefixes = 800; duration = 10.0 }
+  in
+  let n = Threerouter.load_table topo trace in
+  (* every distinct dump prefix, plus the customer's two statics *)
+  let distinct =
+    Array.to_list trace.Dice_trace.Gen.dump
+    |> List.map (fun (e : Dice_trace.Gen.entry) -> e.Dice_trace.Gen.prefix)
+    |> List.sort_uniq Prefix.compare
+    |> List.length
+  in
+  Alcotest.(check bool) "table loaded" true (n >= distinct);
+  (* and the customer sees routes re-exported by the provider *)
+  let customer = Router_node.router topo.Threerouter.customer in
+  Alcotest.(check bool) "customer sees the table" true
+    (Rib.Loc.cardinal (Router.loc_rib customer) >= distinct / 2)
+
+let test_scheduled_replay_in_sim () =
+  let topo = Threerouter.build Threerouter.Missing in
+  Threerouter.start topo;
+  let trace =
+    Dice_trace.Gen.generate
+      { Dice_trace.Gen.default_params with
+        Dice_trace.Gen.n_prefixes = 100;
+        duration = 5.0;
+        update_rate = 2.0;
+      }
+  in
+  let scheduled =
+    Dice_trace.Replay.schedule topo.Threerouter.net
+      ~from_node:(Router_node.node_id topo.Threerouter.internet)
+      ~to_node:(Router_node.node_id topo.Threerouter.provider)
+      ~start_at:(Net.now topo.Threerouter.net)
+      ~next_hop:Threerouter.internet_addr trace
+  in
+  Alcotest.(check int) "dump + events scheduled"
+    (100 + Array.length trace.Dice_trace.Gen.events)
+    scheduled;
+  ignore (Net.run ~until:(Net.now topo.Threerouter.net +. 30.0) topo.Threerouter.net);
+  let provider = Threerouter.provider_router topo in
+  Alcotest.(check bool) "provider processed them" true
+    (Router.updates_processed provider >= 100)
+
+let test_session_recovery_after_drop () =
+  let net, a, b = simple_pair () in
+  Router_node.start a;
+  Router_node.start b;
+  ignore (Net.run ~until:30.0 net);
+  (* simulate a transport failure on A's side: FSM goes Idle, and since
+     ManualStart is not re-issued automatically, the session stays down
+     from A's perspective until restarted *)
+  ignore
+    (Router.handle_event (Router_node.router a) ~peer:(Ipv4.of_string "10.0.0.2")
+       Fsm.Tcp_failed);
+  Alcotest.(check (option string)) "down" (Some "Idle")
+    (Option.map Fsm.state_to_string
+       (Router.peer_state (Router_node.router a) (Ipv4.of_string "10.0.0.2")));
+  Router_node.start a;
+  ignore (Net.run ~until:(Net.now net +. 60.0) net);
+  Alcotest.(check (option string)) "re-established" (Some "Established")
+    (Option.map Fsm.state_to_string
+       (Router.peer_state (Router_node.router a) (Ipv4.of_string "10.0.0.2")))
+
+let suite =
+  [ ("pair: establish and propagate", `Quick, test_pair_establish_and_propagate);
+    ("pair: keepalives sustain session", `Quick, test_pair_keepalives_sustain_session);
+    ("three-router: full propagation", `Quick, test_threerouter_full_propagation);
+    ("three-router: table load", `Slow, test_threerouter_table_load);
+    ("scheduled replay in sim", `Quick, test_scheduled_replay_in_sim);
+    ("session recovery after drop", `Quick, test_session_recovery_after_drop)
+  ]

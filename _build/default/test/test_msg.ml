@@ -1,0 +1,244 @@
+(* Tests for BGP message encoding/decoding (RFC 4271 §4, §6). *)
+open Dice_inet
+open Dice_bgp
+
+let msg_t = Alcotest.testable (fun ppf m -> Msg.pp ppf m) ( = )
+
+let roundtrip ?as4 msg =
+  match Msg.decode ?as4 (Msg.encode ?as4 msg) with
+  | Ok m -> m
+  | Error e -> Alcotest.failf "decode failed: %s" (Msg.error_to_string e)
+
+let attrs_for nlri =
+  if nlri = [] then []
+  else
+    [ Attr.Origin Attr.Igp;
+      Attr.As_path [ Asn.Path.Seq [ 64501 ] ];
+      Attr.Next_hop (Ipv4.of_string "10.0.0.1") ]
+
+let update ?(withdrawn = []) nlri =
+  Msg.Update { withdrawn; attrs = attrs_for nlri; nlri }
+
+let expect_error bytes pred name =
+  match Msg.decode bytes with
+  | Ok m -> Alcotest.failf "expected %s, decoded %s" name (Msg.to_string m)
+  | Error e ->
+    if not (pred e) then Alcotest.failf "expected %s, got %s" name (Msg.error_to_string e)
+
+let test_keepalive () =
+  Alcotest.(check msg_t) "roundtrip" Msg.Keepalive (roundtrip Msg.Keepalive);
+  Alcotest.(check int) "19 bytes" 19 (Bytes.length Msg.keepalive_bytes)
+
+let test_open_roundtrip () =
+  let o =
+    Msg.Open
+      { Msg.version = 4;
+        my_as = 64501;
+        hold_time = 90;
+        bgp_id = Ipv4.of_string "10.0.0.1";
+        capabilities = [ Msg.Cap_as4 64501; Msg.Cap_mp (1, 1) ];
+      }
+  in
+  Alcotest.(check msg_t) "roundtrip" o (roundtrip o)
+
+let test_open_no_caps () =
+  let o =
+    Msg.Open
+      { Msg.version = 4; my_as = 1; hold_time = 0; bgp_id = 1; capabilities = [] }
+  in
+  Alcotest.(check msg_t) "roundtrip" o (roundtrip o)
+
+let test_open_unknown_capability () =
+  let o =
+    Msg.Open
+      { Msg.version = 4;
+        my_as = 1;
+        hold_time = 90;
+        bgp_id = 1;
+        capabilities = [ Msg.Cap_other (77, Bytes.of_string "xy") ];
+      }
+  in
+  Alcotest.(check msg_t) "kept verbatim" o (roundtrip o)
+
+let test_update_roundtrip () =
+  let u =
+    update
+      ~withdrawn:[ Prefix.of_string "10.1.0.0/16"; Prefix.of_string "10.2.3.0/24" ]
+      [ Prefix.of_string "192.0.2.0/24"; Prefix.of_string "198.51.100.0/22" ]
+  in
+  Alcotest.(check msg_t) "roundtrip" u (roundtrip u)
+
+let test_update_withdraw_only () =
+  let u = Msg.withdraw_of [ Prefix.of_string "10.0.0.0/8" ] in
+  Alcotest.(check msg_t) "roundtrip" u (roundtrip u)
+
+let test_update_prefix_edges () =
+  (* /0 and /32 prefix encodings *)
+  let u = update [ Prefix.default; Prefix.of_string "1.2.3.4/32"; Prefix.of_string "128.0.0.0/1" ] in
+  Alcotest.(check msg_t) "roundtrip" u (roundtrip u)
+
+let test_notification_roundtrip () =
+  let n = Msg.Notification { Msg.code = 6; subcode = 2; data = Bytes.of_string "bye" } in
+  Alcotest.(check msg_t) "roundtrip" n (roundtrip n)
+
+let test_update_of_route () =
+  match Msg.update_of_route ~prefix:(Prefix.of_string "10.0.0.0/8") (attrs_for [ Prefix.default ]) with
+  | Msg.Update u ->
+    Alcotest.(check int) "one nlri" 1 (List.length u.Msg.nlri);
+    Alcotest.(check int) "no withdrawn" 0 (List.length u.Msg.withdrawn)
+  | _ -> Alcotest.fail "expected an update"
+
+(* ---- header errors ---- *)
+
+let corrupt f msg =
+  let b = Msg.encode msg in
+  f b;
+  b
+
+let test_bad_marker () =
+  let b = corrupt (fun b -> Bytes.set b 3 '\x00') Msg.Keepalive in
+  expect_error b
+    (function Msg.Header_error { subcode = 1; _ } -> true | _ -> false)
+    "connection-not-synchronized"
+
+let test_bad_length_field () =
+  let b = corrupt (fun b -> Bytes.set b 17 '\xFF') Msg.Keepalive in
+  expect_error b
+    (function Msg.Header_error { subcode = 2; _ } -> true | _ -> false)
+    "bad-message-length"
+
+let test_bad_type () =
+  let b = corrupt (fun b -> Bytes.set b 18 '\x09') Msg.Keepalive in
+  expect_error b
+    (function Msg.Header_error { subcode = 3; _ } -> true | _ -> false)
+    "bad-message-type"
+
+let test_short_message () =
+  expect_error (Bytes.make 10 '\xFF')
+    (function Msg.Header_error _ -> true | _ -> false)
+    "short message"
+
+let test_keepalive_with_body () =
+  let b = Msg.encode Msg.Keepalive in
+  let b' = Bytes.cat b (Bytes.make 1 '\x00') in
+  (* fix the length field to cover the extra byte *)
+  Bytes.set b' 16 '\x00';
+  Bytes.set b' 17 (Char.chr 20);
+  expect_error b'
+    (function Msg.Header_error { subcode = 2; _ } -> true | _ -> false)
+    "keepalive with body"
+
+(* ---- update errors ---- *)
+
+let test_update_missing_mandatory () =
+  (* NLRI without ORIGIN: Missing Well-known Attribute *)
+  let u =
+    Msg.Update
+      {
+        withdrawn = [];
+        attrs =
+          [ Attr.As_path [ Asn.Path.Seq [ 1 ] ]; Attr.Next_hop (Ipv4.of_string "10.0.0.1") ];
+        nlri = [ Prefix.of_string "10.0.0.0/8" ];
+      }
+  in
+  expect_error (Msg.encode u)
+    (function Msg.Update_error (Attr.Missing_wellknown 1) -> true | _ -> false)
+    "missing ORIGIN"
+
+let test_update_no_nlri_needs_no_attrs () =
+  (* an update with neither nlri nor attrs (pure withdraw) is legal *)
+  let u = Msg.withdraw_of [ Prefix.of_string "10.0.0.0/8" ] in
+  Alcotest.(check msg_t) "ok" u (roundtrip u)
+
+let test_update_bad_nlri_length () =
+  let u = update [ Prefix.of_string "10.0.0.0/8" ] in
+  let b = Msg.encode u in
+  (* the NLRI length byte is the second-to-last byte (len 8, 1 addr byte);
+     overwrite with 33 *)
+  Bytes.set b (Bytes.length b - 2) (Char.chr 33);
+  expect_error b
+    (function Msg.Update_malformed _ -> true | _ -> false)
+    "prefix length 33"
+
+let test_update_withdrawn_overrun () =
+  let u = update [] in
+  let b = Msg.encode u in
+  (* body starts at 19: withdrawn length field claims more than available *)
+  Bytes.set b 19 '\xFF';
+  Bytes.set b 20 '\xFF';
+  expect_error b
+    (function Msg.Update_malformed _ -> true | _ -> false)
+    "withdrawn overrun"
+
+let test_error_notifications () =
+  let check_n err code subcode =
+    let n = Msg.error_notification err in
+    Alcotest.(check (pair int int)) "code/subcode" (code, subcode) (n.Msg.code, n.Msg.subcode)
+  in
+  check_n (Msg.Header_error { subcode = 1; reason = "" }) 1 1;
+  check_n (Msg.Open_error { subcode = 2; reason = "" }) 2 2;
+  check_n (Msg.Update_error Attr.Invalid_origin) 3 6;
+  check_n (Msg.Update_malformed "") 3 1
+
+let test_open_version_rejected () =
+  let o =
+    Msg.Open { Msg.version = 3; my_as = 1; hold_time = 90; bgp_id = 1; capabilities = [] }
+  in
+  expect_error (Msg.encode o)
+    (function Msg.Open_error { subcode = 1; _ } -> true | _ -> false)
+    "unsupported version"
+
+let test_open_hold_time_rejected () =
+  let o =
+    Msg.Open { Msg.version = 4; my_as = 1; hold_time = 2; bgp_id = 1; capabilities = [] }
+  in
+  expect_error (Msg.encode o)
+    (function Msg.Open_error { subcode = 6; _ } -> true | _ -> false)
+    "hold time 2"
+
+let test_decode_exn () =
+  Alcotest.(check msg_t) "ok" Msg.Keepalive (Msg.decode_exn (Msg.encode Msg.Keepalive));
+  let b = corrupt (fun b -> Bytes.set b 0 '\x00') Msg.Keepalive in
+  match Msg.decode_exn b with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument"
+
+let prop_update_roundtrip =
+  let arb =
+    QCheck.make
+      ~print:(fun pfxs -> String.concat " " (List.map Prefix.to_string pfxs))
+      QCheck.Gen.(
+        list_size (int_range 1 20)
+          (map
+             (fun (a, l) -> Prefix.make (a land 0xFFFFFFFF) l)
+             (pair (int_range 0 0xFFFFFF) (int_range 0 32))))
+  in
+  QCheck.Test.make ~name:"update roundtrip over random NLRI" ~count:200 arb (fun pfxs ->
+      let u = update pfxs in
+      roundtrip u = u)
+
+let suite =
+  [ ("keepalive", `Quick, test_keepalive);
+    ("open roundtrip", `Quick, test_open_roundtrip);
+    ("open without capabilities", `Quick, test_open_no_caps);
+    ("open unknown capability", `Quick, test_open_unknown_capability);
+    ("update roundtrip", `Quick, test_update_roundtrip);
+    ("withdraw-only update", `Quick, test_update_withdraw_only);
+    ("prefix encoding edges", `Quick, test_update_prefix_edges);
+    ("notification roundtrip", `Quick, test_notification_roundtrip);
+    ("update_of_route", `Quick, test_update_of_route);
+    ("bad marker", `Quick, test_bad_marker);
+    ("bad length field", `Quick, test_bad_length_field);
+    ("bad type", `Quick, test_bad_type);
+    ("short message", `Quick, test_short_message);
+    ("keepalive with body", `Quick, test_keepalive_with_body);
+    ("update missing mandatory attr", `Quick, test_update_missing_mandatory);
+    ("pure withdraw legal", `Quick, test_update_no_nlri_needs_no_attrs);
+    ("bad NLRI length", `Quick, test_update_bad_nlri_length);
+    ("withdrawn overrun", `Quick, test_update_withdrawn_overrun);
+    ("error notifications", `Quick, test_error_notifications);
+    ("open bad version", `Quick, test_open_version_rejected);
+    ("open bad hold time", `Quick, test_open_hold_time_rejected);
+    ("decode_exn", `Quick, test_decode_exn);
+    QCheck_alcotest.to_alcotest prop_update_roundtrip
+  ]

@@ -1,0 +1,314 @@
+(* Tests for the continuous-testing daemon, config-change validation, and
+   the additional checkers. *)
+open Dice_inet
+open Dice_bgp
+open Dice_core
+module Threerouter = Dice_topology.Threerouter
+module Net = Dice_sim.Network
+
+let p = Prefix.of_string
+
+(* ---- Checks ---- *)
+
+let cctx =
+  { Checker.pre_loc_rib = Rib.Loc.empty;
+    anycast = [];
+    peer = Ipv4.of_string "10.0.1.2";
+    peer_as = 64501;
+  }
+
+let outcome ?(accepted = true) ?(path = [ 64501 ]) ?(next_hop = "10.0.1.2") prefix =
+  let route =
+    Route.make ~origin:Attr.Igp
+      ~as_path:[ Asn.Path.Seq path ]
+      ~next_hop:(Ipv4.of_string next_hop) ()
+  in
+  { Router.prefix = p prefix;
+    accepted;
+    installed = accepted;
+    route = (if accepted then Some route else None);
+    previous_best = None;
+    outputs = [];
+  }
+
+let test_bogon_fires () =
+  let c = Checks.bogon () in
+  List.iter
+    (fun prefix ->
+      Alcotest.(check int) (prefix ^ " flagged") 1
+        (List.length (c.Checker.check cctx (outcome prefix))))
+    [ "10.1.0.0/16"; "127.0.0.0/8"; "224.1.0.0/16"; "192.168.5.0/24"; "169.254.0.0/16" ]
+
+let test_bogon_clean_for_public () =
+  let c = Checks.bogon () in
+  List.iter
+    (fun prefix ->
+      Alcotest.(check int) (prefix ^ " clean") 0
+        (List.length (c.Checker.check cctx (outcome prefix))))
+    [ "8.8.8.0/24"; "203.0.113.0/24"; "198.51.100.0/22" ]
+
+let test_bogon_overlap_counts () =
+  (* a covering announcement that contains bogon space is also flagged *)
+  let c = Checks.bogon () in
+  Alcotest.(check int) "/7 containing 10/8" 1
+    (List.length (c.Checker.check cctx (outcome "10.0.0.0/7")))
+
+let test_bogon_rejected_outcome_ignored () =
+  let c = Checks.bogon () in
+  Alcotest.(check int) "rejected is fine" 0
+    (List.length (c.Checker.check cctx (outcome ~accepted:false "10.0.0.0/8")))
+
+let test_path_sanity () =
+  let c = Checks.path_sanity () in
+  Alcotest.(check int) "AS0" 1
+    (List.length (c.Checker.check cctx (outcome ~path:[ 64501; 0 ] "8.8.8.0/24")));
+  Alcotest.(check int) "AS_TRANS" 1
+    (List.length (c.Checker.check cctx (outcome ~path:[ 64501; 23456 ] "8.8.8.0/24")));
+  let long_path = List.init 40 (fun i -> 64501 + i) in
+  Alcotest.(check int) "absurd length" 1
+    (List.length (c.Checker.check cctx (outcome ~path:long_path "8.8.8.0/24")));
+  Alcotest.(check int) "normal path clean" 0
+    (List.length (c.Checker.check cctx (outcome ~path:[ 64501; 64502 ] "8.8.8.0/24")))
+
+let test_path_sanity_custom_bound () =
+  let c = Checks.path_sanity ~max_length:2 () in
+  Alcotest.(check int) "3 hops over a bound of 2" 1
+    (List.length (c.Checker.check cctx (outcome ~path:[ 1; 2; 3 ] "8.8.8.0/24")))
+
+let test_prefix_length () =
+  let c = Checks.prefix_length () in
+  Alcotest.(check int) "/25 flagged" 1
+    (List.length (c.Checker.check cctx (outcome "8.8.8.0/25")));
+  Alcotest.(check int) "/24 fine" 0
+    (List.length (c.Checker.check cctx (outcome "8.8.8.0/24")))
+
+let test_next_hop_sanity () =
+  let c = Checks.next_hop_sanity in
+  Alcotest.(check int) "self-referential" 1
+    (List.length (c.Checker.check cctx (outcome ~next_hop:"8.8.8.1" "8.8.8.0/24")));
+  Alcotest.(check int) "loopback next hop" 1
+    (List.length (c.Checker.check cctx (outcome ~next_hop:"127.0.0.1" "8.8.8.0/24")));
+  Alcotest.(check int) "sane next hop" 0
+    (List.length (c.Checker.check cctx (outcome ~next_hop:"10.0.1.2" "8.8.8.0/24")))
+
+let test_standard_set () =
+  Alcotest.(check int) "five checkers" 5 (List.length Checks.standard)
+
+(* ---- Validate ---- *)
+
+let establish router peer remote_as =
+  ignore (Router.handle_event router ~peer Fsm.Manual_start);
+  ignore (Router.handle_event router ~peer Fsm.Tcp_connected);
+  ignore
+    (Router.handle_msg router ~peer
+       (Msg.Open
+          { Msg.version = 4; my_as = remote_as land 0xFFFF; hold_time = 90; bgp_id = peer;
+            capabilities = [ Msg.Cap_as4 remote_as ] }));
+  ignore (Router.handle_msg router ~peer Msg.Keepalive)
+
+let provider_cfg filtering = Threerouter.provider_config filtering
+
+let live_provider filtering =
+  let r = Router.create (provider_cfg filtering) in
+  establish r Threerouter.customer_addr Threerouter.customer_as;
+  establish r Threerouter.internet_addr Threerouter.internet_as;
+  let customer_route =
+    Route.make ~origin:Attr.Igp
+      ~as_path:[ Asn.Path.Seq [ Threerouter.customer_as ] ]
+      ~next_hop:Threerouter.customer_addr ()
+  in
+  List.iter
+    (fun prefix ->
+      ignore
+        (Router.handle_msg r ~peer:Threerouter.customer_addr
+           (Msg.Update
+              { Msg.withdrawn = []; attrs = Route.to_attrs customer_route; nlri = [ prefix ] })))
+    Threerouter.customer_prefixes;
+  let trace =
+    Dice_trace.Gen.generate
+      { Dice_trace.Gen.default_params with Dice_trace.Gen.n_prefixes = 1_200 }
+  in
+  ignore
+    (Dice_trace.Replay.feed_dump r ~peer:Threerouter.internet_addr
+       ~next_hop:Threerouter.internet_addr trace);
+  (r, customer_route)
+
+let seeds_for route =
+  List.map
+    (fun prefix ->
+      { Orchestrator.tag = "s-" ^ Prefix.to_string prefix;
+        peer = Threerouter.customer_addr;
+        prefix;
+        route;
+      })
+    Threerouter.customer_prefixes
+
+let vcfg =
+  { Orchestrator.default_cfg with
+    Orchestrator.explorer =
+      { Dice_concolic.Explorer.default_config with
+        Dice_concolic.Explorer.max_runs = 128;
+        max_depth = 96;
+      };
+  }
+
+let test_validate_good_fix_safe () =
+  let live, route = live_provider Threerouter.Partially_correct in
+  let proposed = provider_cfg Threerouter.Correct in
+  let c = Validate.config_change ~cfg:vcfg ~live ~proposed ~seeds:(seeds_for route) () in
+  Alcotest.(check bool) "fixes something" true (List.length c.Validate.fixed > 0);
+  Alcotest.(check int) "introduces nothing" 0 (List.length c.Validate.introduced);
+  Alcotest.(check int) "breaks nothing" 0 (List.length c.Validate.regressions);
+  Alcotest.(check bool) "verdict" true (Validate.verdict c = `Safe)
+
+let test_validate_noop_ineffective () =
+  let live, route = live_provider Threerouter.Partially_correct in
+  let proposed = provider_cfg Threerouter.Partially_correct in
+  let c = Validate.config_change ~cfg:vcfg ~live ~proposed ~seeds:(seeds_for route) () in
+  Alcotest.(check bool) "verdict" true (Validate.verdict c = `Ineffective);
+  Alcotest.(check bool) "same faults persist" true (List.length c.Validate.persisting > 0)
+
+let test_validate_overblocking_harmful () =
+  let live, route = live_provider Threerouter.Partially_correct in
+  (* a proposed config whose customer import drops everything: closes the
+     leaks but breaks the observed announcements *)
+  let proposed =
+    Config_parser.parse
+      (Printf.sprintf
+         {|
+         router id 10.0.2.1;
+         local as %d;
+         protocol bgp customer { neighbor 10.0.1.2 as %d; import none; export all; }
+         protocol bgp internet { neighbor 10.0.2.2 as %d; import all; export all; }
+         anycast [ 192.88.99.0/24 ];
+         |}
+         Threerouter.provider_as Threerouter.customer_as Threerouter.internet_as)
+  in
+  let c = Validate.config_change ~cfg:vcfg ~live ~proposed ~seeds:(seeds_for route) () in
+  Alcotest.(check bool) "regressions found" true (List.length c.Validate.regressions > 0);
+  Alcotest.(check bool) "verdict" true (Validate.verdict c = `Harmful)
+
+let test_validate_live_untouched () =
+  let live, route = live_provider Threerouter.Partially_correct in
+  let before = Router.snapshot live in
+  let proposed = provider_cfg Threerouter.Correct in
+  ignore (Validate.config_change ~cfg:vcfg ~live ~proposed ~seeds:(seeds_for route) ());
+  Alcotest.(check bytes) "live unchanged" before (Router.snapshot live)
+
+let test_validate_peer_change_rejected () =
+  let live, route = live_provider Threerouter.Partially_correct in
+  let proposed =
+    Config_parser.parse
+      "router id 10.0.2.1; local as 64510;\n\
+       protocol bgp other { neighbor 1.2.3.4 as 999; import all; export all; }"
+  in
+  match Validate.config_change ~cfg:vcfg ~live ~proposed ~seeds:(seeds_for route) () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected rejection of a peer-set change"
+
+(* ---- Daemon ---- *)
+
+let daemon_testbed () =
+  let topo = Threerouter.build Threerouter.Partially_correct in
+  Threerouter.start topo;
+  let trace =
+    Dice_trace.Gen.generate
+      { Dice_trace.Gen.default_params with Dice_trace.Gen.n_prefixes = 1_500; duration = 30.0 }
+  in
+  ignore (Threerouter.load_table topo trace);
+  topo
+
+let daemon_cfg =
+  { Daemon.default_cfg with
+    Daemon.explore_every = 30.0;
+    seed_sample = 1;
+    observe_peers = Some [ Threerouter.customer_addr ];
+    orchestrator =
+      { Orchestrator.default_cfg with
+        Orchestrator.explorer =
+          { Dice_concolic.Explorer.default_config with
+            Dice_concolic.Explorer.max_runs = 256;
+            max_depth = 96;
+          };
+      };
+  }
+
+let customer_announces topo prefix =
+  (* inject a customer announcement into the simulation as real traffic *)
+  let route =
+    Route.make ~origin:Attr.Igp
+      ~as_path:[ Asn.Path.Seq [ Threerouter.customer_as ] ]
+      ~next_hop:Threerouter.customer_addr ()
+  in
+  let msg =
+    Msg.Update { withdrawn = []; attrs = Route.to_attrs route; nlri = [ p prefix ] }
+  in
+  Net.send topo.Threerouter.net
+    ~src:(Router_node.node_id topo.Threerouter.customer)
+    ~dst:(Router_node.node_id topo.Threerouter.provider)
+    (Router_node.frame_bgp msg)
+
+let test_daemon_detects_automatically () =
+  let topo = daemon_testbed () in
+  let daemon = Daemon.attach ~cfg:daemon_cfg topo.Threerouter.provider in
+  let notified = ref 0 in
+  Daemon.on_fault daemon (fun _ -> incr notified);
+  (* routine customer traffic flows; the daemon taps it *)
+  customer_announces topo "203.0.113.0/24";
+  ignore (Net.run ~until:(Net.now topo.Threerouter.net +. 100.0) topo.Threerouter.net);
+  Alcotest.(check bool) "observed seeds" true (Daemon.observed daemon > 0);
+  Alcotest.(check bool) "episodes ran" true (Daemon.explorations daemon >= 1);
+  Alcotest.(check bool) "faults found without operator action" true
+    (List.length (Daemon.faults daemon) > 0);
+  Alcotest.(check int) "operator notified once per distinct fault"
+    (List.length (Daemon.faults daemon))
+    !notified
+
+let test_daemon_no_seeds_no_episode () =
+  let topo = daemon_testbed () in
+  let daemon = Daemon.attach ~cfg:daemon_cfg topo.Threerouter.provider in
+  (* nothing observed on the customer session -> no exploration *)
+  ignore (Net.run ~until:(Net.now topo.Threerouter.net +. 100.0) topo.Threerouter.net);
+  Alcotest.(check int) "no episodes" 0 (Daemon.explorations daemon)
+
+let test_daemon_stop () =
+  let topo = daemon_testbed () in
+  let daemon = Daemon.attach ~cfg:daemon_cfg topo.Threerouter.provider in
+  customer_announces topo "203.0.113.0/24";
+  Daemon.stop daemon;
+  ignore (Net.run ~until:(Net.now topo.Threerouter.net +. 100.0) topo.Threerouter.net);
+  Alcotest.(check int) "stopped before any episode" 0 (Daemon.explorations daemon)
+
+let test_daemon_live_router_untouched () =
+  let topo = daemon_testbed () in
+  let provider = Threerouter.provider_router topo in
+  let daemon = Daemon.attach ~cfg:daemon_cfg topo.Threerouter.provider in
+  customer_announces topo "203.0.113.0/24";
+  ignore (Net.run ~until:(Net.now topo.Threerouter.net +. 65.0) topo.Threerouter.net);
+  Alcotest.(check bool) "episodes ran" true (Daemon.explorations daemon >= 1);
+  (* the provider still works: another customer announcement installs *)
+  customer_announces topo "203.0.113.128/25";
+  ignore (Net.run ~until:(Net.now topo.Threerouter.net +. 5.0) topo.Threerouter.net);
+  Alcotest.(check bool) "live keeps routing" true
+    (Router.best_route provider (p "203.0.113.128/25") <> None)
+
+let suite =
+  [ ("bogon fires", `Quick, test_bogon_fires);
+    ("bogon clean for public space", `Quick, test_bogon_clean_for_public);
+    ("bogon overlap counts", `Quick, test_bogon_overlap_counts);
+    ("bogon ignores rejected", `Quick, test_bogon_rejected_outcome_ignored);
+    ("path sanity", `Quick, test_path_sanity);
+    ("path sanity custom bound", `Quick, test_path_sanity_custom_bound);
+    ("prefix length", `Quick, test_prefix_length);
+    ("next hop sanity", `Quick, test_next_hop_sanity);
+    ("standard set", `Quick, test_standard_set);
+    ("validate: good fix is safe", `Slow, test_validate_good_fix_safe);
+    ("validate: no-op is ineffective", `Slow, test_validate_noop_ineffective);
+    ("validate: over-blocking is harmful", `Slow, test_validate_overblocking_harmful);
+    ("validate: live untouched", `Slow, test_validate_live_untouched);
+    ("validate: peer change rejected", `Quick, test_validate_peer_change_rejected);
+    ("daemon detects automatically", `Slow, test_daemon_detects_automatically);
+    ("daemon: no seeds, no episode", `Quick, test_daemon_no_seeds_no_episode);
+    ("daemon stop", `Quick, test_daemon_stop);
+    ("daemon: live router untouched", `Slow, test_daemon_live_router_untouched)
+  ]

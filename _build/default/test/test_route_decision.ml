@@ -1,0 +1,214 @@
+(* Tests for Route normalization and the BGP decision process. *)
+open Dice_inet
+open Dice_bgp
+
+let nh = Ipv4.of_string "10.0.0.1"
+let route ?(lp = None) ?(med = None) ?(origin = Attr.Igp) ?(path = [ 64501 ]) () =
+  Route.make ~origin ~local_pref:lp ~med ~as_path:[ Asn.Path.Seq path ] ~next_hop:nh ()
+
+let src ?(addr = "10.0.0.2") ?(asn = 64501) ?(id = "10.0.0.2") ?(ebgp = true) () =
+  { Route.peer_addr = Ipv4.of_string addr; peer_asn = asn;
+    peer_bgp_id = Ipv4.of_string id; ebgp }
+
+(* ---- Route ---- *)
+
+let test_of_attrs_roundtrip () =
+  let r =
+    Route.make ~origin:Attr.Egp ~local_pref:(Some 120) ~med:(Some 5)
+      ~communities:[ Community.make 1 2 ] ~atomic_aggregate:true
+      ~aggregator:(Some (64501, nh))
+      ~as_path:[ Asn.Path.Seq [ 1; 2 ] ]
+      ~next_hop:nh ()
+  in
+  match Route.of_attrs (Route.to_attrs r) with
+  | Ok r' -> Alcotest.(check bool) "equal" true (Route.equal r r')
+  | Error e -> Alcotest.failf "of_attrs: %s" (Attr.error_to_string e)
+
+let test_of_attrs_missing () =
+  let missing attrs code =
+    match Route.of_attrs attrs with
+    | Error (Attr.Missing_wellknown c) -> Alcotest.(check int) "code" code c
+    | Error e -> Alcotest.failf "wrong error: %s" (Attr.error_to_string e)
+    | Ok _ -> Alcotest.fail "expected error"
+  in
+  missing [ Attr.As_path []; Attr.Next_hop nh ] 1;
+  missing [ Attr.Origin Attr.Igp; Attr.Next_hop nh ] 2;
+  missing [ Attr.Origin Attr.Igp; Attr.As_path [] ] 3
+
+let test_origin_neighbor_as () =
+  let r = route ~path:[ 64501; 64777; 64999 ] () in
+  Alcotest.(check (option int)) "origin" (Some 64999) (Route.origin_as r);
+  Alcotest.(check (option int)) "neighbor" (Some 64501) (Route.neighbor_as r)
+
+let test_communities_ops () =
+  let c = Community.make 1 1 in
+  let r = route () in
+  let r = Route.add_community r c in
+  Alcotest.(check bool) "added" true (Route.has_community r c);
+  let r = Route.add_community r c in
+  Alcotest.(check int) "no duplicates" 1 (List.length r.Route.communities);
+  let r = Route.remove_community r c in
+  Alcotest.(check bool) "removed" false (Route.has_community r c)
+
+let test_prepend () =
+  let r = Route.prepend_as (route ~path:[ 2; 3 ] ()) 1 in
+  Alcotest.(check (option int)) "new first" (Some 1) (Route.neighbor_as r);
+  Alcotest.(check int) "length" 3 (Asn.Path.length r.Route.as_path)
+
+(* ---- Decision ---- *)
+
+let pick a b =
+  match Decision.best [ a; b ] with
+  | Some c -> c
+  | None -> Alcotest.fail "no best"
+
+let test_local_pref_wins () =
+  let a = (route ~lp:(Some 200) ~path:[ 1; 2; 3; 4 ] (), src ()) in
+  let b = (route ~lp:(Some 100) ~path:[ 1 ] (), src ~addr:"10.0.0.3" ()) in
+  Alcotest.(check bool) "higher local-pref despite longer path" true (pick a b == a)
+
+let test_default_local_pref_applies () =
+  (* absent LOCAL_PREF counts as 100 *)
+  let a = (route ~lp:(Some 99) (), src ()) in
+  let b = (route ~lp:None (), src ~addr:"10.0.0.3" ()) in
+  Alcotest.(check bool) "implicit 100 beats 99" true (pick a b == b)
+
+let test_static_beats_learned () =
+  let a = (route ~lp:(Some 100) (), Route.static_src) in
+  let b = (route ~lp:(Some 100) (), src ()) in
+  Alcotest.(check bool) "static wins" true (pick a b == a)
+
+let test_shorter_path_wins () =
+  let a = (route ~path:[ 1; 2 ] (), src ()) in
+  let b = (route ~path:[ 1; 2; 3 ] (), src ~addr:"10.0.0.3" ()) in
+  Alcotest.(check bool) "shorter path" true (pick a b == a)
+
+let test_as_set_counts_one () =
+  let seta =
+    ( Route.make ~as_path:[ Asn.Path.Seq [ 1 ]; Asn.Path.Set [ 2; 3; 4 ] ] ~next_hop:nh (),
+      src () )
+  in
+  let seqb = (route ~path:[ 1; 2; 3 ] (), src ~addr:"10.0.0.3" ()) in
+  Alcotest.(check bool) "set counts 1, so 2 < 3" true (pick seta seqb == seta)
+
+let test_origin_order () =
+  let a = (route ~origin:Attr.Igp (), src ()) in
+  let b = (route ~origin:Attr.Egp (), src ~addr:"10.0.0.3" ()) in
+  let c = (route ~origin:Attr.Incomplete (), src ~addr:"10.0.0.4" ()) in
+  Alcotest.(check bool) "igp < egp" true (pick a b == a);
+  Alcotest.(check bool) "egp < incomplete" true (pick b c == b)
+
+let test_med_same_neighbor () =
+  let a = (route ~med:(Some 10) ~path:[ 64501; 9 ] (), src ()) in
+  let b = (route ~med:(Some 20) ~path:[ 64501; 8 ] (), src ~addr:"10.0.0.3" ()) in
+  Alcotest.(check bool) "lower MED wins (same neighbor AS)" true (pick a b == a)
+
+let test_med_different_neighbor_ignored () =
+  (* different neighbor AS: MED not compared; falls through to BGP id *)
+  let a = (route ~med:(Some 99) ~path:[ 64501; 9 ] (), src ~id:"10.0.0.1" ()) in
+  let b =
+    (route ~med:(Some 1) ~path:[ 64502; 8 ] (), src ~addr:"10.0.0.3" ~asn:64502 ~id:"10.0.0.9" ())
+  in
+  Alcotest.(check bool) "falls to router id" true (pick a b == a)
+
+let test_med_always_compare_config () =
+  let config = { Decision.default_config with Decision.always_compare_med = true } in
+  let a = (route ~med:(Some 99) ~path:[ 64501; 9 ] (), src ~id:"10.0.0.1" ()) in
+  let b =
+    (route ~med:(Some 1) ~path:[ 64502; 8 ] (), src ~addr:"10.0.0.3" ~asn:64502 ~id:"10.0.0.9" ())
+  in
+  Alcotest.(check bool) "MED compared across ASes" true
+    (Decision.compare ~config b a < 0)
+
+let test_missing_med_best_by_default () =
+  let a = (route ~med:None ~path:[ 64501; 9 ] (), src ()) in
+  let b = (route ~med:(Some 1) ~path:[ 64501; 8 ] (), src ~addr:"10.0.0.3" ()) in
+  Alcotest.(check bool) "absent MED treated as 0" true (pick a b == a)
+
+let test_missing_med_worst_config () =
+  let config = { Decision.default_config with Decision.missing_med_worst = true } in
+  let a = (route ~med:None ~path:[ 64501; 9 ] (), src ()) in
+  let b = (route ~med:(Some 1) ~path:[ 64501; 8 ] (), src ~addr:"10.0.0.3" ()) in
+  Alcotest.(check bool) "absent MED treated as worst" true (Decision.compare ~config b a < 0)
+
+let test_ebgp_over_ibgp () =
+  let a = (route (), src ~ebgp:false ()) in
+  let b = (route (), src ~addr:"10.0.0.3" ~ebgp:true ()) in
+  Alcotest.(check bool) "eBGP preferred" true (pick a b == b)
+
+let test_router_id_tiebreak () =
+  let a = (route (), src ~id:"10.0.0.9" ()) in
+  let b = (route (), src ~addr:"10.0.0.3" ~id:"10.0.0.1" ()) in
+  Alcotest.(check bool) "lower id wins" true (pick a b == b)
+
+let test_peer_addr_final_tiebreak () =
+  let a = (route (), src ~addr:"10.0.0.9" ~id:"10.0.0.1" ()) in
+  let b = (route (), src ~addr:"10.0.0.3" ~id:"10.0.0.1" ()) in
+  Alcotest.(check bool) "lower address wins" true (pick a b == b)
+
+let test_best_empty () =
+  Alcotest.(check bool) "none" true (Decision.best [] = None)
+
+let test_best_of_many () =
+  let worst = (route ~lp:(Some 10) (), src ()) in
+  let mid = (route ~lp:(Some 100) (), src ~addr:"10.0.0.3" ()) in
+  let top = (route ~lp:(Some 300) (), src ~addr:"10.0.0.4" ()) in
+  match Decision.best [ worst; top; mid ] with
+  | Some c -> Alcotest.(check bool) "top" true (c == top)
+  | None -> Alcotest.fail "no best"
+
+let test_explain () =
+  let a = (route ~lp:(Some 200) (), src ()) in
+  let b = (route ~lp:(Some 100) (), src ~addr:"10.0.0.3" ()) in
+  Alcotest.(check string) "explains local-pref" "first wins on local-pref"
+    (Decision.explain a b)
+
+let prop_total_order =
+  (* compare must be a total order: antisymmetric and transitive on a
+     random population *)
+  let arb =
+    QCheck.make
+      QCheck.Gen.(
+        map
+          (fun (lp, plen, org, medv, addr) ->
+            ( route
+                ~lp:(Some (100 + lp))
+                ~origin:(match org with 0 -> Attr.Igp | 1 -> Attr.Egp | _ -> Attr.Incomplete)
+                ~med:(Some medv)
+                ~path:(List.init (1 + plen) (fun i -> 64501 + i))
+                (),
+              src ~addr:(Printf.sprintf "10.0.0.%d" (2 + addr)) () ))
+          (tup5 (int_range 0 3) (int_range 0 3) (int_range 0 2) (int_range 0 3) (int_range 0 20)))
+  in
+  QCheck.Test.make ~name:"decision order is antisymmetric and transitive-ish" ~count:200
+    (QCheck.triple arb arb arb) (fun (a, b, c) ->
+      let cmp = Decision.compare in
+      let anti = compare (cmp a b) (-cmp b a) = 0 || (cmp a b = 0 && cmp b a = 0) in
+      let trans = if cmp a b <= 0 && cmp b c <= 0 then cmp a c <= 0 else true in
+      anti && trans)
+
+let suite =
+  [ ("route attrs roundtrip", `Quick, test_of_attrs_roundtrip);
+    ("route missing mandatory", `Quick, test_of_attrs_missing);
+    ("origin/neighbor AS", `Quick, test_origin_neighbor_as);
+    ("communities ops", `Quick, test_communities_ops);
+    ("prepend", `Quick, test_prepend);
+    ("local-pref wins", `Quick, test_local_pref_wins);
+    ("default local-pref", `Quick, test_default_local_pref_applies);
+    ("static beats learned", `Quick, test_static_beats_learned);
+    ("shorter path wins", `Quick, test_shorter_path_wins);
+    ("AS set counts one", `Quick, test_as_set_counts_one);
+    ("origin order", `Quick, test_origin_order);
+    ("MED same neighbor", `Quick, test_med_same_neighbor);
+    ("MED different neighbor ignored", `Quick, test_med_different_neighbor_ignored);
+    ("MED always-compare config", `Quick, test_med_always_compare_config);
+    ("missing MED best", `Quick, test_missing_med_best_by_default);
+    ("missing MED worst config", `Quick, test_missing_med_worst_config);
+    ("eBGP over iBGP", `Quick, test_ebgp_over_ibgp);
+    ("router id tiebreak", `Quick, test_router_id_tiebreak);
+    ("peer address tiebreak", `Quick, test_peer_addr_final_tiebreak);
+    ("best of empty", `Quick, test_best_empty);
+    ("best of many", `Quick, test_best_of_many);
+    ("explain", `Quick, test_explain);
+    QCheck_alcotest.to_alcotest prop_total_order
+  ]

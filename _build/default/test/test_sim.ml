@@ -1,0 +1,219 @@
+(* Tests for the discrete-event simulator: event queue, network,
+   isolation sandboxes. *)
+module Eventq = Dice_sim.Eventq
+module Net = Dice_sim.Network
+module Isolation = Dice_sim.Isolation
+
+(* ---- Eventq ---- *)
+
+let test_eventq_order () =
+  let q = Eventq.create () in
+  Eventq.push q ~time:3.0 "c";
+  Eventq.push q ~time:1.0 "a";
+  Eventq.push q ~time:2.0 "b";
+  let pop () =
+    match Eventq.pop q with
+    | Some (_, x) -> x
+    | None -> "?"
+  in
+  let first = pop () in
+  let second = pop () in
+  let third = pop () in
+  Alcotest.(check (list string)) "sorted" [ "a"; "b"; "c" ] [ first; second; third ];
+  Alcotest.(check bool) "empty" true (Eventq.pop q = None)
+
+let test_eventq_fifo_ties () =
+  let q = Eventq.create () in
+  List.iter (fun s -> Eventq.push q ~time:1.0 s) [ "first"; "second"; "third" ];
+  let pop () =
+    match Eventq.pop q with
+    | Some (_, x) -> x
+    | None -> "?"
+  in
+  let x1 = pop () in
+  let x2 = pop () in
+  let x3 = pop () in
+  Alcotest.(check (list string)) "insertion order" [ "first"; "second"; "third" ] [ x1; x2; x3 ]
+
+let test_eventq_interleaved () =
+  let q = Eventq.create () in
+  for i = 99 downto 0 do
+    Eventq.push q ~time:(float_of_int i) i
+  done;
+  let out = ref [] in
+  let rec drain () =
+    match Eventq.pop q with
+    | Some (_, x) ->
+      out := x :: !out;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check (list int)) "sorted" (List.init 100 Fun.id) (List.rev !out)
+
+let test_eventq_size_clear () =
+  let q = Eventq.create () in
+  Eventq.push q ~time:1.0 ();
+  Eventq.push q ~time:2.0 ();
+  Alcotest.(check int) "size" 2 (Eventq.size q);
+  Alcotest.(check (option (float 0.0))) "peek" (Some 1.0) (Eventq.peek_time q);
+  Eventq.clear q;
+  Alcotest.(check bool) "cleared" true (Eventq.is_empty q)
+
+(* ---- Network ---- *)
+
+let two_nodes () =
+  let net = Net.create () in
+  let received = ref [] in
+  let handler _ ~self ~from msg = received := (self, from, Bytes.to_string msg) :: !received in
+  let a = Net.add_node net ~name:"a" ~handler in
+  let b = Net.add_node net ~name:"b" ~handler in
+  Net.connect net a b ~latency:0.5;
+  (net, a, b, received)
+
+let test_network_delivery () =
+  let net, a, b, received = two_nodes () in
+  Net.send net ~src:a ~dst:b (Bytes.of_string "hi");
+  ignore (Net.run net);
+  Alcotest.(check (list (triple int int string))) "delivered" [ (b, a, "hi") ] !received;
+  Alcotest.(check (float 1e-9)) "clock advanced by latency" 0.5 (Net.now net);
+  Alcotest.(check int) "sent" 1 (Net.messages_sent net);
+  Alcotest.(check int) "delivered count" 1 (Net.messages_delivered net)
+
+let test_network_unconnected_send_rejected () =
+  let net = Net.create () in
+  let a = Net.add_node net ~name:"a" ~handler:(fun _ ~self:_ ~from:_ _ -> ()) in
+  let b = Net.add_node net ~name:"b" ~handler:(fun _ ~self:_ ~from:_ _ -> ()) in
+  Alcotest.check_raises "not connected"
+    (Invalid_argument "Network.send: a and b are not connected") (fun () ->
+      Net.send net ~src:a ~dst:b Bytes.empty)
+
+let test_network_disconnect () =
+  let net, a, b, _ = two_nodes () in
+  Alcotest.(check bool) "connected" true (Net.connected net a b);
+  Net.disconnect net a b;
+  Alcotest.(check bool) "disconnected" false (Net.connected net a b)
+
+let test_network_neighbors () =
+  let net = Net.create () in
+  let h _ ~self:_ ~from:_ _ = () in
+  let a = Net.add_node net ~name:"a" ~handler:h in
+  let b = Net.add_node net ~name:"b" ~handler:h in
+  let c = Net.add_node net ~name:"c" ~handler:h in
+  Net.connect net a b ~latency:0.1;
+  Net.connect net a c ~latency:0.1;
+  Alcotest.(check (list int)) "neighbors of a" [ b; c ] (Net.neighbors net a);
+  Alcotest.(check (list int)) "neighbors of b" [ a ] (Net.neighbors net b)
+
+let test_network_schedule_order () =
+  let net = Net.create () in
+  let log = ref [] in
+  Net.schedule net ~delay:2.0 (fun () -> log := "late" :: !log);
+  Net.schedule net ~delay:1.0 (fun () -> log := "early" :: !log);
+  ignore (Net.run net);
+  Alcotest.(check (list string)) "order" [ "late"; "early" ] !log
+
+let test_network_run_until () =
+  let net = Net.create () in
+  let fired = ref 0 in
+  Net.schedule net ~delay:1.0 (fun () -> incr fired);
+  Net.schedule net ~delay:10.0 (fun () -> incr fired);
+  ignore (Net.run ~until:5.0 net);
+  Alcotest.(check int) "only the early one" 1 !fired;
+  Alcotest.(check (float 0.0)) "clock at horizon" 5.0 (Net.now net);
+  ignore (Net.run net);
+  Alcotest.(check int) "rest fires later" 2 !fired
+
+let test_network_max_events () =
+  let net = Net.create () in
+  let fired = ref 0 in
+  for i = 1 to 10 do
+    Net.schedule net ~delay:(float_of_int i) (fun () -> incr fired)
+  done;
+  let n = Net.run ~max_events:3 net in
+  Alcotest.(check int) "three processed" 3 n;
+  Alcotest.(check int) "fired three" 3 !fired;
+  Alcotest.(check int) "pending rest" 7 (Net.pending net)
+
+let test_network_schedule_past_rejected () =
+  let net = Net.create () in
+  Net.schedule net ~delay:1.0 (fun () -> ());
+  ignore (Net.run net);
+  Alcotest.check_raises "past" (Invalid_argument "Network.schedule_at: time in the past")
+    (fun () -> Net.schedule_at net ~time:0.5 (fun () -> ()))
+
+let test_network_node_names () =
+  let net = Net.create () in
+  let a = Net.add_node net ~name:"alpha" ~handler:(fun _ ~self:_ ~from:_ _ -> ()) in
+  Alcotest.(check string) "name" "alpha" (Net.node_name net a);
+  Alcotest.(check int) "count" 1 (Net.node_count net)
+
+let test_network_latency_ordering () =
+  (* a message on a slow link must arrive after a later message on a fast
+     link *)
+  let net = Net.create () in
+  let log = ref [] in
+  let h tag _ ~self:_ ~from:_ _ = log := tag :: !log in
+  let hub = Net.add_node net ~name:"hub" ~handler:(fun _ ~self:_ ~from:_ _ -> ()) in
+  let slow = Net.add_node net ~name:"slow" ~handler:(h "slow") in
+  let fast = Net.add_node net ~name:"fast" ~handler:(h "fast") in
+  Net.connect net hub slow ~latency:2.0;
+  Net.connect net hub fast ~latency:0.1;
+  Net.send net ~src:hub ~dst:slow Bytes.empty;
+  Net.send net ~src:hub ~dst:fast Bytes.empty;
+  ignore (Net.run net);
+  Alcotest.(check (list string)) "fast first" [ "slow"; "fast" ] !log
+
+(* ---- Isolation ---- *)
+
+let test_isolation_captures () =
+  let sandbox = Isolation.create ~name:"test" in
+  Isolation.send sandbox ~src:1 ~dst:2 (Bytes.of_string "a");
+  Isolation.send sandbox ~src:1 ~dst:3 (Bytes.of_string "b");
+  Alcotest.(check int) "count" 2 (Isolation.count sandbox);
+  let captured = Isolation.captured sandbox in
+  Alcotest.(check (list int)) "destinations in order" [ 2; 3 ]
+    (List.map (fun c -> c.Isolation.dst) captured)
+
+let test_isolation_never_delivers () =
+  (* a sandboxed send must not touch any live network counters *)
+  let net, a, b, received = two_nodes () in
+  let sandbox = Isolation.create ~name:"iso" in
+  Isolation.send sandbox ~src:a ~dst:b (Bytes.of_string "leak?");
+  ignore (Net.run net);
+  Alcotest.(check int) "nothing sent on the wire" 0 (Net.messages_sent net);
+  Alcotest.(check (list (triple int int string))) "nothing delivered" [] !received
+
+let test_isolation_drain () =
+  let sandbox = Isolation.create ~name:"drain" in
+  Isolation.send sandbox ~src:0 ~dst:1 Bytes.empty;
+  let drained = Isolation.drain sandbox in
+  Alcotest.(check int) "drained one" 1 (List.length drained);
+  Alcotest.(check int) "now empty" 0 (Isolation.count sandbox)
+
+let test_isolation_clear () =
+  let sandbox = Isolation.create ~name:"clear" in
+  Isolation.send sandbox ~src:0 ~dst:1 Bytes.empty;
+  Isolation.clear sandbox;
+  Alcotest.(check int) "cleared" 0 (Isolation.count sandbox)
+
+let suite =
+  [ ("eventq order", `Quick, test_eventq_order);
+    ("eventq FIFO ties", `Quick, test_eventq_fifo_ties);
+    ("eventq interleaved", `Quick, test_eventq_interleaved);
+    ("eventq size/clear", `Quick, test_eventq_size_clear);
+    ("network delivery", `Quick, test_network_delivery);
+    ("network unconnected rejected", `Quick, test_network_unconnected_send_rejected);
+    ("network disconnect", `Quick, test_network_disconnect);
+    ("network neighbors", `Quick, test_network_neighbors);
+    ("network schedule order", `Quick, test_network_schedule_order);
+    ("network run until", `Quick, test_network_run_until);
+    ("network max events", `Quick, test_network_max_events);
+    ("network schedule past rejected", `Quick, test_network_schedule_past_rejected);
+    ("network node names", `Quick, test_network_node_names);
+    ("network latency ordering", `Quick, test_network_latency_ordering);
+    ("isolation captures", `Quick, test_isolation_captures);
+    ("isolation never delivers", `Quick, test_isolation_never_delivers);
+    ("isolation drain", `Quick, test_isolation_drain);
+    ("isolation clear", `Quick, test_isolation_clear)
+  ]

@@ -1,0 +1,127 @@
+(* Tests for Dice_util.Stats, Hashutil, Timeline. *)
+module Stats = Dice_util.Stats
+module Hashutil = Dice_util.Hashutil
+module Timeline = Dice_util.Timeline
+
+let feq = Alcotest.(check (float 1e-9))
+
+(* ---- Stats ---- *)
+
+let test_stats_empty () =
+  let s = Stats.create () in
+  Alcotest.(check int) "count" 0 (Stats.count s);
+  feq "mean" 0.0 (Stats.mean s);
+  Alcotest.(check bool) "min nan" true (Float.is_nan (Stats.min s));
+  Alcotest.(check bool) "percentile nan" true (Float.is_nan (Stats.percentile s 50.0))
+
+let test_stats_single () =
+  let s = Stats.create () in
+  Stats.add s 4.0;
+  feq "mean" 4.0 (Stats.mean s);
+  feq "stddev" 0.0 (Stats.stddev s);
+  feq "min" 4.0 (Stats.min s);
+  feq "max" 4.0 (Stats.max s);
+  feq "median" 4.0 (Stats.median s)
+
+let test_stats_known () =
+  let s = Stats.create () in
+  List.iter (Stats.add s) [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ];
+  feq "mean" 5.0 (Stats.mean s);
+  feq "total" 40.0 (Stats.total s);
+  (* sample stddev of this classic data set: sqrt(32/7) *)
+  feq "stddev" (sqrt (32.0 /. 7.0)) (Stats.stddev s)
+
+let test_stats_percentile_interp () =
+  let s = Stats.create () in
+  List.iter (Stats.add s) [ 10.0; 20.0; 30.0; 40.0 ];
+  feq "p0" 10.0 (Stats.percentile s 0.0);
+  feq "p100" 40.0 (Stats.percentile s 100.0);
+  feq "p50" 25.0 (Stats.percentile s 50.0);
+  (* rank 1/3 between elements *)
+  feq "p25" 17.5 (Stats.percentile s 25.0)
+
+let test_stats_order_independent () =
+  let a = Stats.create () and b = Stats.create () in
+  List.iter (Stats.add a) [ 1.0; 5.0; 3.0 ];
+  List.iter (Stats.add b) [ 5.0; 3.0; 1.0 ];
+  feq "median" (Stats.median a) (Stats.median b)
+
+let test_stats_to_list () =
+  let s = Stats.create () in
+  List.iter (Stats.add s) [ 1.0; 2.0; 3.0 ];
+  Alcotest.(check (list (float 0.0))) "insertion order" [ 1.0; 2.0; 3.0 ] (Stats.to_list s)
+
+let test_stats_summary () =
+  let s = Stats.create () in
+  Alcotest.(check string) "empty" "n=0" (Stats.summary s);
+  Stats.add s 1.0;
+  Alcotest.(check bool) "mentions n" true
+    (String.length (Stats.summary s) > 0
+    && String.sub (Stats.summary s) 0 3 = "n=1")
+
+(* ---- Hashutil ---- *)
+
+let test_fnv_known () =
+  (* FNV-1a 64 of empty input is the offset basis *)
+  Alcotest.(check int64) "empty" 0xCBF29CE484222325L (Hashutil.fnv1a_string "")
+
+let test_fnv_differs () =
+  Alcotest.(check bool) "a vs b" true
+    (Hashutil.fnv1a_string "a" <> Hashutil.fnv1a_string "b")
+
+let test_fnv_bytes_window () =
+  let b = Bytes.of_string "xxhelloyy" in
+  Alcotest.(check int64) "windowed" (Hashutil.fnv1a_string "hello")
+    (Hashutil.fnv1a_bytes b 2 5)
+
+let test_combine_order () =
+  let a = 123L and b = 456L in
+  Alcotest.(check bool) "order sensitive" true
+    (Hashutil.combine a b <> Hashutil.combine b a)
+
+(* ---- Timeline ---- *)
+
+let test_timeline_counts () =
+  let t = Timeline.create () in
+  Timeline.record t 1.0 10.0;
+  Timeline.record t 2.0 20.0;
+  Timeline.record t 3.0 30.0;
+  Alcotest.(check int) "count [1,3)" 2 (Timeline.count_in t 1.0 3.0);
+  feq "sum [1,3)" 30.0 (Timeline.sum_in t 1.0 3.0);
+  feq "rate [0,4)" 0.75 (Timeline.rate_in t 0.0 4.0)
+
+let test_timeline_span () =
+  let t = Timeline.create () in
+  Alcotest.(check (pair (float 0.0) (float 0.0))) "empty" (0.0, 0.0) (Timeline.span t);
+  Timeline.record t 1.5 0.0;
+  Timeline.record t 9.0 0.0;
+  Alcotest.(check (pair (float 0.0) (float 0.0))) "span" (1.5, 9.0) (Timeline.span t)
+
+let test_timeline_points_order () =
+  let t = Timeline.create () in
+  Timeline.record t 1.0 1.0;
+  Timeline.record t 1.0 2.0;
+  Alcotest.(check (list (pair (float 0.0) (float 0.0))))
+    "chronological" [ (1.0, 1.0); (1.0, 2.0) ] (Timeline.points t)
+
+let test_timeline_empty_rate () =
+  let t = Timeline.create () in
+  feq "empty window" 0.0 (Timeline.rate_in t 5.0 5.0)
+
+let suite =
+  [ ("stats empty", `Quick, test_stats_empty);
+    ("stats single", `Quick, test_stats_single);
+    ("stats known values", `Quick, test_stats_known);
+    ("stats percentile interpolation", `Quick, test_stats_percentile_interp);
+    ("stats order independent", `Quick, test_stats_order_independent);
+    ("stats to_list", `Quick, test_stats_to_list);
+    ("stats summary", `Quick, test_stats_summary);
+    ("fnv known", `Quick, test_fnv_known);
+    ("fnv differs", `Quick, test_fnv_differs);
+    ("fnv bytes window", `Quick, test_fnv_bytes_window);
+    ("combine order", `Quick, test_combine_order);
+    ("timeline counts", `Quick, test_timeline_counts);
+    ("timeline span", `Quick, test_timeline_span);
+    ("timeline points order", `Quick, test_timeline_points_order);
+    ("timeline empty rate", `Quick, test_timeline_empty_rate)
+  ]

@@ -1,0 +1,100 @@
+(* Tests for Dice_wire.Wbuf / Rbuf. *)
+module Wbuf = Dice_wire.Wbuf
+module Rbuf = Dice_wire.Rbuf
+
+let test_roundtrip_scalars () =
+  let w = Wbuf.create () in
+  Wbuf.u8 w 0xAB;
+  Wbuf.u16 w 0xCDEF;
+  Wbuf.u32 w 0xDEADBEEF;
+  let r = Rbuf.of_bytes (Wbuf.contents w) in
+  Alcotest.(check int) "u8" 0xAB (Rbuf.u8 r);
+  Alcotest.(check int) "u16" 0xCDEF (Rbuf.u16 r);
+  Alcotest.(check int) "u32" 0xDEADBEEF (Rbuf.u32 r);
+  Alcotest.(check bool) "eof" true (Rbuf.eof r)
+
+let test_network_byte_order () =
+  let w = Wbuf.create () in
+  Wbuf.u16 w 0x0102;
+  let b = Wbuf.contents w in
+  Alcotest.(check char) "big endian high" '\x01' (Bytes.get b 0);
+  Alcotest.(check char) "big endian low" '\x02' (Bytes.get b 1)
+
+let test_growth () =
+  let w = Wbuf.create ~capacity:2 () in
+  for i = 0 to 999 do
+    Wbuf.u8 w (i land 0xFF)
+  done;
+  Alcotest.(check int) "length" 1000 (Wbuf.length w);
+  let b = Wbuf.contents w in
+  Alcotest.(check int) "content preserved" (999 land 0xFF) (Char.code (Bytes.get b 999))
+
+let test_patch () =
+  let w = Wbuf.create () in
+  let mark = Wbuf.mark w in
+  Wbuf.u16 w 0;
+  Wbuf.string w "body";
+  Wbuf.patch_u16 w mark (Wbuf.length w);
+  let r = Rbuf.of_bytes (Wbuf.contents w) in
+  Alcotest.(check int) "patched length" 6 (Rbuf.u16 r)
+
+let test_bytes_and_string () =
+  let w = Wbuf.create () in
+  Wbuf.bytes w (Bytes.of_string "ab");
+  Wbuf.string w "cd";
+  Alcotest.(check string) "concatenated" "abcd" (Bytes.to_string (Wbuf.contents w))
+
+let test_reset () =
+  let w = Wbuf.create () in
+  Wbuf.u32 w 42;
+  Wbuf.reset w;
+  Alcotest.(check int) "reset empty" 0 (Wbuf.length w)
+
+let test_truncation () =
+  let r = Rbuf.of_bytes (Bytes.of_string "\x01") in
+  ignore (Rbuf.u8 r);
+  Alcotest.check_raises "u16 past end" (Rbuf.Truncated "field") (fun () ->
+      ignore (Rbuf.u16 ~what:"field" r))
+
+let test_sub_isolation () =
+  let r = Rbuf.of_bytes (Bytes.of_string "\x01\x02\x03\x04") in
+  let s = Rbuf.sub r 2 in
+  Alcotest.(check int) "sub reads" 0x01 (Rbuf.u8 s);
+  Alcotest.(check int) "sub reads" 0x02 (Rbuf.u8 s);
+  Alcotest.(check bool) "sub bounded" true (Rbuf.eof s);
+  Alcotest.(check int) "parent advanced" 0x03 (Rbuf.u8 r)
+
+let test_sub_too_long () =
+  let r = Rbuf.of_bytes (Bytes.of_string "\x01") in
+  Alcotest.check_raises "sub overruns" (Rbuf.Truncated "sub") (fun () -> ignore (Rbuf.sub r 2))
+
+let test_take_skip () =
+  let r = Rbuf.of_bytes (Bytes.of_string "abcdef") in
+  Rbuf.skip r 2;
+  Alcotest.(check string) "take" "cd" (Bytes.to_string (Rbuf.take r 2));
+  Alcotest.(check int) "remaining" 2 (Rbuf.remaining r);
+  Alcotest.(check int) "pos" 4 (Rbuf.pos r)
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"wbuf/rbuf u32 list roundtrip" ~count:200
+    QCheck.(list_of_size (Gen.int_range 0 50) (int_bound 0xFFFFFF))
+    (fun xs ->
+      let w = Wbuf.create () in
+      List.iter (Wbuf.u32 w) xs;
+      let r = Rbuf.of_bytes (Wbuf.contents w) in
+      let ys = List.map (fun _ -> Rbuf.u32 r) xs in
+      xs = ys && Rbuf.eof r)
+
+let suite =
+  [ ("scalar roundtrip", `Quick, test_roundtrip_scalars);
+    ("network byte order", `Quick, test_network_byte_order);
+    ("growth", `Quick, test_growth);
+    ("patch_u16", `Quick, test_patch);
+    ("bytes and string", `Quick, test_bytes_and_string);
+    ("reset", `Quick, test_reset);
+    ("truncation", `Quick, test_truncation);
+    ("sub isolation", `Quick, test_sub_isolation);
+    ("sub too long", `Quick, test_sub_too_long);
+    ("take/skip", `Quick, test_take_skip);
+    QCheck_alcotest.to_alcotest prop_roundtrip
+  ]
