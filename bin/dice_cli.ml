@@ -41,6 +41,15 @@ let runs_arg =
     & opt int 256
     & info [ "runs" ] ~docv:"N" ~doc:"Exploration budget: program executions per seed.")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt int (Dice_exec.Pool.available_parallelism ())
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for parallel exploration (default: what the \
+           machine offers). 1 disables parallelism.")
+
 let trace_of ~seed ~prefixes =
   Dice_trace.Gen.generate
     { Dice_trace.Gen.default_params with Dice_trace.Gen.seed; n_prefixes = prefixes }
@@ -141,7 +150,7 @@ let run_cmd =
 
 (* ---------------- detect-leaks ---------------- *)
 
-let detect_leaks filtering seed prefixes runs json =
+let detect_leaks filtering seed prefixes runs jobs json =
   let topo, _, n = build_loaded ~filtering ~seed ~prefixes in
   Printf.printf "table loaded: %d routes; filtering=%s\n" n
     (Threerouter.filtering_to_string filtering);
@@ -153,6 +162,7 @@ let detect_leaks filtering seed prefixes runs json =
           Dice_concolic.Explorer.max_runs = runs;
           max_depth = 96;
         };
+      jobs = max 1 jobs;
     }
   in
   let dice = Orchestrator.create ~cfg provider in
@@ -170,11 +180,13 @@ let detect_leaks_cmd =
        ~doc:
          "Run DiCE exploration on the provider and report hijackable prefix ranges \
           (exit status 1 if any are found).")
-    Term.(const detect_leaks $ filtering_arg $ seed_arg $ prefixes_arg $ runs_arg $ json_arg)
+    Term.(
+      const detect_leaks $ filtering_arg $ seed_arg $ prefixes_arg $ runs_arg
+      $ jobs_arg $ json_arg)
 
 (* ---------------- explore-filter ---------------- *)
 
-let explore_filter file runs =
+let explore_filter file runs jobs =
   let config = Config_parser.parse_file file in
   match config.Config_types.filters with
   | [] ->
@@ -198,15 +210,22 @@ let explore_filter file runs =
         (Filter_interp.run ctx ~source_as:64501
            ~local_as:config.Config_types.local_as filter cr)
     in
+    let config =
+      { Dice_concolic.Explorer.default_config with
+        Dice_concolic.Explorer.max_runs = runs;
+      }
+    in
+    let qcache = Dice_exec.Qcache.create () in
     let report =
-      Dice_concolic.Explorer.explore
-        ~config:
-          { Dice_concolic.Explorer.default_config with
-            Dice_concolic.Explorer.max_runs = runs;
-          }
-        program
+      if jobs <= 1 then Dice_concolic.Explorer.explore ~config program
+      else Dice_exec.Explorer.run_parallel ~config ~qcache ~jobs program
     in
     Format.printf "%a@." Dice_concolic.Explorer.pp_report report;
+    if jobs > 1 then
+      Format.printf "solver cache: %d hits, %d misses (%.1f%% hit rate)@."
+        (Dice_exec.Qcache.hits qcache)
+        (Dice_exec.Qcache.misses qcache)
+        (100.0 *. Dice_exec.Qcache.hit_rate qcache);
     0
 
 let explore_filter_cmd =
@@ -218,7 +237,7 @@ let explore_filter_cmd =
   Cmd.v
     (Cmd.info "explore-filter"
        ~doc:"Concolically explore the first filter of a configuration file.")
-    Term.(const explore_filter $ file $ runs_arg)
+    Term.(const explore_filter $ file $ runs_arg $ jobs_arg)
 
 (* ---------------- overhead ---------------- *)
 
@@ -248,7 +267,7 @@ let overhead_cmd =
 
 (* ---------------- validate ---------------- *)
 
-let validate_change proposed_file seed prefixes runs json =
+let validate_change proposed_file seed prefixes runs jobs json =
   let topo, _, n = build_loaded ~filtering:Threerouter.Partially_correct ~seed ~prefixes in
   Printf.printf "live router: %d routes (partially-correct filtering)\n" n;
   let live = Threerouter.provider_router topo in
@@ -267,6 +286,7 @@ let validate_change proposed_file seed prefixes runs json =
           Dice_concolic.Explorer.max_runs = runs;
           max_depth = 96;
         };
+      jobs = max 1 jobs;
     }
   in
   let c = Validate.config_change ~cfg ~live ~proposed ~seeds () in
@@ -287,7 +307,9 @@ let validate_cmd =
     (Cmd.info "validate"
        ~doc:
          "Validate a proposed configuration change against the testbed's live state           before committing it (exit status 1 if the change is harmful).")
-    Term.(const validate_change $ file $ seed_arg $ prefixes_arg $ runs_arg $ json_arg)
+    Term.(
+      const validate_change $ file $ seed_arg $ prefixes_arg $ runs_arg
+      $ jobs_arg $ json_arg)
 
 (* ---------------- main ---------------- *)
 

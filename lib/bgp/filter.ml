@@ -58,15 +58,18 @@ type stmt =
 
 type t = { name : string; body : stmt list }
 
+let if_counters_lock = Mutex.create ()
 let if_counters : (string, int) Hashtbl.t = Hashtbl.create 16
 
 let mk_if ~filter_name cond then_ else_ =
+  Mutex.lock if_counters_lock;
   let k =
     match Hashtbl.find_opt if_counters filter_name with
     | Some k -> k
     | None -> 0
   in
   Hashtbl.replace if_counters filter_name (k + 1);
+  Mutex.unlock if_counters_lock;
   If { site = Printf.sprintf "filter:%s:if%d" filter_name k; cond; then_; else_ }
 
 let accept_all name = { name; body = [ Accept ] }

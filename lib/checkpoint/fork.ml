@@ -1,6 +1,6 @@
-type manager = { st : Store.t; mutable clones : int }
+type manager = { st : Store.t; clones : int Atomic.t }
 
-let create ?page_size () = { st = Store.create ?page_size (); clones = 0 }
+let create ?page_size () = { st = Store.create ?page_size (); clones = Atomic.make 0 }
 
 let store m = m.st
 
@@ -25,7 +25,7 @@ type clone = {
 }
 
 let spawn cp =
-  cp.mgr.clones <- cp.mgr.clones + 1;
+  Atomic.incr cp.mgr.clones;
   { cp; snap = Some (Store.clone cp.snap) }
 
 let image c =
@@ -55,7 +55,7 @@ let finish c ~final_image =
     Store.release final;
     Store.release s;
     c.snap <- None;
-    c.cp.mgr.clones <- c.cp.mgr.clones - 1;
+    Atomic.decr c.cp.mgr.clones;
     { pages; unique; unique_fraction; extra_fraction }
 
-let live_clones m = m.clones
+let live_clones m = Atomic.get m.clones

@@ -4,6 +4,9 @@ type entry = { data : bytes; mutable refs : int }
 
 type t = {
   page_size : int;
+  lock : Mutex.t;
+      (* one store backs every clone of a checkpoint; parallel seed
+         explorations capture/clone/release from separate domains *)
   pages : (key, entry) Hashtbl.t;
   mutable live : int;
 }
@@ -17,7 +20,11 @@ type snapshot = {
 
 let create ?(page_size = Page.default_size) () =
   if page_size <= 0 then invalid_arg "Store.create: page_size must be positive";
-  { page_size; pages = Hashtbl.create 1024; live = 0 }
+  { page_size; lock = Mutex.create (); pages = Hashtbl.create 1024; live = 0 }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
 let page_size t = t.page_size
 
@@ -25,52 +32,56 @@ let key_of (id : Page.id) : key = (id.hash, id.len)
 
 let capture t state =
   let pages = Page.split ~page_size:t.page_size state in
-  let table =
-    List.map
-      (fun ((id : Page.id), data) ->
-        (match Hashtbl.find_opt t.pages (key_of id) with
-        | Some e -> e.refs <- e.refs + 1
-        | None -> Hashtbl.add t.pages (key_of id) { data; refs = 1 });
-        id)
-      pages
-    |> Array.of_list
-  in
-  t.live <- t.live + 1;
-  { store = t; table; total_len = Bytes.length state; released = false }
+  locked t (fun () ->
+      let table =
+        List.map
+          (fun ((id : Page.id), data) ->
+            (match Hashtbl.find_opt t.pages (key_of id) with
+            | Some e -> e.refs <- e.refs + 1
+            | None -> Hashtbl.add t.pages (key_of id) { data; refs = 1 });
+            id)
+          pages
+        |> Array.of_list
+      in
+      t.live <- t.live + 1;
+      { store = t; table; total_len = Bytes.length state; released = false })
 
 let restore s =
-  if s.released then invalid_arg "Store.restore: snapshot released";
-  let out = Bytes.create s.total_len in
-  let off = ref 0 in
-  Array.iter
-    (fun (id : Page.id) ->
-      let e = Hashtbl.find s.store.pages (key_of id) in
-      Bytes.blit e.data 0 out !off id.len;
-      off := !off + id.len)
-    s.table;
-  out
+  locked s.store (fun () ->
+      if s.released then invalid_arg "Store.restore: snapshot released";
+      let out = Bytes.create s.total_len in
+      let off = ref 0 in
+      Array.iter
+        (fun (id : Page.id) ->
+          let e = Hashtbl.find s.store.pages (key_of id) in
+          Bytes.blit e.data 0 out !off id.len;
+          off := !off + id.len)
+        s.table;
+      out)
 
 let clone s =
-  if s.released then invalid_arg "Store.clone: snapshot released";
-  Array.iter
-    (fun id ->
-      let e = Hashtbl.find s.store.pages (key_of id) in
-      e.refs <- e.refs + 1)
-    s.table;
-  s.store.live <- s.store.live + 1;
-  { s with released = false }
+  locked s.store (fun () ->
+      if s.released then invalid_arg "Store.clone: snapshot released";
+      Array.iter
+        (fun id ->
+          let e = Hashtbl.find s.store.pages (key_of id) in
+          e.refs <- e.refs + 1)
+        s.table;
+      s.store.live <- s.store.live + 1;
+      { s with released = false })
 
 let release s =
-  if s.released then invalid_arg "Store.release: already released";
-  s.released <- true;
-  s.store.live <- s.store.live - 1;
-  Array.iter
-    (fun id ->
-      let k = key_of id in
-      let e = Hashtbl.find s.store.pages k in
-      e.refs <- e.refs - 1;
-      if e.refs = 0 then Hashtbl.remove s.store.pages k)
-    s.table
+  locked s.store (fun () ->
+      if s.released then invalid_arg "Store.release: already released";
+      s.released <- true;
+      s.store.live <- s.store.live - 1;
+      Array.iter
+        (fun id ->
+          let k = key_of id in
+          let e = Hashtbl.find s.store.pages k in
+          e.refs <- e.refs - 1;
+          if e.refs = 0 then Hashtbl.remove s.store.pages k)
+        s.table)
 
 let snapshot_pages s = Array.length s.table
 
@@ -100,8 +111,9 @@ let unique_fraction s ~relative_to =
   let n = snapshot_pages s in
   if n = 0 then 0.0 else float_of_int (unique_pages s ~relative_to) /. float_of_int n
 
-let stored_pages t = Hashtbl.length t.pages
+let stored_pages t = locked t (fun () -> Hashtbl.length t.pages)
 
-let resident_bytes t = Hashtbl.fold (fun (_, len) _ acc -> acc + len) t.pages 0
+let resident_bytes t =
+  locked t (fun () -> Hashtbl.fold (fun (_, len) _ acc -> acc + len) t.pages 0)
 
-let live_snapshots t = t.live
+let live_snapshots t = locked t (fun () -> t.live)

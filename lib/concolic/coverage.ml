@@ -1,27 +1,52 @@
-type t = (int * bool, unit) Hashtbl.t
+(* Coverage tables are shared by every run of an exploration — including
+   runs executing concurrently on separate domains — so all access is
+   serialized on a per-table mutex. *)
 
-let create () = Hashtbl.create 128
+type t = { lock : Mutex.t; tbl : (int * bool, unit) Hashtbl.t }
+
+let create () = { lock = Mutex.create (); tbl = Hashtbl.create 128 }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
 let record t site dir =
   let key = (Path.Site.id site, dir) in
-  if Hashtbl.mem t key then false
-  else begin
-    Hashtbl.add t key ();
-    true
-  end
+  locked t (fun () ->
+      if Hashtbl.mem t.tbl key then false
+      else begin
+        Hashtbl.add t.tbl key ();
+        true
+      end)
 
-let covered t site dir = Hashtbl.mem t (Path.Site.id site, dir)
+let covered t site dir = locked t (fun () -> Hashtbl.mem t.tbl (Path.Site.id site, dir))
 
 let fully_covered t site = covered t site true && covered t site false
 
 let site_count t =
-  let sites = Hashtbl.create 64 in
-  Hashtbl.iter (fun (id, _) () -> Hashtbl.replace sites id ()) t;
-  Hashtbl.length sites
+  locked t (fun () ->
+      let sites = Hashtbl.create 64 in
+      Hashtbl.iter (fun (id, _) () -> Hashtbl.replace sites id ()) t.tbl;
+      Hashtbl.length sites)
 
-let direction_count t = Hashtbl.length t
+let direction_count t = locked t (fun () -> Hashtbl.length t.tbl)
 
-let merge_into ~dst t = Hashtbl.iter (fun k () -> Hashtbl.replace dst k ()) t
+let merge_into ~dst t =
+  let pairs = locked t (fun () -> Hashtbl.fold (fun k () acc -> k :: acc) t.tbl []) in
+  locked dst (fun () -> List.iter (fun k -> Hashtbl.replace dst.tbl k ()) pairs)
+
+let absorb ~into t =
+  let pairs = locked t (fun () -> Hashtbl.fold (fun k () acc -> k :: acc) t.tbl []) in
+  locked into (fun () ->
+      List.fold_left
+        (fun fresh k ->
+          if Hashtbl.mem into.tbl k then fresh
+          else begin
+            Hashtbl.add into.tbl k ();
+            fresh + 1
+          end)
+        0 pairs)
 
 let snapshot t =
-  Hashtbl.fold (fun k () acc -> k :: acc) t [] |> List.sort compare
+  locked t (fun () -> Hashtbl.fold (fun k () acc -> k :: acc) t.tbl [])
+  |> List.sort compare

@@ -3,7 +3,10 @@
     Tracks which (site, direction) pairs executions have exercised —
     including branches taken on purely concrete data — so the explorer can
     tell when a negation would open genuinely new territory and when the
-    aggregate constraint set has converged. *)
+    aggregate constraint set has converged.
+
+    Tables are safe to share between domains: every operation is serialized
+    on an internal per-table mutex. *)
 
 type t
 
@@ -25,6 +28,11 @@ val direction_count : t -> int
 (** Number of (site, direction) pairs seen. *)
 
 val merge_into : dst:t -> t -> unit
+
+val absorb : into:t -> t -> int
+(** Like {!merge_into} but returns how many (site, direction) pairs were
+    new to [into] — the per-run "new directions" count the parallel
+    explorer credits to the run whose private table is absorbed. *)
 
 val snapshot : t -> (int * bool) list
 (** Covered (site id, direction) pairs, sorted. *)

@@ -1,28 +1,36 @@
 module Space = struct
   type t = {
+    lock : Mutex.t;  (* one space is shared by every run of an exploration,
+                        including parallel runs on separate domains *)
     by_name : (string, Sym.var) Hashtbl.t;
     mutable rev_names : string list;
   }
 
-  let create () = { by_name = Hashtbl.create 32; rev_names = [] }
+  let create () =
+    { lock = Mutex.create (); by_name = Hashtbl.create 32; rev_names = [] }
+
+  let locked t f =
+    Mutex.lock t.lock;
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
   let var t ~name ~width =
-    match Hashtbl.find_opt t.by_name name with
-    | Some v ->
-      if v.Sym.width <> width then
-        invalid_arg
-          (Printf.sprintf "Engine.Space.var: %s re-used with width %d (was %d)" name width
-             v.Sym.width);
-      v
-    | None ->
-      let v = Sym.var ~name ~width in
-      Hashtbl.add t.by_name name v;
-      t.rev_names <- name :: t.rev_names;
-      v
+    locked t (fun () ->
+        match Hashtbl.find_opt t.by_name name with
+        | Some v ->
+          if v.Sym.width <> width then
+            invalid_arg
+              (Printf.sprintf "Engine.Space.var: %s re-used with width %d (was %d)" name
+                 width v.Sym.width);
+          v
+        | None ->
+          let v = Sym.var ~name ~width in
+          Hashtbl.add t.by_name name v;
+          t.rev_names <- name :: t.rev_names;
+          v)
 
-  let find t name = Hashtbl.find_opt t.by_name name
+  let find t name = locked t (fun () -> Hashtbl.find_opt t.by_name name)
 
-  let names t = List.rev t.rev_names
+  let names t = locked t (fun () -> List.rev t.rev_names)
 end
 
 type ctx = {

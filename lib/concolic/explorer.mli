@@ -50,6 +50,14 @@ val explore : ?config:config -> program -> report
 (** Explore from scratch: the initial run uses every input's default
     value. *)
 
+val attempt_key : Path.entry array -> int -> int64
+(** Identity of a negation attempt: a hash of the branch-direction prefix
+    of the path up to (and including, flipped) index [idx]. Two attempts
+    with the same key request the same negated path, so only the first
+    should be tried. Exposed for the parallel executor ([Dice_exec]),
+    whose shared dedup table must agree with the sequential explorer on
+    attempt identity. *)
+
 val coverage_ratio : report -> float
 (** Covered (site, direction) pairs over [2 * sites seen] — a progress
     measure for the coverage experiments. *)

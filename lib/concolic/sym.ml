@@ -1,19 +1,24 @@
 type var = { id : int; name : string; width : int }
 
-let next_id = ref 0
+(* Variable ids must stay unique when several exploration domains register
+   inputs concurrently, hence the atomic counter. *)
+let next_id = Atomic.make 0
 
 let check_width width =
   if width < 1 || width > 64 then invalid_arg "Sym.var: width must be in [1, 64]"
 
 let var ~name ~width =
   check_width width;
-  let id = !next_id in
-  incr next_id;
+  let id = Atomic.fetch_and_add next_id 1 in
   { id; name; width }
 
 let var_named ~id ~name ~width =
   check_width width;
-  if id >= !next_id then next_id := id + 1;
+  let rec bump () =
+    let cur = Atomic.get next_id in
+    if id >= cur && not (Atomic.compare_and_set next_id cur (id + 1)) then bump ()
+  in
+  bump ();
   { id; name; width }
 
 type unop = Neg | Bnot | Lnot

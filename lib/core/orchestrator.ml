@@ -17,6 +17,7 @@ type cfg = {
   max_seeds : int;
   checkers : Checker.t list;
   clone_samples : int;
+  jobs : int;
 }
 
 let default_cfg =
@@ -28,6 +29,7 @@ let default_cfg =
     max_seeds = 4;
     checkers = [ Hijack.checker ];
     clone_samples = 4;
+    jobs = 1;
   }
 
 type t = {
@@ -245,8 +247,14 @@ let explore t =
   let checkpoint = Fork.checkpoint mgr ~live_image in
   let seeds = take t.cfg.max_seeds t.rev_seeds in
   t.rev_seeds <- [];
+  (* Seed explorations are independent — each restores its own router from
+     the shared checkpoint image — so they can run on separate domains.
+     [Pool.map] keeps report order equal to seed order whatever the
+     schedule. *)
   let seed_reports =
-    List.map (fun s -> explore_seed t ~checkpoint ~config ~pre_loc s) seeds
+    Dice_exec.Pool.map ~jobs:(max 1 t.cfg.jobs)
+      (fun s -> explore_seed t ~checkpoint ~config ~pre_loc s)
+      seeds
   in
   let all_faults =
     dedup_faults (List.concat_map (fun (r : seed_report) -> r.faults) seed_reports)

@@ -33,11 +33,17 @@ type cfg = {
   max_seeds : int;  (** most recent seeds explored per {!explore} call *)
   checkers : Checker.t list;
   clone_samples : int;  (** CoW-cost samples collected per seed *)
+  jobs : int;
+      (** worker domains for seed-level parallelism: each pending seed
+          explores on its own router restored from the shared checkpoint,
+          [jobs] at a time. [1] (the default) keeps everything on the
+          calling domain. Report order always equals seed order. *)
 }
 
 val default_cfg : cfg
 (** DFS explorer (96 runs, depth 64), 4 KiB pages, selective
-    symbolization, 4 seeds, the {!Hijack.checker}, 4 clone samples. *)
+    symbolization, 4 seeds, the {!Hijack.checker}, 4 clone samples,
+    1 job. *)
 
 type t
 

@@ -1,0 +1,33 @@
+type shard = { lock : Mutex.t; keys : (int64, unit) Hashtbl.t }
+
+type t = shard array
+
+let create ?(shards = 8) () =
+  if shards < 1 then invalid_arg "Dedup.create: shards must be >= 1";
+  Array.init shards (fun _ -> { lock = Mutex.create (); keys = Hashtbl.create 64 })
+
+let shard_of t key = t.((Int64.to_int key land max_int) mod Array.length t)
+
+let claim t key =
+  let s = shard_of t key in
+  Mutex.lock s.lock;
+  let fresh = not (Hashtbl.mem s.keys key) in
+  if fresh then Hashtbl.add s.keys key ();
+  Mutex.unlock s.lock;
+  fresh
+
+let mem t key =
+  let s = shard_of t key in
+  Mutex.lock s.lock;
+  let r = Hashtbl.mem s.keys key in
+  Mutex.unlock s.lock;
+  r
+
+let size t =
+  Array.fold_left
+    (fun acc s ->
+      Mutex.lock s.lock;
+      let n = Hashtbl.length s.keys in
+      Mutex.unlock s.lock;
+      acc + n)
+    0 t

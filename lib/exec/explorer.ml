@@ -1,0 +1,160 @@
+module E = Dice_concolic.Explorer
+module Engine = Dice_concolic.Engine
+module Coverage = Dice_concolic.Coverage
+module Path = Dice_concolic.Path
+module Solver = Dice_concolic.Solver
+module Strategy = Dice_concolic.Strategy
+
+(* A pending negation, the parallel counterpart of the sequential
+   explorer's worklist item. No [priority]/[order]: ordering lives in the
+   queue discipline, and the determinism contract only covers strategies
+   whose final result is order-independent. *)
+type job = {
+  parent_path : Path.entry array;
+  parent_seeds : Path.constr list;
+  hint : Dice_concolic.Sym.env;
+  idx : int;
+}
+
+let run_parallel ?(config = E.default_config) ?qcache ~jobs program =
+  if jobs < 1 then invalid_arg "Explorer.run_parallel: jobs must be >= 1";
+  match config.strategy with
+  | Strategy.Cover_new ->
+    (* Cover_new's greedy skip consults coverage state at pop time, so
+       even its final path set is schedule-dependent; parallel execution
+       would silently change results. Delegate to the sequential loop. *)
+    E.explore ~config program
+  | Strategy.Dfs | Strategy.Generational | Strategy.Random_negation _ ->
+    let t0 = Unix.gettimeofday () in
+    let qcache = match qcache with Some q -> q | None -> Qcache.create () in
+    let space = Engine.Space.create () in
+    let coverage = Coverage.create () in
+    let attempted = Dedup.create ~shards:(max 4 jobs) () in
+    let distinct = Dedup.create ~shards:(max 4 jobs) () in
+    let executions = Atomic.make 0 in
+    let mode =
+      match config.strategy with
+      | Strategy.Dfs -> `Lifo (* newest (deepest) negations first *)
+      | Strategy.Generational | Strategy.Random_negation _ | Strategy.Cover_new
+        ->
+        `Fifo
+    in
+    let queue : job Jobq.t =
+      Jobq.create ~shards:(max 1 (min jobs 8)) ~mode ()
+    in
+    (* Reserve an execution slot against the budget; on exhaustion close
+       the queue so blocked workers drain out. *)
+    let rec claim_run () =
+      let n = Atomic.get executions in
+      if n >= config.max_runs then begin
+        Jobq.close queue;
+        false
+      end
+      else if Atomic.compare_and_set executions n (n + 1) then true
+      else claim_run ()
+    in
+    (* Run the program once. Coverage is recorded privately and absorbed
+       into the shared table afterwards, which also yields this run's
+       newly-covered direction count without a racy before/after read. *)
+    let execute ~overrides ~expected =
+      let private_cov = Coverage.create () in
+      let ctx = Engine.create ~coverage:private_cov ~space ~overrides () in
+      (try program ctx with _exn -> ());
+      let new_directions = Coverage.absorb ~into:coverage private_cov in
+      let path = Array.of_list (Engine.path ctx) in
+      ignore (Dedup.claim distinct (Path.signature (Array.to_list path)));
+      let diverged =
+        match expected with
+        | None -> false
+        | Some (site_id, dir) ->
+          not
+            (Array.exists
+               (fun e ->
+                 Path.Site.id e.Path.site = site_id
+                 && e.Path.constr.expected_nonzero = dir)
+               path)
+      in
+      let r : E.run =
+        {
+          index = 0 (* reindexed by Merge.merge *);
+          assignment = Engine.assignment ctx ~space;
+          path_length = Array.length path;
+          new_directions;
+          diverged;
+        }
+      in
+      (path, Engine.seed_constraints ctx, Engine.env ctx, r)
+    in
+    let enqueue_children ~path ~seeds ~hint ~bound =
+      let n = min (Array.length path) config.max_depth in
+      (* Ascending idx: under `Lifo the deepest lands on top (DFS order),
+         under `Fifo shallow-first matches the sequential append. The
+         [mem] check is advisory (prunes already-claimed work early); the
+         authoritative claim happens when a worker pops the job. *)
+      for idx = bound to n - 1 do
+        if not (Dedup.mem attempted (E.attempt_key path idx)) then
+          Jobq.push queue { parent_path = path; parent_seeds = seeds; hint; idx }
+      done
+    in
+    let process (tally : Merge.worker_tally) job =
+      if Dedup.claim attempted (E.attempt_key job.parent_path job.idx) then begin
+        tally.negations_attempted <- tally.negations_attempted + 1;
+        let e = job.parent_path.(job.idx) in
+        let prefix = Array.to_list (Array.sub job.parent_path 0 job.idx) in
+        let constraints =
+          job.parent_seeds
+          @ List.map (fun en -> en.Path.constr) prefix
+          @ [ Path.negate e.Path.constr ]
+        in
+        match
+          Qcache.solve qcache ~stats:tally.solver_stats
+            ~max_repairs:config.solver_max_repairs ~hint:job.hint constraints
+        with
+        | Solver.Unsat -> tally.negations_unsat <- tally.negations_unsat + 1
+        | Solver.Gave_up -> tally.negations_gave_up <- tally.negations_gave_up + 1
+        | Solver.Sat model ->
+          tally.negations_sat <- tally.negations_sat + 1;
+          if claim_run () then begin
+            let expected =
+              Some (Path.Site.id e.Path.site, not e.Path.constr.expected_nonzero)
+            in
+            let path, seeds, hint, r = execute ~overrides:model ~expected in
+            if r.diverged then tally.divergences <- tally.divergences + 1;
+            tally.rev_runs <- r :: tally.rev_runs;
+            let bound =
+              match config.strategy with
+              | Strategy.Generational -> job.idx + 1
+              | Strategy.Dfs | Strategy.Cover_new | Strategy.Random_negation _
+                ->
+                0
+            in
+            enqueue_children ~path ~seeds ~hint ~bound
+          end
+      end
+    in
+    let tallies = Array.init jobs (fun w -> Merge.tally_create ~worker:w) in
+    let worker w =
+      let tally = tallies.(w) in
+      let rec loop () =
+        match Jobq.pop queue with
+        | None -> ()
+        | Some job ->
+          (* [task_done] must run even if the program under test escapes
+             with an exception the engine did not absorb — a stuck
+             in-flight count would deadlock every other worker. *)
+          Fun.protect
+            ~finally:(fun () -> Jobq.task_done queue)
+            (fun () -> process tally job);
+          loop ()
+      in
+      loop ()
+    in
+    (* Initial run: all defaults, executed before any worker starts. *)
+    ignore (claim_run ());
+    let path0, seeds0, hint0, r0 = execute ~overrides:(Hashtbl.create 0) ~expected:None in
+    enqueue_children ~path:path0 ~seeds:seeds0 ~hint:hint0 ~bound:0;
+    Pool.run ~jobs worker;
+    Merge.merge ~initial_run:r0 ~coverage ~space
+      ~distinct_paths:(Dedup.size distinct)
+      ~elapsed_s:(Unix.gettimeofday () -. t0)
+      tallies

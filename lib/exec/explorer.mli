@@ -1,0 +1,36 @@
+(** Parallel concolic exploration.
+
+    [run_parallel] distributes the negation worklist of
+    {!Dice_concolic.Explorer.explore} over a {!Pool} of domains sharing a
+    {!Jobq}, two {!Dedup} claim tables (attempted negations, distinct path
+    signatures) and a {!Qcache}. Each worker loops pop → claim → solve
+    (through the cache) → execute → enqueue children, and the queue
+    finishes when the worklist saturates or the execution budget is spent.
+
+    {b Determinism contract.} Scheduling may reorder runs, but never
+    changes what is covered: for [Dfs], [Generational] and
+    [Random_negation] the worklist at saturation closes over {e every}
+    feasible negation reachable within [max_depth], regardless of the
+    order attempts were processed in, so a saturating budget yields the
+    same [distinct_paths] and branch-coverage set as the sequential
+    explorer. ([Random_negation]'s seed only permutes processing order —
+    it cannot add or remove feasible paths.) [Cover_new] is the exception:
+    its greedy skip rule consults coverage state at pop time, which makes
+    even its {e final} path set order-dependent — so it is delegated to
+    the sequential explorer verbatim, whatever [jobs] says.
+
+    Run indices in the merged report are stable (initial run first, then
+    worker-id order — see {!Merge}), and counters are exact: every
+    negation is attempted exactly once across all workers. *)
+
+val run_parallel :
+  ?config:Dice_concolic.Explorer.config ->
+  ?qcache:Qcache.t ->
+  jobs:int ->
+  Dice_concolic.Explorer.program ->
+  Dice_concolic.Explorer.report
+(** [run_parallel ~jobs program] explores with [jobs] worker domains
+    ([jobs = 1] degrades to a single-domain run of the same machinery).
+    [qcache] defaults to a fresh cache; pass one in to share solver
+    results across explorations or to read its hit rate afterwards.
+    @raise Invalid_argument if [jobs < 1]. *)

@@ -1,0 +1,149 @@
+type 'a shard = {
+  lock : Mutex.t;
+  (* [`Fifo]: push appends to [back], pop drains [front], refilling it from
+     [List.rev back]. [`Lifo]: push and pop both use [front]. *)
+  mutable front : 'a list;
+  mutable back : 'a list;
+  mutable size : int;
+}
+
+type 'a t = {
+  shards : 'a shard array;
+  mode : [ `Fifo | `Lifo ];
+  master : Mutex.t;  (* guards [inflight], [closed] and the condition *)
+  wake : Condition.t;
+  mutable inflight : int;
+  mutable closed : bool;
+  push_cursor : int Atomic.t;
+  pop_cursor : int Atomic.t;
+}
+
+let create ?(shards = 4) ?(mode = `Fifo) () =
+  if shards < 1 then invalid_arg "Jobq.create: shards must be >= 1";
+  {
+    shards =
+      Array.init shards (fun _ ->
+          { lock = Mutex.create (); front = []; back = []; size = 0 });
+    mode;
+    master = Mutex.create ();
+    wake = Condition.create ();
+    inflight = 0;
+    closed = false;
+    push_cursor = Atomic.make 0;
+    pop_cursor = Atomic.make 0;
+  }
+
+let shards t = Array.length t.shards
+
+let shard_push t s x =
+  Mutex.lock s.lock;
+  (match t.mode with
+  | `Fifo -> s.back <- x :: s.back
+  | `Lifo -> s.front <- x :: s.front);
+  s.size <- s.size + 1;
+  Mutex.unlock s.lock
+
+let shard_pop t s =
+  Mutex.lock s.lock;
+  let item =
+    if s.size = 0 then None
+    else begin
+      (match (t.mode, s.front) with
+      | _, [] ->
+        s.front <- List.rev s.back;
+        s.back <- []
+      | _, _ -> ());
+      match s.front with
+      | [] -> None
+      | x :: rest ->
+        s.front <- rest;
+        s.size <- s.size - 1;
+        Some x
+    end
+  in
+  Mutex.unlock s.lock;
+  item
+
+let push t x =
+  Mutex.lock t.master;
+  if t.closed then Mutex.unlock t.master
+  else begin
+    t.inflight <- t.inflight + 1;
+    Mutex.unlock t.master;
+    let i = Atomic.fetch_and_add t.push_cursor 1 in
+    shard_push t t.shards.(i mod Array.length t.shards) x;
+    Mutex.lock t.master;
+    Condition.signal t.wake;
+    Mutex.unlock t.master
+  end
+
+(* Scan every shard once, starting from a rotating cursor. *)
+let try_pop t =
+  let n = Array.length t.shards in
+  let start = Atomic.fetch_and_add t.pop_cursor 1 in
+  let rec go k =
+    if k = n then None
+    else begin
+      match shard_pop t t.shards.((start + k) mod n) with
+      | Some _ as r -> r
+      | None -> go (k + 1)
+    end
+  in
+  go 0
+
+let pop t =
+  (* Holding [master] across the scan (shard locks nest briefly inside)
+     closes the missed-wakeup window: a push inserts its item before
+     signalling under [master], so a scanning pop either sees the item or
+     is woken after its wait begins. *)
+  Mutex.lock t.master;
+  let rec loop () =
+    if t.closed || t.inflight = 0 then begin
+      Mutex.unlock t.master;
+      None
+    end
+    else begin
+      match try_pop t with
+      | Some _ as r ->
+        Mutex.unlock t.master;
+        r
+      | None ->
+        Condition.wait t.wake t.master;
+        loop ()
+    end
+  in
+  loop ()
+
+let task_done t =
+  Mutex.lock t.master;
+  t.inflight <- t.inflight - 1;
+  if t.inflight <= 0 then begin
+    t.closed <- true;
+    Condition.broadcast t.wake
+  end;
+  Mutex.unlock t.master
+
+let close t =
+  Mutex.lock t.master;
+  t.closed <- true;
+  (* Discard queued items so [length] agrees with "pops return None";
+     shard locks nest inside [master], same order as [pop]. *)
+  Array.iter
+    (fun s ->
+      Mutex.lock s.lock;
+      s.front <- [];
+      s.back <- [];
+      s.size <- 0;
+      Mutex.unlock s.lock)
+    t.shards;
+  Condition.broadcast t.wake;
+  Mutex.unlock t.master
+
+let length t =
+  Array.fold_left
+    (fun acc s ->
+      Mutex.lock s.lock;
+      let n = s.size in
+      Mutex.unlock s.lock;
+      acc + n)
+    0 t.shards

@@ -1,0 +1,50 @@
+(** A sharded, mutex/condition-protected job queue with work tracking.
+
+    Items live in [shards] independent lock-protected queues; pushes are
+    spread round-robin and pops scan from a rotating cursor, so concurrent
+    workers mostly touch different locks. A single queue-wide condition
+    variable handles sleeping when every shard is empty.
+
+    The queue tracks {e in-flight} work: an item counts from [push] until
+    the worker that popped it calls {!task_done} (after enqueueing any
+    follow-up items). When in-flight reaches zero no work exists and none
+    can be created, so the queue finishes and every blocked {!pop} returns
+    [None]. This is how the parallel explorer detects saturation of the
+    negation worklist without a coordinator.
+
+    Ordering is per-shard [`Fifo] or [`Lifo]; across shards no total order
+    is guaranteed — exploration strategies tolerate reordering by design
+    (scheduling may reorder runs, never change what is covered). *)
+
+type 'a t
+
+val create : ?shards:int -> ?mode:[ `Fifo | `Lifo ] -> unit -> 'a t
+(** [shards] defaults to 4; [mode] defaults to [`Fifo]. [`Lifo] gives the
+    newest-first order depth-first exploration wants.
+    @raise Invalid_argument if [shards < 1]. *)
+
+val push : 'a t -> 'a -> unit
+(** Enqueue an item and account it in-flight. Pushing to a closed queue is
+    a no-op (the item is dropped): by then the consumers have decided no
+    further work is wanted. *)
+
+val pop : 'a t -> 'a option
+(** Dequeue an item, blocking while the queue is empty but work is still
+    in flight. Returns [None] once the queue is closed or drained (no
+    items queued and none in flight). The caller must eventually call
+    {!task_done} for every [Some] it receives. *)
+
+val task_done : 'a t -> unit
+(** Mark one popped item fully processed (including any pushes of child
+    work it performed). When the last in-flight item completes the queue
+    finishes and wakes every blocked {!pop}. *)
+
+val close : 'a t -> unit
+(** Finish the queue early: blocked and future pops return [None]
+    (remaining queued items are discarded). Used when an execution budget
+    is exhausted. Idempotent. *)
+
+val length : 'a t -> int
+(** Items currently queued (not counting popped-but-unfinished ones). *)
+
+val shards : 'a t -> int

@@ -1,0 +1,64 @@
+module Explorer = Dice_concolic.Explorer
+module Solver = Dice_concolic.Solver
+
+type worker_tally = {
+  worker : int;
+  mutable rev_runs : Explorer.run list;
+  mutable negations_attempted : int;
+  mutable negations_sat : int;
+  mutable negations_unsat : int;
+  mutable negations_gave_up : int;
+  mutable divergences : int;
+  solver_stats : Solver.stats;
+}
+
+let tally_create ~worker =
+  {
+    worker;
+    rev_runs = [];
+    negations_attempted = 0;
+    negations_sat = 0;
+    negations_unsat = 0;
+    negations_gave_up = 0;
+    divergences = 0;
+    solver_stats = Solver.stats_create ();
+  }
+
+let merge ~initial_run ~coverage ~space ~distinct_paths ~elapsed_s tallies :
+    Explorer.report =
+  let tallies =
+    let t = Array.copy tallies in
+    Array.sort (fun a b -> compare a.worker b.worker) t;
+    t
+  in
+  let runs =
+    initial_run
+    :: List.concat_map (fun t -> List.rev t.rev_runs) (Array.to_list tallies)
+  in
+  let runs = List.mapi (fun i (r : Explorer.run) -> { r with index = i }) runs in
+  let sum f = Array.fold_left (fun acc t -> acc + f t) 0 tallies in
+  let solver_stats = Solver.stats_create () in
+  Array.iter
+    (fun t ->
+      let s = t.solver_stats in
+      solver_stats.calls <- solver_stats.calls + s.calls;
+      solver_stats.sat <- solver_stats.sat + s.sat;
+      solver_stats.unsat <- solver_stats.unsat + s.unsat;
+      solver_stats.gave_up <- solver_stats.gave_up + s.gave_up;
+      solver_stats.candidates_tried <-
+        solver_stats.candidates_tried + s.candidates_tried)
+    tallies;
+  {
+    runs;
+    executions = List.length runs;
+    distinct_paths;
+    negations_attempted = sum (fun t -> t.negations_attempted);
+    negations_sat = sum (fun t -> t.negations_sat);
+    negations_unsat = sum (fun t -> t.negations_unsat);
+    negations_gave_up = sum (fun t -> t.negations_gave_up);
+    divergences = sum (fun t -> t.divergences);
+    coverage;
+    solver_stats;
+    space;
+    elapsed_s;
+  }

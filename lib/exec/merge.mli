@@ -1,0 +1,35 @@
+(** Deterministic merging of per-worker exploration results.
+
+    Each worker accumulates a {!worker_tally} privately (no locks on the
+    hot path); when the pool drains, {!merge} folds the tallies into a
+    single {!Dice_concolic.Explorer.report}. The fold is deterministic in
+    the tallies' content: runs are ordered initial-run-first, then by
+    worker id, then by each worker's execution order, and reindexed
+    [0..n-1] — so two parallel explorations that performed the same work
+    produce byte-identical reports regardless of interleaving. *)
+
+type worker_tally = {
+  worker : int;
+  mutable rev_runs : Dice_concolic.Explorer.run list;
+      (** this worker's runs, most recent first; [index] fields are
+          placeholders until {!merge} reindexes *)
+  mutable negations_attempted : int;
+  mutable negations_sat : int;
+  mutable negations_unsat : int;
+  mutable negations_gave_up : int;
+  mutable divergences : int;
+  solver_stats : Dice_concolic.Solver.stats;
+}
+
+val tally_create : worker:int -> worker_tally
+
+val merge :
+  initial_run:Dice_concolic.Explorer.run ->
+  coverage:Dice_concolic.Coverage.t ->
+  space:Dice_concolic.Engine.Space.t ->
+  distinct_paths:int ->
+  elapsed_s:float ->
+  worker_tally array ->
+  Dice_concolic.Explorer.report
+(** Counters are summed across tallies; solver stats fold into a fresh
+    record (the per-worker records are not mutated). *)

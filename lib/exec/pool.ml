@@ -1,0 +1,42 @@
+let available_parallelism () = max 1 (Domain.recommended_domain_count ())
+
+let run ~jobs f =
+  if jobs < 1 then invalid_arg "Pool.run: jobs must be >= 1";
+  if jobs = 1 then f 0
+  else begin
+    let failures = Array.make jobs None in
+    let domains =
+      List.init jobs (fun w ->
+          Domain.spawn (fun () ->
+              try f w with exn -> failures.(w) <- Some exn))
+    in
+    List.iter Domain.join domains;
+    Array.iter
+      (function
+        | Some exn -> raise exn
+        | None -> ())
+      failures
+  end
+
+let map ~jobs f items =
+  let arr = Array.of_list items in
+  let n = Array.length arr in
+  let jobs = max 1 (min jobs n) in
+  if jobs = 1 then List.map f items
+  else begin
+    let results = Array.make n None in
+    let cursor = Atomic.make 0 in
+    run ~jobs (fun _w ->
+        let rec loop () =
+          let i = Atomic.fetch_and_add cursor 1 in
+          if i < n then begin
+            results.(i) <- Some (f arr.(i));
+            loop ()
+          end
+        in
+        loop ());
+    Array.to_list results
+    |> List.map (function
+         | Some r -> r
+         | None -> assert false (* every index was claimed and completed *))
+  end

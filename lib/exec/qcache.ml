@@ -1,0 +1,162 @@
+module Lincons = Dice_concolic.Lincons
+module Path = Dice_concolic.Path
+module Solver = Dice_concolic.Solver
+module Sym = Dice_concolic.Sym
+
+(* Keys and stored models identify variables by NAME, not id: ids are
+   fresh per input space, so an id-keyed cache could never hit across
+   explorations of the same program (the main sharing opportunity — see
+   the [qcache] argument of {!Explorer.run_parallel}). Names are what the
+   space keeps stable. A model is rehydrated onto the presented
+   constraints' ids before being returned, and re-verified, so a name
+   collision between unrelated variables degrades to a miss. *)
+
+(* One canonicalized constraint. Linear predicates reduce to their exact
+   normal form (so [x + 1 > 0] under different spellings coincide);
+   everything else keys on the term with every variable id erased —
+   [Sym.t] is a pure algebraic type, so structural comparison and hashing
+   of the canonical term are well-defined. *)
+type atom =
+  | Lin of (string * int64) list * int64 * int * bool
+      (** (var name, coefficient) name-sorted, const, width, expected_nonzero *)
+  | Raw of Sym.t * bool
+
+type key = atom list
+
+let rec erase_ids : Sym.t -> Sym.t = function
+  | Sym.Const _ as c -> c
+  | Sym.Var v -> Sym.Var (Sym.var_named ~id:0 ~name:v.Sym.name ~width:v.Sym.width)
+  | Sym.Unop (op, a) -> Sym.Unop (op, erase_ids a)
+  | Sym.Binop (op, a, b) -> Sym.Binop (op, erase_ids a, erase_ids b)
+
+let atom_of_constr (c : Path.constr) =
+  match Lincons.of_sym c.expr with
+  | Some l ->
+    let name_of =
+      let tbl = Hashtbl.create 8 in
+      List.iter (fun (v : Sym.var) -> Hashtbl.replace tbl v.Sym.id v.Sym.name)
+        (Sym.vars c.expr);
+      fun id -> Hashtbl.find tbl id (* of_sym only emits ids from the term *)
+    in
+    let coeffs =
+      List.sort compare (List.map (fun (id, co) -> (name_of id, co)) l.coeffs)
+    in
+    Lin (coeffs, l.const, l.width, c.expected_nonzero)
+  | None -> Raw (erase_ids c.expr, c.expected_nonzero)
+
+let key_of_constrs cs : key =
+  (* Conjunction is order- and multiplicity-insensitive. *)
+  List.sort_uniq compare (List.map atom_of_constr cs)
+
+(* Variables of the whole constraint set, as name -> id. *)
+let var_ids cs =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (c : Path.constr) ->
+      List.iter
+        (fun (v : Sym.var) -> Hashtbl.replace tbl v.Sym.name v.Sym.id)
+        (Sym.vars c.expr))
+    cs;
+  tbl
+
+type entry = Cached_sat of (string * int64) list | Cached_unsat
+
+type shard = { lock : Mutex.t; tbl : (key, entry) Hashtbl.t }
+
+type t = {
+  shards : shard array;
+  hit_count : int Atomic.t;
+  miss_count : int Atomic.t;
+}
+
+let create ?(shards = 8) () =
+  if shards < 1 then invalid_arg "Qcache.create: shards must be >= 1";
+  {
+    shards =
+      Array.init shards (fun _ ->
+          { lock = Mutex.create (); tbl = Hashtbl.create 64 });
+    hit_count = Atomic.make 0;
+    miss_count = Atomic.make 0;
+  }
+
+let shard_of t key =
+  t.shards.((Hashtbl.hash key land max_int) mod Array.length t.shards)
+
+let lookup t key =
+  let s = shard_of t key in
+  Mutex.lock s.lock;
+  let r = Hashtbl.find_opt s.tbl key in
+  Mutex.unlock s.lock;
+  r
+
+let store t key entry =
+  let s = shard_of t key in
+  Mutex.lock s.lock;
+  (* First writer wins; concurrent solvers of the same key produce
+     equally valid entries, so dropping the loser is fine. *)
+  if not (Hashtbl.mem s.tbl key) then Hashtbl.replace s.tbl key entry;
+  Mutex.unlock s.lock
+
+(* A model as stored: the constrained variables' values, by name. *)
+let bindings_of_model cs (env : Sym.env) =
+  let names = var_ids cs in
+  Hashtbl.fold
+    (fun name id acc ->
+      match Hashtbl.find_opt env id with
+      | Some v -> (name, v) :: acc
+      | None -> acc)
+    names []
+  |> List.sort compare
+
+(* ...and rehydrated onto the ids the presented constraints use. *)
+let model_of_bindings cs bindings : Sym.env =
+  let names = var_ids cs in
+  let env = Hashtbl.create (List.length bindings) in
+  List.iter
+    (fun (name, v) ->
+      match Hashtbl.find_opt names name with
+      | Some id -> Hashtbl.replace env id v
+      | None -> ())
+    bindings;
+  env
+
+let solve t ?stats ?max_repairs ~hint cs =
+  let key = key_of_constrs cs in
+  let fresh_hit =
+    match lookup t key with
+    | Some (Cached_sat bindings) ->
+      let env = model_of_bindings cs bindings in
+      (* The re-check costs one evaluation pass and makes a
+         canonicalization defect a performance bug, not a soundness bug. *)
+      if Solver.holds_all env cs then Some (Solver.Sat env) else None
+    | Some Cached_unsat -> Some Solver.Unsat
+    | None -> None
+  in
+  match fresh_hit with
+  | Some outcome ->
+    Atomic.incr t.hit_count;
+    outcome
+  | None ->
+    Atomic.incr t.miss_count;
+    let outcome = Solver.solve ?stats ?max_repairs ~hint cs in
+    (match outcome with
+    | Sat env -> store t key (Cached_sat (bindings_of_model cs env))
+    | Unsat -> store t key Cached_unsat
+    | Gave_up -> () (* hint-dependent: a better hint may succeed later *));
+    outcome
+
+let hits t = Atomic.get t.hit_count
+let misses t = Atomic.get t.miss_count
+
+let hit_rate t =
+  let h = hits t and m = misses t in
+  if h + m = 0 then 0. else float_of_int h /. float_of_int (h + m)
+
+let size t =
+  Array.fold_left
+    (fun acc s ->
+      Mutex.lock s.lock;
+      let n = Hashtbl.length s.tbl in
+      Mutex.unlock s.lock;
+      acc + n)
+    0 t.shards

@@ -1,0 +1,51 @@
+(** A memoizing solver-query cache.
+
+    Keyed on the {e canonicalized} constraint set: every constraint is
+    normalized to its {!Dice_concolic.Lincons} linear form when one exists
+    (so syntactically different but semantically identical linear
+    predicates share an entry), non-linear constraints fall back to their
+    structural term identity, and the set is sorted and deduplicated —
+    conjunction is order- and multiplicity-insensitive. Variables are
+    identified by {e name}, not id: ids are fresh per input space, names
+    are what a space keeps stable, so name-keying lets entries hit across
+    explorations of the same program (commuting branch prefixes within one
+    exploration are the other hit source).
+
+    Cached outcomes are [Sat] models and proven [Unsat] verdicts — both
+    properties of the constraint set alone. [Gave_up] is {e not} cached:
+    it depends on the starting hint, and a later query with a better hint
+    may well succeed. A stored model keeps the {e constrained} variables'
+    values by name; on a hit it is rehydrated onto the ids the presented
+    constraints use (a fresh table — callers may mutate it) and
+    re-verified by evaluation before being returned, so a canonicalization
+    defect or name collision costs a cache miss, never correctness.
+
+    Safe for concurrent use from many domains: entries live in sharded
+    mutex-protected tables and the hit/miss counters are atomic. *)
+
+type t
+
+val create : ?shards:int -> unit -> t
+(** [shards] defaults to 8.
+    @raise Invalid_argument if [shards < 1]. *)
+
+val solve :
+  t ->
+  ?stats:Dice_concolic.Solver.stats ->
+  ?max_repairs:int ->
+  hint:Dice_concolic.Sym.env ->
+  Dice_concolic.Path.constr list ->
+  Dice_concolic.Solver.outcome
+(** Like {!Dice_concolic.Solver.solve}, answering from the cache when the
+    canonicalized constraint set has been solved before. [stats] counts
+    only real solver invocations (misses), so it keeps meaning "solver
+    work performed". *)
+
+val hits : t -> int
+val misses : t -> int
+
+val hit_rate : t -> float
+(** [hits / (hits + misses)]; [0.] before any query. *)
+
+val size : t -> int
+(** Cached constraint sets currently resident. *)

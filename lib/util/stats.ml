@@ -37,6 +37,9 @@ let percentile t p =
   else begin
     let a = Array.of_list t.samples in
     Array.sort compare a;
+    (* Clamp instead of indexing out of bounds: p < 0, p > 100 and NaN all
+       land on the nearest well-defined rank. *)
+    let p = if Float.is_nan p then 0.0 else Float.max 0.0 (Float.min 100.0 p) in
     let rank = p /. 100.0 *. float_of_int (t.n - 1) in
     let lo = int_of_float (Float.floor rank) in
     let hi = int_of_float (Float.ceil rank) in

@@ -23,7 +23,8 @@ val max : t -> float
 
 val percentile : t -> float -> float
 (** [percentile t p] with [p] in [\[0,100\]], linear interpolation between
-    closest ranks; [nan] when empty. *)
+    closest ranks; [nan] when empty. Out-of-range and NaN [p] clamp to the
+    nearest bound (so [percentile t 200.] is the maximum, not a crash). *)
 
 val median : t -> float
 

@@ -26,5 +26,6 @@ let () =
       ("router-node", Test_router_node.suite);
       ("properties", Test_props.suite);
       ("lincons/json", Test_lincons_json.suite);
-      ("edges", Test_edges.suite)
+      ("edges", Test_edges.suite);
+      ("exec", Test_exec.suite)
     ]

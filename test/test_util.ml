@@ -59,6 +59,46 @@ let test_stats_summary () =
     (String.length (Stats.summary s) > 0
     && String.sub (Stats.summary s) 0 3 = "n=1")
 
+let test_stats_percentile_out_of_range () =
+  let s = Stats.create () in
+  List.iter (Stats.add s) [ 10.0; 20.0; 30.0 ];
+  (* out-of-range p clamps to the extrema instead of indexing out of
+     bounds (the pre-fix behaviour raised Invalid_argument) *)
+  feq "p<0 clamps to min" 10.0 (Stats.percentile s (-5.0));
+  feq "p>100 clamps to max" 30.0 (Stats.percentile s 200.0);
+  feq "nan p clamps to min" 10.0 (Stats.percentile s Float.nan)
+
+(* Property: an accumulator never crashes and stays self-consistent on
+   the degenerate sizes (empty handled above; here 1+ samples with
+   arbitrary percentile requests). *)
+let prop_stats_single_sample =
+  QCheck.Test.make ~name:"stats: single-sample accumulator is the sample everywhere"
+    ~count:200
+    QCheck.(pair (float_bound_exclusive 1e6) (float_bound_inclusive 300.0))
+    (fun (x, p) ->
+      let s = Stats.create () in
+      Stats.add s x;
+      let pct = Stats.percentile s (p -. 100.0) (* range [-100, 200] *) in
+      Stats.count s = 1
+      && Stats.mean s = x
+      && Stats.min s = x
+      && Stats.max s = x
+      && Stats.stddev s = 0.0
+      && Stats.median s = x
+      && pct = x)
+
+let prop_stats_percentile_bounded =
+  QCheck.Test.make ~name:"stats: percentile stays within extrema for any p" ~count:200
+    QCheck.(
+      pair
+        (list_of_size Gen.(int_range 1 50) (float_bound_exclusive 1e6))
+        (float_bound_inclusive 300.0))
+    (fun (xs, p) ->
+      let s = Stats.create () in
+      List.iter (Stats.add s) xs;
+      let v = Stats.percentile s (p -. 100.0) in
+      Stats.min s <= v && v <= Stats.max s)
+
 (* ---- Hashutil ---- *)
 
 let test_fnv_known () =
@@ -116,6 +156,9 @@ let suite =
     ("stats order independent", `Quick, test_stats_order_independent);
     ("stats to_list", `Quick, test_stats_to_list);
     ("stats summary", `Quick, test_stats_summary);
+    ("stats percentile out of range", `Quick, test_stats_percentile_out_of_range);
+    QCheck_alcotest.to_alcotest prop_stats_single_sample;
+    QCheck_alcotest.to_alcotest prop_stats_percentile_bounded;
     ("fnv known", `Quick, test_fnv_known);
     ("fnv differs", `Quick, test_fnv_differs);
     ("fnv bytes window", `Quick, test_fnv_bytes_window);
