@@ -11,6 +11,7 @@
      A1  ablation: selective vs whole-message symbolization (§3.2)
      A2  ablation: exploration search strategies
      P1  parallel exploration: worker scaling and solver-cache hit rate
+     P2  parallel cross-domain probing: fan-out scaling and verdict-cache hit rate
    plus a Bechamel micro-benchmark suite for the hot paths.
 
    By default everything runs at a laptop-friendly scale; set
@@ -512,6 +513,103 @@ let experiment_p1 () =
     [ 1; 2; 4 ]
 
 (* ------------------------------------------------------------------ *)
+(* P2: parallel cross-domain probing                                   *)
+(* ------------------------------------------------------------------ *)
+
+let experiment_p2 () =
+  section "P2" "parallel cross-domain probing: fan-out scaling and verdict-cache hit rate";
+  let explorer_side = Ipv4.of_string "10.0.2.1" in
+  let collector = Ipv4.of_string "10.0.3.2" in
+  let n_private = min 4_000 table_prefixes in
+  (* each agent wraps a loaded upstream so a single probe (restore a clone
+     of the whole table, import, inspect) costs milliseconds — the regime
+     where fanning probes out over domains pays off *)
+  let mk_agents n =
+    List.init n (fun i ->
+        let upstream =
+          Router.create
+            (Config_parser.parse
+               (Printf.sprintf
+                  "router id 10.0.2.2; local as %d;\n\
+                   protocol bgp provider { neighbor 10.0.2.1 as %d; import all; export none; }\n\
+                   protocol bgp collector { neighbor 10.0.3.2 as 64701; import all; export none; }"
+                  (64700 + i) Threerouter.provider_as))
+        in
+        let establish peer remote_as =
+          ignore (Router.handle_event upstream ~peer Fsm.Manual_start);
+          ignore (Router.handle_event upstream ~peer Fsm.Tcp_connected);
+          ignore
+            (Router.handle_msg upstream ~peer
+               (Msg.Open
+                  { Msg.version = 4; my_as = remote_as land 0xFFFF; hold_time = 90;
+                    bgp_id = peer; capabilities = [ Msg.Cap_as4 remote_as ] }));
+          ignore (Router.handle_msg upstream ~peer Msg.Keepalive)
+        in
+        establish explorer_side Threerouter.provider_as;
+        establish collector 64701;
+        ignore
+          (Replay.feed_dump upstream ~peer:collector ~next_hop:collector
+             (Gen.generate
+                { Gen.default_params with Gen.n_prefixes = n_private; collector_as = 64701 }));
+        Distributed.agent
+          ~name:(Printf.sprintf "upstream-%d" i)
+          ~addr:Threerouter.internet_addr ~explorer_addr:explorer_side upstream)
+  in
+  let probe_msg i =
+    Msg.Update
+      { Msg.withdrawn = [];
+        attrs =
+          Route.to_attrs
+            (Route.make ~origin:Attr.Igp
+               ~as_path:
+                 [ Asn.Path.Seq [ Threerouter.provider_as; Threerouter.customer_as ] ]
+               ~next_hop:explorer_side ());
+        nlri = [ p (Printf.sprintf "198.51.%d.0/24" (i mod 256)) ];
+      }
+  in
+  let n_probes = 64 in
+  row "machine offers %d domain(s); %d distinct probes across 2 agents per level\n"
+    (Dice_exec.Pool.available_parallelism ()) (2 * n_probes);
+  row "%-10s %-12s %-8s %s\n" "workers" "wall (ms)" "speedup" "verdicts";
+  (* fresh agents per jobs level: a shared verdict cache would let later
+     levels answer from memory and fake the scaling *)
+  let base = ref Float.nan in
+  List.iter
+    (fun jobs ->
+      let agents = mk_agents 2 in
+      let reqs =
+        List.concat_map
+          (fun a -> List.init n_probes (fun i -> (a, explorer_side, probe_msg i)))
+          agents
+      in
+      let t0 = Unix.gettimeofday () in
+      let verdicts = Distributed.probe_all ~jobs reqs in
+      let t = Unix.gettimeofday () -. t0 in
+      if jobs = 1 then base := t;
+      row "%-10d %-12.2f %-8s %d\n" jobs (1000.0 *. t)
+        (Printf.sprintf "%.2fx" (!base /. t))
+        (List.length (List.concat verdicts)))
+    [ 1; 2; 4 ];
+  (* repeated-message workload: while the remote's live router stands
+     still, re-probes of the same (from, message) pair answer from the
+     per-agent verdict cache without touching a clone *)
+  let agent = List.hd (mk_agents 1) in
+  let distinct = 8 in
+  let reqs =
+    List.init (8 * distinct) (fun i -> (agent, explorer_side, probe_msg (i mod distinct)))
+  in
+  let t0 = Unix.gettimeofday () in
+  ignore (Distributed.probe_all ~jobs:4 reqs);
+  row
+    "repeated-message workload (%d probes of %d messages): %.2f ms, %d vcache hit(s) \
+     (%.1f%% hit rate)\n"
+    (Distributed.probes_performed agent)
+    distinct
+    (1000.0 *. (Unix.gettimeofday () -. t0))
+    (Distributed.vcache_hits agent)
+    (100.0 *. Distributed.vcache_hit_rate agent)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -659,7 +757,7 @@ let experiment_x1 () =
   in
   let cfg =
     { Orchestrator.default_cfg with
-      Orchestrator.checkers = [ Hijack.checker; Distributed.checker ~agents:[ agent ] ];
+      Orchestrator.checkers = [ Hijack.checker; Distributed.checker ~agents:[ agent ] () ];
       explorer =
         { Explorer.default_config with Explorer.max_runs = 256; max_depth = 96 };
     }
@@ -740,6 +838,7 @@ let () =
   experiment_a1 ();
   experiment_a2 ();
   experiment_p1 ();
+  experiment_p2 ();
   experiment_x1 ();
   experiment_x2 ();
   micro_benchmarks ();

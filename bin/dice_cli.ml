@@ -50,6 +50,67 @@ let jobs_arg =
           "Worker domains for parallel exploration (default: what the \
            machine offers). 1 disables parallelism.")
 
+let agents_arg =
+  Arg.(
+    value
+    & opt int 0
+    & info [ "agents" ] ~docv:"N"
+        ~doc:
+          "Simulated cooperating remote domains (paper \u{00a7}2.4): each is an \
+           upstream router with a private table, probed across the domain \
+           boundary through the narrow verdict interface, $(b,--jobs) probes \
+           at a time. 0 disables cross-domain probing.")
+
+(* A cooperating upstream in another administrative domain: reachable at
+   the provider's internet peering, holding a private table (export none
+   toward the provider) that only remote probing can check against. Each
+   upstream routes different slices of 198.0.0.0/8 — the space the
+   partially-correct filter leaks. *)
+let mk_remote_agents n =
+  List.init n (fun i ->
+      let r =
+        Config_parser.parse
+          (Printf.sprintf
+             {|
+             router id 10.0.2.2;
+             local as %d;
+             protocol bgp provider { neighbor 10.0.2.1 as %d; import all; export none; }
+             protocol bgp collector { neighbor 10.0.3.2 as %d; import all; export all; }
+             |}
+             (Threerouter.internet_as + i) Threerouter.provider_as (64801 + i))
+        |> Router.create
+      in
+      let collector = Ipv4.of_string "10.0.3.2" in
+      let establish peer remote_as =
+        ignore (Router.handle_event r ~peer Fsm.Manual_start);
+        ignore (Router.handle_event r ~peer Fsm.Tcp_connected);
+        ignore
+          (Router.handle_msg r ~peer
+             (Msg.Open
+                { Msg.version = 4; my_as = remote_as land 0xFFFF; hold_time = 90;
+                  bgp_id = peer; capabilities = [ Msg.Cap_as4 remote_as ] }));
+        ignore (Router.handle_msg r ~peer Msg.Keepalive)
+      in
+      establish Threerouter.provider_addr_internet_side Threerouter.provider_as;
+      establish collector (64801 + i);
+      List.iter
+        (fun (prefix, origin) ->
+          let route =
+            Route.make ~origin:Attr.Igp
+              ~as_path:[ Asn.Path.Seq [ 64801 + i; origin ] ]
+              ~next_hop:collector ()
+          in
+          ignore
+            (Router.handle_msg r ~peer:collector
+               (Msg.Update
+                  { withdrawn = []; attrs = Route.to_attrs route; nlri = [ Prefix.of_string prefix ] })))
+        [ (Printf.sprintf "198.%d.0.0/16" (16 * i), 64900 + i);
+          (Printf.sprintf "198.%d.0.0/14" (64 + (4 * i)), 64950 + i) ];
+      Distributed.agent
+        ~name:(Printf.sprintf "upstream-%d" i)
+        ~addr:Threerouter.internet_addr
+        ~explorer_addr:Threerouter.provider_addr_internet_side r)
+
 let trace_of ~seed ~prefixes =
   Dice_trace.Gen.generate
     { Dice_trace.Gen.default_params with Dice_trace.Gen.seed; n_prefixes = prefixes }
@@ -150,11 +211,12 @@ let run_cmd =
 
 (* ---------------- detect-leaks ---------------- *)
 
-let detect_leaks filtering seed prefixes runs jobs json =
+let detect_leaks filtering seed prefixes runs jobs agents json =
   let topo, _, n = build_loaded ~filtering ~seed ~prefixes in
   Printf.printf "table loaded: %d routes; filtering=%s\n" n
     (Threerouter.filtering_to_string filtering);
   let provider = Threerouter.provider_router topo in
+  let remote_agents = mk_remote_agents (max 0 agents) in
   let cfg =
     { Orchestrator.default_cfg with
       Orchestrator.explorer =
@@ -162,6 +224,7 @@ let detect_leaks filtering seed prefixes runs jobs json =
           Dice_concolic.Explorer.max_runs = runs;
           max_depth = 96;
         };
+      agents = remote_agents;
       jobs = max 1 jobs;
     }
   in
@@ -172,6 +235,16 @@ let detect_leaks filtering seed prefixes runs jobs json =
   let report = Orchestrator.explore dice in
   if json then print_endline (Dice_util.Json.to_string ~indent:true (Report.report_json report))
   else print_string (Report.to_text report);
+  List.iter
+    (fun a ->
+      Printf.printf
+        "remote agent %s: %d probes, %d checkpoint(s), vcache %d hit(s) (%.1f%% hit rate)\n"
+        (Distributed.agent_name a)
+        (Distributed.probes_performed a)
+        (Distributed.checkpoints_taken a)
+        (Distributed.vcache_hits a)
+        (100.0 *. Distributed.vcache_hit_rate a))
+    remote_agents;
   if Hijack.leakable_summary report.Orchestrator.faults = [] then 0 else 1
 
 let detect_leaks_cmd =
@@ -179,10 +252,12 @@ let detect_leaks_cmd =
     (Cmd.info "detect-leaks"
        ~doc:
          "Run DiCE exploration on the provider and report hijackable prefix ranges \
-          (exit status 1 if any are found).")
+          (exit status 1 if any are found). With $(b,--agents), exploration \
+          outcomes are also probed at simulated cooperating remote domains over \
+          the worker pool.")
     Term.(
       const detect_leaks $ filtering_arg $ seed_arg $ prefixes_arg $ runs_arg
-      $ jobs_arg $ json_arg)
+      $ jobs_arg $ agents_arg $ json_arg)
 
 (* ---------------- explore-filter ---------------- *)
 

@@ -88,7 +88,7 @@ let () =
   in
   let cfg =
     { Orchestrator.default_cfg with
-      Orchestrator.checkers = [ Hijack.checker; Distributed.checker ~agents:[ agent ] ];
+      Orchestrator.checkers = [ Hijack.checker; Distributed.checker ~agents:[ agent ] () ];
       explorer =
         { Dice_concolic.Explorer.default_config with
           Dice_concolic.Explorer.max_runs = 256;

@@ -40,7 +40,10 @@ let observe_update t ~peer (u : Msg.update) =
   in
   if tapped && u.Msg.nlri <> [] then begin
     t.announcement_counter <- t.announcement_counter + 1;
-    if t.announcement_counter mod t.cfg.seed_sample = 0 || t.observed = 0 then begin
+    (* [attach] normalizes [seed_sample] to >= 1, but guard the modulus
+       anyway: a zero here is a Division_by_zero on the live message path *)
+    let sample = max 1 t.cfg.seed_sample in
+    if t.announcement_counter mod sample = 0 || t.observed = 0 then begin
       t.observed <- t.observed + 1;
       Orchestrator.observe_update t.dice ~peer u
     end
@@ -72,6 +75,9 @@ let rec schedule t =
         end)
 
 let attach ?(cfg = default_cfg) node =
+  (* clamp rather than raise: a <= 0 sample means "observe everything",
+     the closest sensible reading of the operator's intent *)
+  let cfg = { cfg with seed_sample = max 1 cfg.seed_sample } in
   let t =
     {
       cfg;

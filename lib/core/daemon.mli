@@ -16,7 +16,9 @@ type cfg = {
   orchestrator : Orchestrator.cfg;
   explore_every : float;  (** virtual seconds between exploration episodes *)
   min_seeds : int;  (** skip an episode when fewer seeds are pending *)
-  seed_sample : int;  (** observe every [n]-th announcement (1 = all) *)
+  seed_sample : int;
+      (** observe every [n]-th announcement; values [<= 1] (clamped by
+          {!attach}) observe everything *)
   observe_peers : Ipv4.t list option;
       (** only tap these sessions; [None] taps every session *)
 }
@@ -30,7 +32,12 @@ type t
 
 val attach : ?cfg:cfg -> Router_node.t -> t
 (** Start continuous testing on a node. Observation begins immediately;
-    the first exploration episode is scheduled [explore_every] from now. *)
+    the first exploration episode is scheduled [explore_every] from now.
+    [cfg.seed_sample] is validated here: non-positive values are clamped
+    to 1 (observe every announcement). Cooperating remote agents in
+    [cfg.orchestrator.agents] are forwarded to every exploration episode,
+    so cross-domain probing happens continuously, not just in one-shot
+    runs. *)
 
 val stop : t -> unit
 (** Stop scheduling further episodes (the current simulation keeps

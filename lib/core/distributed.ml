@@ -1,21 +1,14 @@
 open Dice_inet
 open Dice_bgp
 
-type agent = {
-  name : string;
-  addr : Ipv4.t;
-  explorer_addr : Ipv4.t;
-  live : Router.t;
-  mutable cache : (bytes * int) option;  (* image, updates counter at capture *)
-  mutable probes : int;
-  mutable checkpoints : int;
-}
-
-let agent ~name ~addr ~explorer_addr live =
-  { name; addr; explorer_addr; live; cache = None; probes = 0; checkpoints = 0 }
-
-let agent_name t = t.name
-let agent_addr t = t.addr
+(* Verdicts are memoized per agent, keyed on the canonicalized probe —
+   the session the message claims to arrive on plus the message's wire
+   encoding (two structurally different ASTs that encode identically are
+   the same probe). Entries are stamped with the live router's
+   [updates_processed] version; when the remote node moves on, the next
+   probe presents a newer version and the stale verdict evicts itself
+   (see {!Dice_exec.Vcache}). *)
+type vkey = Ipv4.t * bytes
 
 type verdict = {
   accepted : bool;
@@ -25,155 +18,221 @@ type verdict = {
   would_propagate : int;
 }
 
+type agent = {
+  name : string;
+  addr : Ipv4.t;
+  explorer_addr : Ipv4.t;
+  live : Router.t;
+  lock : Mutex.t;  (* guards [cache]; probes run on any worker domain *)
+  mutable cache : (bytes * int) option;  (* image, updates counter at capture *)
+  probes : int Atomic.t;
+  checkpoints : int Atomic.t;
+  vcache : (vkey, (Prefix.t * verdict) list) Dice_exec.Vcache.t;
+}
+
+let agent ~name ~addr ~explorer_addr live =
+  {
+    name;
+    addr;
+    explorer_addr;
+    live;
+    lock = Mutex.create ();
+    cache = None;
+    probes = Atomic.make 0;
+    checkpoints = Atomic.make 0;
+    vcache = Dice_exec.Vcache.create ();
+  }
+
+let agent_name t = t.name
+let agent_addr t = t.addr
+
 (* The remote node's checkpoint of its own state — taken by the agent,
-   never shipped to the exploring node. *)
+   never shipped to the exploring node. The mutex covers the check-then-
+   capture window so concurrent probes share one checkpoint instead of
+   each taking their own. *)
 let checkpoint_image t =
+  Mutex.lock t.lock;
   let version = Router.updates_processed t.live in
-  match t.cache with
-  | Some (image, v) when v = version -> image
-  | Some _ | None ->
-    let image = Router.snapshot t.live in
-    t.cache <- Some (image, version);
-    t.checkpoints <- t.checkpoints + 1;
-    image
+  let image =
+    match t.cache with
+    | Some (image, v) when v = version -> image
+    | Some _ | None ->
+      let image = Router.snapshot t.live in
+      t.cache <- Some (image, version);
+      Atomic.incr t.checkpoints;
+      image
+  in
+  Mutex.unlock t.lock;
+  image
 
 let in_whitelist anycast prefix = List.exists (fun a -> Prefix.subsumes a prefix) anycast
+
+let probe_uncached t ~from (u : Msg.update) msg =
+  let clone = Router.restore (Router.config t.live) (checkpoint_image t) in
+  let pre = Router.loc_rib clone in
+  let anycast = (Router.config t.live).Config_types.anycast in
+  let announced_origin =
+    match Route.of_attrs u.Msg.attrs with
+    | Ok route -> Route.origin_as route
+    | Error _ -> None
+  in
+  (* process over the isolated clone; outputs are never delivered *)
+  let outs = Router.handle_msg clone ~peer:from msg in
+  List.map
+    (fun prefix ->
+      let accepted =
+        match Router.adj_rib_in clone from with
+        | Some adj -> Rib.Adj.find_opt prefix adj <> None
+        | None -> false
+      in
+      let installed =
+        match Router.best_route clone prefix with
+        | Some e -> e.Rib.Loc.src.Route.peer_addr = from
+        | None -> false
+      in
+      let foreign_origin (e : Rib.Loc.entry) =
+        match (Route.origin_as e.Rib.Loc.route, announced_origin) with
+        | Some old_as, Some new_as -> old_as <> new_as
+        | Some _, None -> true
+        | None, _ -> false
+      in
+      let whitelisted = in_whitelist anycast prefix in
+      let origin_conflict =
+        accepted && (not whitelisted)
+        && List.exists (fun (_, e) -> foreign_origin e) (Rib.Loc.covering prefix pre)
+      in
+      (* the announcement claims a super-block of space the remote node
+         routes to other origins: a coverage leak (traffic for the
+         uncovered gaps inside the block would be diverted) *)
+      let covers_foreign =
+        if accepted && not whitelisted then
+          List.length
+            (List.filter
+               (fun ((q, e) : Prefix.t * Rib.Loc.entry) ->
+                 (not (Prefix.equal q prefix)) && foreign_origin e)
+               (Rib.Loc.covered prefix pre))
+        else 0
+      in
+      let would_propagate =
+        List.length
+          (List.filter
+             (fun o ->
+               match o with
+               | Router.To_peer (dst, Msg.Update u') ->
+                 dst <> from && List.mem prefix u'.Msg.nlri
+               | Router.To_peer _ | Router.Connect_request _ | Router.Close_connection _
+               | Router.Set_timer _ | Router.Clear_timer _ | Router.Session_up _
+               | Router.Session_down _ ->
+                 false)
+             outs)
+      in
+      (prefix, { accepted; installed; origin_conflict; covers_foreign; would_propagate }))
+    u.Msg.nlri
 
 let probe t ~from msg =
   match msg with
   | Msg.Update u when u.Msg.nlri <> [] -> begin
-    t.probes <- t.probes + 1;
-    let clone = Router.restore (Router.config t.live) (checkpoint_image t) in
-    let pre = Router.loc_rib clone in
-    let anycast = (Router.config t.live).Config_types.anycast in
-    let announced_origin =
-      match Route.of_attrs u.Msg.attrs with
-      | Ok route -> Route.origin_as route
-      | Error _ -> None
-    in
-    (* process over the isolated clone; outputs are never delivered *)
-    let outs = Router.handle_msg clone ~peer:from msg in
-    List.map
-      (fun prefix ->
-        let accepted =
-          match Router.adj_rib_in clone from with
-          | Some adj -> Rib.Adj.find_opt prefix adj <> None
-          | None -> false
-        in
-        let installed =
-          match Router.best_route clone prefix with
-          | Some e -> e.Rib.Loc.src.Route.peer_addr = from
-          | None -> false
-        in
-        let foreign_origin (e : Rib.Loc.entry) =
-          match (Route.origin_as e.Rib.Loc.route, announced_origin) with
-          | Some old_as, Some new_as -> old_as <> new_as
-          | Some _, None -> true
-          | None, _ -> false
-        in
-        let whitelisted = in_whitelist anycast prefix in
-        let origin_conflict =
-          accepted && (not whitelisted)
-          && List.exists (fun (_, e) -> foreign_origin e) (Rib.Loc.covering prefix pre)
-        in
-        (* the announcement claims a super-block of space the remote node
-           routes to other origins: a coverage leak (traffic for the
-           uncovered gaps inside the block would be diverted) *)
-        let covers_foreign =
-          if accepted && not whitelisted then
-            List.length
-              (List.filter
-                 (fun ((q, e) : Prefix.t * Rib.Loc.entry) ->
-                   (not (Prefix.equal q prefix)) && foreign_origin e)
-                 (Rib.Loc.covered prefix pre))
-          else 0
-        in
-        let would_propagate =
-          List.length
-            (List.filter
-               (fun o ->
-                 match o with
-                 | Router.To_peer (dst, Msg.Update u') ->
-                   dst <> from && List.mem prefix u'.Msg.nlri
-                 | Router.To_peer _ | Router.Connect_request _ | Router.Close_connection _
-                 | Router.Set_timer _ | Router.Clear_timer _ | Router.Session_up _
-                 | Router.Session_down _ ->
-                   false)
-               outs)
-        in
-        { accepted; installed; origin_conflict; covers_foreign; would_propagate })
-      u.Msg.nlri
+    Atomic.incr t.probes;
+    let version = Router.updates_processed t.live in
+    let key = (from, Msg.encode msg) in
+    match Dice_exec.Vcache.find t.vcache ~version key with
+    | Some verdicts -> verdicts
+    | None ->
+      let verdicts = probe_uncached t ~from u msg in
+      Dice_exec.Vcache.store t.vcache ~version key verdicts;
+      verdicts
   end
   | Msg.Update _ | Msg.Open _ | Msg.Notification _ | Msg.Keepalive -> []
 
-let probes_performed t = t.probes
-let checkpoints_taken t = t.checkpoints
+let probe_all ?(jobs = 1) reqs =
+  Dice_exec.Pool.map ~jobs:(max 1 jobs)
+    (fun (a, from, msg) -> probe a ~from msg)
+    reqs
 
-let checker ~agents =
-  let agent_of addr = List.find_opt (fun a -> a.addr = addr) agents in
+let probes_performed t = Atomic.get t.probes
+let checkpoints_taken t = Atomic.get t.checkpoints
+let vcache_hits t = Dice_exec.Vcache.hits t.vcache
+let vcache_hit_rate t = Dice_exec.Vcache.hit_rate t.vcache
+
+let checker ?(jobs = 1) ~agents () =
+  let agents_of addr = List.filter (fun a -> a.addr = addr) agents in
   let check (cctx : Checker.context) (outcome : Router.import_outcome) =
     if not outcome.Router.accepted then []
-    else
-      List.concat_map
-        (fun output ->
-          match output with
-          | Router.To_peer (dst, (Msg.Update _ as msg)) -> begin
-            match agent_of dst with
-            | None -> []
-            | Some a ->
-              let from = a.explorer_addr in
-              List.concat_map
-                  (fun v ->
-                    let base_details =
-                      [ ("remote-node", a.name);
-                        ("remote-accepted", string_of_bool v.accepted);
-                        ("remote-installed", string_of_bool v.installed);
-                        ("propagates-to", string_of_int v.would_propagate);
-                        ("via-peer", Ipv4.to_string cctx.Checker.peer);
-                      ]
-                    in
-                    let coverage =
-                      if v.covers_foreign > 0 then
-                        [ { Checker.checker = "remote-coverage-leak";
-                            severity = Checker.Critical;
-                            prefix = outcome.Router.prefix;
-                            description =
-                              Printf.sprintf
-                                "explored announcement covers %d remote route(s) with other origins"
-                                v.covers_foreign;
-                            details = base_details;
-                          } ]
-                      else []
-                    in
-                    let conflicts =
-                      if v.origin_conflict then
-                        [ { Checker.checker = "remote-origin-conflict";
-                            severity = Checker.Critical;
-                            prefix = outcome.Router.prefix;
-                            description =
-                              "explored announcement overrides origins at a remote node";
-                            details = base_details;
-                          } ]
-                      else []
-                    in
-                    let propagation =
-                      if v.accepted && v.would_propagate > 0 then
-                        [ { Checker.checker = "remote-propagation";
-                            severity = Checker.Warning;
-                            prefix = outcome.Router.prefix;
-                            description =
-                              "remote node would re-advertise the exploratory route";
-                            details = base_details;
-                          } ]
-                      else []
-                    in
-                    conflicts @ coverage @ propagation)
-                  (probe a ~from msg)
-          end
-          | Router.To_peer _ | Router.Connect_request _ | Router.Close_connection _
-          | Router.Set_timer _ | Router.Clear_timer _ | Router.Session_up _
-          | Router.Session_down _ ->
-            [])
-        outcome.Router.outputs
+    else begin
+      (* Collect every (agent, message) pair first — probes are
+         independent request/verdict exchanges, so they shard across
+         worker domains; [Pool.map] keeps verdict order equal to request
+         order, which keeps the merged finding list deterministic
+         whatever the schedule. *)
+      let requests =
+        List.concat_map
+          (fun output ->
+            match output with
+            | Router.To_peer (dst, (Msg.Update _ as msg)) ->
+              List.map (fun a -> (a, msg)) (agents_of dst)
+            | Router.To_peer _ | Router.Connect_request _ | Router.Close_connection _
+            | Router.Set_timer _ | Router.Clear_timer _ | Router.Session_up _
+            | Router.Session_down _ ->
+              [])
+          outcome.Router.outputs
+      in
+      let verdicts =
+        probe_all ~jobs
+          (List.map (fun (a, msg) -> (a, a.explorer_addr, msg)) requests)
+      in
+      List.concat
+        (List.map2
+           (fun (a, _msg) per_prefix ->
+             List.concat_map
+               (fun (remote_prefix, v) ->
+                 let base_details =
+                   [ ("remote-node", a.name);
+                     ("remote-prefix", Prefix.to_string remote_prefix);
+                     ("local-prefix", Prefix.to_string outcome.Router.prefix);
+                     ("remote-accepted", string_of_bool v.accepted);
+                     ("remote-installed", string_of_bool v.installed);
+                     ("propagates-to", string_of_int v.would_propagate);
+                     ("via-peer", Ipv4.to_string cctx.Checker.peer);
+                   ]
+                 in
+                 let coverage =
+                   if v.covers_foreign > 0 then
+                     [ { Checker.checker = "remote-coverage-leak";
+                         severity = Checker.Critical;
+                         prefix = remote_prefix;
+                         description =
+                           Printf.sprintf
+                             "explored announcement covers %d remote route(s) with other origins"
+                             v.covers_foreign;
+                         details = base_details;
+                       } ]
+                   else []
+                 in
+                 let conflicts =
+                   if v.origin_conflict then
+                     [ { Checker.checker = "remote-origin-conflict";
+                         severity = Checker.Critical;
+                         prefix = remote_prefix;
+                         description =
+                           "explored announcement overrides origins at a remote node";
+                         details = base_details;
+                       } ]
+                   else []
+                 in
+                 let propagation =
+                   if v.accepted && v.would_propagate > 0 then
+                     [ { Checker.checker = "remote-propagation";
+                         severity = Checker.Warning;
+                         prefix = remote_prefix;
+                         description =
+                           "remote node would re-advertise the exploratory route";
+                         details = base_details;
+                       } ]
+                   else []
+                 in
+                 conflicts @ coverage @ propagation)
+               per_prefix)
+           requests verdicts)
+    end
   in
   { Checker.name = "distributed"; check }

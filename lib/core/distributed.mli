@@ -16,9 +16,15 @@
       state or configuration;
     - {!probe} lets the exploring node submit one exploration message.
       The agent checkpoints its own live router, processes the message on
-      an isolated clone, and answers with a {!verdict} — three booleans
-      and a count. No RIB contents, no filters, no origin data cross the
-      boundary;
+      an isolated clone, and answers with a {!verdict} {e per announced
+      prefix} — three booleans and two counts. No RIB contents, no
+      filters, no origin data cross the boundary;
+    - probes are independent request/verdict exchanges over a narrow
+      interface, so they shard naturally: {!probe_all} fans a batch out
+      over the {!Dice_exec.Pool} worker pool, and each agent memoizes
+      repeated verdict queries in a versioned {!Dice_exec.Vcache}
+      (invalidated the moment the remote live router processes an
+      update);
     - {!checker} packages remote probing as a fault checker: every
       message an exploration run would send to a neighbor with an agent
       is forwarded (from the interception sandbox, never the live
@@ -36,7 +42,8 @@ val agent : name:string -> addr:Ipv4.t -> explorer_addr:Ipv4.t -> Router.t -> ag
     process, and that knows the exploring node as its neighbor
     [explorer_addr]. The agent checkpoints [router] lazily and
     re-checkpoints when the live router has processed new updates
-    since. *)
+    since. Agents are domain-safe: concurrent probes from worker domains
+    share one checkpoint and count through atomic counters. *)
 
 val agent_name : agent -> string
 val agent_addr : agent -> Ipv4.t
@@ -57,19 +64,42 @@ type verdict = {
           on — the blast radius *)
 }
 
-val probe : agent -> from:Ipv4.t -> Msg.t -> verdict list
+val probe : agent -> from:Ipv4.t -> Msg.t -> (Prefix.t * verdict) list
 (** Submit one exploration message as if it arrived on the session with
-    [from] (the exploring node's address on that peering). One verdict
-    per announced prefix; empty for non-UPDATE messages or pure
-    withdrawals. The agent's live router is never mutated. *)
+    [from] (the exploring node's address on that peering). One
+    [(prefix, verdict)] pair per announced prefix, in NLRI order — the
+    pairing is what lets a multi-prefix exploratory UPDATE attribute each
+    verdict to the remote prefix it concerns. Empty for non-UPDATE
+    messages or pure withdrawals. The agent's live router is never
+    mutated. Repeated probes of the same canonicalized [(from, message)]
+    answer from the agent's verdict cache until the remote live router
+    processes another update. *)
+
+val probe_all :
+  ?jobs:int -> (agent * Ipv4.t * Msg.t) list -> (Prefix.t * verdict) list list
+(** [probe_all ~jobs reqs] probes every [(agent, from, msg)] request,
+    sharding them across [jobs] worker domains ([1], the default, stays
+    on the calling domain). Results are in request order regardless of
+    schedule, and each equals what the corresponding sequential {!probe}
+    would return. *)
 
 val probes_performed : agent -> int
 val checkpoints_taken : agent -> int
 
-val checker : agents:agent list -> Checker.t
+val vcache_hits : agent -> int
+(** Probes answered from the agent's verdict cache. *)
+
+val vcache_hit_rate : agent -> float
+(** Fraction of probes answered from the verdict cache; [0.] before any
+    probe. *)
+
+val checker : ?jobs:int -> agents:agent list -> unit -> Checker.t
 (** A {!Checker.t} that extends every exploration outcome across the
     network: each [To_peer] message the outcome would send to an agent's
-    address is probed remotely. Findings:
+    address is probed remotely — at every agent registered for that
+    address, [jobs] probes at a time (default [1]). Findings carry the
+    {e remote} prefix the verdict concerns (also under a [remote-prefix]
+    detail, with the locally explored prefix under [local-prefix]):
     - [remote-origin-conflict] (critical): the explored announcement
       would override origins at the remote node — the local node could
       not have detected this, the conflicting route exists only in the

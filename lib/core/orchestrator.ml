@@ -16,6 +16,7 @@ type cfg = {
   mode : Symbolize.mode;
   max_seeds : int;
   checkers : Checker.t list;
+  agents : Distributed.agent list;
   clone_samples : int;
   jobs : int;
 }
@@ -28,6 +29,7 @@ let default_cfg =
     mode = Symbolize.Selective;
     max_seeds = 4;
     checkers = [ Hijack.checker ];
+    agents = [];
     clone_samples = 4;
     jobs = 1;
   }
@@ -39,7 +41,18 @@ type t = {
   mutable seed_counter : int;
 }
 
-let create ?(cfg = default_cfg) live = { live; cfg; rev_seeds = []; seed_counter = 0 }
+let create ?(cfg = default_cfg) live =
+  (* Cooperating remote agents become one more checker: every exploration
+     outcome is probed across the domain boundary, [cfg.jobs] probes at a
+     time over the worker pool. *)
+  let cfg =
+    match cfg.agents with
+    | [] -> cfg
+    | agents ->
+      { cfg with
+        checkers = cfg.checkers @ [ Distributed.checker ~jobs:cfg.jobs ~agents () ] }
+  in
+  { live; cfg; rev_seeds = []; seed_counter = 0 }
 
 let router t = t.live
 

@@ -32,6 +32,12 @@ type cfg = {
   mode : Symbolize.mode;
   max_seeds : int;  (** most recent seeds explored per {!explore} call *)
   checkers : Checker.t list;
+  agents : Distributed.agent list;
+      (** cooperating remote domains: when non-empty, a
+          {!Distributed.checker} over these agents is appended to
+          [checkers], so every exploration outcome is probed across the
+          domain boundary — [jobs] probes at a time over the worker
+          pool *)
   clone_samples : int;  (** CoW-cost samples collected per seed *)
   jobs : int;
       (** worker domains for seed-level parallelism: each pending seed
@@ -42,8 +48,8 @@ type cfg = {
 
 val default_cfg : cfg
 (** DFS explorer (96 runs, depth 64), 4 KiB pages, selective
-    symbolization, 4 seeds, the {!Hijack.checker}, 4 clone samples,
-    1 job. *)
+    symbolization, 4 seeds, the {!Hijack.checker}, no remote agents,
+    4 clone samples, 1 job. *)
 
 type t
 

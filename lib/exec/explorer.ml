@@ -93,7 +93,10 @@ let run_parallel ?(config = E.default_config) ?qcache ~jobs program =
          authoritative claim happens when a worker pops the job. *)
       for idx = bound to n - 1 do
         if not (Dedup.mem attempted (E.attempt_key path idx)) then
-          Jobq.push queue { parent_path = path; parent_seeds = seeds; hint; idx }
+          (* a [false] return means the budget closed the queue: the
+             child is intentionally abandoned, nothing to account *)
+          ignore
+            (Jobq.push queue { parent_path = path; parent_seeds = seeds; hint; idx })
       done
     in
     let process (tally : Merge.worker_tally) job =

@@ -66,7 +66,10 @@ let shard_pop t s =
 
 let push t x =
   Mutex.lock t.master;
-  if t.closed then Mutex.unlock t.master
+  if t.closed then begin
+    Mutex.unlock t.master;
+    false
+  end
   else begin
     t.inflight <- t.inflight + 1;
     Mutex.unlock t.master;
@@ -74,7 +77,8 @@ let push t x =
     shard_push t t.shards.(i mod Array.length t.shards) x;
     Mutex.lock t.master;
     Condition.signal t.wake;
-    Mutex.unlock t.master
+    Mutex.unlock t.master;
+    true
   end
 
 (* Scan every shard once, starting from a rotating cursor. *)

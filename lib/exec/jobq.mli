@@ -23,10 +23,11 @@ val create : ?shards:int -> ?mode:[ `Fifo | `Lifo ] -> unit -> 'a t
     newest-first order depth-first exploration wants.
     @raise Invalid_argument if [shards < 1]. *)
 
-val push : 'a t -> 'a -> unit
-(** Enqueue an item and account it in-flight. Pushing to a closed queue is
-    a no-op (the item is dropped): by then the consumers have decided no
-    further work is wanted. *)
+val push : 'a t -> 'a -> bool
+(** Enqueue an item and account it in-flight; [true] on success. Pushing
+    to a closed queue returns [false] and drops the item: by then the
+    consumers have decided no further work is wanted — but the caller gets
+    to know, instead of the drop being silent. *)
 
 val pop : 'a t -> 'a option
 (** Dequeue an item, blocking while the queue is empty but work is still

@@ -8,12 +8,18 @@ let run ~jobs f =
     let domains =
       List.init jobs (fun w ->
           Domain.spawn (fun () ->
-              try f w with exn -> failures.(w) <- Some exn))
+              try f w
+              with exn ->
+                (* captured in the worker, where the original trace still
+                   exists — [raise] after the join would rebuild it from
+                   the joining domain's (useless) stack *)
+                let bt = Printexc.get_raw_backtrace () in
+                failures.(w) <- Some (exn, bt)))
     in
     List.iter Domain.join domains;
     Array.iter
       (function
-        | Some exn -> raise exn
+        | Some (exn, bt) -> Printexc.raise_with_backtrace exn bt
         | None -> ())
       failures
   end

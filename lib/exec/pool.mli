@@ -17,7 +17,7 @@ val run : jobs:int -> (int -> unit) -> unit
     each, and waits for all of them. [f] receives its worker index.
     [jobs = 1] runs [f 0] on the calling domain (no spawn). If any worker
     raises, the first exception (by worker index) is re-raised after all
-    workers have joined.
+    workers have joined, with the worker's original backtrace attached.
     @raise Invalid_argument if [jobs < 1]. *)
 
 val map : jobs:int -> ('a -> 'b) -> 'a list -> 'b list

@@ -3,6 +3,7 @@ module Pool = Dice_exec.Pool
 module Jobq = Dice_exec.Jobq
 module Dedup = Dice_exec.Dedup
 module Qcache = Dice_exec.Qcache
+module Vcache = Dice_exec.Vcache
 module Explorer = Dice_exec.Explorer
 module E = Dice_concolic.Explorer
 module Engine = Dice_concolic.Engine
@@ -39,7 +40,7 @@ let test_pool_jobs_exactly_once () =
   let q = Jobq.create ~shards:4 () in
   (* seed with even indices; workers push each job's odd successor *)
   for i = 0 to (n / 2) - 1 do
-    Jobq.push q (2 * i)
+    ignore (Jobq.push q (2 * i))
   done;
   Pool.run ~jobs:4 (fun _w ->
       let rec loop () =
@@ -47,7 +48,7 @@ let test_pool_jobs_exactly_once () =
         | None -> ()
         | Some i ->
           Atomic.incr counts.(i);
-          if i land 1 = 0 then Jobq.push q (i + 1);
+          if i land 1 = 0 then ignore (Jobq.push q (i + 1));
           Jobq.task_done q;
           loop ()
       in
@@ -71,19 +72,19 @@ let drain q =
 
 let test_jobq_fifo_order () =
   let q = Jobq.create ~shards:1 ~mode:`Fifo () in
-  List.iter (Jobq.push q) [ 1; 2; 3; 4 ];
+  List.iter (fun x -> ignore (Jobq.push q x)) [ 1; 2; 3; 4 ];
   Alcotest.(check (list int)) "fifo" [ 1; 2; 3; 4 ] (drain q)
 
 let test_jobq_lifo_order () =
   let q = Jobq.create ~shards:1 ~mode:`Lifo () in
-  List.iter (Jobq.push q) [ 1; 2; 3; 4 ];
+  List.iter (fun x -> ignore (Jobq.push q x)) [ 1; 2; 3; 4 ];
   Alcotest.(check (list int)) "lifo" [ 4; 3; 2; 1 ] (drain q)
 
 let test_jobq_close_drops () =
   let q = Jobq.create () in
-  Jobq.push q 1;
+  Alcotest.(check bool) "open push accepted" true (Jobq.push q 1);
   Jobq.close q;
-  Jobq.push q 2;
+  Alcotest.(check bool) "push after close refused" false (Jobq.push q 2);
   Alcotest.(check (option int)) "closed pop" None (Jobq.pop q);
   Alcotest.(check int) "push after close dropped" 0 (Jobq.length q)
 
@@ -174,6 +175,48 @@ let test_qcache_hit_rate () =
   ignore (Qcache.solve q ~hint cs);
   ignore (Qcache.solve q ~hint cs);
   Alcotest.(check (float 1e-9)) "2/3" (2.0 /. 3.0) (Qcache.hit_rate q)
+
+(* ---- Vcache ---- *)
+
+let test_vcache_hit_and_version_invalidation () =
+  let v : (string, int) Vcache.t = Vcache.create () in
+  Alcotest.(check (option int)) "cold" None (Vcache.find v ~version:0 "k");
+  Vcache.store v ~version:0 "k" 42;
+  Alcotest.(check (option int)) "same-version hit" (Some 42) (Vcache.find v ~version:0 "k");
+  (* the authoritative state moved: the entry is stale, evicted on sight *)
+  Alcotest.(check (option int)) "new version misses" None (Vcache.find v ~version:1 "k");
+  Alcotest.(check int) "stale entry evicted" 0 (Vcache.size v);
+  Vcache.store v ~version:1 "k" 7;
+  Alcotest.(check (option int)) "restored at the new version" (Some 7)
+    (Vcache.find v ~version:1 "k");
+  Alcotest.(check int) "hits" 2 (Vcache.hits v);
+  Alcotest.(check int) "misses" 2 (Vcache.misses v);
+  Alcotest.(check (float 1e-9)) "hit rate" 0.5 (Vcache.hit_rate v)
+
+let test_vcache_first_writer_wins_same_version () =
+  let v : (int, string) Vcache.t = Vcache.create ~shards:1 () in
+  Vcache.store v ~version:3 1 "first";
+  Vcache.store v ~version:3 1 "second";
+  Alcotest.(check (option string)) "first writer kept" (Some "first")
+    (Vcache.find v ~version:3 1);
+  (* a newer version replaces, not ties *)
+  Vcache.store v ~version:4 1 "fresh";
+  Alcotest.(check (option string)) "stale replaced" (Some "fresh")
+    (Vcache.find v ~version:4 1)
+
+let test_vcache_concurrent_store_find () =
+  let v : (int, int) Vcache.t = Vcache.create () in
+  let keys = 100 in
+  Pool.run ~jobs:4 (fun _w ->
+      for k = 0 to keys - 1 do
+        (match Vcache.find v ~version:0 k with
+        | Some cached -> Alcotest.(check int) "stable value" (k * 2) cached
+        | None -> Vcache.store v ~version:0 k (k * 2))
+      done);
+  Alcotest.(check int) "all keys resident" keys (Vcache.size v);
+  for k = 0 to keys - 1 do
+    Alcotest.(check (option int)) "value intact" (Some (k * 2)) (Vcache.find v ~version:0 k)
+  done
 
 (* ---- run_parallel vs sequential ---- *)
 
@@ -327,6 +370,10 @@ let suite =
     ("qcache canonicalization", `Quick, test_qcache_canonicalization);
     ("qcache caches unsat", `Quick, test_qcache_unsat_cached);
     ("qcache hit rate", `Quick, test_qcache_hit_rate);
+    ("vcache hit + version invalidation", `Quick, test_vcache_hit_and_version_invalidation);
+    ("vcache first writer wins per version", `Quick,
+      test_vcache_first_writer_wins_same_version);
+    ("vcache concurrent store/find", `Quick, test_vcache_concurrent_store_find);
     ("parallel matches sequential (all strategies)", `Quick,
       test_parallel_matches_sequential);
     ("parallel matches sequential (bench F1 program)", `Quick,

@@ -264,6 +264,25 @@ let test_daemon_detects_automatically () =
     (List.length (Daemon.faults daemon))
     !notified
 
+let test_daemon_zero_seed_sample_observes_everything () =
+  (* seed_sample <= 0 used to hit Division_by_zero on the live message
+     path (announcement_counter mod 0); attach now clamps it to 1 *)
+  let topo = daemon_testbed () in
+  let daemon =
+    Daemon.attach ~cfg:{ daemon_cfg with Daemon.seed_sample = 0 } topo.Threerouter.provider
+  in
+  customer_announces topo "203.0.113.0/24";
+  customer_announces topo "203.0.113.128/25";
+  ignore (Net.run ~until:(Net.now topo.Threerouter.net +. 10.0) topo.Threerouter.net);
+  Alcotest.(check int) "every announcement observed" 2 (Daemon.observed daemon);
+  let topo2 = daemon_testbed () in
+  let daemon2 =
+    Daemon.attach ~cfg:{ daemon_cfg with Daemon.seed_sample = -3 } topo2.Threerouter.provider
+  in
+  customer_announces topo2 "203.0.113.0/24";
+  ignore (Net.run ~until:(Net.now topo2.Threerouter.net +. 10.0) topo2.Threerouter.net);
+  Alcotest.(check int) "negative sample clamped too" 1 (Daemon.observed daemon2)
+
 let test_daemon_no_seeds_no_episode () =
   let topo = daemon_testbed () in
   let daemon = Daemon.attach ~cfg:daemon_cfg topo.Threerouter.provider in
@@ -309,6 +328,8 @@ let suite =
     ("validate: peer change rejected", `Quick, test_validate_peer_change_rejected);
     ("daemon detects automatically", `Slow, test_daemon_detects_automatically);
     ("daemon: no seeds, no episode", `Quick, test_daemon_no_seeds_no_episode);
+    ("daemon: zero/negative seed_sample observes everything", `Quick,
+      test_daemon_zero_seed_sample_observes_everything);
     ("daemon stop", `Quick, test_daemon_stop);
     ("daemon: live router untouched", `Slow, test_daemon_live_router_untouched)
   ]
