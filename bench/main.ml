@@ -12,6 +12,9 @@
      A2  ablation: exploration search strategies
      P1  parallel exploration: worker scaling and solver-cache hit rate
      P2  parallel cross-domain probing: fan-out scaling and verdict-cache hit rate
+     P3  probe RPC over the simulated wire: throughput vs link latency,
+         retry/timeout behavior under slow links and partitions
+         (machine-readable copy in BENCH_p3.json)
    plus a Bechamel micro-benchmark suite for the hot paths.
 
    By default everything runs at a laptop-friendly scale; set
@@ -553,7 +556,8 @@ let experiment_p2 () =
                 { Gen.default_params with Gen.n_prefixes = n_private; collector_as = 64701 }));
         Distributed.agent
           ~name:(Printf.sprintf "upstream-%d" i)
-          ~addr:Threerouter.internet_addr ~explorer_addr:explorer_side upstream)
+          ~addr:Threerouter.internet_addr ~explorer_addr:explorer_side
+          (Distributed.Local upstream))
   in
   let probe_msg i =
     Msg.Update
@@ -583,12 +587,12 @@ let experiment_p2 () =
           agents
       in
       let t0 = Unix.gettimeofday () in
-      let verdicts = Distributed.probe_all ~jobs reqs in
+      let answers = Distributed.probe_all ~jobs reqs in
       let t = Unix.gettimeofday () -. t0 in
       if jobs = 1 then base := t;
       row "%-10d %-12.2f %-8s %d\n" jobs (1000.0 *. t)
         (Printf.sprintf "%.2fx" (!base /. t))
-        (List.length (List.concat verdicts)))
+        (List.length (List.concat_map Distributed.verdicts answers)))
     [ 1; 2; 4 ];
   (* repeated-message workload: while the remote's live router stands
      still, re-probes of the same (from, message) pair answer from the
@@ -600,14 +604,137 @@ let experiment_p2 () =
   in
   let t0 = Unix.gettimeofday () in
   ignore (Distributed.probe_all ~jobs:4 reqs);
+  let s = Distributed.stats agent in
   row
     "repeated-message workload (%d probes of %d messages): %.2f ms, %d vcache hit(s) \
      (%.1f%% hit rate)\n"
-    (Distributed.probes_performed agent)
-    distinct
+    s.Distributed.probes distinct
     (1000.0 *. (Unix.gettimeofday () -. t0))
-    (Distributed.vcache_hits agent)
-    (100.0 *. Distributed.vcache_hit_rate agent)
+    s.Distributed.vcache_hits
+    (100.0 *. s.Distributed.vcache_hit_rate)
+
+(* ------------------------------------------------------------------ *)
+(* P3: probe RPC over the wire, across link qualities                  *)
+(* ------------------------------------------------------------------ *)
+
+let experiment_p3 () =
+  section "P3" "probe RPC throughput vs link latency (remote transport)";
+  let explorer_side = Ipv4.of_string "10.0.2.1" in
+  let collector = Ipv4.of_string "10.0.3.2" in
+  let upstream =
+    Router.create
+      (Config_parser.parse
+         (Printf.sprintf
+            "router id 10.0.2.2; local as 64700;\n\
+             protocol bgp provider { neighbor 10.0.2.1 as %d; import all; export none; }\n\
+             protocol bgp collector { neighbor 10.0.3.2 as 64701; import all; export none; }"
+            Threerouter.provider_as))
+  in
+  let establish peer remote_as =
+    ignore (Router.handle_event upstream ~peer Fsm.Manual_start);
+    ignore (Router.handle_event upstream ~peer Fsm.Tcp_connected);
+    ignore
+      (Router.handle_msg upstream ~peer
+         (Msg.Open
+            { Msg.version = 4; my_as = remote_as land 0xFFFF; hold_time = 90;
+              bgp_id = peer; capabilities = [ Msg.Cap_as4 remote_as ] }));
+    ignore (Router.handle_msg upstream ~peer Msg.Keepalive)
+  in
+  establish explorer_side Threerouter.provider_as;
+  establish collector 64701;
+  ignore
+    (Replay.feed_dump upstream ~peer:collector ~next_hop:collector
+       (Gen.generate
+          { Gen.default_params with Gen.n_prefixes = min 2_000 table_prefixes;
+            collector_as = 64701 }));
+  let net = Dice_sim.Network.create () in
+  let serving =
+    Distributed.agent ~name:"upstream" ~addr:Threerouter.internet_addr
+      ~explorer_addr:explorer_side (Distributed.Local upstream)
+  in
+  let srv = Distributed.serve net serving in
+  let cl = Probe_rpc.client net ~name:"bench-explorer" in
+  let requests n =
+    List.init n (fun i ->
+        Probe_wire.canonical_request ~from:explorer_side
+          (Msg.Update
+             { Msg.withdrawn = [];
+               attrs =
+                 Route.to_attrs
+                   (Route.make ~origin:Attr.Igp
+                      ~as_path:
+                        [ Asn.Path.Seq [ Threerouter.provider_as; Threerouter.customer_as ] ]
+                      ~next_hop:explorer_side ());
+               nlri = [ p (Printf.sprintf "198.51.%d.0/24" (i mod 256)) ];
+             }))
+  in
+  let n_probes = 64 in
+  (* a 20 ms timeout: plenty for the fast links, always too short for the
+     first attempt over the slow one — retries and backoff must recover *)
+  let config =
+    { Probe_rpc.default_config with Probe_rpc.timeout = 0.02; retries = 3 }
+  in
+  row "%d probes per level, %d in flight, timeout %.0f ms, %d retries\n" n_probes
+    config.Probe_rpc.max_in_flight
+    (1000.0 *. config.Probe_rpc.timeout)
+    config.Probe_rpc.retries;
+  row "%-14s %-12s %-12s %-14s %-9s %s\n" "latency (ms)" "wall (ms)" "virtual (s)"
+    "probes/s wall" "retries" "timeouts";
+  let json_rows = ref [] in
+  let level latency =
+    Dice_sim.Network.connect net (Probe_rpc.client_node cl)
+      (Probe_rpc.server_node srv) ~latency;
+    let ep = Probe_rpc.endpoint ~config cl ~server:(Probe_rpc.server_node srv) in
+    let v0 = Dice_sim.Network.now net in
+    let t0 = Unix.gettimeofday () in
+    let answers = Probe_rpc.call_batch ep (requests n_probes) in
+    let wall = Unix.gettimeofday () -. t0 in
+    let virt = Dice_sim.Network.now net -. v0 in
+    let s = Probe_rpc.stats ep in
+    assert (List.for_all (fun r -> r <> Probe_rpc.Timeout) answers);
+    row "%-14.1f %-12.2f %-12.4f %-14.0f %-9d %d\n" (1000.0 *. latency)
+      (1000.0 *. wall) virt
+      (float_of_int n_probes /. wall)
+      s.Probe_rpc.retries s.Probe_rpc.timeouts;
+    json_rows :=
+      Dice_util.Json.obj
+        [ ("latency_s", Dice_util.Json.float latency);
+          ("wall_s", Dice_util.Json.float wall);
+          ("virtual_s", Dice_util.Json.float virt);
+          ("probes", Dice_util.Json.int n_probes);
+          ("throughput_wall_per_s", Dice_util.Json.float (float_of_int n_probes /. wall));
+          ("retries", Dice_util.Json.int s.Probe_rpc.retries);
+          ("timeouts", Dice_util.Json.int s.Probe_rpc.timeouts);
+          ("declines", Dice_util.Json.int s.Probe_rpc.declines) ]
+      :: !json_rows
+  in
+  List.iter level [ 0.0005; 0.005; 0.05 ];
+  (* partition: every request exhausts its schedule and reports a timeout *)
+  Dice_sim.Network.disconnect net (Probe_rpc.client_node cl) (Probe_rpc.server_node srv);
+  let ep = Probe_rpc.endpoint ~config cl ~server:(Probe_rpc.server_node srv) in
+  let v0 = Dice_sim.Network.now net in
+  let answers = Probe_rpc.call_batch ep (requests 16) in
+  let virt = Dice_sim.Network.now net -. v0 in
+  let s = Probe_rpc.stats ep in
+  assert (List.for_all (fun r -> r = Probe_rpc.Timeout) answers);
+  row "partitioned link: %d/%d timed out after %d retries, %.3f virtual s, no hang\n"
+    s.Probe_rpc.timeouts 16 s.Probe_rpc.retries virt;
+  let json =
+    Dice_util.Json.obj
+      [ ("experiment", Dice_util.Json.string "p3");
+        ("levels", Dice_util.Json.List (List.rev !json_rows));
+        ( "partition",
+          Dice_util.Json.obj
+            [ ("probes", Dice_util.Json.int 16);
+              ("timeouts", Dice_util.Json.int s.Probe_rpc.timeouts);
+              ("retries", Dice_util.Json.int s.Probe_rpc.retries);
+              ("virtual_s", Dice_util.Json.float virt) ] ) ]
+  in
+  let oc = open_out "BENCH_p3.json" in
+  output_string oc (Dice_util.Json.to_string ~indent:true json);
+  output_string oc "\n";
+  close_out oc;
+  row "wrote BENCH_p3.json\n"
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
@@ -753,11 +880,13 @@ let experiment_x1 () =
     Threerouter.customer_prefixes;
   let agent =
     Distributed.agent ~name:"upstream" ~addr:Threerouter.internet_addr
-      ~explorer_addr:(Ipv4.of_string "10.0.2.1") upstream
+      ~explorer_addr:(Ipv4.of_string "10.0.2.1")
+      (Distributed.Local upstream)
   in
   let cfg =
     { Orchestrator.default_cfg with
-      Orchestrator.checkers = [ Hijack.checker; Distributed.checker ~agents:[ agent ] () ];
+      Orchestrator.checkers =
+        [ Hijack.checker; Distributed.checker ~jobs:1 ~agents:[ agent ] ];
       explorer =
         { Explorer.default_config with Explorer.max_runs = 256; max_depth = 96 };
     }
@@ -775,9 +904,9 @@ let experiment_x1 () =
     (count "origin-hijack");
   row "remote origin conflicts (narrow iface): %d\n" (count "remote-origin-conflict");
   row "remote coverage leaks (narrow iface):   %d\n" (count "remote-coverage-leak");
+  let s = Distributed.stats agent in
   row "remote agent: %d probes over %d checkpoint(s), zero state disclosed\n"
-    (Distributed.probes_performed agent)
-    (Distributed.checkpoints_taken agent)
+    s.Distributed.probes s.Distributed.checkpoints
 
 let experiment_x2 () =
   section "X2" "operator-action validation (paper §5)";
@@ -839,6 +968,7 @@ let () =
   experiment_a2 ();
   experiment_p1 ();
   experiment_p2 ();
+  experiment_p3 ();
   experiment_x1 ();
   experiment_x2 ();
   micro_benchmarks ();

@@ -109,7 +109,26 @@ let mk_remote_agents n =
       Distributed.agent
         ~name:(Printf.sprintf "upstream-%d" i)
         ~addr:Threerouter.internet_addr
-        ~explorer_addr:Threerouter.provider_addr_internet_side r)
+        ~explorer_addr:Threerouter.provider_addr_internet_side
+        (Distributed.Local r))
+
+(* Remote transport: put each agent on the simulated network as a probe
+   server and hand the orchestrator wire endpoints instead of routers.
+   From here on, nothing outside the agents can reach their routers —
+   probes travel as frames over the (lossy, latent) links. *)
+let remotify net serving_agents =
+  let cl = Probe_rpc.client net ~name:"explorer-probe" in
+  List.map
+    (fun a ->
+      let srv = Distributed.serve net a in
+      Dice_sim.Network.connect net (Probe_rpc.client_node cl)
+        (Probe_rpc.server_node srv) ~latency:0.005;
+      Distributed.agent
+        ~name:(Distributed.agent_name a)
+        ~addr:(Distributed.agent_addr a)
+        ~explorer_addr:Threerouter.provider_addr_internet_side
+        (Distributed.Remote (Probe_rpc.endpoint cl ~server:(Probe_rpc.server_node srv))))
+    serving_agents
 
 let trace_of ~seed ~prefixes =
   Dice_trace.Gen.generate
@@ -211,12 +230,17 @@ let run_cmd =
 
 (* ---------------- detect-leaks ---------------- *)
 
-let detect_leaks filtering seed prefixes runs jobs agents json =
+let detect_leaks filtering seed prefixes runs jobs agents transport json =
   let topo, _, n = build_loaded ~filtering ~seed ~prefixes in
   Printf.printf "table loaded: %d routes; filtering=%s\n" n
     (Threerouter.filtering_to_string filtering);
   let provider = Threerouter.provider_router topo in
-  let remote_agents = mk_remote_agents (max 0 agents) in
+  let serving_agents = mk_remote_agents (max 0 agents) in
+  let remote_agents =
+    match transport with
+    | `Local -> serving_agents
+    | `Remote -> remotify topo.Threerouter.net serving_agents
+  in
   let cfg =
     { Orchestrator.default_cfg with
       Orchestrator.explorer =
@@ -237,15 +261,39 @@ let detect_leaks filtering seed prefixes runs jobs agents json =
   else print_string (Report.to_text report);
   List.iter
     (fun a ->
+      let s = Distributed.stats a in
       Printf.printf
-        "remote agent %s: %d probes, %d checkpoint(s), vcache %d hit(s) (%.1f%% hit rate)\n"
-        (Distributed.agent_name a)
-        (Distributed.probes_performed a)
-        (Distributed.checkpoints_taken a)
-        (Distributed.vcache_hits a)
-        (100.0 *. Distributed.vcache_hit_rate a))
+        "remote agent %s: %d probes, %d checkpoint(s), vcache %d hit(s) (%.1f%% hit \
+         rate), %d decline(s), %d timeout(s), %d retry(ies)\n"
+        (Distributed.agent_name a) s.Distributed.probes s.Distributed.checkpoints
+        s.Distributed.vcache_hits
+        (100.0 *. s.Distributed.vcache_hit_rate)
+        s.Distributed.declines s.Distributed.timeouts s.Distributed.retries)
     remote_agents;
+  (* in remote mode the router-side figures live with the serving agent *)
+  if transport = `Remote then
+    List.iter
+      (fun a ->
+        let s = Distributed.stats a in
+        Printf.printf
+          "  serving side %s: %d probes answered, %d checkpoint(s), vcache %d hit(s) \
+           (%.1f%% hit rate)\n"
+          (Distributed.agent_name a) s.Distributed.probes s.Distributed.checkpoints
+          s.Distributed.vcache_hits
+          (100.0 *. s.Distributed.vcache_hit_rate))
+      serving_agents;
   if Hijack.leakable_summary report.Orchestrator.faults = [] then 0 else 1
+
+let transport_arg =
+  Arg.(
+    value
+    & opt (enum [ ("local", `Local); ("remote", `Remote) ]) `Local
+    & info [ "transport" ] ~docv:"MODE"
+        ~doc:
+          "How exploration reaches the cooperating domains: $(b,local) probes \
+           their routers in-process; $(b,remote) puts each agent on the \
+           simulated network and probes it with wire frames (latency, \
+           timeouts and retries included).")
 
 let detect_leaks_cmd =
   Cmd.v
@@ -257,7 +305,7 @@ let detect_leaks_cmd =
           the worker pool.")
     Term.(
       const detect_leaks $ filtering_arg $ seed_arg $ prefixes_arg $ runs_arg
-      $ jobs_arg $ agents_arg $ json_arg)
+      $ jobs_arg $ agents_arg $ transport_arg $ json_arg)
 
 (* ---------------- explore-filter ---------------- *)
 

@@ -79,16 +79,39 @@ let () =
   Printf.printf "provider (local) table:   %d routes -- the upstream exports nothing\n\n"
     (Rib.Loc.cardinal (Router.loc_rib provider));
 
-  (* DiCE at the provider, with the upstream cooperating as a remote agent. *)
+  (* DiCE at the provider, with the upstream cooperating as a remote
+     agent — here over the federated wire: the upstream serves probe
+     frames from a node on a simulated network, and the link is slow
+     (80 ms) and flaky (it drops mid-run, below). Only Probe_wire
+     frames ever cross it. *)
+  let net = Dice_sim.Network.create () in
+  let serving =
+    Distributed.agent ~name:"upstream-AS64700"
+      ~addr:Dice_topology.Threerouter.internet_addr
+      ~explorer_addr:(Ipv4.of_string "10.0.2.1")
+      (Distributed.Local upstream)
+  in
+  let srv = Distributed.serve net serving in
+  let cl = Probe_rpc.client net ~name:"provider-explorer" in
+  Dice_sim.Network.connect net (Probe_rpc.client_node cl)
+    (Probe_rpc.server_node srv) ~latency:0.080;
+  let ep =
+    Probe_rpc.endpoint
+      ~config:{ Probe_rpc.default_config with Probe_rpc.timeout = 0.05; retries = 3 }
+      cl ~server:(Probe_rpc.server_node srv)
+  in
   let agent =
     Distributed.agent ~name:"upstream-AS64700"
       ~addr:Dice_topology.Threerouter.internet_addr
       ~explorer_addr:(Ipv4.of_string "10.0.2.1")
-      upstream
+      (Distributed.Remote ep)
   in
+  (* the first attempt's 50 ms timeout always loses to the 160 ms round
+     trip; the exponential backoff recovers on a later attempt *)
   let cfg =
     { Orchestrator.default_cfg with
-      Orchestrator.checkers = [ Hijack.checker; Distributed.checker ~agents:[ agent ] () ];
+      Orchestrator.checkers =
+        [ Hijack.checker; Distributed.checker ~jobs:1 ~agents:[ agent ] ];
       explorer =
         { Dice_concolic.Explorer.default_config with
           Dice_concolic.Explorer.max_runs = 256;
@@ -115,9 +138,13 @@ let () =
     (List.length (by_checker "remote-coverage-leak"));
   Printf.printf "remote findings  (remote-propagation):     %d\n"
     (List.length (by_checker "remote-propagation"));
-  Printf.printf "\nremote agent: %d probes answered over %d checkpoint(s) of its own state\n"
-    (Distributed.probes_performed agent)
-    (Distributed.checkpoints_taken agent);
+  let client_stats = Distributed.stats agent in
+  let server_stats = Distributed.stats serving in
+  Printf.printf
+    "\nwire: %d probes (%d retried over the slow link, %d timed out), answered over\n\
+     %d checkpoint(s) of the upstream's own state\n"
+    client_stats.Distributed.probes client_stats.Distributed.retries
+    client_stats.Distributed.timeouts server_stats.Distributed.checkpoints;
   print_endline "";
   List.iter
     (fun (f : Checker.fault) ->
@@ -128,4 +155,24 @@ let () =
   print_endline
     "\nthe conflicting routes live only in the upstream's private RIB: the\n\
      provider could never have detected these locally, yet no routing state\n\
-     crossed the domain boundary — only accept/conflict/propagation verdicts."
+     crossed the domain boundary — only accept/conflict/propagation verdicts.";
+
+  (* Now the inter-domain link partitions. Probing degrades to a timeout
+     after the configured retries — exploration would keep going with one
+     fewer cooperating domain, not hang or crash. *)
+  Dice_sim.Network.disconnect net (Probe_rpc.client_node cl) (Probe_rpc.server_node srv);
+  let answer =
+    Distributed.probe agent ~from:(Ipv4.of_string "10.0.2.1")
+      (Msg.Update
+         { Msg.withdrawn = []; attrs = Route.to_attrs customer_route;
+           nlri = [ p "198.51.100.0/24" ] })
+  in
+  let partitioned = Distributed.stats agent in
+  Printf.printf
+    "\nlink cut: probe %s after %d total timeout(s) — a partitioned domain\n\
+     degrades the federation, it never stalls it\n"
+    (match answer with
+    | Distributed.Timeout -> "timed out"
+    | Distributed.Verdicts _ -> "unexpectedly answered"
+    | Distributed.Declined r -> "declined: " ^ r)
+    partitioned.Distributed.timeouts

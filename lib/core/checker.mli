@@ -1,5 +1,17 @@
 (** Fault checkers: the "notion of desired system behavior" DiCE evaluates
-    each explored action against (paper §2.4). *)
+    each explored action against (paper §2.4).
+
+    {2 Constructor convention}
+
+    Every checker constructor in [lib/core] has one shape. A checker
+    with nothing to configure is a plain value ({!Hijack.checker},
+    {!Checks.next_hop_sanity}); one with parameters is a function of
+    {e required labelled} arguments — no optional arguments, no trailing
+    [unit]. Defaults are exported as values next to the constructor
+    ({!Checks.default_bogons}, {!Checks.default_max_path_length},
+    {!Checks.default_max_prefix_len}), so "the default" is spelled out
+    at the call site instead of hidden behind a [?]. [Checks.standard]
+    bundles the hygiene set with those defaults applied. *)
 
 open Dice_inet
 open Dice_bgp

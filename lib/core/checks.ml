@@ -23,7 +23,7 @@ let on_accepted name f =
 let fault ~checker ~severity ~prefix description details =
   { Checker.checker; severity; prefix; description; details }
 
-let bogon ?(bogons = default_bogons) () =
+let bogon ~bogons =
   on_accepted "bogon" (fun cctx prefix _route ->
       match List.find_opt (fun b -> Prefix.overlaps b prefix) bogons with
       | Some b ->
@@ -34,7 +34,9 @@ let bogon ?(bogons = default_bogons) () =
         ]
       | None -> [])
 
-let path_sanity ?(max_length = 32) () =
+let default_max_path_length = 32
+
+let path_sanity ~max_length =
   on_accepted "path-sanity" (fun cctx prefix route ->
       let path = route.Route.as_path in
       let issues = ref [] in
@@ -59,7 +61,9 @@ let path_sanity ?(max_length = 32) () =
           :: !issues;
       List.rev !issues)
 
-let prefix_length ?(max_len = 24) () =
+let default_max_prefix_len = 24
+
+let prefix_length ~max_len =
   on_accepted "prefix-length" (fun cctx prefix _route ->
       if Prefix.len prefix > max_len then
         [ fault ~checker:"prefix-length" ~severity:Checker.Warning ~prefix
@@ -93,4 +97,8 @@ let next_hop_sanity =
       else [])
 
 let standard =
-  [ Hijack.checker; bogon (); path_sanity (); prefix_length (); next_hop_sanity ]
+  [ Hijack.checker;
+    bogon ~bogons:default_bogons;
+    path_sanity ~max_length:default_max_path_length;
+    prefix_length ~max_len:default_max_prefix_len;
+    next_hop_sanity ]

@@ -13,19 +13,26 @@ val default_bogons : Prefix.t list
     224.0.0.0/4 and 240.0.0.0/4. (The documentation TEST-NETs are absent
     on purpose: the testbed uses them as stand-ins for public space.) *)
 
-val bogon : ?bogons:Prefix.t list -> unit -> Checker.t
+val bogon : bogons:Prefix.t list -> Checker.t
 (** Critical fault for every accepted announcement inside bogon space —
-    an import policy that can be made to accept a martian. *)
+    an import policy that can be made to accept a martian. Pass
+    {!default_bogons} unless the deployment has its own list. *)
 
-val path_sanity : ?max_length:int -> unit -> Checker.t
+val default_max_path_length : int
+(** [32] — the hop count past which {!path_sanity} calls a path absurd. *)
+
+val path_sanity : max_length:int -> Checker.t
 (** Warnings for accepted routes whose AS path is malformed in practice:
     contains AS 0 (RFC 7607), contains AS_TRANS (23456, must never
-    appear as a real hop), or exceeds [max_length] (default 32) hops. *)
+    appear as a real hop), or exceeds [max_length] hops. *)
 
-val prefix_length : ?max_len:int -> unit -> Checker.t
-(** Warning for accepted announcements more specific than [max_len]
-    (default 24) — space conventionally filtered between domains; a
-    policy that accepts /25+ invites deaggregation attacks. *)
+val default_max_prefix_len : int
+(** [24] — the conventional inter-domain specificity cutoff. *)
+
+val prefix_length : max_len:int -> Checker.t
+(** Warning for accepted announcements more specific than [max_len] —
+    space conventionally filtered between domains; a policy that accepts
+    /25+ invites deaggregation attacks. *)
 
 val next_hop_sanity : Checker.t
 (** Warning for accepted routes whose NEXT_HOP lies inside the announced

@@ -1,16 +1,7 @@
 open Dice_inet
 open Dice_bgp
 
-(* Verdicts are memoized per agent, keyed on the canonicalized probe —
-   the session the message claims to arrive on plus the message's wire
-   encoding (two structurally different ASTs that encode identically are
-   the same probe). Entries are stamped with the live router's
-   [updates_processed] version; when the remote node moves on, the next
-   probe presents a newer version and the stale verdict evicts itself
-   (see {!Dice_exec.Vcache}). *)
-type vkey = Ipv4.t * bytes
-
-type verdict = {
+type verdict = Probe_wire.verdict = {
   accepted : bool;
   installed : bool;
   origin_conflict : bool;
@@ -18,46 +9,72 @@ type verdict = {
   would_propagate : int;
 }
 
+type outcome = Probe_rpc.result =
+  | Verdicts of (Prefix.t * verdict) list
+  | Declined of string
+  | Timeout
+
+let verdicts = function
+  | Verdicts vs -> vs
+  | Declined _ | Timeout -> []
+
+type transport =
+  | Local of Router.t
+  | Remote of Probe_rpc.endpoint
+
+(* Verdicts are memoized per agent, keyed on the canonicalized probe —
+   byte-for-byte the body of the wire request frame (two structurally
+   different ASTs that encode identically are the same probe on the wire
+   and in the cache). Entries are stamped with the live router's
+   [updates_processed] version; when the remote node moves on, the next
+   probe presents a newer version and the stale verdict evicts itself
+   (see {!Dice_exec.Vcache}). The cache lives where the version is
+   known: beside the live router. A [Local] agent consults it directly;
+   a [Remote] agent's probes cross the wire and hit the same cache on
+   the serving side. *)
 type agent = {
   name : string;
   addr : Ipv4.t;
   explorer_addr : Ipv4.t;
-  live : Router.t;
+  transport : transport;
   lock : Mutex.t;  (* guards [cache]; probes run on any worker domain *)
   mutable cache : (bytes * int) option;  (* image, updates counter at capture *)
   probes : int Atomic.t;
   checkpoints : int Atomic.t;
-  vcache : (vkey, (Prefix.t * verdict) list) Dice_exec.Vcache.t;
+  declines : int Atomic.t;
+  vcache : (bytes, (Prefix.t * verdict) list) Dice_exec.Vcache.t;
 }
 
-let agent ~name ~addr ~explorer_addr live =
+let agent ~name ~addr ~explorer_addr transport =
   {
     name;
     addr;
     explorer_addr;
-    live;
+    transport;
     lock = Mutex.create ();
     cache = None;
     probes = Atomic.make 0;
     checkpoints = Atomic.make 0;
+    declines = Atomic.make 0;
     vcache = Dice_exec.Vcache.create ();
   }
 
 let agent_name t = t.name
 let agent_addr t = t.addr
+let agent_transport t = t.transport
 
 (* The remote node's checkpoint of its own state — taken by the agent,
    never shipped to the exploring node. The mutex covers the check-then-
    capture window so concurrent probes share one checkpoint instead of
    each taking their own. *)
-let checkpoint_image t =
+let checkpoint_image t live =
   Mutex.lock t.lock;
-  let version = Router.updates_processed t.live in
+  let version = Router.updates_processed live in
   let image =
     match t.cache with
     | Some (image, v) when v = version -> image
     | Some _ | None ->
-      let image = Router.snapshot t.live in
+      let image = Router.snapshot live in
       t.cache <- Some (image, version);
       Atomic.incr t.checkpoints;
       image
@@ -67,10 +84,10 @@ let checkpoint_image t =
 
 let in_whitelist anycast prefix = List.exists (fun a -> Prefix.subsumes a prefix) anycast
 
-let probe_uncached t ~from (u : Msg.update) msg =
-  let clone = Router.restore (Router.config t.live) (checkpoint_image t) in
+let probe_uncached t live ~from (u : Msg.update) msg =
+  let clone = Router.restore (Router.config live) (checkpoint_image t live) in
   let pre = Router.loc_rib clone in
-  let anycast = (Router.config t.live).Config_types.anycast in
+  let anycast = (Router.config live).Config_types.anycast in
   let announced_origin =
     match Route.of_attrs u.Msg.attrs with
     | Ok route -> Route.origin_as route
@@ -129,41 +146,148 @@ let probe_uncached t ~from (u : Msg.update) msg =
       (prefix, { accepted; installed; origin_conflict; covers_foreign; would_propagate }))
     u.Msg.nlri
 
-let probe t ~from msg =
+(* Only announcements are probeable: anything else has no per-prefix
+   verdict to give. Declining locally keeps [Local] and [Remote]
+   transports equivalent — a server would answer the same decline frame,
+   so the client never puts it on the wire. *)
+let declinable msg =
   match msg with
-  | Msg.Update u when u.Msg.nlri <> [] -> begin
+  | Msg.Update u when u.Msg.nlri <> [] -> None
+  | Msg.Update _ -> Some "message announces no prefixes"
+  | Msg.Open _ | Msg.Notification _ | Msg.Keepalive -> Some "not an announcement"
+
+let probe_local t live ~from u msg =
+  let version = Router.updates_processed live in
+  let key = Probe_wire.canonical_request ~from msg in
+  match Dice_exec.Vcache.find t.vcache ~version key with
+  | Some vs -> Verdicts vs
+  | None ->
+    let vs = probe_uncached t live ~from u msg in
+    Dice_exec.Vcache.store t.vcache ~version key vs;
+    Verdicts vs
+
+let count t outcome =
+  (match outcome with
+  | Declined _ -> Atomic.incr t.declines
+  | Verdicts _ | Timeout -> ());
+  outcome
+
+let probe t ~from msg =
+  match declinable msg with
+  | Some reason -> count t (Declined reason)
+  | None -> begin
     Atomic.incr t.probes;
-    let version = Router.updates_processed t.live in
-    let key = (from, Msg.encode msg) in
-    match Dice_exec.Vcache.find t.vcache ~version key with
-    | Some verdicts -> verdicts
-    | None ->
-      let verdicts = probe_uncached t ~from u msg in
-      Dice_exec.Vcache.store t.vcache ~version key verdicts;
-      verdicts
+    match (t.transport, msg) with
+    | Local live, Msg.Update u -> count t (probe_local t live ~from u msg)
+    | Remote ep, _ -> count t (Probe_rpc.call ep (Probe_wire.canonical_request ~from msg))
+    | Local _, (Msg.Open _ | Msg.Notification _ | Msg.Keepalive) ->
+      (* unreachable: [declinable] admits only announcements *)
+      count t (Declined "not an announcement")
   end
-  | Msg.Update _ | Msg.Open _ | Msg.Notification _ | Msg.Keepalive -> []
 
+let serve net t =
+  match t.transport with
+  | Remote _ -> invalid_arg "Distributed.serve: agent is already remote"
+  | Local _ ->
+    Probe_rpc.serve net ~name:t.name ~answer:(fun ~from msg ->
+        match probe t ~from msg with
+        | Verdicts vs -> Probe_rpc.Reply vs
+        | Declined reason -> Probe_rpc.Refuse reason
+        | Timeout -> assert false (* a [Local] probe cannot time out *))
+
+(* [probe_all] shards local probes over the worker pool; remote probes
+   stay on the calling domain and pipeline over each endpoint's
+   in-flight window instead (the simulated network is single-threaded).
+   Results keep request order whatever the schedule. *)
 let probe_all ?(jobs = 1) reqs =
-  Dice_exec.Pool.map ~jobs:(max 1 jobs)
-    (fun (a, from, msg) -> probe a ~from msg)
-    reqs
+  let indexed = List.mapi (fun i r -> (i, r)) reqs in
+  let is_remote (_, (a, _, _)) =
+    match a.transport with
+    | Remote _ -> true
+    | Local _ -> false
+  in
+  let remote, local = List.partition is_remote indexed in
+  let n = List.length reqs in
+  let results = Array.make n (Declined "") in
+  (* remote: short-circuit declines, group wire-bound requests by
+     endpoint, pipeline each group *)
+  let groups : (Probe_rpc.endpoint * (int * agent * bytes) list ref) list ref = ref [] in
+  List.iter
+    (fun (i, (a, from, msg)) ->
+      match declinable msg with
+      | Some reason -> results.(i) <- count a (Declined reason)
+      | None ->
+        Atomic.incr a.probes;
+        let ep =
+          match a.transport with
+          | Remote ep -> ep
+          | Local _ -> assert false
+        in
+        let canonical = Probe_wire.canonical_request ~from msg in
+        let cell =
+          match List.assq_opt ep !groups with
+          | Some cell -> cell
+          | None ->
+            let cell = ref [] in
+            groups := !groups @ [ (ep, cell) ];
+            cell
+        in
+        cell := (i, a, canonical) :: !cell)
+    remote;
+  List.iter
+    (fun ((ep : Probe_rpc.endpoint), cell) ->
+      let items = List.rev !cell in
+      let answers = Probe_rpc.call_batch ep (List.map (fun (_, _, c) -> c) items) in
+      List.iter2 (fun (i, a, _) r -> results.(i) <- count a r) items answers)
+    !groups;
+  (* local: the existing pool fan-out *)
+  let local_answers =
+    Dice_exec.Pool.map ~jobs:(max 1 jobs)
+      (fun (i, (a, from, msg)) -> (i, probe a ~from msg))
+      local
+  in
+  List.iter (fun (i, r) -> results.(i) <- r) local_answers;
+  Array.to_list results
 
-let probes_performed t = Atomic.get t.probes
-let checkpoints_taken t = Atomic.get t.checkpoints
-let vcache_hits t = Dice_exec.Vcache.hits t.vcache
-let vcache_hit_rate t = Dice_exec.Vcache.hit_rate t.vcache
+type stats = {
+  probes : int;
+  checkpoints : int;
+  vcache_hits : int;
+  vcache_hit_rate : float;
+  timeouts : int;
+  retries : int;
+  declines : int;
+}
 
-let checker ?(jobs = 1) ~agents () =
+let stats t =
+  let timeouts, retries =
+    match t.transport with
+    | Local _ -> (0, 0)
+    | Remote ep ->
+      let s = Probe_rpc.stats ep in
+      (s.Probe_rpc.timeouts, s.Probe_rpc.retries)
+  in
+  {
+    probes = Atomic.get t.probes;
+    checkpoints = Atomic.get t.checkpoints;
+    vcache_hits = Dice_exec.Vcache.hits t.vcache;
+    vcache_hit_rate = Dice_exec.Vcache.hit_rate t.vcache;
+    timeouts;
+    retries;
+    declines = Atomic.get t.declines;
+  }
+
+let checker ~jobs ~agents =
   let agents_of addr = List.filter (fun a -> a.addr = addr) agents in
   let check (cctx : Checker.context) (outcome : Router.import_outcome) =
     if not outcome.Router.accepted then []
     else begin
       (* Collect every (agent, message) pair first — probes are
          independent request/verdict exchanges, so they shard across
-         worker domains; [Pool.map] keeps verdict order equal to request
-         order, which keeps the merged finding list deterministic
-         whatever the schedule. *)
+         worker domains (local transports) or pipeline over the wire
+         (remote transports); [probe_all] keeps verdict order equal to
+         request order, which keeps the merged finding list
+         deterministic whatever the schedule. *)
       let requests =
         List.concat_map
           (fun output ->
@@ -176,13 +300,13 @@ let checker ?(jobs = 1) ~agents () =
               [])
           outcome.Router.outputs
       in
-      let verdicts =
+      let answers =
         probe_all ~jobs
           (List.map (fun (a, msg) -> (a, a.explorer_addr, msg)) requests)
       in
       List.concat
         (List.map2
-           (fun (a, _msg) per_prefix ->
+           (fun (a, _msg) answer ->
              List.concat_map
                (fun (remote_prefix, v) ->
                  let base_details =
@@ -231,8 +355,11 @@ let checker ?(jobs = 1) ~agents () =
                    else []
                  in
                  conflicts @ coverage @ propagation)
-               per_prefix)
-           requests verdicts)
+               (* an unreachable or declining agent contributes no
+                  findings — a timed-out probe degrades the check, it
+                  never aborts the exploration *)
+               (verdicts answer))
+           requests answers)
     end
   in
   { Checker.name = "distributed"; check }

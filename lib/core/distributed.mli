@@ -1,30 +1,39 @@
-(** Cross-network exploration (the paper's §2.4 extension).
+(** Cross-network exploration (the paper's §2.4 extension), over a wire.
 
     Local exploration covers a single node's actions; their "far reaching
     consequences ... need to be observed from a system-wide perspective"
-    (§2.1). The paper envisions letting exploration messages flow to other
-    nodes "in a way that doesn't affect the live system": remote nodes
-    checkpoint their state and process these messages in isolation over
-    their checkpointed state, while confidentiality demands that "nodes
-    only communicate state information through a narrow interface yet
-    capable to allow us to detect faults" (§2.4).
+    (§2.1). The paper envisions letting exploration messages flow to
+    other administrative domains "in a way that doesn't affect the live
+    system", while confidentiality demands that "nodes only communicate
+    state information through a narrow interface yet capable to allow us
+    to detect faults" (§2.4).
 
-    This module implements that design:
+    Here the narrow interface is a {e protocol}, not a convention:
 
-    - a {!agent} represents a cooperating remote node (a different
-      administrative domain). It owns its live router and never exposes
-      state or configuration;
-    - {!probe} lets the exploring node submit one exploration message.
-      The agent checkpoints its own live router, processes the message on
-      an isolated clone, and answers with a {!verdict} {e per announced
-      prefix} — three booleans and two counts. No RIB contents, no
-      filters, no origin data cross the boundary;
-    - probes are independent request/verdict exchanges over a narrow
-      interface, so they shard naturally: {!probe_all} fans a batch out
-      over the {!Dice_exec.Pool} worker pool, and each agent memoizes
-      repeated verdict queries in a versioned {!Dice_exec.Vcache}
-      (invalidated the moment the remote live router processes an
-      update);
+    - {!Probe_wire} defines the only data that ever crosses a domain
+      boundary — length-framed probe requests (claimed arrival session +
+      encoded message) and responses (per-prefix {!verdict}s, declines,
+      errors);
+    - an {!agent} represents a cooperating remote node behind a
+      {!transport}: [Local] (the remote's live router in this process —
+      tests, benches, co-located domains) or [Remote] (a
+      {!Probe_rpc.endpoint} reaching a node on a {!Dice_sim.Network}).
+      {!probe}, {!probe_all} and {!checker} are transport-agnostic: the
+      same exploration drives either;
+    - in [Remote] mode, probes ride simulated links and inherit their
+      latency and failures. Each request gets a virtual-time timeout,
+      bounded retries with exponential backoff, and a bounded in-flight
+      window ({!Probe_rpc.config}); a cut or slow link degrades the
+      probe to a {!Timeout} {!outcome} instead of hanging or aborting
+      exploration;
+    - whatever the transport, the agent answering a probe checkpoints its
+      own live router, processes the message on an isolated clone, and
+      reveals only the verdict — no RIB contents, no filters, no origin
+      data. Repeated probes of the same canonical request (the
+      {!Probe_wire.canonical_request} bytes — the cache and the wire
+      share one canonicalization) answer from a version-stamped
+      {!Dice_exec.Vcache} beside the live router, evicted the moment the
+      router processes an update;
     - {!checker} packages remote probing as a fault checker: every
       message an exploration run would send to a neighbor with an agent
       is forwarded (from the interception sandbox, never the live
@@ -34,21 +43,7 @@
 open Dice_inet
 open Dice_bgp
 
-type agent
-
-val agent : name:string -> addr:Ipv4.t -> explorer_addr:Ipv4.t -> Router.t -> agent
-(** [agent ~name ~addr ~explorer_addr router]: a remote node that the
-    exploring node reaches at [addr], running [router] as its live
-    process, and that knows the exploring node as its neighbor
-    [explorer_addr]. The agent checkpoints [router] lazily and
-    re-checkpoints when the live router has processed new updates
-    since. Agents are domain-safe: concurrent probes from worker domains
-    share one checkpoint and count through atomic counters. *)
-
-val agent_name : agent -> string
-val agent_addr : agent -> Ipv4.t
-
-type verdict = {
+type verdict = Probe_wire.verdict = {
   accepted : bool;  (** the remote import policy accepted the route *)
   installed : bool;  (** it became the remote node's best route *)
   origin_conflict : bool;
@@ -64,42 +59,96 @@ type verdict = {
           on — the blast radius *)
 }
 
-val probe : agent -> from:Ipv4.t -> Msg.t -> (Prefix.t * verdict) list
+type outcome = Probe_rpc.result =
+  | Verdicts of (Prefix.t * verdict) list
+      (** one verdict per announced prefix, in NLRI order — the pairing
+          is what lets a multi-prefix exploratory UPDATE attribute each
+          verdict to the remote prefix it concerns *)
+  | Declined of string
+      (** the agent answered but refused: non-announcement messages, or
+          a remote error frame *)
+  | Timeout
+      (** all attempts expired — only [Remote] transports produce this *)
+
+val verdicts : outcome -> (Prefix.t * verdict) list
+(** The verdict list, empty for {!Declined}/{!Timeout}. *)
+
+type transport =
+  | Local of Router.t
+      (** the cooperating node's live router, probed in-process — the
+          original path, kept for tests, benches and co-located
+          domains *)
+  | Remote of Probe_rpc.endpoint
+      (** a node on a simulated network, probed with wire frames; the
+          only cross-domain data is what {!Probe_wire} can express *)
+
+type agent
+
+val agent : name:string -> addr:Ipv4.t -> explorer_addr:Ipv4.t -> transport -> agent
+(** [agent ~name ~addr ~explorer_addr transport]: a remote node that the
+    exploring node reaches at [addr] and that knows the exploring node
+    as its neighbor [explorer_addr]. With a [Local] transport the agent
+    checkpoints the router lazily and re-checkpoints when it has
+    processed new updates since; agents are domain-safe (concurrent
+    probes share one checkpoint, counters are atomic). With a [Remote]
+    transport the agent holds no router at all — the serving side does
+    (see {!serve}). *)
+
+val agent_name : agent -> string
+val agent_addr : agent -> Ipv4.t
+val agent_transport : agent -> transport
+
+val serve : Dice_sim.Network.t -> agent -> Probe_rpc.server
+(** Put a [Local] agent on the network: registers a node whose handler
+    decodes probe request frames, probes the agent's live router, and
+    answers with response/decline/error frames. The returned server's
+    node id is what a {!Probe_rpc.endpoint} on the exploring side
+    connects to.
+    @raise Invalid_argument on a [Remote] agent (forwarding probes
+    through a relay is not a thing the narrow interface allows). *)
+
+val probe : agent -> from:Ipv4.t -> Msg.t -> outcome
 (** Submit one exploration message as if it arrived on the session with
-    [from] (the exploring node's address on that peering). One
-    [(prefix, verdict)] pair per announced prefix, in NLRI order — the
-    pairing is what lets a multi-prefix exploratory UPDATE attribute each
-    verdict to the remote prefix it concerns. Empty for non-UPDATE
-    messages or pure withdrawals. The agent's live router is never
-    mutated. Repeated probes of the same canonicalized [(from, message)]
-    answer from the agent's verdict cache until the remote live router
-    processes another update. *)
+    [from] (the exploring node's address on that peering). The agent's
+    live router is never mutated. Non-announcements decline without
+    touching the wire. Over a [Remote] transport this drives the
+    simulated network until the response or the final timeout fires —
+    it never raises and never hangs. *)
 
-val probe_all :
-  ?jobs:int -> (agent * Ipv4.t * Msg.t) list -> (Prefix.t * verdict) list list
-(** [probe_all ~jobs reqs] probes every [(agent, from, msg)] request,
-    sharding them across [jobs] worker domains ([1], the default, stays
-    on the calling domain). Results are in request order regardless of
-    schedule, and each equals what the corresponding sequential {!probe}
-    would return. *)
+val probe_all : ?jobs:int -> (agent * Ipv4.t * Msg.t) list -> outcome list
+(** [probe_all ~jobs reqs] answers every [(agent, from, msg)] request,
+    in request order regardless of schedule. [Local] requests shard
+    across [jobs] worker domains ([1], the default, stays on the calling
+    domain); [Remote] requests pipeline over each endpoint's in-flight
+    window on the calling domain — the simulated network is
+    single-threaded, so wire parallelism comes from overlapping
+    requests on the link, not from worker domains. *)
 
-val probes_performed : agent -> int
-val checkpoints_taken : agent -> int
+type stats = {
+  probes : int;  (** announcements submitted ({!probe} / {!probe_all}) *)
+  checkpoints : int;  (** checkpoints of the live router ([Local] only) *)
+  vcache_hits : int;  (** probes answered from the verdict cache *)
+  vcache_hit_rate : float;  (** [0.] before any probe *)
+  timeouts : int;  (** probes that exhausted all attempts ([Remote]) *)
+  retries : int;  (** re-send attempts after a timeout ([Remote]) *)
+  declines : int;  (** probes answered with a decline *)
+}
 
-val vcache_hits : agent -> int
-(** Probes answered from the agent's verdict cache. *)
+val stats : agent -> stats
+(** One snapshot of every per-agent counter. For a [Remote] agent the
+    checkpoint and cache figures are zero here — they live (and are
+    reported) on the serving side, where the router is. *)
 
-val vcache_hit_rate : agent -> float
-(** Fraction of probes answered from the verdict cache; [0.] before any
-    probe. *)
-
-val checker : ?jobs:int -> agents:agent list -> unit -> Checker.t
+val checker : jobs:int -> agents:agent list -> Checker.t
 (** A {!Checker.t} that extends every exploration outcome across the
     network: each [To_peer] message the outcome would send to an agent's
     address is probed remotely — at every agent registered for that
-    address, [jobs] probes at a time (default [1]). Findings carry the
-    {e remote} prefix the verdict concerns (also under a [remote-prefix]
-    detail, with the locally explored prefix under [local-prefix]):
+    address, through whatever transport each agent has. Unreachable
+    agents degrade silently: a {!Timeout} or {!Declined} probe
+    contributes no findings (and is visible in {!stats}); no exception
+    escapes the checker. Findings carry the {e remote} prefix the
+    verdict concerns (also under a [remote-prefix] detail, with the
+    locally explored prefix under [local-prefix]):
     - [remote-origin-conflict] (critical): the explored announcement
       would override origins at the remote node — the local node could
       not have detected this, the conflicting route exists only in the

@@ -50,7 +50,7 @@ let create ?(cfg = default_cfg) live =
     | [] -> cfg
     | agents ->
       { cfg with
-        checkers = cfg.checkers @ [ Distributed.checker ~jobs:cfg.jobs ~agents () ] }
+        checkers = cfg.checkers @ [ Distributed.checker ~jobs:cfg.jobs ~agents ] }
   in
   { live; cfg; rev_seeds = []; seed_counter = 0 }
 

@@ -1,0 +1,225 @@
+open Dice_inet
+open Dice_bgp
+module Network = Dice_sim.Network
+module Rbuf = Dice_wire.Rbuf
+
+type reply =
+  | Reply of (Prefix.t * Probe_wire.verdict) list
+  | Refuse of string
+
+type server = {
+  snet : Network.t;
+  snode : Network.node_id;
+  mutable served : int;
+  mutable sbad : int;
+}
+
+let serve net ~name ~answer =
+  let node = Network.add_node net ~name ~handler:(fun _ ~self:_ ~from:_ _ -> ()) in
+  let s = { snet = net; snode = node; served = 0; sbad = 0 } in
+  let handler net ~self ~from:src b =
+    match Probe_wire.decode b with
+    | exception Rbuf.Truncated _ -> s.sbad <- s.sbad + 1
+    | Probe_wire.Response _ | Probe_wire.Decline _ | Probe_wire.Error _ ->
+      s.sbad <- s.sbad + 1
+    | Probe_wire.Request { req_id; from; msg } ->
+      s.served <- s.served + 1;
+      let reply_bytes =
+        match Msg.decode msg with
+        | Error e ->
+          Probe_wire.encode_error ~req_id
+            ("undecodable probe message: " ^ Msg.error_to_string e)
+        | Ok m -> begin
+          match answer ~from m with
+          | Reply verdicts -> Probe_wire.encode_response ~req_id verdicts
+          | Refuse reason -> Probe_wire.encode_decline ~req_id reason
+          | exception e -> Probe_wire.encode_error ~req_id (Printexc.to_string e)
+        end
+      in
+      (* the requester may have disconnected while we worked; a reply
+         into the void is its problem (it will time out), not ours *)
+      (try Network.send net ~src:self ~dst:src reply_bytes
+       with Invalid_argument _ -> ())
+  in
+  Network.set_handler net node handler;
+  s
+
+let server_node s = s.snode
+let frames_served s = s.served
+let bad_frames s = s.sbad
+
+type result =
+  | Verdicts of (Prefix.t * Probe_wire.verdict) list
+  | Declined of string
+  | Timeout
+
+type client = {
+  net : Network.t;
+  node : Network.node_id;
+  pending : (int, result -> unit) Hashtbl.t;
+  mutable next_id : int;
+  mutable wire_errors : int;
+}
+
+let client net ~name =
+  let node = Network.add_node net ~name ~handler:(fun _ ~self:_ ~from:_ _ -> ()) in
+  let c = { net; node; pending = Hashtbl.create 16; next_id = 0; wire_errors = 0 } in
+  let complete req_id r =
+    match Hashtbl.find_opt c.pending req_id with
+    | None -> ()  (* late response after the request timed out: drop *)
+    | Some k ->
+      Hashtbl.remove c.pending req_id;
+      k r
+  in
+  let handler _net ~self:_ ~from:_ b =
+    match Probe_wire.decode b with
+    | exception Rbuf.Truncated _ -> c.wire_errors <- c.wire_errors + 1
+    | Probe_wire.Request _ -> c.wire_errors <- c.wire_errors + 1
+    | Probe_wire.Response { req_id; verdicts } -> complete req_id (Verdicts verdicts)
+    | Probe_wire.Decline { req_id; reason } -> complete req_id (Declined reason)
+    | Probe_wire.Error { req_id; reason } ->
+      complete req_id (Declined ("remote error: " ^ reason))
+  in
+  Network.set_handler net node handler;
+  c
+
+let client_node c = c.node
+
+let fresh_id c =
+  let id = c.next_id in
+  c.next_id <- (c.next_id + 1) land 0xFFFFFFFF;
+  id
+
+type config = {
+  timeout : float;
+  retries : int;
+  backoff : float;
+  max_in_flight : int;
+}
+
+let default_config = { timeout = 1.0; retries = 2; backoff = 2.0; max_in_flight = 8 }
+
+type endpoint = {
+  ecl : client;
+  server : Network.node_id;
+  cfg : config;
+  mutable calls : int;
+  mutable retried : int;
+  mutable timed_out : int;
+  mutable declined : int;
+}
+
+let endpoint ?(config = default_config) ecl ~server =
+  if config.timeout <= 0.0 then invalid_arg "Probe_rpc.endpoint: timeout must be positive";
+  if config.retries < 0 then invalid_arg "Probe_rpc.endpoint: negative retries";
+  if config.backoff < 1.0 then invalid_arg "Probe_rpc.endpoint: backoff below 1";
+  if config.max_in_flight < 1 then invalid_arg "Probe_rpc.endpoint: empty in-flight window";
+  { ecl; server; cfg = config; calls = 0; retried = 0; timed_out = 0; declined = 0 }
+
+let endpoint_config ep = ep.cfg
+
+(* The simulated network is single-threaded; one domain pumps it at a
+   time. The lock is re-entrant per domain so a probe issued from inside
+   a network event (a daemon episode firing mid-pump) nests instead of
+   deadlocking. *)
+let rpc_lock = Mutex.create ()
+let rpc_owner : int option Atomic.t = Atomic.make None
+
+let with_rpc_lock f =
+  let me = (Domain.self () :> int) in
+  match Atomic.get rpc_owner with
+  | Some owner when owner = me -> f ()
+  | Some _ | None ->
+    Mutex.lock rpc_lock;
+    Atomic.set rpc_owner (Some me);
+    Fun.protect
+      ~finally:(fun () ->
+        Atomic.set rpc_owner None;
+        Mutex.unlock rpc_lock)
+      f
+
+let call_batch ep reqs =
+  if reqs = [] then []
+  else
+    with_rpc_lock @@ fun () ->
+    let c = ep.ecl in
+    let net = c.net in
+    let arr = Array.of_list reqs in
+    let n = Array.length arr in
+    let results = Array.make n Timeout in
+    let completed = ref 0 in
+    let inflight = ref 0 in
+    let next = ref 0 in
+    let finish i r =
+      (match r with
+      | Declined _ -> ep.declined <- ep.declined + 1
+      | Timeout -> ep.timed_out <- ep.timed_out + 1
+      | Verdicts _ -> ());
+      results.(i) <- r;
+      incr completed;
+      decr inflight
+    in
+    let rec attempt req_id i k =
+      (* a send over a cut link fails immediately; the timeout below
+         still runs, so the attempt degrades instead of raising *)
+      (try
+         Network.send net ~src:c.node ~dst:ep.server
+           (Probe_wire.encode_request ~req_id arr.(i))
+       with Invalid_argument _ -> ());
+      let expires = ep.cfg.timeout *. (ep.cfg.backoff ** float_of_int k) in
+      Network.schedule net ~delay:expires (fun () ->
+          if Hashtbl.mem c.pending req_id then begin
+            if k < ep.cfg.retries then begin
+              ep.retried <- ep.retried + 1;
+              attempt req_id i (k + 1)
+            end
+            else begin
+              Hashtbl.remove c.pending req_id;
+              finish i Timeout
+            end
+          end)
+    in
+    let launch i =
+      ep.calls <- ep.calls + 1;
+      incr inflight;
+      let req_id = fresh_id c in
+      Hashtbl.replace c.pending req_id (fun r -> finish i r);
+      attempt req_id i 0
+    in
+    while !completed < n do
+      while !inflight < ep.cfg.max_in_flight && !next < n do
+        launch !next;
+        incr next
+      done;
+      if !completed < n && not (Network.step net) then begin
+        (* unreachable while a timeout event is pending — but if the
+           queue ever runs dry, fail every outstanding request rather
+           than spin *)
+        Hashtbl.reset c.pending;
+        ep.timed_out <- ep.timed_out + (n - !completed);
+        completed := n
+      end
+    done;
+    Array.to_list results
+
+let call ep req =
+  match call_batch ep [ req ] with
+  | [ r ] -> r
+  | _ -> assert false
+
+type stats = {
+  calls : int;
+  retries : int;
+  timeouts : int;
+  declines : int;
+  wire_errors : int;
+}
+
+let stats (ep : endpoint) =
+  {
+    calls = ep.calls;
+    retries = ep.retried;
+    timeouts = ep.timed_out;
+    declines = ep.declined;
+    wire_errors = ep.ecl.wire_errors;
+  }

@@ -1,0 +1,104 @@
+(** Probe RPC over the simulated network.
+
+    {!Probe_wire} defines what crosses a domain boundary; this module
+    moves it. An agent-side {!serve} registers a node on a
+    {!Dice_sim.Network} and answers probe {!Probe_wire.Request} frames
+    over its live router; an exploring-side {!endpoint} issues requests
+    with fresh ids, per-request virtual-time timeouts (scheduled on the
+    network clock via [Network.schedule]), bounded retries with
+    exponential backoff, and a bounded in-flight window when batching.
+
+    Failure degrades, never hangs: a dropped frame, a disconnected link,
+    or a dead server turns the probe into a {!Timeout} result after the
+    configured retries — no exception escapes a {!call}. Late responses
+    to an earlier attempt of the same request still complete it (the
+    request id is stable across retries), which is what lets backoff
+    recover from a link whose round-trip exceeds the initial timeout.
+
+    The simulated network is single-threaded, so calls serialize: a
+    global lock (re-entrant per domain) makes {!call}/{!call_batch} safe
+    to reach from worker domains, at the price of no cross-domain
+    parallelism for remote probes — parallelism on the wire comes from
+    the in-flight window instead. *)
+
+open Dice_inet
+open Dice_bgp
+module Network = Dice_sim.Network
+
+(** {1 Agent side} *)
+
+type reply =
+  | Reply of (Prefix.t * Probe_wire.verdict) list
+  | Refuse of string  (** answered with a {!Probe_wire.Decline} frame *)
+
+type server
+
+val serve :
+  Network.t -> name:string -> answer:(from:Ipv4.t -> Msg.t -> reply) -> server
+(** Register a node that answers probe frames. Each well-formed
+    {!Probe_wire.Request} is decoded, answered via [answer], and the
+    reply encoded back to the requester; an [answer] that raises becomes
+    a {!Probe_wire.Error} frame (the exception never crosses the
+    boundary, nor does it kill the node). Malformed or unexpected frames
+    are counted and dropped. *)
+
+val server_node : server -> Network.node_id
+val frames_served : server -> int
+(** Well-formed request frames answered so far. *)
+
+val bad_frames : server -> int
+(** Malformed or unexpected frames dropped so far. *)
+
+(** {1 Exploring side} *)
+
+type client
+
+val client : Network.t -> name:string -> client
+(** Register the exploring node the responses come back to. *)
+
+val client_node : client -> Network.node_id
+
+type config = {
+  timeout : float;  (** virtual seconds before an attempt expires *)
+  retries : int;  (** re-sends after the first attempt *)
+  backoff : float;  (** attempt [i] waits [timeout *. backoff ** i] *)
+  max_in_flight : int;  (** outstanding requests per {!call_batch} *)
+}
+
+val default_config : config
+(** 1 s virtual timeout, 2 retries, 2.0 backoff, 8 in flight. *)
+
+type endpoint
+
+val endpoint : ?config:config -> client -> server:Network.node_id -> endpoint
+(** A client's view of one remote agent. The link itself is the
+    caller's to manage ([Network.connect]/[disconnect]) — probing a
+    disconnected endpoint is exactly how a partition is simulated. *)
+
+val endpoint_config : endpoint -> config
+
+type result =
+  | Verdicts of (Prefix.t * Probe_wire.verdict) list
+  | Declined of string
+      (** the agent answered but refused: decline or error frame *)
+  | Timeout  (** all attempts expired — link down, lost, or too slow *)
+
+val call : endpoint -> bytes -> result
+(** [call ep canonical] probes with a {!Probe_wire.canonical_request}
+    body, driving the network until the response or the last attempt's
+    timeout fires. Never raises. *)
+
+val call_batch : endpoint -> bytes list -> result list
+(** Pipeline a batch over the endpoint's in-flight window: up to
+    [max_in_flight] requests ride the link concurrently, each with its
+    own timeout/retry schedule. Results are in request order. *)
+
+type stats = {
+  calls : int;  (** requests issued (batched or single) *)
+  retries : int;  (** re-send attempts after a timeout *)
+  timeouts : int;  (** requests that exhausted all attempts *)
+  declines : int;  (** requests answered with decline/error frames *)
+  wire_errors : int;  (** malformed frames received by the client *)
+}
+
+val stats : endpoint -> stats

@@ -1,0 +1,141 @@
+open Dice_inet
+open Dice_bgp
+module Wbuf = Dice_wire.Wbuf
+module Rbuf = Dice_wire.Rbuf
+
+let version = 1
+
+type verdict = {
+  accepted : bool;
+  installed : bool;
+  origin_conflict : bool;
+  covers_foreign : int;
+  would_propagate : int;
+}
+
+type frame =
+  | Request of { req_id : int; from : Ipv4.t; msg : bytes }
+  | Response of { req_id : int; verdicts : (Prefix.t * verdict) list }
+  | Decline of { req_id : int; reason : string }
+  | Error of { req_id : int; reason : string }
+
+(* frame kinds on the wire *)
+let k_request = 0
+let k_response = 1
+let k_decline = 2
+let k_error = 3
+
+(* Anything malformed — truncation, alien version, unknown kind, bad
+   field, trailing bytes — surfaces as the one exception decode is
+   documented to raise. The payload carries field and offset, matching
+   Rbuf's own failures. *)
+let reject what (r : Rbuf.t) =
+  raise (Rbuf.Truncated (Printf.sprintf "%s at byte %d" what (Rbuf.pos r)))
+
+let addr_to_u32 a = Int32.to_int (Ipv4.to_int32 a) land 0xFFFFFFFF
+let addr_of_u32 v = Ipv4.of_int32 (Int32.of_int v)
+
+let canonical_request ~from msg =
+  let body = Msg.encode msg in
+  let w = Wbuf.create ~capacity:(8 + Bytes.length body) () in
+  Wbuf.u32 w (addr_to_u32 from);
+  Wbuf.u16 w (Bytes.length body);
+  Wbuf.bytes w body;
+  Wbuf.contents w
+
+let frame ~kind ~req_id body =
+  let w = Wbuf.create ~capacity:(10 + Bytes.length body) () in
+  Wbuf.u8 w version;
+  Wbuf.u8 w kind;
+  Wbuf.u32 w req_id;
+  Wbuf.u32 w (Bytes.length body);
+  Wbuf.bytes w body;
+  Wbuf.contents w
+
+let encode_request ~req_id canonical = frame ~kind:k_request ~req_id canonical
+
+let encode_verdict w (prefix, v) =
+  Wbuf.u8 w (Prefix.len prefix);
+  Wbuf.u32 w (addr_to_u32 (Prefix.network prefix));
+  let flags =
+    (if v.accepted then 1 else 0)
+    lor (if v.installed then 2 else 0)
+    lor if v.origin_conflict then 4 else 0
+  in
+  Wbuf.u8 w flags;
+  Wbuf.u32 w v.covers_foreign;
+  Wbuf.u32 w v.would_propagate
+
+let encode_response ~req_id verdicts =
+  let n = List.length verdicts in
+  if n > 0xFFFF then invalid_arg "Probe_wire.encode_response: too many verdicts";
+  let w = Wbuf.create () in
+  Wbuf.u16 w n;
+  List.iter (encode_verdict w) verdicts;
+  frame ~kind:k_response ~req_id (Wbuf.contents w)
+
+let encode_reason ~kind ~req_id reason =
+  if String.length reason > 0xFFFF then invalid_arg "Probe_wire: reason too long";
+  let w = Wbuf.create () in
+  Wbuf.u16 w (String.length reason);
+  Wbuf.string w reason;
+  frame ~kind ~req_id (Wbuf.contents w)
+
+let encode_decline ~req_id reason = encode_reason ~kind:k_decline ~req_id reason
+let encode_error ~req_id reason = encode_reason ~kind:k_error ~req_id reason
+
+let decode_request_body r =
+  let from = addr_of_u32 (Rbuf.u32 ~what:"from" r) in
+  let len = Rbuf.u16 ~what:"msg-len" r in
+  let msg = Rbuf.take ~what:"msg" r len in
+  (from, msg)
+
+let decode_verdict r =
+  let plen = Rbuf.u8 ~what:"prefix-len" r in
+  if plen > 32 then reject "prefix-len" r;
+  let prefix = Prefix.make (addr_of_u32 (Rbuf.u32 ~what:"prefix" r)) plen in
+  let flags = Rbuf.u8 ~what:"flags" r in
+  if flags land lnot 0x7 <> 0 then reject "flags" r;
+  let covers_foreign = Rbuf.u32 ~what:"covers-foreign" r in
+  let would_propagate = Rbuf.u32 ~what:"would-propagate" r in
+  ( prefix,
+    {
+      accepted = flags land 1 <> 0;
+      installed = flags land 2 <> 0;
+      origin_conflict = flags land 4 <> 0;
+      covers_foreign;
+      would_propagate;
+    } )
+
+let decode_response_body r =
+  let n = Rbuf.u16 ~what:"verdict-count" r in
+  List.init n (fun _ -> decode_verdict r)
+
+let decode_reason_body r =
+  let len = Rbuf.u16 ~what:"reason-len" r in
+  Bytes.to_string (Rbuf.take ~what:"reason" r len)
+
+let decode b =
+  let r = Rbuf.of_bytes b in
+  let v = Rbuf.u8 ~what:"version" r in
+  if v <> version then reject "version" r;
+  let kind = Rbuf.u8 ~what:"kind" r in
+  let req_id = Rbuf.u32 ~what:"req-id" r in
+  let body_len = Rbuf.u32 ~what:"body-len" r in
+  (* [sub] bounds the body: a length field the bytes cannot back fails
+     here, before any body read; reads past [body_len] fail inside *)
+  let body = Rbuf.sub r body_len in
+  if not (Rbuf.eof r) then reject "trailing" r;
+  let f =
+    if kind = k_request then begin
+      let from, msg = decode_request_body body in
+      Request { req_id; from; msg }
+    end
+    else if kind = k_response then
+      Response { req_id; verdicts = decode_response_body body }
+    else if kind = k_decline then Decline { req_id; reason = decode_reason_body body }
+    else if kind = k_error then Error { req_id; reason = decode_reason_body body }
+    else reject "kind" r
+  in
+  if not (Rbuf.eof body) then reject "body-trailing" body;
+  f

@@ -1,0 +1,79 @@
+(** The probe wire protocol: what actually crosses a domain boundary.
+
+    The paper's confidentiality requirement (§2.4) — cooperating domains
+    "only communicate state information through a narrow interface" — is
+    only a mechanism if the interface is a {e message format}, not a
+    function signature. This module defines that format: length-framed,
+    versioned, big-endian frames carrying probe requests (the claimed
+    arrival session plus the encoded exploration message) and probe
+    responses (per-prefix verdicts, or a decline/error). Everything a
+    remote domain ever reveals is expressible in these frames; everything
+    else stays home by construction.
+
+    Framing: [version(u8) kind(u8) req_id(u32) body_len(u32) body]. A
+    frame that is truncated, carries an alien version, an unknown kind, a
+    malformed body, or trailing bytes fails loudly via
+    {!Dice_wire.Rbuf.Truncated} — never a silent partial decode.
+
+    The request body is also the {e canonical form} of a probe: verdict
+    caches key on {!canonical_request} directly, so the cache and the
+    wire share one canonicalization (two structurally different message
+    ASTs that encode identically are the same probe on the wire {e and}
+    in the cache). *)
+
+open Dice_inet
+open Dice_bgp
+
+val version : int
+(** Protocol version carried in every frame (currently [1]). *)
+
+type verdict = {
+  accepted : bool;  (** the remote import policy accepted the route *)
+  installed : bool;  (** it became the remote node's best route *)
+  origin_conflict : bool;
+      (** it overrides the origin AS of something the remote node already
+          routes — detected {e at} the remote node, against state the
+          local node cannot see *)
+  covers_foreign : int;
+      (** how many remote routes with other origins the announcement
+          {e covers} (claims a super-block of) — the coverage-leak class *)
+  would_propagate : int;
+      (** how many further sessions the remote node would re-advertise
+          on — the blast radius *)
+}
+(** The narrow interface itself: three booleans and two counts per
+    announced prefix. No RIB contents, no filters, no origin data. *)
+
+type frame =
+  | Request of { req_id : int; from : Ipv4.t; msg : bytes }
+      (** Probe one exploration message ([msg], BGP wire encoding) as if
+          it arrived on the session with [from]. *)
+  | Response of { req_id : int; verdicts : (Prefix.t * verdict) list }
+      (** One verdict per announced prefix, in NLRI order. *)
+  | Decline of { req_id : int; reason : string }
+      (** The agent will not probe this message (e.g. it announces no
+          prefixes). Not an error: the answer is "nothing to say". *)
+  | Error of { req_id : int; reason : string }
+      (** The agent failed to probe (undecodable message, internal
+          failure). *)
+
+val canonical_request : from:Ipv4.t -> Msg.t -> bytes
+(** The canonical encoding of a probe request: [from] followed by the
+    message's BGP wire encoding, length-framed. This is byte-for-byte the
+    body of a {!Request} frame, and the key under which verdict caches
+    memoize — one canonicalization for the wire and the cache. *)
+
+val encode_request : req_id:int -> bytes -> bytes
+(** [encode_request ~req_id canonical] frames a {!canonical_request}
+    body. *)
+
+val encode_response : req_id:int -> (Prefix.t * verdict) list -> bytes
+val encode_decline : req_id:int -> string -> bytes
+val encode_error : req_id:int -> string -> bytes
+
+val decode : bytes -> frame
+(** Decode one frame.
+    @raise Dice_wire.Rbuf.Truncated on any malformed input: truncation,
+    version or kind mismatch, out-of-range fields, or trailing bytes.
+    Never raises anything else, never loops, never allocates
+    proportionally to a length field that the body cannot back. *)

@@ -8,7 +8,12 @@ let remaining t = t.limit - t.cur
 let pos t = t.cur
 let eof t = t.cur >= t.limit
 
-let need what t n = if remaining t < n then raise (Truncated what)
+(* The payload names the field *and* the offset the read started at, so a
+   decode failure deep inside a length-framed structure (a probe frame, a
+   BGP attribute list) is locatable without re-parsing by hand. *)
+let need what t n =
+  if remaining t < n then
+    raise (Truncated (Printf.sprintf "%s at byte %d" what t.cur))
 
 let sub t n =
   need "sub" t n;

@@ -2,7 +2,9 @@
 
 exception Truncated of string
 (** Raised when a read runs past the end of the region; the payload names
-    the field being read, for error reporting. *)
+    the field being read and the byte offset the read started at
+    (["nlri at byte 23"]), so failures inside length-framed structures
+    are locatable. *)
 
 type t
 

@@ -20,6 +20,8 @@ let () =
       ("trace", Test_trace.suite);
       ("core", Test_core.suite);
       ("integration", Test_integration.suite);
+      ("probe-wire", Test_probe_wire.suite);
+      ("probe-rpc", Test_probe_rpc.suite);
       ("distributed", Test_distributed.suite);
       ("online", Test_online.suite);
       ("croute/config", Test_croute.suite);

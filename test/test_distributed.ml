@@ -51,7 +51,7 @@ let upstream () =
 
 let mk_agent ?(name = "up") router =
   Distributed.agent ~name ~addr:(Ipv4.of_string "10.0.2.2")
-    ~explorer_addr:provider_side router
+    ~explorer_addr:provider_side (Distributed.Local router)
 
 let announcement ?(origin_asn = 64510) prefixes =
   Msg.Update
@@ -65,10 +65,13 @@ let announcement ?(origin_asn = 64510) prefixes =
       nlri = List.map p prefixes;
     }
 
+let probe_verdicts agent msg =
+  Distributed.verdicts (Distributed.probe agent ~from:provider_side msg)
+
 let test_probe_conflict () =
   let up = upstream () in
   let agent = mk_agent up in
-  match Distributed.probe agent ~from:provider_side (announcement [ "198.51.100.0/24" ]) with
+  match probe_verdicts agent (announcement [ "198.51.100.0/24" ]) with
   | [ (q, v) ] ->
     Alcotest.(check string) "verdict names its prefix" "198.51.100.0/24" (Prefix.to_string q);
     Alcotest.(check bool) "accepted" true v.Distributed.accepted;
@@ -81,7 +84,7 @@ let test_probe_coverage_leak () =
   let up = upstream () in
   let agent = mk_agent up in
   (* a /8 super-block covering the remote's 198.51.0.0/16 (origin 64999) *)
-  match Distributed.probe agent ~from:provider_side (announcement [ "198.0.0.0/8" ]) with
+  match probe_verdicts agent (announcement [ "198.0.0.0/8" ]) with
   | [ (_, v) ] ->
     Alcotest.(check bool) "no covering conflict" false v.Distributed.origin_conflict;
     Alcotest.(check bool) "covers the /16" true (v.Distributed.covers_foreign >= 1)
@@ -90,7 +93,7 @@ let test_probe_coverage_leak () =
 let test_probe_no_conflict_unheld_space () =
   let up = upstream () in
   let agent = mk_agent up in
-  match Distributed.probe agent ~from:provider_side (announcement [ "100.0.0.0/16" ]) with
+  match probe_verdicts agent (announcement [ "100.0.0.0/16" ]) with
   | [ (_, v) ] ->
     Alcotest.(check bool) "accepted" true v.Distributed.accepted;
     Alcotest.(check bool) "no conflict" false v.Distributed.origin_conflict;
@@ -100,17 +103,14 @@ let test_probe_no_conflict_unheld_space () =
 let test_probe_same_origin_no_conflict () =
   let up = upstream () in
   let agent = mk_agent up in
-  match
-    Distributed.probe agent ~from:provider_side
-      (announcement ~origin_asn:64888 [ "8.8.8.0/24" ])
-  with
+  match probe_verdicts agent (announcement ~origin_asn:64888 [ "8.8.8.0/24" ]) with
   | [ (_, v) ] -> Alcotest.(check bool) "same origin" false v.Distributed.origin_conflict
   | _ -> Alcotest.fail "expected one verdict"
 
 let test_probe_anycast_whitelisted () =
   let up = upstream () in
   let agent = mk_agent up in
-  match Distributed.probe agent ~from:provider_side (announcement [ "192.88.99.0/24" ]) with
+  match probe_verdicts agent (announcement [ "192.88.99.0/24" ]) with
   | [ (_, v) ] ->
     Alcotest.(check bool) "whitelisted by the remote" false v.Distributed.origin_conflict
   | _ -> Alcotest.fail "expected one verdict"
@@ -121,10 +121,7 @@ let test_probe_anycast_whitelisted () =
 let test_probe_multi_prefix_attribution () =
   let up = upstream () in
   let agent = mk_agent up in
-  match
-    Distributed.probe agent ~from:provider_side
-      (announcement [ "198.51.100.0/24"; "100.0.0.0/16" ])
-  with
+  match probe_verdicts agent (announcement [ "198.51.100.0/24"; "100.0.0.0/16" ]) with
   | [ (q1, v1); (q2, v2) ] ->
     Alcotest.(check string) "first verdict for first NLRI prefix" "198.51.100.0/24"
       (Prefix.to_string q1);
@@ -138,23 +135,28 @@ let test_probe_never_mutates_live () =
   let up = upstream () in
   let agent = mk_agent up in
   let before = Router.snapshot up in
-  ignore (Distributed.probe agent ~from:provider_side (announcement [ "198.51.100.0/24" ]));
-  ignore (Distributed.probe agent ~from:provider_side (announcement [ "1.2.3.0/24" ]));
+  ignore (probe_verdicts agent (announcement [ "198.51.100.0/24" ]));
+  ignore (probe_verdicts agent (announcement [ "1.2.3.0/24" ]));
   Alcotest.(check bytes) "remote live state untouched" before (Router.snapshot up)
 
 let test_probe_non_update () =
   let up = upstream () in
   let agent = mk_agent up in
-  Alcotest.(check int) "keepalive yields nothing" 0
-    (List.length (Distributed.probe agent ~from:provider_side Msg.Keepalive))
+  (match Distributed.probe agent ~from:provider_side Msg.Keepalive with
+  | Distributed.Declined _ -> ()
+  | Distributed.Verdicts _ | Distributed.Timeout ->
+    Alcotest.fail "keepalive must be declined");
+  let s = Distributed.stats agent in
+  Alcotest.(check int) "decline counted" 1 s.Distributed.declines;
+  Alcotest.(check int) "no clone probed" 0 s.Distributed.checkpoints
 
 let test_checkpoint_caching () =
   let up = upstream () in
   let agent = mk_agent up in
-  ignore (Distributed.probe agent ~from:provider_side (announcement [ "1.1.1.0/24" ]));
-  ignore (Distributed.probe agent ~from:provider_side (announcement [ "2.2.2.0/24" ]));
+  ignore (probe_verdicts agent (announcement [ "1.1.1.0/24" ]));
+  ignore (probe_verdicts agent (announcement [ "2.2.2.0/24" ]));
   Alcotest.(check int) "one checkpoint for two probes" 1
-    (Distributed.checkpoints_taken agent);
+    (Distributed.stats agent).Distributed.checkpoints;
   (* remote live router moves on -> re-checkpoint *)
   let route =
     Route.make ~origin:Attr.Igp ~as_path:[ Asn.Path.Seq [ 64701 ] ] ~next_hop:collector ()
@@ -162,9 +164,9 @@ let test_checkpoint_caching () =
   ignore
     (Router.handle_msg up ~peer:collector
        (Msg.Update { withdrawn = []; attrs = Route.to_attrs route; nlri = [ p "3.3.3.0/24" ] }));
-  ignore (Distributed.probe agent ~from:provider_side (announcement [ "4.4.4.0/24" ]));
+  ignore (probe_verdicts agent (announcement [ "4.4.4.0/24" ]));
   Alcotest.(check int) "fresh checkpoint after remote progress" 2
-    (Distributed.checkpoints_taken agent)
+    (Distributed.stats agent).Distributed.checkpoints
 
 (* ---- the verdict cache ---- *)
 
@@ -173,14 +175,16 @@ let test_vcache_repeated_probe_hits () =
   let agent = mk_agent up in
   let msg = announcement [ "198.51.100.0/24" ] in
   let first = Distributed.probe agent ~from:provider_side msg in
-  Alcotest.(check int) "cold probe misses" 0 (Distributed.vcache_hits agent);
+  Alcotest.(check int) "cold probe misses" 0 (Distributed.stats agent).Distributed.vcache_hits;
   let second = Distributed.probe agent ~from:provider_side msg in
-  Alcotest.(check int) "repeat answered from the cache" 1 (Distributed.vcache_hits agent);
+  Alcotest.(check int) "repeat answered from the cache" 1
+    (Distributed.stats agent).Distributed.vcache_hits;
   Alcotest.(check bool) "cached verdicts identical" true (first = second);
-  Alcotest.(check int) "both counted as probes" 2 (Distributed.probes_performed agent);
+  Alcotest.(check int) "both counted as probes" 2 (Distributed.stats agent).Distributed.probes;
   (* a different claimed session is a different probe *)
   ignore (Distributed.probe agent ~from:collector msg);
-  Alcotest.(check int) "different session, no hit" 1 (Distributed.vcache_hits agent)
+  Alcotest.(check int) "different session, no hit" 1
+    (Distributed.stats agent).Distributed.vcache_hits
 
 let test_vcache_invalidated_by_remote_progress () =
   let up = upstream () in
@@ -197,9 +201,10 @@ let test_vcache_invalidated_by_remote_progress () =
     (Router.handle_msg up ~peer:collector
        (Msg.Update
           { withdrawn = []; attrs = Route.to_attrs route; nlri = [ p "198.51.100.0/25" ] }));
-  match Distributed.probe agent ~from:provider_side msg with
+  match probe_verdicts agent msg with
   | [ (_, v) ] ->
-    Alcotest.(check int) "stale verdict not served" 0 (Distributed.vcache_hits agent);
+    Alcotest.(check int) "stale verdict not served" 0
+      (Distributed.stats agent).Distributed.vcache_hits;
     (* the recomputed verdict sees the remote's new covering state *)
     Alcotest.(check bool) "recomputed against fresh state" true v.Distributed.origin_conflict
   | _ -> Alcotest.fail "expected one verdict"
@@ -208,11 +213,14 @@ let test_vcache_invalidated_by_remote_progress () =
 
 let flatten_verdicts results =
   List.concat_map
-    (List.map (fun (q, (v : Distributed.verdict)) ->
-         ( Prefix.to_string q,
-           Printf.sprintf "%b|%b|%b|%d|%d" v.Distributed.accepted v.Distributed.installed
-             v.Distributed.origin_conflict v.Distributed.covers_foreign
-             v.Distributed.would_propagate )))
+    (fun outcome ->
+      List.map
+        (fun (q, (v : Distributed.verdict)) ->
+          ( Prefix.to_string q,
+            Printf.sprintf "%b|%b|%b|%d|%d" v.Distributed.accepted v.Distributed.installed
+              v.Distributed.origin_conflict v.Distributed.covers_foreign
+              v.Distributed.would_propagate ))
+        (Distributed.verdicts outcome))
     results
 
 let probe_workload () =
@@ -240,10 +248,12 @@ let test_probe_all_parallel_matches_sequential () =
   Alcotest.(check (list (pair string string)))
     "parallel verdicts equal sequential, in request order"
     (flatten_verdicts seq) (flatten_verdicts par);
-  Alcotest.(check int) "every request probed (a1)" 6 (Distributed.probes_performed a1);
-  Alcotest.(check int) "every request probed (a2)" 6 (Distributed.probes_performed a2);
+  Alcotest.(check int) "every request probed (a1)" 6 (Distributed.stats a1).Distributed.probes;
+  Alcotest.(check int) "every request probed (a2)" 6 (Distributed.stats a2).Distributed.probes;
   Alcotest.(check bool) "repeated messages hit the vcache under contention" true
-    (Distributed.vcache_hits a1 + Distributed.vcache_hits a2 > 0)
+    ((Distributed.stats a1).Distributed.vcache_hits
+     + (Distributed.stats a2).Distributed.vcache_hits
+    > 0)
 
 (* ---- the checker, directly on crafted outcomes ---- *)
 
@@ -269,7 +279,7 @@ let detail f k = List.assoc k f.Checker.details
 let test_checker_direct_multi_prefix_attribution () =
   let up = upstream () in
   let agent = mk_agent up in
-  let chk = Distributed.checker ~agents:[ agent ] () in
+  let chk = Distributed.checker ~jobs:1 ~agents:[ agent ] in
   let outcome =
     outcome_sending ~local_prefix:"203.0.113.0/24"
       [ (Distributed.agent_addr agent, announcement [ "198.51.100.0/24"; "100.0.0.0/16" ]) ]
@@ -296,7 +306,7 @@ let test_checker_direct_multi_prefix_attribution () =
 let test_checker_direct_whitelist_suppression () =
   let up = upstream () in
   let agent = mk_agent up in
-  let chk = Distributed.checker ~agents:[ agent ] () in
+  let chk = Distributed.checker ~jobs:1 ~agents:[ agent ] in
   let outcome =
     outcome_sending ~local_prefix:"203.0.113.0/24"
       [ (Distributed.agent_addr agent, announcement [ "192.88.99.0/24" ]) ]
@@ -308,7 +318,7 @@ let test_checker_direct_whitelist_suppression () =
 let test_checker_direct_warning_only_propagation () =
   let up = upstream () in
   let agent = mk_agent up in
-  let chk = Distributed.checker ~agents:[ agent ] () in
+  let chk = Distributed.checker ~jobs:1 ~agents:[ agent ] in
   (* unheld space: accepted, no conflict, no coverage — but the upstream
      re-exports to its collector, so the leak would cross a second
      domain boundary *)
@@ -327,7 +337,7 @@ let test_checker_direct_warning_only_propagation () =
 let test_checker_direct_rejected_outcome_skipped () =
   let up = upstream () in
   let agent = mk_agent up in
-  let chk = Distributed.checker ~agents:[ agent ] () in
+  let chk = Distributed.checker ~jobs:1 ~agents:[ agent ] in
   let outcome =
     outcome_sending ~accepted:false ~local_prefix:"203.0.113.0/24"
       [ (Distributed.agent_addr agent, announcement [ "198.51.100.0/24" ]) ]
@@ -335,7 +345,7 @@ let test_checker_direct_rejected_outcome_skipped () =
   Alcotest.(check int) "rejected outcomes probe nothing" 0
     (List.length (chk.Checker.check (direct_ctx up) outcome));
   Alcotest.(check int) "no probe crossed the boundary" 0
-    (Distributed.probes_performed agent)
+    (Distributed.stats agent).Distributed.probes
 
 let fault_keys faults =
   List.sort compare (List.map Checker.fault_key faults)
@@ -355,12 +365,12 @@ let test_checker_parallel_matches_sequential () =
   in
   let s1, s2 = mk () in
   let seq =
-    (Distributed.checker ~jobs:1 ~agents:[ s1; s2 ] ()).Checker.check (direct_ctx (upstream ()))
+    (Distributed.checker ~jobs:1 ~agents:[ s1; s2 ]).Checker.check (direct_ctx (upstream ()))
       (outcome s1 s2)
   in
   let p1, p2 = mk () in
   let par =
-    (Distributed.checker ~jobs:4 ~agents:[ p1; p2 ] ()).Checker.check (direct_ctx (upstream ()))
+    (Distributed.checker ~jobs:4 ~agents:[ p1; p2 ]).Checker.check (direct_ctx (upstream ()))
       (outcome p1 p2)
   in
   Alcotest.(check (list string)) "same fault keys" (fault_keys seq) (fault_keys par);
@@ -402,7 +412,7 @@ let test_checker_finds_remote_conflicts () =
   let up = upstream () in
   let agent =
     Distributed.agent ~name:"up" ~addr:Dice_topology.Threerouter.internet_addr
-      ~explorer_addr:provider_side up
+      ~explorer_addr:provider_side (Distributed.Local up)
   in
   let provider, customer_route = provider_with_customer () in
   let cfg =
@@ -434,7 +444,8 @@ let test_checker_finds_remote_conflicts () =
      blind, the narrow interface is not *)
   Alcotest.(check int) "no local origin conflicts possible" 0 (List.length local);
   Alcotest.(check bool) "remote conflicts found" true (List.length remote > 0);
-  Alcotest.(check bool) "probes happened" true (Distributed.probes_performed agent > 0);
+  Alcotest.(check bool) "probes happened" true
+    ((Distributed.stats agent).Distributed.probes > 0);
   (* every remote finding names the remote prefix it concerns *)
   Alcotest.(check bool) "remote-prefix detail present" true
     (List.for_all
@@ -442,13 +453,13 @@ let test_checker_finds_remote_conflicts () =
        remote);
   (* live routers untouched *)
   Alcotest.(check bool) "remote live untouched" true
-    (Distributed.checkpoints_taken agent >= 1)
+    ((Distributed.stats agent).Distributed.checkpoints >= 1)
 
 let test_checker_ignores_unknown_destinations () =
   let up = upstream () in
   let agent =
     Distributed.agent ~name:"up" ~addr:(Ipv4.of_string "9.9.9.9")
-      ~explorer_addr:provider_side up
+      ~explorer_addr:provider_side (Distributed.Local up)
   in
   let provider, customer_route = provider_with_customer () in
   let cfg =
@@ -461,7 +472,7 @@ let test_checker_ignores_unknown_destinations () =
     ~prefix:(p "203.0.113.0/24") ~route:customer_route;
   ignore (Orchestrator.explore dice);
   Alcotest.(check int) "no probe reaches a mismatched address" 0
-    (Distributed.probes_performed agent)
+    (Distributed.stats agent).Distributed.probes
 
 let suite =
   [ ("probe: conflict with private RIB", `Quick, test_probe_conflict);
@@ -472,7 +483,7 @@ let suite =
     ("probe: multi-prefix verdicts keep their pairing", `Quick,
       test_probe_multi_prefix_attribution);
     ("probe: never mutates the remote live router", `Quick, test_probe_never_mutates_live);
-    ("probe: non-update yields nothing", `Quick, test_probe_non_update);
+    ("probe: non-update declined", `Quick, test_probe_non_update);
     ("checkpoint caching", `Quick, test_checkpoint_caching);
     ("vcache: repeated probe answered from cache", `Quick, test_vcache_repeated_probe_hits);
     ("vcache: invalidated when the remote moves on", `Quick,

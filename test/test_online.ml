@@ -32,7 +32,7 @@ let outcome ?(accepted = true) ?(path = [ 64501 ]) ?(next_hop = "10.0.1.2") pref
   }
 
 let test_bogon_fires () =
-  let c = Checks.bogon () in
+  let c = Checks.bogon ~bogons:Checks.default_bogons in
   List.iter
     (fun prefix ->
       Alcotest.(check int) (prefix ^ " flagged") 1
@@ -40,7 +40,7 @@ let test_bogon_fires () =
     [ "10.1.0.0/16"; "127.0.0.0/8"; "224.1.0.0/16"; "192.168.5.0/24"; "169.254.0.0/16" ]
 
 let test_bogon_clean_for_public () =
-  let c = Checks.bogon () in
+  let c = Checks.bogon ~bogons:Checks.default_bogons in
   List.iter
     (fun prefix ->
       Alcotest.(check int) (prefix ^ " clean") 0
@@ -49,17 +49,17 @@ let test_bogon_clean_for_public () =
 
 let test_bogon_overlap_counts () =
   (* a covering announcement that contains bogon space is also flagged *)
-  let c = Checks.bogon () in
+  let c = Checks.bogon ~bogons:Checks.default_bogons in
   Alcotest.(check int) "/7 containing 10/8" 1
     (List.length (c.Checker.check cctx (outcome "10.0.0.0/7")))
 
 let test_bogon_rejected_outcome_ignored () =
-  let c = Checks.bogon () in
+  let c = Checks.bogon ~bogons:Checks.default_bogons in
   Alcotest.(check int) "rejected is fine" 0
     (List.length (c.Checker.check cctx (outcome ~accepted:false "10.0.0.0/8")))
 
 let test_path_sanity () =
-  let c = Checks.path_sanity () in
+  let c = Checks.path_sanity ~max_length:Checks.default_max_path_length in
   Alcotest.(check int) "AS0" 1
     (List.length (c.Checker.check cctx (outcome ~path:[ 64501; 0 ] "8.8.8.0/24")));
   Alcotest.(check int) "AS_TRANS" 1
@@ -71,12 +71,12 @@ let test_path_sanity () =
     (List.length (c.Checker.check cctx (outcome ~path:[ 64501; 64502 ] "8.8.8.0/24")))
 
 let test_path_sanity_custom_bound () =
-  let c = Checks.path_sanity ~max_length:2 () in
+  let c = Checks.path_sanity ~max_length:2 in
   Alcotest.(check int) "3 hops over a bound of 2" 1
     (List.length (c.Checker.check cctx (outcome ~path:[ 1; 2; 3 ] "8.8.8.0/24")))
 
 let test_prefix_length () =
-  let c = Checks.prefix_length () in
+  let c = Checks.prefix_length ~max_len:Checks.default_max_prefix_len in
   Alcotest.(check int) "/25 flagged" 1
     (List.length (c.Checker.check cctx (outcome "8.8.8.0/25")));
   Alcotest.(check int) "/24 fine" 0

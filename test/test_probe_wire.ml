@@ -1,0 +1,215 @@
+(* Property and fuzz tests for the probe wire protocol: every frame
+   roundtrips byte-exactly, and decode fails loudly (Rbuf.Truncated) on
+   every malformed input — truncations, bit flips, random garbage,
+   trailing bytes — without ever crashing differently or looping. *)
+open Dice_inet
+open Dice_bgp
+open Dice_core
+module Rbuf = Dice_wire.Rbuf
+
+let ip = Ipv4.of_string
+
+(* ---- generators ---- *)
+
+let gen_prefix =
+  QCheck.Gen.(
+    map
+      (fun (a, l) -> Prefix.make ((a * 2654435761) land 0xFFFFFFFF) (l mod 33))
+      (pair (int_bound 100_000) (int_bound 32)))
+
+let gen_verdict =
+  QCheck.Gen.(
+    map
+      (fun (accepted, installed, origin_conflict, covers, prop) ->
+        { Probe_wire.accepted; installed; origin_conflict;
+          covers_foreign = covers; would_propagate = prop })
+      (tup5 bool bool bool (int_bound 100_000) (int_bound 64)))
+
+let gen_req_id = QCheck.Gen.int_bound 0xFFFFFFFF
+
+let gen_addr =
+  QCheck.Gen.map
+    (fun n -> Ipv4.of_int32 (Int32.of_int ((n * 48271) land 0xFFFFFFFF)))
+    (QCheck.Gen.int_bound 1_000_000)
+
+(* valid BGP messages: announcements (the probeable case) of 1..4
+   prefixes, plus the whole non-update family *)
+let gen_msg =
+  QCheck.Gen.(
+    let announcement =
+      map
+        (fun (prefixes, origin) ->
+          Msg.Update
+            { Msg.withdrawn = [];
+              attrs =
+                Route.to_attrs
+                  (Route.make ~origin:Attr.Igp
+                     ~as_path:[ Asn.Path.Seq [ 64510; 64800 + (origin mod 50) ] ]
+                     ~next_hop:(ip "10.0.2.1") ());
+              nlri = prefixes;
+            })
+        (pair (list_size (int_range 1 4) gen_prefix) (int_bound 100))
+    in
+    oneof
+      [ announcement;
+        return Msg.Keepalive;
+        return
+          (Msg.Open
+             { Msg.version = 4; my_as = 64510; hold_time = 90; bgp_id = ip "10.0.2.1";
+               capabilities = [] });
+        return (Msg.Notification { Msg.code = 6; subcode = 2; data = Bytes.empty }) ])
+
+let gen_reason = QCheck.Gen.(string_size ~gen:printable (int_bound 80))
+
+(* ---- encode/decode = id ---- *)
+
+let prop_request_roundtrip =
+  QCheck.Test.make ~name:"request frames roundtrip (req_id, from, message bytes)"
+    ~count:200
+    (QCheck.make QCheck.Gen.(tup3 gen_req_id gen_addr gen_msg))
+    (fun (req_id, from, msg) ->
+      let canonical = Probe_wire.canonical_request ~from msg in
+      match Probe_wire.decode (Probe_wire.encode_request ~req_id canonical) with
+      | Probe_wire.Request r ->
+        r.req_id = req_id && Ipv4.compare r.from from = 0 && r.msg = Msg.encode msg
+      | _ -> false)
+
+let prop_response_roundtrip =
+  QCheck.Test.make
+    ~name:"response frames roundtrip (incl. empty and multi-prefix verdict lists)"
+    ~count:200
+    (QCheck.make
+       QCheck.Gen.(pair gen_req_id (list_size (int_bound 6) (pair gen_prefix gen_verdict))))
+    (fun (req_id, verdicts) ->
+      match Probe_wire.decode (Probe_wire.encode_response ~req_id verdicts) with
+      | Probe_wire.Response r ->
+        r.req_id = req_id
+        && List.length r.verdicts = List.length verdicts
+        && List.for_all2
+             (fun (p, v) (p', v') -> Prefix.equal p p' && v = v')
+             verdicts r.verdicts
+      | _ -> false)
+
+let prop_decline_error_roundtrip =
+  QCheck.Test.make ~name:"decline and error frames roundtrip" ~count:200
+    (QCheck.make QCheck.Gen.(tup3 gen_req_id gen_reason bool))
+    (fun (req_id, reason, declined) ->
+      if declined then begin
+        match Probe_wire.decode (Probe_wire.encode_decline ~req_id reason) with
+        | Probe_wire.Decline d -> d.req_id = req_id && d.reason = reason
+        | _ -> false
+      end
+      else begin
+        match Probe_wire.decode (Probe_wire.encode_error ~req_id reason) with
+        | Probe_wire.Error e -> e.req_id = req_id && e.reason = reason
+        | _ -> false
+      end)
+
+(* the canonical request is what vcaches key on: it must be a function of
+   the encoded message, not the AST — two messages that encode identically
+   canonicalize identically *)
+let prop_canonical_is_wire_keyed =
+  QCheck.Test.make ~name:"canonical request determined by (from, encoded message)"
+    ~count:100
+    (QCheck.make QCheck.Gen.(pair gen_addr gen_msg))
+    (fun (from, msg) ->
+      match Msg.decode (Msg.encode msg) with
+      | Error _ -> QCheck.assume_fail ()
+      | Ok msg' ->
+        Probe_wire.canonical_request ~from msg
+        = Probe_wire.canonical_request ~from msg')
+
+(* ---- malformed input: always Truncated, never anything else ---- *)
+
+let decodes_loudly b =
+  match Probe_wire.decode b with
+  | (_ : Probe_wire.frame) -> true
+  | exception Rbuf.Truncated _ -> true
+  | exception _ -> false
+
+let gen_valid_frame =
+  QCheck.Gen.(
+    oneof
+      [ map2
+          (fun req_id (from, msg) ->
+            Probe_wire.encode_request ~req_id (Probe_wire.canonical_request ~from msg))
+          gen_req_id (pair gen_addr gen_msg);
+        map2
+          (fun req_id vs -> Probe_wire.encode_response ~req_id vs)
+          gen_req_id
+          (list_size (int_bound 4) (pair gen_prefix gen_verdict));
+        map2 (fun req_id r -> Probe_wire.encode_decline ~req_id r) gen_req_id gen_reason;
+        map2 (fun req_id r -> Probe_wire.encode_error ~req_id r) gen_req_id gen_reason ])
+
+let prop_truncations_fail_loudly =
+  QCheck.Test.make ~name:"every proper prefix of a valid frame raises Truncated"
+    ~count:80
+    (QCheck.make gen_valid_frame)
+    (fun frame ->
+      let ok = ref true in
+      for n = 0 to Bytes.length frame - 1 do
+        (match Probe_wire.decode (Bytes.sub frame 0 n) with
+        | (_ : Probe_wire.frame) -> ok := false
+        | exception Rbuf.Truncated _ -> ()
+        | exception _ -> ok := false)
+      done;
+      !ok)
+
+let prop_trailing_bytes_rejected =
+  QCheck.Test.make ~name:"trailing bytes after a valid frame raise Truncated"
+    ~count:80
+    (QCheck.make QCheck.Gen.(pair gen_valid_frame (int_bound 255)))
+    (fun (frame, extra) ->
+      match Probe_wire.decode (Bytes.cat frame (Bytes.make 1 (Char.chr extra))) with
+      | (_ : Probe_wire.frame) -> false
+      | exception Rbuf.Truncated _ -> true
+      | exception _ -> false)
+
+let prop_fuzz_random_bytes =
+  QCheck.Test.make ~name:"random bytes never crash or loop the decoder" ~count:500
+    (QCheck.make
+       QCheck.Gen.(map Bytes.of_string (string_size ~gen:char (int_bound 64))))
+    decodes_loudly
+
+let prop_fuzz_bit_flips =
+  QCheck.Test.make ~name:"single corrupted byte in a valid frame fails loudly"
+    ~count:200
+    (QCheck.make QCheck.Gen.(tup3 gen_valid_frame (int_bound 10_000) (int_range 1 255)))
+    (fun (frame, pos, delta) ->
+      let b = Bytes.copy frame in
+      let i = pos mod Bytes.length b in
+      Bytes.set b i (Char.chr ((Char.code (Bytes.get b i) + delta) land 0xFF));
+      decodes_loudly b)
+
+(* deterministic spot checks for the loud failures the fuzzers reach
+   only probabilistically *)
+let test_alien_version () =
+  let b = Probe_wire.encode_decline ~req_id:7 "nope" in
+  Bytes.set b 0 (Char.chr (Probe_wire.version + 1));
+  match Probe_wire.decode b with
+  | (_ : Probe_wire.frame) -> Alcotest.fail "alien version accepted"
+  | exception Rbuf.Truncated msg ->
+    Alcotest.(check bool) "failure payload names the field and offset" true
+      (String.length msg > 0)
+
+let test_unknown_kind () =
+  let b = Probe_wire.encode_decline ~req_id:7 "nope" in
+  Bytes.set b 1 (Char.chr 9);
+  Alcotest.check_raises "unknown kind" (Failure "truncated")
+    (fun () ->
+      match Probe_wire.decode b with
+      | (_ : Probe_wire.frame) -> ()
+      | exception Rbuf.Truncated _ -> raise (Failure "truncated"))
+
+let suite =
+  [ QCheck_alcotest.to_alcotest prop_request_roundtrip;
+    QCheck_alcotest.to_alcotest prop_response_roundtrip;
+    QCheck_alcotest.to_alcotest prop_decline_error_roundtrip;
+    QCheck_alcotest.to_alcotest prop_canonical_is_wire_keyed;
+    QCheck_alcotest.to_alcotest prop_truncations_fail_loudly;
+    QCheck_alcotest.to_alcotest prop_trailing_bytes_rejected;
+    QCheck_alcotest.to_alcotest prop_fuzz_random_bytes;
+    QCheck_alcotest.to_alcotest prop_fuzz_bit_flips;
+    ("alien version rejected", `Quick, test_alien_version);
+    ("unknown kind rejected", `Quick, test_unknown_kind)
+  ]

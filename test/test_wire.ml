@@ -53,7 +53,7 @@ let test_reset () =
 let test_truncation () =
   let r = Rbuf.of_bytes (Bytes.of_string "\x01") in
   ignore (Rbuf.u8 r);
-  Alcotest.check_raises "u16 past end" (Rbuf.Truncated "field") (fun () ->
+  Alcotest.check_raises "u16 past end" (Rbuf.Truncated "field at byte 1") (fun () ->
       ignore (Rbuf.u16 ~what:"field" r))
 
 let test_sub_isolation () =
@@ -66,7 +66,20 @@ let test_sub_isolation () =
 
 let test_sub_too_long () =
   let r = Rbuf.of_bytes (Bytes.of_string "\x01") in
-  Alcotest.check_raises "sub overruns" (Rbuf.Truncated "sub") (fun () -> ignore (Rbuf.sub r 2))
+  Alcotest.check_raises "sub overruns" (Rbuf.Truncated "sub at byte 0") (fun () ->
+      ignore (Rbuf.sub r 2))
+
+(* Regression: the offset in the payload is where the failing read
+   started, not zero — what locates a decode failure deep inside a
+   length-framed frame. *)
+let test_truncation_reports_offset () =
+  let r = Rbuf.of_bytes (Bytes.of_string "abcdef") in
+  Rbuf.skip r 3;
+  Alcotest.check_raises "take past end names pos 3" (Rbuf.Truncated "bytes at byte 3")
+    (fun () -> ignore (Rbuf.take r 4));
+  ignore (Rbuf.u8 r);
+  Alcotest.check_raises "sub past end names pos 4" (Rbuf.Truncated "sub at byte 4")
+    (fun () -> ignore (Rbuf.sub r 3))
 
 let test_take_skip () =
   let r = Rbuf.of_bytes (Bytes.of_string "abcdef") in
@@ -95,6 +108,7 @@ let suite =
     ("truncation", `Quick, test_truncation);
     ("sub isolation", `Quick, test_sub_isolation);
     ("sub too long", `Quick, test_sub_too_long);
+    ("truncation reports offset", `Quick, test_truncation_reports_offset);
     ("take/skip", `Quick, test_take_skip);
     QCheck_alcotest.to_alcotest prop_roundtrip
   ]
