@@ -15,6 +15,10 @@
      P3  probe RPC over the simulated wire: throughput vs link latency,
          retry/timeout behavior under slow links and partitions
          (machine-readable copy in BENCH_p3.json)
+     P4  probe RPC under injected link faults: verdict completeness and
+         retry amplification vs loss rate, with duplication and
+         reordering on, at a fixed fault seed
+         (machine-readable copy in BENCH_p4.json)
    plus a Bechamel micro-benchmark suite for the hot paths.
 
    By default everything runs at a laptop-friendly scale; set
@@ -737,6 +741,130 @@ let experiment_p3 () =
   row "wrote BENCH_p3.json\n"
 
 (* ------------------------------------------------------------------ *)
+(* P4: probe RPC under link faults, across loss rates                  *)
+(* ------------------------------------------------------------------ *)
+
+let experiment_p4 () =
+  section "P4" "probe RPC under link faults: verdict completeness vs loss rate";
+  let explorer_side = Ipv4.of_string "10.0.2.1" in
+  let collector = Ipv4.of_string "10.0.3.2" in
+  let upstream =
+    Router.create
+      (Config_parser.parse
+         (Printf.sprintf
+            "router id 10.0.2.2; local as 64700;\n\
+             protocol bgp provider { neighbor 10.0.2.1 as %d; import all; export none; }\n\
+             protocol bgp collector { neighbor 10.0.3.2 as 64701; import all; export none; }"
+            Threerouter.provider_as))
+  in
+  let establish peer remote_as =
+    ignore (Router.handle_event upstream ~peer Fsm.Manual_start);
+    ignore (Router.handle_event upstream ~peer Fsm.Tcp_connected);
+    ignore
+      (Router.handle_msg upstream ~peer
+         (Msg.Open
+            { Msg.version = 4; my_as = remote_as land 0xFFFF; hold_time = 90;
+              bgp_id = peer; capabilities = [ Msg.Cap_as4 remote_as ] }));
+    ignore (Router.handle_msg upstream ~peer Msg.Keepalive)
+  in
+  establish explorer_side Threerouter.provider_as;
+  establish collector 64701;
+  ignore
+    (Replay.feed_dump upstream ~peer:collector ~next_hop:collector
+       (Gen.generate
+          { Gen.default_params with Gen.n_prefixes = min 2_000 table_prefixes;
+            collector_as = 64701 }));
+  let requests n =
+    List.init n (fun i ->
+        Probe_wire.canonical_request ~from:explorer_side
+          (Msg.Update
+             { Msg.withdrawn = [];
+               attrs =
+                 Route.to_attrs
+                   (Route.make ~origin:Attr.Igp
+                      ~as_path:
+                        [ Asn.Path.Seq [ Threerouter.provider_as; Threerouter.customer_as ] ]
+                      ~next_hop:explorer_side ());
+               nlri = [ p (Printf.sprintf "198.51.%d.0/24" (i mod 256)) ];
+             }))
+  in
+  let n_probes = 128 in
+  let fault_seed = 42L in
+  let config =
+    { Probe_rpc.default_config with Probe_rpc.timeout = 0.02; retries = 5 }
+  in
+  row "%d probes per level, duplicate=0.1, reorder window=2, fault seed %Ld, \
+       timeout %.0f ms, %d retries\n"
+    n_probes fault_seed
+    (1000.0 *. config.Probe_rpc.timeout)
+    config.Probe_rpc.retries;
+  row "%-8s %-11s %-9s %-9s %-7s %-9s %-9s %s\n" "loss" "completed" "amplif."
+    "timeouts" "dedup" "dropped" "dup'd" "reordered";
+  let json_rows = ref [] in
+  let level loss =
+    (* a fresh wire per level, same upstream RIB behind it: the sweep
+       measures the link, not the router *)
+    let net = Dice_sim.Network.create () in
+    Dice_sim.Network.set_fault_seed net fault_seed;
+    let serving =
+      Distributed.agent ~name:"upstream" ~addr:Threerouter.internet_addr
+        ~explorer_addr:explorer_side (Distributed.Local upstream)
+    in
+    let srv = Distributed.serve net serving in
+    let cl = Probe_rpc.client net ~name:"bench-explorer" in
+    Dice_sim.Network.connect net (Probe_rpc.client_node cl)
+      (Probe_rpc.server_node srv) ~latency:0.001;
+    Dice_sim.Network.set_faults net (Probe_rpc.client_node cl)
+      (Probe_rpc.server_node srv)
+      (Dice_sim.Faults.make ~drop:loss ~duplicate:0.1 ~reorder:2 ());
+    let ep = Probe_rpc.endpoint ~config cl ~server:(Probe_rpc.server_node srv) in
+    let answers = Probe_rpc.call_batch ep (requests n_probes) in
+    ignore (Dice_sim.Network.run net);
+    let s = Probe_rpc.stats ep in
+    let completed =
+      List.length (List.filter (fun r -> r <> Probe_rpc.Timeout) answers)
+    in
+    let amplification =
+      float_of_int (n_probes + s.Probe_rpc.retries) /. float_of_int n_probes
+    in
+    row "%-8.2f %-11s %-9.2f %-9d %-7d %-9d %-9d %d\n" loss
+      (Printf.sprintf "%d/%d" completed n_probes)
+      amplification s.Probe_rpc.timeouts (Probe_rpc.dedup_hits srv)
+      (Dice_sim.Network.messages_dropped net)
+      (Dice_sim.Network.messages_duplicated net)
+      (Dice_sim.Network.messages_reordered net);
+    json_rows :=
+      Dice_util.Json.obj
+        [ ("loss", Dice_util.Json.float loss);
+          ("probes", Dice_util.Json.int n_probes);
+          ("completed", Dice_util.Json.int completed);
+          ("retry_amplification", Dice_util.Json.float amplification);
+          ("retries", Dice_util.Json.int s.Probe_rpc.retries);
+          ("timeouts", Dice_util.Json.int s.Probe_rpc.timeouts);
+          ("late_responses", Dice_util.Json.int s.Probe_rpc.late_responses);
+          ("frames_executed", Dice_util.Json.int (Probe_rpc.frames_executed srv));
+          ("dedup_hits", Dice_util.Json.int (Probe_rpc.dedup_hits srv));
+          ("dropped", Dice_util.Json.int (Dice_sim.Network.messages_dropped net));
+          ("duplicated", Dice_util.Json.int (Dice_sim.Network.messages_duplicated net));
+          ("reordered", Dice_util.Json.int (Dice_sim.Network.messages_reordered net)) ]
+      :: !json_rows
+  in
+  List.iter level [ 0.0; 0.1; 0.2; 0.3; 0.4 ];
+  let json =
+    Dice_util.Json.obj
+      [ ("experiment", Dice_util.Json.string "p4");
+        ("fault_seed", Dice_util.Json.string (Int64.to_string fault_seed));
+        ("duplicate", Dice_util.Json.float 0.1);
+        ("reorder_window", Dice_util.Json.int 2);
+        ("levels", Dice_util.Json.List (List.rev !json_rows)) ]
+  in
+  let oc = open_out "BENCH_p4.json" in
+  output_string oc (Dice_util.Json.to_string ~indent:true json);
+  output_string oc "\n";
+  close_out oc;
+  row "wrote BENCH_p4.json\n"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -969,6 +1097,7 @@ let () =
   experiment_p1 ();
   experiment_p2 ();
   experiment_p3 ();
+  experiment_p4 ();
   experiment_x1 ();
   experiment_x2 ();
   micro_benchmarks ();

@@ -61,6 +61,43 @@ let agents_arg =
            boundary through the narrow verdict interface, $(b,--jobs) probes \
            at a time. 0 disables cross-domain probing.")
 
+let loss_arg =
+  Arg.(
+    value
+    & opt float 0.0
+    & info [ "loss" ] ~docv:"P"
+        ~doc:
+          "Probability each probe frame is dropped on the inter-domain link \
+           (remote transport only). The RPC layer must degrade, never hang.")
+
+let dup_arg =
+  Arg.(
+    value
+    & opt float 0.0
+    & info [ "dup" ] ~docv:"P"
+        ~doc:
+          "Probability each probe frame is duplicated on the inter-domain link \
+           (remote transport only). Server-side request dedup keeps probe \
+           execution at-most-once.")
+
+let reorder_arg =
+  Arg.(
+    value
+    & opt int 0
+    & info [ "reorder" ] ~docv:"W"
+        ~doc:
+          "Reorder window on the inter-domain link: each frame may be held back \
+           behind up to $(docv) later sends (remote transport only).")
+
+let fault_seed_arg =
+  Arg.(
+    value
+    & opt int64 42L
+    & info [ "fault-seed" ] ~docv:"SEED"
+        ~doc:
+          "Seed for the link-fault RNG stream: equal seeds replay identical \
+           drop/duplicate/reorder schedules.")
+
 (* A cooperating upstream in another administrative domain: reachable at
    the provider's internet peering, holding a private table (export none
    toward the provider) that only remote probing can check against. Each
@@ -230,7 +267,8 @@ let run_cmd =
 
 (* ---------------- detect-leaks ---------------- *)
 
-let detect_leaks filtering seed prefixes runs jobs agents transport json =
+let detect_leaks filtering seed prefixes runs jobs agents transport loss dup reorder
+    fault_seed json =
   let topo, _, n = build_loaded ~filtering ~seed ~prefixes in
   Printf.printf "table loaded: %d routes; filtering=%s\n" n
     (Threerouter.filtering_to_string filtering);
@@ -241,6 +279,14 @@ let detect_leaks filtering seed prefixes runs jobs agents transport json =
     | `Local -> serving_agents
     | `Remote -> remotify topo.Threerouter.net serving_agents
   in
+  let probe_faults =
+    if loss = 0.0 && dup = 0.0 && reorder = 0 then None
+    else Some (Dice_sim.Faults.make ~drop:loss ~duplicate:dup ~reorder ())
+  in
+  if probe_faults <> None && transport = `Local then
+    prerr_endline
+      "note: --loss/--dup/--reorder perturb the probe links; with --transport \
+       local there is no wire, so they have no effect";
   let cfg =
     { Orchestrator.default_cfg with
       Orchestrator.explorer =
@@ -250,6 +296,8 @@ let detect_leaks filtering seed prefixes runs jobs agents transport json =
         };
       agents = remote_agents;
       jobs = max 1 jobs;
+      probe_faults;
+      fault_seed;
     }
   in
   let dice = Orchestrator.create ~cfg provider in
@@ -282,6 +330,17 @@ let detect_leaks filtering seed prefixes runs jobs agents transport json =
           s.Distributed.vcache_hits
           (100.0 *. s.Distributed.vcache_hit_rate))
       serving_agents;
+  (if transport = `Remote && probe_faults <> None then begin
+     let net = topo.Threerouter.net in
+     Printf.printf
+       "link faults (seed %Ld): %d dropped, %d duplicated, %d reordered, %d \
+        corrupted — rerun with the same --fault-seed to replay this schedule\n"
+       fault_seed
+       (Dice_sim.Network.messages_dropped net)
+       (Dice_sim.Network.messages_duplicated net)
+       (Dice_sim.Network.messages_reordered net)
+       (Dice_sim.Network.messages_corrupted net)
+   end);
   if Hijack.leakable_summary report.Orchestrator.faults = [] then 0 else 1
 
 let transport_arg =
@@ -302,10 +361,14 @@ let detect_leaks_cmd =
          "Run DiCE exploration on the provider and report hijackable prefix ranges \
           (exit status 1 if any are found). With $(b,--agents), exploration \
           outcomes are also probed at simulated cooperating remote domains over \
-          the worker pool.")
+          the worker pool; with $(b,--transport remote) plus \
+          $(b,--loss)/$(b,--dup)/$(b,--reorder), the probe links misbehave \
+          deterministically ($(b,--fault-seed)) and the RPC layer must stay \
+          at-most-once and hang-free.")
     Term.(
       const detect_leaks $ filtering_arg $ seed_arg $ prefixes_arg $ runs_arg
-      $ jobs_arg $ agents_arg $ transport_arg $ json_arg)
+      $ jobs_arg $ agents_arg $ transport_arg $ loss_arg $ dup_arg $ reorder_arg
+      $ fault_seed_arg $ json_arg)
 
 (* ---------------- explore-filter ---------------- *)
 

@@ -19,6 +19,8 @@ type cfg = {
   agents : Distributed.agent list;
   clone_samples : int;
   jobs : int;
+  probe_faults : Dice_sim.Faults.t option;
+  fault_seed : int64;
 }
 
 let default_cfg =
@@ -32,6 +34,8 @@ let default_cfg =
     agents = [];
     clone_samples = 4;
     jobs = 1;
+    probe_faults = None;
+    fault_seed = 42L;
   }
 
 type t = {
@@ -42,6 +46,22 @@ type t = {
 }
 
 let create ?(cfg = default_cfg) live =
+  (* Chaos knob: a fault model in the config lands on every remote
+     agent's probe link, with the fault RNG reseeded so the whole run
+     replays from [cfg.fault_seed]. Local agents have no wire to
+     perturb. *)
+  (match cfg.probe_faults with
+  | None -> ()
+  | Some f ->
+    List.iter
+      (fun a ->
+        match Distributed.agent_transport a with
+        | Distributed.Remote ep ->
+          let net, cnode, snode = Probe_rpc.endpoint_link ep in
+          Dice_sim.Network.set_fault_seed net cfg.fault_seed;
+          Dice_sim.Network.set_faults net cnode snode f
+        | Distributed.Local _ -> ())
+      cfg.agents);
   (* Cooperating remote agents become one more checker: every exploration
      outcome is probed across the domain boundary, [cfg.jobs] probes at a
      time over the worker pool. *)

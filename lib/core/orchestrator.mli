@@ -44,12 +44,23 @@ type cfg = {
           explores on its own router restored from the shared checkpoint,
           [jobs] at a time. [1] (the default) keeps everything on the
           calling domain. Report order always equals seed order. *)
+  probe_faults : Dice_sim.Faults.t option;
+      (** when set, this fault model is installed on every [Remote]
+          agent's probe link at {!create} time — loss, duplication,
+          reordering and corruption on the federated wire, with the RPC
+          layer expected to stay correct under it. [None] (the default)
+          leaves links as the caller wired them. Local agents are
+          unaffected: they have no wire. *)
+  fault_seed : int64;
+      (** seed for the probe networks' fault RNG streams (applied with
+          [probe_faults]); equal seeds replay identical fault
+          schedules *)
 }
 
 val default_cfg : cfg
 (** DFS explorer (96 runs, depth 64), 4 KiB pages, selective
     symbolization, 4 seeds, the {!Hijack.checker}, no remote agents,
-    4 clone samples, 1 job. *)
+    4 clone samples, 1 job, no probe faults (seed 42). *)
 
 type t
 

@@ -10,13 +10,33 @@ type reply =
 type server = {
   snet : Network.t;
   snode : Network.node_id;
+  cache_cap : int;
+  (* at-most-once execution: replies are cached per (requester, req_id)
+     so a retried or duplicated request re-sends the recorded reply
+     instead of re-probing — [order] bounds the cache FIFO-style *)
+  cache : (Network.node_id * int, bytes) Hashtbl.t;
+  order : (Network.node_id * int) Queue.t;
   mutable served : int;
+  mutable executed : int;
+  mutable dedup : int;
   mutable sbad : int;
 }
 
-let serve net ~name ~answer =
+let serve ?(dedup_cache = 512) net ~name ~answer =
+  if dedup_cache < 0 then invalid_arg "Probe_rpc.serve: negative dedup cache";
   let node = Network.add_node net ~name ~handler:(fun _ ~self:_ ~from:_ _ -> ()) in
-  let s = { snet = net; snode = node; served = 0; sbad = 0 } in
+  let s =
+    { snet = net;
+      snode = node;
+      cache_cap = dedup_cache;
+      cache = Hashtbl.create (max 16 dedup_cache);
+      order = Queue.create ();
+      served = 0;
+      executed = 0;
+      dedup = 0;
+      sbad = 0;
+    }
+  in
   let handler net ~self ~from:src b =
     match Probe_wire.decode b with
     | exception Rbuf.Truncated _ -> s.sbad <- s.sbad + 1
@@ -24,17 +44,33 @@ let serve net ~name ~answer =
       s.sbad <- s.sbad + 1
     | Probe_wire.Request { req_id; from; msg } ->
       s.served <- s.served + 1;
+      let key = (src, req_id) in
       let reply_bytes =
-        match Msg.decode msg with
-        | Error e ->
-          Probe_wire.encode_error ~req_id
-            ("undecodable probe message: " ^ Msg.error_to_string e)
-        | Ok m -> begin
-          match answer ~from m with
-          | Reply verdicts -> Probe_wire.encode_response ~req_id verdicts
-          | Refuse reason -> Probe_wire.encode_decline ~req_id reason
-          | exception e -> Probe_wire.encode_error ~req_id (Printexc.to_string e)
-        end
+        match Hashtbl.find_opt s.cache key with
+        | Some cached ->
+          s.dedup <- s.dedup + 1;
+          cached
+        | None ->
+          s.executed <- s.executed + 1;
+          let reply =
+            match Msg.decode msg with
+            | Error e ->
+              Probe_wire.encode_error ~req_id
+                ("undecodable probe message: " ^ Msg.error_to_string e)
+            | Ok m -> begin
+              match answer ~from m with
+              | Reply verdicts -> Probe_wire.encode_response ~req_id verdicts
+              | Refuse reason -> Probe_wire.encode_decline ~req_id reason
+              | exception e -> Probe_wire.encode_error ~req_id (Printexc.to_string e)
+            end
+          in
+          if s.cache_cap > 0 then begin
+            if Queue.length s.order >= s.cache_cap then
+              Hashtbl.remove s.cache (Queue.pop s.order);
+            Hashtbl.replace s.cache key reply;
+            Queue.push key s.order
+          end;
+          reply
       in
       (* the requester may have disconnected while we worked; a reply
          into the void is its problem (it will time out), not ours *)
@@ -46,6 +82,8 @@ let serve net ~name ~answer =
 
 let server_node s = s.snode
 let frames_served s = s.served
+let frames_executed s = s.executed
+let dedup_hits s = s.dedup
 let bad_frames s = s.sbad
 
 type result =
@@ -59,14 +97,20 @@ type client = {
   pending : (int, result -> unit) Hashtbl.t;
   mutable next_id : int;
   mutable wire_errors : int;
+  mutable late : int;
 }
 
 let client net ~name =
   let node = Network.add_node net ~name ~handler:(fun _ ~self:_ ~from:_ _ -> ()) in
-  let c = { net; node; pending = Hashtbl.create 16; next_id = 0; wire_errors = 0 } in
+  let c =
+    { net; node; pending = Hashtbl.create 16; next_id = 0; wire_errors = 0; late = 0 }
+  in
   let complete req_id r =
     match Hashtbl.find_opt c.pending req_id with
-    | None -> ()  (* late response after the request timed out: drop *)
+    | None ->
+      (* duplicate or late response: the call already completed (or
+         timed out) — drop and count, never apply twice *)
+      c.late <- c.late + 1
     | Some k ->
       Hashtbl.remove c.pending req_id;
       k r
@@ -117,6 +161,7 @@ let endpoint ?(config = default_config) ecl ~server =
   { ecl; server; cfg = config; calls = 0; retried = 0; timed_out = 0; declined = 0 }
 
 let endpoint_config ep = ep.cfg
+let endpoint_link ep = (ep.ecl.net, ep.ecl.node, ep.server)
 
 (* The simulated network is single-threaded; one domain pumps it at a
    time. The lock is re-entrant per domain so a probe issued from inside
@@ -213,6 +258,7 @@ type stats = {
   timeouts : int;
   declines : int;
   wire_errors : int;
+  late_responses : int;
 }
 
 let stats (ep : endpoint) =
@@ -222,4 +268,5 @@ let stats (ep : endpoint) =
     timeouts = ep.timed_out;
     declines = ep.declined;
     wire_errors = ep.ecl.wire_errors;
+    late_responses = ep.ecl.late;
   }

@@ -15,6 +15,18 @@
     request id is stable across retries), which is what lets backoff
     recover from a link whose round-trip exceeds the initial timeout.
 
+    The protocol stays honest when the link misbehaves
+    ({!Dice_sim.Faults}): execution is {e at most once} — the server
+    keeps a bounded per-(requester, request-id) reply cache, so a
+    retried or link-duplicated request re-sends the recorded reply
+    instead of re-probing (no double-executed probes, no double-counted
+    agent stats); the client completes each call at most once, dropping
+    and counting duplicate or late responses ([late_responses]); and a
+    corrupted frame surfaces as a counted malformed frame on whichever
+    side received it ([bad_frames] / [wire_errors]) and is dropped —
+    the attempt then times out and retries like a lost frame, rather
+    than an exception escaping the event loop.
+
     The simulated network is single-threaded, so calls serialize: a
     global lock (re-entrant per domain) makes {!call}/{!call_batch} safe
     to reach from worker domains, at the price of no cross-domain
@@ -34,20 +46,43 @@ type reply =
 type server
 
 val serve :
-  Network.t -> name:string -> answer:(from:Ipv4.t -> Msg.t -> reply) -> server
+  ?dedup_cache:int ->
+  Network.t ->
+  name:string ->
+  answer:(from:Ipv4.t -> Msg.t -> reply) ->
+  server
 (** Register a node that answers probe frames. Each well-formed
     {!Probe_wire.Request} is decoded, answered via [answer], and the
     reply encoded back to the requester; an [answer] that raises becomes
     a {!Probe_wire.Error} frame (the exception never crosses the
     boundary, nor does it kill the node). Malformed or unexpected frames
-    are counted and dropped. *)
+    are counted and dropped.
+
+    [dedup_cache] (default 512) bounds the at-most-once reply cache: the
+    last [dedup_cache] replies are kept per server, keyed by
+    (requester node, request id), and a request seen again answers from
+    the cache without re-invoking [answer]. At-most-once execution is
+    therefore guaranteed while a request id's reply is still cached —
+    with the default bound, for any realistic retry window. [0] disables
+    deduplication (every frame re-executes).
+    @raise Invalid_argument if [dedup_cache] is negative. *)
 
 val server_node : server -> Network.node_id
 val frames_served : server -> int
-(** Well-formed request frames answered so far. *)
+(** Well-formed request frames answered so far (cache replays
+    included). *)
+
+val frames_executed : server -> int
+(** Requests that actually invoked [answer]:
+    [frames_served = frames_executed + dedup_hits]. *)
+
+val dedup_hits : server -> int
+(** Retried or duplicated requests answered from the reply cache
+    without re-executing. *)
 
 val bad_frames : server -> int
-(** Malformed or unexpected frames dropped so far. *)
+(** Malformed or unexpected frames dropped so far (a corrupted request
+    frame lands here). *)
 
 (** {1 Exploring side} *)
 
@@ -77,6 +112,11 @@ val endpoint : ?config:config -> client -> server:Network.node_id -> endpoint
 
 val endpoint_config : endpoint -> config
 
+val endpoint_link : endpoint -> Network.t * Network.node_id * Network.node_id
+(** The wire under an endpoint: [(network, client node, server node)].
+    This is the link to cut for a partition, or to hand a
+    {!Dice_sim.Faults} model for chaos runs. *)
+
 type result =
   | Verdicts of (Prefix.t * Probe_wire.verdict) list
   | Declined of string
@@ -98,7 +138,12 @@ type stats = {
   retries : int;  (** re-send attempts after a timeout *)
   timeouts : int;  (** requests that exhausted all attempts *)
   declines : int;  (** requests answered with decline/error frames *)
-  wire_errors : int;  (** malformed frames received by the client *)
+  wire_errors : int;
+      (** malformed frames received by the client (a corrupted response
+          lands here; the attempt retries via its timeout) *)
+  late_responses : int;
+      (** responses for an already-completed (or timed-out) call —
+          duplicates and stragglers — dropped, never applied twice *)
 }
 
 val stats : endpoint -> stats

@@ -1,7 +1,12 @@
+module Rng = Dice_util.Rng
+
 type node_id = int
 
 type event =
-  | Deliver of { src : node_id; dst : node_id; msg : bytes }
+  | Deliver of { src : node_id; dst : node_id; msg : bytes; seq : int }
+      (* [seq] is the per-directed-link transmission number on faulty
+         links, used to detect reordered arrivals; [-1] on reliable
+         links and on re-deliveries after a resume (already counted). *)
   | Thunk of (unit -> unit)
 
 type t = {
@@ -11,13 +16,24 @@ type t = {
   mutable handlers : handler array;
   mutable n : int;
   links : (node_id * node_id, float) Hashtbl.t;  (* key has lower id first *)
+  faults : (node_id * node_id, Faults.t) Hashtbl.t;  (* same keying *)
+  mutable fault_rng : Rng.t;
+  send_seq : (node_id * node_id, int) Hashtbl.t;  (* directed, faulty links only *)
+  deliv_hi : (node_id * node_id, int) Hashtbl.t;  (* highest seq delivered *)
+  paused : (node_id, (node_id * bytes) Queue.t) Hashtbl.t;
   mutable sent : int;
   mutable delivered : int;
+  mutable dropped : int;
+  mutable duplicated : int;
+  mutable reordered : int;
+  mutable corrupted : int;
 }
 
 and handler = t -> self:node_id -> from:node_id -> bytes -> unit
 
 let no_handler : handler = fun _ ~self:_ ~from:_ _ -> ()
+
+let default_fault_seed = 0x0D1CEL
 
 let create () =
   {
@@ -27,8 +43,17 @@ let create () =
     handlers = [||];
     n = 0;
     links = Hashtbl.create 16;
+    faults = Hashtbl.create 4;
+    fault_rng = Rng.create default_fault_seed;
+    send_seq = Hashtbl.create 4;
+    deliv_hi = Hashtbl.create 4;
+    paused = Hashtbl.create 4;
     sent = 0;
     delivered = 0;
+    dropped = 0;
+    duplicated = 0;
+    reordered = 0;
+    corrupted = 0;
   }
 
 let now t = t.clock
@@ -63,11 +88,18 @@ let node_count t = t.n
 
 let link_key a b = if a <= b then (a, b) else (b, a)
 
+(* [v < 0.0] alone lets NaN through (every comparison with NaN is
+   false), silently scheduling events in the virtual past — reject it
+   explicitly. *)
+let check_duration v fn what =
+  if not (v >= 0.0 && v < Float.infinity) then
+    invalid_arg (Printf.sprintf "Network.%s: %s must be finite and non-negative" fn what)
+
 let connect t a b ~latency =
   check_node t a "connect";
   check_node t b "connect";
   if a = b then invalid_arg "Network.connect: self-link";
-  if latency < 0.0 then invalid_arg "Network.connect: negative latency";
+  check_duration latency "connect" "latency";
   Hashtbl.replace t.links (link_key a b) latency
 
 let disconnect t a b = Hashtbl.remove t.links (link_key a b)
@@ -82,29 +114,139 @@ let neighbors t id =
     t.links []
   |> List.sort compare
 
+(* ---- fault injection ---- *)
+
+let set_fault_seed t seed = t.fault_rng <- Rng.create seed
+
+let set_faults t a b f =
+  check_node t a "set_faults";
+  check_node t b "set_faults";
+  Faults.validate f;
+  if Faults.is_none f then Hashtbl.remove t.faults (link_key a b)
+  else Hashtbl.replace t.faults (link_key a b) f
+
+let clear_faults t a b = Hashtbl.remove t.faults (link_key a b)
+
+let link_faults t a b = Hashtbl.find_opt t.faults (link_key a b)
+
+let messages_dropped t = t.dropped
+let messages_duplicated t = t.duplicated
+let messages_reordered t = t.reordered
+let messages_corrupted t = t.corrupted
+
+let paused t id =
+  check_node t id "paused";
+  Hashtbl.mem t.paused id
+
+let queued t id =
+  check_node t id "queued";
+  match Hashtbl.find_opt t.paused id with
+  | None -> 0
+  | Some q -> Queue.length q
+
+let pause_node t id =
+  check_node t id "pause_node";
+  if not (Hashtbl.mem t.paused id) then Hashtbl.add t.paused id (Queue.create ())
+
+let resume_node t id =
+  check_node t id "resume_node";
+  match Hashtbl.find_opt t.paused id with
+  | None -> ()
+  | Some q ->
+    Hashtbl.remove t.paused id;
+    (* re-enqueue at the current instant, in arrival order; Eventq's
+       FIFO tie-breaking preserves that order against anything else
+       scheduled at this time *)
+    Queue.iter
+      (fun (src, msg) ->
+        Eventq.push t.queue ~time:t.clock (Deliver { src; dst = id; msg; seq = -1 }))
+      q
+
+let flip_random_bit rng msg =
+  let b = Bytes.copy msg in
+  let i = Rng.int rng (Bytes.length b) in
+  let bit = Rng.int rng 8 in
+  Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl bit)));
+  b
+
+let next_seq t ~src ~dst =
+  let key = (src, dst) in
+  let s = Option.value (Hashtbl.find_opt t.send_seq key) ~default:0 in
+  Hashtbl.replace t.send_seq key (s + 1);
+  s
+
 let send t ~src ~dst msg =
   check_node t src "send";
   check_node t dst "send";
+  if Hashtbl.mem t.paused src then
+    invalid_arg (Printf.sprintf "Network.send: %s is paused" t.names.(src));
   match Hashtbl.find_opt t.links (link_key src dst) with
   | None ->
     invalid_arg
       (Printf.sprintf "Network.send: %s and %s are not connected" t.names.(src) t.names.(dst))
-  | Some latency ->
+  | Some latency -> begin
     t.sent <- t.sent + 1;
-    Eventq.push t.queue ~time:(t.clock +. latency) (Deliver { src; dst; msg })
+    match Hashtbl.find_opt t.faults (link_key src dst) with
+    | None -> Eventq.push t.queue ~time:(t.clock +. latency) (Deliver { src; dst; msg; seq = -1 })
+    | Some f ->
+      let rng = t.fault_rng in
+      if f.Faults.drop > 0.0 && Rng.chance rng f.Faults.drop then
+        t.dropped <- t.dropped + 1
+      else begin
+        let msg =
+          if f.Faults.corrupt > 0.0 && Bytes.length msg > 0 && Rng.chance rng f.Faults.corrupt
+          then begin
+            t.corrupted <- t.corrupted + 1;
+            flip_random_bit rng msg
+          end
+          else msg
+        in
+        (* each copy draws its own hold, so frames (and duplicates)
+           overtake each other within the reorder window *)
+        let hold () =
+          (if f.Faults.jitter > 0.0 then Rng.float rng f.Faults.jitter else 0.0)
+          +.
+          if f.Faults.reorder > 0 then
+            float_of_int (Rng.int rng (f.Faults.reorder + 1)) *. latency
+          else 0.0
+        in
+        let seq = next_seq t ~src ~dst in
+        let deliver () =
+          Eventq.push t.queue ~time:(t.clock +. latency +. hold ()) (Deliver { src; dst; msg; seq })
+        in
+        deliver ();
+        if f.Faults.duplicate > 0.0 && Rng.chance rng f.Faults.duplicate then begin
+          t.duplicated <- t.duplicated + 1;
+          deliver ()
+        end
+      end
+  end
 
 let schedule t ~delay thunk =
-  if delay < 0.0 then invalid_arg "Network.schedule: negative delay";
+  check_duration delay "schedule" "delay";
   Eventq.push t.queue ~time:(t.clock +. delay) (Thunk thunk)
 
 let schedule_at t ~time thunk =
+  if Float.is_nan time then invalid_arg "Network.schedule_at: NaN time";
   if time < t.clock then invalid_arg "Network.schedule_at: time in the past";
   Eventq.push t.queue ~time (Thunk thunk)
 
 let dispatch t = function
-  | Deliver { src; dst; msg } ->
-    t.delivered <- t.delivered + 1;
-    t.handlers.(dst) t ~self:dst ~from:src msg
+  | Deliver { src; dst; msg; seq } -> begin
+    if seq >= 0 then begin
+      (* arrival-order accounting happens when the frame reaches the
+         node, whether or not the node is awake to process it *)
+      let key = (src, dst) in
+      let hi = Option.value (Hashtbl.find_opt t.deliv_hi key) ~default:(-1) in
+      if seq < hi then t.reordered <- t.reordered + 1
+      else Hashtbl.replace t.deliv_hi key seq
+    end;
+    match Hashtbl.find_opt t.paused dst with
+    | Some q -> Queue.push (src, msg) q
+    | None ->
+      t.delivered <- t.delivered + 1;
+      t.handlers.(dst) t ~self:dst ~from:src msg
+  end
   | Thunk f -> f ()
 
 let step t =

@@ -4,7 +4,14 @@
     latency; a virtual clock advances from event to event. This is the
     stand-in for the paper's testbed of BIRD instances on virtual
     interfaces: deterministic, and fast enough to replay full routing
-    tables. *)
+    tables.
+
+    Links are reliable and in-order by default. A per-link {!Faults.t}
+    model ({!set_faults}) makes a link hostile — loss, duplication,
+    reordering, jitter, corruption — with every decision drawn from a
+    dedicated deterministic RNG stream ({!set_fault_seed}), so a failing
+    run replays exactly from its seed. Nodes can also crash and restart
+    ({!pause_node}/{!resume_node}). *)
 
 type node_id = int
 
@@ -28,22 +35,89 @@ val node_name : t -> node_id -> string
 val node_count : t -> int
 
 val connect : t -> node_id -> node_id -> latency:float -> unit
-(** Create a bidirectional link. Reconnecting updates the latency. *)
+(** Create a bidirectional link. Reconnecting updates the latency.
+    @raise Invalid_argument if [latency] is negative, NaN or infinite
+    (a NaN latency would silently schedule deliveries in the virtual
+    past). *)
 
 val disconnect : t -> node_id -> node_id -> unit
 
 val connected : t -> node_id -> node_id -> bool
 val neighbors : t -> node_id -> node_id list
 
+(** {1 Fault injection}
+
+    Fault decisions are drawn, in a fixed per-frame order, from one
+    dedicated RNG stream per network — separate from every other
+    randomized subsystem, so the fault schedule depends only on the
+    fault seed and the (deterministic) order of sends. Equal seed, equal
+    send sequence: equal drops, duplicates, holds and bit flips. *)
+
+val set_fault_seed : t -> int64 -> unit
+(** Reset the fault RNG stream. Networks start from a fixed default
+    seed, so fault injection is reproducible even without calling this;
+    set it explicitly to explore (and later replay) other schedules. *)
+
+val set_faults : t -> node_id -> node_id -> Faults.t -> unit
+(** Attach a fault model to the link between two nodes (both
+    directions). Setting {!Faults.none} is the same as {!clear_faults}.
+    Applies to frames sent after the call; frames already in flight keep
+    the fate they were dealt.
+    @raise Invalid_argument as {!Faults.validate}, or if either node is
+    unknown. The link itself need not exist yet: faults attach to the
+    node pair. *)
+
+val clear_faults : t -> node_id -> node_id -> unit
+(** Back to reliable in-order delivery. *)
+
+val link_faults : t -> node_id -> node_id -> Faults.t option
+
+val messages_dropped : t -> int
+(** Frames lost to link faults so far. *)
+
+val messages_duplicated : t -> int
+(** Extra copies injected by link faults so far. *)
+
+val messages_reordered : t -> int
+(** Arrivals that overtook an earlier send on the same directed link: a
+    frame (or duplicate) arriving after a later-sent frame has already
+    arrived counts once. Only faulty links are tracked. *)
+
+val messages_corrupted : t -> int
+(** Frames delivered with a flipped bit so far. *)
+
+(** {1 Node crash/restart}
+
+    [pause_node] models a crashed (or rebooting) node. Queued-delivery
+    semantics: frames that {e arrive} while a node is paused are
+    buffered at the node, in arrival order, and are not counted as
+    delivered; [resume_node] re-enqueues them for immediate delivery in
+    that same order (Eventq's FIFO tie-breaking keeps it). A paused node
+    cannot transmit — {!send} from it raises — but frames it sent before
+    pausing are already in flight and still arrive, and virtual timers
+    ({!schedule}) are unaffected: they belong to whoever scheduled them,
+    not to a node. Both operations are idempotent. *)
+
+val pause_node : t -> node_id -> unit
+val resume_node : t -> node_id -> unit
+
+val paused : t -> node_id -> bool
+
+val queued : t -> node_id -> int
+(** Frames currently buffered at a paused node (0 when running). *)
+
 val send : t -> src:node_id -> dst:node_id -> bytes -> unit
-(** Queue a message for delivery after the link latency.
-    @raise Invalid_argument if the nodes are not connected. *)
+(** Queue a message for delivery after the link latency, subject to the
+    link's fault model, if any.
+    @raise Invalid_argument if the nodes are not connected or [src] is
+    paused. *)
 
 val schedule : t -> delay:float -> (unit -> unit) -> unit
-(** Run a thunk after a virtual delay (timers). *)
+(** Run a thunk after a virtual delay (timers).
+    @raise Invalid_argument if [delay] is negative, NaN or infinite. *)
 
 val schedule_at : t -> time:float -> (unit -> unit) -> unit
-(** @raise Invalid_argument if [time] is in the virtual past. *)
+(** @raise Invalid_argument if [time] is in the virtual past or NaN. *)
 
 val step : t -> bool
 (** Process the earliest pending event. [false] if none remain. *)
@@ -56,4 +130,8 @@ val run : ?until:float -> ?max_events:int -> t -> int
 val pending : t -> int
 
 val messages_sent : t -> int
+(** [send] calls that were accepted (dropped frames count: they were
+    sent, the link lost them; injected duplicates do not). *)
+
 val messages_delivered : t -> int
+(** Frames actually handed to a running node's handler. *)

@@ -22,6 +22,7 @@ let () =
       ("integration", Test_integration.suite);
       ("probe-wire", Test_probe_wire.suite);
       ("probe-rpc", Test_probe_rpc.suite);
+      ("chaos", Test_chaos.suite);
       ("distributed", Test_distributed.suite);
       ("online", Test_online.suite);
       ("croute/config", Test_croute.suite);

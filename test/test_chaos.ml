@@ -1,0 +1,204 @@
+(* Chaos soak for the federated probe path (ISSUE 4 acceptance
+   criteria): hundreds of probes over a link that drops 30% of frames,
+   duplicates 20% and reorders within a 3-frame window must
+
+   - complete with zero hangs (virtual time: the batch pump terminates),
+   - execute every probe at most once on the serving side (request-id
+     dedup, no double-counted agent stats),
+   - agree with a fault-free Local agent on every non-timeout verdict,
+   - and replay bit-identical fault schedules, stats and results when
+     rerun with the same fault seed.
+
+   The seed comes from DICE_FAULT_SEED when set (CI runs a small seed
+   matrix), default 42. *)
+open Dice_inet
+open Dice_bgp
+open Dice_core
+module Network = Dice_sim.Network
+module Faults = Dice_sim.Faults
+
+let p = Prefix.of_string
+let provider_side = Ipv4.of_string "10.0.2.1"
+let collector = Ipv4.of_string "10.0.3.2"
+
+let fault_seed =
+  match Sys.getenv_opt "DICE_FAULT_SEED" with
+  | Some s -> Int64.of_string s
+  | None -> 42L
+
+let establish router peer remote_as =
+  ignore (Router.handle_event router ~peer Fsm.Manual_start);
+  ignore (Router.handle_event router ~peer Fsm.Tcp_connected);
+  ignore
+    (Router.handle_msg router ~peer
+       (Msg.Open
+          { Msg.version = 4; my_as = remote_as land 0xFFFF; hold_time = 90; bgp_id = peer;
+            capabilities = [ Msg.Cap_as4 remote_as ] }));
+  ignore (Router.handle_msg router ~peer Msg.Keepalive)
+
+let upstream () =
+  let r =
+    Router.create
+      (Config_parser.parse
+         {|
+         router id 10.0.2.2;
+         local as 64700;
+         protocol bgp provider { neighbor 10.0.2.1 as 64510; import all; export none; }
+         protocol bgp collector { neighbor 10.0.3.2 as 64701; import all; export all; }
+         anycast [ 192.88.99.0/24 ];
+         |})
+  in
+  establish r provider_side 64510;
+  establish r collector 64701;
+  List.iter
+    (fun (prefix, origin) ->
+      let route =
+        Route.make ~origin:Attr.Igp
+          ~as_path:[ Asn.Path.Seq [ 64701; origin ] ]
+          ~next_hop:collector ()
+      in
+      ignore
+        (Router.handle_msg r ~peer:collector
+           (Msg.Update { withdrawn = []; attrs = Route.to_attrs route; nlri = [ p prefix ] })))
+    [ ("198.51.0.0/16", 64999); ("8.8.8.0/24", 64888); ("192.88.99.0/24", 64777) ];
+  r
+
+let announcement prefix =
+  Msg.Update
+    {
+      withdrawn = [];
+      attrs =
+        Route.to_attrs
+          (Route.make ~origin:Attr.Igp
+             ~as_path:[ Asn.Path.Seq [ 64510; 64512 ] ]
+             ~next_hop:provider_side ());
+      nlri = [ p prefix ];
+    }
+
+(* 300 distinct prefixes, some under the RIB's 198.51/16 umbrella *)
+let probes = 300
+
+let workload =
+  List.init probes (fun i ->
+      announcement (Printf.sprintf "198.%d.%d.0/24" (51 + (i / 200)) (i mod 200)))
+
+let render outcome =
+  match outcome with
+  | Distributed.Timeout -> "timeout"
+  | Distributed.Declined r -> "declined:" ^ r
+  | Distributed.Verdicts vs ->
+    String.concat ";"
+      (List.map
+         (fun (q, (v : Distributed.verdict)) ->
+           Printf.sprintf "%s=%b|%b|%b|%d|%d" (Prefix.to_string q) v.Distributed.accepted
+             v.Distributed.installed v.Distributed.origin_conflict
+             v.Distributed.covers_foreign v.Distributed.would_propagate)
+         vs)
+
+type soak = {
+  results : string list;  (* rendered, in workload order *)
+  executed : int;
+  served : int;
+  dedup : int;
+  agent_probes : int;  (* serving agent's own probe count *)
+  rpc : Probe_rpc.stats;
+  counters : int * int * int * int;  (* dropped, duplicated, reordered, corrupted *)
+}
+
+let run_soak seed =
+  let net = Network.create () in
+  Network.set_fault_seed net seed;
+  let serving = Distributed.agent ~name:"up-serving" ~addr:(Ipv4.of_string "10.0.2.2")
+      ~explorer_addr:provider_side (Distributed.Local (upstream ()))
+  in
+  let srv = Distributed.serve net serving in
+  let cl = Probe_rpc.client net ~name:"explorer" in
+  Network.connect net (Probe_rpc.client_node cl) (Probe_rpc.server_node srv)
+    ~latency:0.001;
+  Network.set_faults net (Probe_rpc.client_node cl) (Probe_rpc.server_node srv)
+    (Faults.make ~drop:0.3 ~duplicate:0.2 ~reorder:3 ());
+  let config =
+    { Probe_rpc.default_config with Probe_rpc.timeout = 0.05; retries = 6 }
+  in
+  let ep = Probe_rpc.endpoint ~config cl ~server:(Probe_rpc.server_node srv) in
+  let ra =
+    Distributed.agent ~name:"up-remote" ~addr:(Ipv4.of_string "10.0.2.2")
+      ~explorer_addr:provider_side (Distributed.Remote ep)
+  in
+  let results =
+    List.map (fun m -> render (Distributed.probe ra ~from:provider_side m)) workload
+  in
+  ignore (Network.run net);  (* drain stragglers: late duplicates, final retries *)
+  {
+    results;
+    executed = Probe_rpc.frames_executed srv;
+    served = Probe_rpc.frames_served srv;
+    dedup = Probe_rpc.dedup_hits srv;
+    agent_probes = (Distributed.stats serving).Distributed.probes;
+    rpc = Probe_rpc.stats ep;
+    counters =
+      ( Network.messages_dropped net, Network.messages_duplicated net,
+        Network.messages_reordered net, Network.messages_corrupted net );
+  }
+
+let test_soak_at_most_once_and_equivalence () =
+  (* fault-free local baseline *)
+  let la = Distributed.agent ~name:"up-local" ~addr:(Ipv4.of_string "10.0.2.2")
+      ~explorer_addr:provider_side (Distributed.Local (upstream ()))
+  in
+  let baseline =
+    List.map (fun m -> render (Distributed.probe la ~from:provider_side m)) workload
+  in
+  let s = run_soak fault_seed in
+  (* the chaos actually happened *)
+  let dropped, duplicated, reordered, _ = s.counters in
+  Alcotest.(check bool) "frames were dropped" true (dropped > 0);
+  Alcotest.(check bool) "frames were duplicated" true (duplicated > 0);
+  Alcotest.(check bool) "frames were reordered" true (reordered > 0);
+  Alcotest.(check bool) "duplicates hit the reply cache" true (s.dedup > 0);
+  (* at-most-once: no request id executed twice, stats not double-counted *)
+  Alcotest.(check bool) "zero double-executed probes" true (s.executed <= probes);
+  Alcotest.(check int) "agent stats count each probe once" s.executed s.agent_probes;
+  Alcotest.(check int) "every served frame either executed or deduped"
+    s.served (s.executed + s.dedup);
+  (* every non-timeout remote verdict equals its local equivalent; the
+     fault mix (no corruption) cannot silently alter a verdict *)
+  let timeouts = ref 0 in
+  List.iteri
+    (fun i (local, remote) ->
+      if remote = "timeout" then incr timeouts
+      else
+        Alcotest.(check string)
+          (Printf.sprintf "probe %d: remote verdict equals local" i)
+          local remote)
+    (List.combine baseline s.results);
+  Alcotest.(check int) "rpc stats agree on the timeout count" !timeouts
+    s.rpc.Probe_rpc.timeouts;
+  (* losing 30% of frames must not starve the soak: the retry budget
+     (6 retries, p_fail ~ 0.51^7) recovers nearly everything *)
+  Alcotest.(check bool)
+    (Printf.sprintf "most probes completed (%d/%d timed out)" !timeouts probes)
+    true
+    (!timeouts * 10 < probes)
+
+let test_soak_seed_replay () =
+  let a = run_soak fault_seed and b = run_soak fault_seed in
+  Alcotest.(check (list string)) "same seed: identical results" a.results b.results;
+  Alcotest.(check (pair (pair int int) (pair int int))) "same seed: identical fault counters"
+    (let d, u, r, c = a.counters in ((d, u), (r, c)))
+    (let d, u, r, c = b.counters in ((d, u), (r, c)));
+  Alcotest.(check int) "same seed: identical executions" a.executed b.executed;
+  Alcotest.(check int) "same seed: identical dedup hits" a.dedup b.dedup;
+  Alcotest.(check int) "same seed: identical retries" a.rpc.Probe_rpc.retries
+    b.rpc.Probe_rpc.retries;
+  Alcotest.(check int) "same seed: identical late responses"
+    a.rpc.Probe_rpc.late_responses b.rpc.Probe_rpc.late_responses;
+  let c = run_soak (Int64.add fault_seed 1L) in
+  Alcotest.(check bool) "different seed: different fault schedule" true
+    (a.counters <> c.counters || a.rpc.Probe_rpc.retries <> c.rpc.Probe_rpc.retries)
+
+let suite =
+  [ ("soak: at-most-once + local/remote equivalence", `Quick,
+      test_soak_at_most_once_and_equivalence);
+    ("soak: fault seed replays bit-identically", `Quick, test_soak_seed_replay)
+  ]

@@ -229,6 +229,126 @@ let test_garbage_frames_counted_not_fatal () =
   | Distributed.Verdicts _ -> ()
   | o -> Alcotest.failf "server should survive garbage, got %s" (render o)
 
+module Faults = Dice_sim.Faults
+
+let test_duplicating_link_at_most_once () =
+  (* dup=1.0: the request arrives twice, so does each response. The
+     server must execute once (dedup cache) and the client must complete
+     once, counting every duplicate response as late. *)
+  let ra, serving, net, cl, srv = remote_setup (upstream ()) in
+  Network.set_faults net (Probe_rpc.client_node cl) (Probe_rpc.server_node srv)
+    (Faults.make ~duplicate:1.0 ());
+  (match Distributed.probe ra ~from:provider_side (announcement [ "198.51.100.0/24" ]) with
+  | Distributed.Verdicts [ (_, v) ] ->
+    Alcotest.(check bool) "verdict intact" true v.Distributed.origin_conflict
+  | o -> Alcotest.failf "expected verdicts, got %s" (render o));
+  ignore (Network.run net);  (* drain the in-flight duplicates *)
+  Alcotest.(check int) "two request frames arrived" 2 (Probe_rpc.frames_served srv);
+  Alcotest.(check int) "the probe executed once" 1 (Probe_rpc.frames_executed srv);
+  Alcotest.(check int) "the duplicate answered from the reply cache" 1
+    (Probe_rpc.dedup_hits srv);
+  (* the serving agent's stats did not double-count *)
+  Alcotest.(check int) "agent probed once" 1 (Distributed.stats serving).Distributed.probes;
+  let ep =
+    match Distributed.agent_transport ra with
+    | Distributed.Remote ep -> ep
+    | Distributed.Local _ -> assert false
+  in
+  let s = Probe_rpc.stats ep in
+  (* 2 requests -> 2 responses, each duplicated -> 4 arrivals: 1
+     completes the call, 3 are late *)
+  Alcotest.(check int) "late responses dropped and counted" 3 s.Probe_rpc.late_responses;
+  Alcotest.(check int) "no retry was needed" 0 s.Probe_rpc.retries
+
+let test_retry_hits_dedup_cache () =
+  (* the slow-link scenario again, now asserting at-most-once on the
+     server: the 160 ms round trip outlives the 50 ms first attempt, so
+     retries re-send the same request id — the server must not re-probe *)
+  let config =
+    { Probe_rpc.default_config with Probe_rpc.timeout = 0.05; retries = 3 }
+  in
+  let ra, _, net, _, srv = remote_setup ~config ~latency:0.08 (upstream ()) in
+  (match Distributed.probe ra ~from:provider_side (announcement [ "198.51.100.0/24" ]) with
+  | Distributed.Verdicts _ -> ()
+  | o -> Alcotest.failf "expected verdicts over the slow link, got %s" (render o));
+  ignore (Network.run net);  (* let the in-flight retries reach the server *)
+  let retries = (Distributed.stats ra).Distributed.retries in
+  Alcotest.(check bool) "retries happened" true (retries >= 1);
+  Alcotest.(check int) "every retry answered from the reply cache, none re-probed"
+    retries (Probe_rpc.dedup_hits srv);
+  Alcotest.(check int) "executed exactly once" 1 (Probe_rpc.frames_executed srv)
+
+let test_server_crash_restart_recovers () =
+  (* pause the server mid-federation: requests queue at the crashed
+     node, the call degrades to a timeout; on restart the queued frames
+     drain (executing once, deduping the retries) and their responses
+     arrive late — dropped and counted, never applied to the completed
+     call. A fresh probe then succeeds. *)
+  let config =
+    { Probe_rpc.default_config with Probe_rpc.timeout = 0.05; retries = 2 }
+  in
+  let ra, _, net, _, srv = remote_setup ~config (upstream ()) in
+  Network.pause_node net (Probe_rpc.server_node srv);
+  (match Distributed.probe ra ~from:provider_side (announcement [ "198.51.100.0/24" ]) with
+  | Distributed.Timeout -> ()
+  | o -> Alcotest.failf "expected a timeout while the server is down, got %s" (render o));
+  Alcotest.(check int) "all three attempts queued at the crashed node" 3
+    (Network.queued net (Probe_rpc.server_node srv));
+  Network.resume_node net (Probe_rpc.server_node srv);
+  ignore (Network.run net);
+  Alcotest.(check int) "queued requests executed once after restart" 1
+    (Probe_rpc.frames_executed srv);
+  Alcotest.(check int) "the retries hit the reply cache" 2 (Probe_rpc.dedup_hits srv);
+  let ep =
+    match Distributed.agent_transport ra with
+    | Distributed.Remote ep -> ep
+    | Distributed.Local _ -> assert false
+  in
+  Alcotest.(check int) "post-restart responses dropped as late" 3
+    (Probe_rpc.stats ep).Probe_rpc.late_responses;
+  (* the restarted server answers fresh probes *)
+  match Distributed.probe ra ~from:provider_side (announcement [ "8.8.8.0/24" ]) with
+  | Distributed.Verdicts _ -> ()
+  | o -> Alcotest.failf "restarted server should answer, got %s" (render o)
+
+let test_corrupting_link_counted_not_fatal () =
+  (* every frame is bit-flipped in transit: whatever each flip does —
+     fails frame decode (counted malformed), fails Msg.decode (an Error
+     frame comes back), or survives — no exception may escape the event
+     loop and the call must return *)
+  let config =
+    { Probe_rpc.default_config with Probe_rpc.timeout = 0.05; retries = 3 }
+  in
+  let ra, _, net, cl, srv = remote_setup ~config (upstream ()) in
+  Network.set_fault_seed net 42L;
+  Network.set_faults net (Probe_rpc.client_node cl) (Probe_rpc.server_node srv)
+    (Faults.make ~corrupt:1.0 ());
+  let outcome = Distributed.probe ra ~from:provider_side (announcement [ "198.51.100.0/24" ]) in
+  ignore (render outcome);  (* any outcome, as long as it returned *)
+  Alcotest.(check bool) "every frame on the link was corrupted" true
+    (Network.messages_corrupted net > 0);
+  let ep =
+    match Distributed.agent_transport ra with
+    | Distributed.Remote ep -> ep
+    | Distributed.Local _ -> assert false
+  in
+  let s = Probe_rpc.stats ep in
+  Alcotest.(check bool) "the damage was noticed and counted somewhere" true
+    (Probe_rpc.bad_frames srv + s.Probe_rpc.wire_errors + s.Probe_rpc.declines
+       + s.Probe_rpc.timeouts
+    > 0);
+  (* determinism: the same fault seed replays the same outcome *)
+  let ra2, _, net2, cl2, srv2 = remote_setup ~config (upstream ()) in
+  Network.set_fault_seed net2 42L;
+  Network.set_faults net2 (Probe_rpc.client_node cl2) (Probe_rpc.server_node srv2)
+    (Faults.make ~corrupt:1.0 ());
+  let outcome2 =
+    Distributed.probe ra2 ~from:provider_side (announcement [ "198.51.100.0/24" ])
+  in
+  Alcotest.(check string) "same seed, same outcome" (render outcome) (render outcome2);
+  Alcotest.(check int) "same seed, same corruption count"
+    (Network.messages_corrupted net) (Network.messages_corrupted net2)
+
 let test_serve_rejects_remote_agent () =
   let ra, _, net, _, _ = remote_setup (upstream ()) in
   Alcotest.check_raises "no probe relays"
@@ -312,6 +432,11 @@ let suite =
     ("slow link recovered by retry backoff", `Quick, test_slow_link_backoff_recovers);
     ("server-side exception becomes a decline", `Quick, test_server_error_becomes_decline);
     ("garbage frames counted, not fatal", `Quick, test_garbage_frames_counted_not_fatal);
+    ("duplicating link: at-most-once execution", `Quick, test_duplicating_link_at_most_once);
+    ("retries answered from the reply cache", `Quick, test_retry_hits_dedup_cache);
+    ("server crash/restart: queued frames drain once", `Quick,
+      test_server_crash_restart_recovers);
+    ("corrupting link counted, not fatal", `Quick, test_corrupting_link_counted_not_fatal);
     ("serve rejects an already-remote agent", `Quick, test_serve_rejects_remote_agent);
     ("only probe frames cross the domain boundary", `Quick,
       test_wire_tap_only_probe_frames_cross)

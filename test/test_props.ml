@@ -4,6 +4,7 @@
 open Dice_inet
 open Dice_bgp
 open Dice_concolic
+module Eventq = Dice_sim.Eventq
 
 let ip = Ipv4.of_string
 
@@ -148,6 +149,53 @@ let prop_withdraw_all_empties =
       Rib.Loc.cardinal (Router.loc_rib r) = 1
       && Router.best_route r (Prefix.of_string "192.0.2.0/24") <> None)
 
+(* ---- event queue: FIFO tie-breaking ---- *)
+
+let prop_eventq_fifo_ties =
+  (* the fault-injection replay guarantee leans on this: events pushed
+     at equal timestamps pop in insertion order, whatever the heap did
+     to get there. Times are drawn from a tiny set so collisions are
+     the common case, and pushes are interleaved with pops. *)
+  QCheck.Test.make ~name:"eventq pops equal timestamps in insertion order" ~count:200
+    QCheck.(list_of_size Gen.(int_range 1 60) (pair (int_bound 3) (int_bound 2)))
+    (fun ops ->
+      let q = Eventq.create () in
+      let pushed = ref [] (* (time, payload) in push order, newest first *)
+      and popped = ref []
+      and counter = ref 0 in
+      List.iter
+        (fun (t, act) ->
+          if act = 0 && not (Eventq.is_empty q) then
+            match Eventq.pop q with
+            | Some (time, v) -> popped := (time, v) :: !popped
+            | None -> assert false
+          else begin
+            incr counter;
+            let time = float_of_int t in
+            Eventq.push q ~time !counter;
+            pushed := (time, !counter) :: !pushed
+          end)
+        ops;
+      let rec drain () =
+        match Eventq.pop q with
+        | Some (time, v) -> popped := (time, v) :: !popped; drain ()
+        | None -> ()
+      in
+      drain ();
+      let popped = List.rev !popped in
+      (* every event came out exactly once *)
+      List.sort compare popped = List.sort compare (List.rev !pushed)
+      (* within each pop run up to an interleaved push boundary, equal
+         times must preserve insertion order: payloads are the push
+         counter, so for equal times they must be increasing *)
+      && List.for_all
+           (fun time ->
+             let at_t = List.filter_map
+                 (fun (t, v) -> if t = time then Some v else None) popped
+             in
+             List.sort compare at_t = at_t)
+           [ 0.0; 1.0; 2.0; 3.0 ])
+
 (* ---- filter interpreter: concrete and concolic agree ---- *)
 
 let filter_under_test =
@@ -220,6 +268,7 @@ let suite =
     QCheck_alcotest.to_alcotest prop_snapshot_stable_layout;
     QCheck_alcotest.to_alcotest prop_loc_rib_consistent_with_adj;
     QCheck_alcotest.to_alcotest prop_withdraw_all_empties;
+    QCheck_alcotest.to_alcotest prop_eventq_fifo_ties;
     QCheck_alcotest.to_alcotest prop_filter_concolic_equiv;
     QCheck_alcotest.to_alcotest prop_import_concolic_matches_concrete_processing
   ]

@@ -164,6 +164,170 @@ let test_network_latency_ordering () =
   ignore (Net.run net);
   Alcotest.(check (list string)) "fast first" [ "slow"; "fast" ] !log
 
+(* ---- fault injection ---- *)
+
+module Faults = Dice_sim.Faults
+
+let test_faults_validation () =
+  Alcotest.(check bool) "none is none" true (Faults.is_none Faults.none);
+  List.iter
+    (fun f ->
+      match f () with
+      | exception Invalid_argument _ -> ()
+      | (_ : Faults.t) -> Alcotest.fail "invalid fault model accepted")
+    [ (fun () -> Faults.make ~drop:1.5 ());
+      (fun () -> Faults.make ~drop:(-0.1) ());
+      (fun () -> Faults.make ~duplicate:Float.nan ());
+      (fun () -> Faults.make ~corrupt:2.0 ());
+      (fun () -> Faults.make ~reorder:(-1) ());
+      (fun () -> Faults.make ~jitter:(-1.0) ());
+      (fun () -> Faults.make ~jitter:Float.infinity ()) ]
+
+let test_connect_rejects_nan_latency () =
+  let net, a, b, _ = two_nodes () in
+  List.iter
+    (fun l ->
+      match Net.connect net a b ~latency:l with
+      | exception Invalid_argument _ -> ()
+      | () -> Alcotest.failf "latency %f accepted" l)
+    [ Float.nan; -1.0; Float.infinity ];
+  List.iter
+    (fun d ->
+      match Net.schedule net ~delay:d (fun () -> ()) with
+      | exception Invalid_argument _ -> ()
+      | () -> Alcotest.failf "delay %f accepted" d)
+    [ Float.nan; -0.5; Float.infinity ];
+  match Net.schedule_at net ~time:Float.nan (fun () -> ()) with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "NaN time accepted"
+
+let test_faults_drop_all () =
+  let net, a, b, received = two_nodes () in
+  Net.set_faults net a b (Faults.make ~drop:1.0 ());
+  for _ = 1 to 10 do
+    Net.send net ~src:a ~dst:b (Bytes.of_string "x")
+  done;
+  ignore (Net.run net);
+  Alcotest.(check (list (triple int int string))) "nothing delivered" [] !received;
+  Alcotest.(check int) "all counted dropped" 10 (Net.messages_dropped net);
+  Alcotest.(check int) "sent still counts the sends" 10 (Net.messages_sent net);
+  Alcotest.(check int) "delivered none" 0 (Net.messages_delivered net);
+  (* clearing restores reliable delivery *)
+  Net.clear_faults net a b;
+  Net.send net ~src:a ~dst:b (Bytes.of_string "y");
+  ignore (Net.run net);
+  Alcotest.(check int) "reliable again" 1 (List.length !received)
+
+let test_faults_duplicate_all () =
+  let net, a, b, received = two_nodes () in
+  Net.set_faults net a b (Faults.make ~duplicate:1.0 ());
+  for _ = 1 to 5 do
+    Net.send net ~src:a ~dst:b (Bytes.of_string "d")
+  done;
+  ignore (Net.run net);
+  Alcotest.(check int) "every frame delivered twice" 10 (List.length !received);
+  Alcotest.(check int) "duplicates counted" 5 (Net.messages_duplicated net);
+  Alcotest.(check int) "sent counts send calls only" 5 (Net.messages_sent net)
+
+let test_faults_corrupt_flips_one_bit () =
+  let net, a, b, received = two_nodes () in
+  Net.set_faults net a b (Faults.make ~corrupt:1.0 ());
+  let payload = "payload-payload" in
+  Net.send net ~src:a ~dst:b (Bytes.of_string payload);
+  ignore (Net.run net);
+  (match !received with
+  | [ (_, _, got) ] ->
+    Alcotest.(check int) "same length" (String.length payload) (String.length got);
+    let diff_bits = ref 0 in
+    String.iteri
+      (fun i c ->
+        let x = Char.code c lxor Char.code payload.[i] in
+        for bit = 0 to 7 do
+          if x land (1 lsl bit) <> 0 then incr diff_bits
+        done)
+      got;
+    Alcotest.(check int) "exactly one bit flipped" 1 !diff_bits
+  | l -> Alcotest.failf "expected one delivery, got %d" (List.length l));
+  Alcotest.(check int) "corruption counted" 1 (Net.messages_corrupted net);
+  (* the sender's buffer is never touched *)
+  let original = Bytes.of_string "untouched" in
+  Net.send net ~src:a ~dst:b original;
+  ignore (Net.run net);
+  Alcotest.(check string) "sender copy intact" "untouched" (Bytes.to_string original)
+
+let test_faults_reorder_window () =
+  let net = Net.create () in
+  let received = ref [] in
+  let a = Net.add_node net ~name:"a" ~handler:(fun _ ~self:_ ~from:_ _ -> ()) in
+  let b =
+    Net.add_node net ~name:"b" ~handler:(fun _ ~self:_ ~from:_ msg ->
+        received := Bytes.to_string msg :: !received)
+  in
+  Net.connect net a b ~latency:0.01;
+  Net.set_faults net a b (Faults.make ~reorder:4 ());
+  let n = 50 in
+  for i = 0 to n - 1 do
+    Net.send net ~src:a ~dst:b (Bytes.of_string (string_of_int i))
+  done;
+  ignore (Net.run net);
+  let got = List.rev !received in
+  Alcotest.(check int) "every frame arrives exactly once" n (List.length got);
+  Alcotest.(check (list string)) "delivery is a permutation of the sends"
+    (List.sort compare (List.init n string_of_int))
+    (List.sort compare got);
+  Alcotest.(check bool) "the order actually changed" true
+    (got <> List.init n string_of_int);
+  Alcotest.(check bool) "reordered arrivals counted" true (Net.messages_reordered net > 0)
+
+let test_faults_seed_replay () =
+  let counters seed =
+    let net = Net.create () in
+    let a = Net.add_node net ~name:"a" ~handler:(fun _ ~self:_ ~from:_ _ -> ()) in
+    let b = Net.add_node net ~name:"b" ~handler:(fun _ ~self:_ ~from:_ _ -> ()) in
+    Net.connect net a b ~latency:0.01;
+    Net.set_fault_seed net seed;
+    Net.set_faults net a b
+      (Faults.make ~drop:0.3 ~duplicate:0.2 ~reorder:3 ~jitter:0.002 ~corrupt:0.1 ());
+    for i = 0 to 199 do
+      Net.send net ~src:a ~dst:b (Bytes.make 20 (Char.chr (i land 0xFF)))
+    done;
+    ignore (Net.run net);
+    ( Net.messages_dropped net,
+      Net.messages_duplicated net,
+      Net.messages_reordered net,
+      Net.messages_corrupted net,
+      Net.messages_delivered net )
+  in
+  let r1 = counters 42L and r2 = counters 42L and r3 = counters 7L in
+  Alcotest.(check bool) "same seed, identical fault schedule" true (r1 = r2);
+  Alcotest.(check bool) "different seed, different schedule" true (r1 <> r3);
+  let d, u, r, c, _ = r1 in
+  Alcotest.(check bool) "all fault classes exercised" true (d > 0 && u > 0 && r > 0 && c > 0)
+
+let test_pause_resume_queues_delivery () =
+  let net, a, b, received = two_nodes () in
+  Net.pause_node net b;
+  Net.pause_node net b;  (* idempotent *)
+  Alcotest.(check bool) "paused" true (Net.paused net b);
+  List.iter (fun s -> Net.send net ~src:a ~dst:b (Bytes.of_string s)) [ "1"; "2"; "3" ];
+  ignore (Net.run net);
+  Alcotest.(check (list (triple int int string))) "nothing delivered while down" []
+    !received;
+  Alcotest.(check int) "frames buffered at the node" 3 (Net.queued net b);
+  Alcotest.(check int) "not counted delivered" 0 (Net.messages_delivered net);
+  (* a crashed node cannot transmit *)
+  (match Net.send net ~src:b ~dst:a Bytes.empty with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "send from a paused node must raise");
+  Net.resume_node net b;
+  Alcotest.(check bool) "running again" false (Net.paused net b);
+  Alcotest.(check int) "buffer drained into the event queue" 0 (Net.queued net b);
+  ignore (Net.run net);
+  Alcotest.(check (list string)) "queued frames delivered in arrival order"
+    [ "1"; "2"; "3" ]
+    (List.rev_map (fun (_, _, m) -> m) !received);
+  Net.resume_node net b  (* idempotent *)
+
 (* ---- Isolation ---- *)
 
 let test_isolation_captures () =
@@ -212,6 +376,14 @@ let suite =
     ("network schedule past rejected", `Quick, test_network_schedule_past_rejected);
     ("network node names", `Quick, test_network_node_names);
     ("network latency ordering", `Quick, test_network_latency_ordering);
+    ("fault model validation", `Quick, test_faults_validation);
+    ("connect/schedule reject NaN and negatives", `Quick, test_connect_rejects_nan_latency);
+    ("faults: drop everything", `Quick, test_faults_drop_all);
+    ("faults: duplicate everything", `Quick, test_faults_duplicate_all);
+    ("faults: corruption flips exactly one bit", `Quick, test_faults_corrupt_flips_one_bit);
+    ("faults: reorder window permutes, loses nothing", `Quick, test_faults_reorder_window);
+    ("faults: seed replays the exact schedule", `Quick, test_faults_seed_replay);
+    ("pause/resume: queued-delivery semantics", `Quick, test_pause_resume_queues_delivery);
     ("isolation captures", `Quick, test_isolation_captures);
     ("isolation never delivers", `Quick, test_isolation_never_delivers);
     ("isolation drain", `Quick, test_isolation_drain);
