@@ -19,6 +19,9 @@
          retry amplification vs loss rate, with duplication and
          reordering on, at a fixed fault seed
          (machine-readable copy in BENCH_p4.json)
+     P5  heterogeneous federation: probe throughput and verdict-cache
+         hit rate over a BIRD-only fleet vs a mixed BIRD+Quagga fleet
+         (machine-readable copy in BENCH_p5.json)
    plus a Bechamel micro-benchmark suite for the hot paths.
 
    By default everything runs at a laptop-friendly scale; set
@@ -94,11 +97,15 @@ let loaded_provider ?(filtering = Threerouter.Partially_correct) ?(n = table_pre
 let observe_and_cfg ?(mode = Symbolize.Selective) ?(runs = 256) router =
   let cfg =
     { Orchestrator.default_cfg with
-      Orchestrator.mode;
-      explorer = { Explorer.default_config with Explorer.max_runs = runs; max_depth = 96 };
+      Orchestrator.exploration =
+        { Orchestrator.default_exploration with
+          Orchestrator.mode;
+          explorer =
+            { Explorer.default_config with Explorer.max_runs = runs; max_depth = 96 };
+        };
     }
   in
-  let dice = Orchestrator.create ~cfg router in
+  let dice = Orchestrator.create ~cfg (Speakers.bird router) in
   Orchestrator.observe dice ~peer:Threerouter.customer_addr
     ~prefix:(p "203.0.113.0/24") ~route:(customer_route ());
   dice
@@ -199,8 +206,12 @@ let experiment_e1 () =
   let dice = observe_and_cfg router in
   let dice =
     Orchestrator.create
-      ~cfg:{ Orchestrator.default_cfg with Orchestrator.clone_samples = 16 }
-      (Orchestrator.router dice)
+      ~cfg:
+        { Orchestrator.default_cfg with
+          Orchestrator.exploration =
+            { Orchestrator.default_exploration with Orchestrator.clone_samples = 16 };
+        }
+      (Orchestrator.speaker dice)
   in
   Orchestrator.observe dice ~peer:Threerouter.customer_addr
     ~prefix:(p "203.0.113.0/24") ~route:(customer_route ());
@@ -499,12 +510,15 @@ let experiment_p1 () =
         time_median (fun () ->
             let cfg =
               { Orchestrator.default_cfg with
-                Orchestrator.jobs;
-                explorer =
-                  { Explorer.default_config with Explorer.max_runs = 64; max_depth = 96 };
+                Orchestrator.exploration =
+                  { Orchestrator.default_exploration with
+                    Orchestrator.jobs;
+                    explorer =
+                      { Explorer.default_config with Explorer.max_runs = 64; max_depth = 96 };
+                  };
               }
             in
-            let dice = Orchestrator.create ~cfg router in
+            let dice = Orchestrator.create ~cfg (Speakers.bird router) in
             List.iter
               (fun prefix ->
                 Orchestrator.observe dice ~peer:Threerouter.customer_addr ~prefix
@@ -561,7 +575,7 @@ let experiment_p2 () =
         Distributed.agent
           ~name:(Printf.sprintf "upstream-%d" i)
           ~addr:Threerouter.internet_addr ~explorer_addr:explorer_side
-          (Distributed.Local upstream))
+          (Distributed.Local (Speakers.bird upstream)))
   in
   let probe_msg i =
     Msg.Update
@@ -654,7 +668,7 @@ let experiment_p3 () =
   let net = Dice_sim.Network.create () in
   let serving =
     Distributed.agent ~name:"upstream" ~addr:Threerouter.internet_addr
-      ~explorer_addr:explorer_side (Distributed.Local upstream)
+      ~explorer_addr:explorer_side (Distributed.Local (Speakers.bird upstream))
   in
   let srv = Distributed.serve net serving in
   let cl = Probe_rpc.client net ~name:"bench-explorer" in
@@ -808,7 +822,7 @@ let experiment_p4 () =
     Dice_sim.Network.set_fault_seed net fault_seed;
     let serving =
       Distributed.agent ~name:"upstream" ~addr:Threerouter.internet_addr
-        ~explorer_addr:explorer_side (Distributed.Local upstream)
+        ~explorer_addr:explorer_side (Distributed.Local (Speakers.bird upstream))
     in
     let srv = Distributed.serve net serving in
     let cl = Probe_rpc.client net ~name:"bench-explorer" in
@@ -863,6 +877,115 @@ let experiment_p4 () =
   output_string oc "\n";
   close_out oc;
   row "wrote BENCH_p4.json\n"
+
+(* ------------------------------------------------------------------ *)
+(* P5: heterogeneous federation — mixed-fleet probing                  *)
+(* ------------------------------------------------------------------ *)
+
+let experiment_p5 () =
+  section "P5" "heterogeneous federation: BIRD-only vs mixed BIRD+Quagga fleet";
+  let explorer_side = Ipv4.of_string "10.0.2.1" in
+  let collector = Ipv4.of_string "10.0.3.2" in
+  let n_private = min 4_000 table_prefixes in
+  (* one private table, replayed into every agent regardless of
+     implementation: the fleets differ only in what answers the probes *)
+  let private_table =
+    Gen.to_updates
+      (Gen.generate
+         { Gen.default_params with Gen.n_prefixes = n_private; collector_as = 64701 })
+      ~peer_as:64701 ~next_hop:collector
+  in
+  let mk_agent impl i =
+    let sp =
+      match
+        Speakers.create impl
+          (Config_parser.parse
+             (Printf.sprintf
+                "router id 10.0.2.2; local as %d;\n\
+                 protocol bgp provider { neighbor 10.0.2.1 as %d; import all; export none; }\n\
+                 protocol bgp collector { neighbor 10.0.3.2 as 64701; import all; export none; }"
+                (64700 + i) Threerouter.provider_as))
+      with
+      | Some sp -> sp
+      | None -> invalid_arg ("unknown speaker: " ^ impl)
+    in
+    Speaker.establish sp ~peer:explorer_side;
+    Speaker.establish sp ~peer:collector;
+    List.iter (fun m -> ignore (Speaker.feed sp ~peer:collector m)) private_table;
+    Distributed.agent
+      ~name:(Printf.sprintf "%s-%d" impl i)
+      ~addr:Threerouter.internet_addr ~explorer_addr:explorer_side
+      (Distributed.Local sp)
+  in
+  let probe_msg i =
+    Msg.Update
+      { Msg.withdrawn = [];
+        attrs =
+          Route.to_attrs
+            (Route.make ~origin:Attr.Igp
+               ~as_path:
+                 [ Asn.Path.Seq [ Threerouter.provider_as; Threerouter.customer_as ] ]
+               ~next_hop:explorer_side ());
+        nlri = [ p (Printf.sprintf "198.51.%d.0/24" (i mod 256)) ];
+      }
+  in
+  let n_probes = 64 in
+  let passes = 2 in
+  row "%d private routes behind each agent; %d distinct probes x%d passes per agent, jobs=4\n"
+    n_private n_probes passes;
+  row "%-12s %-22s %-12s %-14s %-9s %s\n" "fleet" "speakers" "wall (ms)"
+    "probes/s wall" "vcache" "hit rate";
+  let json_rows = ref [] in
+  let fleet name impls =
+    let agents = List.mapi (fun i impl -> mk_agent impl i) impls in
+    let reqs =
+      (* the second pass re-probes the same messages: while the agents'
+         live speakers stand still, it must answer from the vcache *)
+      List.concat_map
+        (fun a ->
+          List.concat
+            (List.init passes (fun _ ->
+                 List.init n_probes (fun i -> (a, explorer_side, probe_msg i)))))
+        agents
+    in
+    let t0 = Unix.gettimeofday () in
+    let answers = Distributed.probe_all ~jobs:4 reqs in
+    let wall = Unix.gettimeofday () -. t0 in
+    let stats = List.map Distributed.stats agents in
+    let probes = List.fold_left (fun a s -> a + s.Distributed.probes) 0 stats in
+    let hits = List.fold_left (fun a s -> a + s.Distributed.vcache_hits) 0 stats in
+    let hit_rate = float_of_int hits /. float_of_int (max 1 probes) in
+    let verdicts = List.length (List.concat_map Distributed.verdicts answers) in
+    row "%-12s %-22s %-12.2f %-14.0f %-9d %.1f%%\n" name (String.concat "+" impls)
+      (1000.0 *. wall)
+      (float_of_int probes /. wall)
+      hits (100.0 *. hit_rate);
+    json_rows :=
+      Dice_util.Json.obj
+        [ ("fleet", Dice_util.Json.string name);
+          ("speakers", Dice_util.Json.List (List.map Dice_util.Json.string impls));
+          ("probes", Dice_util.Json.int probes);
+          ("wall_s", Dice_util.Json.float wall);
+          ("throughput_wall_per_s", Dice_util.Json.float (float_of_int probes /. wall));
+          ("vcache_hits", Dice_util.Json.int hits);
+          ("vcache_hit_rate", Dice_util.Json.float hit_rate);
+          ("verdicts", Dice_util.Json.int verdicts) ]
+      :: !json_rows
+  in
+  fleet "bird-only" [ "bird"; "bird" ];
+  fleet "mixed" [ "bird"; "quagga" ];
+  let json =
+    Dice_util.Json.obj
+      [ ("experiment", Dice_util.Json.string "p5");
+        ("private_routes", Dice_util.Json.int n_private);
+        ("probes_per_agent", Dice_util.Json.int (n_probes * passes));
+        ("fleets", Dice_util.Json.List (List.rev !json_rows)) ]
+  in
+  let oc = open_out "BENCH_p5.json" in
+  output_string oc (Dice_util.Json.to_string ~indent:true json);
+  output_string oc "\n";
+  close_out oc;
+  row "wrote BENCH_p5.json\n"
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
@@ -1009,17 +1132,20 @@ let experiment_x1 () =
   let agent =
     Distributed.agent ~name:"upstream" ~addr:Threerouter.internet_addr
       ~explorer_addr:(Ipv4.of_string "10.0.2.1")
-      (Distributed.Local upstream)
+      (Distributed.Local (Speakers.bird upstream))
   in
   let cfg =
     { Orchestrator.default_cfg with
       Orchestrator.checkers =
         [ Hijack.checker; Distributed.checker ~jobs:1 ~agents:[ agent ] ];
-      explorer =
-        { Explorer.default_config with Explorer.max_runs = 256; max_depth = 96 };
+      exploration =
+        { Orchestrator.default_exploration with
+          Orchestrator.explorer =
+            { Explorer.default_config with Explorer.max_runs = 256; max_depth = 96 };
+        };
     }
   in
-  let dice = Orchestrator.create ~cfg provider in
+  let dice = Orchestrator.create ~cfg (Speakers.bird provider) in
   Orchestrator.observe dice ~peer:Threerouter.customer_addr
     ~prefix:(p "203.0.113.0/24") ~route:(customer_route ());
   let report = Orchestrator.explore dice in
@@ -1051,14 +1177,17 @@ let experiment_x2 () =
   in
   let vcfg =
     { Orchestrator.default_cfg with
-      Orchestrator.explorer =
-        { Explorer.default_config with Explorer.max_runs = 160; max_depth = 96 };
+      Orchestrator.exploration =
+        { Orchestrator.default_exploration with
+          Orchestrator.explorer =
+            { Explorer.default_config with Explorer.max_runs = 160; max_depth = 96 };
+        };
     }
   in
   row "%-42s %-14s %-7s %-11s %s\n" "proposed change" "verdict" "fixed" "introduced" "regressions";
   List.iter
     (fun (name, proposed) ->
-      let c = Validate.config_change ~cfg:vcfg ~live:router ~proposed ~seeds () in
+      let c = Validate.config_change ~cfg:vcfg ~live:(Speakers.bird router) ~proposed ~seeds () in
       let verdict =
         match Validate.verdict c with
         | `Safe -> "SAFE"
@@ -1098,6 +1227,7 @@ let () =
   experiment_p2 ();
   experiment_p3 ();
   experiment_p4 ();
+  experiment_p5 ();
   experiment_x1 ();
   experiment_x2 ();
   micro_benchmarks ();

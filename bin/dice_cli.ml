@@ -89,6 +89,14 @@ let reorder_arg =
           "Reorder window on the inter-domain link: each frame may be held back \
            behind up to $(docv) later sends (remote transport only).")
 
+let speaker_arg =
+  Arg.(
+    value
+    & opt (enum (List.map (fun n -> (n, n)) Speakers.names)) "bird"
+    & info [ "speaker" ] ~docv:"IMPL"
+        ~doc:
+          "BGP implementation behind each cooperating agent: $(b,bird) (the            instrumented reference) or $(b,quagga) (the heterogeneous            second implementation — different RIB layout and decision            tie-breaking). Both answer the same probe frames; mixing            implementations across domains is the paper's heterogeneous            setup.")
+
 let fault_seed_arg =
   Arg.(
     value
@@ -103,9 +111,9 @@ let fault_seed_arg =
    toward the provider) that only remote probing can check against. Each
    upstream routes different slices of 198.0.0.0/8 — the space the
    partially-correct filter leaks. *)
-let mk_remote_agents n =
+let mk_remote_agents ~speaker n =
   List.init n (fun i ->
-      let r =
+      let cfg =
         Config_parser.parse
           (Printf.sprintf
              {|
@@ -115,21 +123,18 @@ let mk_remote_agents n =
              protocol bgp collector { neighbor 10.0.3.2 as %d; import all; export all; }
              |}
              (Threerouter.internet_as + i) Threerouter.provider_as (64801 + i))
-        |> Router.create
+      in
+      (* any registered implementation serves: establishment and feeding go
+         through the SPEAKER interface, which hides whether sessions come up
+         by FSM handshake (bird) or administratively (quagga) *)
+      let sp =
+        match Speakers.create speaker cfg with
+        | Some sp -> sp
+        | None -> invalid_arg ("unknown speaker implementation: " ^ speaker)
       in
       let collector = Ipv4.of_string "10.0.3.2" in
-      let establish peer remote_as =
-        ignore (Router.handle_event r ~peer Fsm.Manual_start);
-        ignore (Router.handle_event r ~peer Fsm.Tcp_connected);
-        ignore
-          (Router.handle_msg r ~peer
-             (Msg.Open
-                { Msg.version = 4; my_as = remote_as land 0xFFFF; hold_time = 90;
-                  bgp_id = peer; capabilities = [ Msg.Cap_as4 remote_as ] }));
-        ignore (Router.handle_msg r ~peer Msg.Keepalive)
-      in
-      establish Threerouter.provider_addr_internet_side Threerouter.provider_as;
-      establish collector (64801 + i);
+      Speaker.establish sp ~peer:Threerouter.provider_addr_internet_side;
+      Speaker.establish sp ~peer:collector;
       List.iter
         (fun (prefix, origin) ->
           let route =
@@ -138,20 +143,20 @@ let mk_remote_agents n =
               ~next_hop:collector ()
           in
           ignore
-            (Router.handle_msg r ~peer:collector
+            (Speaker.feed sp ~peer:collector
                (Msg.Update
                   { withdrawn = []; attrs = Route.to_attrs route; nlri = [ Prefix.of_string prefix ] })))
         [ (Printf.sprintf "198.%d.0.0/16" (16 * i), 64900 + i);
           (Printf.sprintf "198.%d.0.0/14" (64 + (4 * i)), 64950 + i) ];
       Distributed.agent
-        ~name:(Printf.sprintf "upstream-%d" i)
+        ~name:(Printf.sprintf "upstream-%d-%s" i (Speaker.id sp))
         ~addr:Threerouter.internet_addr
         ~explorer_addr:Threerouter.provider_addr_internet_side
-        (Distributed.Local r))
+        (Distributed.Local sp))
 
 (* Remote transport: put each agent on the simulated network as a probe
-   server and hand the orchestrator wire endpoints instead of routers.
-   From here on, nothing outside the agents can reach their routers —
+   server and hand the orchestrator wire endpoints instead of speakers.
+   From here on, nothing outside the agents can reach their speakers —
    probes travel as frames over the (lossy, latent) links. *)
 let remotify net serving_agents =
   let cl = Probe_rpc.client net ~name:"explorer-probe" in
@@ -267,13 +272,14 @@ let run_cmd =
 
 (* ---------------- detect-leaks ---------------- *)
 
-let detect_leaks filtering seed prefixes runs jobs agents transport loss dup reorder
-    fault_seed json =
+let detect_leaks filtering seed prefixes runs jobs agents speaker transport loss dup
+    reorder fault_seed json =
   let topo, _, n = build_loaded ~filtering ~seed ~prefixes in
   Printf.printf "table loaded: %d routes; filtering=%s\n" n
     (Threerouter.filtering_to_string filtering);
+  if agents > 0 then Printf.printf "cooperating domains run the %s speaker\n" speaker;
   let provider = Threerouter.provider_router topo in
-  let serving_agents = mk_remote_agents (max 0 agents) in
+  let serving_agents = mk_remote_agents ~speaker (max 0 agents) in
   let remote_agents =
     match transport with
     | `Local -> serving_agents
@@ -289,18 +295,20 @@ let detect_leaks filtering seed prefixes runs jobs agents transport loss dup reo
        local there is no wire, so they have no effect";
   let cfg =
     { Orchestrator.default_cfg with
-      Orchestrator.explorer =
-        { Dice_concolic.Explorer.default_config with
-          Dice_concolic.Explorer.max_runs = runs;
-          max_depth = 96;
+      Orchestrator.exploration =
+        { Orchestrator.default_exploration with
+          Orchestrator.explorer =
+            { Dice_concolic.Explorer.default_config with
+              Dice_concolic.Explorer.max_runs = runs;
+              max_depth = 96;
+            };
+          jobs = max 1 jobs;
         };
-      agents = remote_agents;
-      jobs = max 1 jobs;
-      probe_faults;
-      fault_seed;
+      federation = Orchestrator.federation ~agents:remote_agents ~probe_jobs:(max 1 jobs);
+      faults = Orchestrator.faults ~probe:probe_faults ~seed:fault_seed;
     }
   in
-  let dice = Orchestrator.create ~cfg provider in
+  let dice = Orchestrator.create ~cfg (Speakers.bird provider) in
   Orchestrator.observe dice ~peer:Threerouter.customer_addr
     ~prefix:(Prefix.of_string "203.0.113.0/24")
     ~route:(customer_route ());
@@ -318,7 +326,7 @@ let detect_leaks filtering seed prefixes runs jobs agents transport loss dup reo
         (100.0 *. s.Distributed.vcache_hit_rate)
         s.Distributed.declines s.Distributed.timeouts s.Distributed.retries)
     remote_agents;
-  (* in remote mode the router-side figures live with the serving agent *)
+  (* in remote mode the speaker-side figures live with the serving agent *)
   if transport = `Remote then
     List.iter
       (fun a ->
@@ -361,14 +369,14 @@ let detect_leaks_cmd =
          "Run DiCE exploration on the provider and report hijackable prefix ranges \
           (exit status 1 if any are found). With $(b,--agents), exploration \
           outcomes are also probed at simulated cooperating remote domains over \
-          the worker pool; with $(b,--transport remote) plus \
+          the worker pool ($(b,--speaker) picks the BGP implementation they run); with $(b,--transport remote) plus \
           $(b,--loss)/$(b,--dup)/$(b,--reorder), the probe links misbehave \
           deterministically ($(b,--fault-seed)) and the RPC layer must stay \
           at-most-once and hang-free.")
     Term.(
       const detect_leaks $ filtering_arg $ seed_arg $ prefixes_arg $ runs_arg
-      $ jobs_arg $ agents_arg $ transport_arg $ loss_arg $ dup_arg $ reorder_arg
-      $ fault_seed_arg $ json_arg)
+      $ jobs_arg $ agents_arg $ speaker_arg $ transport_arg $ loss_arg $ dup_arg
+      $ reorder_arg $ fault_seed_arg $ json_arg)
 
 (* ---------------- explore-filter ---------------- *)
 
@@ -467,15 +475,18 @@ let validate_change proposed_file seed prefixes runs jobs json =
   in
   let cfg =
     { Orchestrator.default_cfg with
-      Orchestrator.explorer =
-        { Dice_concolic.Explorer.default_config with
-          Dice_concolic.Explorer.max_runs = runs;
-          max_depth = 96;
+      Orchestrator.exploration =
+        { Orchestrator.default_exploration with
+          Orchestrator.explorer =
+            { Dice_concolic.Explorer.default_config with
+              Dice_concolic.Explorer.max_runs = runs;
+              max_depth = 96;
+            };
+          jobs = max 1 jobs;
         };
-      jobs = max 1 jobs;
     }
   in
-  let c = Validate.config_change ~cfg ~live ~proposed ~seeds () in
+  let c = Validate.config_change ~cfg ~live:(Speakers.bird live) ~proposed ~seeds () in
   if json then print_endline (Dice_util.Json.to_string ~indent:true (Report.comparison_json c))
   else Format.printf "%a@." Validate.pp c;
   match Validate.verdict c with

@@ -1,4 +1,6 @@
-(* Cross-network exploration across administrative domains (paper §2.4).
+(* Cross-network exploration across administrative domains (paper §2.4),
+   now heterogeneous: the cooperating upstream runs the Quagga-flavored
+   speaker while the DiCE-enabled provider runs BIRD.
 
    The federated setting: the upstream keeps its routing table private
    ("competitive concerns are likely to induce individual providers to
@@ -8,7 +10,8 @@
    conflicts. The upstream cooperates only through DiCE's narrow
    interface: it checkpoints its own state, processes exploration
    messages over an isolated clone, and answers with verdicts — no RIB
-   contents cross the domain boundary.
+   contents cross the domain boundary, and nothing in the interface
+   reveals (or depends on) which BGP implementation answers.
 
    Run with: dune exec examples/federation.exe *)
 
@@ -17,8 +20,23 @@ open Dice_bgp
 open Dice_core
 
 let p = Prefix.of_string
+let provider_facing = Ipv4.of_string "10.0.2.1"
+let collector = Ipv4.of_string "10.0.3.2"
 
-let establish router peer remote_as =
+let upstream_config =
+  {|
+  router id 10.0.2.2;
+  local as 64700;
+  protocol bgp provider { neighbor 10.0.2.1 as 64510; import all; export none; }
+  protocol bgp collector { neighbor 10.0.3.2 as 64701; import all; export none; }
+  |}
+
+let mk_upstream impl =
+  match Speakers.create impl (Config_parser.parse upstream_config) with
+  | Some sp -> sp
+  | None -> invalid_arg ("unknown speaker: " ^ impl)
+
+let establish_router router peer remote_as =
   ignore (Router.handle_event router ~peer Fsm.Manual_start);
   ignore (Router.handle_event router ~peer Fsm.Tcp_connected);
   ignore
@@ -31,30 +49,24 @@ let establish router peer remote_as =
 let () =
   print_endline "== cross-domain exploration through a narrow interface ==\n";
 
-  (* The upstream (a different administrative domain): full table learned
-     from its own collector session, nothing exported to the provider. *)
-  let upstream =
-    Router.create
-      (Config_parser.parse
-         {|
-         router id 10.0.2.2;
-         local as 64700;
-         protocol bgp provider { neighbor 10.0.2.1 as 64510; import all; export none; }
-         protocol bgp collector { neighbor 10.0.3.2 as 64701; import all; export none; }
-         |})
-  in
-  establish upstream (Ipv4.of_string "10.0.2.1") 64510;
-  establish upstream (Ipv4.of_string "10.0.3.2") 64701;
+  (* The upstream (a different administrative domain, a different BGP
+     implementation): a Quagga-flavored speaker with a full table
+     learned from its own collector session, nothing exported to the
+     provider. Establishment and feeding go through the SPEAKER
+     interface — the example never names Qrouter. *)
+  let upstream = mk_upstream "quagga" in
+  Speaker.establish upstream ~peer:provider_facing;
+  Speaker.establish upstream ~peer:collector;
   let trace =
     Dice_trace.Gen.generate
       { Dice_trace.Gen.default_params with Dice_trace.Gen.n_prefixes = 5_000;
         collector_as = 64701 }
   in
-  ignore
-    (Dice_trace.Replay.feed_dump upstream ~peer:(Ipv4.of_string "10.0.3.2")
-       ~next_hop:(Ipv4.of_string "10.0.3.2") trace);
-  Printf.printf "upstream (private) table: %d routes\n"
-    (Rib.Loc.cardinal (Router.loc_rib upstream));
+  List.iter
+    (fun msg -> ignore (Speaker.feed upstream ~peer:collector msg))
+    (Dice_trace.Gen.to_updates trace ~peer_as:64701 ~next_hop:collector);
+  Printf.printf "upstream (private, %s) table: %d routes\n" (Speaker.id upstream)
+    (Rib.Loc.cardinal (Speaker.loc_rib upstream));
 
   (* The provider: mis-filtered customer session; its upstream session
      receives nothing, so its own RIB is nearly empty. *)
@@ -62,8 +74,8 @@ let () =
     Router.create (Dice_topology.Threerouter.provider_config
                      Dice_topology.Threerouter.Partially_correct)
   in
-  establish provider Dice_topology.Threerouter.customer_addr 64501;
-  establish provider Dice_topology.Threerouter.internet_addr 64700;
+  establish_router provider Dice_topology.Threerouter.customer_addr 64501;
+  establish_router provider Dice_topology.Threerouter.internet_addr 64700;
   let customer_route =
     Route.make ~origin:Attr.Igp
       ~as_path:[ Asn.Path.Seq [ Dice_topology.Threerouter.customer_as ] ]
@@ -76,19 +88,20 @@ let () =
            (Msg.Update
               { Msg.withdrawn = []; attrs = Route.to_attrs customer_route; nlri = [ prefix ] })))
     Dice_topology.Threerouter.customer_prefixes;
-  Printf.printf "provider (local) table:   %d routes -- the upstream exports nothing\n\n"
+  Printf.printf "provider (local, bird) table:   %d routes -- the upstream exports nothing\n\n"
     (Rib.Loc.cardinal (Router.loc_rib provider));
 
   (* DiCE at the provider, with the upstream cooperating as a remote
      agent — here over the federated wire: the upstream serves probe
      frames from a node on a simulated network, and the link is slow
      (80 ms) and flaky (it drops mid-run, below). Only Probe_wire
-     frames ever cross it. *)
+     frames ever cross it; the provider cannot tell it is probing a
+     different implementation. *)
   let net = Dice_sim.Network.create () in
   let serving =
     Distributed.agent ~name:"upstream-AS64700"
       ~addr:Dice_topology.Threerouter.internet_addr
-      ~explorer_addr:(Ipv4.of_string "10.0.2.1")
+      ~explorer_addr:provider_facing
       (Distributed.Local upstream)
   in
   let srv = Distributed.serve net serving in
@@ -103,7 +116,7 @@ let () =
   let agent =
     Distributed.agent ~name:"upstream-AS64700"
       ~addr:Dice_topology.Threerouter.internet_addr
-      ~explorer_addr:(Ipv4.of_string "10.0.2.1")
+      ~explorer_addr:provider_facing
       (Distributed.Remote ep)
   in
   (* the first attempt's 50 ms timeout always loses to the 160 ms round
@@ -112,14 +125,17 @@ let () =
     { Orchestrator.default_cfg with
       Orchestrator.checkers =
         [ Hijack.checker; Distributed.checker ~jobs:1 ~agents:[ agent ] ];
-      explorer =
-        { Dice_concolic.Explorer.default_config with
-          Dice_concolic.Explorer.max_runs = 256;
-          max_depth = 96;
+      exploration =
+        { Orchestrator.default_exploration with
+          Orchestrator.explorer =
+            { Dice_concolic.Explorer.default_config with
+              Dice_concolic.Explorer.max_runs = 256;
+              max_depth = 96;
+            };
         };
     }
   in
-  let dice = Orchestrator.create ~cfg provider in
+  let dice = Orchestrator.create ~cfg (Speakers.bird provider) in
   Orchestrator.observe dice ~peer:Dice_topology.Threerouter.customer_addr
     ~prefix:(p "203.0.113.0/24") ~route:customer_route;
   let report = Orchestrator.explore dice in
@@ -162,7 +178,7 @@ let () =
      fewer cooperating domain, not hang or crash. *)
   Dice_sim.Network.disconnect net (Probe_rpc.client_node cl) (Probe_rpc.server_node srv);
   let answer =
-    Distributed.probe agent ~from:(Ipv4.of_string "10.0.2.1")
+    Distributed.probe agent ~from:provider_facing
       (Msg.Update
          { Msg.withdrawn = []; attrs = Route.to_attrs customer_route;
            nlri = [ p "198.51.100.0/24" ] })
@@ -198,7 +214,7 @@ let () =
       (List.filter
          (fun prefix ->
            match
-             Distributed.probe agent ~from:(Ipv4.of_string "10.0.2.1")
+             Distributed.probe agent ~from:provider_facing
                (Msg.Update
                   { Msg.withdrawn = []; attrs = Route.to_attrs customer_route;
                     nlri = [ p prefix ] })
@@ -226,4 +242,98 @@ let () =
     (Probe_rpc.dedup_hits srv - dedup_before)
     (Probe_rpc.frames_executed srv - executed_before)
     (rpc.Probe_rpc.late_responses - late_before)
-    (Dice_sim.Network.messages_reordered net)
+    (Dice_sim.Network.messages_reordered net);
+
+  (* Differential checking: the same administrative domain modeled by
+     BOTH implementations, probed with identical messages. Seed a route
+     on which BIRD and Quagga legitimately disagree: the incumbent has a
+     longer AS path but a better ORIGIN, and BIRD ranks path length
+     before ORIGIN while Quagga ranks ORIGIN before path length. *)
+  print_endline
+    "\n== differential check: BIRD vs Quagga behind the same narrow interface ==\n";
+  let bird_up = mk_upstream "bird" and quagga_up = mk_upstream "quagga" in
+  let incumbent =
+    Route.make ~origin:Attr.Igp
+      ~as_path:[ Asn.Path.Seq [ 64701; 64888; 64999 ] ]
+      ~next_hop:collector ()
+  in
+  List.iter
+    (fun sp ->
+      Speaker.establish sp ~peer:provider_facing;
+      Speaker.establish sp ~peer:collector;
+      ignore
+        (Speaker.feed sp ~peer:collector
+           (Msg.Update
+              { Msg.withdrawn = []; attrs = Route.to_attrs incumbent;
+                nlri = [ p "198.51.77.0/24" ] })))
+    [ bird_up; quagga_up ];
+  let mk_agent name sp =
+    Distributed.agent ~name ~addr:Dice_topology.Threerouter.internet_addr
+      ~explorer_addr:provider_facing (Distributed.Local sp)
+  in
+  let left = mk_agent "upstream-as-bird" bird_up in
+  let right = mk_agent "upstream-as-quagga" quagga_up in
+
+  (* One hand-built probe first: same origin AS as the incumbent (no
+     origin conflict anywhere), shorter path, worse ORIGIN. BIRD
+     installs it, Quagga keeps the incumbent. *)
+  let probe_route =
+    Route.make ~origin:Attr.Incomplete
+      ~as_path:[ Asn.Path.Seq [ 64510; 64999 ] ]
+      ~next_hop:provider_facing ()
+  in
+  let divergences =
+    Differential.probe_pair ~jobs:1 ~left ~right
+      [ ( provider_facing,
+          Msg.Update
+            { Msg.withdrawn = []; attrs = Route.to_attrs probe_route;
+              nlri = [ p "198.51.77.0/24" ] } ) ]
+  in
+  List.iter (fun d -> Format.printf "%a@." Differential.pp_divergence d) divergences;
+
+  (* And the same divergence found the DiCE way: the customer announces
+     the incumbent's prefix, the provider leaks it upstream, and the
+     cross-implementation checker replays the leaked announcement
+     against both speakers during exploration. *)
+  let diff_cfg =
+    { Orchestrator.default_cfg with
+      Orchestrator.checkers = [ Differential.checker ~jobs:1 ~left ~right ];
+      exploration =
+        { Orchestrator.default_exploration with
+          Orchestrator.explorer =
+            { Dice_concolic.Explorer.default_config with
+              Dice_concolic.Explorer.max_runs = 64;
+              max_depth = 96;
+            };
+        };
+    }
+  in
+  let diff_dice = Orchestrator.create ~cfg:diff_cfg (Speakers.bird provider) in
+  Orchestrator.observe diff_dice ~peer:Dice_topology.Threerouter.customer_addr
+    ~prefix:(p "198.51.77.0/24")
+    ~route:
+      (Route.make ~origin:Attr.Incomplete
+         ~as_path:[ Asn.Path.Seq [ Dice_topology.Threerouter.customer_as ] ]
+         ~next_hop:Dice_topology.Threerouter.customer_addr ());
+  let diff_report = Orchestrator.explore diff_dice in
+  let tiebreaks =
+    List.filter
+      (fun (f : Checker.fault) -> f.Checker.checker = "cross-implementation-tiebreak")
+      diff_report.Orchestrator.faults
+  in
+  let semantic =
+    List.filter
+      (fun (f : Checker.fault) -> f.Checker.checker = "cross-implementation-divergence")
+      diff_report.Orchestrator.faults
+  in
+  Printf.printf
+    "\nexploration found %d tie-break divergence(s) and %d semantic divergence(s)\n"
+    (List.length tiebreaks) (List.length semantic);
+  (match tiebreaks @ semantic with
+  | f :: _ -> Format.printf "%a@." Checker.pp_fault f
+  | [] -> ());
+  print_endline
+    "\nboth speakers accept the announcement and agree on the origin conflict;\n\
+     they differ only in which route wins the decision process — exactly the\n\
+     class of divergence heterogeneous federation has to tolerate (and worth\n\
+     a report: the network's behavior depends on what the neighbor runs)."

@@ -114,17 +114,20 @@ let () =
   in
   let cfg =
     { Orchestrator.default_cfg with
-      Orchestrator.explorer =
-        { Dice_concolic.Explorer.default_config with
-          Dice_concolic.Explorer.max_runs = 160;
-          max_depth = 96;
+      Orchestrator.exploration =
+        { Orchestrator.default_exploration with
+          Orchestrator.explorer =
+            { Dice_concolic.Explorer.default_config with
+              Dice_concolic.Explorer.max_runs = 160;
+              max_depth = 96;
+            };
         };
     }
   in
   List.iter
     (fun (name, filter_body) ->
       let proposed = config_with_filter filter_body in
-      let c = Validate.config_change ~cfg ~live ~proposed ~seeds () in
+      let c = Validate.config_change ~cfg ~live:(Speakers.bird live) ~proposed ~seeds () in
       Printf.printf "---- proposed change: %s ----\n" name;
       Format.printf "%a@.@." Validate.pp c)
     [ ("pin the pattern to the customer /22 (good fix)", good_fix);

@@ -46,12 +46,15 @@ let () =
     Orchestrator.create
       ~cfg:
         { Orchestrator.default_cfg with
-          Orchestrator.clone_samples = 8;
-          explorer =
-            { Dice_concolic.Explorer.default_config with
-              Dice_concolic.Explorer.max_runs = 128 };
+          Orchestrator.exploration =
+            { Orchestrator.default_exploration with
+              Orchestrator.clone_samples = 8;
+              explorer =
+                { Dice_concolic.Explorer.default_config with
+                  Dice_concolic.Explorer.max_runs = 128 };
+            };
         }
-      router
+      (Speakers.bird router)
   in
   let route =
     Route.make ~origin:Attr.Igp
@@ -84,11 +87,14 @@ let () =
       Orchestrator.create
         ~cfg:
           { Orchestrator.default_cfg with
-            Orchestrator.explorer =
-              { Dice_concolic.Explorer.default_config with
-                Dice_concolic.Explorer.max_runs = 24 };
+            Orchestrator.exploration =
+              { Orchestrator.default_exploration with
+                Orchestrator.explorer =
+                  { Dice_concolic.Explorer.default_config with
+                    Dice_concolic.Explorer.max_runs = 24 };
+              };
           }
-        router
+        (Speakers.bird router)
     in
     let burst =
       Dice_trace.Gen.generate

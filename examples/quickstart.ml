@@ -28,7 +28,7 @@ let () =
   Printf.printf "provider Loc-RIB after table load: %d routes\n" table_size;
 
   (* the customer announces its own space; DiCE observes the input *)
-  let dice = Orchestrator.create provider in
+  let dice = Orchestrator.create (Speakers.bird provider) in
   let route =
     Route.make ~origin:Attr.Igp
       ~as_path:[ Asn.Path.Seq [ Threerouter.customer_as ] ]

@@ -23,14 +23,17 @@ let explore_with filtering =
   let provider = Threerouter.provider_router topo in
   let cfg =
     { Orchestrator.default_cfg with
-      explorer =
-        { Dice_concolic.Explorer.default_config with
-          Dice_concolic.Explorer.max_runs = 256;
-          max_depth = 96;
+      Orchestrator.exploration =
+        { Orchestrator.default_exploration with
+          Orchestrator.explorer =
+            { Dice_concolic.Explorer.default_config with
+              Dice_concolic.Explorer.max_runs = 256;
+              max_depth = 96;
+            };
         };
     }
   in
-  let dice = Orchestrator.create ~cfg provider in
+  let dice = Orchestrator.create ~cfg (Speakers.bird provider) in
   (* DiCE derives exploration inputs from a routine observed announcement *)
   let route =
     Route.make ~origin:Attr.Igp

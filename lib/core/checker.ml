@@ -32,5 +32,5 @@ type context = {
 
 type t = {
   name : string;
-  check : context -> Router.import_outcome -> fault list;
+  check : context -> Speaker.import_outcome -> fault list;
 }

@@ -45,5 +45,5 @@ type context = {
 
 type t = {
   name : string;
-  check : context -> Router.import_outcome -> fault list;
+  check : context -> Speaker.import_outcome -> fault list;
 }

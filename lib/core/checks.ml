@@ -10,12 +10,12 @@ let default_bogons =
 (* Checkers share this shape: look only at accepted outcomes, produce at
    most a few faults about the accepted route. *)
 let on_accepted name f =
-  let check (cctx : Checker.context) (outcome : Router.import_outcome) =
-    if not outcome.Router.accepted then []
+  let check (cctx : Checker.context) (outcome : Speaker.import_outcome) =
+    if not outcome.Speaker.accepted then []
     else begin
-      match outcome.Router.route with
+      match outcome.Speaker.route with
       | None -> []
-      | Some route -> f cctx outcome.Router.prefix route
+      | Some route -> f cctx outcome.Speaker.prefix route
     end
   in
   { Checker.name; check }

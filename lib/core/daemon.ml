@@ -82,7 +82,7 @@ let attach ?(cfg = default_cfg) node =
     {
       cfg;
       node;
-      dice = Orchestrator.create ~cfg:cfg.orchestrator (Router_node.router node);
+      dice = Orchestrator.create ~cfg:cfg.orchestrator (Speakers.bird (Router_node.router node));
       running = true;
       episode_count = 0;
       rev_reports = [];

@@ -2,11 +2,12 @@
 
     DiCE "continuously and automatically explores the system behavior, to
     check whether the system deviates from its desired behavior" (§1).
-    This module closes the loop in the simulated deployment: attached to a
-    live {!Dice_bgp.Router_node}, it taps every received UPDATE as an
+    This module closes the loop in the simulated deployment: attached to
+    a live {!Router_node.t} (whose router it wraps as a BIRD speaker via
+    the {!Speakers} registry), it taps every received UPDATE as an
     exploration seed (sampled), and periodically — in virtual time, off
     the message-processing path — checkpoints and explores, accumulating
-    fault reports for the operator. The live router is never touched and
+    fault reports for the operator. The live node is never touched and
     no exploration message reaches the network. *)
 
 open Dice_inet

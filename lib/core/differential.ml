@@ -1,0 +1,126 @@
+open Dice_inet
+open Dice_bgp
+
+type divergence = {
+  prefix : Prefix.t;
+  left : Verdict.t option;
+  right : Verdict.t option;
+  tie_break_only : bool;
+}
+
+let pp_verdict_opt ppf = function
+  | Some v -> Verdict.pp ppf v
+  | None -> Format.pp_print_string ppf "no answer"
+
+let pp_divergence ppf d =
+  Format.fprintf ppf "@[<v 2>%s %s:@,left:  %a@,right: %a@]"
+    (Prefix.to_string d.prefix)
+    (if d.tie_break_only then "tie-break divergence" else "divergence")
+    pp_verdict_opt d.left pp_verdict_opt d.right
+
+(* The facts the decision process cannot touch: whether policy accepted
+   the route and whether it conflicts with an installed origin. Two
+   conformant speakers must agree on these; everything downstream of the
+   decision process ([installed], and through export also
+   [covers_foreign]/[would_propagate]) may legitimately differ under
+   different tie-breaking orders. *)
+let tie_break_only (a : Verdict.t) (b : Verdict.t) =
+  a.Verdict.accepted = b.Verdict.accepted
+  && a.Verdict.origin_conflict = b.Verdict.origin_conflict
+
+let diverging prefix left right =
+  match (left, right) with
+  | None, None -> None (* nothing crossed the interface on either side *)
+  | (Some _ as l), None -> Some { prefix; left = l; right = None; tie_break_only = false }
+  | None, (Some _ as r) -> Some { prefix; left = None; right = r; tie_break_only = false }
+  | Some a, Some b ->
+    if Verdict.equal a b then None
+    else Some { prefix; left; right; tie_break_only = tie_break_only a b }
+
+(* Pair the two agents' answers prefix by prefix. Verdict lists follow
+   NLRI order, but a declined side contributes nothing — index on the
+   prefix instead of zipping. *)
+let pair_outcomes left_outcome right_outcome =
+  let vs = function
+    | Distributed.Verdicts vs -> vs
+    | Distributed.Declined _ | Distributed.Timeout -> []
+  in
+  let lv = vs left_outcome and rv = vs right_outcome in
+  let prefixes =
+    List.sort_uniq Prefix.compare (List.map fst lv @ List.map fst rv)
+  in
+  List.filter_map
+    (fun prefix ->
+      diverging prefix (List.assoc_opt prefix lv) (List.assoc_opt prefix rv))
+    prefixes
+
+let probe_pair ~jobs ~left ~right exchanges =
+  let reqs =
+    List.concat_map
+      (fun (from, msg) -> [ (left, from, msg); (right, from, msg) ])
+      exchanges
+  in
+  let rec pair = function
+    | l :: r :: rest -> (l, r) :: pair rest
+    | [] -> []
+    | [ _ ] -> assert false (* requests were emitted in pairs *)
+  in
+  List.concat_map
+    (fun (l, r) -> pair_outcomes l r)
+    (pair (Distributed.probe_all ~jobs reqs))
+
+let checker ~jobs ~left ~right =
+  let name = "cross-implementation" in
+  let check (cctx : Checker.context) (outcome : Speaker.import_outcome) =
+    if not outcome.Speaker.accepted then []
+    else begin
+      let addresses =
+        [ Distributed.agent_addr left; Distributed.agent_addr right ]
+      in
+      let exchanges =
+        List.filter_map
+          (fun (dst, out) ->
+            match out with
+            | Msg.Update _ when List.mem dst addresses ->
+              (* Both speakers hear the message on the same claimed
+                 session: the exploring node's address as each agent
+                 knows it. *)
+              Some (Distributed.agent_explorer_addr left, (out : Msg.t))
+            | _ -> None)
+          outcome.Speaker.outputs
+      in
+      let details_of d =
+        [ ("left-speaker", Distributed.agent_name left);
+          ("right-speaker", Distributed.agent_name right);
+          ("local-prefix", Prefix.to_string outcome.Speaker.prefix);
+          ("via-peer", Ipv4.to_string cctx.Checker.peer);
+        ]
+        @ (match d.left with
+          | Some v -> Verdict.to_details ~prefix:"left-" v
+          | None -> [ ("left-answer", "none") ])
+        @
+        match d.right with
+        | Some v -> Verdict.to_details ~prefix:"right-" v
+        | None -> [ ("right-answer", "none") ]
+      in
+      List.map
+        (fun d ->
+          if d.tie_break_only then
+            { Checker.checker = name ^ "-tiebreak";
+              severity = Checker.Warning;
+              prefix = d.prefix;
+              description =
+                "speakers agree on acceptance and origin but select different best routes";
+              details = details_of d;
+            }
+          else
+            { Checker.checker = name ^ "-divergence";
+              severity = Checker.Critical;
+              prefix = d.prefix;
+              description = "speakers disagree across the narrow interface";
+              details = details_of d;
+            })
+        (probe_pair ~jobs ~left ~right exchanges)
+    end
+  in
+  { Checker.name; check }

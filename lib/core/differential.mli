@@ -1,0 +1,56 @@
+(** Differential cross-implementation checking.
+
+    The paper's heterogeneous setup federates different BGP
+    implementations and relies on the narrow interface meaning the same
+    thing to all of them. This module turns that reliance into a check:
+    probe {e two} speakers — typically a BIRD-flavored and a
+    Quagga-flavored agent holding equivalent state — with {e identical}
+    exploration messages, and compare the {!Verdict.t}s coming back.
+    Where the implementations disagree, either one of them is wrong, or
+    the network's behavior genuinely depends on which implementation a
+    neighbor runs — both worth a report.
+
+    Divergences split in two classes:
+
+    - {b tie-break divergences}: both speakers answered, agree on
+      [accepted] and [origin_conflict] (the policy- and origin-level
+      facts), but differ in [installed]/[covers_foreign]/
+      [would_propagate] — the documented consequence of different
+      decision tie-breaking orders (ORIGIN vs path length, peer address
+      vs router id, MED quirks). Reported as warnings;
+    - {b semantic divergences}: the speakers disagree on [accepted] or
+      [origin_conflict], or one answered and the other declined — the
+      narrow interface is not implementation-neutral for this input.
+      Reported as critical. *)
+
+open Dice_inet
+open Dice_bgp
+
+type divergence = {
+  prefix : Prefix.t;
+  left : Verdict.t option;  (** [None]: declined or timed out *)
+  right : Verdict.t option;
+  tie_break_only : bool;
+}
+
+val pp_divergence : Format.formatter -> divergence -> unit
+
+val probe_pair :
+  jobs:int ->
+  left:Distributed.agent ->
+  right:Distributed.agent ->
+  (Ipv4.t * Msg.t) list ->
+  divergence list
+(** Probe both agents with every [(from, msg)] exchange and keep only
+    the prefixes whose verdicts diverge. Prefixes on which both agents
+    timed out or declined are not divergences (there is nothing to
+    compare); one-sided answers are. *)
+
+val checker : jobs:int -> left:Distributed.agent -> right:Distributed.agent -> Checker.t
+(** A {!Checker.t} ([cross-implementation]) that replays every message
+    an exploration outcome would send to {e either} agent's address
+    against {e both} agents, and reports their disagreements:
+    [cross-implementation-divergence] (critical) for semantic
+    divergences, [cross-implementation-tiebreak] (warning) for
+    tie-break-only ones. Details carry both speakers' verdicts under
+    [left-]/[right-] prefixed keys plus each agent's name. *)

@@ -19,17 +19,17 @@ let verdicts = function
   | Declined _ | Timeout -> []
 
 type transport =
-  | Local of Router.t
+  | Local of Speaker.instance
   | Remote of Probe_rpc.endpoint
 
 (* Verdicts are memoized per agent, keyed on the canonicalized probe —
    byte-for-byte the body of the wire request frame (two structurally
    different ASTs that encode identically are the same probe on the wire
-   and in the cache). Entries are stamped with the live router's
+   and in the cache). Entries are stamped with the live speaker's
    [updates_processed] version; when the remote node moves on, the next
    probe presents a newer version and the stale verdict evicts itself
    (see {!Dice_exec.Vcache}). The cache lives where the version is
-   known: beside the live router. A [Local] agent consults it directly;
+   known: beside the live speaker. A [Local] agent consults it directly;
    a [Remote] agent's probes cross the wire and hit the same cache on
    the serving side. *)
 type agent = {
@@ -42,6 +42,7 @@ type agent = {
   probes : int Atomic.t;
   checkpoints : int Atomic.t;
   declines : int Atomic.t;
+  timeouts : int Atomic.t;
   vcache : (bytes, (Prefix.t * verdict) list) Dice_exec.Vcache.t;
 }
 
@@ -56,11 +57,13 @@ let agent ~name ~addr ~explorer_addr transport =
     probes = Atomic.make 0;
     checkpoints = Atomic.make 0;
     declines = Atomic.make 0;
+    timeouts = Atomic.make 0;
     vcache = Dice_exec.Vcache.create ();
   }
 
 let agent_name t = t.name
 let agent_addr t = t.addr
+let agent_explorer_addr t = t.explorer_addr
 let agent_transport t = t.transport
 
 (* The remote node's checkpoint of its own state — taken by the agent,
@@ -69,12 +72,12 @@ let agent_transport t = t.transport
    each taking their own. *)
 let checkpoint_image t live =
   Mutex.lock t.lock;
-  let version = Router.updates_processed live in
+  let version = Speaker.updates_processed live in
   let image =
     match t.cache with
     | Some (image, v) when v = version -> image
     | Some _ | None ->
-      let image = Router.snapshot live in
+      let image = Speaker.snapshot live in
       t.cache <- Some (image, version);
       Atomic.incr t.checkpoints;
       image
@@ -85,25 +88,21 @@ let checkpoint_image t live =
 let in_whitelist anycast prefix = List.exists (fun a -> Prefix.subsumes a prefix) anycast
 
 let probe_uncached t live ~from (u : Msg.update) msg =
-  let clone = Router.restore (Router.config live) (checkpoint_image t live) in
-  let pre = Router.loc_rib clone in
-  let anycast = (Router.config live).Config_types.anycast in
+  let clone = Speaker.restore_like live (Speaker.config live) (checkpoint_image t live) in
+  let pre = Speaker.loc_rib clone in
+  let anycast = (Speaker.config live).Config_types.anycast in
   let announced_origin =
     match Route.of_attrs u.Msg.attrs with
     | Ok route -> Route.origin_as route
     | Error _ -> None
   in
   (* process over the isolated clone; outputs are never delivered *)
-  let outs = Router.handle_msg clone ~peer:from msg in
+  let outs = Speaker.feed clone ~peer:from msg in
   List.map
     (fun prefix ->
-      let accepted =
-        match Router.adj_rib_in clone from with
-        | Some adj -> Rib.Adj.find_opt prefix adj <> None
-        | None -> false
-      in
+      let accepted = Speaker.learned_from clone ~peer:from prefix in
       let installed =
-        match Router.best_route clone prefix with
+        match Speaker.best_route clone prefix with
         | Some e -> e.Rib.Loc.src.Route.peer_addr = from
         | None -> false
       in
@@ -133,14 +132,10 @@ let probe_uncached t live ~from (u : Msg.update) msg =
       let would_propagate =
         List.length
           (List.filter
-             (fun o ->
-               match o with
-               | Router.To_peer (dst, Msg.Update u') ->
-                 dst <> from && List.mem prefix u'.Msg.nlri
-               | Router.To_peer _ | Router.Connect_request _ | Router.Close_connection _
-               | Router.Set_timer _ | Router.Clear_timer _ | Router.Session_up _
-               | Router.Session_down _ ->
-                 false)
+             (fun (dst, out) ->
+               match out with
+               | Msg.Update u' -> dst <> from && List.mem prefix u'.Msg.nlri
+               | Msg.Open _ | Msg.Notification _ | Msg.Keepalive -> false)
              outs)
       in
       (prefix, { accepted; installed; origin_conflict; covers_foreign; would_propagate }))
@@ -157,7 +152,7 @@ let declinable msg =
   | Msg.Open _ | Msg.Notification _ | Msg.Keepalive -> Some "not an announcement"
 
 let probe_local t live ~from u msg =
-  let version = Router.updates_processed live in
+  let version = Speaker.updates_processed live in
   let key = Probe_wire.canonical_request ~from msg in
   match Dice_exec.Vcache.find t.vcache ~version key with
   | Some vs -> Verdicts vs
@@ -166,10 +161,16 @@ let probe_local t live ~from u msg =
     Dice_exec.Vcache.store t.vcache ~version key vs;
     Verdicts vs
 
+(* Fold an outcome into the per-agent counters. Counting here — on the
+   probing side, after the answer is known — is what makes the counters
+   transport-uniform: a [Local] decline and a [Remote] decline frame both
+   land in [declines], and [Timeout] (which only a wire can produce, but
+   is counted the same way) in [timeouts]. *)
 let count t outcome =
   (match outcome with
   | Declined _ -> Atomic.incr t.declines
-  | Verdicts _ | Timeout -> ());
+  | Timeout -> Atomic.incr t.timeouts
+  | Verdicts _ -> ());
   outcome
 
 let probe t ~from msg =
@@ -255,32 +256,30 @@ type stats = {
   vcache_hits : int;
   vcache_hit_rate : float;
   timeouts : int;
-  retries : int;
   declines : int;
+  retries : int;
 }
 
 let stats t =
-  let timeouts, retries =
+  let retries =
     match t.transport with
-    | Local _ -> (0, 0)
-    | Remote ep ->
-      let s = Probe_rpc.stats ep in
-      (s.Probe_rpc.timeouts, s.Probe_rpc.retries)
+    | Local _ -> 0
+    | Remote ep -> (Probe_rpc.stats ep).Probe_rpc.retries
   in
   {
     probes = Atomic.get t.probes;
     checkpoints = Atomic.get t.checkpoints;
     vcache_hits = Dice_exec.Vcache.hits t.vcache;
     vcache_hit_rate = Dice_exec.Vcache.hit_rate t.vcache;
-    timeouts;
-    retries;
+    timeouts = Atomic.get t.timeouts;
     declines = Atomic.get t.declines;
+    retries;
   }
 
 let checker ~jobs ~agents =
   let agents_of addr = List.filter (fun a -> a.addr = addr) agents in
-  let check (cctx : Checker.context) (outcome : Router.import_outcome) =
-    if not outcome.Router.accepted then []
+  let check (cctx : Checker.context) (outcome : Speaker.import_outcome) =
+    if not outcome.Speaker.accepted then []
     else begin
       (* Collect every (agent, message) pair first — probes are
          independent request/verdict exchanges, so they shard across
@@ -290,15 +289,11 @@ let checker ~jobs ~agents =
          deterministic whatever the schedule. *)
       let requests =
         List.concat_map
-          (fun output ->
-            match output with
-            | Router.To_peer (dst, (Msg.Update _ as msg)) ->
-              List.map (fun a -> (a, msg)) (agents_of dst)
-            | Router.To_peer _ | Router.Connect_request _ | Router.Close_connection _
-            | Router.Set_timer _ | Router.Clear_timer _ | Router.Session_up _
-            | Router.Session_down _ ->
-              [])
-          outcome.Router.outputs
+          (fun (dst, out) ->
+            match out with
+            | Msg.Update _ -> List.map (fun a -> (a, (out : Msg.t))) (agents_of dst)
+            | Msg.Open _ | Msg.Notification _ | Msg.Keepalive -> [])
+          outcome.Speaker.outputs
       in
       let answers =
         probe_all ~jobs
@@ -312,12 +307,10 @@ let checker ~jobs ~agents =
                  let base_details =
                    [ ("remote-node", a.name);
                      ("remote-prefix", Prefix.to_string remote_prefix);
-                     ("local-prefix", Prefix.to_string outcome.Router.prefix);
-                     ("remote-accepted", string_of_bool v.accepted);
-                     ("remote-installed", string_of_bool v.installed);
-                     ("propagates-to", string_of_int v.would_propagate);
+                     ("local-prefix", Prefix.to_string outcome.Speaker.prefix);
                      ("via-peer", Ipv4.to_string cctx.Checker.peer);
                    ]
+                   @ Verdict.to_details ~prefix:"remote-" v
                  in
                  let coverage =
                    if v.covers_foreign > 0 then

@@ -44,20 +44,15 @@ open Dice_inet
 open Dice_bgp
 
 type verdict = Probe_wire.verdict = {
-  accepted : bool;  (** the remote import policy accepted the route *)
-  installed : bool;  (** it became the remote node's best route *)
+  accepted : bool;
+  installed : bool;
   origin_conflict : bool;
-      (** it overrides the origin AS of something the remote node already
-          routes — detected {e at} the remote node, against state the
-          local node cannot see *)
   covers_foreign : int;
-      (** how many remote routes with other origins the announcement
-          {e covers} (claims a super-block of) — the coverage-leak class:
-          traffic for the uncovered gaps would divert to the announcer *)
   would_propagate : int;
-      (** how many further sessions the remote node would re-advertise
-          on — the blast radius *)
 }
+(** {!Verdict.t}, re-exported (via {!Probe_wire.verdict}) so existing
+    call sites keep compiling — see {!Verdict} for field semantics, the
+    pretty-printer and the comparator. *)
 
 type outcome = Probe_rpc.result =
   | Verdicts of (Prefix.t * verdict) list
@@ -74,10 +69,11 @@ val verdicts : outcome -> (Prefix.t * verdict) list
 (** The verdict list, empty for {!Declined}/{!Timeout}. *)
 
 type transport =
-  | Local of Router.t
-      (** the cooperating node's live router, probed in-process — the
-          original path, kept for tests, benches and co-located
-          domains *)
+  | Local of Speaker.instance
+      (** the cooperating node's live speaker, probed in-process — the
+          original path, kept for tests, benches and co-located domains.
+          Any {!Speaker.S} implementation can sit here; mixed fleets put
+          a different implementation behind each agent *)
   | Remote of Probe_rpc.endpoint
       (** a node on a simulated network, probed with wire frames; the
           only cross-domain data is what {!Probe_wire} can express *)
@@ -88,20 +84,27 @@ val agent : name:string -> addr:Ipv4.t -> explorer_addr:Ipv4.t -> transport -> a
 (** [agent ~name ~addr ~explorer_addr transport]: a remote node that the
     exploring node reaches at [addr] and that knows the exploring node
     as its neighbor [explorer_addr]. With a [Local] transport the agent
-    checkpoints the router lazily and re-checkpoints when it has
+    checkpoints the speaker lazily and re-checkpoints when it has
     processed new updates since; agents are domain-safe (concurrent
     probes share one checkpoint, counters are atomic). With a [Remote]
-    transport the agent holds no router at all — the serving side does
+    transport the agent holds no speaker at all — the serving side does
     (see {!serve}). *)
 
 val agent_name : agent -> string
 val agent_addr : agent -> Ipv4.t
+
+val agent_explorer_addr : agent -> Ipv4.t
+(** The exploring node's address on the peering — what probes built from
+    exploration outputs claim as their arrival session. *)
+
 val agent_transport : agent -> transport
 
 val serve : Dice_sim.Network.t -> agent -> Probe_rpc.server
 (** Put a [Local] agent on the network: registers a node whose handler
-    decodes probe request frames, probes the agent's live router, and
-    answers with response/decline/error frames. The returned server's
+    decodes probe request frames, probes the agent's live speaker, and
+    answers with response/decline/error frames. The server is
+    implementation-agnostic: it hosts whatever speaker the agent holds,
+    answering the same unmodified {!Probe_wire} frames. The returned server's
     node id is what a {!Probe_rpc.endpoint} on the exploring side
     connects to.
     @raise Invalid_argument on a [Remote] agent (forwarding probes
@@ -110,7 +113,7 @@ val serve : Dice_sim.Network.t -> agent -> Probe_rpc.server
 val probe : agent -> from:Ipv4.t -> Msg.t -> outcome
 (** Submit one exploration message as if it arrived on the session with
     [from] (the exploring node's address on that peering). The agent's
-    live router is never mutated. Non-announcements decline without
+    live speaker is never mutated. Non-announcements decline without
     touching the wire. Over a [Remote] transport this drives the
     simulated network until the response or the final timeout fires —
     it never raises and never hangs. *)
@@ -126,23 +129,34 @@ val probe_all : ?jobs:int -> (agent * Ipv4.t * Msg.t) list -> outcome list
 
 type stats = {
   probes : int;  (** announcements submitted ({!probe} / {!probe_all}) *)
-  checkpoints : int;  (** checkpoints of the live router ([Local] only) *)
+  checkpoints : int;  (** checkpoints of the live speaker *)
   vcache_hits : int;  (** probes answered from the verdict cache *)
   vcache_hit_rate : float;  (** [0.] before any probe *)
-  timeouts : int;  (** probes that exhausted all attempts ([Remote]) *)
-  retries : int;  (** re-send attempts after a timeout ([Remote]) *)
+  timeouts : int;  (** probes that exhausted all attempts *)
   declines : int;  (** probes answered with a decline *)
+  retries : int;
+      (** re-send attempts after a per-request timeout. {e Remote-only}:
+          retries happen inside the RPC layer, below the probe/outcome
+          level these counters live at, and a [Local] transport has no
+          equivalent event — it stays [0] there by definition, not by
+          omission. *)
 }
 
 val stats : agent -> stats
-(** One snapshot of every per-agent counter. For a [Remote] agent the
-    checkpoint and cache figures are zero here — they live (and are
-    reported) on the serving side, where the router is. *)
+(** One snapshot of every per-agent counter. Every field except
+    [retries] means the same thing on both transports: [probes],
+    [declines] and [timeouts] are counted on the probing side from the
+    {!outcome} of each submitted probe (a [Local] probe can simply never
+    produce the [Timeout] outcome, so its count stays zero).
+    [checkpoints], [vcache_hits] and [vcache_hit_rate] are properties of
+    the agent that holds the live speaker: for a [Local] transport
+    that is this agent; for a [Remote] transport they are zero {e here}
+    and reported by the serving side, where the speaker is. *)
 
 val checker : jobs:int -> agents:agent list -> Checker.t
 (** A {!Checker.t} that extends every exploration outcome across the
-    network: each [To_peer] message the outcome would send to an agent's
-    address is probed remotely — at every agent registered for that
+    network: each message the outcome would send to an agent's address
+    is probed remotely — at every agent registered for that
     address, through whatever transport each agent has. Unreachable
     agents degrade silently: a {!Timeout} or {!Declined} probe
     contributes no findings (and is visible in {!stats}); no exception

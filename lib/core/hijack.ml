@@ -6,13 +6,13 @@ let in_whitelist anycast prefix =
 
 let origin_of_entry (e : Rib.Loc.entry) = Route.origin_as e.Rib.Loc.route
 
-let check (ctx : Checker.context) (outcome : Router.import_outcome) =
-  if not outcome.Router.accepted then []
+let check (ctx : Checker.context) (outcome : Speaker.import_outcome) =
+  if not outcome.Speaker.accepted then []
   else begin
-    match outcome.Router.route with
+    match outcome.Speaker.route with
     | None -> []
     | Some route -> begin
-      let prefix = outcome.Router.prefix in
+      let prefix = outcome.Speaker.prefix in
       if in_whitelist ctx.Checker.anycast prefix then []
       else begin
         let new_origin = Route.origin_as route in
@@ -50,7 +50,7 @@ let check (ctx : Checker.context) (outcome : Router.import_outcome) =
                       | None -> "(empty path)" );
                     ("via-peer", Ipv4.to_string ctx.Checker.peer);
                     ("peer-as", string_of_int ctx.Checker.peer_as);
-                    ("installed", string_of_bool outcome.Router.installed);
+                    ("installed", string_of_bool outcome.Speaker.installed);
                   ];
               })
             conflicting

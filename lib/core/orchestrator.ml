@@ -10,36 +10,80 @@ type seed = {
   route : Route.t;
 }
 
-type cfg = {
+(* ------------------------------------------------------------------ *)
+(* Configuration: three nested concern groups plus the checker list.   *)
+(* Smart constructors validate; the records stay transparent so call   *)
+(* sites can start from the default values and override with record    *)
+(* update syntax.                                                      *)
+(* ------------------------------------------------------------------ *)
+
+type exploration = {
   explorer : Explorer.config;
   page_size : int;
   mode : Symbolize.mode;
   max_seeds : int;
-  checkers : Checker.t list;
-  agents : Distributed.agent list;
   clone_samples : int;
   jobs : int;
-  probe_faults : Dice_sim.Faults.t option;
-  fault_seed : int64;
 }
 
-let default_cfg =
+type federation = {
+  agents : Distributed.agent list;
+  probe_jobs : int;
+}
+
+type faults = {
+  probe : Dice_sim.Faults.t option;
+  seed : int64;
+}
+
+type cfg = {
+  exploration : exploration;
+  checkers : Checker.t list;
+  federation : federation;
+  faults : faults;
+}
+
+let exploration ~explorer ~page_size ~mode ~max_seeds ~clone_samples ~jobs =
+  if page_size <= 0 then invalid_arg "Orchestrator.exploration: page_size must be positive";
+  if max_seeds < 0 then invalid_arg "Orchestrator.exploration: max_seeds must be >= 0";
+  if clone_samples < 0 then
+    invalid_arg "Orchestrator.exploration: clone_samples must be >= 0";
+  if jobs < 1 then invalid_arg "Orchestrator.exploration: jobs must be >= 1";
+  { explorer; page_size; mode; max_seeds; clone_samples; jobs }
+
+let federation ~agents ~probe_jobs =
+  if probe_jobs < 1 then invalid_arg "Orchestrator.federation: probe_jobs must be >= 1";
+  { agents; probe_jobs }
+
+let faults ~probe ~seed =
+  (match probe with
+  | Some f -> Dice_sim.Faults.validate f
+  | None -> ());
+  { probe; seed }
+
+let default_exploration =
   {
-    explorer =
-      { Explorer.default_config with Explorer.max_runs = 96; max_depth = 64 };
+    explorer = { Explorer.default_config with Explorer.max_runs = 96; max_depth = 64 };
     page_size = Dice_checkpoint.Page.default_size;
     mode = Symbolize.Selective;
     max_seeds = 4;
-    checkers = [ Hijack.checker ];
-    agents = [];
     clone_samples = 4;
     jobs = 1;
-    probe_faults = None;
-    fault_seed = 42L;
+  }
+
+let default_federation = { agents = []; probe_jobs = 1 }
+let default_faults = { probe = None; seed = 42L }
+
+let default_cfg =
+  {
+    exploration = default_exploration;
+    checkers = [ Hijack.checker ];
+    federation = default_federation;
+    faults = default_faults;
   }
 
 type t = {
-  live : Router.t;
+  live : Speaker.instance;
   cfg : cfg;
   mutable rev_seeds : seed list;
   mutable seed_counter : int;
@@ -48,9 +92,9 @@ type t = {
 let create ?(cfg = default_cfg) live =
   (* Chaos knob: a fault model in the config lands on every remote
      agent's probe link, with the fault RNG reseeded so the whole run
-     replays from [cfg.fault_seed]. Local agents have no wire to
+     replays from [cfg.faults.seed]. Local agents have no wire to
      perturb. *)
-  (match cfg.probe_faults with
+  (match cfg.faults.probe with
   | None -> ()
   | Some f ->
     List.iter
@@ -58,23 +102,26 @@ let create ?(cfg = default_cfg) live =
         match Distributed.agent_transport a with
         | Distributed.Remote ep ->
           let net, cnode, snode = Probe_rpc.endpoint_link ep in
-          Dice_sim.Network.set_fault_seed net cfg.fault_seed;
+          Dice_sim.Network.set_fault_seed net cfg.faults.seed;
           Dice_sim.Network.set_faults net cnode snode f
         | Distributed.Local _ -> ())
-      cfg.agents);
+      cfg.federation.agents);
   (* Cooperating remote agents become one more checker: every exploration
-     outcome is probed across the domain boundary, [cfg.jobs] probes at a
-     time over the worker pool. *)
+     outcome is probed across the domain boundary, [probe_jobs] probes at
+     a time over the worker pool. *)
   let cfg =
-    match cfg.agents with
+    match cfg.federation.agents with
     | [] -> cfg
     | agents ->
       { cfg with
-        checkers = cfg.checkers @ [ Distributed.checker ~jobs:cfg.jobs ~agents ] }
+        checkers =
+          cfg.checkers
+          @ [ Distributed.checker ~jobs:cfg.federation.probe_jobs ~agents ];
+      }
   in
   { live; cfg; rev_seeds = []; seed_counter = 0 }
 
-let router t = t.live
+let speaker t = t.live
 
 let observe t ~peer ~prefix ~route =
   let tag = Printf.sprintf "seed%d" t.seed_counter in
@@ -134,14 +181,14 @@ let dedup_faults faults =
     faults
 
 let explore_seed t ~checkpoint ~config ~pre_loc (s : seed) =
-  let cfgx = t.cfg in
+  let ex = t.cfg.exploration in
   let sandbox = Dice_sim.Isolation.create ~name:("dice-" ^ s.tag) in
   (* the engine's accumulated in-memory state (constraints recorded across
      all runs so far): part of a forked explorer's footprint *)
   let meta_buf = Buffer.create 1024 in
-  (* a pristine clone image for (re)creating the exploration router *)
+  (* a pristine clone image for (re)creating the exploration speaker *)
   let base_image = Fork.checkpoint_image checkpoint in
-  let clone_router = ref (Router.restore config base_image) in
+  let clone = ref (Speaker.restore_like t.live config base_image) in
   let dirty = ref false in
   let faults = ref [] in
   let accepted = ref 0 in
@@ -152,59 +199,54 @@ let explore_seed t ~checkpoint ~config ~pre_loc (s : seed) =
   let depth_tbl : (string, int) Hashtbl.t = Hashtbl.create 8 in
   let checker_ctx peer_as =
     { Checker.pre_loc_rib = pre_loc;
-      anycast = (Router.config t.live).Config_types.anycast;
+      anycast = (Speaker.config t.live).Config_types.anycast;
       peer = s.peer;
       peer_as;
     }
   in
   let peer_as =
-    match Config_types.find_peer (Router.config t.live) s.peer with
+    match Config_types.find_peer (Speaker.config t.live) s.peer with
     | Some p -> p.Config_types.remote_as
     | None -> 0
   in
-  let run_outcome ctx outcome =
+  let run_outcome ctx (outcome : Speaker.import_outcome) =
     (* the first run replays the observed input unmutated *)
-    if !observed_accepted = None then observed_accepted := Some outcome.Router.accepted;
+    if !observed_accepted = None then observed_accepted := Some outcome.Speaker.accepted;
     Buffer.add_bytes meta_buf (engine_metadata ctx);
     List.iter
-      (fun o ->
-        match o with
-        | Router.To_peer (_, _) -> Dice_sim.Isolation.send sandbox ~src:0 ~dst:0 Bytes.empty
-        | Router.Connect_request _ | Router.Close_connection _ | Router.Set_timer _
-        | Router.Clear_timer _ | Router.Session_up _ | Router.Session_down _ ->
-          ())
-      outcome.Router.outputs;
-    if outcome.Router.accepted then begin
+      (fun (_, _) -> Dice_sim.Isolation.send sandbox ~src:0 ~dst:0 Bytes.empty)
+      outcome.Speaker.outputs;
+    if outcome.Speaker.accepted then begin
       incr accepted;
       dirty := true;
       (* sample clone footprints at exponentially spaced points so the
          growth of the explorer's workspace over the whole exploration is
          captured, not just the first few runs *)
       let power_of_two n = n land (n - 1) = 0 in
-      if !sampled < cfgx.clone_samples && power_of_two !accepted then begin
+      if !sampled < ex.clone_samples && power_of_two !accepted then begin
         incr sampled;
-        let clone = Fork.spawn checkpoint in
+        let fclone = Fork.spawn checkpoint in
         let final =
-          Bytes.cat (Router.snapshot !clone_router)
+          Bytes.cat (Speaker.snapshot !clone)
             (Bytes.of_string (Buffer.contents meta_buf))
         in
-        clone_stats := Fork.finish clone ~final_image:final :: !clone_stats
+        clone_stats := Fork.finish fclone ~final_image:final :: !clone_stats
       end
     end
     else incr rejected;
     List.iter
       (fun (c : Checker.t) -> faults := c.Checker.check (checker_ctx peer_as) outcome @ !faults)
-      cfgx.checkers
+      t.cfg.checkers
   in
   let program ctx =
     if !dirty then begin
-      clone_router := Router.restore config base_image;
+      clone := Speaker.restore_like t.live config base_image;
       dirty := false
     end;
-    match cfgx.mode with
+    match ex.mode with
     | Symbolize.Selective ->
       let cr = Symbolize.croute ctx ~tag:s.tag ~prefix:s.prefix ~route:s.route in
-      let outcome = Router.import_concolic ~ctx !clone_router ~peer:s.peer cr in
+      let outcome = Speaker.import_concolic ~ctx !clone ~peer:s.peer cr in
       run_outcome ctx outcome
     | Symbolize.Whole_message -> begin
       let observed =
@@ -225,9 +267,7 @@ let explore_seed t ~checkpoint ~config ~pre_loc (s : seed) =
             List.iter
               (fun prefix ->
                 let cr = Croute.of_route prefix route in
-                let outcome =
-                  Router.import_concolic ~ctx !clone_router ~peer:s.peer cr
-                in
+                let outcome = Speaker.import_concolic ~ctx !clone ~peer:s.peer cr in
                 run_outcome ctx outcome)
               u.Msg.nlri
           | Error _ -> incr rejected
@@ -240,7 +280,7 @@ let explore_seed t ~checkpoint ~config ~pre_loc (s : seed) =
         ()
     end
   in
-  let explorer = Explorer.explore ~config:cfgx.explorer program in
+  let explorer = Explorer.explore ~config:ex.explorer program in
   {
     seed = s;
     explorer;
@@ -266,26 +306,27 @@ let take n l =
   go n l []
 
 let explore t =
+  let ex = t.cfg.exploration in
   let t0 = Unix.gettimeofday () in
-  let config = Router.config t.live in
+  let config = Speaker.config t.live in
   (* only this runs on the live node's critical path: freezing the
-     process image — O(#peers) thanks to persistent RIBs, the in-process
-     equivalent of fork()'s page-table copy *)
-  let frozen = Router.freeze t.live in
-  let pre_loc = Router.loc_rib t.live in
+     process image — the in-process equivalent of fork()'s page-table
+     copy; the speaker decides how cheap it can make it *)
+  let serialize_frozen = Speaker.freeze t.live in
+  let pre_loc = Speaker.loc_rib t.live in
   let checkpoint_seconds = Unix.gettimeofday () -. t0 in
   (* from here on the explorer does the work: serialization included *)
-  let live_image = Router.serialize frozen in
-  let mgr = Fork.create ~page_size:t.cfg.page_size () in
+  let live_image = serialize_frozen () in
+  let mgr = Fork.create ~page_size:ex.page_size () in
   let checkpoint = Fork.checkpoint mgr ~live_image in
-  let seeds = take t.cfg.max_seeds t.rev_seeds in
+  let seeds = take ex.max_seeds t.rev_seeds in
   t.rev_seeds <- [];
-  (* Seed explorations are independent — each restores its own router from
+  (* Seed explorations are independent — each restores its own speaker from
      the shared checkpoint image — so they can run on separate domains.
      [Pool.map] keeps report order equal to seed order whatever the
      schedule. *)
   let seed_reports =
-    Dice_exec.Pool.map ~jobs:(max 1 t.cfg.jobs)
+    Dice_exec.Pool.map ~jobs:(max 1 ex.jobs)
       (fun s -> explore_seed t ~checkpoint ~config ~pre_loc s)
       seeds
   in
@@ -296,7 +337,7 @@ let explore t =
     seed_reports;
     faults = all_faults;
     checkpoint_pages =
-      Dice_checkpoint.Page.count ~page_size:t.cfg.page_size (Bytes.length live_image);
+      Dice_checkpoint.Page.count ~page_size:ex.page_size (Bytes.length live_image);
     live_image_bytes = Bytes.length live_image;
     wall_seconds = Unix.gettimeofday () -. t0;
     checkpoint_seconds;

@@ -1,7 +1,7 @@
 (** The DiCE orchestrator: the checkpoint–symbolize–explore–check loop
     (paper §2.3).
 
-    Against a {e live} router it:
+    Against a {e live} speaker (any {!Speaker.S} implementation) it:
     + takes a page-granular checkpoint of the live process image,
     + clones the checkpoint for exploration (copy-on-write),
     + feeds each clone a previously observed input with selected fields
@@ -12,8 +12,9 @@
       deployed system never sees exploration traffic), and
     + runs fault checkers against every explored outcome.
 
-    The live router is never mutated: every exploration run executes on a
-    restored clone. *)
+    The live speaker is never mutated: every exploration run executes on
+    a restored clone (of the same implementation — cloning goes through
+    {!Speaker.restore_like}). *)
 
 open Dice_inet
 open Dice_bgp
@@ -26,48 +27,103 @@ type seed = {
   route : Route.t;
 }
 
-type cfg = {
+(** {1 Configuration}
+
+    Grouped by concern into nested records — what to explore and how
+    hard ({!exploration}), which remote domains cooperate
+    ({!federation}), and what chaos to inject on their wires
+    ({!faults}) — following the constructor convention documented in
+    {!Checker}: validating smart constructors with required labelled
+    arguments, and defaults exported as values ({!default_exploration}
+    and friends), so a call site writes
+    [{ default_exploration with max_seeds = 8 }] or builds a validated
+    record from scratch. *)
+
+type exploration = {
   explorer : Explorer.config;
   page_size : int;
   mode : Symbolize.mode;
   max_seeds : int;  (** most recent seeds explored per {!explore} call *)
-  checkers : Checker.t list;
-  agents : Distributed.agent list;
-      (** cooperating remote domains: when non-empty, a
-          {!Distributed.checker} over these agents is appended to
-          [checkers], so every exploration outcome is probed across the
-          domain boundary — [jobs] probes at a time over the worker
-          pool *)
   clone_samples : int;  (** CoW-cost samples collected per seed *)
   jobs : int;
       (** worker domains for seed-level parallelism: each pending seed
-          explores on its own router restored from the shared checkpoint,
-          [jobs] at a time. [1] (the default) keeps everything on the
-          calling domain. Report order always equals seed order. *)
-  probe_faults : Dice_sim.Faults.t option;
+          explores on its own speaker restored from the shared
+          checkpoint, [jobs] at a time. [1] (the default) keeps
+          everything on the calling domain. Report order always equals
+          seed order. *)
+}
+
+type federation = {
+  agents : Distributed.agent list;
+      (** cooperating remote domains: when non-empty, a
+          {!Distributed.checker} over these agents is appended to the
+          checker list, so every exploration outcome is probed across
+          the domain boundary. Mixed fleets are one list: each agent
+          carries its own transport and, behind it, its own speaker
+          implementation. *)
+  probe_jobs : int;
+      (** probes in flight at a time over the worker pool ([Local]
+          agents) or the wire ([Remote] agents) *)
+}
+
+type faults = {
+  probe : Dice_sim.Faults.t option;
       (** when set, this fault model is installed on every [Remote]
           agent's probe link at {!create} time — loss, duplication,
           reordering and corruption on the federated wire, with the RPC
           layer expected to stay correct under it. [None] (the default)
           leaves links as the caller wired them. Local agents are
           unaffected: they have no wire. *)
-  fault_seed : int64;
+  seed : int64;
       (** seed for the probe networks' fault RNG streams (applied with
-          [probe_faults]); equal seeds replay identical fault
-          schedules *)
+          [probe]); equal seeds replay identical fault schedules *)
 }
 
-val default_cfg : cfg
+type cfg = {
+  exploration : exploration;
+  checkers : Checker.t list;
+  federation : federation;
+  faults : faults;
+}
+
+val exploration :
+  explorer:Explorer.config ->
+  page_size:int ->
+  mode:Symbolize.mode ->
+  max_seeds:int ->
+  clone_samples:int ->
+  jobs:int ->
+  exploration
+(** Validating constructor. @raise Invalid_argument on a non-positive
+    [page_size] or [jobs], or a negative [max_seeds]/[clone_samples]. *)
+
+val federation : agents:Distributed.agent list -> probe_jobs:int -> federation
+(** @raise Invalid_argument if [probe_jobs < 1]. *)
+
+val faults : probe:Dice_sim.Faults.t option -> seed:int64 -> faults
+(** @raise Invalid_argument on an invalid fault model
+    ({!Dice_sim.Faults.validate}). *)
+
+val default_exploration : exploration
 (** DFS explorer (96 runs, depth 64), 4 KiB pages, selective
-    symbolization, 4 seeds, the {!Hijack.checker}, no remote agents,
-    4 clone samples, 1 job, no probe faults (seed 42). *)
+    symbolization, 4 seeds, 4 clone samples, 1 job. *)
+
+val default_federation : federation
+(** No agents, 1 probe job. *)
+
+val default_faults : faults
+(** No probe faults, seed 42. *)
+
+val default_cfg : cfg
+(** {!default_exploration} + the {!Hijack.checker} +
+    {!default_federation} + {!default_faults}. *)
 
 type t
 
-val create : ?cfg:cfg -> Router.t -> t
-(** Attach DiCE to a live router. *)
+val create : ?cfg:cfg -> Speaker.instance -> t
+(** Attach DiCE to a live speaker. *)
 
-val router : t -> Router.t
+val speaker : t -> Speaker.instance
 
 val observe : t -> peer:Ipv4.t -> prefix:Prefix.t -> route:Route.t -> unit
 (** Record an observed input as an exploration seed. *)
@@ -106,7 +162,7 @@ type report = {
 }
 
 val explore : t -> report
-(** Checkpoint the live router and explore the pending seeds (most recent
-    [max_seeds]; the queue is drained). *)
+(** Checkpoint the live speaker and explore the pending seeds (most
+    recent [max_seeds]; the queue is drained). *)
 
 val pp_report : Format.formatter -> report -> unit

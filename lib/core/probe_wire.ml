@@ -5,7 +5,7 @@ module Rbuf = Dice_wire.Rbuf
 
 let version = 1
 
-type verdict = {
+type verdict = Verdict.t = {
   accepted : bool;
   installed : bool;
   origin_conflict : bool;

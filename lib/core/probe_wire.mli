@@ -27,22 +27,17 @@ open Dice_bgp
 val version : int
 (** Protocol version carried in every frame (currently [1]). *)
 
-type verdict = {
-  accepted : bool;  (** the remote import policy accepted the route *)
-  installed : bool;  (** it became the remote node's best route *)
+type verdict = Verdict.t = {
+  accepted : bool;
+  installed : bool;
   origin_conflict : bool;
-      (** it overrides the origin AS of something the remote node already
-          routes — detected {e at} the remote node, against state the
-          local node cannot see *)
   covers_foreign : int;
-      (** how many remote routes with other origins the announcement
-          {e covers} (claims a super-block of) — the coverage-leak class *)
   would_propagate : int;
-      (** how many further sessions the remote node would re-advertise
-          on — the blast radius *)
 }
 (** The narrow interface itself: three booleans and two counts per
-    announced prefix. No RIB contents, no filters, no origin data. *)
+    announced prefix — {!Verdict.t}, re-exported here so wire code can
+    keep writing [Probe_wire.verdict]. No RIB contents, no filters, no
+    origin data cross the interface. *)
 
 type frame =
   | Request of { req_id : int; from : Ipv4.t; msg : bytes }

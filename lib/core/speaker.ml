@@ -1,0 +1,48 @@
+open Dice_inet
+open Dice_bgp
+open Dice_concolic
+
+type import_outcome = {
+  prefix : Prefix.t;
+  accepted : bool;
+  installed : bool;
+  route : Route.t option;
+  previous_best : Rib.Loc.entry option;
+  outputs : (Ipv4.t * Msg.t) list;
+}
+
+module type S = sig
+  type t
+
+  val id : string
+  val create : Config_types.t -> t
+  val config : t -> Config_types.t
+  val establish : t -> peer:Ipv4.t -> unit
+  val feed : ?ctx:Engine.ctx -> t -> peer:Ipv4.t -> Msg.t -> (Ipv4.t * Msg.t) list
+  val import_concolic : ctx:Engine.ctx -> t -> peer:Ipv4.t -> Croute.t -> import_outcome
+  val loc_rib : t -> Rib.Loc.t
+  val best_route : t -> Prefix.t -> Rib.Loc.entry option
+  val learned_from : t -> peer:Ipv4.t -> Prefix.t -> bool
+  val updates_processed : t -> int
+  val freeze : t -> unit -> bytes
+  val snapshot : t -> bytes
+  val restore : Config_types.t -> bytes -> t
+end
+
+type instance = Inst : (module S with type t = 'a) * 'a -> instance
+
+let pack (type a) (m : (module S with type t = a)) (state : a) = Inst (m, state)
+let id (Inst ((module M), _)) = M.id
+let config (Inst ((module M), t)) = M.config t
+let establish (Inst ((module M), t)) ~peer = M.establish t ~peer
+let feed ?ctx (Inst ((module M), t)) ~peer msg = M.feed ?ctx t ~peer msg
+let import_concolic ~ctx (Inst ((module M), t)) ~peer cr = M.import_concolic ~ctx t ~peer cr
+let loc_rib (Inst ((module M), t)) = M.loc_rib t
+let best_route (Inst ((module M), t)) prefix = M.best_route t prefix
+let learned_from (Inst ((module M), t)) ~peer prefix = M.learned_from t ~peer prefix
+let updates_processed (Inst ((module M), t)) = M.updates_processed t
+let freeze (Inst ((module M), t)) = M.freeze t
+let snapshot (Inst ((module M), t)) = M.snapshot t
+
+let restore_like (Inst ((module M), _)) cfg image =
+  Inst ((module M), M.restore cfg image)

@@ -1,0 +1,154 @@
+(** The SPEAKER abstraction: what the DiCE core requires of a BGP
+    implementation — and nothing more.
+
+    The paper's evaluation federates BIRD with Cisco- and XORP-style
+    peers that DiCE never instruments; it only probes them through the
+    narrow interface (§2.4). For the core to support that heterogeneity,
+    no checker, orchestrator, or transport may depend on one
+    implementation's internals — the same discipline as MODIST-style
+    transparent interposition, where the testing layer sees an interface,
+    never a daemon. {!S} is that interface:
+
+    - {b feed an update}: {!S.feed} processes one BGP message on a
+      session and returns the messages the speaker would transmit —
+      outputs are [(peer, message)] pairs, because messages are all the
+      core ever forwards, intercepts, or counts; timers, socket
+      operations and session transitions are implementation business;
+    - {b snapshot / clone live state}: {!S.freeze} checkpoints the
+      speaker instantly and returns a serialization thunk (run off the
+      live node's critical path), {!S.snapshot} is the eager form, and
+      {!S.restore} rebuilds an equivalent speaker — how checkpointed
+      probing clones a cooperating node without touching it. The byte
+      format is the implementation's own; the core treats it as opaque;
+    - {b report per-prefix verdicts}: {!S.loc_rib}, {!S.best_route} and
+      {!S.learned_from} expose exactly the read-only views the probe
+      path needs to compute origin/best-route {!Verdict.t}s;
+    - {b an update-version counter}: {!S.updates_processed} stamps
+      verdict-cache entries ({!Dice_exec.Vcache}); when the live speaker
+      processes an update, cached verdicts self-evict.
+
+    An {!instance} packs a speaker module with a value of its state type
+    (a first-class existential), so agents, orchestrators and fleets can
+    mix implementations freely — [Distributed.Local] holds an instance,
+    not a [Router.t]. The only module allowed to name a concrete
+    implementation is the {!Speakers} registry. *)
+
+open Dice_inet
+open Dice_bgp
+open Dice_concolic
+
+type import_outcome = {
+  prefix : Prefix.t;  (** concretized NLRI of the explored announcement *)
+  accepted : bool;  (** survived loop check and import policy *)
+  installed : bool;  (** won the decision process and entered the table *)
+  route : Route.t option;  (** the concretized imported route, if accepted *)
+  previous_best : Rib.Loc.entry option;
+      (** the best-route entry for [prefix] before this import *)
+  outputs : (Ipv4.t * Msg.t) list;
+      (** export traffic this import would generate, per destination
+          session — the implementation-neutral projection of whatever
+          effect type the speaker uses internally *)
+}
+(** What one explored import did — the value every fault checker is
+    written against ({!Checker.t}). *)
+
+(** The SPEAKER signature. *)
+module type S = sig
+  type t
+
+  val id : string
+  (** Implementation name ([bird], [quagga], ...) — what
+      [detect-leaks --speaker] selects and fault reports cite. *)
+
+  val create : Config_types.t -> t
+  (** Build a speaker from the shared configuration vocabulary. An
+      implementation is free to interpret knobs its own way (its "config
+      quirks") but must honor the peer set and policies. *)
+
+  val config : t -> Config_types.t
+
+  val establish : t -> peer:Ipv4.t -> unit
+  (** Drive the session with [peer] to Established, including the
+      initial table advertisement — by whatever mechanism the
+      implementation uses (a full FSM handshake, an administrative
+      flip). @raise Invalid_argument if [peer] is not configured. *)
+
+  val feed : ?ctx:Engine.ctx -> t -> peer:Ipv4.t -> Msg.t -> (Ipv4.t * Msg.t) list
+  (** Process one received message on the session with [peer]; returns
+      the messages the speaker would send in response. [ctx] defaults to
+      a null (non-recording) context. *)
+
+  val import_concolic : ctx:Engine.ctx -> t -> peer:Ipv4.t -> Croute.t -> import_outcome
+  (** Run one (symbolized) announcement through the full import path,
+      recording path constraints via [ctx]. Mutates this speaker; during
+      exploration, call it on a clone, never on the live instance.
+      Implementations differ in how deeply their pipeline is
+      instrumented — the shared policy interpreter always records; a
+      foreign decision process may run concretely, exactly as DiCE
+      cannot instrument a closed-source peer. @raise Invalid_argument if
+      [peer] is not configured. *)
+
+  val loc_rib : t -> Rib.Loc.t
+  (** The selected best routes, as the shared view type — a {e view}:
+      implementations with other internal layouts materialize it on
+      demand. *)
+
+  val best_route : t -> Prefix.t -> Rib.Loc.entry option
+
+  val learned_from : t -> peer:Ipv4.t -> Prefix.t -> bool
+  (** Whether [prefix] currently sits in the Adj-RIB-In (or equivalent)
+      of the session with [peer] — the probe path's acceptance test. *)
+
+  val updates_processed : t -> int
+  (** Monotone update-version counter: must advance whenever processing
+      a message may have changed answerable state. Verdict caches key
+      their entries on it. *)
+
+  val freeze : t -> unit -> bytes
+  (** Checkpoint now, serialize later: the returned thunk produces the
+      state as of the [freeze] call, whatever the live speaker does in
+      between. Implementations with persistent structures freeze in
+      O(#peers); others may serialize eagerly and return a constant
+      thunk. *)
+
+  val snapshot : t -> bytes
+  (** [freeze t ()] — checkpoint and serialize in one step. *)
+
+  val restore : Config_types.t -> bytes -> t
+  (** Rebuild a speaker from a snapshot taken of a speaker {e of the
+      same implementation} with the same peer set. @raise
+      Invalid_argument on a corrupt or alien image. *)
+end
+
+type instance = Inst : (module S with type t = 'a) * 'a -> instance
+(** A speaker module packed with its state: the value the core passes
+    around. Two instances of different implementations are the same type
+    — which is the whole point. *)
+
+val pack : (module S with type t = 'a) -> 'a -> instance
+
+(** {1 Instance operations}
+
+    Each simply unpacks and delegates; they exist so call sites read as
+    method calls instead of existential matches. *)
+
+val id : instance -> string
+val config : instance -> Config_types.t
+val establish : instance -> peer:Ipv4.t -> unit
+val feed : ?ctx:Engine.ctx -> instance -> peer:Ipv4.t -> Msg.t -> (Ipv4.t * Msg.t) list
+
+val import_concolic :
+  ctx:Engine.ctx -> instance -> peer:Ipv4.t -> Croute.t -> import_outcome
+
+val loc_rib : instance -> Rib.Loc.t
+val best_route : instance -> Prefix.t -> Rib.Loc.entry option
+val learned_from : instance -> peer:Ipv4.t -> Prefix.t -> bool
+val updates_processed : instance -> int
+val freeze : instance -> unit -> bytes
+val snapshot : instance -> bytes
+
+val restore_like : instance -> Config_types.t -> bytes -> instance
+(** [restore_like inst cfg image] rebuilds from [image] with the {e same
+    implementation} as [inst] — how the probe path clones a cooperating
+    node, and how validation builds a shadow speaker under a proposed
+    configuration, without either ever naming an implementation. *)

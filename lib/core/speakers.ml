@@ -1,0 +1,113 @@
+open Dice_inet
+open Dice_bgp
+
+(* The one concrete-implementation reference the core is allowed. *)
+module Router = Dice_bgp.Router
+module Qrouter = Dice_bgp2.Qrouter
+
+module Bird = struct
+  type t = Router.t
+
+  let id = "bird"
+  let create = Router.create
+  let config = Router.config
+
+  let msgs_of outputs =
+    List.filter_map
+      (function Router.To_peer (dst, m) -> Some (dst, m) | _ -> None)
+      outputs
+
+  let establish t ~peer =
+    match Config_types.find_peer (Router.config t) peer with
+    | None ->
+      invalid_arg (Printf.sprintf "Speakers.Bird: unknown peer %s" (Ipv4.to_string peer))
+    | Some pcfg ->
+      let remote_as = pcfg.Config_types.remote_as in
+      ignore (Router.handle_event t ~peer Fsm.Manual_start);
+      ignore (Router.handle_event t ~peer Fsm.Tcp_connected);
+      ignore
+        (Router.handle_msg t ~peer
+           (Msg.Open
+              {
+                Msg.version = 4;
+                my_as = remote_as land 0xFFFF;
+                hold_time = 90;
+                bgp_id = peer;
+                capabilities = [ Msg.Cap_as4 remote_as ];
+              }));
+      ignore (Router.handle_msg t ~peer Msg.Keepalive)
+
+  let feed ?ctx t ~peer msg = msgs_of (Router.handle_msg ?ctx t ~peer msg)
+
+  let import_concolic ~ctx t ~peer croute =
+    let o = Router.import_concolic ~ctx t ~peer croute in
+    {
+      Speaker.prefix = o.Router.prefix;
+      accepted = o.Router.accepted;
+      installed = o.Router.installed;
+      route = o.Router.route;
+      previous_best = o.Router.previous_best;
+      outputs = msgs_of o.Router.outputs;
+    }
+
+  let loc_rib = Router.loc_rib
+  let best_route = Router.best_route
+
+  let learned_from t ~peer prefix =
+    match Router.adj_rib_in t peer with
+    | Some adj -> Rib.Adj.find_opt prefix adj <> None
+    | None -> false
+
+  let updates_processed = Router.updates_processed
+
+  let freeze t =
+    let image = Router.freeze t in
+    fun () -> Router.serialize image
+
+  let snapshot = Router.snapshot
+  let restore = Router.restore
+end
+
+module Quagga = struct
+  type t = Qrouter.t
+
+  let id = "quagga"
+  let create = Qrouter.create
+  let config = Qrouter.config
+  let establish t ~peer = Qrouter.establish t ~peer
+  let feed ?ctx t ~peer msg = Qrouter.feed ?ctx t ~peer msg
+
+  let import_concolic ~ctx t ~peer croute =
+    let o = Qrouter.import_concolic ~ctx t ~peer croute in
+    {
+      Speaker.prefix = o.Qrouter.prefix;
+      accepted = o.Qrouter.accepted;
+      installed = o.Qrouter.installed;
+      route = o.Qrouter.route;
+      previous_best = o.Qrouter.previous_best;
+      outputs = o.Qrouter.outputs;
+    }
+
+  let loc_rib = Qrouter.table
+  let best_route = Qrouter.best_route
+  let learned_from t ~peer prefix = Qrouter.learned_from t ~peer prefix
+  let updates_processed = Qrouter.updates_processed
+
+  (* No incremental freeze: serialize eagerly, hand back the bytes. *)
+  let freeze t =
+    let image = Qrouter.snapshot t in
+    fun () -> image
+
+  let snapshot = Qrouter.snapshot
+  let restore = Qrouter.restore
+end
+
+let bird r = Speaker.pack (module Bird : Speaker.S with type t = Router.t) r
+let quagga q = Speaker.pack (module Quagga : Speaker.S with type t = Qrouter.t) q
+let names = [ "bird"; "quagga" ]
+
+let create name cfg =
+  match name with
+  | "bird" -> Some (bird (Router.create cfg))
+  | "quagga" -> Some (quagga (Qrouter.create cfg))
+  | _ -> None

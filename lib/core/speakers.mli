@@ -1,0 +1,32 @@
+(** The speaker registry: the {e only} module in the core allowed to
+    name a concrete BGP implementation.
+
+    Everything else in [Dice_core] programs against {!Speaker.S} /
+    {!Speaker.instance}; this module adapts the implementations the tree
+    ships — the instrumented BIRD-flavored [Dice_bgp.Router] and the
+    heterogeneous Quagga-flavored [Dice_bgp2.Qrouter] — and looks them
+    up by name for [detect-leaks --speaker] and per-agent fleet
+    configuration. Adding a third implementation means adding one
+    adapter here and nowhere else. *)
+
+module Bird : Speaker.S with type t = Dice_bgp.Router.t
+(** [Dice_bgp.Router] behind the SPEAKER interface. [establish] runs the
+    real FSM handshake (ManualStart, transport up, OPEN with the peer's
+    configured AS, KEEPALIVE); outputs are filtered to the [(peer,
+    message)] pairs the interface speaks — timers and socket requests
+    stay internal. *)
+
+module Quagga : Speaker.S with type t = Dice_bgp2.Qrouter.t
+(** [Dice_bgp2.Qrouter] behind the same interface — different RIB
+    layout, different decision tie-breaking, administratively
+    established sessions (see its own documentation). *)
+
+val bird : Dice_bgp.Router.t -> Speaker.instance
+val quagga : Dice_bgp2.Qrouter.t -> Speaker.instance
+
+val create : string -> Dice_bgp.Config_types.t -> Speaker.instance option
+(** [create name cfg] builds a fresh speaker by implementation name
+    ([known names: {!names}]); [None] for an unknown name. *)
+
+val names : string list
+(** [["bird"; "quagga"]] — what [--speaker] accepts. *)

@@ -14,8 +14,8 @@ let same_peer_set a b =
   let sort cfg = List.sort compare (List.map key cfg.Config_types.peers) in
   sort a = sort b
 
-let explore_with ?cfg router seeds =
-  let dice = Orchestrator.create ?cfg router in
+let explore_with ?cfg speaker seeds =
+  let dice = Orchestrator.create ?cfg speaker in
   List.iter
     (fun (s : Orchestrator.seed) ->
       Orchestrator.observe dice ~peer:s.Orchestrator.peer ~prefix:s.Orchestrator.prefix
@@ -24,16 +24,20 @@ let explore_with ?cfg router seeds =
   Orchestrator.explore dice
 
 let config_change ?cfg ~live ~proposed ~seeds () =
-  if not (same_peer_set (Router.config live) proposed) then
+  if not (same_peer_set (Speaker.config live) proposed) then
     invalid_arg "Validate.config_change: the proposed configuration changes the peer set";
-  let cfg =
-    match cfg with
-    | Some c -> Some { c with Orchestrator.max_seeds = max (List.length seeds) 1 }
-    | None ->
-      Some { Orchestrator.default_cfg with Orchestrator.max_seeds = max (List.length seeds) 1 }
+  let with_seeds (c : Orchestrator.cfg) =
+    { c with
+      Orchestrator.exploration =
+        { c.Orchestrator.exploration with
+          Orchestrator.max_seeds = max (List.length seeds) 1;
+        };
+    }
   in
-  (* shadow router: live state under the proposed configuration *)
-  let shadow = Router.restore proposed (Router.snapshot live) in
+  let cfg = Some (with_seeds (Option.value cfg ~default:Orchestrator.default_cfg)) in
+  (* shadow speaker: live state under the proposed configuration, same
+     implementation as the live one *)
+  let shadow = Speaker.restore_like live proposed (Speaker.snapshot live) in
   let current_report = explore_with ?cfg live seeds in
   let proposed_report = explore_with ?cfg shadow seeds in
   let keys report =

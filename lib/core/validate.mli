@@ -6,9 +6,9 @@
     operator actions before they are introduced in the running system"
     (following Nagaraja et al.'s operator-mistake study, and Alimi et
     al.'s shadow configurations). The mechanics already exist: checkpoint
-    live state, build a shadow router with the {e proposed} configuration
-    over the checkpointed RIBs, and explore both configurations with the
-    same seeds and budget. The comparison answers the two operator
+    live state, build a shadow speaker (same implementation as the live
+    one) with the {e proposed} configuration over the checkpointed RIBs,
+    and explore both configurations with the same seeds and budget. The comparison answers the two operator
     questions:
     - does the change close the holes? ({!comparison.fixed})
     - does it break legitimate announcements or open new holes?
@@ -34,15 +34,16 @@ type comparison = {
 
 val config_change :
   ?cfg:Orchestrator.cfg ->
-  live:Router.t ->
+  live:Speaker.instance ->
   proposed:Config_types.t ->
   seeds:Orchestrator.seed list ->
   unit ->
   comparison
 (** Explore [seeds] under both configurations, starting from the live
-    router's current state. The live router is never mutated; the
+    speaker's current state. The live speaker is never mutated; the
     proposed configuration must keep the same peer set (addresses and AS
-    numbers), as a real maintenance window would.
+    numbers), as a real maintenance window would. [cfg]'s [max_seeds] is
+    overridden to cover every seed given.
     @raise Invalid_argument if the proposed peers differ. *)
 
 val verdict : comparison -> [ `Safe | `Ineffective | `Harmful ]

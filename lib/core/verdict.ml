@@ -1,0 +1,42 @@
+type t = {
+  accepted : bool;
+  installed : bool;
+  origin_conflict : bool;
+  covers_foreign : int;
+  would_propagate : int;
+}
+
+let equal (a : t) (b : t) = a = b
+
+let compare (a : t) (b : t) =
+  let c = Bool.compare a.accepted b.accepted in
+  if c <> 0 then c
+  else begin
+    let c = Bool.compare a.installed b.installed in
+    if c <> 0 then c
+    else begin
+      let c = Bool.compare a.origin_conflict b.origin_conflict in
+      if c <> 0 then c
+      else begin
+        let c = Int.compare a.covers_foreign b.covers_foreign in
+        if c <> 0 then c else Int.compare a.would_propagate b.would_propagate
+      end
+    end
+  end
+
+let to_string v =
+  Printf.sprintf "%s|%s|%s covers=%d propagates=%d"
+    (if v.accepted then "accepted" else "rejected")
+    (if v.installed then "installed" else "not-installed")
+    (if v.origin_conflict then "conflict" else "no-conflict")
+    v.covers_foreign v.would_propagate
+
+let pp ppf v = Format.pp_print_string ppf (to_string v)
+
+let to_details ?(prefix = "") v =
+  [ (prefix ^ "accepted", string_of_bool v.accepted);
+    (prefix ^ "installed", string_of_bool v.installed);
+    (prefix ^ "origin-conflict", string_of_bool v.origin_conflict);
+    (prefix ^ "covers-foreign", string_of_int v.covers_foreign);
+    (prefix ^ "propagates-to", string_of_int v.would_propagate);
+  ]

@@ -1,0 +1,44 @@
+(** The unified probe verdict: the one value a cooperating domain ever
+    reveals about an exploration message.
+
+    Three near-identical copies of this record used to live in the tree —
+    [Distributed.verdict], the {!Probe_wire} response payload, and the
+    ad-hoc key/value details the distributed checker attached to its
+    findings. They are now all this module: [Probe_wire.verdict] and
+    [Distributed.verdict] are re-exports of {!t}, checker findings render
+    through {!to_details}, and every comparison goes through {!equal} /
+    {!compare} — one pretty-printer, one comparator, one source of truth
+    for what the narrow interface can say. *)
+
+type t = {
+  accepted : bool;  (** the remote import policy accepted the route *)
+  installed : bool;  (** it became the remote node's best route *)
+  origin_conflict : bool;
+      (** it overrides the origin AS of something the remote node already
+          routes — detected {e at} the remote node, against state the
+          local node cannot see *)
+  covers_foreign : int;
+      (** how many remote routes with other origins the announcement
+          {e covers} (claims a super-block of) — the coverage-leak class *)
+  would_propagate : int;
+      (** how many further sessions the remote node would re-advertise
+          on — the blast radius *)
+}
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+(** Total order (accepted, installed, origin_conflict, covers_foreign,
+    would_propagate, in that significance order) — what differential
+    checking sorts and deduplicates by. *)
+
+val pp : Format.formatter -> t -> unit
+(** [accepted|installed|conflict covers=N propagates=N], compact enough
+    for fault details and test failure messages. *)
+
+val to_string : t -> string
+
+val to_details : ?prefix:string -> t -> (string * string) list
+(** The verdict as checker-finding key/value details, each key prefixed
+    with [prefix] (default [""]) — e.g. [remote-] for the distributed
+    checker, [bird-]/[quagga-] for the differential checker. *)

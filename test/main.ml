@@ -21,6 +21,7 @@ let () =
       ("core", Test_core.suite);
       ("integration", Test_integration.suite);
       ("probe-wire", Test_probe_wire.suite);
+      ("speaker", Test_speaker.suite);
       ("probe-rpc", Test_probe_rpc.suite);
       ("chaos", Test_chaos.suite);
       ("distributed", Test_distributed.suite);

@@ -26,30 +26,27 @@ let fault_seed =
   | Some s -> Int64.of_string s
   | None -> 42L
 
-let establish router peer remote_as =
-  ignore (Router.handle_event router ~peer Fsm.Manual_start);
-  ignore (Router.handle_event router ~peer Fsm.Tcp_connected);
-  ignore
-    (Router.handle_msg router ~peer
-       (Msg.Open
-          { Msg.version = 4; my_as = remote_as land 0xFFFF; hold_time = 90; bgp_id = peer;
-            capabilities = [ Msg.Cap_as4 remote_as ] }));
-  ignore (Router.handle_msg router ~peer Msg.Keepalive)
-
-let upstream () =
-  let r =
-    Router.create
-      (Config_parser.parse
-         {|
-         router id 10.0.2.2;
-         local as 64700;
-         protocol bgp provider { neighbor 10.0.2.1 as 64510; import all; export none; }
-         protocol bgp collector { neighbor 10.0.3.2 as 64701; import all; export all; }
-         anycast [ 192.88.99.0/24 ];
-         |})
+(* Speaker-generic upstream: the soak runs once with the BIRD speaker
+   and once with the heterogeneous Quagga speaker serving probes — the
+   probe path must not care which implementation answers. *)
+let upstream impl =
+  let cfg =
+    Config_parser.parse
+      {|
+      router id 10.0.2.2;
+      local as 64700;
+      protocol bgp provider { neighbor 10.0.2.1 as 64510; import all; export none; }
+      protocol bgp collector { neighbor 10.0.3.2 as 64701; import all; export all; }
+      anycast [ 192.88.99.0/24 ];
+      |}
   in
-  establish r provider_side 64510;
-  establish r collector 64701;
+  let sp =
+    match Speakers.create impl cfg with
+    | Some sp -> sp
+    | None -> invalid_arg ("unknown speaker: " ^ impl)
+  in
+  Speaker.establish sp ~peer:provider_side;
+  Speaker.establish sp ~peer:collector;
   List.iter
     (fun (prefix, origin) ->
       let route =
@@ -58,10 +55,10 @@ let upstream () =
           ~next_hop:collector ()
       in
       ignore
-        (Router.handle_msg r ~peer:collector
+        (Speaker.feed sp ~peer:collector
            (Msg.Update { withdrawn = []; attrs = Route.to_attrs route; nlri = [ p prefix ] })))
     [ ("198.51.0.0/16", 64999); ("8.8.8.0/24", 64888); ("192.88.99.0/24", 64777) ];
-  r
+  sp
 
 let announcement prefix =
   Msg.Update
@@ -105,11 +102,11 @@ type soak = {
   counters : int * int * int * int;  (* dropped, duplicated, reordered, corrupted *)
 }
 
-let run_soak seed =
+let run_soak ?(impl = "bird") seed =
   let net = Network.create () in
   Network.set_fault_seed net seed;
   let serving = Distributed.agent ~name:"up-serving" ~addr:(Ipv4.of_string "10.0.2.2")
-      ~explorer_addr:provider_side (Distributed.Local (upstream ()))
+      ~explorer_addr:provider_side (Distributed.Local (upstream impl))
   in
   let srv = Distributed.serve net serving in
   let cl = Probe_rpc.client net ~name:"explorer" in
@@ -141,15 +138,15 @@ let run_soak seed =
         Network.messages_reordered net, Network.messages_corrupted net );
   }
 
-let test_soak_at_most_once_and_equivalence () =
-  (* fault-free local baseline *)
+let soak_at_most_once_and_equivalence impl () =
+  (* fault-free local baseline over the same implementation *)
   let la = Distributed.agent ~name:"up-local" ~addr:(Ipv4.of_string "10.0.2.2")
-      ~explorer_addr:provider_side (Distributed.Local (upstream ()))
+      ~explorer_addr:provider_side (Distributed.Local (upstream impl))
   in
   let baseline =
     List.map (fun m -> render (Distributed.probe la ~from:provider_side m)) workload
   in
-  let s = run_soak fault_seed in
+  let s = run_soak ~impl fault_seed in
   (* the chaos actually happened *)
   let dropped, duplicated, reordered, _ = s.counters in
   Alcotest.(check bool) "frames were dropped" true (dropped > 0);
@@ -199,6 +196,8 @@ let test_soak_seed_replay () =
 
 let suite =
   [ ("soak: at-most-once + local/remote equivalence", `Quick,
-      test_soak_at_most_once_and_equivalence);
+      soak_at_most_once_and_equivalence "bird");
+    ("soak: quagga agent in the fleet", `Quick,
+      soak_at_most_once_and_equivalence "quagga");
     ("soak: fault seed replays bit-identically", `Quick, test_soak_seed_replay)
   ]

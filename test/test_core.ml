@@ -166,7 +166,7 @@ let outcome ?(accepted = true) ?(installed = true) ~prefix ~origin_asn () =
       ~as_path:[ Asn.Path.Seq [ 64501; origin_asn ] ]
       ~next_hop:(Ipv4.of_string "10.0.1.2") ()
   in
-  { Router.prefix = p prefix;
+  { Speaker.prefix = p prefix;
     accepted;
     installed;
     route = (if accepted then Some route else None);
@@ -263,14 +263,17 @@ let observe_customer dice =
 
 let explore_cfg ?(mode = Symbolize.Selective) ?(runs = 192) () =
   { Orchestrator.default_cfg with
-    Orchestrator.mode;
-    explorer =
-      { Explorer.default_config with Explorer.max_runs = runs; max_depth = 96 };
+    Orchestrator.exploration =
+      { Orchestrator.default_exploration with
+        Orchestrator.mode;
+        explorer =
+          { Explorer.default_config with Explorer.max_runs = runs; max_depth = 96 };
+      };
   }
 
 let test_orchestrator_seeding () =
   let topo = testbed Dice_topology.Threerouter.Partially_correct in
-  let dice = Orchestrator.create (Dice_topology.Threerouter.provider_router topo) in
+  let dice = Orchestrator.create (Speakers.bird (Dice_topology.Threerouter.provider_router topo)) in
   Alcotest.(check int) "empty" 0 (Orchestrator.pending_seeds dice);
   observe_customer dice;
   Alcotest.(check int) "one" 1 (Orchestrator.pending_seeds dice);
@@ -286,7 +289,8 @@ let test_orchestrator_seeding () =
 let test_orchestrator_finds_hijacks_with_broken_filter () =
   let topo = testbed Dice_topology.Threerouter.Partially_correct in
   let dice =
-    Orchestrator.create ~cfg:(explore_cfg ()) (Dice_topology.Threerouter.provider_router topo)
+    Orchestrator.create ~cfg:(explore_cfg ())
+      (Speakers.bird (Dice_topology.Threerouter.provider_router topo))
   in
   observe_customer dice;
   let report = Orchestrator.explore dice in
@@ -304,7 +308,8 @@ let test_orchestrator_finds_hijacks_with_broken_filter () =
 let test_orchestrator_clean_with_correct_filter () =
   let topo = testbed Dice_topology.Threerouter.Correct in
   let dice =
-    Orchestrator.create ~cfg:(explore_cfg ()) (Dice_topology.Threerouter.provider_router topo)
+    Orchestrator.create ~cfg:(explore_cfg ())
+      (Speakers.bird (Dice_topology.Threerouter.provider_router topo))
   in
   observe_customer dice;
   let report = Orchestrator.explore dice in
@@ -318,7 +323,7 @@ let test_orchestrator_live_router_untouched () =
   let topo = testbed Dice_topology.Threerouter.Partially_correct in
   let provider = Dice_topology.Threerouter.provider_router topo in
   let before = Router.snapshot provider in
-  let dice = Orchestrator.create ~cfg:(explore_cfg ()) provider in
+  let dice = Orchestrator.create ~cfg:(explore_cfg ()) (Speakers.bird provider) in
   observe_customer dice;
   ignore (Orchestrator.explore dice);
   Alcotest.(check bytes) "exploration never mutates the live router" before
@@ -329,7 +334,8 @@ let test_orchestrator_isolation () =
   let net = topo.Dice_topology.Threerouter.net in
   let sent_before = Dice_sim.Network.messages_sent net in
   let dice =
-    Orchestrator.create ~cfg:(explore_cfg ()) (Dice_topology.Threerouter.provider_router topo)
+    Orchestrator.create ~cfg:(explore_cfg ())
+      (Speakers.bird (Dice_topology.Threerouter.provider_router topo))
   in
   observe_customer dice;
   let report = Orchestrator.explore dice in
@@ -346,7 +352,8 @@ let test_orchestrator_isolation () =
 let test_orchestrator_clone_stats () =
   let topo = testbed Dice_topology.Threerouter.Partially_correct in
   let dice =
-    Orchestrator.create ~cfg:(explore_cfg ()) (Dice_topology.Threerouter.provider_router topo)
+    Orchestrator.create ~cfg:(explore_cfg ())
+      (Speakers.bird (Dice_topology.Threerouter.provider_router topo))
   in
   observe_customer dice;
   let report = Orchestrator.explore dice in
@@ -364,7 +371,7 @@ let test_orchestrator_whole_message_mode () =
   let dice =
     Orchestrator.create
       ~cfg:(explore_cfg ~mode:Symbolize.Whole_message ~runs:96 ())
-      (Dice_topology.Threerouter.provider_router topo)
+      (Speakers.bird (Dice_topology.Threerouter.provider_router topo))
   in
   observe_customer dice;
   let report = Orchestrator.explore dice in

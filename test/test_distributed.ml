@@ -51,7 +51,7 @@ let upstream () =
 
 let mk_agent ?(name = "up") router =
   Distributed.agent ~name ~addr:(Ipv4.of_string "10.0.2.2")
-    ~explorer_addr:provider_side (Distributed.Local router)
+    ~explorer_addr:provider_side (Distributed.Local (Speakers.bird router))
 
 let announcement ?(origin_asn = 64510) prefixes =
   Msg.Update
@@ -264,14 +264,14 @@ let direct_ctx up =
     peer_as = 64501;
   }
 
-let outcome_sending ?(accepted = true) ~local_prefix msgs : Router.import_outcome =
+let outcome_sending ?(accepted = true) ~local_prefix msgs : Speaker.import_outcome =
   {
-    Router.prefix = p local_prefix;
+    Speaker.prefix = p local_prefix;
     accepted;
     installed = accepted;
     route = None;
     previous_best = None;
-    outputs = List.map (fun (dst, m) -> Router.To_peer (dst, m)) msgs;
+    outputs = msgs;
   }
 
 let detail f k = List.assoc k f.Checker.details
@@ -412,21 +412,24 @@ let test_checker_finds_remote_conflicts () =
   let up = upstream () in
   let agent =
     Distributed.agent ~name:"up" ~addr:Dice_topology.Threerouter.internet_addr
-      ~explorer_addr:provider_side (Distributed.Local up)
+      ~explorer_addr:provider_side (Distributed.Local (Speakers.bird up))
   in
   let provider, customer_route = provider_with_customer () in
   let cfg =
     { Orchestrator.default_cfg with
       Orchestrator.checkers = [ Hijack.checker ];
-      agents = [ agent ];
-      explorer =
-        { Dice_concolic.Explorer.default_config with
-          Dice_concolic.Explorer.max_runs = 256;
-          max_depth = 96;
+      federation = Orchestrator.federation ~agents:[ agent ] ~probe_jobs:1;
+      exploration =
+        { Orchestrator.default_exploration with
+          Orchestrator.explorer =
+            { Dice_concolic.Explorer.default_config with
+              Dice_concolic.Explorer.max_runs = 256;
+              max_depth = 96;
+            };
         };
     }
   in
-  let dice = Orchestrator.create ~cfg provider in
+  let dice = Orchestrator.create ~cfg (Speakers.bird provider) in
   Orchestrator.observe dice ~peer:Dice_topology.Threerouter.customer_addr
     ~prefix:(p "203.0.113.0/24") ~route:customer_route;
   let report = Orchestrator.explore dice in
@@ -459,15 +462,16 @@ let test_checker_ignores_unknown_destinations () =
   let up = upstream () in
   let agent =
     Distributed.agent ~name:"up" ~addr:(Ipv4.of_string "9.9.9.9")
-      ~explorer_addr:provider_side (Distributed.Local up)
+      ~explorer_addr:provider_side (Distributed.Local (Speakers.bird up))
   in
   let provider, customer_route = provider_with_customer () in
   let cfg =
     { Orchestrator.default_cfg with
-      Orchestrator.checkers = []; Orchestrator.agents = [ agent ];
+      Orchestrator.checkers = [];
+      Orchestrator.federation = Orchestrator.federation ~agents:[ agent ] ~probe_jobs:1;
     }
   in
-  let dice = Orchestrator.create ~cfg provider in
+  let dice = Orchestrator.create ~cfg (Speakers.bird provider) in
   Orchestrator.observe dice ~peer:Dice_topology.Threerouter.customer_addr
     ~prefix:(p "203.0.113.0/24") ~route:customer_route;
   ignore (Orchestrator.explore dice);

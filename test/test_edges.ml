@@ -190,12 +190,15 @@ let test_orchestrator_max_seeds () =
   ignore (Router.handle_msg r ~peer:(ip "2.2.2.2") Msg.Keepalive);
   let cfg =
     { Dice_core.Orchestrator.default_cfg with
-      Dice_core.Orchestrator.max_seeds = 2;
-      explorer =
-        { Dice_concolic.Explorer.default_config with Dice_concolic.Explorer.max_runs = 4 };
+      Dice_core.Orchestrator.exploration =
+        { Dice_core.Orchestrator.default_exploration with
+          Dice_core.Orchestrator.max_seeds = 2;
+          explorer =
+            { Dice_concolic.Explorer.default_config with Dice_concolic.Explorer.max_runs = 4 };
+        };
     }
   in
-  let dice = Dice_core.Orchestrator.create ~cfg r in
+  let dice = Dice_core.Orchestrator.create ~cfg (Dice_core.Speakers.bird r) in
   let route = Route.make ~as_path:[ Asn.Path.Seq [ 65002 ] ] ~next_hop:(ip "2.2.2.2") () in
   for i = 0 to 4 do
     Dice_core.Orchestrator.observe dice ~peer:(ip "2.2.2.2")

@@ -64,7 +64,7 @@ let announcement ?(origin_asn = 64510) prefixes =
 
 let local_agent ?(name = "up") router =
   Distributed.agent ~name ~addr:(Ipv4.of_string "10.0.2.2")
-    ~explorer_addr:provider_side (Distributed.Local router)
+    ~explorer_addr:provider_side (Distributed.Local (Speakers.bird router))
 
 (* A served upstream plus a Remote agent reaching it over [latency]
    links. Returns (remote agent, serving agent, net, client, server). *)
@@ -166,15 +166,13 @@ let test_checker_survives_partition () =
       peer_as = 64501;
     }
   in
-  let outcome : Router.import_outcome =
-    { Router.prefix = p "203.0.113.0/24";
+  let outcome : Speaker.import_outcome =
+    { Speaker.prefix = p "203.0.113.0/24";
       accepted = true;
       installed = true;
       route = None;
       previous_best = None;
-      outputs =
-        [ Router.To_peer
-            (Distributed.agent_addr ra, announcement [ "198.51.100.0/24" ]) ];
+      outputs = [ (Distributed.agent_addr ra, announcement [ "198.51.100.0/24" ]) ];
     }
   in
   Alcotest.(check int) "no findings, no exception" 0
