@@ -22,6 +22,9 @@
      P5  heterogeneous federation: probe throughput and verdict-cache
          hit rate over a BIRD-only fleet vs a mixed BIRD+Quagga fleet
          (machine-readable copy in BENCH_p5.json)
+     P6  divergence panel: probe throughput vs panel size (1/2/3
+         members) and the cost of delta-debugging a divergence down to
+         a minimal repro (machine-readable copy in BENCH_p6.json)
    plus a Bechamel micro-benchmark suite for the hot paths.
 
    By default everything runs at a laptop-friendly scale; set
@@ -988,6 +991,173 @@ let experiment_p5 () =
   row "wrote BENCH_p5.json\n"
 
 (* ------------------------------------------------------------------ *)
+(* P6: divergence panel — throughput vs size, minimization cost        *)
+(* ------------------------------------------------------------------ *)
+
+let experiment_p6 () =
+  section "P6" "divergence panel: probe throughput vs panel size; repro minimization cost";
+  let explorer_side = Ipv4.of_string "10.0.2.1" in
+  let collector = Ipv4.of_string "10.0.3.2" in
+  let n_private = min 2_000 table_prefixes in
+  let config_src =
+    Printf.sprintf
+      "router id 10.0.2.2; local as 64700;\n\
+       protocol bgp provider { neighbor 10.0.2.1 as %d; import all; export none; }\n\
+       protocol bgp collector { neighbor 10.0.3.2 as 64701; import all; export none; }"
+      Threerouter.provider_as
+  in
+  let private_table =
+    Gen.to_updates
+      (Gen.generate
+         { Gen.default_params with Gen.n_prefixes = n_private; collector_as = 64701 })
+      ~peer_as:64701 ~next_hop:collector
+  in
+  (* identical state behind every member: same config text, same table —
+     only the decision process differs *)
+  let mk_member ?(table = private_table) impl =
+    let sp = Speakers.create_exn impl (Config_parser.parse config_src) in
+    Speaker.establish sp ~peer:explorer_side;
+    Speaker.establish sp ~peer:collector;
+    List.iter (fun m -> ignore (Speaker.feed sp ~peer:collector m)) table;
+    Distributed.agent ~name:impl ~addr:Threerouter.internet_addr
+      ~explorer_addr:explorer_side (Distributed.Local sp)
+  in
+  let probe_msg i =
+    Msg.Update
+      { Msg.withdrawn = [];
+        attrs =
+          Route.to_attrs
+            (Route.make ~origin:Attr.Igp
+               ~as_path:
+                 [ Asn.Path.Seq [ Threerouter.provider_as; Threerouter.customer_as ] ]
+               ~next_hop:explorer_side ());
+        nlri = [ p (Printf.sprintf "198.51.%d.0/24" (i mod 256)) ];
+      }
+  in
+  let n_probes = 64 in
+  let exchanges = List.init n_probes (fun i -> (explorer_side, probe_msg i)) in
+  row "%d private routes behind each member; %d probe exchanges, jobs=4\n"
+    n_private n_probes;
+  row "%-8s %-22s %-12s %-16s %s\n" "size" "members" "wall (ms)" "verdicts/s wall"
+    "divergences";
+  let json_sizes = ref [] in
+  List.iter
+    (fun impls ->
+      (* fresh members per level: a shared verdict cache across levels
+         would answer repeats from memory and fake the scaling *)
+      let agents = List.map mk_member impls in
+      let t0 = Unix.gettimeofday () in
+      let ds = Panel.probe ~jobs:4 ~agents exchanges in
+      let wall = Unix.gettimeofday () -. t0 in
+      let verdicts = List.length impls * n_probes in
+      row "%-8d %-22s %-12.2f %-16.0f %d\n" (List.length impls)
+        (String.concat "+" impls) (1000.0 *. wall)
+        (float_of_int verdicts /. wall)
+        (List.length ds);
+      json_sizes :=
+        Dice_util.Json.obj
+          [ ("members", Dice_util.Json.List (List.map Dice_util.Json.string impls));
+            ("size", Dice_util.Json.int (List.length impls));
+            ("probes", Dice_util.Json.int n_probes);
+            ("verdicts", Dice_util.Json.int verdicts);
+            ("wall_s", Dice_util.Json.float wall);
+            ("throughput_wall_per_s", Dice_util.Json.float (float_of_int verdicts /. wall));
+            ("divergences", Dice_util.Json.int (List.length ds)) ]
+        :: !json_sizes)
+    [ [ "bird" ]; [ "bird"; "quagga" ]; [ "bird"; "quagga"; "xorp" ] ];
+  (* minimization cost: a seeded tie-break divergence (the incumbent's
+     lower next hop keeps it installed under XORP's IGP-cost step while
+     BIRD and Quagga fall through to peer identity) hidden in a schedule
+     of noise announcements — delta-debug it down and time the whole
+     shrink *)
+  let incumbent =
+    ( collector,
+      Msg.Update
+        { Msg.withdrawn = [];
+          attrs =
+            Route.to_attrs
+              (Route.make ~origin:Attr.Igp
+                 ~as_path:[ Asn.Path.Seq [ 64701; 64512 ] ]
+                 ~next_hop:(Ipv4.of_string "10.0.0.1") ());
+          nlri = [ p "203.0.113.0/24" ];
+        } )
+  in
+  let trigger =
+    ( explorer_side,
+      Msg.Update
+        { Msg.withdrawn = [];
+          attrs =
+            Route.to_attrs
+              (Route.make ~origin:Attr.Igp ~med:(Some 50)
+                 ~communities:[ Community.make 64510 77 ]
+                 ~as_path:[ Asn.Path.Seq [ Threerouter.provider_as; 64512 ] ]
+                 ~next_hop:explorer_side ());
+          nlri = [ p "203.0.113.0/24" ];
+        } )
+  in
+  let noise i =
+    ( explorer_side,
+      Msg.Update
+        { Msg.withdrawn = [];
+          attrs =
+            Route.to_attrs
+              (Route.make ~origin:Attr.Igp
+                 ~as_path:[ Asn.Path.Seq [ Threerouter.provider_as; 64900 + i ] ]
+                 ~next_hop:explorer_side ());
+          nlri = [ p (Printf.sprintf "100.%d.0.0/16" (i mod 200)) ];
+        } )
+  in
+  let schedule_len = 32 in
+  let schedule =
+    List.init schedule_len (fun i ->
+        if i = schedule_len / 2 then trigger else noise i)
+  in
+  let agents = List.map (mk_member ~table:[ snd incumbent ]) Speakers.names in
+  let hit =
+    match
+      List.find_opt
+        (fun (d : Panel.divergence) -> Prefix.equal d.Panel.prefix (p "203.0.113.0/24"))
+        (Panel.probe ~jobs:1 ~agents schedule)
+    with
+    | Some d -> { Panel.schedule; divergence = d }
+    | None -> failwith "P6: seeded divergence did not fire"
+  in
+  let t0 = Unix.gettimeofday () in
+  let minimal, st = Minimize.divergence ~jobs:1 ~agents hit in
+  let wall = Unix.gettimeofday () -. t0 in
+  let reproduced =
+    List.exists
+      (fun d -> Panel.signature d = Panel.signature hit.Panel.divergence)
+      (Panel.probe ~jobs:1 ~agents minimal)
+  in
+  row
+    "minimization: %d -> %d message(s), %d attribute shrink(s), %d predicate \
+     test(s), %.2f ms wall (%s)\n"
+    st.Minimize.initial_len
+    (List.length minimal)
+    st.Minimize.shrunk st.Minimize.tests (1000.0 *. wall)
+    (if reproduced then "minimal schedule reproduces" else "REPRO LOST");
+  let json =
+    Dice_util.Json.obj
+      [ ("experiment", Dice_util.Json.string "p6");
+        ("private_routes", Dice_util.Json.int n_private);
+        ("sizes", Dice_util.Json.List (List.rev !json_sizes));
+        ( "minimize",
+          Dice_util.Json.obj
+            [ ("initial_len", Dice_util.Json.int st.Minimize.initial_len);
+              ("final_len", Dice_util.Json.int (List.length minimal));
+              ("attribute_shrinks", Dice_util.Json.int st.Minimize.shrunk);
+              ("predicate_tests", Dice_util.Json.int st.Minimize.tests);
+              ("wall_s", Dice_util.Json.float wall);
+              ("reproduced", Dice_util.Json.bool reproduced) ] ) ]
+  in
+  let oc = open_out "BENCH_p6.json" in
+  output_string oc (Dice_util.Json.to_string ~indent:true json);
+  output_string oc "\n";
+  close_out oc;
+  row "wrote BENCH_p6.json\n"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -1228,6 +1398,7 @@ let () =
   experiment_p3 ();
   experiment_p4 ();
   experiment_p5 ();
+  experiment_p6 ();
   experiment_x1 ();
   experiment_x2 ();
   micro_benchmarks ();

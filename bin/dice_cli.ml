@@ -95,7 +95,39 @@ let speaker_arg =
     & opt (enum (List.map (fun n -> (n, n)) Speakers.names)) "bird"
     & info [ "speaker" ] ~docv:"IMPL"
         ~doc:
-          "BGP implementation behind each cooperating agent: $(b,bird) (the            instrumented reference) or $(b,quagga) (the heterogeneous            second implementation — different RIB layout and decision            tie-breaking). Both answer the same probe frames; mixing            implementations across domains is the paper's heterogeneous            setup.")
+          "BGP implementation behind each cooperating agent: $(b,bird) (the \
+           instrumented reference), $(b,quagga) or $(b,xorp) (the heterogeneous \
+           implementations — different RIB layouts and decision tie-breaking). \
+           All answer the same probe frames; mixing implementations across \
+           domains is the paper's heterogeneous setup.")
+
+let panel_arg =
+  Arg.(
+    value
+    & opt (some (list (enum (List.map (fun n -> (n, n)) Speakers.names)))) None
+    & info [ "panel" ] ~docv:"IMPL,IMPL,..."
+        ~doc:
+          "Run an N-way differential panel beside exploration: the listed \
+           implementations (e.g. $(b,bird,quagga,xorp)) are seeded with \
+           identical state and every exploration message is probed at all of \
+           them; verdict disagreements are majority-voted to name the outlier \
+           implementation(s). Needs at least two members.")
+
+let minimize_arg =
+  Arg.(
+    value & flag
+    & info [ "minimize" ]
+        ~doc:
+          "Delta-debug each distinct panel divergence down to a minimal update \
+           schedule and write a replayable repro artifact per divergence (see \
+           $(b,--repro-out) and the $(b,replay-divergence) command).")
+
+let repro_out_arg =
+  Arg.(
+    value
+    & opt string "dice-repro"
+    & info [ "repro-out" ] ~docv:"PREFIX"
+        ~doc:"Filename prefix for $(b,--minimize) artifacts ($(docv)-N.repro).")
 
 let fault_seed_arg =
   Arg.(
@@ -126,12 +158,8 @@ let mk_remote_agents ~speaker n =
       in
       (* any registered implementation serves: establishment and feeding go
          through the SPEAKER interface, which hides whether sessions come up
-         by FSM handshake (bird) or administratively (quagga) *)
-      let sp =
-        match Speakers.create speaker cfg with
-        | Some sp -> sp
-        | None -> invalid_arg ("unknown speaker implementation: " ^ speaker)
-      in
+         by FSM handshake (bird) or administratively (quagga/xorp) *)
+      let sp = Speakers.create_exn speaker cfg in
       let collector = Ipv4.of_string "10.0.3.2" in
       Speaker.establish sp ~peer:Threerouter.provider_addr_internet_side;
       Speaker.establish sp ~peer:collector;
@@ -171,6 +199,73 @@ let remotify net serving_agents =
         ~explorer_addr:Threerouter.provider_addr_internet_side
         (Distributed.Remote (Probe_rpc.endpoint cl ~server:(Probe_rpc.server_node srv))))
     serving_agents
+
+(* The differential panel: one speaker per listed implementation, every
+   member configured and seeded identically, all reachable at the
+   internet peering. The seed state includes an incumbent for the
+   explored customer prefix that ties with the provider's announcement
+   on every decision step up to the tie-breaks — learned from a
+   collector session with a *lower* next hop, so implementations that
+   consult IGP cost before peer identity (xorp) keep the incumbent
+   while peer-identity tie-breakers (bird, quagga) switch to the
+   explored route. The returned config text and setup schedule are what
+   a replay artifact needs to rebuild the panel from scratch. *)
+let mk_panel_agents ~panel =
+  let collector = Ipv4.of_string "10.0.3.2" in
+  let config_src =
+    Printf.sprintf
+      {|
+      router id 10.0.2.2;
+      local as %d;
+      protocol bgp provider { neighbor 10.0.2.1 as %d; import all; export none; }
+      protocol bgp collector { neighbor 10.0.3.2 as %d; import all; export all; }
+      |}
+      Threerouter.internet_as Threerouter.provider_as 64801
+  in
+  let cfg = Config_parser.parse config_src in
+  let setup =
+    List.map
+      (fun (prefix, origin, path, next_hop) ->
+        ( collector,
+          Msg.Update
+            {
+              Msg.withdrawn = [];
+              attrs =
+                Route.to_attrs
+                  (Route.make ~origin ~as_path:[ Asn.Path.Seq path ] ~next_hop ());
+              nlri = [ Prefix.of_string prefix ];
+            } ))
+      (* one private slice (foreign origin, for coverage verdicts) plus
+         tie-incumbents across the space exploration mutates the
+         customer announcement into — matching origin and path length,
+         so only the tie-breaks decide *)
+      (( "198.0.0.0/16", Attr.Igp, [ 64801; 64900 ], collector)
+      :: List.map
+           (fun (prefix, origin) ->
+             ( prefix,
+               origin,
+               [ 64701; Threerouter.customer_as ],
+               Ipv4.of_string "10.0.0.1" ))
+           [ ("203.0.113.0/24", Attr.Igp);
+             ("203.0.113.0/28", Attr.Igp);
+             ("198.0.0.0/8", Attr.Igp);
+             ("198.51.100.0/22", Attr.Egp) ])
+  in
+  let agents =
+    List.map
+      (fun name ->
+        let sp = Speakers.create_exn name cfg in
+        Speaker.establish sp ~peer:Threerouter.provider_addr_internet_side;
+        Speaker.establish sp ~peer:collector;
+        List.iter (fun (peer, msg) -> ignore (Speaker.feed sp ~peer msg)) setup;
+        (* named by implementation so replayed artifacts produce the
+           same divergence signatures (Panel.Artifact.build does too) *)
+        Distributed.agent ~name ~addr:Threerouter.internet_addr
+          ~explorer_addr:Threerouter.provider_addr_internet_side
+          (Distributed.Local sp))
+      panel
+  in
+  (agents, config_src, setup)
 
 let trace_of ~seed ~prefixes =
   Dice_trace.Gen.generate
@@ -272,8 +367,8 @@ let run_cmd =
 
 (* ---------------- detect-leaks ---------------- *)
 
-let detect_leaks filtering seed prefixes runs jobs agents speaker transport loss dup
-    reorder fault_seed json =
+let detect_leaks filtering seed prefixes runs jobs agents speaker panel minimize
+    repro_out transport loss dup reorder fault_seed json =
   let topo, _, n = build_loaded ~filtering ~seed ~prefixes in
   Printf.printf "table loaded: %d routes; filtering=%s\n" n
     (Threerouter.filtering_to_string filtering);
@@ -293,9 +388,25 @@ let detect_leaks filtering seed prefixes runs jobs agents speaker transport loss
     prerr_endline
       "note: --loss/--dup/--reorder perturb the probe links; with --transport \
        local there is no wire, so they have no effect";
+  let hits = ref [] in
+  let panel_ctx =
+    match panel with
+    | None -> None
+    | Some members when List.length members < 2 ->
+      invalid_arg "--panel needs at least two implementations"
+    | Some members ->
+      Printf.printf "differential panel: %s\n" (String.concat ", " members);
+      Some (mk_panel_agents ~panel:members)
+  in
+  let panel_checkers =
+    match panel_ctx with
+    | None -> []
+    | Some (panel_agents, _, _) ->
+      [ Panel.hunt ~jobs:(max 1 jobs) ~agents:panel_agents
+          ~sink:(fun h -> hits := h :: !hits) ]
+  in
   let cfg =
-    { Orchestrator.default_cfg with
-      Orchestrator.exploration =
+    { Orchestrator.exploration =
         { Orchestrator.default_exploration with
           Orchestrator.explorer =
             { Dice_concolic.Explorer.default_config with
@@ -304,6 +415,7 @@ let detect_leaks filtering seed prefixes runs jobs agents speaker transport loss
             };
           jobs = max 1 jobs;
         };
+      checkers = Orchestrator.default_cfg.Orchestrator.checkers @ panel_checkers;
       federation = Orchestrator.federation ~agents:remote_agents ~probe_jobs:(max 1 jobs);
       faults = Orchestrator.faults ~probe:probe_faults ~seed:fault_seed;
     }
@@ -315,6 +427,57 @@ let detect_leaks filtering seed prefixes runs jobs agents speaker transport loss
   let report = Orchestrator.explore dice in
   if json then print_endline (Dice_util.Json.to_string ~indent:true (Report.report_json report))
   else print_string (Report.to_text report);
+  (match panel_ctx with
+   | None -> ()
+   | Some (panel_agents, panel_config, panel_setup) ->
+     (* one hit per distinct divergence signature, in discovery order *)
+     let distinct =
+       List.fold_left
+         (fun acc (h : Panel.hit) ->
+           let s = Panel.signature h.Panel.divergence in
+           if List.mem_assoc s acc then acc else (s, h) :: acc)
+         []
+         (List.rev !hits)
+       |> List.rev
+     in
+     Printf.printf "panel: %d divergent probe(s), %d distinct divergence(s)\n"
+       (List.length !hits) (List.length distinct);
+     List.iter
+       (fun (_, (h : Panel.hit)) ->
+         Format.printf "%a@." Panel.pp_divergence h.Panel.divergence)
+       distinct;
+     if minimize then
+       List.iteri
+         (fun i (signature, (h : Panel.hit)) ->
+           let minimal, st =
+             Minimize.divergence ~jobs:(max 1 jobs) ~agents:panel_agents h
+           in
+           Printf.printf
+             "minimized %s: %d -> %d message(s), %d attribute shrink(s), %d \
+              predicate test(s)\n"
+             signature st.Minimize.initial_len st.Minimize.final_len
+             st.Minimize.shrunk st.Minimize.tests;
+           let artifact =
+             {
+               Panel.Artifact.speakers =
+                 List.map Distributed.agent_name panel_agents;
+               config = panel_config;
+               setup = panel_setup;
+               schedule = minimal;
+               signature;
+             }
+           in
+           let file = Printf.sprintf "%s-%d.repro" repro_out (i + 1) in
+           Panel.Artifact.save file artifact;
+           let replayed =
+             Panel.Artifact.replay ~jobs:(max 1 jobs) artifact
+           in
+           Printf.printf "wrote %s (%d bytes): replay %s\n" file
+             (Bytes.length (Panel.Artifact.encode artifact))
+             (if Panel.Artifact.reproduces artifact replayed then
+                "reproduces the divergence"
+              else "DOES NOT reproduce"))
+         distinct);
   List.iter
     (fun a ->
       let s = Distributed.stats a in
@@ -372,11 +535,81 @@ let detect_leaks_cmd =
           the worker pool ($(b,--speaker) picks the BGP implementation they run); with $(b,--transport remote) plus \
           $(b,--loss)/$(b,--dup)/$(b,--reorder), the probe links misbehave \
           deterministically ($(b,--fault-seed)) and the RPC layer must stay \
-          at-most-once and hang-free.")
+          at-most-once and hang-free. With $(b,--panel), every exploration \
+          message is additionally probed at an N-way differential panel of \
+          implementations; $(b,--minimize) delta-debugs each divergence and \
+          writes a replayable repro artifact.")
     Term.(
       const detect_leaks $ filtering_arg $ seed_arg $ prefixes_arg $ runs_arg
-      $ jobs_arg $ agents_arg $ speaker_arg $ transport_arg $ loss_arg $ dup_arg
+      $ jobs_arg $ agents_arg $ speaker_arg $ panel_arg $ minimize_arg
+      $ repro_out_arg $ transport_arg $ loss_arg $ dup_arg
       $ reorder_arg $ fault_seed_arg $ json_arg)
+
+(* ---------------- replay-divergence ---------------- *)
+
+let replay_loaded file artifact subset jobs =
+  Printf.printf "%s: panel [%s], %d setup message(s), %d probe message(s)\n" file
+    (String.concat ", " artifact.Panel.Artifact.speakers)
+    (List.length artifact.Panel.Artifact.setup)
+    (List.length artifact.Panel.Artifact.schedule);
+  Printf.printf "expected divergence: %s\n" artifact.Panel.Artifact.signature;
+  let divergences =
+    Panel.Artifact.replay ?speakers:subset ~jobs:(max 1 jobs) artifact
+  in
+  List.iter (Format.printf "%a@." Panel.pp_divergence) divergences;
+  match subset with
+  | Some members ->
+    (* a subset replay answers "what do just these members say?" — the
+       recorded signature names outliers the subset may not contain, so
+       reproduction is not the question being asked *)
+    Printf.printf "replayed against [%s]: %d divergence(s)\n"
+      (String.concat ", " members) (List.length divergences);
+    0
+  | None ->
+    if Panel.Artifact.reproduces artifact divergences then begin
+      print_endline "divergence reproduced";
+      0
+    end
+    else begin
+      print_endline "divergence NOT reproduced";
+      1
+    end
+
+let replay_divergence file subset jobs =
+  match
+    try Ok (Panel.Artifact.load file) with
+    | Sys_error msg -> Error msg
+    | Dice_wire.Rbuf.Truncated msg -> Error (file ^ ": malformed artifact: " ^ msg)
+  with
+  | Error msg ->
+    prerr_endline msg;
+    2
+  | Ok artifact -> replay_loaded file artifact subset jobs
+
+let replay_divergence_cmd =
+  let file =
+    Arg.(
+      required & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"Repro artifact written by detect-leaks --minimize.")
+  in
+  let subset =
+    Arg.(
+      value
+      & opt (some (list string)) None
+      & info [ "speakers" ] ~docv:"IMPL,IMPL,..."
+          ~doc:
+            "Replay against this subset of the artifact's panel instead of all \
+             members (reproduction of the recorded signature is only asserted \
+             for a full-panel replay).")
+  in
+  Cmd.v
+    (Cmd.info "replay-divergence"
+       ~doc:
+         "Re-execute a minimized divergence repro: rebuild the recorded panel \
+          from the artifact's configuration and setup schedule, probe the \
+          minimized update schedule, and check the recorded divergence still \
+          appears (exit status 1 if it does not).")
+    Term.(const replay_divergence $ file $ subset $ jobs_arg)
 
 (* ---------------- explore-filter ---------------- *)
 
@@ -516,5 +749,5 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ gen_trace_cmd; trace_info_cmd; run_cmd; detect_leaks_cmd; explore_filter_cmd;
-            overhead_cmd; validate_cmd ]))
+          [ gen_trace_cmd; trace_info_cmd; run_cmd; detect_leaks_cmd;
+            replay_divergence_cmd; explore_filter_cmd; overhead_cmd; validate_cmd ]))

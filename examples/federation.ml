@@ -244,96 +244,131 @@ let () =
     (rpc.Probe_rpc.late_responses - late_before)
     (Dice_sim.Network.messages_reordered net);
 
-  (* Differential checking: the same administrative domain modeled by
-     BOTH implementations, probed with identical messages. Seed a route
-     on which BIRD and Quagga legitimately disagree: the incumbent has a
-     longer AS path but a better ORIGIN, and BIRD ranks path length
-     before ORIGIN while Quagga ranks ORIGIN before path length. *)
+  (* Divergence hunting: the same administrative domain modeled by
+     THREE implementations, probed with identical messages. A pairwise
+     check could only say that two speakers disagree; the panel outvotes
+     the deviant member and names it. Seed a route on which the
+     implementations legitimately split: incumbent and challenger tie on
+     every policy-level fact (equal path length, equal ORIGIN, no
+     applicable MED), so the decision comes down to each
+     implementation's own tie-breaking tail — BIRD and Quagga fall
+     through to peer identity and prefer the challenger's peer, XORP
+     compares IGP cost to the next hop first and keeps the incumbent's
+     lower one. *)
   print_endline
-    "\n== differential check: BIRD vs Quagga behind the same narrow interface ==\n";
-  let bird_up = mk_upstream "bird" and quagga_up = mk_upstream "quagga" in
+    "\n== divergence panel: BIRD vs Quagga vs XORP behind the same narrow interface ==\n";
   let incumbent =
     Route.make ~origin:Attr.Igp
-      ~as_path:[ Asn.Path.Seq [ 64701; 64888; 64999 ] ]
-      ~next_hop:collector ()
+      ~as_path:[ Asn.Path.Seq [ 64701; 64999 ] ]
+      ~next_hop:(Ipv4.of_string "10.0.0.1") ()
   in
-  List.iter
-    (fun sp ->
-      Speaker.establish sp ~peer:provider_facing;
-      Speaker.establish sp ~peer:collector;
-      ignore
-        (Speaker.feed sp ~peer:collector
-           (Msg.Update
-              { Msg.withdrawn = []; attrs = Route.to_attrs incumbent;
-                nlri = [ p "198.51.77.0/24" ] })))
-    [ bird_up; quagga_up ];
-  let mk_agent name sp =
-    Distributed.agent ~name ~addr:Dice_topology.Threerouter.internet_addr
-      ~explorer_addr:provider_facing (Distributed.Local sp)
+  let panel =
+    List.map
+      (fun impl ->
+        let sp = mk_upstream impl in
+        Speaker.establish sp ~peer:provider_facing;
+        Speaker.establish sp ~peer:collector;
+        ignore
+          (Speaker.feed sp ~peer:collector
+             (Msg.Update
+                { Msg.withdrawn = []; attrs = Route.to_attrs incumbent;
+                  nlri = [ p "198.51.77.0/24" ] }));
+        Distributed.agent ~name:impl
+          ~addr:Dice_topology.Threerouter.internet_addr
+          ~explorer_addr:provider_facing (Distributed.Local sp))
+      Speakers.names
   in
-  let left = mk_agent "upstream-as-bird" bird_up in
-  let right = mk_agent "upstream-as-quagga" quagga_up in
+  (* the challenger, dressed up the way real announcements arrive: a
+     MED and a community that have nothing to do with the divergence,
+     hidden in a schedule of unrelated noise announcements *)
+  let challenger =
+    ( provider_facing,
+      Msg.Update
+        { Msg.withdrawn = [];
+          attrs =
+            Route.to_attrs
+              (Route.make ~origin:Attr.Igp ~med:(Some 50)
+                 ~communities:[ Community.make 64510 77 ]
+                 ~as_path:[ Asn.Path.Seq [ 64510; 64999 ] ]
+                 ~next_hop:provider_facing ());
+          nlri = [ p "198.51.77.0/24" ];
+        } )
+  in
+  let noise i =
+    ( provider_facing,
+      Msg.Update
+        { Msg.withdrawn = [];
+          attrs =
+            Route.to_attrs
+              (Route.make ~origin:Attr.Igp
+                 ~as_path:[ Asn.Path.Seq [ 64510; 64800 + i ] ]
+                 ~next_hop:provider_facing ());
+          nlri = [ p (Printf.sprintf "100.%d.0.0/16" i) ];
+        } )
+  in
+  let schedule = List.init 12 (fun i -> if i = 6 then challenger else noise i) in
+  let divergences = Panel.probe ~jobs:1 ~agents:panel schedule in
+  Printf.printf "probed a %d-message schedule; %d divergence(s):\n"
+    (List.length schedule) (List.length divergences);
+  List.iter (fun d -> Format.printf "%a@." Panel.pp_divergence d) divergences;
 
-  (* One hand-built probe first: same origin AS as the incumbent (no
-     origin conflict anywhere), shorter path, worse ORIGIN. BIRD
-     installs it, Quagga keeps the incumbent. *)
-  let probe_route =
-    Route.make ~origin:Attr.Incomplete
-      ~as_path:[ Asn.Path.Seq [ 64510; 64999 ] ]
-      ~next_hop:provider_facing ()
-  in
-  let divergences =
-    Differential.probe_pair ~jobs:1 ~left ~right
-      [ ( provider_facing,
-          Msg.Update
-            { Msg.withdrawn = []; attrs = Route.to_attrs probe_route;
-              nlri = [ p "198.51.77.0/24" ] } ) ]
-  in
-  List.iter (fun d -> Format.printf "%a@." Differential.pp_divergence d) divergences;
+  (* Delta-debug the schedule down to the messages that matter: ddmin
+     drops the noise, attribute shrinking strips the irrelevant MED and
+     community off the challenger. *)
+  (match divergences with
+  | [] -> ()
+  | d :: _ ->
+    let minimal, st =
+      Minimize.divergence ~jobs:1 ~agents:panel
+        { Panel.schedule; divergence = d }
+    in
+    Printf.printf
+      "\nminimized: %d -> %d message(s), %d attribute shrink(s), %d predicate test(s)\n"
+      st.Minimize.initial_len (List.length minimal) st.Minimize.shrunk
+      st.Minimize.tests;
+    List.iter
+      (fun (from, msg) ->
+        Format.printf "  from %s: %a@." (Ipv4.to_string from) Msg.pp msg)
+      minimal;
 
-  (* And the same divergence found the DiCE way: the customer announces
-     the incumbent's prefix, the provider leaks it upstream, and the
-     cross-implementation checker replays the leaked announcement
-     against both speakers during exploration. *)
-  let diff_cfg =
-    { Orchestrator.default_cfg with
-      Orchestrator.checkers = [ Differential.checker ~jobs:1 ~left ~right ];
-      exploration =
-        { Orchestrator.default_exploration with
-          Orchestrator.explorer =
-            { Dice_concolic.Explorer.default_config with
-              Dice_concolic.Explorer.max_runs = 64;
-              max_depth = 96;
-            };
-        };
-    }
-  in
-  let diff_dice = Orchestrator.create ~cfg:diff_cfg (Speakers.bird provider) in
-  Orchestrator.observe diff_dice ~peer:Dice_topology.Threerouter.customer_addr
-    ~prefix:(p "198.51.77.0/24")
-    ~route:
-      (Route.make ~origin:Attr.Incomplete
-         ~as_path:[ Asn.Path.Seq [ Dice_topology.Threerouter.customer_as ] ]
-         ~next_hop:Dice_topology.Threerouter.customer_addr ());
-  let diff_report = Orchestrator.explore diff_dice in
-  let tiebreaks =
-    List.filter
-      (fun (f : Checker.fault) -> f.Checker.checker = "cross-implementation-tiebreak")
-      diff_report.Orchestrator.faults
-  in
-  let semantic =
-    List.filter
-      (fun (f : Checker.fault) -> f.Checker.checker = "cross-implementation-divergence")
-      diff_report.Orchestrator.faults
-  in
-  Printf.printf
-    "\nexploration found %d tie-break divergence(s) and %d semantic divergence(s)\n"
-    (List.length tiebreaks) (List.length semantic);
-  (match tiebreaks @ semantic with
-  | f :: _ -> Format.printf "%a@." Checker.pp_fault f
-  | [] -> ());
+    (* Package the minimal repro as a self-contained artifact: speaker
+       names, shared config, priming setup, schedule, and the expected
+       divergence signature — any speaker subset can re-execute it. *)
+    let artifact =
+      { Panel.Artifact.speakers = Speakers.names;
+        config = upstream_config;
+        setup =
+          [ ( collector,
+              Msg.Update
+                { Msg.withdrawn = []; attrs = Route.to_attrs incumbent;
+                  nlri = [ p "198.51.77.0/24" ] } ) ];
+        schedule = minimal;
+        signature = Panel.signature d;
+      }
+    in
+    let file = Filename.temp_file "federation-demo" ".repro" in
+    Panel.Artifact.save file artifact;
+    Printf.printf "\nartifact: %d bytes at %s (signature %s)\n"
+      (Bytes.length (Panel.Artifact.encode artifact))
+      file (Panel.signature d);
+    let replayed = Panel.Artifact.replay ~jobs:1 (Panel.Artifact.load file) in
+    Printf.printf "full-panel replay:   %d divergence(s), %s\n"
+      (List.length replayed)
+      (if Panel.Artifact.reproduces artifact replayed then "reproduces"
+       else "DOES NOT reproduce");
+    (* drop the outlier: the survivors agree, which is the point of
+       having three members — the panel isolated the deviant *)
+    let survivors =
+      List.filter (fun n -> not (List.mem n d.Panel.outliers)) Speakers.names
+    in
+    let subset = Panel.Artifact.replay ~speakers:survivors ~jobs:1 artifact in
+    Printf.printf "replay without %s: %d divergence(s) among %s\n"
+      (String.concat "," d.Panel.outliers)
+      (List.length subset)
+      (String.concat "+" survivors);
+    Sys.remove file);
   print_endline
-    "\nboth speakers accept the announcement and agree on the origin conflict;\n\
-     they differ only in which route wins the decision process — exactly the\n\
-     class of divergence heterogeneous federation has to tolerate (and worth\n\
-     a report: the network's behavior depends on what the neighbor runs)."
+    "\nall members accept the announcement and agree on the origin facts; they\n\
+     split on which route wins the decision process, and with three voters the\n\
+     panel names the implementation that left the majority — then hands back a\n\
+     minimal, replayable repro instead of a 12-message exploration trace."

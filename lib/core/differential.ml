@@ -18,56 +18,19 @@ let pp_divergence ppf d =
     (if d.tie_break_only then "tie-break divergence" else "divergence")
     pp_verdict_opt d.left pp_verdict_opt d.right
 
-(* The facts the decision process cannot touch: whether policy accepted
-   the route and whether it conflicts with an installed origin. Two
-   conformant speakers must agree on these; everything downstream of the
-   decision process ([installed], and through export also
-   [covers_foreign]/[would_propagate]) may legitimately differ under
-   different tie-breaking orders. *)
-let tie_break_only (a : Verdict.t) (b : Verdict.t) =
-  a.Verdict.accepted = b.Verdict.accepted
-  && a.Verdict.origin_conflict = b.Verdict.origin_conflict
-
-let diverging prefix left right =
-  match (left, right) with
-  | None, None -> None (* nothing crossed the interface on either side *)
-  | (Some _ as l), None -> Some { prefix; left = l; right = None; tie_break_only = false }
-  | None, (Some _ as r) -> Some { prefix; left = None; right = r; tie_break_only = false }
-  | Some a, Some b ->
-    if Verdict.equal a b then None
-    else Some { prefix; left; right; tie_break_only = tie_break_only a b }
-
-(* Pair the two agents' answers prefix by prefix. Verdict lists follow
-   NLRI order, but a declined side contributes nothing — index on the
-   prefix instead of zipping. *)
-let pair_outcomes left_outcome right_outcome =
-  let vs = function
-    | Distributed.Verdicts vs -> vs
-    | Distributed.Declined _ | Distributed.Timeout -> []
-  in
-  let lv = vs left_outcome and rv = vs right_outcome in
-  let prefixes =
-    List.sort_uniq Prefix.compare (List.map fst lv @ List.map fst rv)
-  in
-  List.filter_map
-    (fun prefix ->
-      diverging prefix (List.assoc_opt prefix lv) (List.assoc_opt prefix rv))
-    prefixes
+(* A pairwise divergence is a two-member panel divergence projected by
+   position: the first answer is [left], the second [right]. The
+   classification carries over unchanged — {!Panel} computes
+   [tie_break_only] with the same accepted/origin_conflict rule this
+   module introduced. *)
+let of_panel (d : Panel.divergence) =
+  match d.Panel.answers with
+  | [ (_, left); (_, right) ] ->
+    { prefix = d.Panel.prefix; left; right; tie_break_only = d.Panel.tie_break_only }
+  | _ -> assert false (* a two-agent panel answers two per prefix *)
 
 let probe_pair ~jobs ~left ~right exchanges =
-  let reqs =
-    List.concat_map
-      (fun (from, msg) -> [ (left, from, msg); (right, from, msg) ])
-      exchanges
-  in
-  let rec pair = function
-    | l :: r :: rest -> (l, r) :: pair rest
-    | [] -> []
-    | [ _ ] -> assert false (* requests were emitted in pairs *)
-  in
-  List.concat_map
-    (fun (l, r) -> pair_outcomes l r)
-    (pair (Distributed.probe_all ~jobs reqs))
+  List.map of_panel (Panel.probe ~jobs ~agents:[ left; right ] exchanges)
 
 let checker ~jobs ~left ~right =
   let name = "cross-implementation" in

@@ -1,4 +1,4 @@
-(** Differential cross-implementation checking.
+(** Differential cross-implementation checking, pairwise.
 
     The paper's heterogeneous setup federates different BGP
     implementations and relies on the narrow interface meaning the same
@@ -9,6 +9,12 @@
     Where the implementations disagree, either one of them is wrong, or
     the network's behavior genuinely depends on which implementation a
     neighbor runs — both worth a report.
+
+    This is now the two-member special case of the N-way {!Panel}:
+    {!probe_pair} and {!checker} delegate to {!Panel.probe} and keep
+    their historical report shape and fault names. From three members
+    up, use {!Panel} directly — only a panel can {e outvote} the
+    deviant implementation and name it.
 
     Divergences split in two classes:
 
@@ -44,7 +50,9 @@ val probe_pair :
 (** Probe both agents with every [(from, msg)] exchange and keep only
     the prefixes whose verdicts diverge. Prefixes on which both agents
     timed out or declined are not divergences (there is nothing to
-    compare); one-sided answers are. *)
+    compare); one-sided answers are. The result is sorted by prefix
+    (stably, via {!Panel.probe}), so reports are deterministic whatever
+    the completion order under [jobs > 1]. *)
 
 val checker : jobs:int -> left:Distributed.agent -> right:Distributed.agent -> Checker.t
 (** A {!Checker.t} ([cross-implementation]) that replays every message

@@ -82,12 +82,21 @@ let check (ctx : Checker.context) (outcome : Speaker.import_outcome) =
 
 let checker = { Checker.name = "origin-hijack"; check }
 
+(* cross-implementation divergence reports describe how speakers
+   disagree about an announcement, not address space an announcement
+   could take over — they never make a range "leakable" *)
+let divergence_checkers =
+  [ "panel-tiebreak"; "panel-divergence";
+    "cross-implementation-tiebreak"; "cross-implementation-divergence" ]
+
 let leakable_summary faults =
   let tbl : (Prefix.t, int) Hashtbl.t = Hashtbl.create 16 in
   List.iter
     (fun (f : Checker.fault) ->
-      let cur = Option.value (Hashtbl.find_opt tbl f.prefix) ~default:0 in
-      Hashtbl.replace tbl f.prefix (cur + 1))
+      if not (List.mem f.Checker.checker divergence_checkers) then begin
+        let cur = Option.value (Hashtbl.find_opt tbl f.prefix) ~default:0 in
+        Hashtbl.replace tbl f.prefix (cur + 1)
+      end)
     faults;
   Hashtbl.fold (fun p c acc -> (p, c) :: acc) tbl []
   |> List.sort (fun (a, _) (b, _) -> Prefix.compare a b)

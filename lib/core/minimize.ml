@@ -1,0 +1,176 @@
+open Dice_inet
+open Dice_bgp
+
+type stats = {
+  tests : int;
+  initial_len : int;
+  final_len : int;
+  shrunk : int;
+}
+
+(* Split [items] into [n] chunks whose lengths differ by at most one. *)
+let split_chunks n items =
+  let len = List.length items in
+  let base = len / n and extra = len mod n in
+  let rec take k = function
+    | rest when k = 0 -> ([], rest)
+    | [] -> ([], [])
+    | x :: rest ->
+      let h, t = take (k - 1) rest in
+      (x :: h, t)
+  in
+  let rec go i items =
+    if i = n then []
+    else
+      let size = base + if i < extra then 1 else 0 in
+      let chunk, rest = take size items in
+      chunk :: go (i + 1) rest
+  in
+  go 0 items
+
+let complement_of i chunks = List.concat (List.filteri (fun j _ -> j <> i) chunks)
+
+let ddmin p items =
+  if not (p items) then
+    invalid_arg "Minimize.ddmin: predicate does not hold on the input";
+  let rec go items n =
+    if List.length items <= 1 then items
+    else begin
+      let chunks = split_chunks n items in
+      match List.find_opt p chunks with
+      | Some chunk -> go chunk 2 (* reduce to subset, reset granularity *)
+      | None -> (
+        let complements = List.mapi (fun i _ -> complement_of i chunks) chunks in
+        match List.find_opt p complements with
+        | Some compl -> go compl (max (n - 1) 2)
+        | None ->
+          let len = List.length items in
+          if n < len then go items (min len (2 * n)) (* refine *)
+          else items (* 1-minimal at singleton granularity *))
+    end
+  in
+  go items 2
+
+(* ------------------------------------------------------------------ *)
+(* Per-message attribute shrinking                                     *)
+(* ------------------------------------------------------------------ *)
+
+let drop_nth i l = List.filteri (fun j _ -> j <> i) l
+
+(* Shorter variants of an AS_PATH that keep the endpoints: the first AS
+   is what import policy and loop checks key on, the last is the origin
+   — dropping either would change the question, not simplify it. *)
+let shorten_path (path : Asn.Path.t) =
+  let drop_extra_segments =
+    match path with
+    | _ :: _ :: _ -> [ [ List.hd path ] ]
+    | _ -> []
+  in
+  let drop_middle =
+    match path with
+    | Asn.Path.Seq seq :: rest when List.length seq > 2 ->
+      List.init
+        (List.length seq - 2)
+        (fun i -> Asn.Path.Seq (drop_nth (i + 1) seq) :: rest)
+    | _ -> []
+  in
+  drop_extra_segments @ drop_middle
+
+let shrink_update = function
+  | Msg.Update u ->
+    let with_attrs attrs = Msg.Update { u with attrs } in
+    let drop_withdrawn =
+      if u.Msg.withdrawn <> [] then [ Msg.Update { u with Msg.withdrawn = [] } ]
+      else []
+    in
+    let droppable = function
+      | Attr.Med _ | Attr.Local_pref _ | Attr.Atomic_aggregate
+      | Attr.Aggregator _ | Attr.Communities _ | Attr.Unknown _ ->
+        true
+      | Attr.Origin _ | Attr.As_path _ | Attr.Next_hop _ -> false
+    in
+    let attr_drops =
+      List.filteri (fun _ a -> droppable a) u.Msg.attrs
+      |> List.map (fun a ->
+             with_attrs (List.filter (fun a' -> a' != a) u.Msg.attrs))
+    in
+    let nlri_drops =
+      if List.length u.Msg.nlri > 1 then
+        List.mapi
+          (fun i _ -> Msg.Update { u with Msg.nlri = drop_nth i u.Msg.nlri })
+          u.Msg.nlri
+      else []
+    in
+    let path_shrinks =
+      List.concat_map
+        (fun a ->
+          match a with
+          | Attr.As_path path ->
+            List.map
+              (fun shorter ->
+                with_attrs
+                  (List.map
+                     (fun a' -> if a' == a then Attr.As_path shorter else a')
+                     u.Msg.attrs))
+              (shorten_path path)
+          | _ -> [])
+        u.Msg.attrs
+    in
+    drop_withdrawn @ attr_drops @ nlri_drops @ path_shrinks
+  | Msg.Open _ | Msg.Notification _ | Msg.Keepalive -> []
+
+let schedule ~predicate exchanges =
+  let tests = ref 0 in
+  let p s =
+    incr tests;
+    predicate s
+  in
+  if not (p exchanges) then
+    invalid_arg "Minimize.schedule: predicate does not hold on the input schedule";
+  let minimal =
+    (* re-run the input check inside ddmin is wasteful; inline its loop
+       by reusing ddmin on an already-validated schedule *)
+    if exchanges = [] then []
+    else ddmin (fun s -> s == exchanges || p s) exchanges
+  in
+  let shrunk = ref 0 in
+  let arr = Array.of_list minimal in
+  let current () = Array.to_list arr in
+  (* Greedy per-position shrinking to a local fixpoint: accept a
+     candidate, then re-shrink the same (now simpler) message. Each
+     candidate is strictly simpler, so this terminates. *)
+  let rec shrink_at i =
+    let from, msg = arr.(i) in
+    let rec try_candidates = function
+      | [] -> ()
+      | cand :: rest ->
+        arr.(i) <- (from, cand);
+        if p (current ()) then begin
+          incr shrunk;
+          shrink_at i
+        end
+        else begin
+          arr.(i) <- (from, msg);
+          try_candidates rest
+        end
+    in
+    try_candidates (shrink_update msg)
+  in
+  Array.iteri (fun i _ -> shrink_at i) arr;
+  ( current (),
+    {
+      tests = !tests;
+      initial_len = List.length exchanges;
+      final_len = Array.length arr;
+      shrunk = !shrunk;
+    } )
+
+let divergence ~jobs ~agents (hit : Panel.hit) =
+  let want = Panel.signature hit.Panel.divergence in
+  let predicate s =
+    s <> []
+    && List.exists
+         (fun d -> Panel.signature d = want)
+         (Panel.probe ~jobs ~agents s)
+  in
+  schedule ~predicate hit.Panel.schedule

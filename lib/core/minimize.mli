@@ -1,0 +1,60 @@
+(** Delta-debugging repro minimization: from "this 40-message schedule
+    diverges" to a repro a human can read.
+
+    Two shrinking layers, run in order:
+
+    - {!ddmin} (Zeller/Hildebrandt's minimizing delta debugging) over
+      the update {e schedule} — drop whole messages while the panel
+      still reproduces the divergence;
+    - per-message {e attribute} shrinking ({!shrink_update}) — strip
+      withdrawn routes, droppable attributes (MED, LOCAL_PREF,
+      communities, aggregator data, unknown optionals), surplus NLRI,
+      and middle AS_PATH hops from each surviving message, greedily to
+      a fixpoint.
+
+    Both layers drive the same caller-supplied predicate, so the
+    minimizer works for any reproduction test; {!divergence} wires it
+    to a {!Panel} re-probe that checks for the original divergence
+    {!Panel.signature}. Probing never mutates the panel's live
+    speakers, which is what makes re-running the predicate hundreds of
+    times against the same panel sound. *)
+
+open Dice_inet
+open Dice_bgp
+
+type stats = {
+  tests : int;  (** predicate evaluations across both layers *)
+  initial_len : int;  (** schedule length before minimization *)
+  final_len : int;  (** schedule length after {!ddmin} *)
+  shrunk : int;  (** accepted per-message shrink steps *)
+}
+
+val ddmin : ('a list -> bool) -> 'a list -> 'a list
+(** [ddmin p items]: a 1-minimal sublist of [items] satisfying [p] —
+    removing any single remaining element breaks the predicate. Classic
+    ddmin: try chunks, then complements, then double the granularity.
+    @raise Invalid_argument if [p items] does not hold to begin with. *)
+
+val shrink_update : Msg.t -> Msg.t list
+(** Candidate one-step simplifications of a message, most aggressive
+    first. Only [Update] messages shrink; anything else yields [[]].
+    Each candidate is strictly simpler, so greedy acceptance
+    terminates. *)
+
+val schedule :
+  predicate:((Ipv4.t * Msg.t) list -> bool) ->
+  (Ipv4.t * Msg.t) list ->
+  (Ipv4.t * Msg.t) list * stats
+(** Run both layers against [predicate].
+    @raise Invalid_argument if the predicate does not hold on the
+    input schedule. *)
+
+val divergence :
+  jobs:int ->
+  agents:Distributed.agent list ->
+  Panel.hit ->
+  (Ipv4.t * Msg.t) list * stats
+(** Minimize a {!Panel.hunt} hit: the predicate re-probes the same
+    panel with the candidate schedule and checks that some divergence
+    with the original's {!Panel.signature} survives. The result is the
+    schedule a replay artifact should carry. *)

@@ -1,0 +1,127 @@
+(** The N-way differential panel: divergence hunting as a product.
+
+    {!Differential} compares two speakers and can say {e that} they
+    disagree; with three or more implementations behind identical
+    state, the panel can say {e who} is wrong. Every member receives
+    the same [(from, msg)] schedule through the existing
+    {!Distributed} transport (Local or Remote — the panel never peeks
+    past the narrow interface), each {!Verdict.t} field is put to a
+    majority vote, and a divergence names its {b outlier} member(s):
+    the implementations whose answer differs from the assembled
+    majority. Divergences keep the pairwise taxonomy — {e tie-break}
+    (all members agree on [accepted] and [origin_conflict], the
+    policy- and origin-level facts, and differ only downstream of the
+    decision process) versus {e semantic} (disagreement on those
+    facts, or a member that declined while others answered).
+
+    A confirmed divergence is made actionable by {!Minimize} (shrink
+    the triggering schedule) and {!Artifact} (a versioned, replayable
+    repro file any speaker subset can re-execute). *)
+
+open Dice_inet
+open Dice_bgp
+
+type divergence = {
+  prefix : Prefix.t;
+  answers : (string * Verdict.t option) list;
+      (** one per panel member, in panel order: agent name and its
+          verdict for [prefix] ([None]: declined, timed out, or
+          answered without this prefix) *)
+  majority : Verdict.t;
+      (** field-wise majority over the answering members; a tied field
+          takes the earliest answering member's value *)
+  outliers : string list;
+      (** members whose answer differs from [majority] (including
+          members that gave no answer while others did), in panel
+          order *)
+  tie_break_only : bool;
+}
+
+val signature : divergence -> string
+(** Stable identity of a divergence — prefix, classification, sorted
+    outlier set — used to recognize "the same divergence" across
+    minimization rounds and artifact replays. *)
+
+val pp_divergence : Format.formatter -> divergence -> unit
+
+val probe :
+  jobs:int ->
+  agents:Distributed.agent list ->
+  (Ipv4.t * Msg.t) list ->
+  divergence list
+(** Feed every panel member each [(from, msg)] exchange and keep only
+    the prefixes whose verdicts diverge. The result is sorted by
+    prefix (stably: equal prefixes keep schedule order), so reports
+    are deterministic whatever the probe schedule under [jobs > 1].
+    Probing never mutates the members' live speakers, so the same
+    panel can be re-probed — that is what minimization leans on.
+    @raise Invalid_argument on an empty panel. *)
+
+type hit = {
+  schedule : (Ipv4.t * Msg.t) list;
+      (** the probe exchanges that produced the divergence — the input
+          {!Minimize.divergence} shrinks *)
+  divergence : divergence;
+}
+
+val checker : jobs:int -> agents:Distributed.agent list -> Checker.t
+(** A {!Checker.t} ([panel]) that replays every message an exploration
+    outcome would send to any panel member's address against the whole
+    panel and reports divergences: [panel-divergence] (critical) for
+    semantic ones, [panel-tiebreak] (warning) for tie-break-only ones.
+    Details carry each member's verdict under its agent-name prefix,
+    the assembled [majority], and the [outliers]. *)
+
+val hunt :
+  jobs:int -> agents:Distributed.agent list -> sink:(hit -> unit) -> Checker.t
+(** {!checker}, but every divergence is also handed to [sink] together
+    with the schedule that triggered it — the hook that lets a CLI or
+    orchestrator collect repro candidates for minimization while the
+    exploration runs. *)
+
+(** Replayable divergence repros: a versioned, length-framed file
+    format following the {!Probe_wire} conventions (magic + version
+    byte, big-endian length-framed fields, loud
+    {!Dice_wire.Rbuf.Truncated} on any malformed input, no trailing
+    bytes). An artifact is self-contained: the speaker names, the
+    shared configuration source, the state-priming setup schedule, the
+    (minimized) probe schedule, and the expected divergence
+    signature. *)
+module Artifact : sig
+  type t = {
+    speakers : string list;  (** panel members, by {!Speakers} name *)
+    config : string;  (** the members' shared configuration source text *)
+    setup : (Ipv4.t * Msg.t) list;
+        (** state priming: messages fed to each member (peer, msg)
+            after establishing every configured session *)
+    schedule : (Ipv4.t * Msg.t) list;  (** the probe exchanges *)
+    signature : string;  (** expected {!signature} of the divergence *)
+  }
+
+  val version : int
+
+  val encode : t -> bytes
+  (** Canonical bytes: equal artifacts encode identically. *)
+
+  val decode : bytes -> t
+  (** @raise Dice_wire.Rbuf.Truncated on truncation, foreign magic, an
+      alien version, or trailing bytes. *)
+
+  val save : string -> t -> unit
+  val load : string -> t
+
+  val build :
+    ?speakers:string list -> t -> Distributed.agent list
+  (** Rebuild the panel: create each speaker ({!Speakers.create_exn})
+      from [config], establish every configured session, feed [setup],
+      and wrap each as a [Local] agent named after its implementation.
+      [speakers] selects a subset (default: all members). *)
+
+  val replay : ?speakers:string list -> jobs:int -> t -> divergence list
+  (** [build] then {!probe} the artifact's schedule — re-execution
+      against any speaker subset. *)
+
+  val reproduces : t -> divergence list -> bool
+  (** Whether a replay's divergences contain the artifact's expected
+      signature. *)
+end

@@ -4,6 +4,7 @@ open Dice_bgp
 (* The one concrete-implementation reference the core is allowed. *)
 module Router = Dice_bgp.Router
 module Qrouter = Dice_bgp2.Qrouter
+module Xrouter = Dice_bgp3.Xrouter
 
 module Bird = struct
   type t = Router.t
@@ -102,12 +103,56 @@ module Quagga = struct
   let restore = Qrouter.restore
 end
 
+module Xorp = struct
+  type t = Xrouter.t
+
+  let id = "xorp"
+  let create = Xrouter.create
+  let config = Xrouter.config
+  let establish t ~peer = Xrouter.establish t ~peer
+  let feed ?ctx t ~peer msg = Xrouter.feed ?ctx t ~peer msg
+
+  let import_concolic ~ctx t ~peer croute =
+    let o = Xrouter.import_concolic ~ctx t ~peer croute in
+    {
+      Speaker.prefix = o.Xrouter.prefix;
+      accepted = o.Xrouter.accepted;
+      installed = o.Xrouter.installed;
+      route = o.Xrouter.route;
+      previous_best = o.Xrouter.previous_best;
+      outputs = o.Xrouter.outputs;
+    }
+
+  let loc_rib = Xrouter.table
+  let best_route = Xrouter.best_route
+  let learned_from t ~peer prefix = Xrouter.learned_from t ~peer prefix
+  let updates_processed = Xrouter.updates_processed
+
+  (* No incremental freeze: serialize eagerly, hand back the bytes. *)
+  let freeze t =
+    let image = Xrouter.snapshot t in
+    fun () -> image
+
+  let snapshot = Xrouter.snapshot
+  let restore = Xrouter.restore
+end
+
 let bird r = Speaker.pack (module Bird : Speaker.S with type t = Router.t) r
 let quagga q = Speaker.pack (module Quagga : Speaker.S with type t = Qrouter.t) q
-let names = [ "bird"; "quagga" ]
+let xorp x = Speaker.pack (module Xorp : Speaker.S with type t = Xrouter.t) x
+let names = [ "bird"; "quagga"; "xorp" ]
 
 let create name cfg =
   match name with
   | "bird" -> Some (bird (Router.create cfg))
   | "quagga" -> Some (quagga (Qrouter.create cfg))
+  | "xorp" -> Some (xorp (Xrouter.create cfg))
   | _ -> None
+
+let create_exn name cfg =
+  match create name cfg with
+  | Some sp -> sp
+  | None ->
+    invalid_arg
+      (Printf.sprintf "unknown speaker implementation: %s (known: %s)" name
+         (String.concat ", " names))

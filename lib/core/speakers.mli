@@ -4,9 +4,11 @@
     Everything else in [Dice_core] programs against {!Speaker.S} /
     {!Speaker.instance}; this module adapts the implementations the tree
     ships — the instrumented BIRD-flavored [Dice_bgp.Router] and the
-    heterogeneous Quagga-flavored [Dice_bgp2.Qrouter] — and looks them
-    up by name for [detect-leaks --speaker] and per-agent fleet
-    configuration. Adding a third implementation means adding one
+    heterogeneous Quagga-flavored [Dice_bgp2.Qrouter], and the
+    XORP-flavored [Dice_bgp3.Xrouter] that completes the paper's
+    heterogeneous triple — and looks them up by name for
+    [detect-leaks --speaker], [--panel] membership and per-agent fleet
+    configuration. Adding a fourth implementation means adding one
     adapter here and nowhere else. *)
 
 module Bird : Speaker.S with type t = Dice_bgp.Router.t
@@ -21,12 +23,25 @@ module Quagga : Speaker.S with type t = Dice_bgp2.Qrouter.t
     layout, different decision tie-breaking, administratively
     established sessions (see its own documentation). *)
 
+module Xorp : Speaker.S with type t = Dice_bgp3.Xrouter.t
+(** [Dice_bgp3.Xrouter] behind the same interface — map-based RIBs,
+    deterministic-MED grouping, IGP-cost-before-peer tie-breaks, lazily
+    materialized Adj-RIB-Out (see its own documentation). *)
+
 val bird : Dice_bgp.Router.t -> Speaker.instance
 val quagga : Dice_bgp2.Qrouter.t -> Speaker.instance
+val xorp : Dice_bgp3.Xrouter.t -> Speaker.instance
 
 val create : string -> Dice_bgp.Config_types.t -> Speaker.instance option
 (** [create name cfg] builds a fresh speaker by implementation name
     ([known names: {!names}]); [None] for an unknown name. *)
 
+val create_exn : string -> Dice_bgp.Config_types.t -> Speaker.instance
+(** Like {!create}.
+    @raise Invalid_argument on an unknown name, with the known-names
+    list in the message — the error every CLI/registry caller should
+    surface instead of rolling its own. *)
+
 val names : string list
-(** [["bird"; "quagga"]] — what [--speaker] accepts. *)
+(** [["bird"; "quagga"; "xorp"]] — what [--speaker] and [--panel]
+    accept. *)

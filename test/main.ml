@@ -22,6 +22,7 @@ let () =
       ("integration", Test_integration.suite);
       ("probe-wire", Test_probe_wire.suite);
       ("speaker", Test_speaker.suite);
+      ("panel", Test_panel.suite);
       ("probe-rpc", Test_probe_rpc.suite);
       ("chaos", Test_chaos.suite);
       ("distributed", Test_distributed.suite);

@@ -341,6 +341,31 @@ let prop_tie_free_full_agreement =
         (fun (ql, vl) (qr, vr) -> Prefix.equal ql qr && Verdict.equal vl vr)
         (verdicts_for bird msg) (verdicts_for quagga msg))
 
+(* Property C: the whole registered triple — not just one pair — agrees
+   on acceptance and origin-conflict detection, announcement by
+   announcement. This is the invariant the N-way panel's taxonomy
+   rests on: a majority vote can only ever split downstream of the
+   decision process (tie-break divergences), never on the policy- and
+   origin-level facts. *)
+let prop_panel_origin_conflict_agreement =
+  let agents = List.map (fun impl -> local_agent (upstream impl)) Speakers.names in
+  QCheck.Test.make
+    ~name:"all registered speakers agree on acceptance and origin conflicts"
+    ~count:150
+    (arb_announcement ~allow_incumbent_prefixes:true)
+    (fun msg ->
+      match List.map (fun a -> verdicts_for a msg) agents with
+      | [] -> true
+      | reference :: rest ->
+        List.for_all
+          (List.for_all2
+             (fun (ql, vl) (qr, vr) ->
+               Prefix.equal ql qr
+               && vl.Verdict.accepted = vr.Verdict.accepted
+               && vl.Verdict.origin_conflict = vr.Verdict.origin_conflict)
+             reference)
+          rest)
+
 let conformance impl =
   [ (impl ^ ": registry identity and config", `Quick, test_identity impl);
     (impl ^ ": feed installs with session attribution", `Quick,
@@ -359,5 +384,6 @@ let conformance impl =
 let suite =
   List.concat_map conformance Speakers.names
   @ [ QCheck_alcotest.to_alcotest prop_origin_conflict_agreement;
-      QCheck_alcotest.to_alcotest prop_tie_free_full_agreement
+      QCheck_alcotest.to_alcotest prop_tie_free_full_agreement;
+      QCheck_alcotest.to_alcotest prop_panel_origin_conflict_agreement
     ]
