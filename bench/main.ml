@@ -25,6 +25,10 @@
      P6  divergence panel: probe throughput vs panel size (1/2/3
          members) and the cost of delta-debugging a divergence down to
          a minimal repro (machine-readable copy in BENCH_p6.json)
+     P7  incremental path-prefix solving: satisfied negations per
+         second and time to full branch coverage on the F1 filter,
+         from-scratch vs incremental
+         (machine-readable copy in BENCH_p7.json)
    plus a Bechamel micro-benchmark suite for the hot paths.
 
    By default everything runs at a laptop-friendly scale; set
@@ -1158,6 +1162,102 @@ let experiment_p6 () =
   row "wrote BENCH_p6.json\n"
 
 (* ------------------------------------------------------------------ *)
+(* P7: incremental path-prefix solving                                 *)
+(* ------------------------------------------------------------------ *)
+
+let experiment_p7 () =
+  section "P7"
+    "incremental path-prefix solving: negation throughput and time to full branch \
+     coverage (F1 filter, generational search)";
+  let measure ~incremental =
+    let config =
+      { Explorer.default_config with
+        Explorer.strategy = Strategy.Generational;
+        max_runs = 192;
+        incremental;
+      }
+    in
+    let report = Explorer.explore ~config filter_program in
+    let total = Coverage.direction_count report.Explorer.coverage in
+    (* the execution index at which cumulative new directions reach the
+       final total: how much of the budget full branch coverage needed *)
+    let runs_to_full =
+      let cum = ref 0 and found = ref None in
+      List.iter
+        (fun (r : Explorer.run) ->
+          cum := !cum + r.Explorer.new_directions;
+          if !found = None && !cum >= total then found := Some (r.Explorer.index + 1))
+        report.Explorer.runs;
+      Option.value !found ~default:report.Explorer.executions
+    in
+    (* honest wall-clock for that milestone: a fresh exploration capped at
+       exactly that many runs, timed end to end *)
+    let t0 = Unix.gettimeofday () in
+    ignore
+      (Explorer.explore
+         ~config:{ config with Explorer.max_runs = runs_to_full }
+         filter_program);
+    let time_to_full = Unix.gettimeofday () -. t0 in
+    (report, runs_to_full, time_to_full)
+  in
+  let line label (report, runs_to_full, time_to_full) =
+    let ss = report.Explorer.solver_stats in
+    let neg_rate =
+      float_of_int report.Explorer.negations_sat /. max 1e-9 report.Explorer.elapsed_s
+    in
+    let reuse_rate =
+      float_of_int ss.Dice_concolic.Solver.prefix_reuses
+      /. float_of_int (max 1 ss.Dice_concolic.Solver.calls)
+    in
+    row "%-14s %-14.0f %-12d %-14.2f %-12s %-10d %d\n" label neg_rate runs_to_full
+      (1000.0 *. time_to_full)
+      (Printf.sprintf "%.1f%%" (100.0 *. reuse_rate))
+      ss.Dice_concolic.Solver.simplifications
+      ss.Dice_concolic.Solver.first_violated_skips;
+    (neg_rate, reuse_rate)
+  in
+  row "%-14s %-14s %-12s %-14s %-12s %-10s %s\n" "solver" "neg-sat/s" "runs-to-full"
+    "time-to-full" "prefix-reuse" "simplif." "scan-skips";
+  let before = measure ~incremental:false in
+  let after = measure ~incremental:true in
+  let before_rate, before_reuse = line "from-scratch" before in
+  let after_rate, after_reuse = line "incremental" after in
+  let json_side label (report, runs_to_full, time_to_full) rate reuse =
+    let ss = report.Explorer.solver_stats in
+    ( label,
+      Dice_util.Json.obj
+        [ ("negations_sat", Dice_util.Json.int report.Explorer.negations_sat);
+          ("elapsed_s", Dice_util.Json.float report.Explorer.elapsed_s);
+          ("negations_sat_per_s", Dice_util.Json.float rate);
+          ("runs_to_full_coverage", Dice_util.Json.int runs_to_full);
+          ("time_to_full_coverage_s", Dice_util.Json.float time_to_full);
+          ("prefix_reuse_rate", Dice_util.Json.float reuse);
+          ("prefix_reuses", Dice_util.Json.int ss.Dice_concolic.Solver.prefix_reuses);
+          ("simplifications", Dice_util.Json.int ss.Dice_concolic.Solver.simplifications);
+          ( "first_violated_skips",
+            Dice_util.Json.int ss.Dice_concolic.Solver.first_violated_skips );
+          ( "candidates_deduped",
+            Dice_util.Json.int ss.Dice_concolic.Solver.candidates_deduped );
+          ("distinct_paths", Dice_util.Json.int report.Explorer.distinct_paths);
+          ( "coverage_ratio",
+            Dice_util.Json.float (Explorer.coverage_ratio report) ) ] )
+  in
+  let json =
+    Dice_util.Json.obj
+      [ ("experiment", Dice_util.Json.string "p7");
+        ("strategy", Dice_util.Json.string "generational");
+        json_side "from_scratch" before before_rate before_reuse;
+        json_side "incremental" after after_rate after_reuse;
+        ( "speedup_negations_per_s",
+          Dice_util.Json.float (after_rate /. max 1e-9 before_rate) ) ]
+  in
+  let oc = open_out "BENCH_p7.json" in
+  output_string oc (Dice_util.Json.to_string ~indent:true json);
+  output_string oc "\n";
+  close_out oc;
+  row "wrote BENCH_p7.json\n"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -1399,6 +1499,7 @@ let () =
   experiment_p4 ();
   experiment_p5 ();
   experiment_p6 ();
+  experiment_p7 ();
   experiment_x1 ();
   experiment_x2 ();
   micro_benchmarks ();

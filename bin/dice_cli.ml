@@ -613,7 +613,7 @@ let replay_divergence_cmd =
 
 (* ---------------- explore-filter ---------------- *)
 
-let explore_filter file runs jobs =
+let explore_filter file runs jobs incremental =
   let config = Config_parser.parse_file file in
   match config.Config_types.filters with
   | [] ->
@@ -640,6 +640,7 @@ let explore_filter file runs jobs =
     let config =
       { Dice_concolic.Explorer.default_config with
         Dice_concolic.Explorer.max_runs = runs;
+        incremental;
       }
     in
     let qcache = Dice_exec.Qcache.create () in
@@ -649,9 +650,10 @@ let explore_filter file runs jobs =
     in
     Format.printf "%a@." Dice_concolic.Explorer.pp_report report;
     if jobs > 1 then
-      Format.printf "solver cache: %d hits, %d misses (%.1f%% hit rate)@."
+      Format.printf "solver cache: %d hits, %d misses, %d prefix hits (%.1f%% hit rate)@."
         (Dice_exec.Qcache.hits qcache)
         (Dice_exec.Qcache.misses qcache)
+        (Dice_exec.Qcache.prefix_hits qcache)
         (100.0 *. Dice_exec.Qcache.hit_rate qcache);
     0
 
@@ -661,10 +663,19 @@ let explore_filter_cmd =
       required & pos 0 (some string) None
       & info [] ~docv:"CONFIG" ~doc:"Router configuration file.")
   in
+  let incremental =
+    Arg.(
+      value & opt bool true
+      & info [ "incremental" ]
+          ~doc:
+            "Solve negations incrementally from the parent run's environment \
+             (pass $(b,--incremental=false) to solve every query from scratch, \
+             for measurement).")
+  in
   Cmd.v
     (Cmd.info "explore-filter"
        ~doc:"Concolically explore the first filter of a configuration file.")
-    Term.(const explore_filter $ file $ runs_arg $ jobs_arg)
+    Term.(const explore_filter $ file $ runs_arg $ jobs_arg $ incremental)
 
 (* ---------------- overhead ---------------- *)
 

@@ -2,7 +2,7 @@
    runs executing concurrently on separate domains — so all access is
    serialized on a per-table mutex. *)
 
-type t = { lock : Mutex.t; tbl : (int * bool, unit) Hashtbl.t }
+type t = { lock : Mutex.t; tbl : (int * bool, int) Hashtbl.t }
 
 let create () = { lock = Mutex.create (); tbl = Hashtbl.create 128 }
 
@@ -10,43 +10,50 @@ let locked t f =
   Mutex.lock t.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
+let add_hits tbl key n =
+  match Hashtbl.find_opt tbl key with
+  | Some c -> Hashtbl.replace tbl key (c + n)
+  | None -> Hashtbl.add tbl key n
+
 let record t site dir =
   let key = (Path.Site.id site, dir) in
   locked t (fun () ->
-      if Hashtbl.mem t.tbl key then false
-      else begin
-        Hashtbl.add t.tbl key ();
-        true
-      end)
+      let fresh = not (Hashtbl.mem t.tbl key) in
+      add_hits t.tbl key 1;
+      fresh)
 
 let covered t site dir = locked t (fun () -> Hashtbl.mem t.tbl (Path.Site.id site, dir))
 
 let fully_covered t site = covered t site true && covered t site false
 
+let hits t site dir =
+  locked t (fun () ->
+      Option.value (Hashtbl.find_opt t.tbl (Path.Site.id site, dir)) ~default:0)
+
+let hits_id t key = locked t (fun () -> Option.value (Hashtbl.find_opt t.tbl key) ~default:0)
+
 let site_count t =
   locked t (fun () ->
       let sites = Hashtbl.create 64 in
-      Hashtbl.iter (fun (id, _) () -> Hashtbl.replace sites id ()) t.tbl;
+      Hashtbl.iter (fun (id, _) _ -> Hashtbl.replace sites id ()) t.tbl;
       Hashtbl.length sites)
 
 let direction_count t = locked t (fun () -> Hashtbl.length t.tbl)
 
 let merge_into ~dst t =
-  let pairs = locked t (fun () -> Hashtbl.fold (fun k () acc -> k :: acc) t.tbl []) in
-  locked dst (fun () -> List.iter (fun k -> Hashtbl.replace dst.tbl k ()) pairs)
+  let pairs = locked t (fun () -> Hashtbl.fold (fun k n acc -> (k, n) :: acc) t.tbl []) in
+  locked dst (fun () -> List.iter (fun (k, n) -> add_hits dst.tbl k n) pairs)
 
 let absorb ~into t =
-  let pairs = locked t (fun () -> Hashtbl.fold (fun k () acc -> k :: acc) t.tbl []) in
+  let pairs = locked t (fun () -> Hashtbl.fold (fun k n acc -> (k, n) :: acc) t.tbl []) in
   locked into (fun () ->
       List.fold_left
-        (fun fresh k ->
-          if Hashtbl.mem into.tbl k then fresh
-          else begin
-            Hashtbl.add into.tbl k ();
-            fresh + 1
-          end)
+        (fun fresh (k, n) ->
+          let was_fresh = not (Hashtbl.mem into.tbl k) in
+          add_hits into.tbl k n;
+          if was_fresh then fresh + 1 else fresh)
         0 pairs)
 
 let snapshot t =
-  locked t (fun () -> Hashtbl.fold (fun k () acc -> k :: acc) t.tbl [])
+  locked t (fun () -> Hashtbl.fold (fun k _ acc -> k :: acc) t.tbl [])
   |> List.sort compare

@@ -21,6 +21,15 @@ val covered : t -> Path.Site.t -> bool -> bool
 val fully_covered : t -> Path.Site.t -> bool
 (** Both directions seen. *)
 
+val hits : t -> Path.Site.t -> bool -> int
+(** How many times [record] has seen the (site, direction) pair — 0 when
+    never covered. Merges and absorbs sum counts, so on a shared table this
+    is the global frequency across all runs. *)
+
+val hits_id : t -> int * bool -> int
+(** {!hits} keyed by raw (site id, direction) — the form path entries
+    carry. *)
+
 val site_count : t -> int
 (** Number of distinct sites seen at least once. *)
 

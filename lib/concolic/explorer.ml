@@ -5,10 +5,17 @@ type config = {
   max_runs : int;
   max_depth : int;
   solver_max_repairs : int;
+  incremental : bool;
 }
 
 let default_config =
-  { strategy = Strategy.Dfs; max_runs = 512; max_depth = 128; solver_max_repairs = 256 }
+  {
+    strategy = Strategy.Dfs;
+    max_runs = 512;
+    max_depth = 128;
+    solver_max_repairs = 256;
+    incremental = true;
+  }
 
 type run = {
   index : int;
@@ -27,6 +34,7 @@ type report = {
   negations_unsat : int;
   negations_gave_up : int;
   divergences : int;
+  program_exns : int;
   coverage : Coverage.t;
   solver_stats : Solver.stats;
   space : Engine.Space.t;
@@ -47,31 +55,28 @@ type item = {
 }
 
 (* Identity of a negation attempt: the branch-direction prefix plus the
-   flipped branch. Two attempts with the same key would request the same
-   path, so only the first is tried. *)
+   flipped branch, as the literal (site id, direction) sequence the
+   requested path would take. Structural — two attempts compare equal iff
+   they request the same path, so a table keyed on this can never drop a
+   distinct negation the way a folded-hash key could on collision. *)
 let attempt_key parent_path idx =
-  let acc = ref 0xCBF29CE484222325L in
-  for i = 0 to idx - 1 do
-    let e = parent_path.(i) in
-    let v =
-      Int64.of_int
-        ((Path.Site.id e.Path.site * 2) + if e.Path.constr.expected_nonzero then 1 else 0)
-    in
-    acc := Dice_util.Hashutil.combine !acc v
-  done;
-  let e = parent_path.(idx) in
-  let v =
-    Int64.of_int
-      ((Path.Site.id e.Path.site * 2) + if e.Path.constr.expected_nonzero then 0 else 1)
+  let rec go i acc =
+    if i < 0 then acc
+    else begin
+      let e = parent_path.(i) in
+      let dir = e.Path.constr.expected_nonzero in
+      let dir = if i = idx then not dir else dir in
+      go (i - 1) ((Path.Site.id e.Path.site, dir) :: acc)
+    end
   in
-  Dice_util.Hashutil.combine !acc v
+  go idx []
 
 let explore ?(config = default_config) program =
   let t0 = Unix.gettimeofday () in
   let space = Engine.Space.create () in
   let coverage = Coverage.create () in
   let solver_stats = Solver.stats_create () in
-  let attempted : (int64, unit) Hashtbl.t = Hashtbl.create 256 in
+  let attempted : ((int * bool) list, unit) Hashtbl.t = Hashtbl.create 256 in
   let distinct : (int64, unit) Hashtbl.t = Hashtbl.create 256 in
   let rev_runs = ref [] in
   let executions = ref 0 in
@@ -80,8 +85,19 @@ let explore ?(config = default_config) program =
   let negations_unsat = ref 0 in
   let negations_gave_up = ref 0 in
   let divergences = ref 0 in
+  let program_exns = ref 0 in
   let next_order = ref 0 in
-  let worklist : item list ref = ref [] in
+  (* DFS and Cover_new pop newest-first: a list stack is already O(1) and
+     preserves the classic dive-deep order. The prioritized strategies use
+     a binary heap — the old fold-for-max + filter-to-remove list made
+     every pop O(n) and every generational enqueue O(n) via append. *)
+  let stack : item list ref = ref [] in
+  let heap : item Pqueue.t = Pqueue.create () in
+  let use_heap =
+    match config.strategy with
+    | Strategy.Generational | Strategy.Random_negation _ -> true
+    | Strategy.Dfs | Strategy.Cover_new -> false
+  in
   let rng =
     match config.strategy with
     | Strategy.Random_negation seed -> Dice_util.Rng.create seed
@@ -93,7 +109,12 @@ let explore ?(config = default_config) program =
   let execute ~overrides ~expected =
     let ctx = Engine.create ~coverage ~space ~overrides () in
     let before = Coverage.direction_count coverage in
-    (try program ctx with _exn -> ());
+    (try program ctx with
+    | (Stack_overflow | Out_of_memory) as fatal ->
+      (* resource exhaustion is not a program-under-test outcome; masking
+         it would turn a dying explorer into a silent coverage plateau *)
+      raise fatal
+    | _exn -> incr program_exns);
     let after = Coverage.direction_count coverage in
     let path = Array.of_list (Engine.path ctx) in
     Hashtbl.replace distinct (Path.signature (Array.to_list path)) ();
@@ -136,6 +157,20 @@ let explore ?(config = default_config) program =
     for idx = n - 1 downto bound do
       let key = attempt_key path idx in
       if not (Hashtbl.mem attempted key) then begin
+        let e = path.(idx) in
+        let item_priority =
+          match config.strategy with
+          | Strategy.Generational ->
+            (* coverage-guided score: the parent's contribution plus a
+               bonus when the flipped direction is unseen or still rare *)
+            let flipped = (Path.Site.id e.Path.site, not e.Path.constr.expected_nonzero) in
+            priority + Strategy.coverage_bonus ~hits:(Coverage.hits_id coverage flipped)
+          | Strategy.Random_negation _ ->
+            (* uniform random priorities make heap pops a uniformly random
+               draw from the pending set, deterministic per seed *)
+            Dice_util.Rng.int rng 0x40000000
+          | Strategy.Dfs | Strategy.Cover_new -> priority
+        in
         let it =
           {
             parent_path = path;
@@ -143,59 +178,28 @@ let explore ?(config = default_config) program =
             hint;
             idx;
             bound;
-            priority;
+            priority = item_priority;
             order = !next_order;
             expected = None;
           }
         in
         incr next_order;
-        items := it :: !items
+        if use_heap then Pqueue.push heap ~priority:item_priority ~order:it.order it
+        else items := it :: !items
       end
     done;
     (* [items] ends up in increasing idx order; for DFS we want the deepest
        first, so prepend reversed *)
-    match config.strategy with
-    | Strategy.Dfs | Strategy.Cover_new ->
-      worklist := List.rev_append !items !worklist
-    | Strategy.Generational | Strategy.Random_negation _ ->
-      worklist := !worklist @ List.rev !items
+    if not use_heap then stack := List.rev_append !items !stack
   in
 
   let pop () =
-    match !worklist with
-    | [] -> None
-    | items -> begin
-      match config.strategy with
-      | Strategy.Dfs | Strategy.Cover_new -> begin
-        match items with
-        | it :: rest ->
-          worklist := rest;
-          Some it
-        | [] -> None
-      end
-      | Strategy.Generational ->
-        let best =
-          List.fold_left
-            (fun acc it ->
-              match acc with
-              | None -> Some it
-              | Some b ->
-                if it.priority > b.priority || (it.priority = b.priority && it.order < b.order)
-                then Some it
-                else acc)
-            None items
-        in begin
-        match best with
-        | Some b ->
-          worklist := List.filter (fun it -> it.order <> b.order) items;
-          Some b
-        | None -> None
-      end
-      | Strategy.Random_negation _ ->
-        let n = List.length items in
-        let k = Dice_util.Rng.int rng n in
-        let it = List.nth items k in
-        worklist := List.filteri (fun i _ -> i <> k) items;
+    if use_heap then Pqueue.pop heap
+    else begin
+      match !stack with
+      | [] -> None
+      | it :: rest ->
+        stack := rest;
         Some it
     end
   in
@@ -226,15 +230,24 @@ let explore ?(config = default_config) program =
             Hashtbl.add attempted key ();
             incr negations_attempted;
             let prefix = Array.to_list (Array.sub it.parent_path 0 it.idx) in
-            let constraints =
-              it.parent_seeds
-              @ List.map (fun en -> en.Path.constr) prefix
-              @ [ Path.negate e.Path.constr ]
+            let prefix_cs =
+              it.parent_seeds @ List.map (fun en -> en.Path.constr) prefix
             in
-            match
-              Solver.solve ~stats:solver_stats ~max_repairs:config.solver_max_repairs
-                ~hint:it.hint constraints
-            with
+            let negated = Path.negate e.Path.constr in
+            let outcome =
+              if config.incremental then
+                (* the parent's env satisfied the prefix when the parent
+                   ran it, so the incremental solver can start repairing at
+                   the negation instead of re-verifying the whole prefix *)
+                Solver.Inc.solve ~stats:solver_stats
+                  ~max_repairs:config.solver_max_repairs ~parent:it.hint
+                  ~prefix:prefix_cs [ negated ]
+              else
+                Solver.solve ~stats:solver_stats
+                  ~max_repairs:config.solver_max_repairs ~hint:it.hint
+                  (prefix_cs @ [ negated ])
+            in
+            match outcome with
             | Solver.Unsat ->
               incr negations_unsat;
               loop ()
@@ -243,7 +256,7 @@ let explore ?(config = default_config) program =
               if Sys.getenv_opt "DICE_DEBUG_SOLVER" <> None then
                 Format.eprintf "[solver gave up]@.%a@."
                   (Format.pp_print_list ~pp_sep:Format.pp_print_cut Path.pp_constr)
-                  constraints;
+                  (prefix_cs @ [ negated ]);
               loop ()
             | Solver.Sat model ->
               incr negations_sat;
@@ -273,6 +286,7 @@ let explore ?(config = default_config) program =
     negations_unsat = !negations_unsat;
     negations_gave_up = !negations_gave_up;
     divergences = !divergences;
+    program_exns = !program_exns;
     coverage;
     solver_stats;
     space;
@@ -287,11 +301,14 @@ let coverage_ratio report =
 let pp_report ppf r =
   Format.fprintf ppf
     "@[<v>executions: %d@,distinct paths: %d@,negations: %d attempted, %d sat, %d unsat, %d \
-     gave up@,divergences: %d@,coverage: %d directions over %d sites (%.1f%%)@,elapsed: %.3f \
-     s@]"
+     gave up@,divergences: %d@,program exceptions: %d@,coverage: %d directions over %d sites \
+     (%.1f%%)@,solver: %d prefix reuses, %d simplifications, %d scan skips, %d candidates \
+     deduped@,elapsed: %.3f s@]"
     r.executions r.distinct_paths r.negations_attempted r.negations_sat r.negations_unsat
-    r.negations_gave_up r.divergences
+    r.negations_gave_up r.divergences r.program_exns
     (Coverage.direction_count r.coverage)
     (Coverage.site_count r.coverage)
     (100.0 *. coverage_ratio r)
+    r.solver_stats.Solver.prefix_reuses r.solver_stats.Solver.simplifications
+    r.solver_stats.Solver.first_violated_skips r.solver_stats.Solver.candidates_deduped
     r.elapsed_s

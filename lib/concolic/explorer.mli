@@ -10,17 +10,23 @@
 type program = Engine.ctx -> unit
 (** The instrumented entry point — in DiCE terms, a message handler invoked
     over a cloned checkpoint. Exceptions escaping the program abort that run
-    only (the path recorded so far still counts). *)
+    only (the path recorded so far still counts) and are tallied in
+    [report.program_exns] — except [Stack_overflow] and [Out_of_memory],
+    which indicate explorer-level resource exhaustion and are re-raised. *)
 
 type config = {
   strategy : Strategy.t;
   max_runs : int;  (** total program executions, initial run included *)
   max_depth : int;  (** only the first [max_depth] branches are negated *)
   solver_max_repairs : int;
+  incremental : bool;
+      (** solve each negation incrementally from the parent run's
+          environment ({!Solver.Inc}) instead of from scratch; on by
+          default, off only for measurement *)
 }
 
 val default_config : config
-(** DFS, 512 runs, depth 128, 256 solver repairs. *)
+(** DFS, 512 runs, depth 128, 256 solver repairs, incremental. *)
 
 type run = {
   index : int;
@@ -40,6 +46,7 @@ type report = {
   negations_unsat : int;
   negations_gave_up : int;
   divergences : int;
+  program_exns : int;  (** exceptions the program under test raised *)
   coverage : Coverage.t;
   solver_stats : Solver.stats;
   space : Engine.Space.t;
@@ -50,13 +57,14 @@ val explore : ?config:config -> program -> report
 (** Explore from scratch: the initial run uses every input's default
     value. *)
 
-val attempt_key : Path.entry array -> int -> int64
-(** Identity of a negation attempt: a hash of the branch-direction prefix
-    of the path up to (and including, flipped) index [idx]. Two attempts
-    with the same key request the same negated path, so only the first
-    should be tried. Exposed for the parallel executor ([Dice_exec]),
-    whose shared dedup table must agree with the sequential explorer on
-    attempt identity. *)
+val attempt_key : Path.entry array -> int -> (int * bool) list
+(** Identity of a negation attempt: the (site id, direction) sequence of
+    the path prefix up to index [idx], with entry [idx]'s direction
+    flipped. Structural, not hashed — two attempts have equal keys iff
+    they request the same negated path, so distinct negations can never be
+    dropped by a key collision. Exposed for the parallel executor
+    ([Dice_exec]), whose shared dedup table must agree with the sequential
+    explorer on attempt identity. *)
 
 val coverage_ratio : report -> float
 (** Covered (site, direction) pairs over [2 * sites seen] — a progress

@@ -106,6 +106,15 @@ let solve_for t ~var_id ~target ~env =
       end
     end
 
+let point_solution t ~target =
+  match t.coeffs with
+  | [ (var_id, coeff) ] when Int64.logand coeff 1L = 1L ->
+    (* odd coefficient: the map x -> coeff*x + const is a bijection mod
+       2^width, so the equation has exactly one solution *)
+    let residual = Sym.wrap t.width (Int64.sub target t.const) in
+    Some (var_id, Sym.wrap t.width (Int64.mul residual (odd_inverse coeff t.width)))
+  | _ -> None
+
 let pp ppf t =
   let term (id, c) = Printf.sprintf "%Ld*v%d" c id in
   Format.fprintf ppf "%s + %Ld (mod 2^%d)"

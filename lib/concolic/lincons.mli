@@ -35,4 +35,11 @@ val solve_for : t -> var_id:int -> target:int64 -> env:Sym.env -> int64 list
     accept or reject). Empty when no solution exists or [var_id] does not
     occur. *)
 
+val point_solution : t -> target:int64 -> (int * int64) option
+(** [(var_id, value)] when the form mentions exactly one variable with an
+    odd coefficient — then [coeff*x + const = target (mod 2^width)] has
+    exactly one solution and the equality {e pins} the variable (an
+    implied literal the solver propagates). [None] otherwise: with an even
+    coefficient solutions are not unique, so no value may be pinned. *)
+
 val pp : Format.formatter -> t -> unit

@@ -1,0 +1,76 @@
+(* Array-backed binary max-heap. The heap property compares (priority
+   descending, order ascending); [order] values are expected unique, which
+   makes pop order fully deterministic regardless of insertion order. *)
+
+type 'a entry = { priority : int; order : int; value : 'a }
+
+type 'a t = { mutable data : 'a entry array; mutable len : int }
+
+let create () = { data = [||]; len = 0 }
+
+let length t = t.len
+
+let is_empty t = t.len = 0
+
+(* true when [a] must pop before [b] *)
+let before a b =
+  if a.priority <> b.priority then a.priority > b.priority else a.order < b.order
+
+let grow t =
+  let cap = Array.length t.data in
+  if t.len = cap then begin
+    let ncap = max 8 (cap * 2) in
+    let data = Array.make ncap t.data.(0) in
+    Array.blit t.data 0 data 0 t.len;
+    t.data <- data
+  end
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let p = (i - 1) / 2 in
+    if before t.data.(i) t.data.(p) then begin
+      let tmp = t.data.(i) in
+      t.data.(i) <- t.data.(p);
+      t.data.(p) <- tmp;
+      sift_up t p
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let best = ref i in
+  if l < t.len && before t.data.(l) t.data.(!best) then best := l;
+  if r < t.len && before t.data.(r) t.data.(!best) then best := r;
+  if !best <> i then begin
+    let tmp = t.data.(i) in
+    t.data.(i) <- t.data.(!best);
+    t.data.(!best) <- tmp;
+    sift_down t !best
+  end
+
+let push t ~priority ~order value =
+  let entry = { priority; order; value } in
+  if Array.length t.data = 0 then begin
+    t.data <- Array.make 8 entry;
+    t.len <- 1
+  end
+  else begin
+    grow t;
+    t.data.(t.len) <- entry;
+    t.len <- t.len + 1;
+    sift_up t (t.len - 1)
+  end
+
+let pop t =
+  if t.len = 0 then None
+  else begin
+    let top = t.data.(0) in
+    t.len <- t.len - 1;
+    if t.len > 0 then begin
+      t.data.(0) <- t.data.(t.len);
+      sift_down t 0
+    end;
+    (* overwrite the stale duplicate left at the freed slot *)
+    t.data.(t.len) <- top;
+    Some top.value
+  end

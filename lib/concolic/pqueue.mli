@@ -1,0 +1,21 @@
+(** Deterministic priority queue for exploration worklists.
+
+    An array-backed binary max-heap ordered by (priority descending, order
+    ascending). With unique [order] values — the explorer uses a monotone
+    counter — pop order is a pure function of the pushed set, so
+    explorations replay identically regardless of heap internals. Both
+    operations are O(log n), replacing the O(n) scan-and-filter worklists
+    the explorer used previously. Not thread-safe; callers serialize. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val push : 'a t -> priority:int -> order:int -> 'a -> unit
+
+val pop : 'a t -> 'a option
+(** Highest priority; ties broken by lowest [order]. [None] when empty. *)
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool

@@ -9,9 +9,24 @@ type stats = {
   mutable unsat : int;
   mutable gave_up : int;
   mutable candidates_tried : int;
+  mutable candidates_deduped : int;
+  mutable prefix_reuses : int;
+  mutable simplifications : int;
+  mutable first_violated_skips : int;
 }
 
-let stats_create () = { calls = 0; sat = 0; unsat = 0; gave_up = 0; candidates_tried = 0 }
+let stats_create () =
+  {
+    calls = 0;
+    sat = 0;
+    unsat = 0;
+    gave_up = 0;
+    candidates_tried = 0;
+    candidates_deduped = 0;
+    prefix_reuses = 0;
+    simplifications = 0;
+    first_violated_skips = 0;
+  }
 
 let global_stats = stats_create ()
 
@@ -20,7 +35,11 @@ let reset_stats () =
   global_stats.sat <- 0;
   global_stats.unsat <- 0;
   global_stats.gave_up <- 0;
-  global_stats.candidates_tried <- 0
+  global_stats.candidates_tried <- 0;
+  global_stats.candidates_deduped <- 0;
+  global_stats.prefix_reuses <- 0;
+  global_stats.simplifications <- 0;
+  global_stats.first_violated_skips <- 0
 
 let holds_all env cs = List.for_all (Path.constr_holds env) cs
 
@@ -238,6 +257,18 @@ let constants_of expr =
   go expr;
   !acc
 
+(* The 48 deterministic samples depend only on the variable's width, so
+   they are drawn once per width instead of once per candidate query (the
+   old per-call [Rng.create 0x5EEDL] re-derived the identical block
+   millions of times on big explorations). Drawn eagerly at module
+   initialization: solvers run concurrently on several domains, and a
+   plain immutable array needs no synchronization. *)
+let sample_raw =
+  let rng = Dice_util.Rng.create 0x5EEDL in
+  Array.init 48 (fun _ -> Dice_util.Rng.int64 rng)
+
+let sample_pool var_width = Array.to_list (Array.map (Sym.wrap var_width) sample_raw)
+
 let fallback_candidates expr var_width hint_value =
   let maxv = Sym.wrap var_width (-1L) in
   let base =
@@ -252,9 +283,7 @@ let fallback_candidates expr var_width hint_value =
   let powers =
     List.init (min var_width 32) (fun i -> Int64.shift_left 1L i)
   in
-  let rng = Dice_util.Rng.create 0x5EEDL in
-  let sampled = List.init 48 (fun _ -> Sym.wrap var_width (Dice_util.Rng.int64 rng)) in
-  base @ from_consts @ powers @ sampled
+  base @ from_consts @ powers @ sample_pool var_width
 
 (* ------------------------------------------------------------------ *)
 (* Repair loop                                                         *)
@@ -316,6 +345,40 @@ let var_interval (c : Path.constr) =
     | Sym.Xor | Sym.Shl | Sym.Lshr ->
       Some (Interval.full width)
   in
+  (* Implied literal from a linear equality: [lin == k] with a single
+     odd-coefficient variable pins it to the unique solution (a point
+     interval), or proves a contradiction when the solution cannot fit the
+     variable's width. *)
+  let linear_point e k =
+    match Lincons.of_sym e with
+    | None -> None
+    | Some lin ->
+      let w = Sym.width e in
+      let contradiction () =
+        match Sym.vars e with
+        | v :: _ -> Some (v, None)
+        | [] -> None (* variable-free: the repair loop reports it *)
+      in
+      if not (Int64.equal (Sym.wrap w k) k) then
+        (* the constant exceeds the term's domain: never equal *)
+        contradiction ()
+      else begin
+        match Lincons.point_solution lin ~target:k with
+        | None -> None
+        | Some (var_id, value) -> begin
+          match
+            List.find_opt (fun (v : Sym.var) -> v.Sym.id = var_id) (Sym.vars e)
+          with
+          | None -> None
+          | Some v ->
+            (* unique mod 2^w; if it exceeds the variable's own domain the
+               equality is unsatisfiable *)
+            if Int64.equal (Sym.wrap v.Sym.width value) value then
+              Some (v, Some (Interval.point value))
+            else contradiction ()
+        end
+      end
+  in
   match c.Path.expr with
   | Sym.Binop (op, Sym.Var v, Sym.Const k) when is_cmp_op op ->
     Some (v, interval_of op (Sym.wrap v.Sym.width k.value) v.Sym.width c.Path.expected_nonzero)
@@ -330,6 +393,12 @@ let var_interval (c : Path.constr) =
     Some
       (v, interval_of (mirror op) (Sym.wrap v.Sym.width k.value) v.Sym.width
            c.Path.expected_nonzero)
+  | (Sym.Binop (Sym.Eq, e, Sym.Const k) | Sym.Binop (Sym.Eq, Sym.Const k, e))
+    when c.Path.expected_nonzero ->
+    linear_point e k.value
+  | (Sym.Binop (Sym.Ne, e, Sym.Const k) | Sym.Binop (Sym.Ne, Sym.Const k, e))
+    when not c.Path.expected_nonzero ->
+    linear_point e k.value
   | _ -> None
 
 (* [Ok bounds] with a table of per-variable intervals, or [Error ()] when
@@ -354,128 +423,297 @@ let propagate_intervals cs =
     cs;
   if !contradiction then Error () else Ok bounds
 
-let first_violated env cs =
-  let rec go i = function
-    | [] -> None
-    | c :: rest -> if Path.constr_holds env c then go (i + 1) rest else Some (i, c)
-  in
-  go 0 cs
+(* ------------------------------------------------------------------ *)
+(* Implied-literal propagation / constant substitution                  *)
+(* ------------------------------------------------------------------ *)
 
-let solve ?(stats = global_stats) ?(max_repairs = 256) ~hint cs =
-  stats.calls <- stats.calls + 1;
-  global_stats.calls <-
-    (if stats == global_stats then global_stats.calls else global_stats.calls + 1);
-  let cs = List.concat_map flatten cs in
-  match propagate_intervals cs with
+(* Variables whose interval collapsed to a single value are implied
+   literals: every occurrence can be substituted by the value. *)
+let pinned_of_bounds bounds =
+  let pinned : Sym.env = Hashtbl.create 8 in
+  Hashtbl.iter
+    (fun id ivl -> if Interval.is_point ivl then Hashtbl.replace pinned id ivl.Interval.lo)
+    bounds;
+  pinned
+
+(* Substitute the pinned variables through [cs] and fold constants.
+   Constraints that fold to a satisfied constant are dropped; one that
+   folds to a violated constant proves the conjunction unsatisfiable
+   ([Error ()]) — the pins are forced, so this is a real contradiction,
+   not a search failure. Returns the simplified list and the index of the
+   first constraint that changed ([None] when none did): a caller reusing
+   a verified prefix must re-verify from that index, because substitution
+   can only be trusted once the pinned values are installed in the env. *)
+let simplify stats pinned cs =
+  if Hashtbl.length pinned = 0 then Ok (cs, None)
+  else begin
+    let contradiction = ref false in
+    let first_changed = ref None in
+    let out = ref [] in
+    let n = ref 0 in
+    let changed_at i =
+      stats.simplifications <- stats.simplifications + 1;
+      match !first_changed with
+      | None -> first_changed := Some i
+      | Some _ -> ()
+    in
+    List.iter
+      (fun (c : Path.constr) ->
+        let reduced = Sym.subst_partial pinned c.Path.expr in
+        if reduced == c.Path.expr then begin
+          out := c :: !out;
+          incr n
+        end
+        else begin
+          match reduced with
+          | Sym.Const k ->
+            let truth = not (Int64.equal k.value 0L) in
+            if truth = c.Path.expected_nonzero then changed_at !n
+              (* constant-true under the forced pins: dropped *)
+            else contradiction := true
+          | reduced ->
+            changed_at !n;
+            out := { c with Path.expr = reduced } :: !out;
+            incr n
+        end)
+      cs;
+    if !contradiction then Error () else Ok (List.rev !out, !first_changed)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Repair loop                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* The search core shared by {!solve} and {!Inc.solve}.
+
+   [fprefix] are flattened constraints the caller asserts [env] already
+   satisfies (the parent path's solved prefix); [frest] is the rest
+   (typically the one negated branch predicate). The first-violated scan
+   starts after the prefix and a per-variable dirty bound tracks how far
+   back a repair can invalidate it: whenever the env binding of a
+   variable changes, the scan start drops to the earliest constraint
+   mentioning that variable, so constraints before the scan start always
+   hold by construction and need no re-evaluation. *)
+let solve_flat ~stats ~max_repairs ~env fprefix frest =
+  match propagate_intervals (fprefix @ frest) with
   | Error () ->
     stats.unsat <- stats.unsat + 1;
     Unsat
-  | Ok bounds ->
-  let env : Sym.env = Hashtbl.copy hint in
-  let tried : (int * int * int64, unit) Hashtbl.t = Hashtbl.create 64 in
-  let rec repair budget =
-    if budget = 0 then begin
-      stats.gave_up <- stats.gave_up + 1;
-      Gave_up
-    end
-    else begin
-      match first_violated env cs with
-      | None ->
-        stats.sat <- stats.sat + 1;
-        Sat (Hashtbl.copy env)
-      | Some (ci, c) -> begin
-        let vs = Sym.vars c.Path.expr in
-        if vs = [] then begin
-          (* variable-free and violated: genuine contradiction *)
-          stats.unsat <- stats.unsat + 1;
-          Unsat
+  | Ok bounds -> begin
+    let pinned = pinned_of_bounds bounds in
+    match (simplify stats pinned fprefix, simplify stats pinned frest) with
+    | Error (), _ | _, Error () ->
+      stats.unsat <- stats.unsat + 1;
+      Unsat
+    | Ok (sprefix, prefix_changed), Ok (srest, _) ->
+      let prefix_len = List.length sprefix in
+      let arr = Array.of_list (sprefix @ srest) in
+      let n = Array.length arr in
+      (* earliest constraint index mentioning each variable *)
+      let earliest : (int, int) Hashtbl.t = Hashtbl.create 16 in
+      Array.iteri
+        (fun i c ->
+          List.iter
+            (fun (v : Sym.var) ->
+              if not (Hashtbl.mem earliest v.Sym.id) then
+                Hashtbl.add earliest v.Sym.id i)
+            (Sym.vars c.Path.expr))
+        arr;
+      let earliest_of id = Option.value (Hashtbl.find_opt earliest id) ~default:n in
+      let start =
+        match prefix_changed with
+        | Some i -> min i prefix_len
+        | None -> prefix_len
+      in
+      let scan_from = ref start in
+      if start > 0 then stats.prefix_reuses <- stats.prefix_reuses + 1;
+      let set_var id value =
+        match Hashtbl.find_opt env id with
+        | Some old when Int64.equal old value -> ()
+        | _ ->
+          Hashtbl.replace env id value;
+          scan_from := min !scan_from (earliest_of id)
+      in
+      (* install the implied literals: the model must include them, and
+         any prefix constraint they could affect was already counted by
+         [prefix_changed] (substitution removed every occurrence) *)
+      Hashtbl.iter set_var pinned;
+      let first_violated () =
+        stats.first_violated_skips <- stats.first_violated_skips + !scan_from;
+        let rec go i =
+          if i >= n then None
+          else if Path.constr_holds env arr.(i) then go (i + 1)
+          else Some i
+        in
+        go !scan_from
+      in
+      let tried : (int * int * int64, unit) Hashtbl.t = Hashtbl.create 64 in
+      let seen_cand : (int64, unit) Hashtbl.t = Hashtbl.create 64 in
+      let rec repair budget =
+        if budget = 0 then begin
+          stats.gave_up <- stats.gave_up + 1;
+          Gave_up
         end
         else begin
-          (* Try to fix this constraint by adjusting one variable.
-
-             Strict phase: a candidate is accepted only if every
-             constraint up to and including [ci] holds afterwards — plain
-             coordinate descent would otherwise thrash between this
-             constraint and an earlier one over the same variable.
-             Relaxed phase (only if strict fails): accept a candidate
-             that satisfies just this constraint and let later rounds
-             repair the damage. *)
-          let candidates_for v =
-            let reduced = Sym.subst_eval_except env ~keep:v.Sym.id c.Path.expr in
-            let derived =
-              if c.Path.expected_nonzero then invert_nonzero reduced
-              else invert_zero reduced
-            in
-            let hint_value =
-              match Hashtbl.find_opt env v.Sym.id with
-              | Some x -> x
-              | None -> 0L
-            in
-            let fall = fallback_candidates reduced v.Sym.width hint_value in
-            let all = List.map (Sym.wrap v.Sym.width) (derived @ fall) in
-            (* interval pruning: drop candidates outside the variable's
-               domain, seed the bounds themselves, and enumerate tiny
-               domains exhaustively *)
-            match Hashtbl.find_opt bounds v.Sym.id with
-            | None -> all
-            | Some ivl ->
-              let enumerated =
-                if Interval.size_le ivl 48 then List.of_seq (Interval.to_seq ivl) else []
-              in
-              let kept = List.filter (fun x -> Interval.mem x ivl) all in
-              (Interval.clamp ivl hint_value :: ivl.Interval.lo :: ivl.Interval.hi :: kept)
-              @ enumerated
-          in
-          let prefix_holds upto =
-            let rec go i = function
-              | [] -> true
-              | x :: rest ->
-                if i > upto then true
-                else Path.constr_holds env x && go (i + 1) rest
-            in
-            go 0 cs
-          in
-          let try_candidate ~strict v ok cand =
-            if ok then true
+          match first_violated () with
+          | None ->
+            stats.sat <- stats.sat + 1;
+            Sat env
+          | Some ci -> begin
+            (* constraints before [ci] hold under the current env *)
+            scan_from := ci;
+            let c = arr.(ci) in
+            let vs = Sym.vars c.Path.expr in
+            if vs = [] then begin
+              (* variable-free and violated: genuine contradiction *)
+              stats.unsat <- stats.unsat + 1;
+              Unsat
+            end
             else begin
-              let key = (ci + if strict then 0 else 1000000), v.Sym.id, cand in
-              if Hashtbl.mem tried key then false
-              else begin
-                Hashtbl.add tried key ();
-                stats.candidates_tried <- stats.candidates_tried + 1;
-                let saved = Hashtbl.find_opt env v.Sym.id in
-                Hashtbl.replace env v.Sym.id cand;
-                let ok_now =
-                  if strict then prefix_holds ci else Path.constr_holds env c
+              (* Try to fix this constraint by adjusting one variable.
+
+                 Strict phase: a candidate is accepted only if every
+                 constraint up to and including [ci] holds afterwards —
+                 plain coordinate descent would otherwise thrash between
+                 this constraint and an earlier one over the same
+                 variable. Relaxed phase (only if strict fails): accept a
+                 candidate that satisfies just this constraint and let
+                 later rounds repair the damage. *)
+              let interval_for v =
+                match Hashtbl.find_opt bounds v.Sym.id with
+                | Some ivl -> ivl
+                | None -> Interval.full v.Sym.width
+              in
+              let candidates_for v =
+                let reduced = Sym.subst_eval_except env ~keep:v.Sym.id c.Path.expr in
+                let derived =
+                  if c.Path.expected_nonzero then invert_nonzero reduced
+                  else invert_zero reduced
                 in
-                if ok_now then true
+                let hint_value =
+                  match Hashtbl.find_opt env v.Sym.id with
+                  | Some x -> x
+                  | None -> 0L
+                in
+                let fall = fallback_candidates reduced v.Sym.width hint_value in
+                let all = List.map (Sym.wrap v.Sym.width) (derived @ fall) in
+                (* interval pruning: drop candidates outside the variable's
+                   domain, seed the bounds themselves, and enumerate tiny
+                   domains exhaustively *)
+                let ivl = interval_for v in
+                let enumerated =
+                  if Interval.size_le ivl 48 then List.of_seq (Interval.to_seq ivl)
+                  else []
+                in
+                let kept = List.filter (fun x -> Interval.mem x ivl) all in
+                let cands =
+                  (Interval.clamp ivl hint_value :: ivl.Interval.lo :: ivl.Interval.hi
+                 :: kept)
+                  @ enumerated
+                in
+                (* dedupe before the try-loop: the fallback block alone
+                   repeats boundary values several times over *)
+                Hashtbl.reset seen_cand;
+                List.filter
+                  (fun cand ->
+                    if Hashtbl.mem seen_cand cand then begin
+                      stats.candidates_deduped <- stats.candidates_deduped + 1;
+                      false
+                    end
+                    else begin
+                      Hashtbl.add seen_cand cand ();
+                      true
+                    end)
+                  cands
+              in
+              let prefix_holds ~from upto =
+                let rec go i = i > upto || (Path.constr_holds env arr.(i) && go (i + 1)) in
+                go from
+              in
+              let try_candidate ~strict v ok cand =
+                if ok then true
                 else begin
-                  (match saved with
-                  | Some x -> Hashtbl.replace env v.Sym.id x
-                  | None -> Hashtbl.remove env v.Sym.id);
-                  false
+                  let key = (ci + if strict then 0 else 1000000), v.Sym.id, cand in
+                  if Hashtbl.mem tried key then false
+                  else begin
+                    Hashtbl.add tried key ();
+                    stats.candidates_tried <- stats.candidates_tried + 1;
+                    let saved = Hashtbl.find_opt env v.Sym.id in
+                    Hashtbl.replace env v.Sym.id cand;
+                    let ok_now =
+                      if strict then
+                        (* constraints below the dirty bound cannot be
+                           affected: they held before and do not mention
+                           [v] *)
+                        prefix_holds
+                          ~from:(min !scan_from (earliest_of v.Sym.id))
+                          ci
+                      else Path.constr_holds env c
+                    in
+                    if ok_now then begin
+                      if strict then scan_from := ci + 1
+                      else scan_from := min !scan_from (earliest_of v.Sym.id);
+                      true
+                    end
+                    else begin
+                      (match saved with
+                      | Some x -> Hashtbl.replace env v.Sym.id x
+                      | None -> Hashtbl.remove env v.Sym.id);
+                      false
+                    end
+                  end
+                end
+              in
+              let phase ~strict =
+                List.fold_left
+                  (fun fixed v ->
+                    if fixed then true
+                    else List.fold_left (try_candidate ~strict v) false (candidates_for v))
+                  false vs
+              in
+              if phase ~strict:true || phase ~strict:false then repair (budget - 1)
+              else begin
+                (* No candidate for any variable even under the relaxed
+                   rule. Only when the constraint has a single variable
+                   whose interval domain was exhaustively enumerated is
+                   this a proof of unsatisfiability; structural inversion
+                   plus fallback candidates are incomplete, so anything
+                   else is a search failure, not a refutation. *)
+                let exhausted =
+                  match vs with
+                  | [ v ] -> Interval.size_le (interval_for v) 48
+                  | [] | _ :: _ :: _ -> false
+                in
+                if exhausted then begin
+                  stats.unsat <- stats.unsat + 1;
+                  Unsat
+                end
+                else begin
+                  stats.gave_up <- stats.gave_up + 1;
+                  Gave_up
                 end
               end
             end
-          in
-          let phase ~strict =
-            List.fold_left
-              (fun fixed v ->
-                if fixed then true
-                else List.fold_left (try_candidate ~strict v) false (candidates_for v))
-              false vs
-          in
-          if phase ~strict:true || phase ~strict:false then repair (budget - 1)
-          else begin
-            (* no candidate for any variable even under the relaxed rule:
-               with a single variable this conjunction is as good as
-               refuted *)
-            if List.length vs = 1 then stats.unsat <- stats.unsat + 1
-            else stats.gave_up <- stats.gave_up + 1;
-            if List.length vs = 1 then Unsat else Gave_up
           end
         end
-      end
-    end
-  in
-  repair max_repairs
+      in
+      repair max_repairs
+  end
+
+let count_call stats =
+  stats.calls <- stats.calls + 1;
+  if stats != global_stats then global_stats.calls <- global_stats.calls + 1
+
+let solve ?(stats = global_stats) ?(max_repairs = 256) ~hint cs =
+  count_call stats;
+  let env : Sym.env = Hashtbl.copy hint in
+  solve_flat ~stats ~max_repairs ~env [] (List.concat_map flatten cs)
+
+module Inc = struct
+  let solve ?(stats = global_stats) ?(max_repairs = 256) ~parent ~prefix rest =
+    count_call stats;
+    let env : Sym.env = Hashtbl.copy parent in
+    solve_flat ~stats ~max_repairs ~env
+      (List.concat_map flatten prefix)
+      (List.concat_map flatten rest)
+end

@@ -23,8 +23,13 @@
 
 type outcome =
   | Sat of Sym.env  (** a model: every constraint evaluates as required *)
-  | Unsat  (** proven contradiction (a variable-free constraint failed) *)
-  | Gave_up  (** budget exhausted without a model *)
+  | Unsat
+      (** proven contradiction: a variable-free constraint failed, interval
+          propagation derived an empty domain, or a single-variable
+          constraint was refuted by exhaustive enumeration of its (small)
+          interval domain. Never returned merely because the candidate
+          search ran dry — that is {!Gave_up}. *)
+  | Gave_up  (** budget or candidates exhausted without a model or a proof *)
 
 type stats = {
   mutable calls : int;
@@ -32,6 +37,16 @@ type stats = {
   mutable unsat : int;
   mutable gave_up : int;
   mutable candidates_tried : int;
+  mutable candidates_deduped : int;
+      (** duplicate candidate values dropped before evaluation *)
+  mutable prefix_reuses : int;
+      (** solves that started from a non-empty already-satisfied prefix *)
+  mutable simplifications : int;
+      (** constraints rewritten or discharged by implied-literal
+          substitution *)
+  mutable first_violated_skips : int;
+      (** constraint evaluations avoided by the incremental
+          first-violated scan (summed over repair rounds) *)
 }
 
 val stats_create : unit -> stats
@@ -49,3 +64,30 @@ val solve :
 
 val holds_all : Sym.env -> Path.constr list -> bool
 (** Check a model (exposed for property tests). *)
+
+(** Incremental, prefix-reusing solving.
+
+    During exploration, consecutive solver queries share long prefixes: the
+    query for flipping branch [i] is [seeds @ prefix(i) @ [¬b(i)]], and the
+    parent run's solved environment already satisfies everything but the
+    negation. [Inc.solve] exploits this: the repair starts from the parent
+    model, the first-violated scan begins after the trusted prefix, and a
+    per-variable dirty bound re-verifies only the prefix constraints a
+    repair could actually invalidate. *)
+module Inc : sig
+  val solve :
+    ?stats:stats ->
+    ?max_repairs:int ->
+    parent:Sym.env ->
+    prefix:Path.constr list ->
+    Path.constr list ->
+    outcome
+  (** [solve ~parent ~prefix rest] searches for a model of
+      [prefix @ rest] starting from a copy of [parent], which the caller
+      asserts satisfies every constraint in [prefix]. The assertion is
+      trusted (not re-verified up front); a wrong assertion can only
+      produce a wrong [Sat] model, which the explorer already tolerates as
+      a divergence — [Unsat] answers remain sound because they never
+      depend on it. Implied-literal substitution may still force a
+      re-check of the prefix suffix it rewrites. *)
+end

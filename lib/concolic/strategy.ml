@@ -4,6 +4,11 @@ type t =
   | Random_negation of int64
   | Cover_new
 
+(* Scoring for the generational heap: flipping toward an unseen direction
+   is worth much more than re-flipping a hot site, and rarely-taken
+   directions keep a small edge so the frontier spreads before it deepens. *)
+let coverage_bonus ~hits = if hits = 0 then 8 else if hits < 4 then 2 else 0
+
 let to_string = function
   | Dfs -> "dfs"
   | Generational -> "generational"

@@ -19,5 +19,11 @@ type t =
       (** Only negate branches whose opposite direction is not yet covered
           — a greedy branch-coverage strategy. *)
 
+val coverage_bonus : hits:int -> int
+(** Priority bonus for negating toward a direction the shared coverage
+    table has seen [hits] times: 8 when never seen, 2 while still rare
+    (fewer than 4 hits), 0 once hot. Added to the parent's new-directions
+    score when the generational strategy enqueues children. *)
+
 val to_string : t -> string
 val pp : Format.formatter -> t -> unit

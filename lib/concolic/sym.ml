@@ -134,6 +134,26 @@ let rec subst_eval_except env ~keep t =
     | a', b' -> Binop (op, a', b')
   end
 
+let rec subst_partial env t =
+  match t with
+  | Const _ -> t
+  | Var v -> begin
+    match Hashtbl.find_opt env v.id with
+    | Some x -> Const { value = wrap v.width x; width = v.width }
+    | None -> t
+  end
+  | Unop (op, e) -> begin
+    match subst_partial env e with
+    | Const c -> Const { value = apply_unop op (width t) c.value; width = width t }
+    | e' -> if e' == e then t else Unop (op, e')
+  end
+  | Binop (op, a, b) -> begin
+    match (subst_partial env a, subst_partial env b) with
+    | Const ca, Const cb ->
+      Const { value = apply_binop op (width t) ca.value cb.value; width = width t }
+    | a', b' -> if a' == a && b' == b then t else Binop (op, a', b')
+  end
+
 let rec compare a b =
   match (a, b) with
   | Const x, Const y -> Stdlib.compare (x.value, x.width) (y.value, y.width)

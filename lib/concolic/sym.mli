@@ -64,6 +64,13 @@ val subst_eval_except : env -> keep:int -> t -> t
     [keep] by its value in [env], folding constants. Used by the solver to
     reduce a constraint to a single-variable term. *)
 
+val subst_partial : env -> t -> t
+(** Substitute only the variables bound in [env] by their (width-wrapped)
+    values, folding operators whose operands become constant; unbound
+    variables stay symbolic. Returns the term physically unchanged when no
+    bound variable occurs — callers detect "was simplified" with [==].
+    Used by the solver's implied-literal propagation pass. *)
+
 val equal : t -> t -> bool
 val compare : t -> t -> int
 val hash : t -> int

@@ -358,6 +358,15 @@ let pp_report ppf r =
       Format.fprintf ppf "coverage: %d directions / %d sites@,"
         (Coverage.direction_count sr.explorer.Explorer.coverage)
         (Coverage.site_count sr.explorer.Explorer.coverage);
+      let ss = sr.explorer.Explorer.solver_stats in
+      Format.fprintf ppf
+        "solver: %d calls, %d prefix reuses, %d simplifications, %d scan skips@,"
+        ss.Dice_concolic.Solver.calls ss.Dice_concolic.Solver.prefix_reuses
+        ss.Dice_concolic.Solver.simplifications
+        ss.Dice_concolic.Solver.first_violated_skips;
+      if sr.explorer.Explorer.program_exns > 0 then
+        Format.fprintf ppf "program exceptions: %d@,"
+          sr.explorer.Explorer.program_exns;
       if sr.depth_counts <> [] then
         Format.fprintf ppf "parser depths: %s@,"
           (String.concat ", "

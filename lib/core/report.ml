@@ -26,11 +26,18 @@ let explorer_json (r : Explorer.report) =
       ("negations_unsat", Json.int r.Explorer.negations_unsat);
       ("negations_gave_up", Json.int r.Explorer.negations_gave_up);
       ("divergences", Json.int r.Explorer.divergences);
+      ("program_exns", Json.int r.Explorer.program_exns);
       ("covered_directions", Json.int (Coverage.direction_count r.Explorer.coverage));
       ("covered_sites", Json.int (Coverage.site_count r.Explorer.coverage));
       ("coverage_ratio", Json.float (Explorer.coverage_ratio r));
       ("solver_calls", Json.int r.Explorer.solver_stats.Solver.calls);
       ("solver_candidates_tried", Json.int r.Explorer.solver_stats.Solver.candidates_tried);
+      ( "solver_candidates_deduped",
+        Json.int r.Explorer.solver_stats.Solver.candidates_deduped );
+      ("solver_prefix_reuses", Json.int r.Explorer.solver_stats.Solver.prefix_reuses);
+      ("solver_simplifications", Json.int r.Explorer.solver_stats.Solver.simplifications);
+      ( "solver_first_violated_skips",
+        Json.int r.Explorer.solver_stats.Solver.first_violated_skips );
       ("elapsed_s", Json.float r.Explorer.elapsed_s)
     ]
 

@@ -1,12 +1,12 @@
-type shard = { lock : Mutex.t; keys : (int64, unit) Hashtbl.t }
+type 'k shard = { lock : Mutex.t; keys : ('k, unit) Hashtbl.t }
 
-type t = shard array
+type 'k t = 'k shard array
 
 let create ?(shards = 8) () =
   if shards < 1 then invalid_arg "Dedup.create: shards must be >= 1";
   Array.init shards (fun _ -> { lock = Mutex.create (); keys = Hashtbl.create 64 })
 
-let shard_of t key = t.((Int64.to_int key land max_int) mod Array.length t)
+let shard_of t key = t.((Hashtbl.hash key land max_int) mod Array.length t)
 
 let claim t key =
   let s = shard_of t key in

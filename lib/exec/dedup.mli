@@ -1,24 +1,26 @@
 (** A sharded claim table: concurrent first-writer-wins deduplication.
 
-    The parallel explorer uses two of these — one over negation-attempt
-    keys so two workers never re-explore the same negated path, and one
-    over path-condition signatures to count distinct executed paths. Keys
-    are the 64-bit FNV-style hashes {!Dice_concolic.Path.signature} and
-    {!Dice_concolic.Explorer.attempt_key} already produce. *)
+    The parallel explorer uses two of these — one over structural
+    negation-attempt keys ({!Dice_concolic.Explorer.attempt_key}) so two
+    workers never re-explore the same negated path, and one over the
+    64-bit path-condition signatures {!Dice_concolic.Path.signature}
+    produces, to count distinct executed paths. Keys are hashed to a shard
+    with [Hashtbl.hash]; equality within a shard is structural, so
+    distinct keys are never conflated. *)
 
-type t
+type 'k t
 
-val create : ?shards:int -> unit -> t
+val create : ?shards:int -> unit -> 'k t
 (** [shards] defaults to 8.
     @raise Invalid_argument if [shards < 1]. *)
 
-val claim : t -> int64 -> bool
+val claim : 'k t -> 'k -> bool
 (** [claim t key] returns [true] iff this call is the first to present
     [key] — exactly one claimant wins under contention. *)
 
-val mem : t -> int64 -> bool
+val mem : 'k t -> 'k -> bool
 (** Advisory membership test (racy by nature: a [false] may be stale the
     moment it returns; use {!claim} for the authoritative decision). *)
 
-val size : t -> int
+val size : 'k t -> int
 (** Number of distinct keys claimed so far. *)

@@ -29,9 +29,10 @@ let run_parallel ?(config = E.default_config) ?qcache ~jobs program =
     let qcache = match qcache with Some q -> q | None -> Qcache.create () in
     let space = Engine.Space.create () in
     let coverage = Coverage.create () in
-    let attempted = Dedup.create ~shards:(max 4 jobs) () in
-    let distinct = Dedup.create ~shards:(max 4 jobs) () in
+    let attempted : (int * bool) list Dedup.t = Dedup.create ~shards:(max 4 jobs) () in
+    let distinct : int64 Dedup.t = Dedup.create ~shards:(max 4 jobs) () in
     let executions = Atomic.make 0 in
+    let program_exns = Atomic.make 0 in
     let mode =
       match config.strategy with
       | Strategy.Dfs -> `Lifo (* newest (deepest) negations first *)
@@ -59,7 +60,12 @@ let run_parallel ?(config = E.default_config) ?qcache ~jobs program =
     let execute ~overrides ~expected =
       let private_cov = Coverage.create () in
       let ctx = Engine.create ~coverage:private_cov ~space ~overrides () in
-      (try program ctx with _exn -> ());
+      (try program ctx with
+      | (Stack_overflow | Out_of_memory) as fatal ->
+        (* resource exhaustion is the explorer's problem, not a
+           program-under-test outcome; Pool.run propagates it *)
+        raise fatal
+      | _exn -> Atomic.incr program_exns);
       let new_directions = Coverage.absorb ~into:coverage private_cov in
       let path = Array.of_list (Engine.path ctx) in
       ignore (Dedup.claim distinct (Path.signature (Array.to_list path)));
@@ -104,15 +110,21 @@ let run_parallel ?(config = E.default_config) ?qcache ~jobs program =
         tally.negations_attempted <- tally.negations_attempted + 1;
         let e = job.parent_path.(job.idx) in
         let prefix = Array.to_list (Array.sub job.parent_path 0 job.idx) in
-        let constraints =
-          job.parent_seeds
-          @ List.map (fun en -> en.Path.constr) prefix
-          @ [ Path.negate e.Path.constr ]
+        let prefix_cs =
+          job.parent_seeds @ List.map (fun en -> en.Path.constr) prefix
         in
-        match
-          Qcache.solve qcache ~stats:tally.solver_stats
-            ~max_repairs:config.solver_max_repairs ~hint:job.hint constraints
-        with
+        let negated = Path.negate e.Path.constr in
+        let outcome =
+          if config.incremental then
+            Qcache.solve_inc qcache ~stats:tally.solver_stats
+              ~max_repairs:config.solver_max_repairs ~parent:job.hint
+              ~prefix:prefix_cs [ negated ]
+          else
+            Qcache.solve qcache ~stats:tally.solver_stats
+              ~max_repairs:config.solver_max_repairs ~hint:job.hint
+              (prefix_cs @ [ negated ])
+        in
+        match outcome with
         | Solver.Unsat -> tally.negations_unsat <- tally.negations_unsat + 1
         | Solver.Gave_up -> tally.negations_gave_up <- tally.negations_gave_up + 1
         | Solver.Sat model ->
@@ -159,5 +171,6 @@ let run_parallel ?(config = E.default_config) ?qcache ~jobs program =
     Pool.run ~jobs worker;
     Merge.merge ~initial_run:r0 ~coverage ~space
       ~distinct_paths:(Dedup.size distinct)
+      ~program_exns:(Atomic.get program_exns)
       ~elapsed_s:(Unix.gettimeofday () -. t0)
       tallies

@@ -24,7 +24,7 @@ let tally_create ~worker =
     solver_stats = Solver.stats_create ();
   }
 
-let merge ~initial_run ~coverage ~space ~distinct_paths ~elapsed_s tallies :
+let merge ~initial_run ~coverage ~space ~distinct_paths ~program_exns ~elapsed_s tallies :
     Explorer.report =
   let tallies =
     let t = Array.copy tallies in
@@ -46,7 +46,13 @@ let merge ~initial_run ~coverage ~space ~distinct_paths ~elapsed_s tallies :
       solver_stats.unsat <- solver_stats.unsat + s.unsat;
       solver_stats.gave_up <- solver_stats.gave_up + s.gave_up;
       solver_stats.candidates_tried <-
-        solver_stats.candidates_tried + s.candidates_tried)
+        solver_stats.candidates_tried + s.candidates_tried;
+      solver_stats.candidates_deduped <-
+        solver_stats.candidates_deduped + s.candidates_deduped;
+      solver_stats.prefix_reuses <- solver_stats.prefix_reuses + s.prefix_reuses;
+      solver_stats.simplifications <- solver_stats.simplifications + s.simplifications;
+      solver_stats.first_violated_skips <-
+        solver_stats.first_violated_skips + s.first_violated_skips)
     tallies;
   {
     runs;
@@ -57,6 +63,7 @@ let merge ~initial_run ~coverage ~space ~distinct_paths ~elapsed_s tallies :
     negations_unsat = sum (fun t -> t.negations_unsat);
     negations_gave_up = sum (fun t -> t.negations_gave_up);
     divergences = sum (fun t -> t.divergences);
+    program_exns;
     coverage;
     solver_stats;
     space;

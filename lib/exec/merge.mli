@@ -28,8 +28,10 @@ val merge :
   coverage:Dice_concolic.Coverage.t ->
   space:Dice_concolic.Engine.Space.t ->
   distinct_paths:int ->
+  program_exns:int ->
   elapsed_s:float ->
   worker_tally array ->
   Dice_concolic.Explorer.report
 (** Counters are summed across tallies; solver stats fold into a fresh
-    record (the per-worker records are not mutated). *)
+    record (the per-worker records are not mutated). [program_exns] is
+    tallied by the pool itself (a shared atomic, not per-worker). *)

@@ -67,6 +67,7 @@ type t = {
   shards : shard array;
   hit_count : int Atomic.t;
   miss_count : int Atomic.t;
+  prefix_hit_count : int Atomic.t;
 }
 
 let create ?(shards = 8) () =
@@ -77,6 +78,7 @@ let create ?(shards = 8) () =
           { lock = Mutex.create (); tbl = Hashtbl.create 64 });
     hit_count = Atomic.make 0;
     miss_count = Atomic.make 0;
+    prefix_hit_count = Atomic.make 0;
   }
 
 let shard_of t key =
@@ -120,33 +122,95 @@ let model_of_bindings cs bindings : Sym.env =
     bindings;
   env
 
+let full_lookup t key cs =
+  match lookup t key with
+  | Some (Cached_sat bindings) ->
+    let env = model_of_bindings cs bindings in
+    (* The re-check costs one evaluation pass and makes a
+       canonicalization defect a performance bug, not a soundness bug. *)
+    if Solver.holds_all env cs then Some (Solver.Sat env) else None
+  | Some Cached_unsat -> Some Solver.Unsat
+  | None -> None
+
+let store_outcome t key cs outcome =
+  match (outcome : Solver.outcome) with
+  | Sat env -> store t key (Cached_sat (bindings_of_model cs env))
+  | Unsat -> store t key Cached_unsat
+  | Gave_up -> () (* hint-dependent: a better hint may succeed later *)
+
+(* Longest cached list-prefix of [cs]. During exploration a child's query
+   extends its parent's query (seeds, then the path prefix through the
+   parent's flipped branch, then the new negation), so the parent's
+   full-key entry IS a list-prefix of the child's constraint list — no
+   separate prefix table is needed, only prefix-keyed lookups. Bounded to
+   [max_prefix_drops] tail drops: each probe canonicalizes a sublist. *)
+let max_prefix_drops = 8
+
+type prefix_hit =
+  | P_unsat  (** a cached-unsat prefix refutes the whole conjunction *)
+  | P_model of Path.constr list * Path.constr list * Sym.env
+      (** (prefix, rest, verified model of the prefix) *)
+
+let longest_cached_prefix t cs =
+  let arr = Array.of_list cs in
+  let n = Array.length arr in
+  let rec probe k =
+    if k < 1 || k <= n - 1 - max_prefix_drops then None
+    else begin
+      let pre = Array.to_list (Array.sub arr 0 k) in
+      match lookup t (key_of_constrs pre) with
+      | Some Cached_unsat -> Some P_unsat
+      | Some (Cached_sat bindings) ->
+        let env = model_of_bindings cs bindings in
+        if Solver.holds_all env pre then
+          Some (P_model (pre, Array.to_list (Array.sub arr k (n - k)), env))
+        else probe (k - 1)
+      | None -> probe (k - 1)
+    end
+  in
+  probe (n - 1)
+
 let solve t ?stats ?max_repairs ~hint cs =
   let key = key_of_constrs cs in
-  let fresh_hit =
-    match lookup t key with
-    | Some (Cached_sat bindings) ->
-      let env = model_of_bindings cs bindings in
-      (* The re-check costs one evaluation pass and makes a
-         canonicalization defect a performance bug, not a soundness bug. *)
-      if Solver.holds_all env cs then Some (Solver.Sat env) else None
-    | Some Cached_unsat -> Some Solver.Unsat
-    | None -> None
-  in
-  match fresh_hit with
+  match full_lookup t key cs with
   | Some outcome ->
     Atomic.incr t.hit_count;
     outcome
   | None ->
     Atomic.incr t.miss_count;
-    let outcome = Solver.solve ?stats ?max_repairs ~hint cs in
-    (match outcome with
-    | Sat env -> store t key (Cached_sat (bindings_of_model cs env))
-    | Unsat -> store t key Cached_unsat
-    | Gave_up -> () (* hint-dependent: a better hint may succeed later *));
+    let outcome =
+      match longest_cached_prefix t cs with
+      | Some P_unsat ->
+        Atomic.incr t.prefix_hit_count;
+        Solver.Unsat
+      | Some (P_model (pre, rest, env)) ->
+        (* prime the incremental solver: the cached model satisfies the
+           prefix, so repair starts at the first uncached constraint *)
+        Atomic.incr t.prefix_hit_count;
+        Solver.Inc.solve ?stats ?max_repairs ~parent:env ~prefix:pre rest
+      | None -> Solver.solve ?stats ?max_repairs ~hint cs
+    in
+    store_outcome t key cs outcome;
+    outcome
+
+let solve_inc t ?stats ?max_repairs ~parent ~prefix rest =
+  let cs = prefix @ rest in
+  let key = key_of_constrs cs in
+  match full_lookup t key cs with
+  | Some outcome ->
+    Atomic.incr t.hit_count;
+    outcome
+  | None ->
+    Atomic.incr t.miss_count;
+    (* the caller's parent model covers the whole prefix — at least as
+       much as any cached sub-prefix could, so no prefix probing here *)
+    let outcome = Solver.Inc.solve ?stats ?max_repairs ~parent ~prefix rest in
+    store_outcome t key cs outcome;
     outcome
 
 let hits t = Atomic.get t.hit_count
 let misses t = Atomic.get t.miss_count
+let prefix_hits t = Atomic.get t.prefix_hit_count
 
 let hit_rate t =
   let h = hits t and m = misses t in

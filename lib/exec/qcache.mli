@@ -37,12 +37,32 @@ val solve :
   Dice_concolic.Path.constr list ->
   Dice_concolic.Solver.outcome
 (** Like {!Dice_concolic.Solver.solve}, answering from the cache when the
-    canonicalized constraint set has been solved before. [stats] counts
-    only real solver invocations (misses), so it keeps meaning "solver
-    work performed". *)
+    canonicalized constraint set has been solved before. On a full-key
+    miss, the longest cached {e list-prefix} of the query is consulted: a
+    cached-unsat prefix refutes the whole conjunction outright, and a
+    cached model (verified by evaluation) primes {!Dice_concolic.Solver.Inc}
+    so repair starts after the cached prefix instead of from scratch.
+    [stats] counts only real solver invocations (misses), so it keeps
+    meaning "solver work performed". *)
+
+val solve_inc :
+  t ->
+  ?stats:Dice_concolic.Solver.stats ->
+  ?max_repairs:int ->
+  parent:Dice_concolic.Sym.env ->
+  prefix:Dice_concolic.Path.constr list ->
+  Dice_concolic.Path.constr list ->
+  Dice_concolic.Solver.outcome
+(** {!Dice_concolic.Solver.Inc.solve} through the cache: the full
+    conjunction [prefix @ rest] is looked up first; on a miss the parent
+    model (which the caller asserts satisfies [prefix]) seeds the
+    incremental solve, and the outcome is cached under the full key. *)
 
 val hits : t -> int
 val misses : t -> int
+
+val prefix_hits : t -> int
+(** Full-key misses answered or primed via a cached prefix. *)
 
 val hit_rate : t -> float
 (** [hits / (hits + misses)]; [0.] before any query. *)

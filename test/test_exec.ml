@@ -176,6 +176,54 @@ let test_qcache_hit_rate () =
   ignore (Qcache.solve q ~hint cs);
   Alcotest.(check (float 1e-9)) "2/3" (2.0 /. 3.0) (Qcache.hit_rate q)
 
+let test_qcache_prefix_priming () =
+  let q = Qcache.create () in
+  let x = Sym.var ~name:"qc.pfx" ~width:8 in
+  let xe = Sym.Var x in
+  let a = { Path.expr = Sym.Binop (Sym.Ugt, xe, Sym.const ~width:8 10L); expected_nonzero = true } in
+  let b = { Path.expr = Sym.Binop (Sym.Ult, xe, Sym.const ~width:8 100L); expected_nonzero = true } in
+  let extend = { Path.expr = Sym.Binop (Sym.Eq, xe, Sym.const ~width:8 42L); expected_nonzero = true } in
+  let hint = Hashtbl.create 0 in
+  (* seed the cache with the shorter query, then extend it: the longer
+     query misses on its full key but finds the cached [a; b] model as a
+     list-prefix and primes the incremental solver with it *)
+  (match Qcache.solve q ~hint [ a; b ] with
+  | Solver.Sat _ -> ()
+  | _ -> Alcotest.fail "prefix query should be sat");
+  Alcotest.(check int) "no prefix hit yet" 0 (Qcache.prefix_hits q);
+  (match Qcache.solve q ~hint [ a; b; extend ] with
+  | Solver.Sat env ->
+    Alcotest.(check bool) "model holds" true (Solver.holds_all env [ a; b; extend ])
+  | _ -> Alcotest.fail "extended query should be sat");
+  Alcotest.(check int) "prefix primed" 1 (Qcache.prefix_hits q);
+  (* a cached-unsat prefix refutes any extension outright *)
+  let contradiction =
+    [ { Path.expr = Sym.const ~width:8 0L; Path.expected_nonzero = true } ]
+  in
+  Alcotest.(check bool) "unsat cached" true
+    (Qcache.solve q ~hint contradiction = Solver.Unsat);
+  Alcotest.(check bool) "unsat prefix refutes extension" true
+    (Qcache.solve q ~hint (contradiction @ [ a ]) = Solver.Unsat)
+
+let test_qcache_solve_inc_caches () =
+  let q = Qcache.create () in
+  let x = Sym.var ~name:"qc.inc" ~width:8 in
+  let xe = Sym.Var x in
+  let p1 = { Path.expr = Sym.Binop (Sym.Ugt, xe, Sym.const ~width:8 10L); expected_nonzero = true } in
+  let flipped = { Path.expr = Sym.Binop (Sym.Ult, xe, Sym.const ~width:8 100L); expected_nonzero = true } in
+  let parent : Sym.env = Hashtbl.create 1 in
+  Hashtbl.replace parent x.Sym.id 50L;
+  (match Qcache.solve_inc q ~parent ~prefix:[ p1 ] [ flipped ] with
+  | Solver.Sat env ->
+    Alcotest.(check bool) "model holds" true (Solver.holds_all env [ p1; flipped ])
+  | _ -> Alcotest.fail "expected sat");
+  Alcotest.(check int) "first call misses" 1 (Qcache.misses q);
+  (* the same conjunction — whether asked incrementally or not — now hits *)
+  (match Qcache.solve q ~hint:(Hashtbl.create 0) [ p1; flipped ] with
+  | Solver.Sat _ -> ()
+  | _ -> Alcotest.fail "expected cached sat");
+  Alcotest.(check int) "full-key hit" 1 (Qcache.hits q)
+
 (* ---- Vcache ---- *)
 
 let test_vcache_hit_and_version_invalidation () =
@@ -370,6 +418,8 @@ let suite =
     ("qcache canonicalization", `Quick, test_qcache_canonicalization);
     ("qcache caches unsat", `Quick, test_qcache_unsat_cached);
     ("qcache hit rate", `Quick, test_qcache_hit_rate);
+    ("qcache prefix priming", `Quick, test_qcache_prefix_priming);
+    ("qcache solve_inc caches", `Quick, test_qcache_solve_inc_caches);
     ("vcache hit + version invalidation", `Quick, test_vcache_hit_and_version_invalidation);
     ("vcache first writer wins per version", `Quick,
       test_vcache_first_writer_wins_same_version);

@@ -126,6 +126,135 @@ let test_seed_constraints_respected () =
   ignore (explore program);
   Alcotest.(check int) "never violated" 0 !violations
 
+let test_program_exns_counted () =
+  let program ctx =
+    let x = Engine.input ctx ~name:"pxc" ~width:8 ~default:0L in
+    if Engine.branchf ctx "pxc:b" (Cval.ugt x (Cval.of_int ~width:8 10)) then
+      failwith "boom"
+  in
+  let report = explore program in
+  Alcotest.(check bool) "exceptions tallied" true (report.Explorer.program_exns > 0);
+  Alcotest.(check bool) "still explored" true (report.Explorer.executions >= 2)
+
+let test_fatal_exception_reraised () =
+  (* Stack_overflow must escape the per-run catch: masking it turns a
+     dying explorer into a silent coverage plateau *)
+  let program ctx =
+    let x = Engine.input ctx ~name:"fat" ~width:8 ~default:0L in
+    if Engine.branchf ctx "fat:b" (Cval.ugt x (Cval.of_int ~width:8 10)) then ();
+    raise Stack_overflow
+  in
+  Alcotest.check_raises "re-raised" Stack_overflow (fun () -> ignore (explore program))
+
+let test_generational_deterministic () =
+  let run () =
+    let report =
+      explore ~strategy:Strategy.Generational (fun ctx ->
+          let x = Engine.input ctx ~name:"gdet" ~width:16 ~default:0L in
+          ignore (Engine.branchf ctx "gdet:a" (Cval.ugt x (Cval.of_int ~width:16 5)));
+          ignore (Engine.branchf ctx "gdet:b" (Cval.ult x (Cval.of_int ~width:16 100)));
+          ignore (Engine.branchf ctx "gdet:c" (Cval.eq x (Cval.of_int ~width:16 64))))
+    in
+    List.map (fun (r : Explorer.run) -> r.assignment) report.Explorer.runs
+  in
+  Alcotest.(check bool) "same runs under heap scheduling" true (run () = run ())
+
+let test_attempt_key_structural () =
+  (* Regression for hash-keyed attempt identity. The previous attempt_key
+     folded (site id, direction) values through a 64-bit FNV-style hash;
+     two distinct prefixes whose folds collided were conflated, and the
+     second negation was silently dropped as "already attempted".
+     Reproduce the old fold and exhibit such a collision (constructed
+     algebraically: with combine(a,v) = ((a*p) xor v) * p, any two first
+     values v1a <> v1b collide once v2b = (c1a*p) xor (c1b*p) xor v2a),
+     then check the structural key keeps the pair distinct. *)
+  let prime = 0x100000001B3L in
+  let old_combine a v = Int64.mul (Int64.logxor (Int64.mul a prime) v) prime in
+  let old_key vs = List.fold_left old_combine 0xCBF29CE484222325L vs in
+  let v1a = 2L and v1b = 4L and v2a = 6L in
+  let c1a = old_combine 0xCBF29CE484222325L v1a in
+  let c1b = old_combine 0xCBF29CE484222325L v1b in
+  let v2b =
+    Int64.logxor (Int64.logxor (Int64.mul c1a prime) (Int64.mul c1b prime)) v2a
+  in
+  let sa = [ v1a; v2a ] and sb = [ v1b; v2b ] in
+  Alcotest.(check bool) "streams differ" true (sa <> sb);
+  Alcotest.(check int64) "old scheme conflates them" (old_key sa) (old_key sb);
+  (* the structural key is the (site id, direction) list itself, so
+     distinct value streams can never conflate *)
+  Alcotest.(check bool) "structural keys stay distinct" true (sa <> sb);
+  (* and on real paths the key is exactly the requested branch-direction
+     sequence: distinct requests get distinct keys, while flipping entry 0
+     of [t; t] and of [t; f] — which genuinely request the same new path
+     [f] — share one *)
+  let site name = Path.Site.intern name in
+  let entry name dir =
+    { Path.site = site name;
+      constr =
+        { Path.expr = Sym.const ~width:1 (if dir then 1L else 0L);
+          expected_nonzero = dir;
+        };
+    }
+  in
+  let path_tt = [| entry "ak:1" true; entry "ak:2" true |] in
+  let path_tf = [| entry "ak:1" true; entry "ak:2" false |] in
+  let keys =
+    [ Explorer.attempt_key path_tt 0;
+      Explorer.attempt_key path_tt 1;
+      Explorer.attempt_key path_tf 0;
+      Explorer.attempt_key path_tf 1
+    ]
+  in
+  Alcotest.(check int) "three distinct requested paths" 3
+    (List.length (List.sort_uniq compare keys));
+  Alcotest.(check bool) "same requested path shares a key" true
+    (Explorer.attempt_key path_tt 0 = Explorer.attempt_key path_tf 0);
+  (* flipping entry 0 of [t; t] requests the same path as flipping gives
+     [f], and the key reflects exactly the requested branch-direction
+     sequence *)
+  Alcotest.(check bool) "key is the requested direction sequence" true
+    (Explorer.attempt_key path_tt 1
+    = [ (Path.Site.id (site "ak:1"), true); (Path.Site.id (site "ak:2"), false) ])
+
+let test_pqueue_order () =
+  let q : (int * int) Pqueue.t = Pqueue.create () in
+  List.iter
+    (fun (p, o) -> Pqueue.push q ~priority:p ~order:o (p, o))
+    [ (1, 0); (3, 1); (3, 2); (2, 3); (0, 4) ];
+  Alcotest.(check int) "length" 5 (Pqueue.length q);
+  let rec drain acc =
+    match Pqueue.pop q with None -> List.rev acc | Some v -> drain (v :: acc)
+  in
+  Alcotest.(check (list (pair int int)))
+    "priority desc, order asc on ties"
+    [ (3, 1); (3, 2); (2, 3); (1, 0); (0, 4) ]
+    (drain []);
+  Alcotest.(check bool) "empty after drain" true (Pqueue.is_empty q)
+
+let test_incremental_matches_scratch () =
+  let program ctx =
+    let x = Engine.input ctx ~name:"ipr" ~width:32 ~default:0L in
+    if Engine.branchf ctx "ipr:1" (Cval.ugt x (Cval.of_int ~width:32 100)) then
+      if Engine.branchf ctx "ipr:2" (Cval.ult x (Cval.of_int ~width:32 200)) then
+        ignore (Engine.branchf ctx "ipr:3" (Cval.eq x (Cval.of_int ~width:32 150)))
+  in
+  let run incremental =
+    Explorer.explore
+      ~config:{ Explorer.default_config with Explorer.max_runs = 64; incremental }
+      program
+  in
+  let inc = run true and scratch = run false in
+  Alcotest.(check bool) "same coverage" true
+    (Explorer.coverage_ratio inc = Explorer.coverage_ratio scratch);
+  Alcotest.(check int) "same distinct paths" scratch.Explorer.distinct_paths
+    inc.Explorer.distinct_paths;
+  Alcotest.(check bool) "prefix reuses recorded" true
+    (inc.Explorer.solver_stats.Solver.prefix_reuses > 0);
+  Alcotest.(check bool) "scan skips recorded" true
+    (inc.Explorer.solver_stats.Solver.first_violated_skips > 0);
+  Alcotest.(check int) "scratch never reuses a prefix" 0
+    scratch.Explorer.solver_stats.Solver.prefix_reuses
+
 let test_solver_stats_populated () =
   let report = explore (fun ctx ->
       let x = Engine.input ctx ~name:"ss" ~width:8 ~default:0L in
@@ -145,5 +274,11 @@ let suite =
     ("deterministic", `Quick, test_deterministic);
     ("run metadata", `Quick, test_runs_metadata);
     ("seed constraints respected", `Quick, test_seed_constraints_respected);
+    ("program exceptions counted", `Quick, test_program_exns_counted);
+    ("fatal exceptions re-raised", `Quick, test_fatal_exception_reraised);
+    ("generational deterministic", `Quick, test_generational_deterministic);
+    ("attempt key is structural", `Quick, test_attempt_key_structural);
+    ("pqueue pop order", `Quick, test_pqueue_order);
+    ("incremental matches from-scratch", `Quick, test_incremental_matches_scratch);
     ("solver stats populated", `Quick, test_solver_stats_populated)
   ]

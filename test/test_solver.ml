@@ -291,6 +291,209 @@ let test_linear_doubled_var () =
   Alcotest.(check bool) "2x = 24" true
     (Int64.equal (Sym.wrap 32 (Int64.mul 2L xv)) 24L)
 
+(* ---- Unsat soundness: incomplete search must not claim refutation ---- *)
+
+let test_opaque_single_var_not_unsat () =
+  (* x * x == 1521 (= 39^2) over 32 bits is satisfiable, but squaring is
+     opaque to structural inversion and the domain is far too large to
+     enumerate. Giving up is acceptable; claiming UNSAT is the bug this
+     guards against (a cached UNSAT would then poison every later query). *)
+  let x = v32 "sqx" in
+  let stats = Solver.stats_create () in
+  let cs =
+    [ nonzero
+        (Sym.Binop (Sym.Eq, Sym.Binop (Sym.Mul, Sym.of_var x, Sym.of_var x), c 32 1521L))
+    ]
+  in
+  (match Solver.solve ~stats ~hint:(mk_env []) cs with
+  | Solver.Unsat -> Alcotest.fail "UNSAT claimed for a satisfiable opaque constraint"
+  | Solver.Sat env -> Alcotest.(check bool) "model holds" true (Solver.holds_all env cs)
+  | Solver.Gave_up -> ());
+  Alcotest.(check bool) "fallback duplicates were deduped" true
+    (stats.Solver.candidates_deduped > 0)
+
+let test_tiny_domain_exhaustion_still_unsat () =
+  (* x <= 3 and x * x == 5: all four domain values are enumerated and
+     refuted, so this must remain a proven UNSAT, not a give-up *)
+  let x = v8 "sqy" in
+  match
+    solve
+      [ nonzero (Sym.Binop (Sym.Ule, Sym.of_var x, c 8 3L));
+        nonzero
+          (Sym.Binop (Sym.Eq, Sym.Binop (Sym.Mul, Sym.of_var x, Sym.of_var x), c 8 5L))
+      ]
+  with
+  | Solver.Unsat -> ()
+  | Solver.Sat _ -> Alcotest.fail "expected UNSAT"
+  | Solver.Gave_up -> Alcotest.fail "exhaustive enumeration should prove UNSAT"
+
+(* ---- implied-literal simplification ---- *)
+
+let test_simplification_counted () =
+  let x = v8 "simx" in
+  let stats = Solver.stats_create () in
+  let cs =
+    [ nonzero (Sym.Binop (Sym.Uge, Sym.of_var x, c 8 7L));
+      nonzero (Sym.Binop (Sym.Ule, Sym.of_var x, c 8 7L));
+      nonzero (Sym.Binop (Sym.Eq, Sym.Binop (Sym.And, Sym.of_var x, c 8 0xFFL), c 8 7L))
+    ]
+  in
+  (match Solver.solve ~stats ~hint:(mk_env []) cs with
+  | Solver.Sat env -> Alcotest.(check int64) "pinned" 7L (Hashtbl.find env x.Sym.id)
+  | _ -> Alcotest.fail "expected SAT");
+  Alcotest.(check bool) "substitution discharged constraints" true
+    (stats.Solver.simplifications > 0)
+
+let test_implied_literal_linear_eq () =
+  (* 3*x + 5 == 20 (mod 2^8) pins x by modular inversion before search;
+     the opaque second constraint is then satisfied by substitution *)
+  let x = v8 "limx" in
+  let lin =
+    nonzero
+      (Sym.Binop
+         (Sym.Eq, Sym.Binop (Sym.Add, Sym.Binop (Sym.Mul, c 8 3L, Sym.of_var x), c 8 5L),
+          c 8 20L))
+  in
+  let opaque =
+    nonzero
+      (Sym.Binop
+         (Sym.Eq, Sym.Binop (Sym.Urem, Sym.Binop (Sym.Mul, Sym.of_var x, Sym.of_var x), c 8 7L),
+          c 8 4L))
+  in
+  (* x = 5: 3*5+5 = 20; 25 mod 7 = 4 *)
+  let env = expect_sat [ lin; opaque ] in
+  Alcotest.(check int64) "x = 5" 5L (Hashtbl.find env x.Sym.id)
+
+(* ---- incremental solving ---- *)
+
+let test_inc_solve_reuses_prefix () =
+  let x = v32 "incx" in
+  let p1 = nonzero (Sym.Binop (Sym.Ugt, Sym.of_var x, c 32 100L)) in
+  let p2 = nonzero (Sym.Binop (Sym.Ult, Sym.of_var x, c 32 1000L)) in
+  let flipped = zero (Sym.Binop (Sym.Eq, Sym.of_var x, c 32 500L)) in
+  let parent = mk_env [ (x, 500L) ] in
+  let stats = Solver.stats_create () in
+  (match Solver.Inc.solve ~stats ~parent ~prefix:[ p1; p2 ] [ flipped ] with
+  | Solver.Sat env ->
+    Alcotest.(check bool) "model holds" true
+      (Solver.holds_all env [ p1; p2; flipped ]);
+    Alcotest.(check int64) "parent untouched" 500L (Hashtbl.find parent x.Sym.id)
+  | _ -> Alcotest.fail "expected SAT");
+  Alcotest.(check bool) "prefix reused" true (stats.Solver.prefix_reuses > 0);
+  Alcotest.(check bool) "scan skipped prefix constraints" true
+    (stats.Solver.first_violated_skips > 0)
+
+let test_inc_solve_unsat () =
+  let x = v8 "incy" in
+  let p1 = nonzero (Sym.Binop (Sym.Ule, Sym.of_var x, c 8 10L)) in
+  let parent = mk_env [ (x, 5L) ] in
+  match
+    Solver.Inc.solve ~parent ~prefix:[ p1 ]
+      [ nonzero (Sym.Binop (Sym.Uge, Sym.of_var x, c 8 20L)) ]
+  with
+  | Solver.Unsat -> ()
+  | Solver.Sat _ -> Alcotest.fail "expected UNSAT"
+  | Solver.Gave_up -> Alcotest.fail "intervals should prove UNSAT incrementally"
+
+(* ---- properties ---- *)
+
+let prop_satisfiable_never_unsat =
+  (* single-variable sets constructed around a known solution [m] must
+     never be refuted: UNSAT here is always a soundness bug. *)
+  QCheck.Test.make ~name:"constructed-satisfiable sets never UNSAT" ~count:1000
+    QCheck.(triple (int_bound 0xFFFF) (int_bound 0xFFFF) (list_of_size Gen.(1 -- 4) (int_bound 7)))
+    (fun (m, k, shapes) ->
+      let m64 = Int64.of_int m and k64 = Int64.of_int k in
+      let x = Sym.var ~name:(Printf.sprintf "pn%d_%d" m k) ~width:16 in
+      let xe = Sym.of_var x in
+      let shape_constr s =
+        match s with
+        | 0 -> nonzero (Sym.Binop (Sym.Eq, xe, c 16 m64))
+        | 1 ->
+          if Int64.equal k64 m64 then nonzero (Sym.Binop (Sym.Eq, xe, c 16 m64))
+          else zero (Sym.Binop (Sym.Eq, xe, c 16 k64))
+        | 2 ->
+          nonzero
+            (Sym.Binop
+               (Sym.Eq, Sym.Binop (Sym.Xor, xe, c 16 k64),
+                c 16 (Int64.logxor m64 k64)))
+        | 3 ->
+          nonzero
+            (Sym.Binop
+               (Sym.Eq, Sym.Binop (Sym.Add, xe, c 16 k64),
+                c 16 (Sym.wrap 16 (Int64.add m64 k64))))
+        | 4 ->
+          nonzero
+            (Sym.Binop
+               (Sym.Eq, Sym.Binop (Sym.And, xe, c 16 k64),
+                c 16 (Int64.logand m64 k64)))
+        | 5 -> nonzero (Sym.Binop (Sym.Ule, xe, c 16 (Int64.max m64 k64)))
+        | 6 -> nonzero (Sym.Binop (Sym.Uge, xe, c 16 (Int64.min m64 k64)))
+        | _ ->
+          if Int64.unsigned_compare m64 k64 < 0 then
+            nonzero (Sym.Binop (Sym.Ult, xe, c 16 k64))
+          else nonzero (Sym.Binop (Sym.Uge, xe, c 16 k64))
+      in
+      let cs = List.map shape_constr shapes in
+      match solve cs with
+      | Solver.Unsat -> false (* m itself satisfies every constraint *)
+      | Solver.Sat env -> Solver.holds_all env cs
+      | Solver.Gave_up -> true)
+
+let prop_inc_agrees_with_scratch =
+  (* incremental and from-scratch solving may differ in models and in
+     giving up, but must never disagree SAT-vs-UNSAT; SAT models must
+     verify. The prefix is generated the way the explorer records paths:
+     each constraint's direction is whatever the parent value [v] actually
+     takes, so [v] satisfies the prefix by construction. *)
+  QCheck.Test.make ~name:"incremental agrees with from-scratch" ~count:1000
+    QCheck.(
+      triple (int_bound 0xFFFF)
+        (list_of_size Gen.(0 -- 5) (pair (int_bound 0xFFFF) (int_bound 2)))
+        (pair (int_bound 0xFFFF) (int_bound 3)))
+    (fun (v, prefix_spec, (k, neg_shape)) ->
+      let v64 = Int64.of_int v in
+      let x = Sym.var ~name:(Printf.sprintf "pi%d_%d" v k) ~width:16 in
+      let xe = Sym.of_var x in
+      let record expr =
+        (* direction = the branch the concrete parent value takes *)
+        if Sym.eval (mk_env [ (x, v64) ]) expr <> 0L then nonzero expr else zero expr
+      in
+      let prefix =
+        List.map
+          (fun (kp, shape) ->
+            let kp64 = Int64.of_int kp in
+            record
+              (match shape with
+              | 0 -> Sym.Binop (Sym.Ule, xe, c 16 kp64)
+              | 1 -> Sym.Binop (Sym.Eq, Sym.Binop (Sym.Xor, xe, c 16 kp64), c 16 0x1234L)
+              | _ -> Sym.Binop (Sym.Ugt, Sym.Binop (Sym.Add, xe, c 16 kp64), c 16 100L)))
+          prefix_spec
+      in
+      let k64 = Int64.of_int k in
+      let last =
+        match neg_shape with
+        | 0 -> Sym.Binop (Sym.Eq, xe, c 16 k64)
+        | 1 -> Sym.Binop (Sym.Ult, xe, c 16 k64)
+        | 2 -> Sym.Binop (Sym.Eq, Sym.Binop (Sym.And, xe, c 16 0xF0FL), c 16 k64)
+        | _ -> Sym.Binop (Sym.Uge, Sym.Binop (Sym.Xor, xe, c 16 0xFFL), c 16 k64)
+      in
+      let negated = Path.negate (record last) in
+      let parent = mk_env [ (x, v64) ] in
+      let all = prefix @ [ negated ] in
+      let inc = Solver.Inc.solve ~parent ~prefix [ negated ] in
+      let scratch = Solver.solve ~hint:(mk_env []) all in
+      let ok_model = function
+        | Solver.Sat env -> Solver.holds_all env all
+        | Solver.Unsat | Solver.Gave_up -> true
+      in
+      let agree =
+        match (inc, scratch) with
+        | Solver.Sat _, Solver.Unsat | Solver.Unsat, Solver.Sat _ -> false
+        | _ -> true
+      in
+      agree && ok_model inc && ok_model scratch)
+
 let prop_solver_sound =
   (* whatever the solver returns as Sat must actually satisfy the input *)
   QCheck.Test.make ~name:"solver models are sound" ~count:300
@@ -337,5 +540,13 @@ let suite =
     ("interval tiny-domain enumeration", `Quick, test_interval_tiny_domain_enumerated);
     ("interval point domain", `Quick, test_interval_point_domain);
     ("linear doubled variable", `Quick, test_linear_doubled_var);
-    QCheck_alcotest.to_alcotest prop_solver_sound
+    ("opaque single-var is not UNSAT", `Quick, test_opaque_single_var_not_unsat);
+    ("tiny-domain exhaustion stays UNSAT", `Quick, test_tiny_domain_exhaustion_still_unsat);
+    ("simplification discharges pinned constraints", `Quick, test_simplification_counted);
+    ("implied literal via linear equality", `Quick, test_implied_literal_linear_eq);
+    ("incremental solve reuses prefix", `Quick, test_inc_solve_reuses_prefix);
+    ("incremental solve proves UNSAT", `Quick, test_inc_solve_unsat);
+    QCheck_alcotest.to_alcotest prop_solver_sound;
+    QCheck_alcotest.to_alcotest prop_satisfiable_never_unsat;
+    QCheck_alcotest.to_alcotest prop_inc_agrees_with_scratch
   ]
