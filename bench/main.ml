@@ -29,6 +29,11 @@
          second and time to full branch coverage on the F1 filter,
          from-scratch vs incremental
          (machine-readable copy in BENCH_p7.json)
+     P8  config translation: per-dialect render/parse/realize cost for
+         one operator intent, and divergence-hunt throughput over an
+         intent-configured panel where the unstated policy default
+         seeds a filter-interpreter divergence
+         (machine-readable copy in BENCH_p8.json)
    plus a Bechamel micro-benchmark suite for the hot paths.
 
    By default everything runs at a laptop-friendly scale; set
@@ -903,16 +908,17 @@ let experiment_p5 () =
       ~peer_as:64701 ~next_hop:collector
   in
   let mk_agent impl i =
+    let intent =
+      Intent.make ~router_id:(Ipv4.of_string "10.0.2.2") ~local_as:(64700 + i)
+        ~sessions:
+          [ Intent.session "provider" ~export:Intent.Block
+              ~neighbor:explorer_side ~remote_as:Threerouter.provider_as;
+            Intent.session "collector" ~export:Intent.Block ~neighbor:collector
+              ~remote_as:64701 ]
+        ()
+    in
     let sp =
-      match
-        Speakers.create impl
-          (Config_parser.parse
-             (Printf.sprintf
-                "router id 10.0.2.2; local as %d;\n\
-                 protocol bgp provider { neighbor 10.0.2.1 as %d; import all; export none; }\n\
-                 protocol bgp collector { neighbor 10.0.3.2 as 64701; import all; export none; }"
-                (64700 + i) Threerouter.provider_as))
-      with
+      match Speakers.create impl (Speaker.Intent intent) with
       | Some sp -> sp
       | None -> invalid_arg ("unknown speaker: " ^ impl)
     in
@@ -1019,7 +1025,7 @@ let experiment_p6 () =
   (* identical state behind every member: same config text, same table —
      only the decision process differs *)
   let mk_member ?(table = private_table) impl =
-    let sp = Speakers.create_exn impl (Config_parser.parse config_src) in
+    let sp = Speakers.create_exn impl (Speaker.Config (Config_parser.parse config_src)) in
     Speaker.establish sp ~peer:explorer_side;
     Speaker.establish sp ~peer:collector;
     List.iter (fun m -> ignore (Speaker.feed sp ~peer:collector m)) table;
@@ -1258,6 +1264,152 @@ let experiment_p7 () =
   row "wrote BENCH_p7.json\n"
 
 (* ------------------------------------------------------------------ *)
+(* P8: config translation — dialect cost, intent-panel divergence hunt *)
+(* ------------------------------------------------------------------ *)
+
+let experiment_p8 () =
+  section "P8"
+    "config translation: per-dialect render/parse/realize cost; divergence hunt \
+     over an intent-configured panel";
+  let explorer_side = Ipv4.of_string "10.0.2.1" in
+  let collector = Ipv4.of_string "10.0.3.2" in
+  let pat base low high = { Filter.base = p base; low; high } in
+  (* one operator intent, sized like a real edge policy: two prefix
+     sets, a three-rule import policy whose default is deliberately
+     unstated — the seeded filter-interpreter quirk *)
+  let intent =
+    Intent.make ~router_id:(Ipv4.of_string "10.0.2.2") ~local_as:64700
+      ~prefix_sets:
+        [ ("incumbents", [ pat "198.0.0.0/16" 16 16; pat "203.0.113.0/24" 24 24 ]);
+          ("martians", [ pat "10.0.0.0/8" 8 32; pat "192.168.0.0/16" 16 32 ]) ]
+      ~policies:
+        [ Intent.policy "collector_in"
+            [ Intent.deny ~matches:[ Intent.Prefixes "martians" ] ();
+              Intent.permit
+                ~matches:[ Intent.Prefixes "incumbents" ]
+                ~actions:[ Intent.Set_local_pref 110 ] ();
+              Intent.permit
+                ~matches:[ Intent.Transits 64512 ]
+                ~actions:[ Intent.Add_community (Community.make 64700 100) ] () ] ]
+      ~sessions:
+        [ Intent.session "provider" ~export:Intent.Block ~neighbor:explorer_side
+            ~remote_as:Threerouter.provider_as;
+          Intent.session "collector" ~import:(Intent.Apply "collector_in")
+            ~neighbor:collector ~remote_as:64801 ]
+      ()
+  in
+  let iters = 500 in
+  row "%d translation iterations per dialect\n" iters;
+  row "%-8s %-12s %-12s %-12s %s\n" "dialect" "rendered-b" "renders/s" "parses/s"
+    "realizes/s";
+  let json_dialects = ref [] in
+  List.iter
+    (fun name ->
+      let (module D : Dialect.S) = Speakers.dialect_exn name in
+      let text = D.render intent in
+      let rate f =
+        let t0 = Unix.gettimeofday () in
+        for _ = 1 to iters do
+          ignore (Sys.opaque_identity (f ()))
+        done;
+        float_of_int iters /. (Unix.gettimeofday () -. t0)
+      in
+      let renders = rate (fun () -> D.render intent) in
+      let parses = rate (fun () -> D.parse text) in
+      let realizes = rate (fun () -> Dialect.realize (module D) intent) in
+      row "%-8s %-12d %-12.0f %-12.0f %.0f\n" name (String.length text) renders
+        parses realizes;
+      json_dialects :=
+        Dice_util.Json.obj
+          [ ("dialect", Dice_util.Json.string name);
+            ("rendered_bytes", Dice_util.Json.int (String.length text));
+            ("renders_per_s", Dice_util.Json.float renders);
+            ("parses_per_s", Dice_util.Json.float parses);
+            ("realizes_per_s", Dice_util.Json.float realizes) ]
+        :: !json_dialects)
+    Speakers.names;
+  (* the same intent behind a full panel: XORP's default-accept admits
+     collector routes the policy never matched, so its tables differ
+     from BIRD's and Quagga's before the first probe arrives *)
+  let incumbent prefix path =
+    ( collector,
+      Msg.Update
+        { Msg.withdrawn = [];
+          attrs =
+            Route.to_attrs
+              (Route.make ~origin:Attr.Igp ~as_path:[ Asn.Path.Seq path ]
+                 ~next_hop:collector ());
+          nlri = [ p prefix ];
+        } )
+  in
+  let setup =
+    [ incumbent "198.0.0.0/16" [ 64801; 64900 ];   (* matched: all members *)
+      incumbent "198.0.0.0/8" [ 64801; 64901 ];    (* unmatched: xorp only *)
+      incumbent "198.51.100.0/22" [ 64801; 64902 ] (* unmatched: xorp only *) ]
+  in
+  let members =
+    List.map
+      (fun name ->
+        let sp = Speakers.create_exn name (Speaker.Intent intent) in
+        Speaker.establish sp ~peer:explorer_side;
+        Speaker.establish sp ~peer:collector;
+        List.iter (fun (peer, msg) -> ignore (Speaker.feed sp ~peer msg)) setup;
+        Distributed.agent ~name ~addr:Threerouter.internet_addr
+          ~explorer_addr:explorer_side (Distributed.Local sp))
+      Speakers.names
+  in
+  let n_probes = 64 in
+  let exchanges =
+    (* half the probes land under the /22 the quirk admitted into XORP
+       alone; the rest are uncontested *)
+    List.init n_probes (fun i ->
+        ( explorer_side,
+          Msg.Update
+            { Msg.withdrawn = [];
+              attrs =
+                Route.to_attrs
+                  (Route.make ~origin:Attr.Igp
+                     ~as_path:
+                       [ Asn.Path.Seq
+                           [ Threerouter.provider_as; Threerouter.customer_as ] ]
+                     ~next_hop:explorer_side ());
+              nlri = [ p (Printf.sprintf "198.51.%d.0/24" (96 + (i mod 8))) ];
+            } ))
+  in
+  let t0 = Unix.gettimeofday () in
+  let ds = Panel.probe ~jobs:4 ~agents:members exchanges in
+  let wall = Unix.gettimeofday () -. t0 in
+  let verdicts = List.length Speakers.names * n_probes in
+  row
+    "intent panel (%s): %d probes, %.2f ms wall, %.0f verdicts/s, %d divergence(s)\n"
+    (String.concat "+" Speakers.names)
+    n_probes (1000.0 *. wall)
+    (float_of_int verdicts /. wall)
+    (List.length ds);
+  let json =
+    Dice_util.Json.obj
+      [ ("experiment", Dice_util.Json.string "p8");
+        ( "translation",
+          Dice_util.Json.obj
+            [ ("iters", Dice_util.Json.int iters);
+              ("dialects", Dice_util.Json.List (List.rev !json_dialects)) ] );
+        ( "panel",
+          Dice_util.Json.obj
+            [ ( "members",
+                Dice_util.Json.List (List.map Dice_util.Json.string Speakers.names) );
+              ("probes", Dice_util.Json.int n_probes);
+              ("wall_s", Dice_util.Json.float wall);
+              ( "verdicts_per_s",
+                Dice_util.Json.float (float_of_int verdicts /. wall) );
+              ("divergences", Dice_util.Json.int (List.length ds)) ] ) ]
+  in
+  let oc = open_out "BENCH_p8.json" in
+  output_string oc (Dice_util.Json.to_string ~indent:true json);
+  output_string oc "\n";
+  close_out oc;
+  row "wrote BENCH_p8.json\n"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -1457,7 +1609,10 @@ let experiment_x2 () =
   row "%-42s %-14s %-7s %-11s %s\n" "proposed change" "verdict" "fixed" "introduced" "regressions";
   List.iter
     (fun (name, proposed) ->
-      let c = Validate.config_change ~cfg:vcfg ~live:(Speakers.bird router) ~proposed ~seeds () in
+      let c =
+        Validate.config_change ~cfg:vcfg ~live:(Speakers.bird router)
+          ~proposed:(Speaker.Config proposed) ~seeds ()
+      in
       let verdict =
         match Validate.verdict c with
         | `Safe -> "SAFE"
@@ -1500,6 +1655,7 @@ let () =
   experiment_p5 ();
   experiment_p6 ();
   experiment_p7 ();
+  experiment_p8 ();
   experiment_x1 ();
   experiment_x2 ();
   micro_benchmarks ();

@@ -113,6 +113,20 @@ let panel_arg =
            them; verdict disagreements are majority-voted to name the outlier \
            implementation(s). Needs at least two members.")
 
+let intent_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "intent" ] ~docv:"FILE"
+        ~doc:
+          "Configure the $(b,--panel) members from a dialect-neutral operator \
+           intent file instead of shared config text: each member renders \
+           $(docv) through its own dialect translator (BIRD filters, Quagga \
+           route-maps + prefix-lists, XORP policy terms) and runs what its \
+           own interpreter parses back, documented quirks included — the \
+           panel then differentially tests the filter interpreters \
+           themselves, not just the decision processes.")
+
 let minimize_arg =
   Arg.(
     value & flag
@@ -145,22 +159,25 @@ let fault_seed_arg =
    partially-correct filter leaks. *)
 let mk_remote_agents ~speaker n =
   List.init n (fun i ->
-      let cfg =
-        Config_parser.parse
-          (Printf.sprintf
-             {|
-             router id 10.0.2.2;
-             local as %d;
-             protocol bgp provider { neighbor 10.0.2.1 as %d; import all; export none; }
-             protocol bgp collector { neighbor 10.0.3.2 as %d; import all; export all; }
-             |}
-             (Threerouter.internet_as + i) Threerouter.provider_as (64801 + i))
+      let collector = Ipv4.of_string "10.0.3.2" in
+      (* dialect-neutral intent instead of any one implementation's config
+         text: create_exn realizes it through the chosen implementation's
+         own translator *)
+      let intent =
+        Intent.make
+          ~router_id:(Ipv4.of_string "10.0.2.2")
+          ~local_as:(Threerouter.internet_as + i)
+          ~sessions:
+            [ Intent.session "provider" ~export:Intent.Block
+                ~neighbor:Threerouter.provider_addr_internet_side
+                ~remote_as:Threerouter.provider_as;
+              Intent.session "collector" ~neighbor:collector ~remote_as:(64801 + i) ]
+          ()
       in
       (* any registered implementation serves: establishment and feeding go
          through the SPEAKER interface, which hides whether sessions come up
          by FSM handshake (bird) or administratively (quagga/xorp) *)
-      let sp = Speakers.create_exn speaker cfg in
-      let collector = Ipv4.of_string "10.0.3.2" in
+      let sp = Speakers.create_exn speaker (Speaker.Intent intent) in
       Speaker.establish sp ~peer:Threerouter.provider_addr_internet_side;
       Speaker.establish sp ~peer:collector;
       List.iter
@@ -208,21 +225,36 @@ let remotify net serving_agents =
    collector session with a *lower* next hop, so implementations that
    consult IGP cost before peer identity (xorp) keep the incumbent
    while peer-identity tie-breakers (bird, quagga) switch to the
-   explored route. The returned config text and setup schedule are what
-   a replay artifact needs to rebuild the panel from scratch. *)
-let mk_panel_agents ~panel =
+   explored route. The returned config source and setup schedule are
+   what a replay artifact needs to rebuild the panel from scratch.
+
+   With [?intent], the members are configured from a dialect-neutral
+   intent file instead of shared config text: each member renders the
+   intent through its own dialect translator and runs what its own
+   interpreter parses back, quirks included — the panel then
+   differentially tests the filter interpreters themselves. *)
+let read_text file = In_channel.with_open_bin file In_channel.input_all
+
+let mk_panel_agents ?intent ~panel () =
   let collector = Ipv4.of_string "10.0.3.2" in
-  let config_src =
-    Printf.sprintf
-      {|
-      router id 10.0.2.2;
-      local as %d;
-      protocol bgp provider { neighbor 10.0.2.1 as %d; import all; export none; }
-      protocol bgp collector { neighbor 10.0.3.2 as %d; import all; export all; }
-      |}
-      Threerouter.internet_as Threerouter.provider_as 64801
+  let source, art_source =
+    match intent with
+    | Some file ->
+      let text = read_text file in
+      (Speaker.Intent (Intent.parse text), Panel.Artifact.Intent_text text)
+    | None ->
+      let config_src =
+        Printf.sprintf
+          {|
+          router id 10.0.2.2;
+          local as %d;
+          protocol bgp provider { neighbor 10.0.2.1 as %d; import all; export none; }
+          protocol bgp collector { neighbor 10.0.3.2 as %d; import all; export all; }
+          |}
+          Threerouter.internet_as Threerouter.provider_as 64801
+      in
+      (Speaker.Config (Config_parser.parse config_src), Panel.Artifact.Config_text config_src)
   in
-  let cfg = Config_parser.parse config_src in
   let setup =
     List.map
       (fun (prefix, origin, path, next_hop) ->
@@ -254,7 +286,7 @@ let mk_panel_agents ~panel =
   let agents =
     List.map
       (fun name ->
-        let sp = Speakers.create_exn name cfg in
+        let sp = Speakers.create_exn name source in
         Speaker.establish sp ~peer:Threerouter.provider_addr_internet_side;
         Speaker.establish sp ~peer:collector;
         List.iter (fun (peer, msg) -> ignore (Speaker.feed sp ~peer msg)) setup;
@@ -265,7 +297,7 @@ let mk_panel_agents ~panel =
           (Distributed.Local sp))
       panel
   in
-  (agents, config_src, setup)
+  (agents, art_source, setup)
 
 let trace_of ~seed ~prefixes =
   Dice_trace.Gen.generate
@@ -367,8 +399,8 @@ let run_cmd =
 
 (* ---------------- detect-leaks ---------------- *)
 
-let detect_leaks filtering seed prefixes runs jobs agents speaker panel minimize
-    repro_out transport loss dup reorder fault_seed json =
+let detect_leaks filtering seed prefixes runs jobs agents speaker panel intent
+    minimize repro_out transport loss dup reorder fault_seed json =
   let topo, _, n = build_loaded ~filtering ~seed ~prefixes in
   Printf.printf "table loaded: %d routes; filtering=%s\n" n
     (Threerouter.filtering_to_string filtering);
@@ -391,12 +423,18 @@ let detect_leaks filtering seed prefixes runs jobs agents speaker panel minimize
   let hits = ref [] in
   let panel_ctx =
     match panel with
-    | None -> None
+    | None ->
+      if intent <> None then
+        prerr_endline "note: --intent configures the panel members; without --panel it has no effect";
+      None
     | Some members when List.length members < 2 ->
       invalid_arg "--panel needs at least two implementations"
     | Some members ->
       Printf.printf "differential panel: %s\n" (String.concat ", " members);
-      Some (mk_panel_agents ~panel:members)
+      Option.iter
+        (Printf.printf "panel intent: %s (each member realizes its own dialect)\n")
+        intent;
+      Some (mk_panel_agents ?intent ~panel:members ())
   in
   let panel_checkers =
     match panel_ctx with
@@ -429,7 +467,7 @@ let detect_leaks filtering seed prefixes runs jobs agents speaker panel minimize
   else print_string (Report.to_text report);
   (match panel_ctx with
    | None -> ()
-   | Some (panel_agents, panel_config, panel_setup) ->
+   | Some (panel_agents, panel_source, panel_setup) ->
      (* one hit per distinct divergence signature, in discovery order *)
      let distinct =
        List.fold_left
@@ -461,7 +499,7 @@ let detect_leaks filtering seed prefixes runs jobs agents speaker panel minimize
              {
                Panel.Artifact.speakers =
                  List.map Distributed.agent_name panel_agents;
-               config = panel_config;
+               source = panel_source;
                setup = panel_setup;
                schedule = minimal;
                signature;
@@ -541,8 +579,8 @@ let detect_leaks_cmd =
           writes a replayable repro artifact.")
     Term.(
       const detect_leaks $ filtering_arg $ seed_arg $ prefixes_arg $ runs_arg
-      $ jobs_arg $ agents_arg $ speaker_arg $ panel_arg $ minimize_arg
-      $ repro_out_arg $ transport_arg $ loss_arg $ dup_arg
+      $ jobs_arg $ agents_arg $ speaker_arg $ panel_arg $ intent_arg
+      $ minimize_arg $ repro_out_arg $ transport_arg $ loss_arg $ dup_arg
       $ reorder_arg $ fault_seed_arg $ json_arg)
 
 (* ---------------- replay-divergence ---------------- *)
@@ -553,6 +591,10 @@ let replay_loaded file artifact subset jobs =
     (List.length artifact.Panel.Artifact.setup)
     (List.length artifact.Panel.Artifact.schedule);
   Printf.printf "expected divergence: %s\n" artifact.Panel.Artifact.signature;
+  (match artifact.Panel.Artifact.source with
+  | Panel.Artifact.Config_text _ -> ()
+  | Panel.Artifact.Intent_text _ ->
+    print_endline "configured from operator intent: each member realizes its own dialect");
   let divergences =
     Panel.Artifact.replay ?speakers:subset ~jobs:(max 1 jobs) artifact
   in
@@ -709,7 +751,13 @@ let validate_change proposed_file seed prefixes runs jobs json =
   let topo, _, n = build_loaded ~filtering:Threerouter.Partially_correct ~seed ~prefixes in
   Printf.printf "live router: %d routes (partially-correct filtering)\n" n;
   let live = Threerouter.provider_router topo in
-  let proposed = Config_parser.parse_file proposed_file in
+  (* an .intent proposal is realized through the live implementation's own
+     dialect translator inside Validate.config_change *)
+  let proposed =
+    if Filename.check_suffix proposed_file ".intent" then
+      Speaker.Intent (Intent.parse_file proposed_file)
+    else Speaker.Config (Config_parser.parse_file proposed_file)
+  in
   let seeds =
     [ { Orchestrator.tag = "observed";
         peer = Threerouter.customer_addr;
@@ -742,7 +790,11 @@ let validate_cmd =
   let file =
     Arg.(
       required & pos 0 (some string) None
-      & info [] ~docv:"PROPOSED-CONFIG" ~doc:"Proposed router configuration file.")
+      & info [] ~docv:"PROPOSED-CONFIG"
+          ~doc:
+            "Proposed router configuration file; a $(b,.intent) file is \
+             realized through the live implementation's own dialect \
+             translator before the shadow run.")
   in
   Cmd.v
     (Cmd.info "validate"

@@ -23,16 +23,19 @@ let p = Prefix.of_string
 let provider_facing = Ipv4.of_string "10.0.2.1"
 let collector = Ipv4.of_string "10.0.3.2"
 
-let upstream_config =
-  {|
-  router id 10.0.2.2;
-  local as 64700;
-  protocol bgp provider { neighbor 10.0.2.1 as 64510; import all; export none; }
-  protocol bgp collector { neighbor 10.0.3.2 as 64701; import all; export none; }
-  |}
+(* the upstream's configuration as dialect-neutral operator intent: each
+   implementation renders and re-parses it through its own translator *)
+let upstream_intent =
+  Intent.make ~router_id:(Ipv4.of_string "10.0.2.2") ~local_as:64700
+    ~sessions:
+      [ Intent.session "provider" ~export:Intent.Block ~neighbor:provider_facing
+          ~remote_as:64510;
+        Intent.session "collector" ~export:Intent.Block ~neighbor:collector
+          ~remote_as:64701 ]
+    ()
 
 let mk_upstream impl =
-  match Speakers.create impl (Config_parser.parse upstream_config) with
+  match Speakers.create impl (Speaker.Intent upstream_intent) with
   | Some sp -> sp
   | None -> invalid_arg ("unknown speaker: " ^ impl)
 
@@ -332,11 +335,13 @@ let () =
       minimal;
 
     (* Package the minimal repro as a self-contained artifact: speaker
-       names, shared config, priming setup, schedule, and the expected
-       divergence signature — any speaker subset can re-execute it. *)
+       names, the intent the members were realized from, priming setup,
+       schedule, and the expected divergence signature — any speaker
+       subset can re-execute it, re-rendering the intent through each
+       member's own dialect. *)
     let artifact =
       { Panel.Artifact.speakers = Speakers.names;
-        config = upstream_config;
+        source = Panel.Artifact.Intent_text (Intent.to_string upstream_intent);
         setup =
           [ ( collector,
               Msg.Update

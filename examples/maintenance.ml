@@ -30,53 +30,40 @@ let establish router peer remote_as =
             capabilities = [ Msg.Cap_as4 remote_as ] }));
   ignore (Router.handle_msg router ~peer Msg.Keepalive)
 
-let config_with_filter filter_body =
-  Config_parser.parse
-    (Printf.sprintf
-       {|
-       router id 10.0.2.1;
-       local as %d;
-       filter customer_in {
-         %s
-       }
-       protocol bgp customer {
-         neighbor 10.0.1.2 as %d;
-         import filter customer_in;
-         export all;
-       }
-       protocol bgp internet {
-         neighbor 10.0.2.2 as %d;
-         import all;
-         export all;
-       }
-       anycast [ 192.88.99.0/24 ];
-       |}
-       Threerouter.provider_as filter_body Threerouter.customer_as Threerouter.internet_as)
+(* the operator's intent, parameterized by what the customer may
+   announce: one permitting rule over a named prefix set, everything
+   else denied. The drafts differ only in the set's patterns. *)
+let pat base low high = { Filter.base = Prefix.of_string base; low; high }
 
-(* the running (leaky) configuration — the paper's §4.2 scenario *)
-let running_filter =
-  {| if net ~ [ 203.0.113.0/24{24,28}, 198.0.0.0/8{8,28} ] then {
-       bgp_local_pref = 120; accept;
-     }
-     reject; |}
+let intent_with patterns =
+  Intent.make ~router_id:(Ipv4.of_string "10.0.2.1")
+    ~local_as:Threerouter.provider_as
+    ~prefix_sets:[ ("customer_blocks", patterns) ]
+    ~policies:
+      [ Intent.policy ~default:Intent.Deny "customer_in"
+          [ Intent.permit
+              ~matches:[ Intent.Prefixes "customer_blocks" ]
+              ~actions:[ Intent.Set_local_pref 120 ] () ] ]
+    ~sessions:
+      [ Intent.session "customer" ~import:(Intent.Apply "customer_in")
+          ~neighbor:Threerouter.customer_addr ~remote_as:Threerouter.customer_as;
+        Intent.session "internet" ~neighbor:Threerouter.internet_addr
+          ~remote_as:Threerouter.internet_as ]
+    ~anycast:[ Prefix.of_string "192.88.99.0/24" ] ()
+
+(* the running (leaky) patterns — the paper's §4.2 scenario *)
+let running = [ pat "203.0.113.0/24" 24 28; pat "198.0.0.0/8" 8 28 ]
 
 (* candidate fix #1: pin the second pattern to the customer's block *)
-let good_fix =
-  {| if net ~ [ 203.0.113.0/24{24,28}, 198.51.100.0/22{22,28} ] then {
-       bgp_local_pref = 120; accept;
-     }
-     reject; |}
+let good_fix = [ pat "203.0.113.0/24" 24 28; pat "198.51.100.0/22" 22 28 ]
 
 (* candidate fix #2: over-eager — drops the customer's own /24 too *)
-let overeager_fix =
-  {| if net ~ [ 198.51.100.0/22{22,28} ] then {
-       bgp_local_pref = 120; accept;
-     }
-     reject; |}
+let overeager_fix = [ pat "198.51.100.0/22" 22 28 ]
 
 let () =
   print_endline "== validating a filter change before committing it ==\n";
-  let live = Router.create (config_with_filter running_filter) in
+  (* the live router runs the BIRD rendering of the running intent *)
+  let live = Router.create (Dialect.realize (module Bird_dialect) (intent_with running)) in
   establish live Threerouter.customer_addr Threerouter.customer_as;
   establish live Threerouter.internet_addr Threerouter.internet_as;
   (* live state: a table from upstream plus the customer's announcements *)
@@ -125,8 +112,10 @@ let () =
     }
   in
   List.iter
-    (fun (name, filter_body) ->
-      let proposed = config_with_filter filter_body in
+    (fun (name, patterns) ->
+      (* the proposal stays dialect-neutral: config_change realizes it
+         through the live implementation's own translator *)
+      let proposed = Speaker.Intent (intent_with patterns) in
       let c = Validate.config_change ~cfg ~live:(Speakers.bird live) ~proposed ~seeds () in
       Printf.printf "---- proposed change: %s ----\n" name;
       Format.printf "%a@.@." Validate.pp c)

@@ -1,0 +1,94 @@
+open Dice_inet
+
+let name = "bird"
+
+let quirks =
+  [
+    "control falling off the end of a filter rejects the route, so an \
+     unstated policy default silently drops unmatched routes";
+    "no named prefix sets: set members are inlined at every use site";
+  ]
+
+let pattern_str p = Format.asprintf "%a" Filter.pp_pattern p
+
+let community_str c =
+  Printf.sprintf "%d:%d" (Community.asn_part c) (Community.value_part c)
+
+let cond_str intent m =
+  match m with
+  | Intent.Prefixes set ->
+    let pats = Option.value (Intent.find_prefix_set intent set) ~default:[] in
+    Printf.sprintf "net ~ [ %s ]" (String.concat ", " (List.map pattern_str pats))
+  | Intent.Transits n -> Printf.sprintf "bgp_path ~ %d" n
+  | Intent.Originated_by n -> Printf.sprintf "bgp_path.last = %d" n
+  | Intent.Path_longer_than n -> Printf.sprintf "bgp_path.len > %d" n
+  | Intent.Has_community c -> "bgp_community ~ " ^ community_str c
+
+let action_str = function
+  | Intent.Set_local_pref n -> Printf.sprintf "bgp_local_pref = %d;" n
+  | Intent.Set_med n -> Printf.sprintf "bgp_med = %d;" n
+  | Intent.Add_community c -> Printf.sprintf "bgp_community.add(%s);" (community_str c)
+  | Intent.Delete_community c ->
+    Printf.sprintf "bgp_community.delete(%s);" (community_str c)
+  | Intent.Prepend n -> Printf.sprintf "bgp_path.prepend(%d);" n
+
+let verdict_str = function Intent.Permit -> "accept;" | Intent.Deny -> "reject;"
+
+let render_policy b intent (p : Intent.policy) =
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  line "filter %s {" p.Intent.policy_name;
+  let rec rules = function
+    | [] -> begin
+      (* BIRD quirk: an unstated default renders as nothing — execution
+         falls off the filter end and the route is rejected. *)
+      match p.Intent.default with
+      | Some d -> line "  %s" (verdict_str d)
+      | None -> ()
+    end
+    | (r : Intent.rule) :: rest ->
+      let arm =
+        String.concat " " (List.map action_str r.actions @ [ verdict_str r.decision ])
+      in
+      if r.matches = [] then line "  %s" arm
+      else begin
+        line "  if %s then { %s }"
+          (String.concat " && " (List.map (cond_str intent) r.matches))
+          arm;
+        rules rest
+      end
+  in
+  rules p.Intent.rules;
+  line "}"
+
+let peering_str verb = function
+  | Intent.Open -> Printf.sprintf "%s all;" verb
+  | Intent.Block -> Printf.sprintf "%s none;" verb
+  | Intent.Apply name -> Printf.sprintf "%s filter %s;" verb name
+
+let render (intent : Intent.t) =
+  let b = Buffer.create 512 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  line "# bird dialect (rendered from intent)";
+  line "router id %s;" (Ipv4.to_string intent.router_id);
+  line "local as %d;" intent.local_as;
+  List.iter (render_policy b intent) intent.policies;
+  if intent.statics <> [] then begin
+    line "protocol static {";
+    List.iter
+      (fun (p, via) ->
+        line "  route %s via %s;" (Prefix.to_string p) (Ipv4.to_string via))
+      intent.statics;
+    line "}"
+  end;
+  List.iter
+    (fun (s : Intent.session) ->
+      line "protocol bgp %s {" s.session_name;
+      line "  neighbor %s as %d;" (Ipv4.to_string s.neighbor) s.remote_as;
+      line "  %s" (peering_str "import" s.import);
+      line "  %s" (peering_str "export" s.export);
+      line "}")
+    intent.sessions;
+  List.iter (fun p -> line "anycast [ %s ];" (Prefix.to_string p)) intent.anycast;
+  Buffer.contents b
+
+let parse = Config_parser.parse

@@ -1,0 +1,11 @@
+(** BIRD dialect: filter blocks in the BIRD-style language
+    {!Config_parser} already reads.
+
+    Documented quirk modeled here: control falling off the end of a
+    filter {e rejects} the route, so an intent policy whose [default] is
+    unstated renders with no trailing verdict and silently drops
+    unmatched routes. Prefix sets are inlined at each [net ~ \[...\]]
+    use site (the language has no named sets), so set membership is
+    per-rule, not shared state. *)
+
+include Dialect.S

@@ -42,8 +42,23 @@ let default_peer ~name ~neighbor ~remote_as =
     connect_retry_time = 5.0;
   }
 
+(* find_filter/find_peer return the first hit, so a duplicate name would
+   silently shadow its twin — refuse it up front. *)
+let check_distinct what key l =
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun x ->
+      let k = key x in
+      if Hashtbl.mem seen k then
+        invalid_arg (Printf.sprintf "Config_types.make: duplicate %s %S" what k);
+      Hashtbl.add seen k ())
+    l
+
 let make ~router_id ~local_as ?(peers = []) ?(static_routes = []) ?(filters = [])
     ?(anycast = []) () =
+  check_distinct "filter" (fun f -> f.Filter.name) filters;
+  check_distinct "peer" (fun p -> p.name) peers;
+  check_distinct "peer neighbor" (fun p -> Ipv4.to_string p.neighbor) peers;
   { router_id; local_as; peers; static_routes; filters; anycast }
 
 let find_filter t name = List.find_opt (fun f -> f.Filter.name = name) t.filters

@@ -44,6 +44,9 @@ val make :
   ?anycast:Prefix.t list ->
   unit ->
   t
+(** @raise Invalid_argument on a duplicate filter name, peer name, or
+    peer neighbor address — {!find_filter}/{!find_peer} return the
+    first hit, so duplicates would silently shadow each other. *)
 
 val find_filter : t -> string -> Filter.t option
 val find_peer : t -> Ipv4.t -> peer_cfg option

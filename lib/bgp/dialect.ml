@@ -1,0 +1,8 @@
+module type S = sig
+  val name : string
+  val quirks : string list
+  val render : Intent.t -> string
+  val parse : string -> Config_types.t
+end
+
+let realize (module D : S) intent = D.parse (D.render intent)

@@ -1,0 +1,35 @@
+(** A configuration dialect: one implementation's concrete spelling of
+    operator intent.
+
+    Each federated speaker family understands its own configuration
+    language. A dialect is the [render]/[parse] pair for one of them:
+    [render] spells an {!Intent.t} in the dialect's concrete text,
+    [parse] reads that text back into the shared {!Config_types.t}
+    vocabulary the engines execute. Both directions deliberately model
+    the dialect's {e documented quirks} — default action at end of
+    policy, match evaluation order, missing-value semantics — so
+    [parse (render intent)] is the configuration {e as that
+    implementation would interpret it}, not as the operator meant it.
+    Driving one intent through several dialects is what turns the N-way
+    panel into a differential test of the filter interpreters. *)
+
+module type S = sig
+  val name : string
+  (** Lower-case dialect name, e.g. ["bird"]. *)
+
+  val quirks : string list
+  (** One line per documented quirk this translator models. *)
+
+  val render : Intent.t -> string
+  (** Spell the intent in this dialect's concrete syntax. Total on any
+      validated intent. *)
+
+  val parse : string -> Config_types.t
+  (** Read this dialect's text as the implementation would, quirks
+      included. @raise Config_parser.Parse_error (or
+      [Config_lexer.Lex_error]) on malformed input. *)
+end
+
+val realize : (module S) -> Intent.t -> Config_types.t
+(** [parse (render intent)] — the full translation round trip, i.e. the
+    configuration the implementation actually runs. *)

@@ -1,0 +1,156 @@
+(** Dialect-neutral operator intent.
+
+    A federated fleet is heterogeneous precisely because each member
+    interprets {e its own} configuration dialect. [Intent.t] is the
+    piece the operator actually means — peer sessions, named routing
+    policies over prefix-set / AS-path / community predicates, action
+    pipelines — kept free of any implementation's spelling. A
+    {!Dialect.S} translator renders an intent into one dialect's
+    concrete text and parses that text back into the shared
+    {!Config_types.t} vocabulary, deliberately modeling the dialect's
+    documented quirks (default action, match ordering, value clamping).
+    Feeding one intent through several translators is what turns the
+    N-way panel into a differential test of the {e filter interpreters}
+    themselves, not just the decision processes.
+
+    Smart constructors validate names, ranges and cross-references and
+    raise [Invalid_argument] on nonsense; {!parse}/{!to_string} give the
+    intent a concrete text format of its own (the [--intent FILE]
+    format), and {!compile} is the quirk-free reference realization the
+    dialect translators are tested against. *)
+
+open Dice_inet
+
+(** One predicate of a rule; a rule matches when {e all} its predicates
+    hold (conjunction). *)
+type match_ =
+  | Prefixes of string  (** the announced prefix is in the named set *)
+  | Transits of int  (** the AS appears anywhere in the AS path *)
+  | Originated_by of int  (** the AS originated the route (last in path) *)
+  | Path_longer_than of int  (** AS-path length strictly greater *)
+  | Has_community of Community.t
+
+(** One attribute rewrite, applied when a permitting rule matches. *)
+type action =
+  | Set_local_pref of int
+  | Set_med of int
+  | Add_community of Community.t
+  | Delete_community of Community.t
+  | Prepend of int  (** prepend the local AS this many extra times *)
+
+type decision =
+  | Permit
+  | Deny
+
+type rule = {
+  matches : match_ list;  (** conjunction; [[]] matches every route *)
+  actions : action list;  (** only meaningful on [Permit] rules *)
+  decision : decision;
+}
+
+type policy = {
+  policy_name : string;
+  rules : rule list;  (** first matching rule decides, in written order *)
+  default : decision option;
+      (** what happens when no rule matches. [None] means the operator
+          left it unstated — each dialect then applies its own
+          documented default (BIRD rejects at filter end, Quagga's
+          route-maps end in an implicit deny, XORP's policy statements
+          pass unmatched routes), which is exactly the divergence the
+          panel hunts. *)
+}
+
+(** How a session imports or exports routes. *)
+type peering =
+  | Open  (** everything passes *)
+  | Block  (** nothing passes *)
+  | Apply of string  (** the named policy decides *)
+
+type session = {
+  session_name : string;
+  neighbor : Ipv4.t;
+  remote_as : int;
+  import : peering;
+  export : peering;
+}
+
+type t = {
+  router_id : Ipv4.t;
+  local_as : int;
+  prefix_sets : (string * Filter.prefix_pattern list) list;
+  policies : policy list;
+  sessions : session list;
+  statics : (Prefix.t * Ipv4.t) list;
+  anycast : Prefix.t list;
+}
+
+(** {1 Smart constructors} *)
+
+val rule : ?matches:match_ list -> ?actions:action list -> decision -> rule
+(** @raise Invalid_argument on a [Deny] rule carrying actions, a
+    negative attribute value, or a prepend count outside [0, 16]. *)
+
+val permit : ?matches:match_ list -> ?actions:action list -> unit -> rule
+val deny : ?matches:match_ list -> unit -> rule
+
+val policy : ?default:decision -> string -> rule list -> policy
+(** @raise Invalid_argument on a malformed name (names are
+    [[a-z0-9_]+], so every dialect can spell them). *)
+
+val session :
+  ?import:peering -> ?export:peering -> string -> neighbor:Ipv4.t -> remote_as:int -> session
+(** Import and export default to [Open].
+    @raise Invalid_argument on a malformed name or an AS outside
+    [1, 2^32). *)
+
+val make :
+  router_id:Ipv4.t ->
+  local_as:int ->
+  ?prefix_sets:(string * Filter.prefix_pattern list) list ->
+  ?policies:policy list ->
+  ?sessions:session list ->
+  ?statics:(Prefix.t * Ipv4.t) list ->
+  ?anycast:Prefix.t list ->
+  unit ->
+  t
+(** Validates the whole intent: name charsets, duplicate prefix-set /
+    policy / session names, duplicate session neighbors, empty prefix
+    sets, and dangling references ([Apply] of an unknown policy,
+    [Prefixes] of an unknown set). @raise Invalid_argument naming the
+    offender. *)
+
+val find_policy : t -> string -> policy option
+val find_prefix_set : t -> string -> Filter.prefix_pattern list option
+
+(** {1 Reference semantics} *)
+
+val eval_policy :
+  t -> policy -> unstated:decision -> path:int list -> communities:Community.t list ->
+  Prefix.t -> bool
+(** Neutral first-match evaluation of [policy] against a concrete
+    route: rules in written order, [unstated] supplying the verdict for
+    routes that fall through a policy whose [default] is [None]. The
+    dialect round-trip properties compare each translator's realized
+    filter against this. *)
+
+val compile : unstated:decision -> t -> Config_types.t
+(** The quirk-free reference realization: written rule order, explicit
+    defaults honored, unstated defaults resolved to [unstated]. Dialect
+    translators must agree with [compile] on every route whenever the
+    intent avoids their documented quirks. *)
+
+(** {1 Text format} *)
+
+val to_string : t -> string
+(** Render the intent in its own concrete syntax (the format
+    [detect-leaks --intent] reads). [parse (to_string i)] is [i] up to
+    list order. *)
+
+val parse : string -> t
+(** @raise Config_lexer.Lex_error or {!Config_parser.Parse_error} on
+    malformed input; the result passed through {!make}, so dangling
+    references raise [Invalid_argument] just as they would in code. *)
+
+val parse_file : string -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,88 @@
+open Dice_inet
+module L = Config_lexer
+
+type t = { toks : (L.token * int) array; mutable pos : int }
+
+let of_string src = { toks = Array.of_list (L.lex src); pos = 0 }
+let peek st = fst st.toks.(st.pos)
+let cur_line st = snd st.toks.(st.pos)
+let fail st msg = raise (Config_parser.Parse_error { line = cur_line st; msg })
+let advance st = if st.pos < Array.length st.toks - 1 then st.pos <- st.pos + 1
+let at_eof st = peek st = L.EOF
+
+let next st =
+  let tk = peek st in
+  advance st;
+  tk
+
+let expect st tok what =
+  let tk = next st in
+  if tk <> tok then fail st (Printf.sprintf "expected %s, got %s" what (L.token_to_string tk))
+
+let expect_ident st kw =
+  match next st with
+  | L.IDENT s when s = kw -> ()
+  | tk -> fail st (Printf.sprintf "expected %S, got %s" kw (L.token_to_string tk))
+
+let int_ st what =
+  match next st with
+  | L.INT n -> n
+  | tk -> fail st (Printf.sprintf "expected %s, got %s" what (L.token_to_string tk))
+
+let ip st what =
+  match next st with
+  | L.IP a -> a
+  | tk -> fail st (Printf.sprintf "expected %s, got %s" what (L.token_to_string tk))
+
+let ident st what =
+  match next st with
+  | L.IDENT s -> s
+  | tk -> fail st (Printf.sprintf "expected %s, got %s" what (L.token_to_string tk))
+
+let prefix st what =
+  match next st with
+  | L.PREFIX p -> p
+  | L.IP a -> Prefix.host a
+  | tk -> fail st (Printf.sprintf "expected %s, got %s" what (L.token_to_string tk))
+
+let community st =
+  let a = int_ st "community AS part" in
+  expect st L.COLON "':'";
+  let v = int_ st "community value part" in
+  if a > 0xFFFF || v > 0xFFFF then fail st "community parts must be <= 65535";
+  Community.make a v
+
+let pattern st =
+  let base = prefix st "prefix pattern" in
+  let bl = Prefix.len base in
+  match peek st with
+  | L.PLUS ->
+    advance st;
+    { Filter.base; low = bl; high = 32 }
+  | L.MINUS ->
+    advance st;
+    { Filter.base; low = 0; high = bl }
+  | L.LBRACE ->
+    advance st;
+    let low = int_ st "pattern low bound" in
+    expect st L.COMMA "','";
+    let high = int_ st "pattern high bound" in
+    expect st L.RBRACE "'}'";
+    if low > high || high > 32 then fail st "bad pattern bounds";
+    { Filter.base; low; high }
+  | _ -> { Filter.base; low = bl; high = bl }
+
+let pattern_list st =
+  expect st L.LBRACK "'['";
+  let rec go acc =
+    let p = pattern st in
+    match peek st with
+    | L.COMMA ->
+      advance st;
+      go (p :: acc)
+    | L.RBRACK ->
+      advance st;
+      List.rev (p :: acc)
+    | _ -> fail st "expected ',' or ']' in prefix set"
+  in
+  go []

@@ -1,0 +1,39 @@
+(** Token cursor over {!Config_lexer} output — the shared scaffolding
+    for the brace-style parsers ({!Intent}, the XORP dialect). Errors
+    raise {!Config_parser.Parse_error} carrying the current source
+    line. *)
+
+open Dice_inet
+
+type t
+
+val of_string : string -> t
+(** Lex [src]. @raise Config_lexer.Lex_error on bad characters. *)
+
+val peek : t -> Config_lexer.token
+val advance : t -> unit
+val next : t -> Config_lexer.token
+val at_eof : t -> bool
+
+val fail : t -> string -> 'a
+(** @raise Config_parser.Parse_error at the current token's line. *)
+
+val expect : t -> Config_lexer.token -> string -> unit
+val expect_ident : t -> string -> unit
+
+val int_ : t -> string -> int
+val ip : t -> string -> Ipv4.t
+val ident : t -> string -> string
+
+val prefix : t -> string -> Prefix.t
+(** A [PREFIX] token, or an [IP] taken as a /32 host route. *)
+
+val community : t -> Community.t
+(** [INT ':' INT], both parts <= 65535. *)
+
+val pattern : t -> Filter.prefix_pattern
+(** [PREFIX ('+' | '-' | '{' INT ',' INT '}')?] — the config
+    language's prefix-pattern syntax. *)
+
+val pattern_list : t -> Filter.prefix_pattern list
+(** ['[' pattern (',' pattern)* ']']. *)

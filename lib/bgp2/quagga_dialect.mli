@@ -1,0 +1,16 @@
+(** Quagga dialect: route-maps plus ip prefix-lists / as-path
+    access-lists, in the flat line-oriented syntax.
+
+    Documented quirks modeled here:
+    - a route-map ends in an {e implicit deny}: whether the intent's
+      policy default is [Deny] or unstated, unmatched routes are
+      dropped;
+    - prefix-list entries cannot match prefixes shorter than the listed
+      network — a pattern's lower bound is clamped up to the mask
+      length at render, so [10.0.0.0/8-] silently degrades to an exact
+      [/8] match.
+
+    Flavored extensions (kept lexable by the same line parser):
+    [match as-path-length gt N] and [bgp anycast P]. *)
+
+include Dice_bgp.Dialect.S

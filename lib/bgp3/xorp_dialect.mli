@@ -1,0 +1,15 @@
+(** XORP dialect: policy-statement terms in the curly-brace syntax.
+
+    Documented quirks modeled here:
+    - the policy framework {e accepts} routes no term matched, so an
+      intent policy whose default is unstated lets unmatched routes
+      through — the opposite of BIRD's fall-off-the-end reject and
+      Quagga's implicit deny;
+    - terms are stored in a name-keyed map and evaluated in
+      {e lexicographic} name order, not file order. Rendered terms are
+      named [t1..tN], so with eleven or more rules [t10] evaluates
+      before [t2] and first-match can pick a different rule than the
+      operator wrote. An explicit default renders as a matchless
+      [zz_default] term, which sorts after every [tN]. *)
+
+include Dice_bgp.Dialect.S

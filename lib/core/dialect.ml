@@ -1,0 +1,3 @@
+(* Re-export, same reason as Intent: Dice_core.Dialect is the public
+   name for the translator signature the Speakers registry carries. *)
+include Dice_bgp.Dialect

@@ -88,7 +88,7 @@ let checkpoint_image t live =
 let in_whitelist anycast prefix = List.exists (fun a -> Prefix.subsumes a prefix) anycast
 
 let probe_uncached t live ~from (u : Msg.update) msg =
-  let clone = Speaker.restore_like live (Speaker.config live) (checkpoint_image t live) in
+  let clone = Speaker.restore_like live (Speaker.realization live) (checkpoint_image t live) in
   let pre = Speaker.loc_rib clone in
   let anycast = (Speaker.config live).Config_types.anycast in
   let announced_origin =

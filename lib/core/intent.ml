@@ -1,0 +1,5 @@
+(* Re-export: the intent IR lives in Dice_bgp (the dialect translators in
+   lib/bgp{,2,3} need it below the core), but it is part of the core's
+   public vocabulary — Dice_core.Intent is the name user code reaches
+   for. [include] preserves type equality with Dice_bgp.Intent. *)
+include Dice_bgp.Intent

@@ -180,7 +180,7 @@ let dedup_faults faults =
       end)
     faults
 
-let explore_seed t ~checkpoint ~config ~pre_loc (s : seed) =
+let explore_seed t ~checkpoint ~real ~pre_loc (s : seed) =
   let ex = t.cfg.exploration in
   let sandbox = Dice_sim.Isolation.create ~name:("dice-" ^ s.tag) in
   (* the engine's accumulated in-memory state (constraints recorded across
@@ -188,7 +188,7 @@ let explore_seed t ~checkpoint ~config ~pre_loc (s : seed) =
   let meta_buf = Buffer.create 1024 in
   (* a pristine clone image for (re)creating the exploration speaker *)
   let base_image = Fork.checkpoint_image checkpoint in
-  let clone = ref (Speaker.restore_like t.live config base_image) in
+  let clone = ref (Speaker.restore_like t.live real base_image) in
   let dirty = ref false in
   let faults = ref [] in
   let accepted = ref 0 in
@@ -240,7 +240,7 @@ let explore_seed t ~checkpoint ~config ~pre_loc (s : seed) =
   in
   let program ctx =
     if !dirty then begin
-      clone := Speaker.restore_like t.live config base_image;
+      clone := Speaker.restore_like t.live real base_image;
       dirty := false
     end;
     match ex.mode with
@@ -308,7 +308,7 @@ let take n l =
 let explore t =
   let ex = t.cfg.exploration in
   let t0 = Unix.gettimeofday () in
-  let config = Speaker.config t.live in
+  let real = Speaker.realization t.live in
   (* only this runs on the live node's critical path: freezing the
      process image — the in-process equivalent of fork()'s page-table
      copy; the speaker decides how cheap it can make it *)
@@ -327,7 +327,7 @@ let explore t =
      schedule. *)
   let seed_reports =
     Dice_exec.Pool.map ~jobs:(max 1 ex.jobs)
-      (fun s -> explore_seed t ~checkpoint ~config ~pre_loc s)
+      (fun s -> explore_seed t ~checkpoint ~real ~pre_loc s)
       seeds
   in
   let all_faults =

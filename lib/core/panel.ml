@@ -218,16 +218,20 @@ let hunt ~jobs ~agents ~sink = make_checker ~jobs ~agents ~sink
 (* ------------------------------------------------------------------ *)
 
 module Artifact = struct
+  type config_source =
+    | Config_text of string
+    | Intent_text of string
+
   type t = {
     speakers : string list;
-    config : string;
+    source : config_source;
     setup : (Ipv4.t * Msg.t) list;
     schedule : (Ipv4.t * Msg.t) list;
     signature : string;
   }
 
   let magic = "DICERPR1"
-  let version = 1
+  let version = 2
 
   let put_string16 b s =
     if String.length s > 0xFFFF then invalid_arg "Panel.Artifact: string too long";
@@ -269,10 +273,14 @@ module Artifact = struct
     Wbuf.u8 b version;
     Wbuf.u16 b (List.length t.speakers);
     List.iter (put_string16 b) t.speakers;
-    if String.length t.config > 0xFFFFFF then
+    let kind, text =
+      match t.source with Config_text s -> (0, s) | Intent_text s -> (1, s)
+    in
+    Wbuf.u8 b kind;
+    if String.length text > 0xFFFFFF then
       invalid_arg "Panel.Artifact: configuration too long";
-    Wbuf.u32 b (String.length t.config);
-    Wbuf.string b t.config;
+    Wbuf.u32 b (String.length text);
+    Wbuf.string b text;
     put_exchanges b t.setup;
     put_exchanges b t.schedule;
     put_string16 b t.signature;
@@ -283,18 +291,26 @@ module Artifact = struct
     let m = Bytes.to_string (Rbuf.take ~what:"artifact magic" r 8) in
     if m <> magic then raise (Rbuf.Truncated "artifact magic: not a DiCE repro");
     let v = Rbuf.u8 ~what:"artifact version" r in
-    if v <> version then
-      raise (Rbuf.Truncated (Printf.sprintf "artifact version: %d (want %d)" v version));
+    if v <> 1 && v <> version then
+      raise (Rbuf.Truncated (Printf.sprintf "artifact version: %d (want <= %d)" v version));
     let n_speakers = Rbuf.u16 ~what:"speaker count" r in
     let speakers = List.init n_speakers (fun _ -> get_string16 ~what:"speaker name" r) in
+    (* v1 had no source kind: the field was always shared config text *)
+    let kind = if v = 1 then 0 else Rbuf.u8 ~what:"source kind" r in
     let config_len = Rbuf.u32 ~what:"config length" r in
-    let config = Bytes.to_string (Rbuf.take ~what:"config" r config_len) in
+    let text = Bytes.to_string (Rbuf.take ~what:"config" r config_len) in
+    let source =
+      match kind with
+      | 0 -> Config_text text
+      | 1 -> Intent_text text
+      | k -> raise (Rbuf.Truncated (Printf.sprintf "source kind: %d (want 0 or 1)" k))
+    in
     let setup = get_exchanges ~what:"setup" r in
     let schedule = get_exchanges ~what:"schedule" r in
     let signature = get_string16 ~what:"signature" r in
     if not (Rbuf.eof r) then
       raise (Rbuf.Truncated (Printf.sprintf "trailing bytes at %d" (Rbuf.pos r)));
-    { speakers; config; setup; schedule; signature }
+    { speakers; source; setup; schedule; signature }
 
   let save path t =
     let oc = open_out_bin path in
@@ -318,13 +334,19 @@ module Artifact = struct
                name
                (String.concat ", " t.speakers)))
       selected;
-    let cfg = Config_parser.parse t.config in
+    let source =
+      match t.source with
+      | Config_text text -> Speaker.Config (Config_parser.parse text)
+      | Intent_text text -> Speaker.Intent (Intent.parse text)
+    in
     let explorer_addr =
       match t.schedule with (from, _) :: _ -> from | [] -> Ipv4.zero
     in
     List.map
       (fun name ->
-        let sp = Speakers.create_exn name cfg in
+        (* each member realizes the source through its own dialect *)
+        let sp = Speakers.create_exn name source in
+        let cfg = Speaker.config sp in
         List.iter
           (fun (pcfg : Config_types.peer_cfg) ->
             Speaker.establish sp ~peer:pcfg.Config_types.neighbor)

@@ -88,9 +88,20 @@ val hunt :
     (minimized) probe schedule, and the expected divergence
     signature. *)
 module Artifact : sig
+  (** What the members were configured from. *)
+  type config_source =
+    | Config_text of string
+        (** shared config text ({!Dice_bgp.Config_parser} syntax): every
+            member runs the identical parsed configuration *)
+    | Intent_text of string
+        (** intent text ({!Intent.parse} syntax): every member realizes
+            the intent through {e its own} dialect translator, quirks
+            included — the replay rebuilds the same heterogeneous
+            filter-interpreter panel *)
+
   type t = {
     speakers : string list;  (** panel members, by {!Speakers} name *)
-    config : string;  (** the members' shared configuration source text *)
+    source : config_source;
     setup : (Ipv4.t * Msg.t) list;
         (** state priming: messages fed to each member (peer, msg)
             after establishing every configured session *)
@@ -99,6 +110,8 @@ module Artifact : sig
   }
 
   val version : int
+  (** Version 2 adds the source kind; version-1 artifacts (config text
+      only) still decode. *)
 
   val encode : t -> bytes
   (** Canonical bytes: equal artifacts encode identically. *)

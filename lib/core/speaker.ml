@@ -11,12 +11,30 @@ type import_outcome = {
   outputs : (Ipv4.t * Msg.t) list;
 }
 
+type source =
+  | Config of Config_types.t
+  | Intent of Intent.t
+
+type realization = {
+  source : source;
+  dialect : string;
+  rendered : string option;
+  config : Config_types.t;
+}
+
+let realize (module D : Dialect.S) source =
+  match source with
+  | Config config -> { source; dialect = D.name; rendered = None; config }
+  | Intent intent ->
+    let text = D.render intent in
+    { source; dialect = D.name; rendered = Some text; config = D.parse text }
+
 module type S = sig
   type t
 
   val id : string
-  val create : Config_types.t -> t
-  val config : t -> Config_types.t
+  val dialect : (module Dialect.S)
+  val create : realization -> t
   val establish : t -> peer:Ipv4.t -> unit
   val feed : ?ctx:Engine.ctx -> t -> peer:Ipv4.t -> Msg.t -> (Ipv4.t * Msg.t) list
   val import_concolic : ctx:Engine.ctx -> t -> peer:Ipv4.t -> Croute.t -> import_outcome
@@ -26,23 +44,39 @@ module type S = sig
   val updates_processed : t -> int
   val freeze : t -> unit -> bytes
   val snapshot : t -> bytes
-  val restore : Config_types.t -> bytes -> t
+  val restore : realization -> bytes -> t
 end
 
-type instance = Inst : (module S with type t = 'a) * 'a -> instance
+type instance = Inst : (module S with type t = 'a) * realization * 'a -> instance
 
-let pack (type a) (m : (module S with type t = a)) (state : a) = Inst (m, state)
-let id (Inst ((module M), _)) = M.id
-let config (Inst ((module M), t)) = M.config t
-let establish (Inst ((module M), t)) ~peer = M.establish t ~peer
-let feed ?ctx (Inst ((module M), t)) ~peer msg = M.feed ?ctx t ~peer msg
-let import_concolic ~ctx (Inst ((module M), t)) ~peer cr = M.import_concolic ~ctx t ~peer cr
-let loc_rib (Inst ((module M), t)) = M.loc_rib t
-let best_route (Inst ((module M), t)) prefix = M.best_route t prefix
-let learned_from (Inst ((module M), t)) ~peer prefix = M.learned_from t ~peer prefix
-let updates_processed (Inst ((module M), t)) = M.updates_processed t
-let freeze (Inst ((module M), t)) = M.freeze t
-let snapshot (Inst ((module M), t)) = M.snapshot t
+let pack (type a) (m : (module S with type t = a)) real (state : a) = Inst (m, real, state)
 
-let restore_like (Inst ((module M), _)) cfg image =
-  Inst ((module M), M.restore cfg image)
+let create (type a) (m : (module S with type t = a)) source =
+  let (module M) = m in
+  let real = realize M.dialect source in
+  Inst (m, real, M.create real)
+
+let id (Inst ((module M), _, _)) = M.id
+let dialect (Inst ((module M), _, _)) = M.dialect
+let realization (Inst (_, real, _)) = real
+let source inst = (realization inst).source
+let config inst = (realization inst).config
+let rendered inst = (realization inst).rendered
+let intent inst = match source inst with Intent i -> Some i | Config _ -> None
+let establish (Inst ((module M), _, t)) ~peer = M.establish t ~peer
+let feed ?ctx (Inst ((module M), _, t)) ~peer msg = M.feed ?ctx t ~peer msg
+
+let import_concolic ~ctx (Inst ((module M), _, t)) ~peer cr =
+  M.import_concolic ~ctx t ~peer cr
+
+let loc_rib (Inst ((module M), _, t)) = M.loc_rib t
+let best_route (Inst ((module M), _, t)) prefix = M.best_route t prefix
+let learned_from (Inst ((module M), _, t)) ~peer prefix = M.learned_from t ~peer prefix
+let updates_processed (Inst ((module M), _, t)) = M.updates_processed t
+let freeze (Inst ((module M), _, t)) = M.freeze t
+let snapshot (Inst ((module M), _, t)) = M.snapshot t
+
+let restore_like (Inst ((module M), _, _)) real image =
+  Inst ((module M), real, M.restore real image)
+
+let rerealize (Inst ((module M), _, _)) source = realize M.dialect source

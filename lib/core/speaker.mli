@@ -9,6 +9,15 @@
     transparent interposition, where the testing layer sees an interface,
     never a daemon. {!S} is that interface:
 
+    - {b realize a configuration}: every implementation interprets {e its
+      own} dialect. A {!source} is what the operator supplied — a
+      dialect-neutral {!Dice_bgp.Intent.t}, or an already-concrete
+      {!Dice_bgp.Config_types.t} — and a {!realization} is that source
+      pushed through the implementation's {!Dice_bgp.Dialect.S}
+      translator: the rendered dialect text plus the configuration the
+      implementation actually runs, quirks included. {!S.create} and
+      {!S.restore} take the realization, so cloning and shadow-building
+      never re-render on the hot path;
     - {b feed an update}: {!S.feed} processes one BGP message on a
       session and returns the messages the speaker would transmit —
       outputs are [(peer, message)] pairs, because messages are all the
@@ -27,11 +36,12 @@
       verdict-cache entries ({!Dice_exec.Vcache}); when the live speaker
       processes an update, cached verdicts self-evict.
 
-    An {!instance} packs a speaker module with a value of its state type
-    (a first-class existential), so agents, orchestrators and fleets can
-    mix implementations freely — [Distributed.Local] holds an instance,
-    not a [Router.t]. The only module allowed to name a concrete
-    implementation is the {!Speakers} registry. *)
+    An {!instance} packs a speaker module with its realization and a
+    value of its state type (a first-class existential), so agents,
+    orchestrators and fleets can mix implementations freely —
+    [Distributed.Local] holds an instance, not a [Router.t]. The only
+    module allowed to name a concrete implementation is the {!Speakers}
+    registry. *)
 
 open Dice_inet
 open Dice_bgp
@@ -52,6 +62,35 @@ type import_outcome = {
 (** What one explored import did — the value every fault checker is
     written against ({!Checker.t}). *)
 
+(** What the operator supplied. *)
+type source =
+  | Config of Config_types.t
+      (** already concrete — bypasses translation (the pre-intent
+          construction path, and what replayed artifacts from config
+          text use) *)
+  | Intent of Intent.t
+      (** dialect-neutral intent — each implementation realizes it
+          through its own translator *)
+
+type realization = {
+  source : source;
+  dialect : string;  (** the translator's {!Dialect.S.name} *)
+  rendered : string option;
+      (** the dialect text, when the source was an intent; [None] when
+          the source was already concrete *)
+  config : Config_types.t;
+      (** what the implementation actually runs — for an intent source
+          this went through render {e and} parse, so the dialect's
+          documented quirks are baked in *)
+}
+(** A source pushed through one implementation's dialect. Computed once
+    at creation; {!restore_like} and the probe path reuse it verbatim,
+    so the render/parse cost never lands on the exploration hot path. *)
+
+val realize : (module Dialect.S) -> source -> realization
+(** @raise Config_parser.Parse_error if the dialect mis-parses its own
+    rendering — a translator bug worth failing loudly on. *)
+
 (** The SPEAKER signature. *)
 module type S = sig
   type t
@@ -60,12 +99,14 @@ module type S = sig
   (** Implementation name ([bird], [quagga], ...) — what
       [detect-leaks --speaker] selects and fault reports cite. *)
 
-  val create : Config_types.t -> t
-  (** Build a speaker from the shared configuration vocabulary. An
-      implementation is free to interpret knobs its own way (its "config
-      quirks") but must honor the peer set and policies. *)
+  val dialect : (module Dialect.S)
+  (** The implementation's configuration dialect — how this speaker
+      family spells (and misreads) operator intent. *)
 
-  val config : t -> Config_types.t
+  val create : realization -> t
+  (** Build a speaker from a realized configuration. An implementation
+      is free to interpret knobs its own way (its "config quirks") but
+      must honor the peer set and policies of [realization.config]. *)
 
   val establish : t -> peer:Ipv4.t -> unit
   (** Drive the session with [peer] to Established, including the
@@ -114,18 +155,23 @@ module type S = sig
   val snapshot : t -> bytes
   (** [freeze t ()] — checkpoint and serialize in one step. *)
 
-  val restore : Config_types.t -> bytes -> t
+  val restore : realization -> bytes -> t
   (** Rebuild a speaker from a snapshot taken of a speaker {e of the
-      same implementation} with the same peer set. @raise
-      Invalid_argument on a corrupt or alien image. *)
+      same implementation} with the same peer set. The realization is
+      reused as-is — no re-translation. @raise Invalid_argument on a
+      corrupt or alien image. *)
 end
 
-type instance = Inst : (module S with type t = 'a) * 'a -> instance
-(** A speaker module packed with its state: the value the core passes
-    around. Two instances of different implementations are the same type
-    — which is the whole point. *)
+type instance = Inst : (module S with type t = 'a) * realization * 'a -> instance
+(** A speaker module packed with its realization and state: the value
+    the core passes around. Two instances of different implementations
+    are the same type — which is the whole point. *)
 
-val pack : (module S with type t = 'a) -> 'a -> instance
+val pack : (module S with type t = 'a) -> realization -> 'a -> instance
+
+val create : (module S with type t = 'a) -> source -> instance
+(** Realize [source] through the implementation's dialect and build the
+    speaker — the one-step construction path. *)
 
 (** {1 Instance operations}
 
@@ -133,7 +179,21 @@ val pack : (module S with type t = 'a) -> 'a -> instance
     method calls instead of existential matches. *)
 
 val id : instance -> string
+val dialect : instance -> (module Dialect.S)
+val realization : instance -> realization
+val source : instance -> source
+
 val config : instance -> Config_types.t
+(** [(realization inst).config] — the configuration the implementation
+    actually runs. *)
+
+val intent : instance -> Intent.t option
+(** The operator intent this speaker was realized from, if it was built
+    from one ([None] for the concrete-config path). *)
+
+val rendered : instance -> string option
+(** The dialect text the intent rendered to, if any. *)
+
 val establish : instance -> peer:Ipv4.t -> unit
 val feed : ?ctx:Engine.ctx -> instance -> peer:Ipv4.t -> Msg.t -> (Ipv4.t * Msg.t) list
 
@@ -147,8 +207,15 @@ val updates_processed : instance -> int
 val freeze : instance -> unit -> bytes
 val snapshot : instance -> bytes
 
-val restore_like : instance -> Config_types.t -> bytes -> instance
-(** [restore_like inst cfg image] rebuilds from [image] with the {e same
-    implementation} as [inst] — how the probe path clones a cooperating
-    node, and how validation builds a shadow speaker under a proposed
-    configuration, without either ever naming an implementation. *)
+val restore_like : instance -> realization -> bytes -> instance
+(** [restore_like inst real image] rebuilds from [image] with the {e
+    same implementation} as [inst] — how the probe path clones a
+    cooperating node (pass [realization inst] unchanged; nothing is
+    re-rendered), and how validation builds a shadow speaker under a
+    proposed realization, without either ever naming an
+    implementation. *)
+
+val rerealize : instance -> source -> realization
+(** Push a {e new} source through this instance's dialect — what
+    validation uses to realize a proposed configuration exactly as the
+    live speaker's implementation would read it. *)

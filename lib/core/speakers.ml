@@ -10,8 +10,8 @@ module Bird = struct
   type t = Router.t
 
   let id = "bird"
-  let create = Router.create
-  let config = Router.config
+  let dialect : (module Dialect.S) = (module Bird_dialect)
+  let create (r : Speaker.realization) = Router.create r.Speaker.config
 
   let msgs_of outputs =
     List.filter_map
@@ -66,15 +66,15 @@ module Bird = struct
     fun () -> Router.serialize image
 
   let snapshot = Router.snapshot
-  let restore = Router.restore
+  let restore (r : Speaker.realization) image = Router.restore r.Speaker.config image
 end
 
 module Quagga = struct
   type t = Qrouter.t
 
   let id = "quagga"
-  let create = Qrouter.create
-  let config = Qrouter.config
+  let dialect : (module Dialect.S) = (module Dice_bgp2.Quagga_dialect)
+  let create (r : Speaker.realization) = Qrouter.create r.Speaker.config
   let establish t ~peer = Qrouter.establish t ~peer
   let feed ?ctx t ~peer msg = Qrouter.feed ?ctx t ~peer msg
 
@@ -100,15 +100,15 @@ module Quagga = struct
     fun () -> image
 
   let snapshot = Qrouter.snapshot
-  let restore = Qrouter.restore
+  let restore (r : Speaker.realization) image = Qrouter.restore r.Speaker.config image
 end
 
 module Xorp = struct
   type t = Xrouter.t
 
   let id = "xorp"
-  let create = Xrouter.create
-  let config = Xrouter.config
+  let dialect : (module Dialect.S) = (module Dice_bgp3.Xorp_dialect)
+  let create (r : Speaker.realization) = Xrouter.create r.Speaker.config
   let establish t ~peer = Xrouter.establish t ~peer
   let feed ?ctx t ~peer msg = Xrouter.feed ?ctx t ~peer msg
 
@@ -134,23 +134,59 @@ module Xorp = struct
     fun () -> image
 
   let snapshot = Xrouter.snapshot
-  let restore = Xrouter.restore
+  let restore (r : Speaker.realization) image = Xrouter.restore r.Speaker.config image
 end
 
-let bird r = Speaker.pack (module Bird : Speaker.S with type t = Router.t) r
-let quagga q = Speaker.pack (module Quagga : Speaker.S with type t = Qrouter.t) q
-let xorp x = Speaker.pack (module Xorp : Speaker.S with type t = Xrouter.t) x
+(* Pack an already-built router: the realization records its concrete
+   config as the source (nothing was translated). *)
+let concrete (module D : Dialect.S) config =
+  { Speaker.source = Speaker.Config config; dialect = D.name; rendered = None; config }
+
+let bird r =
+  Speaker.pack (module Bird : Speaker.S with type t = Router.t)
+    (concrete (module Bird_dialect) (Router.config r))
+    r
+
+let quagga q =
+  Speaker.pack (module Quagga : Speaker.S with type t = Qrouter.t)
+    (concrete (module Dice_bgp2.Quagga_dialect) (Qrouter.config q))
+    q
+
+let xorp x =
+  Speaker.pack (module Xorp : Speaker.S with type t = Xrouter.t)
+    (concrete (module Dice_bgp3.Xorp_dialect) (Xrouter.config x))
+    x
+
 let names = [ "bird"; "quagga"; "xorp" ]
 
-let create name cfg =
+let dialect name : (module Dialect.S) option =
   match name with
-  | "bird" -> Some (bird (Router.create cfg))
-  | "quagga" -> Some (quagga (Qrouter.create cfg))
-  | "xorp" -> Some (xorp (Xrouter.create cfg))
+  | "bird" -> Some (module Bird_dialect)
+  | "quagga" -> Some (module Dice_bgp2.Quagga_dialect)
+  | "xorp" -> Some (module Dice_bgp3.Xorp_dialect)
   | _ -> None
 
-let create_exn name cfg =
-  match create name cfg with
+let dialects = List.filter_map dialect names
+
+let dialect_exn name =
+  match dialect name with
+  | Some d -> d
+  | None ->
+    invalid_arg
+      (Printf.sprintf "unknown configuration dialect: %s (known: %s)" name
+         (String.concat ", "
+            (List.map (fun (module D : Dialect.S) -> D.name) dialects)))
+
+let create name source =
+  match name with
+  | "bird" -> Some (Speaker.create (module Bird : Speaker.S with type t = Router.t) source)
+  | "quagga" ->
+    Some (Speaker.create (module Quagga : Speaker.S with type t = Qrouter.t) source)
+  | "xorp" -> Some (Speaker.create (module Xorp : Speaker.S with type t = Xrouter.t) source)
+  | _ -> None
+
+let create_exn name source =
+  match create name source with
   | Some sp -> sp
   | None ->
     invalid_arg

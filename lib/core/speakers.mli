@@ -8,12 +8,17 @@
     XORP-flavored [Dice_bgp3.Xrouter] that completes the paper's
     heterogeneous triple — and looks them up by name for
     [detect-leaks --speaker], [--panel] membership and per-agent fleet
-    configuration. Adding a fourth implementation means adding one
-    adapter here and nowhere else. *)
+    configuration. Each adapter carries its configuration dialect
+    ({!Speaker.S.dialect}), so building a speaker from a
+    {!Speaker.source} realizes the operator's intent through {e that
+    implementation's} translator — one intent, per-member quirks. Adding
+    a fourth implementation means adding one adapter (and its dialect)
+    here and nowhere else. *)
 
 module Bird : Speaker.S with type t = Dice_bgp.Router.t
-(** [Dice_bgp.Router] behind the SPEAKER interface. [establish] runs the
-    real FSM handshake (ManualStart, transport up, OPEN with the peer's
+(** [Dice_bgp.Router] behind the SPEAKER interface, configured in the
+    BIRD dialect ({!Dice_bgp.Bird_dialect}). [establish] runs the real
+    FSM handshake (ManualStart, transport up, OPEN with the peer's
     configured AS, KEEPALIVE); outputs are filtered to the [(peer,
     message)] pairs the interface speaks — timers and socket requests
     stay internal. *)
@@ -21,22 +26,27 @@ module Bird : Speaker.S with type t = Dice_bgp.Router.t
 module Quagga : Speaker.S with type t = Dice_bgp2.Qrouter.t
 (** [Dice_bgp2.Qrouter] behind the same interface — different RIB
     layout, different decision tie-breaking, administratively
-    established sessions (see its own documentation). *)
+    established sessions, route-map dialect
+    ({!Dice_bgp2.Quagga_dialect}). *)
 
 module Xorp : Speaker.S with type t = Dice_bgp3.Xrouter.t
 (** [Dice_bgp3.Xrouter] behind the same interface — map-based RIBs,
     deterministic-MED grouping, IGP-cost-before-peer tie-breaks, lazily
-    materialized Adj-RIB-Out (see its own documentation). *)
+    materialized Adj-RIB-Out, policy-term dialect
+    ({!Dice_bgp3.Xorp_dialect}). *)
 
 val bird : Dice_bgp.Router.t -> Speaker.instance
 val quagga : Dice_bgp2.Qrouter.t -> Speaker.instance
 val xorp : Dice_bgp3.Xrouter.t -> Speaker.instance
+(** Pack an already-built router. The realization records the router's
+    concrete configuration as its source — nothing was translated. *)
 
-val create : string -> Dice_bgp.Config_types.t -> Speaker.instance option
-(** [create name cfg] builds a fresh speaker by implementation name
-    ([known names: {!names}]); [None] for an unknown name. *)
+val create : string -> Speaker.source -> Speaker.instance option
+(** [create name source] builds a fresh speaker by implementation name
+    (known names: {!names}), realizing [source] through that
+    implementation's dialect; [None] for an unknown name. *)
 
-val create_exn : string -> Dice_bgp.Config_types.t -> Speaker.instance
+val create_exn : string -> Speaker.source -> Speaker.instance
 (** Like {!create}.
     @raise Invalid_argument on an unknown name, with the known-names
     list in the message — the error every CLI/registry caller should
@@ -45,3 +55,13 @@ val create_exn : string -> Dice_bgp.Config_types.t -> Speaker.instance
 val names : string list
 (** [["bird"; "quagga"; "xorp"]] — what [--speaker] and [--panel]
     accept. *)
+
+val dialect : string -> (module Dice_bgp.Dialect.S) option
+(** The dialect an implementation name configures in. *)
+
+val dialect_exn : string -> (module Dice_bgp.Dialect.S)
+(** @raise Invalid_argument on an unknown name, enumerating the known
+    dialects — the same discipline as {!create_exn}. *)
+
+val dialects : (module Dice_bgp.Dialect.S) list
+(** Every registered dialect, in {!names} order. *)

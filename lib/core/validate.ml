@@ -24,7 +24,11 @@ let explore_with ?cfg speaker seeds =
   Orchestrator.explore dice
 
 let config_change ?cfg ~live ~proposed ~seeds () =
-  if not (same_peer_set (Speaker.config live) proposed) then
+  (* realize the proposal through the live implementation's own dialect:
+     the shadow must run what that implementation would read, quirks
+     included, not what the operator meant *)
+  let real = Speaker.rerealize live proposed in
+  if not (same_peer_set (Speaker.config live) real.Speaker.config) then
     invalid_arg "Validate.config_change: the proposed configuration changes the peer set";
   let with_seeds (c : Orchestrator.cfg) =
     { c with
@@ -37,7 +41,7 @@ let config_change ?cfg ~live ~proposed ~seeds () =
   let cfg = Some (with_seeds (Option.value cfg ~default:Orchestrator.default_cfg)) in
   (* shadow speaker: live state under the proposed configuration, same
      implementation as the live one *)
-  let shadow = Speaker.restore_like live proposed (Speaker.snapshot live) in
+  let shadow = Speaker.restore_like live real (Speaker.snapshot live) in
   let current_report = explore_with ?cfg live seeds in
   let proposed_report = explore_with ?cfg shadow seeds in
   let keys report =

@@ -14,8 +14,6 @@
     - does it break legitimate announcements or open new holes?
       ({!comparison.regressions}, {!comparison.introduced}) *)
 
-open Dice_bgp
-
 type comparison = {
   current_report : Orchestrator.report;  (** exploration under the running config *)
   proposed_report : Orchestrator.report;  (** exploration under the proposed config *)
@@ -35,15 +33,18 @@ type comparison = {
 val config_change :
   ?cfg:Orchestrator.cfg ->
   live:Speaker.instance ->
-  proposed:Config_types.t ->
+  proposed:Speaker.source ->
   seeds:Orchestrator.seed list ->
   unit ->
   comparison
 (** Explore [seeds] under both configurations, starting from the live
-    speaker's current state. The live speaker is never mutated; the
-    proposed configuration must keep the same peer set (addresses and AS
-    numbers), as a real maintenance window would. [cfg]'s [max_seeds] is
-    overridden to cover every seed given.
+    speaker's current state. The proposed source is realized through the
+    {e live implementation's own dialect} ({!Speaker.rerealize}) — the
+    shadow runs what that implementation would read, quirks included.
+    The live speaker is never mutated; the proposed configuration must
+    keep the same peer set (addresses and AS numbers), as a real
+    maintenance window would. [cfg]'s [max_seeds] is overridden to cover
+    every seed given.
     @raise Invalid_argument if the proposed peers differ. *)
 
 val verdict : comparison -> [ `Safe | `Ineffective | `Harmful ]

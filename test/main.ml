@@ -16,6 +16,7 @@ let () =
       ("route/decision", Test_route_decision.suite);
       ("fsm", Test_fsm.suite);
       ("filter", Test_filter.suite);
+      ("intent", Test_intent.suite);
       ("router", Test_router.suite);
       ("trace", Test_trace.suite);
       ("core", Test_core.suite);

@@ -41,7 +41,7 @@ let upstream impl =
       |}
   in
   let sp =
-    match Speakers.create impl cfg with
+    match Speakers.create impl (Speaker.Config cfg) with
     | Some sp -> sp
     | None -> invalid_arg ("unknown speaker: " ^ impl)
   in

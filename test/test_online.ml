@@ -158,7 +158,7 @@ let vcfg =
 let test_validate_good_fix_safe () =
   let live, route = live_provider Threerouter.Partially_correct in
   let proposed = provider_cfg Threerouter.Correct in
-  let c = Validate.config_change ~cfg:vcfg ~live:(Speakers.bird live) ~proposed ~seeds:(seeds_for route) () in
+  let c = Validate.config_change ~cfg:vcfg ~live:(Speakers.bird live) ~proposed:(Speaker.Config proposed) ~seeds:(seeds_for route) () in
   Alcotest.(check bool) "fixes something" true (List.length c.Validate.fixed > 0);
   Alcotest.(check int) "introduces nothing" 0 (List.length c.Validate.introduced);
   Alcotest.(check int) "breaks nothing" 0 (List.length c.Validate.regressions);
@@ -167,7 +167,7 @@ let test_validate_good_fix_safe () =
 let test_validate_noop_ineffective () =
   let live, route = live_provider Threerouter.Partially_correct in
   let proposed = provider_cfg Threerouter.Partially_correct in
-  let c = Validate.config_change ~cfg:vcfg ~live:(Speakers.bird live) ~proposed ~seeds:(seeds_for route) () in
+  let c = Validate.config_change ~cfg:vcfg ~live:(Speakers.bird live) ~proposed:(Speaker.Config proposed) ~seeds:(seeds_for route) () in
   Alcotest.(check bool) "verdict" true (Validate.verdict c = `Ineffective);
   Alcotest.(check bool) "same faults persist" true (List.length c.Validate.persisting > 0)
 
@@ -187,7 +187,7 @@ let test_validate_overblocking_harmful () =
          |}
          Threerouter.provider_as Threerouter.customer_as Threerouter.internet_as)
   in
-  let c = Validate.config_change ~cfg:vcfg ~live:(Speakers.bird live) ~proposed ~seeds:(seeds_for route) () in
+  let c = Validate.config_change ~cfg:vcfg ~live:(Speakers.bird live) ~proposed:(Speaker.Config proposed) ~seeds:(seeds_for route) () in
   Alcotest.(check bool) "regressions found" true (List.length c.Validate.regressions > 0);
   Alcotest.(check bool) "verdict" true (Validate.verdict c = `Harmful)
 
@@ -195,7 +195,7 @@ let test_validate_live_untouched () =
   let live, route = live_provider Threerouter.Partially_correct in
   let before = Router.snapshot live in
   let proposed = provider_cfg Threerouter.Correct in
-  ignore (Validate.config_change ~cfg:vcfg ~live:(Speakers.bird live) ~proposed ~seeds:(seeds_for route) ());
+  ignore (Validate.config_change ~cfg:vcfg ~live:(Speakers.bird live) ~proposed:(Speaker.Config proposed) ~seeds:(seeds_for route) ());
   Alcotest.(check bytes) "live unchanged" before (Router.snapshot live)
 
 let test_validate_peer_change_rejected () =
@@ -205,7 +205,7 @@ let test_validate_peer_change_rejected () =
       "router id 10.0.2.1; local as 64510;\n\
        protocol bgp other { neighbor 1.2.3.4 as 999; import all; export all; }"
   in
-  match Validate.config_change ~cfg:vcfg ~live:(Speakers.bird live) ~proposed ~seeds:(seeds_for route) () with
+  match Validate.config_change ~cfg:vcfg ~live:(Speakers.bird live) ~proposed:(Speaker.Config proposed) ~seeds:(seeds_for route) () with
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "expected rejection of a peer-set change"
 

@@ -52,7 +52,7 @@ let trigger_update ~path =
 let default_setup = [ (collector, incumbent_update ~path:[ 64701; 64512 ]) ]
 
 let member ?(config = panel_config ()) ~setup name impl =
-  let sp = Speakers.create_exn impl config in
+  let sp = Speakers.create_exn impl (Speaker.Config config) in
   Speaker.establish sp ~peer:provider_side;
   Speaker.establish sp ~peer:collector;
   List.iter (fun (peer, msg) -> ignore (Speaker.feed sp ~peer msg)) setup;
@@ -70,11 +70,33 @@ let contains s sub =
   go 0
 
 let test_create_exn_unknown () =
-  (match Speakers.create "frr" (panel_config ()) with
+  (match Speakers.create "frr" (Speaker.Config (panel_config ())) with
   | Some _ -> Alcotest.fail "create accepted an unknown name"
   | None -> ());
-  match Speakers.create_exn "frr" (panel_config ()) with
+  match Speakers.create_exn "frr" (Speaker.Config (panel_config ())) with
   | _ -> Alcotest.fail "create_exn accepted an unknown name"
+  | exception Invalid_argument msg ->
+    List.iter
+      (fun known ->
+        Alcotest.(check bool)
+          (Printf.sprintf "error lists %s" known)
+          true (contains msg known))
+      Speakers.names;
+    Alcotest.(check bool) "error names the offender" true (contains msg "frr")
+
+let test_dialect_registry () =
+  List.iter
+    (fun name ->
+      match Speakers.dialect name with
+      | Some (module D : Dialect.S) ->
+        Alcotest.(check string) (name ^ " dialect carries its name") name D.name
+      | None -> Alcotest.failf "no dialect registered for %s" name)
+    Speakers.names;
+  Alcotest.(check int) "one dialect per implementation"
+    (List.length Speakers.names)
+    (List.length Speakers.dialects);
+  match Speakers.dialect_exn "frr" with
+  | _ -> Alcotest.fail "dialect_exn accepted an unknown name"
   | exception Invalid_argument msg ->
     List.iter
       (fun known ->
@@ -286,7 +308,7 @@ let test_minimize_panel_divergence () =
 let artifact ~schedule ~signature =
   {
     Panel.Artifact.speakers = Speakers.names;
-    config = panel_config_src;
+    source = Panel.Artifact.Config_text panel_config_src;
     setup = default_setup;
     schedule;
     signature;
@@ -330,6 +352,36 @@ let test_artifact_rejects_malformed () =
   let trailing = Bytes.cat encoded (Bytes.of_string "\x00") in
   raises "trailing bytes" trailing
 
+let test_artifact_v1_and_intent_sources () =
+  let a =
+    artifact
+      ~schedule:[ (provider_side, trigger_update ~path:[ 64510; 64512 ]) ]
+      ~signature:"sig"
+  in
+  (* a version-1 artifact is the same encoding minus the source-kind
+     byte, and must decode as shared config text *)
+  let v2 = Panel.Artifact.encode a in
+  let kind_pos =
+    11 + List.fold_left (fun acc n -> acc + 2 + String.length n) 0 Speakers.names
+  in
+  let v1 =
+    Bytes.cat (Bytes.sub v2 0 kind_pos)
+      (Bytes.sub v2 (kind_pos + 1) (Bytes.length v2 - kind_pos - 1))
+  in
+  Bytes.set v1 8 '\x01';
+  Alcotest.(check bool) "v1 decodes as config text" true
+    (Panel.Artifact.decode v1 = a);
+  (* an intent-sourced artifact round-trips with its kind intact *)
+  let ai = { a with Panel.Artifact.source = Panel.Artifact.Intent_text "intent {}" } in
+  Alcotest.(check bool) "intent source round-trips" true
+    (Panel.Artifact.decode (Panel.Artifact.encode ai) = ai);
+  (* an alien source kind raises loudly *)
+  let bad = Panel.Artifact.encode a in
+  Bytes.set bad kind_pos '\x07';
+  match Panel.Artifact.decode bad with
+  | _ -> Alcotest.fail "alien source kind decoded"
+  | exception Dice_wire.Rbuf.Truncated _ -> ()
+
 let test_artifact_replay_and_subsets () =
   let a =
     artifact
@@ -350,6 +402,8 @@ let test_artifact_replay_and_subsets () =
 
 let suite =
   [ ("create_exn: unknown name lists the registry", `Quick, test_create_exn_unknown);
+    ("dialect registry: per-implementation, errors enumerate", `Quick,
+      test_dialect_registry);
     ("panel: names the outlier on a tie-break split", `Quick, test_panel_names_outlier);
     ("panel: semantic divergence names the deviant", `Quick, test_panel_semantic_outlier);
     ("panel: agreement produces no divergence", `Quick, test_panel_agreement_is_silent);
@@ -361,6 +415,8 @@ let suite =
       test_minimize_panel_divergence);
     ("artifact: canonical encode/decode/save/load", `Quick, test_artifact_roundtrip);
     ("artifact: malformed inputs raise loudly", `Quick, test_artifact_rejects_malformed);
+    ("artifact: v1 compat and intent source kind", `Quick,
+      test_artifact_v1_and_intent_sources);
     ("artifact: replays against panel and subsets", `Quick,
       test_artifact_replay_and_subsets)
   ]

@@ -27,7 +27,7 @@ let upstream_config () =
     |}
 
 let create impl =
-  match Speakers.create impl (upstream_config ()) with
+  match Speakers.create impl (Speaker.Config (upstream_config ())) with
   | Some sp -> sp
   | None -> Alcotest.failf "speaker %s not registered" impl
 
@@ -106,7 +106,7 @@ let test_version_counter impl () =
 
 let test_snapshot_restore_roundtrip impl () =
   let sp = upstream impl in
-  let clone = Speaker.restore_like sp (Speaker.config sp) (Speaker.snapshot sp) in
+  let clone = Speaker.restore_like sp (Speaker.realization sp) (Speaker.snapshot sp) in
   Alcotest.(check string) "clone keeps the implementation" impl (Speaker.id clone);
   Alcotest.(check int) "clone keeps the version counter"
     (Speaker.updates_processed sp) (Speaker.updates_processed clone);
@@ -119,7 +119,7 @@ let test_snapshot_restore_roundtrip impl () =
 let test_clone_isolation impl () =
   let sp = upstream impl in
   let before = Speaker.snapshot sp in
-  let clone = Speaker.restore_like sp (Speaker.config sp) before in
+  let clone = Speaker.restore_like sp (Speaker.realization sp) before in
   ignore (Speaker.feed clone ~peer:provider_side (announcement [ "100.66.0.0/16" ]));
   Alcotest.(check bool) "clone took the route" true
     (Speaker.best_route clone (p "100.66.0.0/16") <> None);
@@ -132,7 +132,7 @@ let test_freeze_captures_the_moment impl () =
   let serialize = Speaker.freeze sp in
   (* the live speaker moves on after the freeze *)
   ignore (Speaker.feed sp ~peer:provider_side (announcement [ "100.77.0.0/16" ]));
-  let clone = Speaker.restore_like sp (Speaker.config sp) (serialize ()) in
+  let clone = Speaker.restore_like sp (Speaker.realization sp) (serialize ()) in
   Alcotest.(check bool) "live has the post-freeze route" true
     (Speaker.best_route sp (p "100.77.0.0/16") <> None);
   Alcotest.(check bool) "the frozen image does not" true
