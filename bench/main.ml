@@ -34,6 +34,10 @@
          intent-configured panel where the unstated policy default
          seeds a filter-interpreter divergence
          (machine-readable copy in BENCH_p8.json)
+     P9  crash tolerance: verdict completeness under a seeded node-crash
+         schedule, circuit-breaker fail-fast latency, time-to-recovery
+         after a restart, and the retry-amplification delta from
+         jittered backoff (machine-readable copy in BENCH_p9.json)
    plus a Bechamel micro-benchmark suite for the hot paths.
 
    By default everything runs at a laptop-friendly scale; set
@@ -1410,6 +1414,227 @@ let experiment_p8 () =
   row "wrote BENCH_p8.json\n"
 
 (* ------------------------------------------------------------------ *)
+(* P9: crash tolerance — completeness, fail-fast, recovery, jitter     *)
+(* ------------------------------------------------------------------ *)
+
+let experiment_p9 () =
+  section "P9"
+    "crash tolerance: verdict completeness vs crash rate, breaker fail-fast \
+     latency, time-to-recovery, jittered-backoff retry amplification";
+  let explorer_side = Ipv4.of_string "10.0.2.1" in
+  (* a deliberately small upstream behind each wire: the sweep measures
+     the crash machinery, not the RIB *)
+  let upstream () =
+    let r =
+      Router.create
+        (Config_parser.parse
+           (Printf.sprintf
+              "router id 10.0.2.2; local as 64700;\n\
+               protocol bgp provider { neighbor 10.0.2.1 as %d; import all; \
+               export none; }"
+              Threerouter.provider_as))
+    in
+    ignore (Router.handle_event r ~peer:explorer_side Fsm.Manual_start);
+    ignore (Router.handle_event r ~peer:explorer_side Fsm.Tcp_connected);
+    ignore
+      (Router.handle_msg r ~peer:explorer_side
+         (Msg.Open
+            { Msg.version = 4; my_as = Threerouter.provider_as land 0xFFFF;
+              hold_time = 90; bgp_id = explorer_side;
+              capabilities = [ Msg.Cap_as4 Threerouter.provider_as ] }));
+    ignore (Router.handle_msg r ~peer:explorer_side Msg.Keepalive);
+    r
+  in
+  let requests n =
+    List.init n (fun i ->
+        Probe_wire.canonical_request ~from:explorer_side
+          (Msg.Update
+             { Msg.withdrawn = [];
+               attrs =
+                 Route.to_attrs
+                   (Route.make ~origin:Attr.Igp
+                      ~as_path:
+                        [ Asn.Path.Seq
+                            [ Threerouter.provider_as; Threerouter.customer_as ] ]
+                      ~next_hop:explorer_side ());
+               nlri = [ p (Printf.sprintf "198.51.%d.0/24" (i mod 256)) ];
+             }))
+  in
+  let wire () =
+    let net = Dice_sim.Network.create () in
+    Dice_sim.Network.set_crash_seed net Dice_sim.Network.default_crash_seed;
+    let serving =
+      Distributed.agent ~name:"upstream" ~addr:Threerouter.internet_addr
+        ~explorer_addr:explorer_side
+        (Distributed.Local (Speakers.bird (upstream ())))
+    in
+    let srv = Distributed.serve net serving in
+    let cl = Probe_rpc.client net ~name:"bench-explorer" in
+    Dice_sim.Network.connect net (Probe_rpc.client_node cl)
+      (Probe_rpc.server_node srv) ~latency:0.001;
+    (net, serving, srv, cl)
+  in
+  (* --- completeness vs crash rate, under the default crash seed --- *)
+  let n_probes = 200 in
+  let config =
+    { Probe_rpc.default_config with
+      Probe_rpc.timeout = 0.05; retries = 6; jitter = 0.1;
+      breaker_threshold = 3; breaker_cooldown = 0.2 }
+  in
+  row "crash sweep: %d probes per level, downtime 0.1 s, crash seed %Ld\n"
+    n_probes Dice_sim.Network.default_crash_seed;
+  row "%-8s %-11s %-8s %-9s %-9s %-7s %s\n" "crash" "completed" "crashes"
+    "restarts" "requeued" "incarn." "virtual-s";
+  let json_sweep = ref [] in
+  let crash_level rate =
+    let net, serving, srv, cl = wire () in
+    let harness = Distributed.Recovery.attach serving in
+    Dice_sim.Network.set_restart_hook net (Probe_rpc.server_node srv) (fun () ->
+        Distributed.Recovery.crash_restart harness);
+    let _stop : unit -> unit =
+      Probe_rpc.start_heartbeats ~until:60.0 srv
+        ~to_:(Probe_rpc.client_node cl) ~period:0.05
+        ~incarnation:(fun () -> Distributed.Recovery.incarnation harness)
+        ~state_version:(fun () -> Distributed.Recovery.state_version harness)
+    in
+    if rate > 0.0 then
+      Dice_sim.Network.set_node_faults net (Probe_rpc.server_node srv)
+        (Dice_sim.Faults.node ~crash:rate ~downtime:0.1 ());
+    let ep = Probe_rpc.endpoint ~config cl ~server:(Probe_rpc.server_node srv) in
+    let v0 = Dice_sim.Network.now net in
+    let answers = Probe_rpc.call_batch ep (requests n_probes) in
+    let virt = Dice_sim.Network.now net -. v0 in
+    ignore (Dice_sim.Network.run net);
+    let completed =
+      List.length (List.filter (fun r -> r <> Probe_rpc.Timeout) answers)
+    in
+    row "%-8.2f %-11s %-8d %-9d %-9d %-7d %.2f\n" rate
+      (Printf.sprintf "%d/%d" completed n_probes)
+      (Dice_sim.Network.node_crashes net)
+      (Dice_sim.Network.node_restarts net)
+      (Dice_sim.Network.messages_requeued net)
+      (Distributed.Recovery.incarnation harness)
+      virt;
+    json_sweep :=
+      Dice_util.Json.obj
+        [ ("crash_rate", Dice_util.Json.float rate);
+          ("probes", Dice_util.Json.int n_probes);
+          ("completed", Dice_util.Json.int completed);
+          ("crashes", Dice_util.Json.int (Dice_sim.Network.node_crashes net));
+          ("restarts", Dice_util.Json.int (Dice_sim.Network.node_restarts net));
+          ("requeued", Dice_util.Json.int (Dice_sim.Network.messages_requeued net));
+          ("incarnation", Dice_util.Json.int (Distributed.Recovery.incarnation harness));
+          ("virtual_s", Dice_util.Json.float virt) ]
+      :: !json_sweep
+  in
+  List.iter crash_level [ 0.0; 0.05; 0.1; 0.2 ];
+  (* --- breaker fail-fast: virtual seconds burned per probe at a dead
+     member, closed vs open --- *)
+  let fconfig =
+    { Probe_rpc.default_config with
+      Probe_rpc.timeout = 0.05; retries = 2; backoff = 2.0;
+      breaker_threshold = 2; breaker_cooldown = 0.2 }
+  in
+  let net, _serving, srv, cl = wire () in
+  let ep = Probe_rpc.endpoint ~config:fconfig cl ~server:(Probe_rpc.server_node srv) in
+  let reqs = requests 16 in
+  let timed f =
+    let t0 = Dice_sim.Network.now net in
+    ignore (f ());
+    Dice_sim.Network.now net -. t0
+  in
+  Dice_sim.Network.pause_node net (Probe_rpc.server_node srv);
+  (* two full-budget timeouts open the breaker *)
+  let closed_lat =
+    List.fold_left
+      (fun acc r -> acc +. timed (fun () -> Probe_rpc.call ep r))
+      0.0
+      [ List.nth reqs 0; List.nth reqs 1 ]
+    /. 2.0
+  in
+  let n_fast = 10 in
+  let open_lat =
+    List.fold_left
+      (fun acc i -> acc +. timed (fun () -> Probe_rpc.call ep (List.nth reqs (2 + i))))
+      0.0
+      (List.init n_fast Fun.id)
+    /. float_of_int n_fast
+  in
+  let fail_fast = (Probe_rpc.stats ep).Probe_rpc.fail_fast in
+  row
+    "fail-fast: closed-breaker probe burns %.3f virtual s, open-breaker %.4f \
+     (%d declined locally)\n"
+    closed_lat open_lat fail_fast;
+  (* --- time-to-recovery: node resumes, cooldown passes, half-open
+     trial heals — measured from resume to the first verdict --- *)
+  Dice_sim.Network.resume_node net (Probe_rpc.server_node srv);
+  ignore (Dice_sim.Network.run net);
+  let t_resume = Dice_sim.Network.now net in
+  let rec until_ok tries =
+    match Probe_rpc.call ep (List.nth reqs 15) with
+    | Probe_rpc.Verdicts _ -> Dice_sim.Network.now net
+    | _ when tries = 0 -> Dice_sim.Network.now net
+    | _ ->
+      Dice_sim.Network.schedule net ~delay:0.05 (fun () -> ());
+      ignore (Dice_sim.Network.run net);
+      until_ok (tries - 1)
+  in
+  let recovery = until_ok 100 -. t_resume in
+  row "time-to-recovery: %.3f virtual s from restart to the first verdict \
+       (cooldown %.2f s, polling every 0.05 s)\n"
+    recovery fconfig.Probe_rpc.breaker_cooldown;
+  (* --- retry amplification: jittered vs synchronized backoff on a
+     lossy (but crash-free) link, same fault seed --- *)
+  let amplification jitter =
+    let net, _serving, srv, cl = wire () in
+    Dice_sim.Network.set_fault_seed net 42L;
+    Dice_sim.Network.set_faults net (Probe_rpc.client_node cl)
+      (Probe_rpc.server_node srv)
+      (Dice_sim.Faults.make ~drop:0.3 ~duplicate:0.1 ~reorder:2 ());
+    let config =
+      { Probe_rpc.default_config with
+        Probe_rpc.timeout = 0.02; retries = 5; jitter }
+    in
+    let ep = Probe_rpc.endpoint ~config cl ~server:(Probe_rpc.server_node srv) in
+    ignore (Probe_rpc.call_batch ep (requests 128));
+    ignore (Dice_sim.Network.run net);
+    let s = Probe_rpc.stats ep in
+    float_of_int (128 + s.Probe_rpc.retries) /. 128.0
+  in
+  let amp_sync = amplification 0.0 in
+  let amp_jit = amplification 0.25 in
+  row
+    "retry amplification at 30%% loss: %.3f synchronized, %.3f with 0.25 \
+     jitter (delta %+.3f)\n"
+    amp_sync amp_jit (amp_jit -. amp_sync);
+  let json =
+    Dice_util.Json.obj
+      [ ("experiment", Dice_util.Json.string "p9");
+        ( "crash_seed",
+          Dice_util.Json.string (Int64.to_string Dice_sim.Network.default_crash_seed) );
+        ("crash_sweep", Dice_util.Json.List (List.rev !json_sweep));
+        ( "fail_fast",
+          Dice_util.Json.obj
+            [ ("closed_probe_s", Dice_util.Json.float closed_lat);
+              ("open_probe_s", Dice_util.Json.float open_lat);
+              ("declined_locally", Dice_util.Json.int fail_fast) ] );
+        ( "recovery",
+          Dice_util.Json.obj
+            [ ("cooldown_s", Dice_util.Json.float fconfig.Probe_rpc.breaker_cooldown);
+              ("time_to_first_verdict_s", Dice_util.Json.float recovery) ] );
+        ( "jitter",
+          Dice_util.Json.obj
+            [ ("amplification_synchronized", Dice_util.Json.float amp_sync);
+              ("amplification_jittered", Dice_util.Json.float amp_jit);
+              ("delta", Dice_util.Json.float (amp_jit -. amp_sync)) ] ) ]
+  in
+  let oc = open_out "BENCH_p9.json" in
+  output_string oc (Dice_util.Json.to_string ~indent:true json);
+  output_string oc "\n";
+  close_out oc;
+  row "wrote BENCH_p9.json\n"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -1656,6 +1881,7 @@ let () =
   experiment_p6 ();
   experiment_p7 ();
   experiment_p8 ();
+  experiment_p9 ();
   experiment_x1 ();
   experiment_x2 ();
   micro_benchmarks ();

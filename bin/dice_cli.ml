@@ -152,6 +152,34 @@ let fault_seed_arg =
           "Seed for the link-fault RNG stream: equal seeds replay identical \
            drop/duplicate/reorder schedules.")
 
+let crash_rate_arg =
+  Arg.(
+    value
+    & opt float 0.0
+    & info [ "crash-rate" ] ~docv:"P"
+        ~doc:
+          "Probability that a frame arriving at a cooperating domain's node \
+           crashes it (the frame is buffered, not lost). Crashed nodes restart \
+           after $(b,--crash-downtime) and rebuild their speaker from snapshot \
+           + journal. Requires $(b,--transport remote).")
+
+let crash_downtime_arg =
+  Arg.(
+    value
+    & opt float 0.25
+    & info [ "crash-downtime" ] ~docv:"SECONDS"
+        ~doc:"Virtual seconds a crashed node stays down before its automatic restart.")
+
+let crash_seed_arg =
+  Arg.(
+    value
+    & opt int64 Dice_sim.Network.default_crash_seed
+    & info [ "crash-seed" ] ~docv:"SEED"
+        ~doc:
+          "Seed for the node-crash RNG stream (distinct from $(b,--fault-seed), \
+           so adding crashes does not reshuffle link faults): equal seeds \
+           replay identical crash schedules.")
+
 (* A cooperating upstream in another administrative domain: reachable at
    the provider's internet peering, holding a private table (export none
    toward the provider) that only remote probing can check against. Each
@@ -202,19 +230,49 @@ let mk_remote_agents ~speaker n =
 (* Remote transport: put each agent on the simulated network as a probe
    server and hand the orchestrator wire endpoints instead of speakers.
    From here on, nothing outside the agents can reach their speakers —
-   probes travel as frames over the (lossy, latent) links. *)
-let remotify net serving_agents =
+   probes travel as frames over the (lossy, latent) links.
+
+   With [crash_tolerant], each serving node also gets the full recovery
+   stack: a {!Distributed.Recovery} harness wired as its restart hook
+   (rebuild the speaker from snapshot + journal on every restart),
+   heartbeats toward the exploring client (the liveness signal the
+   endpoint's health monitor reads), and endpoints configured with
+   jittered backoff plus a circuit breaker so a down node's probes fail
+   fast instead of burning the full timeout x retries budget. *)
+let remotify ?(crash_tolerant = false) net serving_agents =
   let cl = Probe_rpc.client net ~name:"explorer-probe" in
+  let config =
+    if crash_tolerant then
+      { Probe_rpc.default_config with
+        Probe_rpc.jitter = 0.1;
+        breaker_threshold = 2;
+        breaker_cooldown = 0.5;
+      }
+    else Probe_rpc.default_config
+  in
   List.map
     (fun a ->
       let srv = Distributed.serve net a in
       Dice_sim.Network.connect net (Probe_rpc.client_node cl)
         (Probe_rpc.server_node srv) ~latency:0.005;
+      if crash_tolerant then begin
+        let harness = Distributed.Recovery.attach a in
+        Dice_sim.Network.set_restart_hook net (Probe_rpc.server_node srv)
+          (fun () -> Distributed.Recovery.crash_restart harness);
+        let _stop : unit -> unit =
+          Probe_rpc.start_heartbeats ~until:3600.0 srv
+            ~to_:(Probe_rpc.client_node cl) ~period:0.05
+            ~incarnation:(fun () -> Distributed.Recovery.incarnation harness)
+            ~state_version:(fun () -> Distributed.Recovery.state_version harness)
+        in
+        ()
+      end;
       Distributed.agent
         ~name:(Distributed.agent_name a)
         ~addr:(Distributed.agent_addr a)
         ~explorer_addr:Threerouter.provider_addr_internet_side
-        (Distributed.Remote (Probe_rpc.endpoint cl ~server:(Probe_rpc.server_node srv))))
+        (Distributed.Remote
+           (Probe_rpc.endpoint ~config cl ~server:(Probe_rpc.server_node srv))))
     serving_agents
 
 (* The differential panel: one speaker per listed implementation, every
@@ -400,17 +458,24 @@ let run_cmd =
 (* ---------------- detect-leaks ---------------- *)
 
 let detect_leaks filtering seed prefixes runs jobs agents speaker panel intent
-    minimize repro_out transport loss dup reorder fault_seed json =
+    minimize repro_out transport loss dup reorder fault_seed crash_rate
+    crash_downtime crash_seed json =
   let topo, _, n = build_loaded ~filtering ~seed ~prefixes in
   Printf.printf "table loaded: %d routes; filtering=%s\n" n
     (Threerouter.filtering_to_string filtering);
   if agents > 0 then Printf.printf "cooperating domains run the %s speaker\n" speaker;
   let provider = Threerouter.provider_router topo in
   let serving_agents = mk_remote_agents ~speaker (max 0 agents) in
+  let node_faults =
+    if crash_rate = 0.0 then None
+    else Some (Dice_sim.Faults.node ~crash:crash_rate ~downtime:crash_downtime ())
+  in
   let remote_agents =
     match transport with
     | `Local -> serving_agents
-    | `Remote -> remotify topo.Threerouter.net serving_agents
+    | `Remote ->
+      remotify ~crash_tolerant:(node_faults <> None) topo.Threerouter.net
+        serving_agents
   in
   let probe_faults =
     if loss = 0.0 && dup = 0.0 && reorder = 0 then None
@@ -420,6 +485,10 @@ let detect_leaks filtering seed prefixes runs jobs agents speaker panel intent
     prerr_endline
       "note: --loss/--dup/--reorder perturb the probe links; with --transport \
        local there is no wire, so they have no effect";
+  if node_faults <> None && transport = `Local then
+    prerr_endline
+      "note: --crash-rate crashes the cooperating domains' nodes; with \
+       --transport local there are no nodes, so it has no effect";
   let hits = ref [] in
   let panel_ctx =
     match panel with
@@ -441,7 +510,7 @@ let detect_leaks filtering seed prefixes runs jobs agents speaker panel intent
     | None -> []
     | Some (panel_agents, _, _) ->
       [ Panel.hunt ~jobs:(max 1 jobs) ~agents:panel_agents
-          ~sink:(fun h -> hits := h :: !hits) ]
+          ~sink:(fun h -> hits := h :: !hits) () ]
   in
   let cfg =
     { Orchestrator.exploration =
@@ -455,7 +524,9 @@ let detect_leaks filtering seed prefixes runs jobs agents speaker panel intent
         };
       checkers = Orchestrator.default_cfg.Orchestrator.checkers @ panel_checkers;
       federation = Orchestrator.federation ~agents:remote_agents ~probe_jobs:(max 1 jobs);
-      faults = Orchestrator.faults ~probe:probe_faults ~seed:fault_seed;
+      faults =
+        Orchestrator.faults ?node:node_faults ~crash_seed ~probe:probe_faults
+          ~seed:fault_seed ();
     }
   in
   let dice = Orchestrator.create ~cfg (Speakers.bird provider) in
@@ -503,6 +574,10 @@ let detect_leaks filtering seed prefixes runs jobs agents speaker panel intent
                setup = panel_setup;
                schedule = minimal;
                signature;
+               absent =
+                 (match h.Panel.divergence.Panel.quorum with
+                 | Panel.Full -> []
+                 | Panel.Degraded absent -> absent);
              }
            in
            let file = Printf.sprintf "%s-%d.repro" repro_out (i + 1) in
@@ -550,6 +625,28 @@ let detect_leaks filtering seed prefixes runs jobs agents speaker panel intent
        (Dice_sim.Network.messages_reordered net)
        (Dice_sim.Network.messages_corrupted net)
    end);
+  (if transport = `Remote && node_faults <> None then begin
+     let net = topo.Threerouter.net in
+     Printf.printf
+       "node crashes (seed %Ld): %d crash(es), %d restart(s), %d frame(s) \
+        requeued — rerun with the same --crash-seed to replay this schedule\n"
+       crash_seed
+       (Dice_sim.Network.node_crashes net)
+       (Dice_sim.Network.node_restarts net)
+       (Dice_sim.Network.messages_requeued net);
+     List.iter
+       (fun a ->
+         match Distributed.agent_transport a with
+         | Distributed.Remote ep ->
+           let s = Probe_rpc.stats ep in
+           Format.printf
+             "  endpoint %s: %d fail-fast decline(s), %d breaker open(s); %a@."
+             (Distributed.agent_name a) s.Probe_rpc.fail_fast
+             s.Probe_rpc.breaker_opens Health.pp
+             (Probe_rpc.endpoint_health ep)
+         | Distributed.Local _ -> ())
+       remote_agents
+   end);
   if Hijack.leakable_summary report.Orchestrator.faults = [] then 0 else 1
 
 let transport_arg =
@@ -573,7 +670,11 @@ let detect_leaks_cmd =
           the worker pool ($(b,--speaker) picks the BGP implementation they run); with $(b,--transport remote) plus \
           $(b,--loss)/$(b,--dup)/$(b,--reorder), the probe links misbehave \
           deterministically ($(b,--fault-seed)) and the RPC layer must stay \
-          at-most-once and hang-free. With $(b,--panel), every exploration \
+          at-most-once and hang-free. $(b,--crash-rate) additionally crashes \
+          the cooperating nodes on a seeded schedule ($(b,--crash-seed)): \
+          crashed agents recover from snapshot + journal, endpoints detect \
+          them via heartbeat gaps and fail fast through a circuit breaker \
+          while they are down. With $(b,--panel), every exploration \
           message is additionally probed at an N-way differential panel of \
           implementations; $(b,--minimize) delta-debugs each divergence and \
           writes a replayable repro artifact.")
@@ -581,7 +682,8 @@ let detect_leaks_cmd =
       const detect_leaks $ filtering_arg $ seed_arg $ prefixes_arg $ runs_arg
       $ jobs_arg $ agents_arg $ speaker_arg $ panel_arg $ intent_arg
       $ minimize_arg $ repro_out_arg $ transport_arg $ loss_arg $ dup_arg
-      $ reorder_arg $ fault_seed_arg $ json_arg)
+      $ reorder_arg $ fault_seed_arg $ crash_rate_arg $ crash_downtime_arg
+      $ crash_seed_arg $ json_arg)
 
 (* ---------------- replay-divergence ---------------- *)
 
@@ -595,6 +697,13 @@ let replay_loaded file artifact subset jobs =
   | Panel.Artifact.Config_text _ -> ()
   | Panel.Artifact.Intent_text _ ->
     print_endline "configured from operator intent: each member realizes its own dialect");
+  (match artifact.Panel.Artifact.absent with
+  | [] -> ()
+  | absent ->
+    Printf.printf
+      "degraded capture: [%s] down when recorded; replaying the members that \
+       actually voted\n"
+      (String.concat ", " absent));
   let divergences =
     Panel.Artifact.replay ?speakers:subset ~jobs:(max 1 jobs) artifact
   in
@@ -650,7 +759,11 @@ let replay_divergence_cmd =
          "Re-execute a minimized divergence repro: rebuild the recorded panel \
           from the artifact's configuration and setup schedule, probe the \
           minimized update schedule, and check the recorded divergence still \
-          appears (exit status 1 if it does not).")
+          appears. A degraded capture (members recorded absent) replays over \
+          the members that actually voted. Exit status: 0 if the divergence \
+          reproduces (or for any $(b,--speakers) subset replay, which asserts \
+          nothing), 1 if a full replay does not reproduce it, 2 if the \
+          artifact is unreadable or malformed.")
     Term.(const replay_divergence $ file $ subset $ jobs_arg)
 
 (* ---------------- explore-filter ---------------- *)

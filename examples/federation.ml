@@ -349,6 +349,7 @@ let () =
                   nlri = [ p "198.51.77.0/24" ] } ) ];
         schedule = minimal;
         signature = Panel.signature d;
+        absent = [];
       }
     in
     let file = Filename.temp_file "federation-demo" ".repro" in

@@ -36,7 +36,11 @@ type agent = {
   name : string;
   addr : Ipv4.t;
   explorer_addr : Ipv4.t;
-  transport : transport;
+  (* mutable so crash recovery can swap a rebuilt speaker in place — the
+     agent's identity (name, addr, caches, counters) survives the
+     restart, exactly like a rebooted router keeps its address *)
+  mutable transport : transport;
+  health : Health.t;
   lock : Mutex.t;  (* guards [cache]; probes run on any worker domain *)
   mutable cache : (bytes * int) option;  (* image, updates counter at capture *)
   probes : int Atomic.t;
@@ -47,11 +51,19 @@ type agent = {
 }
 
 let agent ~name ~addr ~explorer_addr transport =
+  let health =
+    match transport with
+    (* a Remote agent's liveness is the endpoint's: one monitor, fed by
+       the RPC layer, shared here — never double-counted *)
+    | Remote ep -> Probe_rpc.endpoint_health ep
+    | Local _ -> Health.create ~name ()
+  in
   {
     name;
     addr;
     explorer_addr;
     transport;
+    health;
     lock = Mutex.create ();
     cache = None;
     probes = Atomic.make 0;
@@ -65,6 +77,7 @@ let agent_name t = t.name
 let agent_addr t = t.addr
 let agent_explorer_addr t = t.explorer_addr
 let agent_transport t = t.transport
+let agent_health t = t.health
 
 (* The remote node's checkpoint of its own state — taken by the agent,
    never shipped to the exploring node. The mutex covers the check-then-
@@ -275,6 +288,121 @@ let stats t =
     declines = Atomic.get t.declines;
     retries;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Crash recovery                                                      *)
+(* ------------------------------------------------------------------ *)
+
+module Recovery = struct
+  type harness = {
+    agent : agent;
+    journal_cap : int;
+    lock : Mutex.t;
+    mutable image : bytes;  (* last snapshot of the live speaker *)
+    mutable rev_journal : (Ipv4.t * Msg.t) list;  (* updates since, newest first *)
+    mutable journal_len : int;
+    mutable incarnation : int;
+    mutable restarts : int;
+    mutable snapshots : int;
+  }
+
+  let live_of agent what =
+    match agent.transport with
+    | Local sp -> sp
+    | Remote _ ->
+      invalid_arg
+        (Printf.sprintf "Distributed.Recovery.%s: %s is not a Local agent" what
+           agent.name)
+
+  let attach ?(journal_cap = 64) agent =
+    if journal_cap < 1 then
+      invalid_arg "Distributed.Recovery.attach: journal_cap must be >= 1";
+    let sp = live_of agent "attach" in
+    {
+      agent;
+      journal_cap;
+      lock = Mutex.create ();
+      image = Speaker.snapshot sp;
+      rev_journal = [];
+      journal_len = 0;
+      incarnation = 0;
+      restarts = 0;
+      snapshots = 1;
+    }
+
+  (* Feed the live speaker and journal the update. When the journal
+     hits its cap, fold it into a fresh snapshot instead of growing —
+     recovery therefore always replays at most [journal_cap] updates,
+     and is always exact: snapshot + journal IS the live state. *)
+  let feed t ~peer msg =
+    let sp = live_of t.agent "feed" in
+    let outs = Speaker.feed sp ~peer msg in
+    Mutex.lock t.lock;
+    if t.journal_len + 1 >= t.journal_cap then begin
+      t.image <- Speaker.snapshot sp;
+      t.snapshots <- t.snapshots + 1;
+      t.rev_journal <- [];
+      t.journal_len <- 0
+    end
+    else begin
+      t.rev_journal <- (peer, msg) :: t.rev_journal;
+      t.journal_len <- t.journal_len + 1
+    end;
+    Mutex.unlock t.lock;
+    outs
+
+  let crash_restart t =
+    let old = live_of t.agent "crash_restart" in
+    Mutex.lock t.lock;
+    let image = t.image and journal = List.rev t.rev_journal in
+    Mutex.unlock t.lock;
+    (* rebuild: restore the last snapshot, replay the bounded journal —
+       the rebuilt speaker is state-identical to the one that crashed *)
+    let sp = Speaker.restore_like old (Speaker.realization old) image in
+    List.iter (fun (peer, msg) -> ignore (Speaker.feed sp ~peer msg)) journal;
+    t.agent.transport <- Local sp;
+    (* the checkpoint image cache belonged to the dead speaker *)
+    Mutex.lock t.agent.lock;
+    t.agent.cache <- None;
+    Mutex.unlock t.agent.lock;
+    (* a rebuilt speaker can present an [updates_processed] counter that
+       collides with a pre-crash version while holding different
+       history — epoch-invalidate rather than trust the version stamp *)
+    Dice_exec.Vcache.invalidate t.agent.vcache;
+    Mutex.lock t.lock;
+    t.incarnation <- t.incarnation + 1;
+    t.restarts <- t.restarts + 1;
+    Mutex.unlock t.lock
+
+  let incarnation t =
+    Mutex.lock t.lock;
+    let v = t.incarnation in
+    Mutex.unlock t.lock;
+    v
+
+  let restarts t =
+    Mutex.lock t.lock;
+    let v = t.restarts in
+    Mutex.unlock t.lock;
+    v
+
+  let snapshots t =
+    Mutex.lock t.lock;
+    let v = t.snapshots in
+    Mutex.unlock t.lock;
+    v
+
+  let journal_length t =
+    Mutex.lock t.lock;
+    let v = t.journal_len in
+    Mutex.unlock t.lock;
+    v
+
+  let state_version t =
+    match t.agent.transport with
+    | Local sp -> Speaker.updates_processed sp
+    | Remote _ -> 0
+end
 
 let checker ~jobs ~agents =
   let agents_of addr = List.filter (fun a -> a.addr = addr) agents in

@@ -98,6 +98,16 @@ val agent_explorer_addr : agent -> Ipv4.t
     exploration outputs claim as their arrival session. *)
 
 val agent_transport : agent -> transport
+(** Current transport. Mutable under the hood: {!Recovery.crash_restart}
+    swaps a rebuilt speaker into a [Local] agent in place, so the
+    agent's identity, caches and counters survive the restart. *)
+
+val agent_health : agent -> Health.t
+(** The agent's liveness monitor. For a [Remote] agent this {e is} the
+    endpoint's monitor ({!Probe_rpc.endpoint_health}) — heartbeats and
+    probe outcomes feed it in the RPC layer, never double-counted here.
+    A [Local] agent gets its own monitor, which stays [Alive] (an
+    in-process speaker has no wire to lose). *)
 
 val serve : Dice_sim.Network.t -> agent -> Probe_rpc.server
 (** Put a [Local] agent on the network: registers a node whose handler
@@ -152,6 +162,58 @@ val stats : agent -> stats
     the agent that holds the live speaker: for a [Local] transport
     that is this agent; for a [Remote] transport they are zero {e here}
     and reported by the serving side, where the speaker is. *)
+
+(** Agent crash recovery: surviving a node restart with bounded state.
+
+    The crash model ({!Dice_sim.Network.pause_node} or a seeded
+    {!Dice_sim.Faults.node} schedule) kills a serving node mid-hunt.
+    A {!harness} attached to a [Local] agent keeps what recovery needs:
+    the last {!Speaker.snapshot} of the live speaker plus a bounded
+    journal of the updates fed since. When the journal reaches its cap
+    it is folded into a fresh snapshot, so recovery always replays at
+    most [journal_cap] updates and is always {e exact} — snapshot +
+    journal is byte-equivalent state to the speaker that crashed.
+
+    {!crash_restart} (typically wired as the node's
+    {!Dice_sim.Network.set_restart_hook}) rebuilds the speaker from
+    snapshot + journal, swaps it into the agent in place, drops the
+    agent's checkpoint-image cache, epoch-invalidates its verdict cache
+    (a rebuilt speaker's [updates_processed] can collide with a
+    pre-crash version), and bumps the incarnation that the server's
+    next heartbeat announces. *)
+module Recovery : sig
+  type harness
+
+  val attach : ?journal_cap:int -> agent -> harness
+  (** Snapshot the agent's live speaker and start journaling.
+      [journal_cap] (default 64) bounds the replay.
+      @raise Invalid_argument on a [Remote] agent or [journal_cap < 1]. *)
+
+  val feed : harness -> peer:Ipv4.t -> Msg.t -> (Ipv4.t * Msg.t) list
+  (** Feed the live speaker {e through the harness}: the update is
+      journaled (or folded into a fresh snapshot at the cap) so recovery
+      stays exact. Returns the speaker's outputs, like
+      {!Speaker.feed}. *)
+
+  val crash_restart : harness -> unit
+  (** The restart: rebuild from snapshot + journal, swap the speaker
+      into the agent, invalidate caches, bump the incarnation. *)
+
+  val incarnation : harness -> int
+  (** Restarts survived (0 before the first crash) — what heartbeats
+      announce as the agent's life number. *)
+
+  val restarts : harness -> int
+  val snapshots : harness -> int
+  (** Snapshots taken (the initial one plus each journal fold). *)
+
+  val journal_length : harness -> int
+  (** Updates currently in the journal (< [journal_cap]). *)
+
+  val state_version : harness -> int
+  (** The live speaker's [updates_processed] (0 on a [Remote] agent) —
+      what heartbeats announce as the state version. *)
+end
 
 val checker : jobs:int -> agents:agent list -> Checker.t
 (** A {!Checker.t} that extends every exploration outcome across the

@@ -34,6 +34,8 @@ type federation = {
 type faults = {
   probe : Dice_sim.Faults.t option;
   seed : int64;
+  node : Dice_sim.Faults.node option;
+  crash_seed : int64;
 }
 
 type cfg = {
@@ -55,11 +57,14 @@ let federation ~agents ~probe_jobs =
   if probe_jobs < 1 then invalid_arg "Orchestrator.federation: probe_jobs must be >= 1";
   { agents; probe_jobs }
 
-let faults ~probe ~seed =
+let faults ?node ?(crash_seed = Dice_sim.Network.default_crash_seed) ~probe ~seed () =
   (match probe with
   | Some f -> Dice_sim.Faults.validate f
   | None -> ());
-  { probe; seed }
+  (match node with
+  | Some nf -> Dice_sim.Faults.validate_node nf
+  | None -> ());
+  { probe; seed; node; crash_seed }
 
 let default_exploration =
   {
@@ -72,7 +77,12 @@ let default_exploration =
   }
 
 let default_federation = { agents = []; probe_jobs = 1 }
-let default_faults = { probe = None; seed = 42L }
+let default_faults =
+  { probe = None;
+    seed = 42L;
+    node = None;
+    crash_seed = Dice_sim.Network.default_crash_seed;
+  }
 
 let default_cfg =
   {
@@ -90,22 +100,29 @@ type t = {
 }
 
 let create ?(cfg = default_cfg) live =
-  (* Chaos knob: a fault model in the config lands on every remote
-     agent's probe link, with the fault RNG reseeded so the whole run
-     replays from [cfg.faults.seed]. Local agents have no wire to
-     perturb. *)
-  (match cfg.faults.probe with
-  | None -> ()
-  | Some f ->
-    List.iter
-      (fun a ->
-        match Distributed.agent_transport a with
-        | Distributed.Remote ep ->
-          let net, cnode, snode = Probe_rpc.endpoint_link ep in
-          Dice_sim.Network.set_fault_seed net cfg.faults.seed;
-          Dice_sim.Network.set_faults net cnode snode f
-        | Distributed.Local _ -> ())
-      cfg.federation.agents);
+  (* Chaos knobs: a link fault model in the config lands on every
+     remote agent's probe link, a node crash model on every remote
+     agent's serving node, each with its RNG reseeded so the whole run
+     replays from [cfg.faults.seed] / [cfg.faults.crash_seed]. Local
+     agents have no wire to perturb and no node to crash. *)
+  (if cfg.faults.probe <> None || cfg.faults.node <> None then
+     List.iter
+       (fun a ->
+         match Distributed.agent_transport a with
+         | Distributed.Remote ep ->
+           let net, cnode, snode = Probe_rpc.endpoint_link ep in
+           (match cfg.faults.probe with
+           | None -> ()
+           | Some f ->
+             Dice_sim.Network.set_fault_seed net cfg.faults.seed;
+             Dice_sim.Network.set_faults net cnode snode f);
+           (match cfg.faults.node with
+           | None -> ()
+           | Some nf ->
+             Dice_sim.Network.set_crash_seed net cfg.faults.crash_seed;
+             Dice_sim.Network.set_node_faults net snode nf)
+         | Distributed.Local _ -> ())
+       cfg.federation.agents);
   (* Cooperating remote agents become one more checker: every exploration
      outcome is probed across the domain boundary, [probe_jobs] probes at
      a time over the worker pool. *)

@@ -77,6 +77,18 @@ type faults = {
   seed : int64;
       (** seed for the probe networks' fault RNG streams (applied with
           [probe]); equal seeds replay identical fault schedules *)
+  node : Dice_sim.Faults.node option;
+      (** when set, this crash model is installed on every [Remote]
+          agent's {e serving node} at {!create} time: frame arrivals at
+          the node may crash it (buffering, not losing, in-flight
+          frames) for [downtime] virtual seconds before the automatic
+          restart fires the node's restart hook (typically a
+          {!Distributed.Recovery.crash_restart}). [None] (the default)
+          crashes nobody. *)
+  crash_seed : int64;
+      (** seed for the crash RNG stream (applied with [node], distinct
+          from the link-fault stream so adding crashes does not reshuffle
+          link faults); equal seeds replay identical crash schedules *)
 }
 
 type cfg = {
@@ -100,9 +112,16 @@ val exploration :
 val federation : agents:Distributed.agent list -> probe_jobs:int -> federation
 (** @raise Invalid_argument if [probe_jobs < 1]. *)
 
-val faults : probe:Dice_sim.Faults.t option -> seed:int64 -> faults
+val faults :
+  ?node:Dice_sim.Faults.node ->
+  ?crash_seed:int64 ->
+  probe:Dice_sim.Faults.t option ->
+  seed:int64 ->
+  unit ->
+  faults
 (** @raise Invalid_argument on an invalid fault model
-    ({!Dice_sim.Faults.validate}). *)
+    ({!Dice_sim.Faults.validate} / {!Dice_sim.Faults.validate_node}).
+    [crash_seed] defaults to {!Dice_sim.Network.default_crash_seed}. *)
 
 val default_exploration : exploration
 (** DFS explorer (96 runs, depth 64), 4 KiB pages, selective
@@ -112,7 +131,7 @@ val default_federation : federation
 (** No agents, 1 probe job. *)
 
 val default_faults : faults
-(** No probe faults, seed 42. *)
+(** No probe faults (seed 42), no node crashes (default crash seed). *)
 
 val default_cfg : cfg
 (** {!default_exploration} + the {!Hijack.checker} +

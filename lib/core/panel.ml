@@ -3,12 +3,17 @@ open Dice_bgp
 module Wbuf = Dice_wire.Wbuf
 module Rbuf = Dice_wire.Rbuf
 
+type quorum =
+  | Full
+  | Degraded of string list
+
 type divergence = {
   prefix : Prefix.t;
   answers : (string * Verdict.t option) list;
   majority : Verdict.t;
   outliers : string list;
   tie_break_only : bool;
+  quorum : quorum;
 }
 
 let signature d =
@@ -26,9 +31,13 @@ let pp_divergence ppf d =
       v
       (if List.mem name d.outliers then "   <- outlier" else "")
   in
-  Format.fprintf ppf "@[<v 2>%s %s:@,%a@,%-8s %a@]"
+  Format.fprintf ppf "@[<v 2>%s %s%s:@,%a@,%-8s %a@]"
     (Prefix.to_string d.prefix)
     (if d.tie_break_only then "tie-break divergence" else "divergence")
+    (match d.quorum with
+    | Full -> ""
+    | Degraded absent ->
+      Printf.sprintf " (degraded: %s down)" (String.concat "," absent))
     (Format.pp_print_list pp_answer) d.answers "majority:" Verdict.pp d.majority
 
 (* Field-wise majority vote. Earliest occurrence wins a tie, so the
@@ -90,7 +99,7 @@ let diverging prefix answers =
         List.length answered = List.length answers
         && List.for_all (fun v -> tie_break_pair v (List.hd answered)) answered
       in
-      Some { prefix; answers; majority; outliers; tie_break_only }
+      Some { prefix; answers; majority; outliers; tie_break_only; quorum = Full }
     end
   end
 
@@ -131,14 +140,45 @@ let rec chunk n = function
     let h, t = take n l in
     h :: chunk n t
 
+(* Quorum over live members: a panel can out-vote one crashed member,
+   but a vote without a strict majority of members would let a minority
+   (or a single survivor) masquerade as "the majority verdict". *)
+let quorum_of agents =
+  let down =
+    List.filter
+      (fun a -> Health.state (Distributed.agent_health a) = Health.Down)
+      agents
+  in
+  match down with
+  | [] -> `Full
+  | _ ->
+    let names = List.map Distributed.agent_name down in
+    let survivors = List.length agents - List.length down in
+    if 2 * survivors > List.length agents then `Degraded names else `Lost names
+
 let probe ~jobs ~agents exchanges =
   let n = List.length agents in
   if n = 0 then invalid_arg "Panel.probe: empty panel";
+  (* Down members are excluded from the vote while a majority survives:
+     their timeouts would otherwise read as "gave no answer" outliers
+     and flood every prefix with spurious divergences. With quorum lost
+     the panel probes everyone anyway — gating belongs to the hunt
+     ({!make_checker} pauses), not to a one-shot probe. *)
+  let voting, absent =
+    match quorum_of agents with
+    | `Degraded down -> (List.filter (fun a -> not (List.mem (Distributed.agent_name a) down)) agents, down)
+    | `Full | `Lost _ -> (agents, [])
+  in
+  let vn = List.length voting in
   let reqs =
-    List.concat_map (fun (from, msg) -> List.map (fun a -> (a, from, msg)) agents) exchanges
+    List.concat_map (fun (from, msg) -> List.map (fun a -> (a, from, msg)) voting) exchanges
   in
   let answers = Distributed.probe_all ~jobs reqs in
-  List.concat_map (divergences_of agents) (chunk n answers)
+  List.concat_map (divergences_of voting) (chunk vn answers)
+  |> List.map (fun d ->
+         match absent with
+         | [] -> d
+         | absent -> { d with quorum = Degraded absent })
   (* prefix-sorted, stably: reports are deterministic across runs and
      job counts, and equal prefixes keep schedule order *)
   |> List.stable_sort (fun a b -> Prefix.compare a.prefix b.prefix)
@@ -148,7 +188,7 @@ type hit = {
   divergence : divergence;
 }
 
-let make_checker ~jobs ~agents ~sink =
+let make_checker ?(on_pause = fun _ -> ()) ~jobs ~agents ~sink () =
   let name = "panel" in
   let addresses = List.map Distributed.agent_addr agents in
   let check (cctx : Checker.context) (outcome : Speaker.import_outcome) =
@@ -174,6 +214,9 @@ let make_checker ~jobs ~agents ~sink =
           ("majority", Verdict.to_string d.majority);
           ("outliers", String.concat "," d.outliers);
         ]
+        @ (match d.quorum with
+          | Full -> []
+          | Degraded absent -> [ ("quorum-absent", String.concat "," absent) ])
         @ List.concat_map
             (fun (member, v) ->
               match v with
@@ -181,6 +224,16 @@ let make_checker ~jobs ~agents ~sink =
               | None -> [ (member ^ "-answer", "none") ])
             d.answers
       in
+      (* Quorum loss pauses the hunt: a minority vote would produce
+         verdicts no one should trust, so the checker reports nothing
+         for this outcome and tells the caller who is down. Probing
+         resumes by itself on the next outcome once recovery (or the
+         health monitor's positive evidence) brings members back. *)
+      match quorum_of agents with
+      | `Lost down ->
+        on_pause down;
+        []
+      | `Full | `Degraded _ ->
       let divergences = probe ~jobs ~agents exchanges in
       List.iter (fun divergence -> sink { schedule = exchanges; divergence }) divergences;
       List.map
@@ -210,8 +263,8 @@ let make_checker ~jobs ~agents ~sink =
   in
   { Checker.name; check }
 
-let checker ~jobs ~agents = make_checker ~jobs ~agents ~sink:(fun _ -> ())
-let hunt ~jobs ~agents ~sink = make_checker ~jobs ~agents ~sink
+let checker ~jobs ~agents = make_checker ~jobs ~agents ~sink:(fun _ -> ()) ()
+let hunt ?on_pause ~jobs ~agents ~sink () = make_checker ?on_pause ~jobs ~agents ~sink ()
 
 (* ------------------------------------------------------------------ *)
 (* Replay artifacts                                                    *)
@@ -228,10 +281,11 @@ module Artifact = struct
     setup : (Ipv4.t * Msg.t) list;
     schedule : (Ipv4.t * Msg.t) list;
     signature : string;
+    absent : string list;
   }
 
   let magic = "DICERPR1"
-  let version = 2
+  let version = 3
 
   let put_string16 b s =
     if String.length s > 0xFFFF then invalid_arg "Panel.Artifact: string too long";
@@ -284,6 +338,11 @@ module Artifact = struct
     put_exchanges b t.setup;
     put_exchanges b t.schedule;
     put_string16 b t.signature;
+    (* v3: members absent (Down) when the divergence was captured —
+       appended last so the v1/v2 prefix layout is untouched *)
+    if List.length t.absent > 0xFFFF then invalid_arg "Panel.Artifact: absent list too long";
+    Wbuf.u16 b (List.length t.absent);
+    List.iter (put_string16 b) t.absent;
     Wbuf.contents b
 
   let decode bytes =
@@ -291,7 +350,7 @@ module Artifact = struct
     let m = Bytes.to_string (Rbuf.take ~what:"artifact magic" r 8) in
     if m <> magic then raise (Rbuf.Truncated "artifact magic: not a DiCE repro");
     let v = Rbuf.u8 ~what:"artifact version" r in
-    if v <> 1 && v <> version then
+    if v < 1 || v > version then
       raise (Rbuf.Truncated (Printf.sprintf "artifact version: %d (want <= %d)" v version));
     let n_speakers = Rbuf.u16 ~what:"speaker count" r in
     let speakers = List.init n_speakers (fun _ -> get_string16 ~what:"speaker name" r) in
@@ -308,9 +367,17 @@ module Artifact = struct
     let setup = get_exchanges ~what:"setup" r in
     let schedule = get_exchanges ~what:"schedule" r in
     let signature = get_string16 ~what:"signature" r in
+    (* pre-v3 artifacts predate degraded captures: nobody was absent *)
+    let absent =
+      if v < 3 then []
+      else begin
+        let n = Rbuf.u16 ~what:"absent count" r in
+        List.init n (fun _ -> get_string16 ~what:"absent member" r)
+      end
+    in
     if not (Rbuf.eof r) then
       raise (Rbuf.Truncated (Printf.sprintf "trailing bytes at %d" (Rbuf.pos r)));
-    { speakers; source; setup; schedule; signature }
+    { speakers; source; setup; schedule; signature; absent }
 
   let save path t =
     let oc = open_out_bin path in
@@ -325,7 +392,13 @@ module Artifact = struct
     decode (Bytes.of_string bytes)
 
   let build ?speakers t =
-    let selected = Option.value speakers ~default:t.speakers in
+    (* default to the members that actually voted: rebuilding the
+       absent ones too would replay a vote that never happened and
+       miss the recorded signature (their answers were excluded) *)
+    let voting = List.filter (fun s -> not (List.mem s t.absent)) t.speakers in
+    let selected =
+      Option.value speakers ~default:(if voting = [] then t.speakers else voting)
+    in
     List.iter
       (fun name ->
         if not (List.mem name t.speakers) then

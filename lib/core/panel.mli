@@ -21,10 +21,18 @@
 open Dice_inet
 open Dice_bgp
 
+(** How many members backed the vote. *)
+type quorum =
+  | Full  (** every panel member was live and eligible to vote *)
+  | Degraded of string list
+      (** the vote proceeded over a surviving strict majority; the
+          listed members were {!Health.Down} and excluded (rather than
+          polluting every prefix as "gave no answer" outliers) *)
+
 type divergence = {
   prefix : Prefix.t;
   answers : (string * Verdict.t option) list;
-      (** one per panel member, in panel order: agent name and its
+      (** one per {e voting} member, in panel order: agent name and its
           verdict for [prefix] ([None]: declined, timed out, or
           answered without this prefix) *)
   majority : Verdict.t;
@@ -35,6 +43,10 @@ type divergence = {
           members that gave no answer while others did), in panel
           order *)
   tie_break_only : bool;
+  quorum : quorum;
+      (** whether absent members were excluded from this vote — not
+          part of {!signature}, so a degraded capture still matches
+          its full-panel replay *)
 }
 
 val signature : divergence -> string
@@ -43,6 +55,15 @@ val signature : divergence -> string
     minimization rounds and artifact replays. *)
 
 val pp_divergence : Format.formatter -> divergence -> unit
+
+val quorum_of :
+  Distributed.agent list ->
+  [ `Full | `Degraded of string list | `Lost of string list ]
+(** Consult each member's {!Distributed.agent_health}: [`Full] when
+    nobody is {!Health.Down}; [`Degraded down] when some are but a
+    strict majority survives (the panel can still out-vote the
+    absentees); [`Lost down] when the survivors are not a strict
+    majority — no vote over them deserves the name. *)
 
 val probe :
   jobs:int ->
@@ -55,6 +76,12 @@ val probe :
     are deterministic whatever the probe schedule under [jobs > 1].
     Probing never mutates the members' live speakers, so the same
     panel can be re-probed — that is what minimization leans on.
+
+    Crash tolerance: members whose health monitor says {!Health.Down}
+    are excluded from the vote while a strict majority survives, and
+    every resulting divergence is tagged [Degraded]. With quorum lost
+    the panel probes everyone anyway — pausing belongs to the hunt
+    ({!hunt}'s [on_pause]), not to a one-shot probe.
     @raise Invalid_argument on an empty panel. *)
 
 type hit = {
@@ -73,11 +100,22 @@ val checker : jobs:int -> agents:Distributed.agent list -> Checker.t
     the assembled [majority], and the [outliers]. *)
 
 val hunt :
-  jobs:int -> agents:Distributed.agent list -> sink:(hit -> unit) -> Checker.t
+  ?on_pause:(string list -> unit) ->
+  jobs:int ->
+  agents:Distributed.agent list ->
+  sink:(hit -> unit) ->
+  unit ->
+  Checker.t
 (** {!checker}, but every divergence is also handed to [sink] together
     with the schedule that triggered it — the hook that lets a CLI or
     orchestrator collect repro candidates for minimization while the
-    exploration runs. *)
+    exploration runs.
+
+    When quorum is lost (see {!quorum_of}) the checker probes nothing
+    for that outcome and calls [on_pause] with the down members — the
+    hunt is paused, not failed. It resumes by itself on the next
+    outcome once recovery (or fresh heartbeats) brings enough members
+    back to [Alive]. *)
 
 (** Replayable divergence repros: a versioned, length-framed file
     format following the {!Probe_wire} conventions (magic + version
@@ -107,11 +145,16 @@ module Artifact : sig
             after establishing every configured session *)
     schedule : (Ipv4.t * Msg.t) list;  (** the probe exchanges *)
     signature : string;  (** expected {!signature} of the divergence *)
+    absent : string list;
+        (** members that were {!Health.Down} (excluded from the vote)
+            when the divergence was captured — empty for a full-panel
+            capture and for any pre-v3 artifact *)
   }
 
   val version : int
-  (** Version 2 adds the source kind; version-1 artifacts (config text
-      only) still decode. *)
+  (** Version 3 appends the [absent] member list (degraded captures);
+      version 2 added the source kind; version-1 and version-2
+      artifacts still decode (with [absent = \[\]]). *)
 
   val encode : t -> bytes
   (** Canonical bytes: equal artifacts encode identically. *)
@@ -128,7 +171,9 @@ module Artifact : sig
   (** Rebuild the panel: create each speaker ({!Speakers.create_exn})
       from [config], establish every configured session, feed [setup],
       and wrap each as a [Local] agent named after its implementation.
-      [speakers] selects a subset (default: all members). *)
+      [speakers] selects a subset; the default is the members that
+      actually voted ([speakers] minus [absent]) — a degraded capture
+      replays the vote that happened, not the one that didn't. *)
 
   val replay : ?speakers:string list -> jobs:int -> t -> divergence list
   (** [build] then {!probe} the artifact's schedule — re-execution

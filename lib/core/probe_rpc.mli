@@ -84,6 +84,27 @@ val bad_frames : server -> int
 (** Malformed or unexpected frames dropped so far (a corrupted request
     frame lands here). *)
 
+val heartbeats_sent : server -> int
+(** Heartbeat frames this server actually put on the wire. *)
+
+val start_heartbeats :
+  ?until:float ->
+  server ->
+  to_:Network.node_id ->
+  period:float ->
+  incarnation:(unit -> int) ->
+  state_version:(unit -> int) ->
+  unit -> unit
+(** Emit {!Probe_wire.Heartbeat} frames from the server to [to_] every
+    [period] virtual seconds, reading [incarnation] and [state_version]
+    fresh at each beat (so a crash-recovered agent announces its new
+    life without re-wiring). A paused (crashed) or disconnected server
+    misses its beats silently — that gap {e is} the liveness signal.
+    Returns a stop thunk; beating also stops once virtual time passes
+    [until] (without a horizon or a stop call, the recurring timer keeps
+    [Network.run] alive forever — simulations should pass [until]).
+    @raise Invalid_argument on a non-positive or non-finite [period]. *)
+
 (** {1 Exploring side} *)
 
 type client
@@ -98,17 +119,38 @@ type config = {
   retries : int;  (** re-sends after the first attempt *)
   backoff : float;  (** attempt [i] waits [timeout *. backoff ** i] *)
   max_in_flight : int;  (** outstanding requests per {!call_batch} *)
+  jitter : float;
+      (** seeded-jitter fraction: each backoff delay (and breaker
+          cooldown) is scaled by a deterministic uniform draw from
+          [\[1, 1 + jitter)]. [0.0] (the default) keeps the pure
+          exponential schedule — synchronized retries across endpoints
+          amplify load spikes after a shared-link blip; a small jitter
+          desynchronizes them without losing replayability (the draws
+          come from the endpoint's own seeded stream). *)
+  breaker_threshold : int;
+      (** consecutive timeouts before the circuit breaker opens;
+          [0] (the default) disables the breaker entirely *)
+  breaker_cooldown : float;
+      (** base open duration: opening [k] (from 0) holds for
+          [breaker_cooldown *. backoff ** k], jittered, before the
+          half-open trial *)
 }
 
 val default_config : config
-(** 1 s virtual timeout, 2 retries, 2.0 backoff, 8 in flight. *)
+(** 1 s virtual timeout, 2 retries, 2.0 backoff, 8 in flight, no
+    jitter, breaker disabled, 5 s base cooldown. *)
 
 type endpoint
 
-val endpoint : ?config:config -> client -> server:Network.node_id -> endpoint
+val endpoint :
+  ?config:config -> ?seed:int64 -> client -> server:Network.node_id -> endpoint
 (** A client's view of one remote agent. The link itself is the
     caller's to manage ([Network.connect]/[disconnect]) — probing a
-    disconnected endpoint is exactly how a partition is simulated. *)
+    disconnected endpoint is exactly how a partition is simulated.
+    [seed] (fixed default) seeds the endpoint's private jitter stream;
+    equal seeds and call sequences replay identical backoff and
+    cooldown schedules. Creating the endpoint also registers its
+    {!Health} monitor for the server's heartbeats on this client. *)
 
 val endpoint_config : endpoint -> config
 
@@ -116,6 +158,19 @@ val endpoint_link : endpoint -> Network.t * Network.node_id * Network.node_id
 (** The wire under an endpoint: [(network, client node, server node)].
     This is the link to cut for a partition, or to hand a
     {!Dice_sim.Faults} model for chaos runs. *)
+
+val endpoint_health : endpoint -> Health.t
+(** The endpoint's liveness monitor: fed passively by the server's
+    heartbeats arriving at this client, and actively by every probe
+    outcome ({!Health.note_ok} on any wire answer,
+    {!Health.note_timeout} on an exhausted request,
+    {!Health.note_down} when the breaker opens). *)
+
+val breaker_state : endpoint -> [ `Closed | `Open | `Half_open ]
+(** Where the circuit breaker stands: [`Closed] (probes flow), [`Open]
+    (probes fail fast as [Declined]), [`Half_open] (one trial probe is
+    allowed through; others fail fast). Always [`Closed] while
+    [breaker_threshold = 0]. *)
 
 type result =
   | Verdicts of (Prefix.t * Probe_wire.verdict) list
@@ -144,6 +199,11 @@ type stats = {
   late_responses : int;
       (** responses for an already-completed (or timed-out) call —
           duplicates and stragglers — dropped, never applied twice *)
+  fail_fast : int;
+      (** requests answered [Declined] locally by the open breaker,
+          without touching the wire (counted in [calls] and [declines]
+          too) *)
+  breaker_opens : int;  (** times the breaker opened (re-opens included) *)
 }
 
 val stats : endpoint -> stats

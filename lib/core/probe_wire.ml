@@ -3,7 +3,8 @@ open Dice_bgp
 module Wbuf = Dice_wire.Wbuf
 module Rbuf = Dice_wire.Rbuf
 
-let version = 1
+let version = 2
+let min_version = 1
 
 type verdict = Verdict.t = {
   accepted : bool;
@@ -18,12 +19,14 @@ type frame =
   | Response of { req_id : int; verdicts : (Prefix.t * verdict) list }
   | Decline of { req_id : int; reason : string }
   | Error of { req_id : int; reason : string }
+  | Heartbeat of { seq : int; incarnation : int; state_version : int }
 
 (* frame kinds on the wire *)
 let k_request = 0
 let k_response = 1
 let k_decline = 2
 let k_error = 3
+let k_heartbeat = 4 (* version 2 and up *)
 
 (* Anything malformed — truncation, alien version, unknown kind, bad
    field, trailing bytes — surfaces as the one exception decode is
@@ -84,6 +87,16 @@ let encode_reason ~kind ~req_id reason =
 let encode_decline ~req_id reason = encode_reason ~kind:k_decline ~req_id reason
 let encode_error ~req_id reason = encode_reason ~kind:k_error ~req_id reason
 
+let encode_heartbeat ~seq ~incarnation ~state_version =
+  if incarnation < 0 || incarnation > 0xFFFFFFFF then
+    invalid_arg "Probe_wire.encode_heartbeat: incarnation outside u32";
+  if state_version < 0 || state_version > 0xFFFFFFFF then
+    invalid_arg "Probe_wire.encode_heartbeat: state version outside u32";
+  let w = Wbuf.create ~capacity:8 () in
+  Wbuf.u32 w incarnation;
+  Wbuf.u32 w state_version;
+  frame ~kind:k_heartbeat ~req_id:(seq land 0xFFFFFFFF) (Wbuf.contents w)
+
 let decode_request_body r =
   let from = addr_of_u32 (Rbuf.u32 ~what:"from" r) in
   let len = Rbuf.u16 ~what:"msg-len" r in
@@ -115,10 +128,15 @@ let decode_reason_body r =
   let len = Rbuf.u16 ~what:"reason-len" r in
   Bytes.to_string (Rbuf.take ~what:"reason" r len)
 
+let decode_heartbeat_body ~seq r =
+  let incarnation = Rbuf.u32 ~what:"incarnation" r in
+  let state_version = Rbuf.u32 ~what:"state-version" r in
+  Heartbeat { seq; incarnation; state_version }
+
 let decode b =
   let r = Rbuf.of_bytes b in
   let v = Rbuf.u8 ~what:"version" r in
-  if v <> version then reject "version" r;
+  if v < min_version || v > version then reject "version" r;
   let kind = Rbuf.u8 ~what:"kind" r in
   let req_id = Rbuf.u32 ~what:"req-id" r in
   let body_len = Rbuf.u32 ~what:"body-len" r in
@@ -135,6 +153,12 @@ let decode b =
       Response { req_id; verdicts = decode_response_body body }
     else if kind = k_decline then Decline { req_id; reason = decode_reason_body body }
     else if kind = k_error then Error { req_id; reason = decode_reason_body body }
+    else if kind = k_heartbeat then begin
+      (* version-gated: heartbeats entered the protocol at version 2 — a
+         v1 frame claiming the kind is malformed, not merely new *)
+      if v < 2 then reject "kind" r;
+      decode_heartbeat_body ~seq:req_id body
+    end
     else reject "kind" r
   in
   if not (Rbuf.eof body) then reject "body-trailing" body;

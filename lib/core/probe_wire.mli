@@ -25,7 +25,13 @@ open Dice_inet
 open Dice_bgp
 
 val version : int
-(** Protocol version carried in every frame (currently [1]). *)
+(** Protocol version carried in every emitted frame (currently [2]).
+    Version 2 added the {!Heartbeat} frame; frames from
+    {!min_version} up still decode, with version-gated kinds — a
+    heartbeat claiming version 1 is malformed. *)
+
+val min_version : int
+(** Oldest protocol version {!decode} still accepts (currently [1]). *)
 
 type verdict = Verdict.t = {
   accepted : bool;
@@ -51,6 +57,13 @@ type frame =
   | Error of { req_id : int; reason : string }
       (** The agent failed to probe (undecodable message, internal
           failure). *)
+  | Heartbeat of { seq : int; incarnation : int; state_version : int }
+      (** Liveness beacon (protocol version 2+): the serving agent is
+          up, on its [incarnation]-th life (bumped at each crash
+          recovery), with its speaker at [state_version]
+          ([updates_processed]). [seq] rides the frame's request-id slot
+          as a monotone beacon counter. Still the narrow interface: two
+          counters and a sequence number, no state. *)
 
 val canonical_request : from:Ipv4.t -> Msg.t -> bytes
 (** The canonical encoding of a probe request: [from] followed by the
@@ -65,6 +78,10 @@ val encode_request : req_id:int -> bytes -> bytes
 val encode_response : req_id:int -> (Prefix.t * verdict) list -> bytes
 val encode_decline : req_id:int -> string -> bytes
 val encode_error : req_id:int -> string -> bytes
+
+val encode_heartbeat : seq:int -> incarnation:int -> state_version:int -> bytes
+(** @raise Invalid_argument if [incarnation] or [state_version] falls
+    outside u32 range ([seq] is masked like every request id). *)
 
 val decode : bytes -> frame
 (** Decode one frame.

@@ -4,12 +4,14 @@
    processed updates since, so the memoized verdict may no longer hold —
    and is evicted on sight rather than left to shadow the slot. *)
 
-type ('k, 'v) shard = { lock : Mutex.t; tbl : ('k, int * 'v) Hashtbl.t }
+type ('k, 'v) shard = { lock : Mutex.t; tbl : ('k, int * int * 'v) Hashtbl.t }
+(* entries are (epoch, version, value) *)
 
 type ('k, 'v) t = {
   shards : ('k, 'v) shard array;
   hit_count : int Atomic.t;
   miss_count : int Atomic.t;
+  epoch : int Atomic.t;
 }
 
 let create ?(shards = 8) () =
@@ -20,6 +22,7 @@ let create ?(shards = 8) () =
           { lock = Mutex.create (); tbl = Hashtbl.create 64 });
     hit_count = Atomic.make 0;
     miss_count = Atomic.make 0;
+    epoch = Atomic.make 0;
   }
 
 let shard_of t key =
@@ -27,10 +30,11 @@ let shard_of t key =
 
 let find t ~version key =
   let s = shard_of t key in
+  let epoch = Atomic.get t.epoch in
   Mutex.lock s.lock;
   let r =
     match Hashtbl.find_opt s.tbl key with
-    | Some (v, value) when v = version -> Some value
+    | Some (e, v, value) when e = epoch && v = version -> Some value
     | Some _ ->
       Hashtbl.remove s.tbl key;
       None
@@ -44,14 +48,18 @@ let find t ~version key =
 
 let store t ~version key value =
   let s = shard_of t key in
+  let epoch = Atomic.get t.epoch in
   Mutex.lock s.lock;
-  (* Replace stale entries; at the same version the first writer wins —
-     concurrent computations of the same key produce equal values, so
-     dropping the loser is fine. *)
+  (* Replace stale entries; at the same (epoch, version) the first
+     writer wins — concurrent computations of the same key produce
+     equal values, so dropping the loser is fine. *)
   (match Hashtbl.find_opt s.tbl key with
-  | Some (v, _) when v = version -> ()
-  | Some _ | None -> Hashtbl.replace s.tbl key (version, value));
+  | Some (e, v, _) when e = epoch && v = version -> ()
+  | Some _ | None -> Hashtbl.replace s.tbl key (epoch, version, value));
   Mutex.unlock s.lock
+
+let invalidate t = Atomic.incr t.epoch
+let invalidations t = Atomic.get t.epoch
 
 let hits t = Atomic.get t.hit_count
 let misses t = Atomic.get t.miss_count

@@ -33,6 +33,18 @@ val store : ('k, 'v) t -> version:int -> 'k -> 'v -> unit
     key is replaced; at the same version the first writer wins (concurrent
     writers compute equal values). *)
 
+val invalidate : ('k, 'v) t -> unit
+(** Open a new epoch: every entry stored before this call misses (and
+    evicts) from now on, whatever version it carries. This is the
+    crash-recovery hatch — a speaker rebuilt from a checkpoint can
+    present an [updates_processed] counter that {e collides} with a
+    pre-crash value while holding different state, so version stamps
+    alone cannot be trusted across a restart. Entries are dropped
+    lazily, on their next lookup. *)
+
+val invalidations : ('k, 'v) t -> int
+(** {!invalidate} calls so far (the current epoch). *)
+
 val hits : ('k, 'v) t -> int
 val misses : ('k, 'v) t -> int
 

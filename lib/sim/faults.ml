@@ -33,3 +33,27 @@ let is_none t =
 let pp ppf t =
   Format.fprintf ppf "drop=%.2f dup=%.2f reorder=%d jitter=%.3fs corrupt=%.2f" t.drop
     t.duplicate t.reorder t.jitter t.corrupt
+
+(* ---- node crash model ---- *)
+
+type node = {
+  crash : float;
+  downtime : float;
+}
+
+let node_none = { crash = 0.0; downtime = 0.0 }
+
+let validate_node n =
+  check_probability "crash" n.crash;
+  if not (n.downtime >= 0.0 && n.downtime < Float.infinity) then
+    bad "Faults.downtime: %f is not finite and non-negative" n.downtime
+
+let node ?(crash = 0.0) ?(downtime = 0.0) () =
+  let n = { crash; downtime } in
+  validate_node n;
+  n
+
+let node_is_none n = n.crash = 0.0
+
+let pp_node ppf n =
+  Format.fprintf ppf "crash=%.2f downtime=%.3fs" n.crash n.downtime

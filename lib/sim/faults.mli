@@ -51,3 +51,37 @@ val is_none : t -> bool
 (** [true] iff the model never perturbs a frame. *)
 
 val pp : Format.formatter -> t -> unit
+
+(** {1 Node crash model}
+
+    Where {!t} perturbs a {e link}, {!node} perturbs a {e node}: with
+    probability [crash] per frame arriving at the node, the node crashes
+    (is paused) just before processing that frame and restarts
+    [downtime] virtual seconds later. The triggering frame and anything
+    arriving during the outage are buffered and redelivered on restart
+    ({!Network.resume_node} semantics), so a crash costs time, not data
+    — lost probes come from the timeouts the outage induces. Crash
+    decisions draw from a dedicated RNG stream
+    ({!Network.set_crash_seed}), so a crash schedule replays exactly
+    from its seed, independently of the link-fault stream. *)
+
+type node = {
+  crash : float;  (** probability the node crashes on a frame arrival *)
+  downtime : float;  (** virtual seconds until the automatic restart *)
+}
+
+val node_none : node
+(** The reliable node: never crashes. *)
+
+val node : ?crash:float -> ?downtime:float -> unit -> node
+(** Build a validated model; omitted fields default to zero.
+    @raise Invalid_argument as {!validate_node}. *)
+
+val validate_node : node -> unit
+(** @raise Invalid_argument if [crash] is outside [\[0, 1\]] or NaN, or
+    [downtime] is negative, NaN or infinite. *)
+
+val node_is_none : node -> bool
+(** [true] iff the node never crashes. *)
+
+val pp_node : Format.formatter -> node -> unit

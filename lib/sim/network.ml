@@ -18,6 +18,9 @@ type t = {
   links : (node_id * node_id, float) Hashtbl.t;  (* key has lower id first *)
   faults : (node_id * node_id, Faults.t) Hashtbl.t;  (* same keying *)
   mutable fault_rng : Rng.t;
+  node_faults : (node_id, Faults.node) Hashtbl.t;
+  mutable crash_rng : Rng.t;  (* crash schedule stream, separate from link faults *)
+  restart_hooks : (node_id, unit -> unit) Hashtbl.t;
   send_seq : (node_id * node_id, int) Hashtbl.t;  (* directed, faulty links only *)
   deliv_hi : (node_id * node_id, int) Hashtbl.t;  (* highest seq delivered *)
   paused : (node_id, (node_id * bytes) Queue.t) Hashtbl.t;
@@ -27,6 +30,9 @@ type t = {
   mutable duplicated : int;
   mutable reordered : int;
   mutable corrupted : int;
+  mutable requeued : int;
+  mutable crashes : int;
+  mutable restarts : int;
 }
 
 and handler = t -> self:node_id -> from:node_id -> bytes -> unit
@@ -34,6 +40,7 @@ and handler = t -> self:node_id -> from:node_id -> bytes -> unit
 let no_handler : handler = fun _ ~self:_ ~from:_ _ -> ()
 
 let default_fault_seed = 0x0D1CEL
+let default_crash_seed = 0xC4A54EL
 
 let create () =
   {
@@ -45,6 +52,9 @@ let create () =
     links = Hashtbl.create 16;
     faults = Hashtbl.create 4;
     fault_rng = Rng.create default_fault_seed;
+    node_faults = Hashtbl.create 4;
+    crash_rng = Rng.create default_crash_seed;
+    restart_hooks = Hashtbl.create 4;
     send_seq = Hashtbl.create 4;
     deliv_hi = Hashtbl.create 4;
     paused = Hashtbl.create 4;
@@ -54,6 +64,9 @@ let create () =
     duplicated = 0;
     reordered = 0;
     corrupted = 0;
+    requeued = 0;
+    crashes = 0;
+    restarts = 0;
   }
 
 let now t = t.clock
@@ -129,10 +142,33 @@ let clear_faults t a b = Hashtbl.remove t.faults (link_key a b)
 
 let link_faults t a b = Hashtbl.find_opt t.faults (link_key a b)
 
+(* ---- node crash faults ---- *)
+
+let set_crash_seed t seed = t.crash_rng <- Rng.create seed
+
+let set_node_faults t id nf =
+  check_node t id "set_node_faults";
+  Faults.validate_node nf;
+  if Faults.node_is_none nf then Hashtbl.remove t.node_faults id
+  else Hashtbl.replace t.node_faults id nf
+
+let clear_node_faults t id = Hashtbl.remove t.node_faults id
+
+let node_faults t id = Hashtbl.find_opt t.node_faults id
+
+let set_restart_hook t id hook =
+  check_node t id "set_restart_hook";
+  Hashtbl.replace t.restart_hooks id hook
+
+let clear_restart_hook t id = Hashtbl.remove t.restart_hooks id
+
 let messages_dropped t = t.dropped
 let messages_duplicated t = t.duplicated
 let messages_reordered t = t.reordered
 let messages_corrupted t = t.corrupted
+let messages_requeued t = t.requeued
+let node_crashes t = t.crashes
+let node_restarts t = t.restarts
 
 let paused t id =
   check_node t id "paused";
@@ -154,13 +190,21 @@ let resume_node t id =
   | None -> ()
   | Some q ->
     Hashtbl.remove t.paused id;
+    t.restarts <- t.restarts + 1;
+    t.requeued <- t.requeued + Queue.length q;
     (* re-enqueue at the current instant, in arrival order; Eventq's
        FIFO tie-breaking preserves that order against anything else
        scheduled at this time *)
     Queue.iter
       (fun (src, msg) ->
         Eventq.push t.queue ~time:t.clock (Deliver { src; dst = id; msg; seq = -1 }))
-      q
+      q;
+    (* the restart hook runs after the node is live again but before
+       any redelivered frame is processed — where an agent rebuilds its
+       state and re-announces liveness *)
+    match Hashtbl.find_opt t.restart_hooks id with
+    | Some hook -> hook ()
+    | None -> ()
 
 let flip_random_bit rng msg =
   let b = Bytes.copy msg in
@@ -241,6 +285,19 @@ let dispatch t = function
       if seq < hi then t.reordered <- t.reordered + 1
       else Hashtbl.replace t.deliv_hi key seq
     end;
+    (* crash schedule: a crash-prone running node may crash just before
+       processing this frame — the frame is buffered, not lost, and the
+       node restarts automatically after its downtime *)
+    (match Hashtbl.find_opt t.node_faults dst with
+    | Some nf
+      when (not (Hashtbl.mem t.paused dst))
+           && nf.Faults.crash > 0.0
+           && Rng.chance t.crash_rng nf.Faults.crash ->
+      t.crashes <- t.crashes + 1;
+      pause_node t dst;
+      Eventq.push t.queue ~time:(t.clock +. nf.Faults.downtime)
+        (Thunk (fun () -> resume_node t dst))
+    | Some _ | None -> ());
     match Hashtbl.find_opt t.paused dst with
     | Some q -> Queue.push (src, msg) q
     | None ->

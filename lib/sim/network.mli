@@ -96,15 +96,61 @@ val messages_corrupted : t -> int
     cannot transmit — {!send} from it raises — but frames it sent before
     pausing are already in flight and still arrive, and virtual timers
     ({!schedule}) are unaffected: they belong to whoever scheduled them,
-    not to a node. Both operations are idempotent. *)
+    not to a node. Both operations are idempotent.
+
+    Crashes can also be {e scheduled}: a per-node {!Faults.node} model
+    ({!set_node_faults}) crashes the node with probability [crash] on
+    each frame arrival (the frame is buffered, not lost) and restarts it
+    [downtime] virtual seconds later, with every decision drawn from a
+    dedicated crash RNG stream ({!set_crash_seed}) — a crash schedule
+    replays exactly from its seed, independently of link faults. *)
 
 val pause_node : t -> node_id -> unit
 val resume_node : t -> node_id -> unit
+(** Resuming a paused node counts one restart, counts its buffered
+    frames as requeued ({!messages_requeued}), re-enqueues them, and
+    then runs the node's restart hook ({!set_restart_hook}), if any,
+    before any redelivered frame is processed. *)
 
 val paused : t -> node_id -> bool
 
 val queued : t -> node_id -> int
 (** Frames currently buffered at a paused node (0 when running). *)
+
+val default_crash_seed : int64
+(** The crash RNG's fixed default seed. *)
+
+val set_crash_seed : t -> int64 -> unit
+(** Reset the crash RNG stream (fixed default seed, like the fault
+    stream — distinct from it, so link faults and crash schedules
+    replay independently). *)
+
+val set_node_faults : t -> node_id -> Faults.node -> unit
+(** Attach a crash model to a node. {!Faults.node_none} clears it.
+    @raise Invalid_argument as {!Faults.validate_node}, or on an
+    unknown node. *)
+
+val clear_node_faults : t -> node_id -> unit
+val node_faults : t -> node_id -> Faults.node option
+
+val set_restart_hook : t -> node_id -> (unit -> unit) -> unit
+(** Run a thunk each time the node resumes from a pause — scheduled
+    crash or manual {!resume_node} alike. This is where a crashed agent
+    rebuilds its state and re-announces liveness. One hook per node;
+    setting replaces. *)
+
+val clear_restart_hook : t -> node_id -> unit
+
+val messages_requeued : t -> int
+(** Frames redelivered by {!resume_node} so far (buffered during a
+    pause, re-enqueued at restart). *)
+
+val node_crashes : t -> int
+(** Scheduled crashes fired so far (manual {!pause_node} not
+    included). *)
+
+val node_restarts : t -> int
+(** Resumes of actually-paused nodes so far (scheduled and manual). *)
 
 val send : t -> src:node_id -> dst:node_id -> bytes -> unit
 (** Queue a message for delivery after the link latency, subject to the

@@ -25,6 +25,7 @@ let () =
       ("speaker", Test_speaker.suite);
       ("panel", Test_panel.suite);
       ("probe-rpc", Test_probe_rpc.suite);
+      ("health", Test_health.suite);
       ("chaos", Test_chaos.suite);
       ("distributed", Test_distributed.suite);
       ("online", Test_online.suite);

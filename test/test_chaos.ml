@@ -194,10 +194,269 @@ let test_soak_seed_replay () =
   Alcotest.(check bool) "different seed: different fault schedule" true
     (a.counters <> c.counters || a.rpc.Probe_rpc.retries <> c.rpc.Probe_rpc.retries)
 
+(* ---- crash soak (ISSUE 9): the 3-member panel under a seeded crash
+   schedule. Crash-prone serving nodes buffer (never lose) arriving
+   frames, restart after a fixed downtime, and rebuild their speaker
+   from snapshot + journal through the recovery harness. The soak must
+   terminate (no hangs), never double-execute, keep verdict
+   completeness >= 95%, agree with never-crashed local baselines on
+   every completed verdict, and replay bit-identically per seed. ---- *)
+
+let crash_seed =
+  match Sys.getenv_opt "DICE_CRASH_SEED" with
+  | Some s -> Int64.of_string s
+  | None -> Network.default_crash_seed
+
+let panel_members = [ "bird"; "quagga"; "xorp" ]
+
+type crash_soak = {
+  member_results : (string * string list) list;  (* impl -> rendered outcomes *)
+  crashes : int;
+  restarts : int;
+  requeued : int;
+  incarnations : (string * int) list;
+  executed : (string * int) list;
+  served_balance : bool;  (* served = executed + dedup on every member *)
+  fail_fast : int;
+  complete : int;  (* outcomes that came back as verdicts *)
+  total : int;
+}
+
+let run_crash_soak seed =
+  let net = Network.create () in
+  Network.set_crash_seed net seed;
+  let cl = Probe_rpc.client net ~name:"explorer" in
+  let config =
+    { Probe_rpc.default_config with
+      Probe_rpc.timeout = 0.05;
+      retries = 6;
+      jitter = 0.1;
+      breaker_threshold = 3;
+      breaker_cooldown = 0.2;
+    }
+  in
+  let made =
+    List.map
+      (fun impl ->
+        let serving =
+          Distributed.agent ~name:("up-" ^ impl) ~addr:(Ipv4.of_string "10.0.2.2")
+            ~explorer_addr:provider_side
+            (Distributed.Local (upstream impl))
+        in
+        let srv = Distributed.serve net serving in
+        Network.connect net (Probe_rpc.client_node cl) (Probe_rpc.server_node srv)
+          ~latency:0.001;
+        let harness = Distributed.Recovery.attach serving in
+        Network.set_restart_hook net (Probe_rpc.server_node srv) (fun () ->
+            Distributed.Recovery.crash_restart harness);
+        let _stop : unit -> unit =
+          Probe_rpc.start_heartbeats ~until:120.0 srv
+            ~to_:(Probe_rpc.client_node cl) ~period:0.05
+            ~incarnation:(fun () -> Distributed.Recovery.incarnation harness)
+            ~state_version:(fun () -> Distributed.Recovery.state_version harness)
+        in
+        Network.set_node_faults net (Probe_rpc.server_node srv)
+          (Faults.node ~crash:0.1 ~downtime:0.1 ());
+        let ep = Probe_rpc.endpoint ~config cl ~server:(Probe_rpc.server_node srv) in
+        let ra =
+          Distributed.agent ~name:("up-remote-" ^ impl)
+            ~addr:(Ipv4.of_string "10.0.2.2") ~explorer_addr:provider_side
+            (Distributed.Remote ep)
+        in
+        (impl, serving, srv, harness, ep, ra))
+      panel_members
+  in
+  let member_results =
+    List.map
+      (fun (impl, _, _, _, _, ra) ->
+        ( impl,
+          List.map
+            (fun m -> render (Distributed.probe ra ~from:provider_side m))
+            workload ))
+      made
+  in
+  ignore (Network.run net);
+  let outcomes = List.concat_map snd member_results in
+  {
+    member_results;
+    crashes = Network.node_crashes net;
+    restarts = Network.node_restarts net;
+    requeued = Network.messages_requeued net;
+    incarnations =
+      List.map (fun (impl, _, _, h, _, _) -> (impl, Distributed.Recovery.incarnation h)) made;
+    executed =
+      List.map (fun (impl, _, srv, _, _, _) -> (impl, Probe_rpc.frames_executed srv)) made;
+    served_balance =
+      List.for_all
+        (fun (_, _, srv, _, _, _) ->
+          Probe_rpc.frames_served srv
+          = Probe_rpc.frames_executed srv + Probe_rpc.dedup_hits srv)
+        made;
+    fail_fast =
+      List.fold_left
+        (fun acc (_, _, _, _, ep, _) -> acc + (Probe_rpc.stats ep).Probe_rpc.fail_fast)
+        0 made;
+    complete =
+      List.length
+        (List.filter
+           (fun r -> r <> "timeout" && not (String.length r >= 8 && String.sub r 0 8 = "declined"))
+           outcomes);
+    total = List.length outcomes;
+  }
+
+let test_crash_soak () =
+  (* never-crashed local baselines, one per member implementation *)
+  let baselines =
+    List.map
+      (fun impl ->
+        let la =
+          Distributed.agent ~name:("up-local-" ^ impl)
+            ~addr:(Ipv4.of_string "10.0.2.2") ~explorer_addr:provider_side
+            (Distributed.Local (upstream impl))
+        in
+        ( impl,
+          List.map
+            (fun m -> render (Distributed.probe la ~from:provider_side m))
+            workload ))
+      panel_members
+  in
+  let s = run_crash_soak crash_seed in
+  Alcotest.(check bool) "the crash schedule actually crashed nodes" true (s.crashes > 0);
+  Alcotest.(check int) "every crash restarted (no node left down)" s.crashes s.restarts;
+  Alcotest.(check bool) "buffered frames were requeued across restarts" true
+    (s.requeued > 0);
+  Alcotest.(check bool) "at least one member recovered at a bumped incarnation" true
+    (List.exists (fun (_, inc) -> inc > 0) s.incarnations);
+  (* at-most-once survives the crash/restart cycle: the reply cache
+     lives on the server, not in the speaker that gets rebuilt *)
+  List.iter
+    (fun (impl, executed) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: zero double-executed probes" impl)
+        true (executed <= probes))
+    s.executed;
+  Alcotest.(check bool) "served = executed + dedup on every member" true
+    s.served_balance;
+  (* verdict completeness: >= 95% of the 3 x 300 outcomes are verdicts *)
+  Alcotest.(check bool)
+    (Printf.sprintf "verdict completeness >= 0.95 (%d/%d)" s.complete s.total)
+    true
+    (s.complete * 100 >= s.total * 95);
+  (* recovered agents answer exactly like agents that never crashed:
+     snapshot + journal rebuilds byte-equivalent speaker state *)
+  List.iter
+    (fun (impl, results) ->
+      let baseline = List.assoc impl baselines in
+      List.iteri
+        (fun i (local, remote) ->
+          if remote <> "timeout" && not (String.length remote >= 8 && String.sub remote 0 8 = "declined")
+          then
+            Alcotest.(check string)
+              (Printf.sprintf "%s probe %d: recovered verdict equals never-crashed" impl i)
+              local remote)
+        (List.combine baseline results))
+    s.member_results
+
+let test_crash_soak_seed_replay () =
+  let a = run_crash_soak crash_seed and b = run_crash_soak crash_seed in
+  Alcotest.(check bool) "same crash seed: identical outcomes" true
+    (a.member_results = b.member_results);
+  Alcotest.(check int) "same crash seed: identical crash count" a.crashes b.crashes;
+  Alcotest.(check bool) "same crash seed: identical incarnations" true
+    (a.incarnations = b.incarnations);
+  Alcotest.(check int) "same crash seed: identical requeues" a.requeued b.requeued;
+  let c = run_crash_soak (Int64.add crash_seed 1L) in
+  Alcotest.(check bool) "different crash seed: different schedule" true
+    (a.crashes <> c.crashes || a.incarnations <> c.incarnations
+    || a.member_results <> c.member_results)
+
+(* ---- circuit breaker: a down member fails fast ---- *)
+
+let test_breaker_fail_fast () =
+  let net = Network.create () in
+  let serving =
+    Distributed.agent ~name:"up-serving" ~addr:(Ipv4.of_string "10.0.2.2")
+      ~explorer_addr:provider_side
+      (Distributed.Local (upstream "bird"))
+  in
+  let srv = Distributed.serve net serving in
+  let cl = Probe_rpc.client net ~name:"explorer" in
+  Network.connect net (Probe_rpc.client_node cl) (Probe_rpc.server_node srv)
+    ~latency:0.001;
+  let config =
+    { Probe_rpc.default_config with
+      Probe_rpc.timeout = 0.05;
+      retries = 2;
+      backoff = 2.0;
+      breaker_threshold = 2;
+      breaker_cooldown = 0.2;
+    }
+  in
+  (* one full call burns timeout * (1 + 2 + 4) = 0.35 virtual seconds *)
+  let budget = 0.05 *. (1.0 +. 2.0 +. 4.0) in
+  let ep = Probe_rpc.endpoint ~config cl ~server:(Probe_rpc.server_node srv) in
+  let ra =
+    Distributed.agent ~name:"up-remote" ~addr:(Ipv4.of_string "10.0.2.2")
+      ~explorer_addr:provider_side (Distributed.Remote ep)
+  in
+  (match Distributed.probe ra ~from:provider_side (announcement "198.51.1.0/24") with
+  | Distributed.Verdicts _ -> ()
+  | _ -> Alcotest.fail "healthy probe must answer");
+  Alcotest.(check bool) "breaker closed while healthy" true
+    (Probe_rpc.breaker_state ep = `Closed);
+  (* the member crashes and stays down *)
+  Network.pause_node net (Probe_rpc.server_node srv);
+  List.iter
+    (fun prefix ->
+      match Distributed.probe ra ~from:provider_side (announcement prefix) with
+      | Distributed.Timeout -> ()
+      | _ -> Alcotest.fail "probe at a down node must time out")
+    [ "198.51.2.0/24"; "198.51.3.0/24" ];
+  Alcotest.(check bool) "two consecutive timeouts open the breaker" true
+    (Probe_rpc.breaker_state ep = `Open);
+  Alcotest.(check bool) "the breaker declares the endpoint down" true
+    (Health.state (Probe_rpc.endpoint_health ep) = Health.Down);
+  (* while open, probes fail fast: Declined, no wire, no timeout burn *)
+  let t1 = Network.now net in
+  List.iter
+    (fun i ->
+      match
+        Distributed.probe ra ~from:provider_side
+          (announcement (Printf.sprintf "198.51.%d.0/24" (10 + i)))
+      with
+      | Distributed.Declined _ -> ()
+      | _ -> Alcotest.fail "open breaker must decline")
+    (List.init 10 Fun.id);
+  let elapsed = Network.now net -. t1 in
+  Alcotest.(check bool)
+    (Printf.sprintf "10 fail-fast probes burn < 1 timeout budget (%.3fs)" elapsed)
+    true (elapsed < budget);
+  Alcotest.(check int) "fail-fast declines counted" 10
+    (Probe_rpc.stats ep).Probe_rpc.fail_fast;
+  (* recovery: the node restarts, the cooldown passes, the half-open
+     trial heals the breaker *)
+  Network.resume_node net (Probe_rpc.server_node srv);
+  ignore (Network.run net);
+  Network.schedule net ~delay:1.0 (fun () -> ());
+  ignore (Network.run net);
+  (match Distributed.probe ra ~from:provider_side (announcement "198.51.99.0/24") with
+  | Distributed.Verdicts _ -> ()
+  | _ -> Alcotest.fail "half-open trial after recovery must answer");
+  Alcotest.(check bool) "breaker closed again after the trial" true
+    (Probe_rpc.breaker_state ep = `Closed);
+  Alcotest.(check bool) "health recovered on positive evidence" true
+    (Health.state (Probe_rpc.endpoint_health ep) = Health.Alive)
+
 let suite =
   [ ("soak: at-most-once + local/remote equivalence", `Quick,
       soak_at_most_once_and_equivalence "bird");
     ("soak: quagga agent in the fleet", `Quick,
       soak_at_most_once_and_equivalence "quagga");
-    ("soak: fault seed replays bit-identically", `Quick, test_soak_seed_replay)
+    ("soak: fault seed replays bit-identically", `Quick, test_soak_seed_replay);
+    ("crash soak: 3-member panel survives a seeded crash schedule", `Quick,
+      test_crash_soak);
+    ("crash soak: crash seed replays bit-identically", `Quick,
+      test_crash_soak_seed_replay);
+    ("breaker: down member fails fast, heals half-open", `Quick,
+      test_breaker_fail_fast)
   ]

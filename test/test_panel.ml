@@ -303,6 +303,90 @@ let test_minimize_panel_divergence () =
   Alcotest.(check bool) "minimal schedule still reproduces the signature" true
     (List.exists (fun d' -> Panel.signature d' = Panel.signature d) again)
 
+(* ---- quorum-degraded voting ---- *)
+
+let test_degraded_vote_excludes_down_member () =
+  let agents = full_panel () in
+  let quagga = List.find (fun a -> Distributed.agent_name a = "quagga") agents in
+  Health.note_down (Distributed.agent_health quagga) ~now:1.0;
+  (match Panel.quorum_of agents with
+  | `Degraded [ "quagga" ] -> ()
+  | _ -> Alcotest.fail "expected a degraded quorum naming quagga");
+  let ds =
+    Panel.probe ~jobs:1 ~agents
+      [ (provider_side, trigger_update ~path:[ 64510; 64512 ]) ]
+  in
+  match ds with
+  | [ d ] ->
+    Alcotest.(check bool) "tagged degraded" true
+      (d.Panel.quorum = Panel.Degraded [ "quagga" ]);
+    Alcotest.(check (list string)) "only survivors voted" [ "bird"; "xorp" ]
+      (List.map fst d.Panel.answers);
+    (* bird and xorp still split on the tie-break, so the divergence
+       survives the absence — and its signature must match a capture
+       from the full panel (quorum is not part of identity) *)
+    Alcotest.(check bool) "tie-break class survives" true d.Panel.tie_break_only;
+    (* positive evidence brings quagga back: next vote is full again *)
+    Health.note_ok (Distributed.agent_health quagga) ~now:2.0;
+    Alcotest.(check bool) "recovered member restores full quorum" true
+      (Panel.quorum_of agents = `Full);
+    let full =
+      Panel.probe ~jobs:1 ~agents
+        [ (provider_side, trigger_update ~path:[ 64510; 64512 ]) ]
+    in
+    Alcotest.(check int) "full vote again" 3
+      (List.length (List.hd full).Panel.answers)
+  | ds -> Alcotest.failf "expected one degraded divergence, got %d" (List.length ds)
+
+let test_quorum_loss_pauses_hunt () =
+  let agents = full_panel () in
+  List.iter
+    (fun a ->
+      if Distributed.agent_name a <> "bird" then
+        Health.note_down (Distributed.agent_health a) ~now:1.0)
+    agents;
+  (match Panel.quorum_of agents with
+  | `Lost down -> Alcotest.(check int) "both absentees named" 2 (List.length down)
+  | _ -> Alcotest.fail "expected quorum lost with 2 of 3 down");
+  let paused = ref [] in
+  let hits = ref [] in
+  let chk =
+    Panel.hunt
+      ~on_pause:(fun down -> paused := down :: !paused)
+      ~jobs:1 ~agents
+      ~sink:(fun h -> hits := h :: !hits)
+      ()
+  in
+  let cctx =
+    { Checker.pre_loc_rib = Rib.Loc.empty;
+      anycast = [];
+      peer = provider_side;
+      peer_as = 64510;
+    }
+  in
+  let trigger = trigger_update ~path:[ 64510; 64512 ] in
+  let outcome =
+    { Speaker.prefix = p "203.0.113.0/24";
+      accepted = true;
+      installed = true;
+      route = None;
+      previous_best = None;
+      outputs = [ (panel_addr, trigger) ];
+    }
+  in
+  Alcotest.(check int) "no findings while paused" 0
+    (List.length (chk.Checker.check cctx outcome));
+  Alcotest.(check int) "pause reported once with the down members" 1
+    (List.length !paused);
+  Alcotest.(check int) "nothing probed, nothing sunk" 0 (List.length !hits);
+  (* survivors recover: the same checker resumes on the next outcome *)
+  List.iter
+    (fun a -> Health.note_ok (Distributed.agent_health a) ~now:2.0)
+    agents;
+  let findings = chk.Checker.check cctx outcome in
+  Alcotest.(check bool) "hunt resumed after recovery" true (findings <> []);
+  Alcotest.(check bool) "resumed findings reach the sink" true (!hits <> [])
+
 (* ---- replay artifacts ---- *)
 
 let artifact ~schedule ~signature =
@@ -312,6 +396,7 @@ let artifact ~schedule ~signature =
     setup = default_setup;
     schedule;
     signature;
+    absent = [];
   }
 
 let test_artifact_roundtrip () =
@@ -358,12 +443,17 @@ let test_artifact_v1_and_intent_sources () =
       ~schedule:[ (provider_side, trigger_update ~path:[ 64510; 64512 ]) ]
       ~signature:"sig"
   in
-  (* a version-1 artifact is the same encoding minus the source-kind
-     byte, and must decode as shared config text *)
-  let v2 = Panel.Artifact.encode a in
+  (* a version-2 artifact is the same encoding minus the trailing
+     absent list; version 1 additionally lacks the source-kind byte and
+     must decode as shared config text *)
+  let v3 = Panel.Artifact.encode a in
   let kind_pos =
     11 + List.fold_left (fun acc n -> acc + 2 + String.length n) 0 Speakers.names
   in
+  let v2 = Bytes.sub v3 0 (Bytes.length v3 - 2) in
+  Bytes.set v2 8 '\x02';
+  Alcotest.(check bool) "v2 decodes with nobody absent" true
+    (Panel.Artifact.decode v2 = a);
   let v1 =
     Bytes.cat (Bytes.sub v2 0 kind_pos)
       (Bytes.sub v2 (kind_pos + 1) (Bytes.length v2 - kind_pos - 1))
@@ -400,6 +490,32 @@ let test_artifact_replay_and_subsets () =
   | _ -> Alcotest.fail "built a panel member the artifact does not carry"
   | exception Invalid_argument _ -> ()
 
+let test_artifact_degraded_capture () =
+  let a =
+    { (artifact
+         ~schedule:[ (provider_side, trigger_update ~path:[ 64510; 64512 ]) ]
+         ~signature:"203.0.113.0/24|tiebreak|xorp")
+      with Panel.Artifact.absent = [ "quagga" ]
+    }
+  in
+  Alcotest.(check int) "artifacts are version 3" 3 Panel.Artifact.version;
+  let encoded = Panel.Artifact.encode a in
+  Alcotest.(check bool) "absent list round-trips" true
+    (Panel.Artifact.decode encoded = a);
+  (* truncating inside the absent list fails loudly, like every field *)
+  (match Panel.Artifact.decode (Bytes.sub encoded 0 (Bytes.length encoded - 1)) with
+  | _ -> Alcotest.fail "truncated absent list decoded"
+  | exception Dice_wire.Rbuf.Truncated _ -> ());
+  (* the default rebuild is the vote that happened: quagga sat out, and
+     bird vs xorp still split on the recorded tie-break *)
+  let voting = Panel.Artifact.build a in
+  Alcotest.(check (list string)) "build defaults to the voting members"
+    [ "bird"; "xorp" ]
+    (List.map Distributed.agent_name voting);
+  let replayed = Panel.Artifact.replay ~jobs:1 a in
+  Alcotest.(check bool) "degraded replay reproduces the recorded signature" true
+    (Panel.Artifact.reproduces a replayed)
+
 let suite =
   [ ("create_exn: unknown name lists the registry", `Quick, test_create_exn_unknown);
     ("dialect registry: per-implementation, errors enumerate", `Quick,
@@ -418,5 +534,11 @@ let suite =
     ("artifact: v1 compat and intent source kind", `Quick,
       test_artifact_v1_and_intent_sources);
     ("artifact: replays against panel and subsets", `Quick,
-      test_artifact_replay_and_subsets)
+      test_artifact_replay_and_subsets);
+    ("panel: degraded vote excludes the down member", `Quick,
+      test_degraded_vote_excludes_down_member);
+    ("panel: quorum loss pauses the hunt, recovery resumes it", `Quick,
+      test_quorum_loss_pauses_hunt);
+    ("artifact: v3 degraded capture round-trips and replays", `Quick,
+      test_artifact_degraded_capture)
   ]

@@ -410,7 +410,8 @@ let test_wire_tap_only_probe_frames_cross () =
   List.iter
     (fun b ->
       match Probe_wire.decode b with
-      | Probe_wire.Request _ | Probe_wire.Decline _ | Probe_wire.Error _ -> ()
+      | Probe_wire.Request _ | Probe_wire.Decline _ | Probe_wire.Error _
+      | Probe_wire.Heartbeat _ -> ()
       | Probe_wire.Response { verdicts; _ } ->
         Alcotest.(check bool) "responses carry per-prefix verdicts only" true
           (List.length verdicts <= 2);

@@ -105,6 +105,20 @@ let prop_decline_error_roundtrip =
         | _ -> false
       end)
 
+let prop_heartbeat_roundtrip =
+  QCheck.Test.make ~name:"heartbeat frames roundtrip (seq, incarnation, state version)"
+    ~count:200
+    (QCheck.make
+       QCheck.Gen.(tup3 gen_req_id (int_bound 0xFFFFFFFF) (int_bound 0xFFFFFFFF)))
+    (fun (seq, incarnation, state_version) ->
+      match
+        Probe_wire.decode
+          (Probe_wire.encode_heartbeat ~seq ~incarnation ~state_version)
+      with
+      | Probe_wire.Heartbeat h ->
+        h.seq = seq && h.incarnation = incarnation && h.state_version = state_version
+      | _ -> false)
+
 (* the canonical request is what vcaches key on: it must be a function of
    the encoded message, not the AST — two messages that encode identically
    canonicalize identically *)
@@ -139,7 +153,12 @@ let gen_valid_frame =
           gen_req_id
           (list_size (int_bound 4) (pair gen_prefix gen_verdict));
         map2 (fun req_id r -> Probe_wire.encode_decline ~req_id r) gen_req_id gen_reason;
-        map2 (fun req_id r -> Probe_wire.encode_error ~req_id r) gen_req_id gen_reason ])
+        map2 (fun req_id r -> Probe_wire.encode_error ~req_id r) gen_req_id gen_reason;
+        map2
+          (fun seq (incarnation, state_version) ->
+            Probe_wire.encode_heartbeat ~seq ~incarnation ~state_version)
+          gen_req_id
+          (pair (int_bound 0xFFFF) (int_bound 0xFFFFFF)) ])
 
 let prop_truncations_fail_loudly =
   QCheck.Test.make ~name:"every proper prefix of a valid frame raises Truncated"
@@ -192,6 +211,22 @@ let test_alien_version () =
     Alcotest.(check bool) "failure payload names the field and offset" true
       (String.length msg > 0)
 
+(* heartbeats arrived with wire version 2: a frame claiming version 1
+   cannot carry one, however well-formed its body *)
+let test_heartbeat_version_gated () =
+  let b = Probe_wire.encode_heartbeat ~seq:3 ~incarnation:1 ~state_version:7 in
+  Bytes.set b 0 (Char.chr 1);
+  (match Probe_wire.decode b with
+  | (_ : Probe_wire.frame) -> Alcotest.fail "v1 heartbeat accepted"
+  | exception Rbuf.Truncated _ -> ());
+  (* v1 frames of the original kinds still decode under the v2 decoder *)
+  let d = Probe_wire.encode_decline ~req_id:7 "nope" in
+  Bytes.set d 0 (Char.chr 1);
+  match Probe_wire.decode d with
+  | Probe_wire.Decline { req_id = 7; reason = "nope" } -> ()
+  | _ -> Alcotest.fail "v1 decline no longer decodes"
+  | exception Rbuf.Truncated msg -> Alcotest.failf "v1 decline rejected: %s" msg
+
 let test_unknown_kind () =
   let b = Probe_wire.encode_decline ~req_id:7 "nope" in
   Bytes.set b 1 (Char.chr 9);
@@ -205,11 +240,13 @@ let suite =
   [ QCheck_alcotest.to_alcotest prop_request_roundtrip;
     QCheck_alcotest.to_alcotest prop_response_roundtrip;
     QCheck_alcotest.to_alcotest prop_decline_error_roundtrip;
+    QCheck_alcotest.to_alcotest prop_heartbeat_roundtrip;
     QCheck_alcotest.to_alcotest prop_canonical_is_wire_keyed;
     QCheck_alcotest.to_alcotest prop_truncations_fail_loudly;
     QCheck_alcotest.to_alcotest prop_trailing_bytes_rejected;
     QCheck_alcotest.to_alcotest prop_fuzz_random_bytes;
     QCheck_alcotest.to_alcotest prop_fuzz_bit_flips;
     ("alien version rejected", `Quick, test_alien_version);
+    ("heartbeat gated on wire version 2", `Quick, test_heartbeat_version_gated);
     ("unknown kind rejected", `Quick, test_unknown_kind)
   ]

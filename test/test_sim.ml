@@ -328,6 +328,81 @@ let test_pause_resume_queues_delivery () =
     (List.rev_map (fun (_, _, m) -> m) !received);
   Net.resume_node net b  (* idempotent *)
 
+(* ---- node crash model ---- *)
+
+(* The pause/resume buffer preserves arrival order across a restart:
+   frames from links with different latencies arrive at a paused node
+   out of send order, and resume re-enqueues them at one instant — only
+   the event queue's FIFO tie-break keeps them from shuffling. *)
+let test_resume_requeue_ordering () =
+  let net = Net.create () in
+  let received = ref [] in
+  let handler _ ~self:_ ~from:_ msg = received := Bytes.to_string msg :: !received in
+  let a = Net.add_node net ~name:"a" ~handler in
+  let b = Net.add_node net ~name:"b" ~handler in
+  let c = Net.add_node net ~name:"c" ~handler in
+  Net.connect net a b ~latency:0.05;
+  Net.connect net c b ~latency:0.01;
+  Net.send net ~src:a ~dst:b (Bytes.of_string "slow");
+  Net.schedule net ~delay:0.02 (fun () -> Net.pause_node net b);
+  Net.schedule net ~delay:0.03 (fun () ->
+      Net.send net ~src:c ~dst:b (Bytes.of_string "fast"));
+  (* both frames arrive while b is down: fast at 0.04, slow at 0.05 *)
+  Net.schedule net ~delay:0.1 (fun () -> Net.resume_node net b);
+  ignore (Net.run net);
+  Alcotest.(check (list string)) "arrival order survives the restart"
+    [ "fast"; "slow" ] (List.rev !received);
+  Alcotest.(check int) "requeued frames counted" 2 (Net.messages_requeued net);
+  Alcotest.(check int) "manual resume counts a restart" 1 (Net.node_restarts net);
+  Alcotest.(check int) "no scheduled crash fired" 0 (Net.node_crashes net)
+
+let crash_counters seed =
+  let net = Net.create () in
+  let delivered = ref 0 in
+  let handler _ ~self:_ ~from:_ _ = incr delivered in
+  let a = Net.add_node net ~name:"a" ~handler in
+  let b = Net.add_node net ~name:"b" ~handler in
+  Net.connect net a b ~latency:0.01;
+  Net.set_crash_seed net seed;
+  Net.set_node_faults net b (Faults.node ~crash:0.3 ~downtime:0.05 ());
+  let hook_fired = ref 0 in
+  Net.set_restart_hook net b (fun () -> incr hook_fired);
+  for i = 0 to 99 do
+    Net.schedule net ~delay:(0.001 *. float_of_int i) (fun () ->
+        Net.send net ~src:a ~dst:b (Bytes.make 4 'x'))
+  done;
+  ignore (Net.run net);
+  (Net.node_crashes net, Net.node_restarts net, Net.messages_requeued net, !delivered, !hook_fired)
+
+let test_crash_schedule_replays () =
+  let c1 = crash_counters 1L and c2 = crash_counters 1L and c3 = crash_counters 9L in
+  Alcotest.(check bool) "same seed, identical crash schedule" true (c1 = c2);
+  Alcotest.(check bool) "different seed, different schedule" true (c1 <> c3);
+  let crashes, restarts, requeued, delivered, hook_fired = c1 in
+  Alcotest.(check bool) "crashes fired" true (crashes > 0);
+  Alcotest.(check int) "every crash restarted" crashes restarts;
+  Alcotest.(check int) "restart hook fired per restart" restarts hook_fired;
+  Alcotest.(check bool) "crashing frames were buffered, so some requeued" true
+    (requeued > 0);
+  (* frames are buffered across downtime, never lost *)
+  Alcotest.(check int) "all 100 frames delivered despite the crashes" 100 delivered
+
+let test_crash_model_validation () =
+  let net = Net.create () in
+  let b = Net.add_node net ~name:"b" ~handler:(fun _ ~self:_ ~from:_ _ -> ()) in
+  (match Net.set_node_faults net b (Faults.node_none) with
+  | () -> ()
+  | exception Invalid_argument _ -> Alcotest.fail "node_none must clear, not raise");
+  (match Faults.node ~crash:1.5 () with
+  | _ -> Alcotest.fail "crash probability > 1 must be rejected"
+  | exception Invalid_argument _ -> ());
+  (match Faults.node ~crash:0.1 ~downtime:(-1.0) () with
+  | _ -> Alcotest.fail "negative downtime must be rejected"
+  | exception Invalid_argument _ -> ());
+  match Net.set_node_faults net 999 (Faults.node ~crash:0.1 ()) with
+  | _ -> Alcotest.fail "unknown node must be rejected"
+  | exception Invalid_argument _ -> ()
+
 (* ---- Isolation ---- *)
 
 let test_isolation_captures () =
@@ -384,6 +459,9 @@ let suite =
     ("faults: reorder window permutes, loses nothing", `Quick, test_faults_reorder_window);
     ("faults: seed replays the exact schedule", `Quick, test_faults_seed_replay);
     ("pause/resume: queued-delivery semantics", `Quick, test_pause_resume_queues_delivery);
+    ("pause/resume: requeue preserves arrival order", `Quick, test_resume_requeue_ordering);
+    ("crashes: seed replays the exact schedule", `Quick, test_crash_schedule_replays);
+    ("crashes: model validation", `Quick, test_crash_model_validation);
     ("isolation captures", `Quick, test_isolation_captures);
     ("isolation never delivers", `Quick, test_isolation_never_delivers);
     ("isolation drain", `Quick, test_isolation_drain);

@@ -253,7 +253,8 @@ let test_wire_tap_no_new_frame_types impl () =
   List.iter
     (fun b ->
       match Probe_wire.decode b with
-      | Probe_wire.Request _ | Probe_wire.Decline _ | Probe_wire.Error _ -> ()
+      | Probe_wire.Request _ | Probe_wire.Decline _ | Probe_wire.Error _
+      | Probe_wire.Heartbeat _ -> ()
       | Probe_wire.Response { verdicts; _ } ->
         Alcotest.(check bool) "responses carry per-prefix verdicts only" true
           (List.length verdicts <= 2);
