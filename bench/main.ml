@@ -38,6 +38,11 @@
          schedule, circuit-breaker fail-fast latency, time-to-recovery
          after a restart, and the retry-amplification delta from
          jittered backoff (machine-readable copy in BENCH_p9.json)
+     P10 fleet scale: seeded topology generation at 1/4/16/64 domains,
+         sustained update-stream throughput per domain, resident memory
+         per domain, explorer-clone Loc-RIB structural sharing, and
+         checkpoint-page dedup across the fleet's shared store
+         (machine-readable copy in BENCH_p10.json)
    plus a Bechamel micro-benchmark suite for the hot paths.
 
    By default everything runs at a laptop-friendly scale; set
@@ -53,6 +58,12 @@ module Fork = Dice_checkpoint.Fork
 module Explorer = Dice_concolic.Explorer
 module Strategy = Dice_concolic.Strategy
 module Coverage = Dice_concolic.Coverage
+
+(* Figure-2 addressing, resolved through the topology spec *)
+let tr_f2_spec = Threerouter.spec Threerouter.Correct
+let tr_customer_addr = Dice_topology.Topology.Spec.address tr_f2_spec ~of_:"customer" ~toward:"provider"
+let tr_internet_addr = Dice_topology.Topology.Spec.address tr_f2_spec ~of_:"internet" ~toward:"provider"
+
 
 let full = Sys.getenv_opt "DICE_BENCH_FULL" <> None
 
@@ -74,7 +85,7 @@ let gen_trace ?(n = table_prefixes) () =
 let customer_route () =
   Route.make ~origin:Attr.Igp
     ~as_path:[ Asn.Path.Seq [ Threerouter.customer_as ] ]
-    ~next_hop:Threerouter.customer_addr ()
+    ~next_hop:tr_customer_addr ()
 
 (* A provider router with established sessions and a loaded table, built
    directly (no simulated network) so big tables load fast. *)
@@ -90,13 +101,13 @@ let loaded_provider ?(filtering = Threerouter.Partially_correct) ?(n = table_pre
               bgp_id = peer; capabilities = [ Msg.Cap_as4 remote_as ] }));
     ignore (Router.handle_msg r ~peer Msg.Keepalive)
   in
-  establish Threerouter.customer_addr Threerouter.customer_as;
-  establish Threerouter.internet_addr Threerouter.internet_as;
+  establish tr_customer_addr Threerouter.customer_as;
+  establish tr_internet_addr Threerouter.internet_as;
   (* the customer announces its own space, as in the testbed *)
   List.iter
     (fun prefix ->
       ignore
-        (Router.handle_msg r ~peer:Threerouter.customer_addr
+        (Router.handle_msg r ~peer:tr_customer_addr
            (Msg.Update
               { Msg.withdrawn = [];
                 attrs = Route.to_attrs (customer_route ());
@@ -105,8 +116,8 @@ let loaded_provider ?(filtering = Threerouter.Partially_correct) ?(n = table_pre
     Threerouter.customer_prefixes;
   let trace = gen_trace ~n () in
   let progress =
-    Replay.feed_dump r ~peer:Threerouter.internet_addr
-      ~next_hop:Threerouter.internet_addr trace
+    Replay.feed_dump r ~peer:tr_internet_addr
+      ~next_hop:tr_internet_addr trace
   in
   (r, trace, progress)
 
@@ -122,7 +133,7 @@ let observe_and_cfg ?(mode = Symbolize.Selective) ?(runs = 256) router =
     }
   in
   let dice = Orchestrator.create ~cfg (Speakers.bird router) in
-  Orchestrator.observe dice ~peer:Threerouter.customer_addr
+  Orchestrator.observe dice ~peer:tr_customer_addr
     ~prefix:(p "203.0.113.0/24") ~route:(customer_route ());
   dice
 
@@ -212,8 +223,8 @@ let experiment_e1 () =
   let mgr = Fork.create () in
   let cp = Fork.checkpoint mgr ~live_image:(Router.snapshot router) in
   let progress =
-    Replay.feed_events router ~peer:Threerouter.internet_addr
-      ~next_hop:Threerouter.internet_addr trace
+    Replay.feed_events router ~peer:tr_internet_addr
+      ~next_hop:tr_internet_addr trace
   in
   let unique, fraction = Fork.checkpoint_stats cp ~live_image:(Router.snapshot router) in
   row "checkpoint unique pages after live processed %d updates: %d (%.2f%%)   [paper: 3.45%%]\n"
@@ -229,7 +240,7 @@ let experiment_e1 () =
         }
       (Orchestrator.speaker dice)
   in
-  Orchestrator.observe dice ~peer:Threerouter.customer_addr
+  Orchestrator.observe dice ~peer:tr_customer_addr
     ~prefix:(p "203.0.113.0/24") ~route:(customer_route ());
   let report = Orchestrator.explore dice in
   let stats = Dice_util.Stats.create () in
@@ -269,7 +280,7 @@ let throughput ~with_exploration ~updates =
   (* warm up in both configurations: grow the heap with one throwaway
      exploration episode so heap-expansion effects do not differ between
      the control and the measured run *)
-  Orchestrator.observe dice ~peer:Threerouter.customer_addr
+  Orchestrator.observe dice ~peer:tr_customer_addr
     ~prefix:(p "203.0.113.0/24") ~route:(customer_route ());
   ignore (Orchestrator.explore dice);
   Gc.full_major ();
@@ -280,7 +291,7 @@ let throughput ~with_exploration ~updates =
     if i = updates / 2 then begin
       t_half_end := Unix.gettimeofday ();
       if with_exploration then begin
-        Orchestrator.observe dice ~peer:Threerouter.customer_addr
+        Orchestrator.observe dice ~peer:tr_customer_addr
           ~prefix:(p "203.0.113.0/24") ~route:(customer_route ());
         ignore (Orchestrator.explore dice)
       end;
@@ -293,8 +304,8 @@ let throughput ~with_exploration ~updates =
   in
   t_start := Unix.gettimeofday ();
   let progress =
-    Replay.feed_dump ~on_update router ~peer:Threerouter.internet_addr
-      ~next_hop:Threerouter.internet_addr extra
+    Replay.feed_dump ~on_update router ~peer:tr_internet_addr
+      ~next_hop:tr_internet_addr extra
   in
   let t_end = Unix.gettimeofday () in
   ignore progress;
@@ -340,14 +351,14 @@ let experiment_e3 () =
     let dice = observe_and_cfg ~runs:96 router in
     let critical = ref 0.0 in
     if with_exploration then begin
-      Orchestrator.observe dice ~peer:Threerouter.customer_addr
+      Orchestrator.observe dice ~peer:tr_customer_addr
         ~prefix:(p "203.0.113.0/24") ~route:(customer_route ());
       let report = Orchestrator.explore dice in
       critical := report.Orchestrator.checkpoint_seconds
     end;
     let progress =
-      Replay.feed_events router ~peer:Threerouter.internet_addr
-        ~next_hop:Threerouter.internet_addr trace
+      Replay.feed_events router ~peer:tr_internet_addr
+        ~next_hop:tr_internet_addr trace
     in
     let busy = progress.Replay.wall_seconds +. !critical in
     (progress.Replay.updates_sent, busy)
@@ -537,7 +548,7 @@ let experiment_p1 () =
             let dice = Orchestrator.create ~cfg (Speakers.bird router) in
             List.iter
               (fun prefix ->
-                Orchestrator.observe dice ~peer:Threerouter.customer_addr ~prefix
+                Orchestrator.observe dice ~peer:tr_customer_addr ~prefix
                   ~route:(customer_route ()))
               [ p "203.0.113.0/24"; p "203.0.112.0/24"; p "198.51.100.0/24";
                 p "192.0.2.0/24" ];
@@ -590,7 +601,7 @@ let experiment_p2 () =
                 { Gen.default_params with Gen.n_prefixes = n_private; collector_as = 64701 }));
         Distributed.agent
           ~name:(Printf.sprintf "upstream-%d" i)
-          ~addr:Threerouter.internet_addr ~explorer_addr:explorer_side
+          ~addr:tr_internet_addr ~explorer_addr:explorer_side
           (Distributed.Local (Speakers.bird upstream)))
   in
   let probe_msg i =
@@ -683,7 +694,7 @@ let experiment_p3 () =
             collector_as = 64701 }));
   let net = Dice_sim.Network.create () in
   let serving =
-    Distributed.agent ~name:"upstream" ~addr:Threerouter.internet_addr
+    Distributed.agent ~name:"upstream" ~addr:tr_internet_addr
       ~explorer_addr:explorer_side (Distributed.Local (Speakers.bird upstream))
   in
   let srv = Distributed.serve net serving in
@@ -837,7 +848,7 @@ let experiment_p4 () =
     let net = Dice_sim.Network.create () in
     Dice_sim.Network.set_fault_seed net fault_seed;
     let serving =
-      Distributed.agent ~name:"upstream" ~addr:Threerouter.internet_addr
+      Distributed.agent ~name:"upstream" ~addr:tr_internet_addr
         ~explorer_addr:explorer_side (Distributed.Local (Speakers.bird upstream))
     in
     let srv = Distributed.serve net serving in
@@ -931,7 +942,7 @@ let experiment_p5 () =
     List.iter (fun m -> ignore (Speaker.feed sp ~peer:collector m)) private_table;
     Distributed.agent
       ~name:(Printf.sprintf "%s-%d" impl i)
-      ~addr:Threerouter.internet_addr ~explorer_addr:explorer_side
+      ~addr:tr_internet_addr ~explorer_addr:explorer_side
       (Distributed.Local sp)
   in
   let probe_msg i =
@@ -1033,7 +1044,7 @@ let experiment_p6 () =
     Speaker.establish sp ~peer:explorer_side;
     Speaker.establish sp ~peer:collector;
     List.iter (fun m -> ignore (Speaker.feed sp ~peer:collector m)) table;
-    Distributed.agent ~name:impl ~addr:Threerouter.internet_addr
+    Distributed.agent ~name:impl ~addr:tr_internet_addr
       ~explorer_addr:explorer_side (Distributed.Local sp)
   in
   let probe_msg i =
@@ -1358,7 +1369,7 @@ let experiment_p8 () =
         Speaker.establish sp ~peer:explorer_side;
         Speaker.establish sp ~peer:collector;
         List.iter (fun (peer, msg) -> ignore (Speaker.feed sp ~peer msg)) setup;
-        Distributed.agent ~name ~addr:Threerouter.internet_addr
+        Distributed.agent ~name ~addr:tr_internet_addr
           ~explorer_addr:explorer_side (Distributed.Local sp))
       Speakers.names
   in
@@ -1464,7 +1475,7 @@ let experiment_p9 () =
     let net = Dice_sim.Network.create () in
     Dice_sim.Network.set_crash_seed net Dice_sim.Network.default_crash_seed;
     let serving =
-      Distributed.agent ~name:"upstream" ~addr:Threerouter.internet_addr
+      Distributed.agent ~name:"upstream" ~addr:tr_internet_addr
         ~explorer_addr:explorer_side
         (Distributed.Local (Speakers.bird (upstream ())))
     in
@@ -1635,6 +1646,94 @@ let experiment_p9 () =
   row "wrote BENCH_p9.json\n"
 
 (* ------------------------------------------------------------------ *)
+(* P10: fleet-scale topology generation with shared-RIB memory         *)
+(* ------------------------------------------------------------------ *)
+
+let experiment_p10 () =
+  section "P10" "fleet scale: updates/s per domain and resident memory per domain";
+  let module Spec = Dice_topology.Topology.Spec in
+  let module Tgen = Dice_topology.Gen in
+  let module Fleet = Dice_topology.Fleet in
+  let module Store = Dice_checkpoint.Store in
+  let updates_per_domain = if full then 256 else 64 in
+  let jobs = max 1 (min 4 (Dice_exec.Pool.available_parallelism ())) in
+  let json_rows = ref [] in
+  row "%-8s %-8s %12s %14s %14s %12s %10s\n" "domains" "links" "updates/s"
+    "upd/s/domain" "words/domain" "rib-shared" "ckpt-dedup";
+  List.iter
+    (fun domains ->
+      Gc.compact ();
+      let before = (Gc.stat ()).Gc.live_words in
+      let spec = Tgen.generate ~seed:31L ~domains () in
+      let fl = Fleet.realize spec in
+      Fleet.establish fl;
+      let t0 = Unix.gettimeofday () in
+      let st = Fleet.drive ~jobs ~updates_per_domain ~seed:31L fl in
+      let wall = Unix.gettimeofday () -. t0 in
+      Gc.compact ();
+      let live_words = (Gc.stat ()).Gc.live_words - before in
+      let words_per_domain = live_words / domains in
+      let throughput = float_of_int st.Fleet.delivered /. wall in
+      (* shared-RIB memory: how much of a mutated explorer clone's Loc-RIB
+         is physically the live speaker's trie (first persistent-trie
+         domain in the fleet) *)
+      let shared, clone_nodes =
+        match
+          List.find_opt
+            (fun (d : Spec.domain) -> d.Spec.speaker = "bird")
+            spec.Spec.domains
+        with
+        | Some d -> Fleet.rib_sharing fl ~domain:d.Spec.name
+        | None -> (0, 0)
+      in
+      let rib_shared =
+        if clone_nodes = 0 then 0.0
+        else float_of_int shared /. float_of_int clone_nodes
+      in
+      (* checkpoint pages content-deduped across the fleet's shared store:
+         every domain captured live plus one mutated explorer clone *)
+      Fleet.checkpoint_all ~clones:1 fl;
+      let store = Fleet.store fl in
+      let dedup = Store.dedup_ratio store in
+      let resident = Store.resident_bytes store in
+      Fleet.release_checkpoints fl;
+      row "%-8d %-8d %12.0f %14.0f %14d %11.0f%% %9.0f%%\n" domains
+        (List.length spec.Spec.links) throughput
+        (throughput /. float_of_int domains)
+        words_per_domain (100.0 *. rib_shared) (100.0 *. dedup);
+      json_rows :=
+        Dice_util.Json.obj
+          [ ("domains", Dice_util.Json.int domains);
+            ("links", Dice_util.Json.int (List.length spec.Spec.links));
+            ("updates_fed", Dice_util.Json.int st.Fleet.fed);
+            ("updates_delivered", Dice_util.Json.int st.Fleet.delivered);
+            ("rounds", Dice_util.Json.int st.Fleet.rounds);
+            ("wall_s", Dice_util.Json.float wall);
+            ("updates_per_s", Dice_util.Json.float throughput);
+            ("updates_per_s_per_domain", Dice_util.Json.float (throughput /. float_of_int domains));
+            ("live_words_per_domain", Dice_util.Json.int words_per_domain);
+            ("rib_clone_nodes", Dice_util.Json.int clone_nodes);
+            ("rib_shared_nodes", Dice_util.Json.int shared);
+            ("rib_shared_fraction", Dice_util.Json.float rib_shared);
+            ("checkpoint_captures", Dice_util.Json.int (Store.captures store));
+            ("checkpoint_dedup_ratio", Dice_util.Json.float dedup);
+            ("checkpoint_resident_bytes", Dice_util.Json.int resident) ]
+        :: !json_rows)
+    [ 1; 4; 16; 64 ];
+  let json =
+    Dice_util.Json.obj
+      [ ("experiment", Dice_util.Json.string "p10");
+        ("updates_per_domain", Dice_util.Json.int updates_per_domain);
+        ("jobs", Dice_util.Json.int jobs);
+        ("fleets", Dice_util.Json.List (List.rev !json_rows)) ]
+  in
+  let oc = open_out "BENCH_p10.json" in
+  output_string oc (Dice_util.Json.to_string ~indent:true json);
+  output_char oc '\n';
+  close_out oc;
+  row "wrote BENCH_p10.json\n"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -1668,7 +1767,7 @@ let micro_benchmarks () =
   in
   let tests =
     [ Test.make ~name:"update-processing (E2/E3 hot path)"
-        (Staged.stage (fun () -> ignore (Router.handle_msg router ~peer:Threerouter.internet_addr announce_msg)));
+        (Staged.stage (fun () -> ignore (Router.handle_msg router ~peer:tr_internet_addr announce_msg)));
       Test.make ~name:"msg-decode"
         (Staged.stage (fun () -> ignore (Msg.decode encoded)));
       Test.make ~name:"msg-encode"
@@ -1766,18 +1865,18 @@ let experiment_x1 () =
               { Msg.withdrawn = []; attrs = Route.to_attrs route; nlri = [ p prefix ] })))
     [ ("198.0.0.0/16", 64999); ("198.32.0.0/14", 64998); ("198.128.0.0/12", 64997) ];
   let provider = Router.create (Threerouter.provider_config Threerouter.Partially_correct) in
-  establish provider Threerouter.customer_addr Threerouter.customer_as;
-  establish provider Threerouter.internet_addr Threerouter.internet_as;
+  establish provider tr_customer_addr Threerouter.customer_as;
+  establish provider tr_internet_addr Threerouter.internet_as;
   List.iter
     (fun prefix ->
       ignore
-        (Router.handle_msg provider ~peer:Threerouter.customer_addr
+        (Router.handle_msg provider ~peer:tr_customer_addr
            (Msg.Update
               { Msg.withdrawn = []; attrs = Route.to_attrs (customer_route ());
                 nlri = [ prefix ] })))
     Threerouter.customer_prefixes;
   let agent =
-    Distributed.agent ~name:"upstream" ~addr:Threerouter.internet_addr
+    Distributed.agent ~name:"upstream" ~addr:tr_internet_addr
       ~explorer_addr:(Ipv4.of_string "10.0.2.1")
       (Distributed.Local (Speakers.bird upstream))
   in
@@ -1793,7 +1892,7 @@ let experiment_x1 () =
     }
   in
   let dice = Orchestrator.create ~cfg (Speakers.bird provider) in
-  Orchestrator.observe dice ~peer:Threerouter.customer_addr
+  Orchestrator.observe dice ~peer:tr_customer_addr
     ~prefix:(p "203.0.113.0/24") ~route:(customer_route ());
   let report = Orchestrator.explore dice in
   let count name =
@@ -1816,7 +1915,7 @@ let experiment_x2 () =
     List.map
       (fun prefix ->
         { Orchestrator.tag = "obs-" ^ Prefix.to_string prefix;
-          peer = Threerouter.customer_addr;
+          peer = tr_customer_addr;
           prefix;
           route = customer_route ();
         })
@@ -1882,6 +1981,7 @@ let () =
   experiment_p7 ();
   experiment_p8 ();
   experiment_p9 ();
+  experiment_p10 ();
   experiment_x1 ();
   experiment_x2 ();
   micro_benchmarks ();

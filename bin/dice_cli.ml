@@ -7,6 +7,13 @@ open Dice_bgp
 open Dice_core
 module Threerouter = Dice_topology.Threerouter
 
+(* Figure-2 addressing, resolved through the topology spec *)
+let tr_f2_spec = Threerouter.spec Threerouter.Correct
+let tr_customer_addr = Dice_topology.Topology.Spec.address tr_f2_spec ~of_:"customer" ~toward:"provider"
+let tr_internet_addr = Dice_topology.Topology.Spec.address tr_f2_spec ~of_:"internet" ~toward:"provider"
+let tr_provider_internet_side = Dice_topology.Topology.Spec.address tr_f2_spec ~of_:"provider" ~toward:"internet"
+
+
 (* ---------------- shared arguments ---------------- *)
 
 let seed_arg =
@@ -197,7 +204,7 @@ let mk_remote_agents ~speaker n =
           ~local_as:(Threerouter.internet_as + i)
           ~sessions:
             [ Intent.session "provider" ~export:Intent.Block
-                ~neighbor:Threerouter.provider_addr_internet_side
+                ~neighbor:tr_provider_internet_side
                 ~remote_as:Threerouter.provider_as;
               Intent.session "collector" ~neighbor:collector ~remote_as:(64801 + i) ]
           ()
@@ -206,7 +213,7 @@ let mk_remote_agents ~speaker n =
          through the SPEAKER interface, which hides whether sessions come up
          by FSM handshake (bird) or administratively (quagga/xorp) *)
       let sp = Speakers.create_exn speaker (Speaker.Intent intent) in
-      Speaker.establish sp ~peer:Threerouter.provider_addr_internet_side;
+      Speaker.establish sp ~peer:tr_provider_internet_side;
       Speaker.establish sp ~peer:collector;
       List.iter
         (fun (prefix, origin) ->
@@ -223,8 +230,8 @@ let mk_remote_agents ~speaker n =
           (Printf.sprintf "198.%d.0.0/14" (64 + (4 * i)), 64950 + i) ];
       Distributed.agent
         ~name:(Printf.sprintf "upstream-%d-%s" i (Speaker.id sp))
-        ~addr:Threerouter.internet_addr
-        ~explorer_addr:Threerouter.provider_addr_internet_side
+        ~addr:tr_internet_addr
+        ~explorer_addr:tr_provider_internet_side
         (Distributed.Local sp))
 
 (* Remote transport: put each agent on the simulated network as a probe
@@ -270,7 +277,7 @@ let remotify ?(crash_tolerant = false) net serving_agents =
       Distributed.agent
         ~name:(Distributed.agent_name a)
         ~addr:(Distributed.agent_addr a)
-        ~explorer_addr:Threerouter.provider_addr_internet_side
+        ~explorer_addr:tr_provider_internet_side
         (Distributed.Remote
            (Probe_rpc.endpoint ~config cl ~server:(Probe_rpc.server_node srv))))
     serving_agents
@@ -345,13 +352,13 @@ let mk_panel_agents ?intent ~panel () =
     List.map
       (fun name ->
         let sp = Speakers.create_exn name source in
-        Speaker.establish sp ~peer:Threerouter.provider_addr_internet_side;
+        Speaker.establish sp ~peer:tr_provider_internet_side;
         Speaker.establish sp ~peer:collector;
         List.iter (fun (peer, msg) -> ignore (Speaker.feed sp ~peer msg)) setup;
         (* named by implementation so replayed artifacts produce the
            same divergence signatures (Panel.Artifact.build does too) *)
-        Distributed.agent ~name ~addr:Threerouter.internet_addr
-          ~explorer_addr:Threerouter.provider_addr_internet_side
+        Distributed.agent ~name ~addr:tr_internet_addr
+          ~explorer_addr:tr_provider_internet_side
           (Distributed.Local sp))
       panel
   in
@@ -371,7 +378,7 @@ let build_loaded ~filtering ~seed ~prefixes =
 let customer_route () =
   Route.make ~origin:Attr.Igp
     ~as_path:[ Asn.Path.Seq [ Threerouter.customer_as ] ]
-    ~next_hop:Threerouter.customer_addr ()
+    ~next_hop:tr_customer_addr ()
 
 (* ---------------- gen-trace ---------------- *)
 
@@ -455,10 +462,101 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Bring up the 3-router testbed and load a full table.")
     Term.(const run_testbed $ filtering_arg $ seed_arg $ prefixes_arg)
 
+(* ---------------- gen-topology / fleet mode ---------------- *)
+
+module Spec = Dice_topology.Topology.Spec
+module Topo_gen = Dice_topology.Gen
+module Fleet = Dice_topology.Fleet
+
+let resolve_topology src =
+  match String.split_on_char ':' src with
+  | [ "gen"; seed; n ] ->
+    let seed =
+      try Int64.of_string seed
+      with _ -> invalid_arg (Printf.sprintf "--topology gen: bad seed %S" seed)
+    in
+    let domains =
+      try int_of_string n
+      with _ -> invalid_arg (Printf.sprintf "--topology gen: bad domain count %S" n)
+    in
+    Topo_gen.generate ~seed ~domains ()
+  | [ _ ] -> Spec.parse_file src
+  | _ -> invalid_arg (Printf.sprintf "--topology: expected FILE or gen:SEED:N, got %S" src)
+
+let gen_topology domains seed out =
+  let spec = Topo_gen.generate ~seed ~domains () in
+  let text = Spec.to_string spec in
+  if out = "-" then print_string text
+  else begin
+    Out_channel.with_open_bin out (fun oc -> Out_channel.output_string oc text);
+    Printf.printf "wrote %s: %d domains, %d links (seed %Ld — same seed, same bytes)\n"
+      out (List.length spec.Spec.domains) (List.length spec.Spec.links) seed
+  end;
+  0
+
+let gen_topology_cmd =
+  let domains =
+    Arg.(
+      value & opt int 16
+      & info [ "domains" ] ~docv:"N" ~doc:"Number of domains (ASes) to generate.")
+  in
+  let out =
+    Arg.(
+      value & opt string "-"
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file ($(b,-) for stdout).")
+  in
+  Cmd.v
+    (Cmd.info "gen-topology"
+       ~doc:
+         "Generate a seeded AS-level topology (preferential attachment, \
+          customer/provider/peer roles, valley-free policies) in the \
+          $(b,--topology) text format. The same seed reproduces the same \
+          file byte for byte.")
+    Term.(const gen_topology $ domains $ seed_arg $ out)
+
+let run_fleet src seed updates jobs =
+  let spec = resolve_topology src in
+  let fl = Fleet.realize spec in
+  Fleet.establish fl;
+  Printf.printf "fleet: %d domains, %d links, speakers [%s]\n"
+    (List.length spec.Spec.domains)
+    (List.length spec.Spec.links)
+    (String.concat ", "
+       (List.sort_uniq compare
+          (List.map (fun (d : Spec.domain) -> d.Spec.speaker) spec.Spec.domains)));
+  let st =
+    Fleet.drive ~jobs:(max 1 jobs) ~probe_every:4 ~updates_per_domain:updates ~seed fl
+  in
+  Printf.printf "stream: fed %d, delivered %d, emitted %d, to collector %d, %d round(s)\n"
+    st.Fleet.fed st.Fleet.delivered st.Fleet.emitted st.Fleet.to_collector
+    st.Fleet.rounds;
+  Printf.printf "probes: %d, probe verdicts: %d\n" st.Fleet.probes st.Fleet.verdicts;
+  if st.Fleet.dropped_down > 0 || st.Fleet.skipped_feeds > 0 then
+    Printf.printf "down domains: %d message(s) dropped, %d feed(s) withheld\n"
+      st.Fleet.dropped_down st.Fleet.skipped_feeds;
+  (match
+     List.find_opt (fun (d : Spec.domain) -> d.Spec.speaker = "bird") spec.Spec.domains
+   with
+  | Some d ->
+    let shared, total = Fleet.rib_sharing fl ~domain:d.Spec.name in
+    if total > 0 then
+      Printf.printf "rib sharing (%s): %d/%d trie nodes shared with an explorer clone\n"
+        d.Spec.name shared total
+  | None -> ());
+  Fleet.checkpoint_all ~clones:1 fl;
+  let store = Fleet.store fl in
+  Printf.printf
+    "checkpoint store: %d capture(s), %.1f%% pages deduped, %d bytes resident\n"
+    (Dice_checkpoint.Store.captures store)
+    (100.0 *. Dice_checkpoint.Store.dedup_ratio store)
+    (Dice_checkpoint.Store.resident_bytes store);
+  Fleet.release_checkpoints fl;
+  if st.Fleet.rounds < 64 then 0 else 1
+
 (* ---------------- detect-leaks ---------------- *)
 
-let detect_leaks filtering seed prefixes runs jobs agents speaker panel intent
-    minimize repro_out transport loss dup reorder fault_seed crash_rate
+let detect_leaks_testbed filtering seed prefixes runs jobs agents speaker panel
+    intent minimize repro_out transport loss dup reorder fault_seed crash_rate
     crash_downtime crash_seed json =
   let topo, _, n = build_loaded ~filtering ~seed ~prefixes in
   Printf.printf "table loaded: %d routes; filtering=%s\n" n
@@ -530,7 +628,7 @@ let detect_leaks filtering seed prefixes runs jobs agents speaker panel intent
     }
   in
   let dice = Orchestrator.create ~cfg (Speakers.bird provider) in
-  Orchestrator.observe dice ~peer:Threerouter.customer_addr
+  Orchestrator.observe dice ~peer:tr_customer_addr
     ~prefix:(Prefix.of_string "203.0.113.0/24")
     ~route:(customer_route ());
   let report = Orchestrator.explore dice in
@@ -660,6 +758,36 @@ let transport_arg =
            simulated network and probes it with wire frames (latency, \
            timeouts and retries included).")
 
+let detect_leaks topology filtering seed prefixes updates runs jobs agents
+    speaker panel intent minimize repro_out transport loss dup reorder
+    fault_seed crash_rate crash_downtime crash_seed json =
+  match topology with
+  | Some src -> run_fleet src seed updates jobs
+  | None ->
+    detect_leaks_testbed filtering seed prefixes runs jobs agents speaker panel
+      intent minimize repro_out transport loss dup reorder fault_seed crash_rate
+      crash_downtime crash_seed json
+
+let topology_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "topology" ] ~docv:"FILE|gen:SEED:N"
+        ~doc:
+          "Fleet mode: instead of the 3-router testbed, instantiate a \
+           DiCE-enabled speaker per domain of the given topology (a \
+           $(b,gen-topology) file, or $(b,gen:SEED:N) to generate N domains \
+           in-process), drive a sustained update stream through the \
+           federation on the worker pool, and probe the stream online at \
+           each receiving domain's explorer clone.")
+
+let updates_arg =
+  Arg.(
+    value
+    & opt int Fleet.default_updates_per_domain
+    & info [ "updates" ] ~docv:"N"
+        ~doc:"Fleet mode: update-stream announcements injected per domain.")
+
 let detect_leaks_cmd =
   Cmd.v
     (Cmd.info "detect-leaks"
@@ -679,11 +807,11 @@ let detect_leaks_cmd =
           implementations; $(b,--minimize) delta-debugs each divergence and \
           writes a replayable repro artifact.")
     Term.(
-      const detect_leaks $ filtering_arg $ seed_arg $ prefixes_arg $ runs_arg
-      $ jobs_arg $ agents_arg $ speaker_arg $ panel_arg $ intent_arg
-      $ minimize_arg $ repro_out_arg $ transport_arg $ loss_arg $ dup_arg
-      $ reorder_arg $ fault_seed_arg $ crash_rate_arg $ crash_downtime_arg
-      $ crash_seed_arg $ json_arg)
+      const detect_leaks $ topology_arg $ filtering_arg $ seed_arg
+      $ prefixes_arg $ updates_arg $ runs_arg $ jobs_arg $ agents_arg
+      $ speaker_arg $ panel_arg $ intent_arg $ minimize_arg $ repro_out_arg
+      $ transport_arg $ loss_arg $ dup_arg $ reorder_arg $ fault_seed_arg
+      $ crash_rate_arg $ crash_downtime_arg $ crash_seed_arg $ json_arg)
 
 (* ---------------- replay-divergence ---------------- *)
 
@@ -841,8 +969,8 @@ let overhead seed prefixes =
   let mgr = Dice_checkpoint.Fork.create () in
   let cp = Dice_checkpoint.Fork.checkpoint mgr ~live_image:(Router.snapshot router) in
   let progress =
-    Dice_trace.Replay.feed_events router ~peer:Threerouter.internet_addr
-      ~next_hop:Threerouter.internet_addr trace
+    Dice_trace.Replay.feed_events router ~peer:tr_internet_addr
+      ~next_hop:tr_internet_addr trace
   in
   let unique, fraction =
     Dice_checkpoint.Fork.checkpoint_stats cp ~live_image:(Router.snapshot router)
@@ -873,7 +1001,7 @@ let validate_change proposed_file seed prefixes runs jobs json =
   in
   let seeds =
     [ { Orchestrator.tag = "observed";
-        peer = Threerouter.customer_addr;
+        peer = tr_customer_addr;
         prefix = Prefix.of_string "203.0.113.0/24";
         route = customer_route ();
       } ]
@@ -925,5 +1053,6 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ gen_trace_cmd; trace_info_cmd; run_cmd; detect_leaks_cmd;
-            replay_divergence_cmd; explore_filter_cmd; overhead_cmd; validate_cmd ]))
+          [ gen_trace_cmd; gen_topology_cmd; trace_info_cmd; run_cmd;
+            detect_leaks_cmd; replay_divergence_cmd; explore_filter_cmd;
+            overhead_cmd; validate_cmd ]))

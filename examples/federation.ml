@@ -19,6 +19,12 @@ open Dice_inet
 open Dice_bgp
 open Dice_core
 
+(* Figure-2 addressing, resolved through the topology spec *)
+let tr_f2_spec = Dice_topology.Threerouter.spec Dice_topology.Threerouter.Correct
+let tr_customer_addr = Dice_topology.Topology.Spec.address tr_f2_spec ~of_:"customer" ~toward:"provider"
+let tr_internet_addr = Dice_topology.Topology.Spec.address tr_f2_spec ~of_:"internet" ~toward:"provider"
+
+
 let p = Prefix.of_string
 let provider_facing = Ipv4.of_string "10.0.2.1"
 let collector = Ipv4.of_string "10.0.3.2"
@@ -77,17 +83,17 @@ let () =
     Router.create (Dice_topology.Threerouter.provider_config
                      Dice_topology.Threerouter.Partially_correct)
   in
-  establish_router provider Dice_topology.Threerouter.customer_addr 64501;
-  establish_router provider Dice_topology.Threerouter.internet_addr 64700;
+  establish_router provider tr_customer_addr 64501;
+  establish_router provider tr_internet_addr 64700;
   let customer_route =
     Route.make ~origin:Attr.Igp
       ~as_path:[ Asn.Path.Seq [ Dice_topology.Threerouter.customer_as ] ]
-      ~next_hop:Dice_topology.Threerouter.customer_addr ()
+      ~next_hop:tr_customer_addr ()
   in
   List.iter
     (fun prefix ->
       ignore
-        (Router.handle_msg provider ~peer:Dice_topology.Threerouter.customer_addr
+        (Router.handle_msg provider ~peer:tr_customer_addr
            (Msg.Update
               { Msg.withdrawn = []; attrs = Route.to_attrs customer_route; nlri = [ prefix ] })))
     Dice_topology.Threerouter.customer_prefixes;
@@ -103,7 +109,7 @@ let () =
   let net = Dice_sim.Network.create () in
   let serving =
     Distributed.agent ~name:"upstream-AS64700"
-      ~addr:Dice_topology.Threerouter.internet_addr
+      ~addr:tr_internet_addr
       ~explorer_addr:provider_facing
       (Distributed.Local upstream)
   in
@@ -118,7 +124,7 @@ let () =
   in
   let agent =
     Distributed.agent ~name:"upstream-AS64700"
-      ~addr:Dice_topology.Threerouter.internet_addr
+      ~addr:tr_internet_addr
       ~explorer_addr:provider_facing
       (Distributed.Remote ep)
   in
@@ -139,7 +145,7 @@ let () =
     }
   in
   let dice = Orchestrator.create ~cfg (Speakers.bird provider) in
-  Orchestrator.observe dice ~peer:Dice_topology.Threerouter.customer_addr
+  Orchestrator.observe dice ~peer:tr_customer_addr
     ~prefix:(p "203.0.113.0/24") ~route:customer_route;
   let report = Orchestrator.explore dice in
 
@@ -277,7 +283,7 @@ let () =
                 { Msg.withdrawn = []; attrs = Route.to_attrs incumbent;
                   nlri = [ p "198.51.77.0/24" ] }));
         Distributed.agent ~name:impl
-          ~addr:Dice_topology.Threerouter.internet_addr
+          ~addr:tr_internet_addr
           ~explorer_addr:provider_facing (Distributed.Local sp))
       Speakers.names
   in

@@ -19,6 +19,12 @@ open Dice_bgp
 open Dice_core
 module Threerouter = Dice_topology.Threerouter
 
+(* Figure-2 addressing, resolved through the topology spec *)
+let tr_f2_spec = Threerouter.spec Threerouter.Correct
+let tr_customer_addr = Dice_topology.Topology.Spec.address tr_f2_spec ~of_:"customer" ~toward:"provider"
+let tr_internet_addr = Dice_topology.Topology.Spec.address tr_f2_spec ~of_:"internet" ~toward:"provider"
+
+
 
 let establish router peer remote_as =
   ignore (Router.handle_event router ~peer Fsm.Manual_start);
@@ -46,8 +52,8 @@ let intent_with patterns =
               ~actions:[ Intent.Set_local_pref 120 ] () ] ]
     ~sessions:
       [ Intent.session "customer" ~import:(Intent.Apply "customer_in")
-          ~neighbor:Threerouter.customer_addr ~remote_as:Threerouter.customer_as;
-        Intent.session "internet" ~neighbor:Threerouter.internet_addr
+          ~neighbor:tr_customer_addr ~remote_as:Threerouter.customer_as;
+        Intent.session "internet" ~neighbor:tr_internet_addr
           ~remote_as:Threerouter.internet_as ]
     ~anycast:[ Prefix.of_string "192.88.99.0/24" ] ()
 
@@ -64,25 +70,25 @@ let () =
   print_endline "== validating a filter change before committing it ==\n";
   (* the live router runs the BIRD rendering of the running intent *)
   let live = Router.create (Dialect.realize (module Bird_dialect) (intent_with running)) in
-  establish live Threerouter.customer_addr Threerouter.customer_as;
-  establish live Threerouter.internet_addr Threerouter.internet_as;
+  establish live tr_customer_addr Threerouter.customer_as;
+  establish live tr_internet_addr Threerouter.internet_as;
   (* live state: a table from upstream plus the customer's announcements *)
   let trace =
     Dice_trace.Gen.generate
       { Dice_trace.Gen.default_params with Dice_trace.Gen.n_prefixes = 3_000 }
   in
   ignore
-    (Dice_trace.Replay.feed_dump live ~peer:Threerouter.internet_addr
-       ~next_hop:Threerouter.internet_addr trace);
+    (Dice_trace.Replay.feed_dump live ~peer:tr_internet_addr
+       ~next_hop:tr_internet_addr trace);
   let customer_route =
     Route.make ~origin:Attr.Igp
       ~as_path:[ Asn.Path.Seq [ Threerouter.customer_as ] ]
-      ~next_hop:Threerouter.customer_addr ()
+      ~next_hop:tr_customer_addr ()
   in
   List.iter
     (fun prefix ->
       ignore
-        (Router.handle_msg live ~peer:Threerouter.customer_addr
+        (Router.handle_msg live ~peer:tr_customer_addr
            (Msg.Update
               { Msg.withdrawn = []; attrs = Route.to_attrs customer_route; nlri = [ prefix ] })))
     Threerouter.customer_prefixes;
@@ -93,7 +99,7 @@ let () =
     List.map
       (fun prefix ->
         { Orchestrator.tag = "obs-" ^ Prefix.to_string prefix;
-          peer = Threerouter.customer_addr;
+          peer = tr_customer_addr;
           prefix;
           route = customer_route;
         })

@@ -13,6 +13,12 @@ open Dice_bgp
 open Dice_core
 module Fork = Dice_checkpoint.Fork
 
+(* Figure-2 addressing, resolved through the topology spec *)
+let tr_f2_spec = Dice_topology.Threerouter.spec Dice_topology.Threerouter.Correct
+let tr_customer_addr = Dice_topology.Topology.Spec.address tr_f2_spec ~of_:"customer" ~toward:"provider"
+let tr_internet_addr = Dice_topology.Topology.Spec.address tr_f2_spec ~of_:"internet" ~toward:"provider"
+
+
 let build_loaded_router n_prefixes =
   let topo = Dice_topology.Threerouter.build Dice_topology.Threerouter.Partially_correct in
   Dice_topology.Threerouter.start topo;
@@ -34,8 +40,8 @@ let () =
   (* live router keeps processing the 15-min update tail *)
   let progress =
     Dice_trace.Replay.feed_events router
-      ~peer:Dice_topology.Threerouter.internet_addr
-      ~next_hop:Dice_topology.Threerouter.internet_addr trace
+      ~peer:tr_internet_addr
+      ~next_hop:tr_internet_addr trace
   in
   let unique, fraction = Fork.checkpoint_stats cp ~live_image:(Router.snapshot router) in
   Printf.printf "checkpoint: %d unique pages after live processed %d updates (%.2f%%)\n"
@@ -59,9 +65,9 @@ let () =
   let route =
     Route.make ~origin:Attr.Igp
       ~as_path:[ Asn.Path.Seq [ Dice_topology.Threerouter.customer_as ] ]
-      ~next_hop:Dice_topology.Threerouter.customer_addr ()
+      ~next_hop:tr_customer_addr ()
   in
-  Orchestrator.observe dice ~peer:Dice_topology.Threerouter.customer_addr
+  Orchestrator.observe dice ~peer:tr_customer_addr
     ~prefix:(Prefix.of_string "203.0.113.0/24") ~route;
   let report = Orchestrator.explore dice in
   let clone_stats =
@@ -107,7 +113,7 @@ let () =
       if i = 5_000 then begin
         halfway := Unix.gettimeofday ();
         if with_exploration then begin
-          Orchestrator.observe dice ~peer:Dice_topology.Threerouter.customer_addr
+          Orchestrator.observe dice ~peer:tr_customer_addr
             ~prefix:(Prefix.of_string "203.0.113.0/24") ~route;
           ignore (Orchestrator.explore dice)
         end;
@@ -117,8 +123,8 @@ let () =
     in
     let p =
       Dice_trace.Replay.feed_dump ~on_update router
-        ~peer:Dice_topology.Threerouter.internet_addr
-        ~next_hop:Dice_topology.Threerouter.internet_addr burst
+        ~peer:tr_internet_addr
+        ~next_hop:tr_internet_addr burst
     in
     let live_seconds = (!halfway -. t0) +. (Unix.gettimeofday () -. !resume) in
     float_of_int p.Dice_trace.Replay.updates_sent /. live_seconds

@@ -9,6 +9,11 @@ open Dice_bgp
 open Dice_topology
 open Dice_core
 
+(* Figure-2 addressing, resolved through the topology spec *)
+let tr_f2_spec = Threerouter.spec Threerouter.Correct
+let tr_customer_addr = Topology.Spec.address tr_f2_spec ~of_:"customer" ~toward:"provider"
+
+
 let () =
   print_endline "== DiCE quickstart ==";
   print_endline "building Customer -- Provider(DiCE) -- Internet topology...";
@@ -32,9 +37,9 @@ let () =
   let route =
     Route.make ~origin:Attr.Igp
       ~as_path:[ Asn.Path.Seq [ Threerouter.customer_as ] ]
-      ~next_hop:Threerouter.customer_addr ()
+      ~next_hop:tr_customer_addr ()
   in
-  Orchestrator.observe dice ~peer:Threerouter.customer_addr
+  Orchestrator.observe dice ~peer:tr_customer_addr
     ~prefix:(Prefix.of_string "203.0.113.0/24")
     ~route;
 

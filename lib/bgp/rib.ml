@@ -27,4 +27,6 @@ module Loc = struct
   let cardinal = Prefix_trie.cardinal
   let to_list = Prefix_trie.to_list
   let fold = Prefix_trie.fold
+  let trie_nodes = Prefix_trie.node_count
+  let shared_nodes = Prefix_trie.shared_nodes
 end

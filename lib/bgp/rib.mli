@@ -41,4 +41,14 @@ module Loc : sig
   val cardinal : t -> int
   val to_list : t -> (Prefix.t * entry) list
   val fold : (Prefix.t -> entry -> 'a -> 'a) -> t -> 'a -> 'a
+
+  val trie_nodes : t -> int
+  (** Physical trie nodes backing this table
+      ({!Dice_inet.Prefix_trie.node_count}). *)
+
+  val shared_nodes : t -> t -> int
+  (** Physically shared nodes between two tables
+      ({!Dice_inet.Prefix_trie.shared_nodes}) — how a fleet measures
+      that an explorer clone's Loc-RIB still {e is} the live
+      speaker's, bar the subtrees the clone wrote. *)
 end

@@ -787,3 +787,27 @@ let restore cfg image =
       Hashtbl.replace t.slots key idx)
     spilled;
   t
+
+(* ------------------------------------------------------------------ *)
+(* In-process cloning                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let clone t =
+  let peers = Hashtbl.create (Hashtbl.length t.peers) in
+  Hashtbl.iter
+    (fun addr p ->
+      (* fresh mutable cell per peer; the Adj-RIB tries inside are
+         persistent and stay physically shared with the live router *)
+      Hashtbl.replace peers addr
+        { pcfg = p.pcfg; fsm = p.fsm; adj_in = p.adj_in; adj_out = p.adj_out; as4 = p.as4 })
+    t.peers;
+  {
+    cfg = t.cfg;
+    peers;
+    statics = t.statics;
+    loc = t.loc;
+    updates = t.updates;
+    slots = Hashtbl.copy t.slots;
+    next_slot = t.next_slot;
+    free_slots = t.free_slots;
+  }

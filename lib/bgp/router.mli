@@ -106,3 +106,12 @@ val snapshot : t -> bytes
 val restore : Config_types.t -> bytes -> t
 (** Rebuild a router from a snapshot taken of a router with the same
     configuration. @raise Invalid_argument on a corrupt image. *)
+
+val clone : t -> t
+(** An independent in-process copy sharing all RIB storage with the
+    live router: the Loc-RIB, every Adj-RIB-In/Out and the static table
+    are persistent tries, so the clone holds references — O(#peers),
+    no serialization. Mutating either side copies only the touched
+    path ({!Dice_inet.Prefix_trie} structural sharing); everything else
+    stays physically shared. This is the explorer-clone path: memory
+    per clone is the write set, not the table. *)

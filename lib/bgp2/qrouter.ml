@@ -454,3 +454,16 @@ let restore cfg image =
     done;
     t
   with Rbuf.Truncated what -> invalid_arg ("Qrouter.restore: truncated image: " ^ what)
+
+(* An independent in-process copy. Zebra-style state is mutable hash
+   tables, so — true to the heterogeneity — there is nothing persistent
+   to share: every bucket is copied eagerly. Still far cheaper than
+   snapshot + parse (no serialization, route values are shared). *)
+let clone t =
+  let peers = Hashtbl.create (Hashtbl.length t.peers) in
+  Hashtbl.iter
+    (fun addr p ->
+      Hashtbl.replace peers addr
+        { pcfg = p.pcfg; up = p.up; rin = Hashtbl.copy p.rin; rout = Hashtbl.copy p.rout })
+    t.peers;
+  { cfg = t.cfg; peers; main = Hashtbl.copy t.main; statics = t.statics; updates = t.updates }

@@ -102,3 +102,9 @@ val snapshot : t -> bytes
 val restore : Config_types.t -> bytes -> t
 (** @raise Invalid_argument on a corrupt or alien image, or one
     mentioning peers absent from [cfg]. *)
+
+val clone : t -> t
+(** An independent in-process copy of the live router. Quagga-style
+    state is mutable hash tables, so buckets are copied eagerly (route
+    values stay shared) — no serialization, unlike {!snapshot} +
+    {!restore}. *)

@@ -505,3 +505,14 @@ let restore cfg image =
     t.main <- !main;
     t
   with Rbuf.Truncated what -> invalid_arg ("Xrouter.restore: truncated image: " ^ what)
+
+(* An independent in-process copy. The per-table balanced maps are
+   persistent, so the clone holds references and copies only the mutable
+   per-peer cells — O(#peers), all route storage physically shared. *)
+let clone t =
+  let peers =
+    List.map
+      (fun (addr, p) -> (addr, { pcfg = p.pcfg; up = p.up; rin = p.rin; rout = p.rout }))
+      t.peers
+  in
+  { cfg = t.cfg; peers; main = t.main; statics = t.statics; updates = t.updates }

@@ -83,3 +83,9 @@ val snapshot : t -> bytes
 val restore : Config_types.t -> bytes -> t
 (** @raise Invalid_argument on foreign magic, truncation, or an image
     peer absent from [cfg]. *)
+
+val clone : t -> t
+(** An independent in-process copy sharing all route storage with the
+    live router: the per-table maps are persistent, so the clone holds
+    references and copies only the mutable per-peer cells —
+    O(#peers). *)

@@ -1,6 +1,17 @@
 type manager = { st : Store.t; clones : int Atomic.t }
 
-let create ?page_size () = { st = Store.create ?page_size (); clones = Atomic.make 0 }
+let create ?page_size ?store () =
+  let st =
+    match store with
+    | Some st ->
+      (match page_size with
+      | Some ps when ps <> Store.page_size st ->
+        invalid_arg "Fork.create: page_size conflicts with the shared store's"
+      | Some _ | None -> ());
+      st
+    | None -> Store.create ?page_size ()
+  in
+  { st; clones = Atomic.make 0 }
 
 let store m = m.st
 

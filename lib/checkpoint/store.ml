@@ -9,6 +9,12 @@ type t = {
          explorations capture/clone/release from separate domains *)
   pages : (key, entry) Hashtbl.t;
   mutable live : int;
+  (* dedup accounting across every capture this store ever served — how
+     the fleet measures that checkpoint pages are shared across explorer
+     clones (and across domains) instead of duplicated *)
+  mutable captures : int;
+  mutable page_hits : int;  (* captured pages found already resident *)
+  mutable page_inserts : int;  (* captured pages stored fresh *)
 }
 
 type snapshot = {
@@ -20,7 +26,15 @@ type snapshot = {
 
 let create ?(page_size = Page.default_size) () =
   if page_size <= 0 then invalid_arg "Store.create: page_size must be positive";
-  { page_size; lock = Mutex.create (); pages = Hashtbl.create 1024; live = 0 }
+  {
+    page_size;
+    lock = Mutex.create ();
+    pages = Hashtbl.create 1024;
+    live = 0;
+    captures = 0;
+    page_hits = 0;
+    page_inserts = 0;
+  }
 
 let locked t f =
   Mutex.lock t.lock;
@@ -37,12 +51,17 @@ let capture t state =
         List.map
           (fun ((id : Page.id), data) ->
             (match Hashtbl.find_opt t.pages (key_of id) with
-            | Some e -> e.refs <- e.refs + 1
-            | None -> Hashtbl.add t.pages (key_of id) { data; refs = 1 });
+            | Some e ->
+              e.refs <- e.refs + 1;
+              t.page_hits <- t.page_hits + 1
+            | None ->
+              Hashtbl.add t.pages (key_of id) { data; refs = 1 };
+              t.page_inserts <- t.page_inserts + 1);
             id)
           pages
         |> Array.of_list
       in
+      t.captures <- t.captures + 1;
       t.live <- t.live + 1;
       { store = t; table; total_len = Bytes.length state; released = false })
 
@@ -117,3 +136,12 @@ let resident_bytes t =
   locked t (fun () -> Hashtbl.fold (fun (_, len) _ acc -> acc + len) t.pages 0)
 
 let live_snapshots t = locked t (fun () -> t.live)
+
+let captures t = locked t (fun () -> t.captures)
+let page_hits t = locked t (fun () -> t.page_hits)
+let page_inserts t = locked t (fun () -> t.page_inserts)
+
+let dedup_ratio t =
+  locked t (fun () ->
+      let total = t.page_hits + t.page_inserts in
+      if total = 0 then 0.0 else float_of_int t.page_hits /. float_of_int total)

@@ -53,3 +53,27 @@ val resident_bytes : t -> int
 (** Total bytes of distinct resident pages. *)
 
 val live_snapshots : t -> int
+
+(** {1 Cross-capture dedup accounting}
+
+    Lifetime counters over every {!capture} the store served — the
+    fleet-scale measurement that checkpoint pages are {e shared} across
+    explorer clones (and across the domains of a fleet when they back
+    their checkpoints with one store) rather than duplicated. *)
+
+val captures : t -> int
+(** {!capture} calls so far. *)
+
+val page_hits : t -> int
+(** Captured pages that were already resident (content-identical to a
+    page some earlier capture stored) — each one is a page of memory a
+    clone did {e not} cost. *)
+
+val page_inserts : t -> int
+(** Captured pages stored fresh. *)
+
+val dedup_ratio : t -> float
+(** [page_hits / (page_hits + page_inserts)], in [\[0, 1\]]; [0.]
+    before any capture. Near [1.0] when clones barely diverge from
+    their checkpoint — the flat-memory regime the paper's fork()-style
+    checkpointing relies on. *)

@@ -41,10 +41,11 @@ type agent = {
      restart, exactly like a rebooted router keeps its address *)
   mutable transport : transport;
   health : Health.t;
-  lock : Mutex.t;  (* guards [cache]; probes run on any worker domain *)
-  mutable cache : (bytes * int) option;  (* image, updates counter at capture *)
+  lock : Mutex.t;  (* guards [cloned_version]; probes run on any worker domain *)
+  mutable cloned_version : int option;  (* live version last cloned against *)
   probes : int Atomic.t;
   checkpoints : int Atomic.t;
+  clones : int Atomic.t;
   declines : int Atomic.t;
   timeouts : int Atomic.t;
   vcache : (bytes, (Prefix.t * verdict) list) Dice_exec.Vcache.t;
@@ -65,9 +66,10 @@ let agent ~name ~addr ~explorer_addr transport =
     transport;
     health;
     lock = Mutex.create ();
-    cache = None;
+    cloned_version = None;
     probes = Atomic.make 0;
     checkpoints = Atomic.make 0;
+    clones = Atomic.make 0;
     declines = Atomic.make 0;
     timeouts = Atomic.make 0;
     vcache = Dice_exec.Vcache.create ();
@@ -79,29 +81,32 @@ let agent_explorer_addr t = t.explorer_addr
 let agent_transport t = t.transport
 let agent_health t = t.health
 
-(* The remote node's checkpoint of its own state — taken by the agent,
-   never shipped to the exploring node. The mutex covers the check-then-
-   capture window so concurrent probes share one checkpoint instead of
-   each taking their own. *)
-let checkpoint_image t live =
+(* The remote node's explorer clone of its own state — taken by the
+   agent, never shipped to the exploring node. The clone shares all
+   persistent route storage with the live speaker (Prefix_trie
+   structural sharing), so taking one is O(#peers): no serialization,
+   no parse, per-clone memory is the probe's write set. The mutex
+   covers the read of the live speaker's mutable cells; [checkpoints]
+   keeps its historical meaning — distinct live-state versions cloned
+   against — so one burst of probes against an unchanged speaker still
+   counts as one logical checkpoint. *)
+let take_clone t live =
   Mutex.lock t.lock;
   let version = Speaker.updates_processed live in
-  let image =
-    match t.cache with
-    | Some (image, v) when v = version -> image
-    | Some _ | None ->
-      let image = Speaker.snapshot live in
-      t.cache <- Some (image, version);
-      Atomic.incr t.checkpoints;
-      image
-  in
+  (match t.cloned_version with
+  | Some v when v = version -> ()
+  | Some _ | None ->
+    t.cloned_version <- Some version;
+    Atomic.incr t.checkpoints);
+  Atomic.incr t.clones;
+  let clone = Speaker.clone live in
   Mutex.unlock t.lock;
-  image
+  clone
 
 let in_whitelist anycast prefix = List.exists (fun a -> Prefix.subsumes a prefix) anycast
 
 let probe_uncached t live ~from (u : Msg.update) msg =
-  let clone = Speaker.restore_like live (Speaker.realization live) (checkpoint_image t live) in
+  let clone = take_clone t live in
   let pre = Speaker.loc_rib clone in
   let anycast = (Speaker.config live).Config_types.anycast in
   let announced_origin =
@@ -266,6 +271,7 @@ let probe_all ?(jobs = 1) reqs =
 type stats = {
   probes : int;
   checkpoints : int;
+  clones : int;
   vcache_hits : int;
   vcache_hit_rate : float;
   timeouts : int;
@@ -282,6 +288,7 @@ let stats t =
   {
     probes = Atomic.get t.probes;
     checkpoints = Atomic.get t.checkpoints;
+    clones = Atomic.get t.clones;
     vcache_hits = Dice_exec.Vcache.hits t.vcache;
     vcache_hit_rate = Dice_exec.Vcache.hit_rate t.vcache;
     timeouts = Atomic.get t.timeouts;
@@ -361,9 +368,9 @@ module Recovery = struct
     let sp = Speaker.restore_like old (Speaker.realization old) image in
     List.iter (fun (peer, msg) -> ignore (Speaker.feed sp ~peer msg)) journal;
     t.agent.transport <- Local sp;
-    (* the checkpoint image cache belonged to the dead speaker *)
+    (* the recorded clone version belonged to the dead speaker *)
     Mutex.lock t.agent.lock;
-    t.agent.cache <- None;
+    t.agent.cloned_version <- None;
     Mutex.unlock t.agent.lock;
     (* a rebuilt speaker can present an [updates_processed] counter that
        collides with a pre-crash version while holding different

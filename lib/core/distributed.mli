@@ -83,12 +83,13 @@ type agent
 val agent : name:string -> addr:Ipv4.t -> explorer_addr:Ipv4.t -> transport -> agent
 (** [agent ~name ~addr ~explorer_addr transport]: a remote node that the
     exploring node reaches at [addr] and that knows the exploring node
-    as its neighbor [explorer_addr]. With a [Local] transport the agent
-    checkpoints the speaker lazily and re-checkpoints when it has
-    processed new updates since; agents are domain-safe (concurrent
-    probes share one checkpoint, counters are atomic). With a [Remote]
-    transport the agent holds no speaker at all — the serving side does
-    (see {!serve}). *)
+    as its neighbor [explorer_addr]. With a [Local] transport each probe
+    runs over a disposable {!Speaker.clone} of the live speaker — an
+    O(#peers) copy-on-write copy sharing all persistent route storage
+    ({!Dice_inet.Prefix_trie} structural sharing), so probing never
+    serializes the table; agents are domain-safe (cloning is mutexed,
+    counters are atomic). With a [Remote] transport the agent holds no
+    speaker at all — the serving side does (see {!serve}). *)
 
 val agent_name : agent -> string
 val agent_addr : agent -> Ipv4.t
@@ -139,7 +140,11 @@ val probe_all : ?jobs:int -> (agent * Ipv4.t * Msg.t) list -> outcome list
 
 type stats = {
   probes : int;  (** announcements submitted ({!probe} / {!probe_all}) *)
-  checkpoints : int;  (** checkpoints of the live speaker *)
+  checkpoints : int;
+      (** distinct live-speaker versions probes cloned against — one
+          burst of probes over an unchanged speaker is one logical
+          checkpoint, however many clones it took *)
+  clones : int;  (** explorer clones taken of the live speaker *)
   vcache_hits : int;  (** probes answered from the verdict cache *)
   vcache_hit_rate : float;  (** [0.] before any probe *)
   timeouts : int;  (** probes that exhausted all attempts *)

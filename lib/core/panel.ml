@@ -140,21 +140,26 @@ let rec chunk n = function
     let h, t = take n l in
     h :: chunk n t
 
+(* The one health-based membership split. Voting (quorum) and the
+   fleet's update-stream drive loop must agree on who is out: a member
+   the monitor marks [Down] is excluded from BOTH, or a crashed domain
+   would silently stall the stream while still being skipped at the
+   vote. *)
+let eligible agents =
+  List.partition
+    (fun a -> Health.state (Distributed.agent_health a) <> Health.Down)
+    agents
+
 (* Quorum over live members: a panel can out-vote one crashed member,
    but a vote without a strict majority of members would let a minority
    (or a single survivor) masquerade as "the majority verdict". *)
 let quorum_of agents =
-  let down =
-    List.filter
-      (fun a -> Health.state (Distributed.agent_health a) = Health.Down)
-      agents
-  in
+  let live, down = eligible agents in
   match down with
   | [] -> `Full
   | _ ->
     let names = List.map Distributed.agent_name down in
-    let survivors = List.length agents - List.length down in
-    if 2 * survivors > List.length agents then `Degraded names else `Lost names
+    if 2 * List.length live > List.length agents then `Degraded names else `Lost names
 
 let probe ~jobs ~agents exchanges =
   let n = List.length agents in

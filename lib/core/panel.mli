@@ -56,6 +56,14 @@ val signature : divergence -> string
 
 val pp_divergence : Format.formatter -> divergence -> unit
 
+val eligible : Distributed.agent list -> Distributed.agent list * Distributed.agent list
+(** Split agents into [(live, down)] by {!Distributed.agent_health} —
+    the {e one} health-based membership test. {!quorum_of} builds its
+    vote on it, and a fleet's update-stream drive loop must use the
+    same split, so a member marked {!Health.Down} is excluded from
+    driving as well as from voting (a crashed domain never silently
+    stalls the stream). *)
+
 val quorum_of :
   Distributed.agent list ->
   [ `Full | `Degraded of string list | `Lost of string list ]

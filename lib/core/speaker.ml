@@ -45,6 +45,7 @@ module type S = sig
   val freeze : t -> unit -> bytes
   val snapshot : t -> bytes
   val restore : realization -> bytes -> t
+  val clone : t -> t
 end
 
 type instance = Inst : (module S with type t = 'a) * realization * 'a -> instance
@@ -78,5 +79,7 @@ let snapshot (Inst ((module M), _, t)) = M.snapshot t
 
 let restore_like (Inst ((module M), _, _)) real image =
   Inst ((module M), real, M.restore real image)
+
+let clone (Inst ((module M), real, t)) = Inst ((module M), real, M.clone t)
 
 let rerealize (Inst ((module M), _, _)) source = realize M.dialect source

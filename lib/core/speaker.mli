@@ -160,6 +160,16 @@ module type S = sig
       same implementation} with the same peer set. The realization is
       reused as-is — no re-translation. @raise Invalid_argument on a
       corrupt or alien image. *)
+
+  val clone : t -> t
+  (** An independent in-process copy of the live speaker, sharing as
+      much storage as the implementation's data structures allow —
+      implementations backed by persistent structures (tries, balanced
+      maps) share all route storage and copy only mutable cells
+      (O(#peers)); mutable-table implementations copy buckets eagerly.
+      Either way there is no serialization: this is the explorer-clone
+      path, where per-clone memory should be the write set, not the
+      table. Feeding the clone must never affect the original. *)
 end
 
 type instance = Inst : (module S with type t = 'a) * realization * 'a -> instance
@@ -206,6 +216,11 @@ val learned_from : instance -> peer:Ipv4.t -> Prefix.t -> bool
 val updates_processed : instance -> int
 val freeze : instance -> unit -> bytes
 val snapshot : instance -> bytes
+
+val clone : instance -> instance
+(** {!S.clone} under the same module and realization — how a probe or an
+    explorer takes a disposable copy of a live speaker without paying
+    for a snapshot round-trip. *)
 
 val restore_like : instance -> realization -> bytes -> instance
 (** [restore_like inst real image] rebuilds from [image] with the {e

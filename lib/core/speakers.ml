@@ -67,6 +67,7 @@ module Bird = struct
 
   let snapshot = Router.snapshot
   let restore (r : Speaker.realization) image = Router.restore r.Speaker.config image
+  let clone = Router.clone
 end
 
 module Quagga = struct
@@ -101,6 +102,7 @@ module Quagga = struct
 
   let snapshot = Qrouter.snapshot
   let restore (r : Speaker.realization) image = Qrouter.restore r.Speaker.config image
+  let clone = Qrouter.clone
 end
 
 module Xorp = struct
@@ -135,6 +137,7 @@ module Xorp = struct
 
   let snapshot = Xrouter.snapshot
   let restore (r : Speaker.realization) image = Xrouter.restore r.Speaker.config image
+  let clone = Xrouter.clone
 end
 
 (* Pack an already-built router: the realization records its concrete

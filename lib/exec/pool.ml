@@ -46,3 +46,5 @@ let map ~jobs f items =
          | Some r -> r
          | None -> assert false (* every index was claimed and completed *))
   end
+
+let iter ~jobs f items = ignore (map ~jobs (fun x -> f x) items)

@@ -26,3 +26,10 @@ val map : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
     in input order. Items are claimed dynamically (an atomic cursor), so
     uneven item costs balance across workers. [f] must be safe to call
     from concurrent domains. Exceptions propagate as in {!run}. *)
+
+val iter : jobs:int -> ('a -> unit) -> 'a list -> unit
+(** [map] for effects: apply [f] to every item across [jobs] workers and
+    wait for all of them — the shape of a fleet's drive wave, where each
+    item is one domain's batch of updates and results accumulate in the
+    items themselves. Same claiming, safety and exception rules as
+    {!map}. *)

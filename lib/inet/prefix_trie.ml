@@ -196,3 +196,40 @@ let equal eq a b =
   let la = to_list a and lb = to_list b in
   List.length la = List.length lb
   && List.for_all2 (fun (p, v) (q, w) -> Prefix.equal p q && eq v w) la lb
+
+(* ------------------------------------------------------------------ *)
+(* Physical structural sharing                                         *)
+(* ------------------------------------------------------------------ *)
+
+let rec node_count = function
+  | Empty -> 0
+  | Node n -> 1 + node_count n.left + node_count n.right
+
+let shared_nodes a b =
+  (* Index [a]'s subtree roots by their prefix, then walk [b]: a node of
+     [b] that is physically ([==]) a subtree of [a] contributes its whole
+     subtree (physical equality is hereditary — a shared block's children
+     are reachable from [a] too) and the walk stops there. *)
+  let tbl : (Prefix.t, 'a t list) Hashtbl.t = Hashtbl.create 256 in
+  let rec index t =
+    match t with
+    | Empty -> ()
+    | Node n ->
+      let bucket = match Hashtbl.find_opt tbl n.prefix with Some l -> l | None -> [] in
+      Hashtbl.replace tbl n.prefix (t :: bucket);
+      index n.left;
+      index n.right
+  in
+  index a;
+  let rec walk acc t =
+    match t with
+    | Empty -> acc
+    | Node n ->
+      let hit =
+        match Hashtbl.find_opt tbl n.prefix with
+        | Some bucket -> List.exists (fun x -> x == t) bucket
+        | None -> false
+      in
+      if hit then acc + node_count t else walk (walk acc n.left) n.right
+  in
+  walk 0 b

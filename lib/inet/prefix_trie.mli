@@ -64,3 +64,14 @@ val map : ('a -> 'b) -> 'a t -> 'b t
 val filter : (Prefix.t -> 'a -> bool) -> 'a t -> 'a t
 
 val equal : ('a -> 'a -> bool) -> 'a t -> 'a t -> bool
+
+val node_count : 'a t -> int
+(** Trie nodes (bound and fork), not bindings — the unit {!shared_nodes}
+    counts in. *)
+
+val shared_nodes : 'a t -> 'a t -> int
+(** Nodes of the second trie that are {e physically} ([==]) subtrees of
+    the first — the memory two persistent tries actually share. After a
+    copy-on-write clone plus one insert, everything off the insert path
+    is shared: [shared_nodes live clone] approaches
+    [node_count clone]. O(n) in the two tries' sizes. *)

@@ -115,6 +115,26 @@ let internet_config () =
        |}
        internet_as provider_as)
 
+(* The paper's Figure 2 topology, as a 3-domain spec: the hand-written
+   dialect configurations above ride along as programmatic overrides, and
+   the historical 10.0.{1,2}.x addressing as link address overrides. *)
+let spec filtering =
+  Topology.Spec.make
+    ~domains:
+      [ Topology.Spec.domain ~prefixes:customer_prefixes
+          ~config:(customer_config ()) "customer" ~asn:customer_as;
+        Topology.Spec.domain ~config:(provider_config filtering) "provider"
+          ~asn:provider_as;
+        Topology.Spec.domain ~config:(internet_config ()) "internet" ~asn:internet_as ]
+    ~links:
+      [ Topology.Spec.transit
+          ~addrs:(customer_addr, provider_addr_customer_side)
+          ~latency:0.005 ~customer:"customer" ~provider:"provider" ();
+        Topology.Spec.transit
+          ~addrs:(provider_addr_internet_side, internet_addr)
+          ~latency:0.010 ~customer:"provider" ~provider:"internet" () ]
+    ()
+
 type t = {
   net : Net.t;
   customer : Router_node.t;
@@ -123,27 +143,11 @@ type t = {
 }
 
 let build filtering =
-  let net = Net.create () in
-  let customer = Router_node.attach net ~name:"customer" (Router.create (customer_config ())) in
-  let provider =
-    Router_node.attach net ~name:"provider" (Router.create (provider_config filtering))
-  in
-  let internet = Router_node.attach net ~name:"internet" (Router.create (internet_config ())) in
-  Net.connect net (Router_node.node_id customer) (Router_node.node_id provider)
-    ~latency:0.005;
-  Net.connect net (Router_node.node_id provider) (Router_node.node_id internet)
-    ~latency:0.010;
-  (* customer <-> provider *)
-  Router_node.bind_peer customer ~neighbor:provider_addr_customer_side
-    ~node:(Router_node.node_id provider);
-  Router_node.bind_peer provider ~neighbor:customer_addr
-    ~node:(Router_node.node_id customer);
-  (* provider <-> internet *)
-  Router_node.bind_peer provider ~neighbor:internet_addr
-    ~node:(Router_node.node_id internet);
-  Router_node.bind_peer internet ~neighbor:provider_addr_internet_side
-    ~node:(Router_node.node_id provider);
-  { net; customer; provider; internet }
+  let sim = Topology.Sim.realize (spec filtering) in
+  { net = Topology.Sim.net sim;
+    customer = Topology.Sim.node sim "customer";
+    provider = Topology.Sim.node sim "provider";
+    internet = Topology.Sim.node sim "internet" }
 
 let start t =
   Router_node.start t.customer;

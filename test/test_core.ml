@@ -5,6 +5,11 @@ open Dice_bgp
 open Dice_concolic
 open Dice_core
 
+(* Figure-2 addressing, resolved through the topology spec *)
+let tr_f2_spec = Dice_topology.Threerouter.spec Dice_topology.Threerouter.Correct
+let tr_customer_addr = Dice_topology.Topology.Spec.address tr_f2_spec ~of_:"customer" ~toward:"provider"
+
+
 let p = Prefix.of_string
 
 let base_route =
@@ -256,9 +261,9 @@ let observe_customer dice =
   let route =
     Route.make ~origin:Attr.Igp
       ~as_path:[ Asn.Path.Seq [ Dice_topology.Threerouter.customer_as ] ]
-      ~next_hop:Dice_topology.Threerouter.customer_addr ()
+      ~next_hop:tr_customer_addr ()
   in
-  Orchestrator.observe dice ~peer:Dice_topology.Threerouter.customer_addr
+  Orchestrator.observe dice ~peer:tr_customer_addr
     ~prefix:(p "203.0.113.0/24") ~route
 
 let explore_cfg ?(mode = Symbolize.Selective) ?(runs = 192) () =
@@ -277,7 +282,7 @@ let test_orchestrator_seeding () =
   Alcotest.(check int) "empty" 0 (Orchestrator.pending_seeds dice);
   observe_customer dice;
   Alcotest.(check int) "one" 1 (Orchestrator.pending_seeds dice);
-  Orchestrator.observe_update dice ~peer:Dice_topology.Threerouter.customer_addr
+  Orchestrator.observe_update dice ~peer:tr_customer_addr
     { Msg.withdrawn = [];
       attrs = Route.to_attrs base_route;
       nlri = [ p "203.0.113.0/24"; p "198.51.100.0/22" ];

@@ -5,6 +5,12 @@ open Dice_inet
 open Dice_bgp
 open Dice_core
 
+(* Figure-2 addressing, resolved through the topology spec *)
+let tr_f2_spec = Dice_topology.Threerouter.spec Dice_topology.Threerouter.Correct
+let tr_customer_addr = Dice_topology.Topology.Spec.address tr_f2_spec ~of_:"customer" ~toward:"provider"
+let tr_internet_addr = Dice_topology.Topology.Spec.address tr_f2_spec ~of_:"internet" ~toward:"provider"
+
+
 let p = Prefix.of_string
 let provider_side = Ipv4.of_string "10.0.2.1"
 let collector = Ipv4.of_string "10.0.3.2"
@@ -392,17 +398,17 @@ let provider_with_customer () =
       (Dice_topology.Threerouter.provider_config
          Dice_topology.Threerouter.Partially_correct)
   in
-  establish r Dice_topology.Threerouter.customer_addr 64501;
-  establish r Dice_topology.Threerouter.internet_addr 64700;
+  establish r tr_customer_addr 64501;
+  establish r tr_internet_addr 64700;
   let customer_route =
     Route.make ~origin:Attr.Igp
       ~as_path:[ Asn.Path.Seq [ Dice_topology.Threerouter.customer_as ] ]
-      ~next_hop:Dice_topology.Threerouter.customer_addr ()
+      ~next_hop:tr_customer_addr ()
   in
   List.iter
     (fun prefix ->
       ignore
-        (Router.handle_msg r ~peer:Dice_topology.Threerouter.customer_addr
+        (Router.handle_msg r ~peer:tr_customer_addr
            (Msg.Update
               { Msg.withdrawn = []; attrs = Route.to_attrs customer_route; nlri = [ prefix ] })))
     Dice_topology.Threerouter.customer_prefixes;
@@ -411,7 +417,7 @@ let provider_with_customer () =
 let test_checker_finds_remote_conflicts () =
   let up = upstream () in
   let agent =
-    Distributed.agent ~name:"up" ~addr:Dice_topology.Threerouter.internet_addr
+    Distributed.agent ~name:"up" ~addr:tr_internet_addr
       ~explorer_addr:provider_side (Distributed.Local (Speakers.bird up))
   in
   let provider, customer_route = provider_with_customer () in
@@ -430,7 +436,7 @@ let test_checker_finds_remote_conflicts () =
     }
   in
   let dice = Orchestrator.create ~cfg (Speakers.bird provider) in
-  Orchestrator.observe dice ~peer:Dice_topology.Threerouter.customer_addr
+  Orchestrator.observe dice ~peer:tr_customer_addr
     ~prefix:(p "203.0.113.0/24") ~route:customer_route;
   let report = Orchestrator.explore dice in
   let remote =
@@ -472,7 +478,7 @@ let test_checker_ignores_unknown_destinations () =
     }
   in
   let dice = Orchestrator.create ~cfg (Speakers.bird provider) in
-  Orchestrator.observe dice ~peer:Dice_topology.Threerouter.customer_addr
+  Orchestrator.observe dice ~peer:tr_customer_addr
     ~prefix:(p "203.0.113.0/24") ~route:customer_route;
   ignore (Orchestrator.explore dice);
   Alcotest.(check int) "no probe reaches a mismatched address" 0

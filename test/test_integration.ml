@@ -4,6 +4,11 @@ open Dice_bgp
 module Net = Dice_sim.Network
 module Threerouter = Dice_topology.Threerouter
 
+(* Figure-2 addressing, resolved through the topology spec *)
+let tr_f2_spec = Threerouter.spec Threerouter.Correct
+let tr_internet_addr = Dice_topology.Topology.Spec.address tr_f2_spec ~of_:"internet" ~toward:"provider"
+
+
 let p = Prefix.of_string
 
 let simple_pair () =
@@ -108,7 +113,7 @@ let test_scheduled_replay_in_sim () =
       ~from_node:(Router_node.node_id topo.Threerouter.internet)
       ~to_node:(Router_node.node_id topo.Threerouter.provider)
       ~start_at:(Net.now topo.Threerouter.net)
-      ~next_hop:Threerouter.internet_addr trace
+      ~next_hop:tr_internet_addr trace
   in
   Alcotest.(check int) "dump + events scheduled"
     (100 + Array.length trace.Dice_trace.Gen.events)

@@ -6,6 +6,12 @@ open Dice_core
 module Threerouter = Dice_topology.Threerouter
 module Net = Dice_sim.Network
 
+(* Figure-2 addressing, resolved through the topology spec *)
+let tr_f2_spec = Threerouter.spec Threerouter.Correct
+let tr_customer_addr = Dice_topology.Topology.Spec.address tr_f2_spec ~of_:"customer" ~toward:"provider"
+let tr_internet_addr = Dice_topology.Topology.Spec.address tr_f2_spec ~of_:"internet" ~toward:"provider"
+
+
 let p = Prefix.of_string
 
 (* ---- Checks ---- *)
@@ -110,17 +116,17 @@ let provider_cfg filtering = Threerouter.provider_config filtering
 
 let live_provider filtering =
   let r = Router.create (provider_cfg filtering) in
-  establish r Threerouter.customer_addr Threerouter.customer_as;
-  establish r Threerouter.internet_addr Threerouter.internet_as;
+  establish r tr_customer_addr Threerouter.customer_as;
+  establish r tr_internet_addr Threerouter.internet_as;
   let customer_route =
     Route.make ~origin:Attr.Igp
       ~as_path:[ Asn.Path.Seq [ Threerouter.customer_as ] ]
-      ~next_hop:Threerouter.customer_addr ()
+      ~next_hop:tr_customer_addr ()
   in
   List.iter
     (fun prefix ->
       ignore
-        (Router.handle_msg r ~peer:Threerouter.customer_addr
+        (Router.handle_msg r ~peer:tr_customer_addr
            (Msg.Update
               { Msg.withdrawn = []; attrs = Route.to_attrs customer_route; nlri = [ prefix ] })))
     Threerouter.customer_prefixes;
@@ -129,15 +135,15 @@ let live_provider filtering =
       { Dice_trace.Gen.default_params with Dice_trace.Gen.n_prefixes = 1_200 }
   in
   ignore
-    (Dice_trace.Replay.feed_dump r ~peer:Threerouter.internet_addr
-       ~next_hop:Threerouter.internet_addr trace);
+    (Dice_trace.Replay.feed_dump r ~peer:tr_internet_addr
+       ~next_hop:tr_internet_addr trace);
   (r, customer_route)
 
 let seeds_for route =
   List.map
     (fun prefix ->
       { Orchestrator.tag = "s-" ^ Prefix.to_string prefix;
-        peer = Threerouter.customer_addr;
+        peer = tr_customer_addr;
         prefix;
         route;
       })
@@ -225,7 +231,7 @@ let daemon_cfg =
   { Daemon.default_cfg with
     Daemon.explore_every = 30.0;
     seed_sample = 1;
-    observe_peers = Some [ Threerouter.customer_addr ];
+    observe_peers = Some [ tr_customer_addr ];
     orchestrator =
       { Orchestrator.default_cfg with
         Orchestrator.exploration =
@@ -244,7 +250,7 @@ let customer_announces topo prefix =
   let route =
     Route.make ~origin:Attr.Igp
       ~as_path:[ Asn.Path.Seq [ Threerouter.customer_as ] ]
-      ~next_hop:Threerouter.customer_addr ()
+      ~next_hop:tr_customer_addr ()
   in
   let msg =
     Msg.Update { withdrawn = []; attrs = Route.to_attrs route; nlri = [ p prefix ] }
